@@ -1,0 +1,156 @@
+//! Pairwise hop integrity (Gouda et al.; the data plane of LHAP/HEAP),
+//! the hop-by-hop baseline of §2.2.
+//!
+//! Adjacent routers share a symmetric key; each hop verifies the MAC from
+//! its upstream neighbour and re-MACs for its downstream one. This stops
+//! *outsider* injection between hops, but any compromised router on the
+//! path can modify or forge traffic and re-MAC it — there is no end-to-end
+//! evidence. The tests demonstrate both halves; the second is the attack
+//! ALPHA closes by making every hop verify the *sender's* hash-chain MAC.
+
+use alpha_crypto::{hmac, Algorithm, Digest};
+use rand::RngCore;
+
+/// A hop-integrity-protected packet on one link.
+#[derive(Debug, Clone)]
+pub struct HopPacket {
+    /// The message (mutable by every hop — that is the weakness).
+    pub payload: Vec<u8>,
+    /// MAC under the link key of the hop it is currently crossing.
+    pub mac: Digest,
+}
+
+/// One router's key material: a key per adjacent link.
+pub struct HopNode {
+    alg: Algorithm,
+    /// Shared keys with neighbours, indexed by neighbour id.
+    keys: Vec<(usize, [u8; 32])>,
+}
+
+impl HopNode {
+    /// A node with no keys yet.
+    #[must_use]
+    pub fn new(alg: Algorithm) -> HopNode {
+        HopNode { alg, keys: Vec::new() }
+    }
+
+    /// Install a pairwise key with `neighbor` (call on both ends with the
+    /// same key — in deployment this comes from a key exchange).
+    pub fn add_neighbor(&mut self, neighbor: usize, key: [u8; 32]) {
+        self.keys.retain(|(n, _)| *n != neighbor);
+        self.keys.push((neighbor, key));
+    }
+
+    fn key_for(&self, neighbor: usize) -> Option<&[u8; 32]> {
+        self.keys.iter().find(|(n, _)| *n == neighbor).map(|(_, k)| k)
+    }
+
+    /// Emit `payload` toward `next`.
+    #[must_use]
+    pub fn send(&self, payload: &[u8], next: usize) -> Option<HopPacket> {
+        let key = self.key_for(next)?;
+        Some(HopPacket {
+            payload: payload.to_vec(),
+            mac: hmac::mac(self.alg, key, payload),
+        })
+    }
+
+    /// Verify a packet arriving from `prev`; if `next` is `Some`, re-MAC
+    /// and forward. Returns `None` if the MAC fails (packet dropped).
+    #[must_use]
+    pub fn forward(&self, pkt: &HopPacket, prev: usize, next: Option<usize>) -> Option<HopPacket> {
+        let key = self.key_for(prev)?;
+        if !hmac::verify(self.alg, key, &pkt.payload, &pkt.mac) {
+            return None;
+        }
+        match next {
+            None => Some(pkt.clone()), // destination: verified
+            Some(n) => self.send(&pkt.payload, n),
+        }
+    }
+}
+
+/// Generate a fresh pairwise key.
+#[must_use]
+pub fn gen_key(rng: &mut dyn RngCore) -> [u8; 32] {
+    let mut k = [0u8; 32];
+    rng.fill_bytes(&mut k);
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    /// Build the 4-node path 0-1-2-3 with pairwise keys.
+    fn path() -> Vec<HopNode> {
+        let mut r = rng();
+        let mut nodes: Vec<HopNode> = (0..4).map(|_| HopNode::new(Algorithm::Sha1)).collect();
+        for i in 0..3 {
+            let k = gen_key(&mut r);
+            nodes[i].add_neighbor(i + 1, k);
+            nodes[i + 1].add_neighbor(i, k);
+        }
+        nodes
+    }
+
+    #[test]
+    fn end_to_end_over_honest_path() {
+        let nodes = path();
+        let p = nodes[0].send(b"routing update", 1).unwrap();
+        let p = nodes[1].forward(&p, 0, Some(2)).unwrap();
+        let p = nodes[2].forward(&p, 1, Some(3)).unwrap();
+        let p = nodes[3].forward(&p, 2, None).unwrap();
+        assert_eq!(p.payload, b"routing update");
+    }
+
+    #[test]
+    fn outsider_injection_dropped() {
+        let nodes = path();
+        // An outsider between 1 and 2 injects without knowing the link key.
+        let forged = HopPacket {
+            payload: b"evil".to_vec(),
+            mac: Algorithm::Sha1.hash(b"guess"),
+        };
+        assert!(nodes[2].forward(&forged, 1, Some(3)).is_none());
+    }
+
+    #[test]
+    fn outsider_tampering_dropped() {
+        let nodes = path();
+        let p = nodes[0].send(b"original", 1).unwrap();
+        let mut tampered = p.clone();
+        tampered.payload = b"0riginal".to_vec();
+        assert!(nodes[1].forward(&tampered, 0, Some(2)).is_none());
+    }
+
+    #[test]
+    fn insider_forgery_succeeds_undetected() {
+        // THE limitation (§2.2): node 1 is compromised. It rewrites the
+        // payload and re-MACs with its legitimate downstream key; nobody
+        // downstream can tell. ALPHA's end-to-end hash-chain MAC is what
+        // removes this blind spot.
+        let nodes = path();
+        let p = nodes[0].send(b"send 10 coins to alice", 1).unwrap();
+        // Node 1 verifies (it is on-path, this is legitimate)…
+        let verified = nodes[1].forward(&p, 0, None).unwrap();
+        assert_eq!(verified.payload, b"send 10 coins to alice");
+        // …then forges a different message toward node 2.
+        let forged = nodes[1].send(b"send 10 coins to mallory", 2).unwrap();
+        let p = nodes[2].forward(&forged, 1, Some(3)).unwrap();
+        let delivered = nodes[3].forward(&p, 2, None).unwrap();
+        // Delivered "verified" — but it is the forgery.
+        assert_eq!(delivered.payload, b"send 10 coins to mallory");
+    }
+
+    #[test]
+    fn missing_key_refuses_to_send() {
+        let nodes = path();
+        assert!(nodes[0].send(b"x", 3).is_none(), "no key with non-neighbor");
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+
+//! Baseline protocols the ALPHA paper positions itself against (§2).
+//!
+//! Three families, each implemented far enough to reproduce the
+//! comparison the paper actually makes:
+//!
+//! - [`tesla`] — time-based hash-chain signatures (TESLA / µTESLA):
+//!   loose clock synchronization, per-epoch key disclosure, and the
+//!   disclosure-delay-bounded verification latency that makes the scheme
+//!   awkward for high-variance multi-hop unicast (§2.1.1).
+//! - [`hop_hmac`] — pairwise symmetric keys between adjacent routers
+//!   (Gouda-style hop integrity, LHAP/HEAP's data plane): cheap, but an
+//!   *insider* relay can forge traffic undetected — the limitation §2.2
+//!   hinges on.
+//! - [`pk_sign`] — per-packet public-key signing, the "just sign
+//!   everything with RSA/DSA/ECC" strawman priced in Table 4 / §4.1.3.
+//!
+//! Each module carries tests that demonstrate both the baseline working
+//! *and* the specific weakness ALPHA fixes.
+
+pub mod hop_hmac;
+pub mod pk_sign;
+pub mod tesla;

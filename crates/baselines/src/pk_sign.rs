@@ -1,0 +1,98 @@
+//! Per-packet public-key signing: the straightforward alternative ALPHA's
+//! evaluation prices and rejects (Table 4, §4.1.3).
+//!
+//! Signing every packet with RSA/DSA/ECDSA gives end-to-end *and*
+//! hop-by-hop verifiability with no interactivity — at per-packet costs
+//! that are orders of magnitude above a hash. This module wraps
+//! `alpha-pk` into a packet-shaped API so benches can compare per-packet
+//! cost directly against an ALPHA exchange.
+
+use alpha_crypto::Algorithm;
+use alpha_pk::{PublicKey, Signer, VerifyingKey};
+use rand::RngCore;
+
+/// A packet carrying its own public-key signature.
+#[derive(Debug, Clone)]
+pub struct SignedPacket {
+    /// The message.
+    pub payload: Vec<u8>,
+    /// Signature over the payload.
+    pub signature: Vec<u8>,
+}
+
+/// Sender half: signs every payload.
+pub struct PkSender<'a> {
+    signer: &'a dyn Signer,
+    alg: Algorithm,
+}
+
+impl<'a> PkSender<'a> {
+    /// Wrap a signing key.
+    #[must_use]
+    pub fn new(signer: &'a dyn Signer, alg: Algorithm) -> PkSender<'a> {
+        PkSender { signer, alg }
+    }
+
+    /// Sign one packet.
+    #[must_use]
+    pub fn send(&self, payload: &[u8], rng: &mut dyn RngCore) -> SignedPacket {
+        SignedPacket {
+            payload: payload.to_vec(),
+            signature: self.signer.sign(self.alg, payload, rng),
+        }
+    }
+
+    /// The verification key receivers and relays need.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        self.signer.verifying_key()
+    }
+}
+
+/// Verify one packet (receiver or any relay — that part works; only the
+/// cost is prohibitive).
+#[must_use]
+pub fn verify(key: &PublicKey, alg: Algorithm, pkt: &SignedPacket) -> bool {
+    key.verify(alg, &pkt.payload, &pkt.signature)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rsa_per_packet_roundtrip() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(9);
+        let key = alpha_pk::rsa::RsaPrivateKey::generate(512, &mut r);
+        let sender = PkSender::new(&key, Algorithm::Sha1);
+        let pk = sender.public_key();
+        let pkt = sender.send(b"location update", &mut r);
+        assert!(verify(&pk, Algorithm::Sha1, &pkt));
+        let mut bad = pkt.clone();
+        bad.payload[0] ^= 1;
+        assert!(!verify(&pk, Algorithm::Sha1, &bad));
+    }
+
+    #[test]
+    fn ecdsa_per_packet_roundtrip() {
+        let mut r = rand::rngs::StdRng::seed_from_u64(10);
+        let key = alpha_pk::ecdsa::EcdsaPrivateKey::generate(&mut r);
+        let sender = PkSender::new(&key, Algorithm::Sha1);
+        let pk = sender.public_key();
+        let pkt = sender.send(b"sensor report", &mut r);
+        assert!(verify(&pk, Algorithm::Sha1, &pkt));
+    }
+
+    #[test]
+    fn relay_can_verify_too() {
+        // Unlike symmetric schemes, any on-path node can verify — the
+        // functional property ALPHA matches at a fraction of the cost.
+        let mut r = rand::rngs::StdRng::seed_from_u64(11);
+        let key = alpha_pk::ecdsa::EcdsaPrivateKey::generate(&mut r);
+        let sender = PkSender::new(&key, Algorithm::Sha1);
+        let pk_at_relay = sender.public_key();
+        let pkt = sender.send(b"verify me anywhere", &mut r);
+        assert!(verify(&pk_at_relay, Algorithm::Sha1, &pkt));
+    }
+}

@@ -1,0 +1,367 @@
+//! TESLA: timed efficient stream loss-tolerant authentication
+//! (Perrig et al.), the time-based hash-chain baseline of §2.1.1.
+//!
+//! Time is divided into fixed epochs; epoch `i` is bound to hash-chain
+//! element `K_i` (walking the chain backwards). A packet sent in epoch `i`
+//! carries `HMAC(K_i, m)`; the key itself is only disclosed `d` epochs
+//! later, so a receiver must *buffer* the packet and can only verify it
+//! after the disclosure delay — and must *discard* any packet that could
+//! already have had its key disclosed when it arrived (the security
+//! condition). Both properties are what ALPHA's interactive scheme avoids:
+//! no clock synchronization, no disclosure-delay latency floor, no
+//! silent discards under jitter.
+//!
+//! µTESLA (Liu & Ning) is the same construction with sensor-friendly
+//! parameters (longer epochs, symmetric bootstrap); use
+//! [`TeslaConfig::micro_tesla`].
+
+use alpha_core::Timestamp;
+use alpha_crypto::chain::{ChainKind, HashChain};
+use alpha_crypto::{hmac, Algorithm, Digest};
+use rand::RngCore;
+
+/// Protocol parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TeslaConfig {
+    /// Hash algorithm.
+    pub algorithm: Algorithm,
+    /// Epoch duration (µs).
+    pub epoch_us: u64,
+    /// Key disclosure lag in epochs (`d ≥ 1`).
+    pub disclosure_lag: u64,
+    /// Chain length = maximum epochs of traffic.
+    pub chain_len: u64,
+    /// Receiver's bound on clock error relative to the sender (µs).
+    pub max_clock_skew_us: u64,
+}
+
+impl TeslaConfig {
+    /// Internet-flavoured defaults: 100 ms epochs, lag 2.
+    #[must_use]
+    pub fn new(algorithm: Algorithm) -> TeslaConfig {
+        TeslaConfig {
+            algorithm,
+            epoch_us: 100_000,
+            disclosure_lag: 2,
+            chain_len: 1024,
+            max_clock_skew_us: 10_000,
+        }
+    }
+
+    /// µTESLA-flavoured: 500 ms epochs, lag 1, short chains, MMO hash.
+    #[must_use]
+    pub fn micro_tesla() -> TeslaConfig {
+        TeslaConfig {
+            algorithm: Algorithm::MmoAes,
+            epoch_us: 500_000,
+            disclosure_lag: 1,
+            chain_len: 256,
+            max_clock_skew_us: 50_000,
+        }
+    }
+}
+
+/// A TESLA-protected packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TeslaPacket {
+    /// Epoch the MAC key belongs to.
+    pub epoch: u64,
+    /// The message.
+    pub payload: Vec<u8>,
+    /// `HMAC(K_epoch, payload)`.
+    pub mac: Digest,
+    /// Key of epoch `epoch − disclosure_lag`, when already disclosable.
+    pub disclosed_key: Option<(u64, Digest)>,
+}
+
+/// Sender state.
+///
+/// ```
+/// use alpha_baselines::tesla::{TeslaConfig, TeslaReceiver, TeslaSender};
+/// use alpha_core::Timestamp;
+/// use alpha_crypto::Algorithm;
+///
+/// let cfg = TeslaConfig::new(Algorithm::Sha1); // 100 ms epochs, lag 2
+/// let mut rng = rand::thread_rng();
+/// let sender = TeslaSender::new(cfg, Timestamp::ZERO, &mut rng);
+/// let (anchor, start) = sender.commitment();
+/// let mut receiver = TeslaReceiver::new(cfg, anchor, start);
+///
+/// // A packet from epoch 0 buffers until its key discloses two epochs on.
+/// let pkt = sender.send(b"reading", Timestamp::from_millis(10)).unwrap();
+/// assert!(receiver.receive(pkt, Timestamp::from_millis(20)).unwrap().is_empty());
+/// let later = sender.send(b"next", Timestamp::from_millis(210)).unwrap();
+/// let verified = receiver.receive(later, Timestamp::from_millis(220)).unwrap();
+/// assert_eq!(verified, vec![b"reading".to_vec()]); // delayed delivery
+/// ```
+pub struct TeslaSender {
+    cfg: TeslaConfig,
+    chain: HashChain,
+    start: Timestamp,
+}
+
+impl TeslaSender {
+    /// Start a session at `start` (epoch 0 begins here).
+    #[must_use]
+    pub fn new(cfg: TeslaConfig, start: Timestamp, rng: &mut dyn RngCore) -> TeslaSender {
+        let chain = HashChain::generate(cfg.algorithm, ChainKind::Plain, cfg.chain_len, rng);
+        TeslaSender { cfg, chain, start }
+    }
+
+    /// The commitment (anchor) receivers need, plus session start.
+    #[must_use]
+    pub fn commitment(&self) -> (Digest, Timestamp) {
+        (self.chain.anchor(), self.start)
+    }
+
+    /// Epoch number at `now`.
+    #[must_use]
+    pub fn epoch_at(&self, now: Timestamp) -> u64 {
+        now.since(self.start) / self.cfg.epoch_us
+    }
+
+    /// Key of epoch `i`: chain elements are consumed anchor-down, so epoch
+    /// `i` maps to element `chain_len − 1 − i`.
+    fn key_of(&self, epoch: u64) -> Option<Digest> {
+        let idx = self.chain.anchor_index().checked_sub(1 + epoch)?;
+        if idx == 0 {
+            return None; // seed is never used
+        }
+        Some(self.chain.element(idx))
+    }
+
+    /// Protect `payload` for transmission at `now`.
+    #[must_use]
+    pub fn send(&self, payload: &[u8], now: Timestamp) -> Option<TeslaPacket> {
+        let epoch = self.epoch_at(now);
+        let key = self.key_of(epoch)?;
+        let mac = hmac::mac(self.cfg.algorithm, key.as_bytes(), payload);
+        let disclosed_key = epoch
+            .checked_sub(self.cfg.disclosure_lag)
+            .and_then(|e| self.key_of(e).map(|k| (e, k)));
+        Some(TeslaPacket { epoch, payload: payload.to_vec(), mac, disclosed_key })
+    }
+}
+
+/// Why a packet was rejected or is still pending.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeslaError {
+    /// The packet arrived after its key may already have been disclosed;
+    /// the security condition fails and it must be discarded.
+    SecurityConditionViolated,
+    /// A disclosed key did not authenticate against the chain.
+    BadKey,
+    /// A buffered packet's MAC failed once its key arrived.
+    BadMac,
+}
+
+/// Receiver state: buffers packets until their keys are disclosed.
+pub struct TeslaReceiver {
+    cfg: TeslaConfig,
+    verifier: alpha_crypto::chain::ChainVerifier,
+    anchor_index: u64,
+    start: Timestamp,
+    /// Keys learned so far: (epoch, key).
+    keys: Vec<(u64, Digest)>,
+    /// Packets awaiting their epoch key.
+    pending: Vec<TeslaPacket>,
+}
+
+impl TeslaReceiver {
+    /// Initialize from the sender's commitment.
+    #[must_use]
+    pub fn new(cfg: TeslaConfig, anchor: Digest, start: Timestamp) -> TeslaReceiver {
+        TeslaReceiver {
+            cfg,
+            verifier: alpha_crypto::chain::ChainVerifier::new(
+                cfg.algorithm,
+                ChainKind::Plain,
+                anchor,
+                cfg.chain_len,
+            )
+            .with_max_skip(cfg.chain_len),
+            anchor_index: cfg.chain_len,
+            start,
+            keys: Vec::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// Packets buffered, waiting for key disclosure — TESLA's receiver
+    /// memory cost, which ALPHA's pre-signatures shrink to hashes.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Ingest a packet at local time `now`. Returns verified payloads that
+    /// became deliverable (possibly from earlier buffered packets).
+    pub fn receive(
+        &mut self,
+        pkt: TeslaPacket,
+        now: Timestamp,
+    ) -> Result<Vec<Vec<u8>>, TeslaError> {
+        // Security condition: when this packet arrived, the sender must
+        // not yet have disclosed its epoch key. With clock skew x, the
+        // latest epoch the sender could be in is (now + x)/epoch.
+        let latest_sender_epoch =
+            (now.since(self.start) + self.cfg.max_clock_skew_us) / self.cfg.epoch_us;
+        if latest_sender_epoch >= pkt.epoch + self.cfg.disclosure_lag {
+            return Err(TeslaError::SecurityConditionViolated);
+        }
+        if let Some((epoch, key)) = pkt.disclosed_key {
+            self.learn_key(epoch, key)?;
+        }
+        self.pending.push(pkt);
+        Ok(self.drain_verifiable())
+    }
+
+    /// Ingest a bare key disclosure (sent during idle periods — the
+    /// "reveal hash elements at a regular interval even when no payload is
+    /// transferred" overhead §2.1.1 notes).
+    pub fn receive_key(&mut self, epoch: u64, key: Digest) -> Result<Vec<Vec<u8>>, TeslaError> {
+        self.learn_key(epoch, key)?;
+        Ok(self.drain_verifiable())
+    }
+
+    fn learn_key(&mut self, epoch: u64, key: Digest) -> Result<(), TeslaError> {
+        if self.keys.iter().any(|(e, _)| *e == epoch) {
+            return Ok(());
+        }
+        let idx = self
+            .anchor_index
+            .checked_sub(1 + epoch)
+            .ok_or(TeslaError::BadKey)?;
+        self.verifier.accept(idx, &key).map_err(|_| TeslaError::BadKey)?;
+        self.keys.push((epoch, key));
+        Ok(())
+    }
+
+    fn drain_verifiable(&mut self) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        let keys = self.keys.clone();
+        self.pending.retain(|pkt| {
+            let Some((_, key)) = keys.iter().find(|(e, _)| *e == pkt.epoch) else {
+                return true; // still waiting
+            };
+            if hmac::verify(self.cfg.algorithm, key.as_bytes(), &pkt.payload, &pkt.mac) {
+                out.push(pkt.payload.clone());
+            }
+            false // verified or forged: either way, done buffering
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(44)
+    }
+
+    fn setup(cfg: TeslaConfig) -> (TeslaSender, TeslaReceiver) {
+        let sender = TeslaSender::new(cfg, Timestamp::ZERO, &mut rng());
+        let (anchor, start) = sender.commitment();
+        let receiver = TeslaReceiver::new(cfg, anchor, start);
+        (sender, receiver)
+    }
+
+    fn t(epochs: f64, cfg: &TeslaConfig) -> Timestamp {
+        Timestamp::from_micros((epochs * cfg.epoch_us as f64) as u64)
+    }
+
+    #[test]
+    fn delayed_verification_roundtrip() {
+        let cfg = TeslaConfig::new(Algorithm::Sha1);
+        let (sender, mut receiver) = setup(cfg);
+        // Packet in epoch 0 arrives promptly: buffered, not yet verifiable.
+        let p0 = sender.send(b"epoch zero data", t(0.1, &cfg)).unwrap();
+        let delivered = receiver.receive(p0, t(0.2, &cfg)).unwrap();
+        assert!(delivered.is_empty(), "key not disclosed yet");
+        assert_eq!(receiver.buffered(), 1);
+        // Epoch 2's packet discloses epoch 0's key → now verifiable.
+        let p2 = sender.send(b"epoch two data", t(2.1, &cfg)).unwrap();
+        let delivered = receiver.receive(p2, t(2.2, &cfg)).unwrap();
+        assert_eq!(delivered, vec![b"epoch zero data".to_vec()]);
+        assert_eq!(receiver.buffered(), 1); // epoch-2 packet now waits
+    }
+
+    #[test]
+    fn late_packet_discarded_by_security_condition() {
+        // §2.1.1: jitter can delay a packet past its key's disclosure; the
+        // verifier must discard it even though it may be genuine.
+        let cfg = TeslaConfig::new(Algorithm::Sha1);
+        let (sender, mut receiver) = setup(cfg);
+        let p0 = sender.send(b"slow packet", t(0.1, &cfg)).unwrap();
+        let err = receiver.receive(p0, t(2.5, &cfg)).unwrap_err();
+        assert_eq!(err, TeslaError::SecurityConditionViolated);
+    }
+
+    #[test]
+    fn forged_mac_dropped_after_disclosure() {
+        let cfg = TeslaConfig::new(Algorithm::Sha1);
+        let (sender, mut receiver) = setup(cfg);
+        let mut p0 = sender.send(b"genuine", t(0.1, &cfg)).unwrap();
+        p0.payload[0] ^= 1;
+        receiver.receive(p0, t(0.2, &cfg)).unwrap();
+        let delivered = receiver.receive_key(
+            0,
+            key_for_test(&sender, 0),
+        );
+        assert_eq!(delivered.unwrap(), Vec::<Vec<u8>>::new());
+        assert_eq!(receiver.buffered(), 0);
+    }
+
+    fn key_for_test(sender: &TeslaSender, epoch: u64) -> Digest {
+        sender.key_of(epoch).unwrap()
+    }
+
+    #[test]
+    fn forged_key_rejected() {
+        let cfg = TeslaConfig::new(Algorithm::Sha1);
+        let (_sender, mut receiver) = setup(cfg);
+        let junk = Algorithm::Sha1.hash(b"not a chain element");
+        assert_eq!(receiver.receive_key(0, junk).unwrap_err(), TeslaError::BadKey);
+    }
+
+    #[test]
+    fn keys_can_skip_epochs() {
+        // Loss-tolerance: the receiver catches up over missed disclosures.
+        let cfg = TeslaConfig::new(Algorithm::Sha1);
+        let (sender, mut receiver) = setup(cfg);
+        receiver.receive_key(5, key_for_test(&sender, 5)).unwrap();
+        receiver.receive_key(9, key_for_test(&sender, 9)).unwrap();
+        assert!(receiver.receive_key(7, key_for_test(&sender, 7)).is_err());
+    }
+
+    #[test]
+    fn micro_tesla_parameters() {
+        let cfg = TeslaConfig::micro_tesla();
+        let (sender, mut receiver) = setup(cfg);
+        let p = sender.send(b"sensor reading", t(0.5, &cfg)).unwrap();
+        assert!(receiver.receive(p, t(0.6, &cfg)).unwrap().is_empty());
+        let p1 = sender.send(b"next", t(1.2, &cfg)).unwrap();
+        // lag 1: epoch 1 packet discloses epoch 0's key.
+        let got = receiver.receive(p1, t(1.3, &cfg)).unwrap();
+        assert_eq!(got, vec![b"sensor reading".to_vec()]);
+    }
+
+    #[test]
+    fn latency_floor_is_disclosure_lag() {
+        // The earliest a packet can verify is when its key discloses —
+        // d × epoch later. ALPHA's interactive exchange has no such floor.
+        let cfg = TeslaConfig::new(Algorithm::Sha1);
+        let (sender, mut receiver) = setup(cfg);
+        let p = sender.send(b"m", t(0.0, &cfg)).unwrap();
+        receiver.receive(p, t(0.05, &cfg)).unwrap();
+        for probe in [0.5, 1.0, 1.5] {
+            // No disclosure yet: still buffered.
+            assert_eq!(receiver.buffered(), 1, "at {probe} epochs");
+        }
+        receiver.receive_key(0, key_for_test(&sender, 0)).unwrap();
+        assert_eq!(receiver.buffered(), 0);
+    }
+}

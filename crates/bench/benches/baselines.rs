@@ -1,0 +1,95 @@
+//! Criterion benchmarks comparing ALPHA against the baselines the paper
+//! argues against: per-packet public-key signing (Table 4's RSA/DSA),
+//! TESLA's sender/receiver path, and pairwise hop-HMAC forwarding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use alpha_baselines::{hop_hmac, pk_sign, tesla};
+use alpha_core::{Association, Config, Timestamp};
+use alpha_crypto::Algorithm;
+
+const T: Timestamp = Timestamp::ZERO;
+
+fn bench_alpha_reference(c: &mut Criterion) {
+    // The reference point: one Base-mode message end to end.
+    c.bench_function("baseline/alpha-base-exchange", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter_batched(
+            || Association::pair(Config::new(Algorithm::Sha1).with_chain_len(8), 1, &mut rng),
+            |(mut alice, mut bob)| {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+                let s1 = alice.sign(&[7u8; 512], T).unwrap();
+                let a1 = bob.handle(&s1, T, &mut rng).unwrap().packet().unwrap();
+                let s2 = alice.handle(&a1, T, &mut rng).unwrap().packets.remove(0);
+                bob.handle(&s2, T, &mut rng).unwrap();
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_pk(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    // 512-bit RSA keeps bench time sane; the table4 binary uses 1024.
+    let rsa = alpha_pk::rsa::RsaPrivateKey::generate(512, &mut rng);
+    let sender = pk_sign::PkSender::new(&rsa, Algorithm::Sha1);
+    let pk = sender.public_key();
+    c.bench_function("baseline/rsa512-sign-packet", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        b.iter(|| sender.send(&[7u8; 512], &mut rng));
+    });
+    let pkt = {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        sender.send(&[7u8; 512], &mut rng)
+    };
+    c.bench_function("baseline/rsa512-verify-packet", |b| {
+        b.iter(|| pk_sign::verify(&pk, Algorithm::Sha1, std::hint::black_box(&pkt)));
+    });
+
+    let ecdsa = alpha_pk::ecdsa::EcdsaPrivateKey::generate(&mut rng);
+    let sender = pk_sign::PkSender::new(&ecdsa, Algorithm::Sha1);
+    c.bench_function("baseline/ecdsa160-sign-packet", |b| {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        b.iter(|| sender.send(&[7u8; 512], &mut rng));
+    });
+}
+
+fn bench_tesla(c: &mut Criterion) {
+    let cfg = tesla::TeslaConfig::new(Algorithm::Sha1);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let sender = tesla::TeslaSender::new(cfg, T, &mut rng);
+    c.bench_function("baseline/tesla-send", |b| {
+        b.iter(|| sender.send(&[7u8; 512], Timestamp::from_millis(10)));
+    });
+    c.bench_function("baseline/tesla-receive-verify", |b| {
+        let (anchor, start) = sender.commitment();
+        let p0 = sender.send(&[7u8; 512], Timestamp::from_millis(10)).unwrap();
+        let p2 = sender.send(&[8u8; 512], Timestamp::from_millis(210)).unwrap();
+        b.iter_batched(
+            || tesla::TeslaReceiver::new(cfg, anchor, start),
+            |mut rx| {
+                rx.receive(p0.clone(), Timestamp::from_millis(20)).unwrap();
+                let got = rx.receive(p2.clone(), Timestamp::from_millis(220)).unwrap();
+                assert_eq!(got.len(), 1);
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_hop_hmac(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut a = hop_hmac::HopNode::new(Algorithm::Sha1);
+    let mut b_node = hop_hmac::HopNode::new(Algorithm::Sha1);
+    let k = hop_hmac::gen_key(&mut rng);
+    a.add_neighbor(1, k);
+    b_node.add_neighbor(0, k);
+    let pkt = a.send(&[7u8; 512], 1).unwrap();
+    c.bench_function("baseline/hop-hmac-forward", |b| {
+        b.iter(|| b_node.forward(std::hint::black_box(&pkt), 0, None));
+    });
+}
+
+criterion_group!(benches, bench_alpha_reference, bench_pk, bench_tesla, bench_hop_hmac);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Criterion benchmarks for full protocol exchanges in every mode, and
+//! for the relay's per-packet verification path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+
+use alpha_core::{Association, Config, Mode, Relay, RelayConfig, Reliability, Timestamp};
+use alpha_crypto::Algorithm;
+
+const T: Timestamp = Timestamp::ZERO;
+
+/// Drive one full exchange between `alice` and `bob`.
+fn exchange(
+    alice: &mut Association,
+    bob: &mut Association,
+    msgs: &[&[u8]],
+    mode: Mode,
+    rng: &mut rand::rngs::StdRng,
+) {
+    let s1 = alice.sign_batch(msgs, mode, T).unwrap();
+    let a1 = bob.handle(&s1, T, rng).unwrap().packet().unwrap();
+    let s2s = alice.handle(&a1, T, rng).unwrap().packets;
+    for s2 in &s2s {
+        let resp = bob.handle(s2, T, rng).unwrap();
+        for a2 in &resp.packets {
+            let _ = alice.handle(a2, T, rng).unwrap();
+        }
+    }
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange");
+    g.sample_size(20);
+    for (name, mode, n) in [
+        ("base", Mode::Base, 1usize),
+        ("cumulative", Mode::Cumulative, 20),
+        ("merkle", Mode::Merkle, 64),
+    ] {
+        for reliability in [Reliability::Unreliable, Reliability::Reliable] {
+            let rel = if reliability == Reliability::Reliable { "reliable" } else { "unreliable" };
+            let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 512]).collect();
+            let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+            g.throughput(Throughput::Bytes((n * 512) as u64));
+            g.bench_function(BenchmarkId::new(name, rel), |b| {
+                // Chains are sized so one bench run never exhausts them;
+                // rebuild per iteration batch via iter_batched.
+                let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+                b.iter_batched(
+                    || {
+                        let cfg = Config::new(Algorithm::Sha1)
+                            .with_chain_len(8)
+                            .with_reliability(reliability);
+                        Association::pair(cfg, 1, &mut rng)
+                    },
+                    |(mut alice, mut bob)| {
+                        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+                        exchange(&mut alice, &mut bob, &refs, mode, &mut rng);
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_relay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("relay-observe");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    for n in [1usize, 20] {
+        // Prepare a verified exchange's packets once.
+        let cfg = Config::new(Algorithm::Sha1).with_chain_len(8);
+        let t = T;
+        let (hs, init) = alpha_core::bootstrap::initiate(cfg, 1, None, &mut rng);
+        let (mut bob, reply, _) = alpha_core::bootstrap::respond(
+            cfg,
+            &init,
+            None,
+            alpha_core::bootstrap::AuthRequirement::None,
+            &mut rng,
+        )
+        .unwrap();
+        let (mut alice, _) = hs
+            .complete(&reply, alpha_core::bootstrap::AuthRequirement::None)
+            .unwrap();
+        let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 1024]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let mode = if n == 1 { Mode::Base } else { Mode::Cumulative };
+        let s1 = alice.sign_batch(&refs, mode, t).unwrap();
+        let a1 = bob.handle(&s1, t, &mut rng).unwrap().packet().unwrap();
+        let s2s = alice.handle(&a1, t, &mut rng).unwrap().packets;
+
+        g.throughput(Throughput::Bytes((n * 1024) as u64));
+        g.bench_function(BenchmarkId::new("s1-a1-s2s", n), |b| {
+            b.iter_batched(
+                || {
+                    let mut relay = Relay::new(RelayConfig {
+                        s1_bytes_per_sec: None,
+                        ..RelayConfig::default()
+                    });
+                    relay.observe(&init, t);
+                    relay.observe(&reply, t);
+                    relay
+                },
+                |mut relay| {
+                    relay.observe(&s1, t);
+                    relay.observe(&a1, t);
+                    for s2 in &s2s {
+                        let (d, _) = relay.observe(s2, t);
+                        assert_eq!(d, alpha_core::RelayDecision::Forward);
+                    }
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_relay);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 6 — transferred bytes per signed payload byte (the signature
+//! overhead ratio) as the ALPHA-M bundle grows, for four packet sizes.
+//!
+//! Reproduces the figure's two properties: larger packets sit lower (less
+//! relative overhead), and every curve rises stepwise at powers of two and
+//! terminates where signature data fills the whole packet (the 128 B curve
+//! dies first, which is why §4.1.3 prefers ALPHA-C on sensor networks).
+
+use alpha_bench::table;
+use alpha_crypto::merkle;
+
+const H: u64 = 20;
+const SIZES: [u64; 4] = [1280, 512, 256, 128];
+
+fn main() {
+    let mut samples = vec![1u64];
+    let mut p = 1u64;
+    while p < (1 << 24) {
+        p *= 2;
+        samples.push(p);
+        if p * 3 / 2 < (1 << 24) {
+            samples.push(p * 3 / 2);
+        }
+    }
+    samples.sort_unstable();
+
+    let mut rows = Vec::new();
+    for &n in &samples {
+        let mut row = vec![n.to_string()];
+        for &size in &SIZES {
+            match merkle::overhead_ratio(n, size, H) {
+                Some(r) => row.push(format!("{r:.3}")),
+                None => row.push("-".into()),
+            }
+        }
+        rows.push(row);
+    }
+    table::print_series(
+        "Figure 6 — transferred bytes per signed byte (rows: n; cols: packet size)",
+        &["n", "1280B", "512B", "256B", "128B"],
+        &rows,
+    );
+
+    // Shape assertions.
+    let r1_1280 = merkle::overhead_ratio(1, 1280, H).unwrap();
+    let r1_128 = merkle::overhead_ratio(1, 128, H).unwrap();
+    assert!(r1_1280 < r1_128, "larger packets carry less relative overhead");
+    let r1024_1280 = merkle::overhead_ratio(1024, 1280, H).unwrap();
+    assert!(r1024_1280 > r1_1280, "overhead grows with tree depth");
+    assert!(merkle::overhead_ratio(64, 128, H).is_none(), "128B curve terminates");
+    println!("\n# shape checks passed: size ordering, growth with n, 128B termination");
+}

@@ -1,0 +1,112 @@
+//! Table 1 — hash computations for processing one message, per role and
+//! mode, measured by running the real protocol under instrumentation and
+//! printed next to the paper's closed-form entries.
+//!
+//! The paper's `1*` marks a MAC over the (variable-length) message; all
+//! other operations hash fixed-length input. Our measured decomposition
+//! reports logical MACs per message and fixed-length hashes per message.
+//!
+//! Differences to expect (discussed in EXPERIMENTS.md): the paper's relay
+//! row only counts data-direction chain work, while this implementation's
+//! relay also authenticates the acknowledgment-direction elements (A1/A2),
+//! costing two extra fixed hashes per exchange.
+
+use alpha_bench::roles::run_exchange;
+use alpha_bench::table;
+use alpha_core::{Mode, Reliability};
+use alpha_crypto::Algorithm;
+
+fn main() {
+    let alg = Algorithm::Sha1;
+    let payload = 1024;
+
+    let cases = [
+        ("ALPHA (base)", Mode::Base, 1usize),
+        ("ALPHA-C", Mode::Cumulative, 20),
+        ("ALPHA-M", Mode::Merkle, 16),
+    ];
+
+    for reliability in [Reliability::Unreliable, Reliability::Reliable] {
+        let rel_name = match reliability {
+            Reliability::Unreliable => "unreliable (no ack rows)",
+            Reliability::Reliable => "reliable (with pre-(n)acks / AMT)",
+        };
+        let mut rows = Vec::new();
+        for (name, mode, n) in cases {
+            let rc = run_exchange(alg, mode, reliability, n, payload, 1);
+            let nf = n as f64;
+            let log2n = (n as f64).log2().ceil();
+            let paper = paper_totals(mode, nf, log2n, reliability);
+            for (role, counts, paper_total) in [
+                ("signer", rc.signer, paper.0),
+                ("verifier", rc.verifier, paper.1),
+                ("relay", rc.relay, paper.2),
+            ] {
+                // Message-sized work = logical MACs (Base/C; their inner
+                // pass also classifies as long input) or tree-leaf hashes
+                // over payloads (M) — the paper's `1*`.
+                let msg_sized = counts.mac_invocations.max(counts.long_input_invocations);
+                let fixed = counts.invocations
+                    - counts.mac_raw_invocations
+                    - counts.long_input_invocations.saturating_sub(counts.mac_invocations);
+                rows.push(vec![
+                    name.to_string(),
+                    format!("n={n}"),
+                    role.to_string(),
+                    format!("{:.2}", msg_sized as f64 / nf),
+                    format!("{:.2}", fixed as f64 / nf),
+                    format!("{:.2}", (msg_sized + fixed) as f64 / nf),
+                    paper_total,
+                ]);
+            }
+            // Chain creation (the paper's off-line `2+` / `2/n+` row).
+            rows.push(vec![
+                name.to_string(),
+                format!("n={n}"),
+                "chain-gen".to_string(),
+                "-".to_string(),
+                format!("{:.2}", 2.0), // 2 elements consumed per exchange
+                format!("{:.2}/msg", 2.0 / nf),
+                format!("paper: 2/n = {:.2}", 2.0 / nf),
+            ]);
+        }
+        table::print(
+            &format!("Table 1 — hash computations per message ({rel_name})"),
+            &["mode", "bundle", "role", "msg-sized/msg (1*)", "fixed/msg", "total/msg", "paper total/msg"],
+            &rows,
+        );
+    }
+    println!(
+        "\nNotes: MACs are logical HMAC computations (the paper's 1*); the\n\
+         paper totals sum its Signature + HC-verify + Ack/Nack rows with 1*\n\
+         counted as 1. Chain creation is off-line (`+` in the paper)."
+    );
+}
+
+/// Per-message totals from the paper's Table 1 (Signature + HC verify +
+/// Ack/Nack), as strings.
+fn paper_totals(mode: Mode, n: f64, log2n: f64, rel: Reliability) -> (String, String, String) {
+    let ack = matches!(rel, Reliability::Reliable);
+    match mode {
+        Mode::Base | Mode::Cumulative => {
+            let (s_ack, v_ack, r_ack) = if ack { (1.0, 2.0, 1.0) } else { (0.0, 0.0, 0.0) };
+            (
+                format!("1* + {:.2}", 1.0 / n + s_ack),
+                format!("1* + {:.2}", 1.0 / n + v_ack),
+                format!("1* + {:.2}", 1.0 / n + r_ack),
+            )
+        }
+        Mode::Merkle | Mode::CumulativeMerkle { .. } => {
+            let (s_ack, v_ack, r_ack) = if ack {
+                (2.0 + log2n, 4.0 - 1.0 / n, 2.0 + log2n)
+            } else {
+                (0.0, 0.0, 0.0)
+            };
+            (
+                format!("1* + {:.2}", 2.0 - 1.0 / n + 1.0 / n + s_ack),
+                format!("1* + {:.2}", log2n + 1.0 / n + v_ack),
+                format!("1* + {:.2}", log2n + 1.0 / n + r_ack),
+            )
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Table 4 — ALPHA signature-step latency vs RSA/DSA, on the paper's two
+//! end-host platforms and natively on this machine.
+//!
+//! The paper measures the mean over 300 signatures of each protocol step
+//! (including packet creation/parsing) on a Nokia 770 and a Xeon 3.2 GHz.
+//! We (a) measure the same steps natively — emit + parse included — and
+//! (b) re-derive the device columns by pricing the steps' counted hash
+//! operations with the paper-calibrated device models plus their
+//! per-packet overhead. The headline *shape* is the point: a full ALPHA
+//! signature costs a few hash operations, two to five orders of magnitude
+//! below RSA/DSA signatures on the same silicon.
+
+use alpha_bench::{ms, table, time_mean_ns};
+use alpha_core::{Association, Config, Reliability, Timestamp};
+use alpha_crypto::{counting, Algorithm};
+use alpha_sim::DeviceModel;
+use alpha_wire::Packet;
+use rand::SeedableRng;
+
+/// One full exchange, timing each step and counting its hash operations.
+#[derive(Default, Clone, Copy)]
+struct StepStats {
+    ns: f64,
+    counts: counting::Counts,
+}
+
+fn main() {
+    let alg = Algorithm::Sha1;
+    let iters = if cfg!(debug_assertions) { 50 } else { 300 };
+    let payload = vec![0u8; 512];
+    let t = Timestamp::ZERO;
+
+    // ---- ALPHA steps: mean over `iters` full exchanges. -----------------
+    let mut steps = [StepStats::default(); 5];
+    let step_names = [
+        "Send S1",
+        "Process S1, send A1",
+        "Process A1, send S2",
+        "Verify S2, send A2",
+        "Process A2",
+    ];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let cfg = Config::new(alg)
+        .with_chain_len((iters as u64 + 2) * 2)
+        .with_reliability(Reliability::Reliable);
+    let (mut alice, mut bob) = Association::pair(cfg, 1, &mut rng);
+    for _ in 0..iters {
+        let mut record = |i: usize, f: &mut dyn FnMut() -> Vec<Packet>| -> Vec<Packet> {
+            let scope = counting::Scope::start();
+            let start = std::time::Instant::now();
+            let pkts = f();
+            steps[i].ns += start.elapsed().as_nanos() as f64;
+            let c = scope.finish();
+            steps[i].counts.invocations += c.invocations;
+            steps[i].counts.input_bytes += c.input_bytes;
+            steps[i].counts.mac_invocations += c.mac_invocations;
+            steps[i].counts.mac_raw_invocations += c.mac_raw_invocations;
+            pkts
+        };
+        // Each step includes wire emit + parse, like the paper's numbers.
+        let s1 = record(0, &mut || vec![alice.sign(&payload, t).unwrap()]);
+        let s1b = s1[0].emit();
+        let a1 = record(1, &mut || {
+            let pkt = Packet::parse(&s1b).unwrap();
+            bob.handle(&pkt, t, &mut rng).unwrap().packets
+        });
+        let a1b = a1[0].emit();
+        let s2 = record(2, &mut || {
+            let pkt = Packet::parse(&a1b).unwrap();
+            alice.handle(&pkt, t, &mut rng).unwrap().packets
+        });
+        let s2b = s2[0].emit();
+        let a2 = record(3, &mut || {
+            let pkt = Packet::parse(&s2b).unwrap();
+            bob.handle(&pkt, t, &mut rng).unwrap().packets
+        });
+        let a2b = a2[0].emit();
+        record(4, &mut || {
+            let pkt = Packet::parse(&a2b).unwrap();
+            alice.handle(&pkt, t, &mut rng).unwrap().packets
+        });
+    }
+
+    let n770 = DeviceModel::nokia770();
+    let xeon = DeviceModel::xeon();
+    let paper_n770 = [0.33, 1.47, 1.52, 1.60, 0.49];
+    let paper_xeon = [0.03, 0.05, 0.05, 0.05, 0.05];
+
+    let mut rows = Vec::new();
+    for (i, name) in step_names.iter().enumerate() {
+        let mean_counts = counting::Counts {
+            invocations: steps[i].counts.invocations / iters as u64,
+            input_bytes: steps[i].counts.input_bytes / iters as u64,
+            long_input_invocations: 0,
+            mac_invocations: steps[i].counts.mac_invocations / iters as u64,
+            mac_raw_invocations: steps[i].counts.mac_raw_invocations / iters as u64,
+        };
+        let est_n770 = n770.price_counts_ns(mean_counts) + n770.packet_overhead_ns;
+        let est_xeon = xeon.price_counts_ns(mean_counts) + xeon.packet_overhead_ns;
+        rows.push(vec![
+            (*name).to_string(),
+            format!("{:.2}", paper_n770[i]),
+            ms(est_n770),
+            format!("{:.2}", paper_xeon[i]),
+            ms(est_xeon),
+            ms(steps[i].ns / iters as f64),
+        ]);
+    }
+    let native_sender: f64 = (steps[0].ns + steps[2].ns + steps[4].ns) / iters as f64;
+    let native_receiver: f64 = (steps[1].ns + steps[3].ns) / iters as f64;
+    rows.push(vec![
+        "Sender (total)".into(),
+        "2.34".into(),
+        "-".into(),
+        "0.13".into(),
+        "-".into(),
+        ms(native_sender),
+    ]);
+    rows.push(vec![
+        "Receiver (total)".into(),
+        "3.07".into(),
+        "-".into(),
+        "0.10".into(),
+        "-".into(),
+        ms(native_receiver),
+    ]);
+
+    // ---- Primitive rows. -------------------------------------------------
+    let sha_native = time_mean_ns(10_000, || {
+        std::hint::black_box(alg.hash(std::hint::black_box(&[0u8; 20])));
+    });
+    rows.push(vec![
+        "SHA-1 hash (20 B)".into(),
+        "0.02".into(),
+        ms(n770.hash_ns(20)),
+        "0.01".into(),
+        ms(xeon.hash_ns(20)),
+        ms(sha_native),
+    ]);
+
+    let pk_iters = if cfg!(debug_assertions) { 3 } else { 25 };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    eprintln!("generating RSA-1024 / DSA-1024 keys…");
+    let rsa = alpha_pk::rsa::RsaPrivateKey::generate(1024, &mut rng);
+    let rsa_sig = rsa.sign(alg, b"anchor");
+    let rsa_sign = time_mean_ns(pk_iters, || {
+        std::hint::black_box(rsa.sign(alg, b"anchor"));
+    });
+    let rsa_verify = time_mean_ns(pk_iters, || {
+        std::hint::black_box(rsa.public_key().verify(alg, b"anchor", &rsa_sig));
+    });
+    let dsa = alpha_pk::dsa::DsaPrivateKey::generate_with_domain(1024, 160, &mut rng);
+    let dsa_sig = dsa.sign(alg, b"anchor", &mut rng);
+    let dsa_sign = time_mean_ns(pk_iters, || {
+        std::hint::black_box(dsa.sign(alg, b"anchor", &mut rng));
+    });
+    let dsa_verify = time_mean_ns(pk_iters, || {
+        std::hint::black_box(dsa.public_key().verify(alg, b"anchor", &dsa_sig));
+    });
+    for (name, paper_n, paper_x, native) in [
+        ("RSA-1024 sign", 181.32, 9.09, rsa_sign),
+        ("RSA-1024 verify", 10.53, 0.15, rsa_verify),
+        ("DSA-1024 sign", 96.71, 1.34, dsa_sign),
+        ("DSA-1024 verify", 118.73, 1.61, dsa_verify),
+    ] {
+        rows.push(vec![
+            name.into(),
+            format!("{paper_n:.2}"),
+            "-".into(),
+            format!("{paper_x:.2}"),
+            "-".into(),
+            ms(native),
+        ]);
+    }
+
+    table::print(
+        &format!("Table 4 — step latency in ms (mean of {iters} exchanges; 512 B payload)"),
+        &[
+            "step",
+            "N770 paper",
+            "N770 model",
+            "Xeon paper",
+            "Xeon model",
+            "native",
+        ],
+        &rows,
+    );
+
+    // The paper's core claim, checked numerically.
+    let alpha_total_native = native_sender + native_receiver;
+    println!(
+        "\nShape check: RSA-1024 sign / full-ALPHA-exchange cost:\n  \
+         paper (N770):  {:.0}x\n  native (here): {:.0}x",
+        181.32 / (2.34 + 3.07),
+        rsa_sign / alpha_total_native
+    );
+}

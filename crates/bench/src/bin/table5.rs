@@ -1,0 +1,66 @@
+//! Table 5 — SHA-1 latency on the three wireless-router platforms, plus
+//! this machine for shape comparison.
+//!
+//! The router columns are the calibration anchors of the device models
+//! (they reproduce the paper exactly by construction); the native column
+//! shows that the *ratio* between a 20 B and a 1024 B digest — the part
+//! that shapes every throughput estimate — holds on real silicon.
+
+use alpha_bench::{table, time_mean_ns};
+use alpha_crypto::Algorithm;
+use alpha_sim::DeviceModel;
+
+fn main() {
+    let alg = Algorithm::Sha1;
+    let devices = [DeviceModel::ar2315(), DeviceModel::bcm5365(), DeviceModel::geode_lx()];
+    let paper = [
+        ("20 Byte digest", 20usize, [0.059, 0.046, 0.011]),
+        ("1024 Byte digest", 1024, [0.360, 0.361, 0.062]),
+    ];
+
+    let iters = 20_000;
+    let mut rows = Vec::new();
+    for (name, len, paper_vals) in paper {
+        let buf = vec![0xA5u8; len];
+        let native = time_mean_ns(iters, || {
+            std::hint::black_box(alg.hash(std::hint::black_box(&buf)));
+        });
+        let mut row = vec![name.to_string()];
+        for (d, p) in devices.iter().zip(paper_vals) {
+            row.push(format!("{p:.3}"));
+            row.push(format!("{:.3}", d.hash_ns(len) / 1e6));
+        }
+        row.push(format!("{:.5}", native / 1e6));
+        rows.push(row);
+    }
+    table::print(
+        "Table 5 — SHA-1 delay in ms (paper | model) per platform",
+        &[
+            "input",
+            "AR2315 paper",
+            "AR2315 model",
+            "BCM5365 paper",
+            "BCM5365 model",
+            "Geode paper",
+            "Geode model",
+            "native (ms)",
+        ],
+        &rows,
+    );
+
+    // Shape: 1024 B / 20 B cost ratio per platform vs native.
+    let buf20 = vec![0u8; 20];
+    let buf1024 = vec![0u8; 1024];
+    let n20 = time_mean_ns(iters, || {
+        std::hint::black_box(alg.hash(std::hint::black_box(&buf20)));
+    });
+    let n1024 = time_mean_ns(iters, || {
+        std::hint::black_box(alg.hash(std::hint::black_box(&buf1024)));
+    });
+    println!("\n1024B/20B cost ratios — AR2315: {:.1}, BCM5365: {:.1}, Geode: {:.1}, native: {:.1}",
+        0.360 / 0.059,
+        0.361 / 0.046,
+        0.062 / 0.011,
+        n1024 / n20,
+    );
+}

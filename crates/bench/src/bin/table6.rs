@@ -1,0 +1,107 @@
+//! Table 6 — ALPHA-M estimates: per-packet processing, payload,
+//! verifiable throughput and data-per-S1 as the Merkle tree grows.
+//!
+//! Methodology follows §4.1.2: per-S2 verification = one hash over the
+//! payload (the leaf) plus `⌈log2 n⌉` fixed-length path hashes, priced on
+//! the AR2315 and Geode LX models; payload space in a 1280 B packet
+//! shrinks by one 20 B hash per tree level. The paper's payload column
+//! implies a constant 256 B of non-ALPHA overhead (IP/UDP headers and
+//! packet framing) on top of the signature data — we adopt the same
+//! constant, which reproduces its payload column exactly.
+//!
+//! Each processing figure is cross-checked by *running* the verification
+//! (`merkle::verify_keyed`) under instrumentation and pricing the counted
+//! operations, rather than trusting the closed form.
+
+use alpha_bench::table;
+use alpha_crypto::merkle::{self, MerkleTree};
+use alpha_crypto::{counting, Algorithm};
+use alpha_sim::DeviceModel;
+
+/// Non-ALPHA per-packet overhead implied by the paper's payload column.
+const FRAME_OVERHEAD: usize = 256;
+/// Total packet size (minimum IPv6 MTU).
+const PACKET: usize = 1280;
+/// Hash size.
+const H: usize = 20;
+
+fn main() {
+    let alg = Algorithm::Sha1;
+    let ar = DeviceModel::ar2315();
+    let geode = DeviceModel::geode_lx();
+    let paper = [
+        (16u32, 599.0, 258.0, 924, 11.8, 27.3, 0.1),
+        (32, 660.0, 320.0, 904, 10.4, 21.5, 0.2),
+        (64, 718.0, 382.0, 884, 9.4, 17.7, 0.4),
+        (128, 778.0, 444.0, 864, 8.5, 14.8, 0.8),
+        (256, 837.0, 505.0, 844, 7.7, 12.7, 1.6),
+        (512, 897.0, 567.0, 824, 7.0, 11.1, 3.2),
+        (1024, 956.0, 629.0, 804, 6.4, 9.8, 6.3),
+    ];
+
+    let mut rows = Vec::new();
+    for (leaves, p_ar, p_geode, p_payload, p_tp_ar, p_tp_geode, p_data) in paper {
+        let depth = merkle::log2_ceil(u64::from(leaves)) as usize;
+        let payload = PACKET - FRAME_OVERHEAD - H * (depth + 1);
+
+        // Run a real verification of one S2 out of this bundle and count
+        // every hash operation.
+        let msgs: Vec<Vec<u8>> = (0..leaves as usize).map(|i| vec![i as u8; payload]).collect();
+        let tree = MerkleTree::from_messages(alg, &msgs);
+        let key = alg.hash(b"chain element");
+        let root = tree.keyed_root(&key);
+        let path = tree.auth_path(0);
+        let scope = counting::Scope::start();
+        assert!(merkle::verify_keyed(alg, &key, &alg.hash(&msgs[0]), 0, &path, &root));
+        let counts = scope.finish();
+
+        let proc_ar = ar.price_counts_ns(counts) / 1e3; // µs
+        let proc_geode = geode.price_counts_ns(counts) / 1e3;
+        let tp_ar = payload as f64 * 8.0 / proc_ar; // Mbit/s (bits/µs)
+        let tp_geode = payload as f64 * 8.0 / proc_geode;
+        let data_per_s1 = leaves as f64 * payload as f64 * 8.0 / 1e6;
+
+        rows.push(vec![
+            leaves.to_string(),
+            format!("{p_ar:.0}"),
+            format!("{proc_ar:.0}"),
+            format!("{p_geode:.0}"),
+            format!("{proc_geode:.0}"),
+            format!("{p_payload}"),
+            payload.to_string(),
+            format!("{p_tp_ar:.1}"),
+            format!("{tp_ar:.1}"),
+            format!("{p_tp_geode:.1}"),
+            format!("{tp_geode:.1}"),
+            format!("{p_data:.1}"),
+            format!("{data_per_s1:.1}"),
+        ]);
+    }
+    table::print(
+        "Table 6 — ALPHA-M estimates (1280 B packets, 20 B hashes); paper | ours",
+        &[
+            "leaves",
+            "proc AR µs (p)",
+            "(ours)",
+            "proc Geode µs (p)",
+            "(ours)",
+            "payload B (p)",
+            "(ours)",
+            "tput AR Mb/s (p)",
+            "(ours)",
+            "tput Geode Mb/s (p)",
+            "(ours)",
+            "Mbit/S1 (p)",
+            "(ours)",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape checks reproduced: payload −20 B and processing +one hash\n\
+         per doubling; throughput monotonically decreasing; data per S1\n\
+         doubling each row. The AR2315 column matches within ~10%; the\n\
+         paper's Geode column is inconsistent with its own Table 5 Geode\n\
+         costs (see EXPERIMENTS.md) — our Geode column prices the same\n\
+         operations with the Table 5 calibration."
+    );
+}

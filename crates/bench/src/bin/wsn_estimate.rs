@@ -1,0 +1,95 @@
+//! §4.1.3 — ALPHA-C on sensor nodes (CC2430, MMO-AES hashing).
+//!
+//! Paper configuration: 100 B packet payload, ALPHA-C with 5
+//! pre-signatures per S1, MMO over the CC2430's AES hardware (0.78 ms per
+//! 16 B input, 2.01 ms per 84 B). Per packet, the signature overhead is a
+//! 16 B chain element, a 16 B MAC and 16/5 B of pre-signature. The paper
+//! estimates relays verify up to 244 kbit/s of signed payload in 460 S2
+//! packets per second (close to the 250 kbit/s 802.15.4 nominal rate), and
+//! 156.56 kbit/s in 334 packets with pre-acks; ECC-160 point
+//! multiplication (0.81 s on an 8 MHz ATmega128) is the unusable
+//! per-packet alternative.
+
+use alpha_bench::roles::run_exchange_with;
+use alpha_bench::table;
+use alpha_core::{MacScheme, Mode, Reliability};
+use alpha_crypto::{counting, Algorithm};
+use alpha_sim::DeviceModel;
+
+const BATCH: usize = 5;
+/// 100 B of ALPHA payload minus 16 B chain element, 16 B MAC, 16/5 B
+/// pre-signature share = 64.8 B of signed application payload per packet.
+const PACKET_PAYLOAD: f64 = 100.0;
+
+fn main() {
+    let cc = DeviceModel::cc2430();
+    let alg = Algorithm::MmoAes;
+    let h = alg.digest_len() as f64;
+    let signed_per_packet = PACKET_PAYLOAD - h - h - h / BATCH as f64;
+
+    let mut rows = Vec::new();
+    for (name, reliability, paper_kbit, paper_pkts) in [
+        ("ALPHA-C unreliable", Reliability::Unreliable, 244.0, 460.0),
+        ("ALPHA-C + pre-acks", Reliability::Reliable, 156.56, 334.0),
+    ] {
+        // Prefix MACs: the single-pass construction the paper's CC2430
+        // figures assume (one MMO invocation per MAC).
+        let rc = run_exchange_with(
+            alg,
+            Mode::Cumulative,
+            reliability,
+            MacScheme::Prefix,
+            BATCH,
+            signed_per_packet as usize,
+            3,
+        );
+        let per_msg_relay = counting::Counts {
+            invocations: rc.relay.invocations / BATCH as u64,
+            input_bytes: rc.relay.input_bytes / BATCH as u64,
+            long_input_invocations: 0,
+            mac_invocations: rc.relay.mac_invocations / BATCH as u64,
+            mac_raw_invocations: rc.relay.mac_raw_invocations / BATCH as u64,
+        };
+        let ns_per_msg = cc.price_counts_ns(per_msg_relay);
+        let pkts_per_sec = 1e9 / ns_per_msg;
+        let kbit = pkts_per_sec * signed_per_packet * 8.0 / 1e3;
+        rows.push(vec![
+            name.to_string(),
+            format!("{paper_kbit:.1}"),
+            format!("{kbit:.1}"),
+            format!("{paper_pkts:.0}"),
+            format!("{pkts_per_sec:.0}"),
+        ]);
+    }
+    table::print(
+        "§4.1.3 — relay-verifiable throughput on the CC2430 (100 B packets, 5 presigs/S1)",
+        &[
+            "configuration",
+            "paper kbit/s",
+            "ours kbit/s",
+            "paper pkt/s",
+            "ours pkt/s",
+        ],
+        &rows,
+    );
+
+    // ECC comparison: per-packet signature verification needs ≥ 2 point
+    // multiplications; even one is three orders of magnitude too slow.
+    let ecc_ns = cc.ecc_mul_ns.expect("cited for the WSN platform");
+    let ecc_pkts = 1e9 / (2.0 * ecc_ns);
+    println!(
+        "\nECC-160 alternative (Gura et al., 8 MHz ATmega128): {:.2} s per point\n\
+         multiplication → {:.2} verified packets/s (vs hundreds for ALPHA-C);\n\
+         per-packet public-key verification is ~{:.0}x slower than ALPHA's\n\
+         hash-based verification, confirming §4.1.3's conclusion that ECC is\n\
+         viable only for signing hash-chain anchors at bootstrap.",
+        ecc_ns / 1e9,
+        ecc_pkts,
+        (2.0 * ecc_ns) / (1e9 / 460.0),
+    );
+    println!(
+        "\n802.15.4 context: nominal 250 kbit/s; the paper's 244 kbit/s sits at\n\
+         97.6% of nominal, i.e. ALPHA-C verification is NOT the bottleneck on\n\
+         this radio — the link is."
+    );
+}

@@ -1,0 +1,72 @@
+//! Shared harness code for regenerating every table and figure of the
+//! ALPHA paper.
+//!
+//! Each `--bin` target reproduces one artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | Table 1 — hash computations per message, per role × mode |
+//! | `table2` | Table 2 — buffering memory for n parallel messages |
+//! | `table3` | Table 3 — additional memory for n parallel acknowledgments |
+//! | `table4` | Table 4 — ALPHA vs RSA/DSA step latency (N770, Xeon, native) |
+//! | `table5` | Table 5 — SHA-1 latency on the three router platforms |
+//! | `table6` | Table 6 — ALPHA-M processing / payload / throughput estimates |
+//! | `fig5`   | Figure 5 — signed bytes per S1 vs bundle size |
+//! | `fig6`   | Figure 6 — transferred bytes per signed byte |
+//! | `wmn_estimate` | §4.1.2 — ALPHA-C verifiable throughput on mesh routers |
+//! | `wsn_estimate` | §4.1.3 — ALPHA-C on CC2430 sensor nodes |
+//!
+//! Everything measured here goes through the *real* protocol state
+//! machines with hash-operation instrumentation
+//! ([`alpha_crypto::counting`]); device-scaled numbers price those counts
+//! with the paper's own per-operation measurements
+//! ([`alpha_sim::DeviceModel`]).
+
+pub mod roles;
+pub mod table;
+
+use std::time::Instant;
+
+/// Median wall-clock nanoseconds of `f` over `iters` runs (after one
+/// warm-up). For the "native" columns printed next to the paper's device
+/// columns.
+pub fn time_median_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2] as f64
+}
+
+/// Mean wall-clock nanoseconds over `iters` runs (the paper's Table 4 uses
+/// the mean of 300 signatures).
+pub fn time_mean_ns<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let t = Instant::now();
+    for _ in 0..iters.max(1) {
+        f();
+    }
+    t.elapsed().as_nanos() as f64 / iters.max(1) as f64
+}
+
+/// Render nanoseconds as milliseconds with paper-style precision (more
+/// digits below 10 µs so sub-millisecond steps stay readable).
+#[must_use]
+pub fn ms(ns: f64) -> String {
+    if ns < 10_000.0 {
+        format!("{:.4}", ns / 1e6)
+    } else {
+        format!("{:.2}", ns / 1e6)
+    }
+}
+
+/// Render nanoseconds as microseconds.
+#[must_use]
+pub fn us(ns: f64) -> String {
+    format!("{:.0}", ns / 1e3)
+}

@@ -1,0 +1,37 @@
+//! Minimal aligned-table printing for the experiment binaries.
+
+/// Print a titled, column-aligned table to stdout.
+pub fn print(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            s.push_str(&format!("{cell:<w$}  "));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| (*h).to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + widths.len() * 2;
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Print a comma-separated data series (for figures; pipe into a plotter).
+pub fn print_series(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n# {title}");
+    println!("{}", headers.join(","));
+    for row in rows {
+        println!("{}", row.join(","));
+    }
+}

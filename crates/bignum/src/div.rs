@@ -1,0 +1,242 @@
+//! Multi-precision division: Knuth's Algorithm D over 32-bit half-limbs.
+//!
+//! Division is the one genuinely fiddly multi-precision primitive. We run
+//! Algorithm D (TAOCP Vol. 2, §4.3.1) over `u32` digits with `u64`
+//! intermediates, which keeps the quotient-digit estimation and add-back
+//! steps textbook-shaped and easy to audit; the `u64`-limb representation
+//! is converted at the boundary. Modular exponentiation does not pass
+//! through here (it uses Montgomery multiplication), so the half-limb
+//! conversion cost is irrelevant in the hot paths.
+
+use crate::BigUint;
+
+impl BigUint {
+    /// `(self / divisor, self % divisor)`. Panics on division by zero.
+    #[must_use]
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self.cmp(divisor) == std::cmp::Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        // Single-digit fast path.
+        if divisor.limbs.len() == 1 {
+            let d = divisor.limbs[0];
+            let mut q = Vec::with_capacity(self.limbs.len());
+            let mut rem = 0u128;
+            for &l in self.limbs.iter().rev() {
+                let cur = (rem << 64) | u128::from(l);
+                q.push((cur / u128::from(d)) as u64);
+                rem = cur % u128::from(d);
+            }
+            q.reverse();
+            let mut quotient = BigUint { limbs: q };
+            quotient.normalize();
+            return (quotient, BigUint::from_u64(rem as u64));
+        }
+
+        let u = to_u32_digits(&self.limbs);
+        let v = to_u32_digits(&divisor.limbs);
+        let (q, r) = knuth_d(&u, &v);
+        (from_u32_digits(&q), from_u32_digits(&r))
+    }
+}
+
+fn to_u32_digits(limbs: &[u64]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(limbs.len() * 2);
+    for &l in limbs {
+        out.push(l as u32);
+        out.push((l >> 32) as u32);
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+fn from_u32_digits(digits: &[u32]) -> BigUint {
+    let mut limbs = Vec::with_capacity(digits.len().div_ceil(2));
+    for pair in digits.chunks(2) {
+        let lo = u64::from(pair[0]);
+        let hi = pair.get(1).map_or(0, |&h| u64::from(h));
+        limbs.push(lo | (hi << 32));
+    }
+    let mut n = BigUint { limbs };
+    n.normalize();
+    n
+}
+
+/// Algorithm D. Preconditions: `v.len() >= 2`, `u >= v` numerically,
+/// no leading zero digits.
+fn knuth_d(u: &[u32], v: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    const BASE: u64 = 1 << 32;
+    let n = v.len();
+    let m = u.len() - n;
+
+    // D1: normalize so the divisor's top digit has its high bit set.
+    let shift = v[n - 1].leading_zeros();
+    let vn = shl_digits(v, shift);
+    let mut un = shl_digits(u, shift);
+    un.resize(u.len() + 1, 0); // extra high digit for D3's window
+
+    let mut q = vec![0u32; m + 1];
+
+    // D2..D7: main loop over quotient digits, most significant first.
+    for j in (0..=m).rev() {
+        // D3: estimate q̂ from the top two dividend digits.
+        let top = (u64::from(un[j + n]) << 32) | u64::from(un[j + n - 1]);
+        let mut qhat = top / u64::from(vn[n - 1]);
+        let mut rhat = top % u64::from(vn[n - 1]);
+        while qhat >= BASE
+            || qhat * u64::from(vn[n - 2]) > (rhat << 32) + u64::from(un[j + n - 2])
+        {
+            qhat -= 1;
+            rhat += u64::from(vn[n - 1]);
+            if rhat >= BASE {
+                break;
+            }
+        }
+
+        // D4: multiply-subtract q̂·v from the dividend window.
+        let mut borrow = 0i64;
+        let mut carry = 0u64;
+        for i in 0..n {
+            let p = qhat * u64::from(vn[i]) + carry;
+            carry = p >> 32;
+            let sub = i64::from(un[j + i]) - i64::from(p as u32) + borrow;
+            un[j + i] = sub as u32;
+            borrow = sub >> 32;
+        }
+        let sub = i64::from(un[j + n]) - i64::from(carry as u32) + borrow;
+        // carry fits in 32 bits here because qhat < BASE and vn digits < BASE.
+        un[j + n] = sub as u32;
+
+        q[j] = qhat as u32;
+
+        // D5/D6: if we overshot (negative window), add v back once.
+        if sub < 0 {
+            q[j] -= 1;
+            let mut carry = 0u64;
+            for i in 0..n {
+                let t = u64::from(un[j + i]) + u64::from(vn[i]) + carry;
+                un[j + i] = t as u32;
+                carry = t >> 32;
+            }
+            un[j + n] = (u64::from(un[j + n]) + carry) as u32;
+        }
+    }
+
+    // D8: denormalize the remainder.
+    let mut r = shr_digits(&un[..n], shift);
+    while r.last() == Some(&0) {
+        r.pop();
+    }
+    while q.last() == Some(&0) {
+        q.pop();
+    }
+    (q, r)
+}
+
+fn shl_digits(d: &[u32], shift: u32) -> Vec<u32> {
+    if shift == 0 {
+        return d.to_vec();
+    }
+    let mut out = Vec::with_capacity(d.len() + 1);
+    let mut carry = 0u32;
+    for &x in d {
+        out.push((x << shift) | carry);
+        carry = x >> (32 - shift);
+    }
+    if carry > 0 {
+        out.push(carry);
+    }
+    out
+}
+
+fn shr_digits(d: &[u32], shift: u32) -> Vec<u32> {
+    if shift == 0 {
+        return d.to_vec();
+    }
+    let mut out = vec![0u32; d.len()];
+    for i in 0..d.len() {
+        out[i] = d[i] >> shift;
+        if i + 1 < d.len() {
+            out[i] |= d[i + 1] << (32 - shift);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{RngCore, SeedableRng};
+
+    #[test]
+    fn small_values() {
+        let a = BigUint::from_u64(100);
+        let b = BigUint::from_u64(7);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, BigUint::from_u64(14));
+        assert_eq!(r, BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn dividend_smaller() {
+        let a = BigUint::from_u64(3);
+        let b = BigUint::from_hex("ffffffffffffffffff");
+        let (q, r) = a.div_rem(&b);
+        assert!(q.is_zero());
+        assert_eq!(r, a);
+    }
+
+    #[test]
+    fn exact_division() {
+        let b = BigUint::from_hex("10000000000000001");
+        let a = b.mul(&BigUint::from_hex("abcdef123456789"));
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, BigUint::from_hex("abcdef123456789"));
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BigUint::from_u64(1).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn addback_case() {
+        // A classic Algorithm-D add-back trigger: u = b^4/2, v = b^2/2 + 1
+        // shaped values where qhat overshoots.
+        let u = BigUint::from_hex("80000000000000000000000000000000");
+        let v = BigUint::from_hex("8000000000000001");
+        let (q, r) = u.div_rem(&v);
+        assert_eq!(q.mul(&v).add(&r), u);
+        assert!(r.cmp(&v) == std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn randomized_reconstruction() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let abits = 1 + (rng.next_u64() % 512) as usize;
+            let bbits = 1 + (rng.next_u64() % 256) as usize;
+            let a = BigUint::random_bits(abits, &mut rng);
+            let b = BigUint::random_bits(bbits, &mut rng);
+            let (q, r) = a.div_rem(&b);
+            assert_eq!(q.mul(&b).add(&r), a, "a={a} b={b}");
+            assert!(r.cmp(&b) == std::cmp::Ordering::Less);
+        }
+    }
+
+    #[test]
+    fn power_of_two_divisors() {
+        let a = BigUint::from_hex("deadbeefcafebabe0123456789abcdef");
+        for k in [1usize, 32, 64, 100] {
+            let d = BigUint::one().shl(k);
+            let (q, r) = a.div_rem(&d);
+            assert_eq!(q, a.shr(k));
+            assert_eq!(r, a.sub(&a.shr(k).shl(k)));
+        }
+    }
+}

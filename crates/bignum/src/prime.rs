@@ -1,0 +1,176 @@
+//! Primality testing and prime generation.
+//!
+//! Used by the RSA/DSA key generation in `alpha-pk`. The paper never
+//! generates keys on the constrained devices — keys exist before
+//! deployment — so throughput here only affects test and bench setup time,
+//! not any reproduced number.
+
+use crate::BigUint;
+use rand::RngCore;
+
+/// Small primes for trial division before Miller-Rabin.
+const SMALL_PRIMES: [u64; 46] = [
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211,
+];
+
+/// Miller-Rabin probabilistic primality test with `rounds` random bases.
+///
+/// With 40 rounds the error probability is below 2⁻⁸⁰ for random inputs,
+/// which matches common library defaults.
+#[must_use]
+pub fn is_probable_prime(n: &BigUint, rounds: u32, rng: &mut dyn RngCore) -> bool {
+    if n.bits() <= 6 {
+        let v = if n.is_zero() { 0 } else { n.limbs[0] };
+        return matches!(v, 2 | 3 | 5 | 7 | 11 | 13 | 17 | 19 | 23 | 29 | 31 | 37 | 41 | 43 | 47 | 53 | 59 | 61);
+    }
+    if n.is_even() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pb = BigUint::from_u64(p);
+        if n.rem(&pb).is_zero() {
+            return n.cmp(&pb) == std::cmp::Ordering::Equal;
+        }
+    }
+    // Write n-1 = d * 2^s.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    let s = trailing_zeros(&n_minus_1);
+    let d = n_minus_1.shr(s);
+
+    'witness: for _ in 0..rounds {
+        // Base in [2, n-2].
+        let a = loop {
+            let a = BigUint::random_below(&n_minus_1, rng);
+            if a.bits() >= 2 {
+                break a;
+            }
+        };
+        let mut x = a.modpow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s.saturating_sub(1) {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn trailing_zeros(n: &BigUint) -> usize {
+    debug_assert!(!n.is_zero());
+    let mut tz = 0;
+    for &limb in &n.limbs {
+        if limb == 0 {
+            tz += 64;
+        } else {
+            tz += limb.trailing_zeros() as usize;
+            break;
+        }
+    }
+    tz
+}
+
+/// Generate a random probable prime with exactly `bits` bits.
+#[must_use]
+pub fn gen_prime(bits: usize, rng: &mut dyn RngCore) -> BigUint {
+    assert!(bits >= 8, "prime too small to be useful");
+    loop {
+        let mut candidate = BigUint::random_bits(bits, rng);
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+        }
+        if is_probable_prime(&candidate, 24, rng) {
+            return candidate;
+        }
+    }
+}
+
+/// Generate a *safe-prime-style* pair for DSA: a prime `p` of `p_bits`
+/// with `p = 2kq + 1` for a prime `q` of `q_bits`. Returns `(p, q)`.
+#[must_use]
+pub fn gen_dsa_primes(p_bits: usize, q_bits: usize, rng: &mut dyn RngCore) -> (BigUint, BigUint) {
+    assert!(p_bits > q_bits + 8);
+    let q = gen_prime(q_bits, rng);
+    let one = BigUint::one();
+    loop {
+        // p = q * m + 1 with m random even of the right size.
+        let m_bits = p_bits - q_bits;
+        let mut m = BigUint::random_bits(m_bits, rng);
+        if !m.is_even() {
+            m = m.add(&one);
+        }
+        let p = q.mul(&m).add(&one);
+        if p.bits() == p_bits && is_probable_prime(&p, 24, rng) {
+            return (p, q);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn known_primes_and_composites() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 61, 97, 211, 65537, 2_147_483_647] {
+            assert!(is_probable_prime(&BigUint::from_u64(p), 20, &mut r), "{p} is prime");
+        }
+        for c in [0u64, 1, 4, 63, 100, 65535, 2_147_483_645] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 20, &mut r), "{c} is composite");
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 41041, 825265] {
+            assert!(!is_probable_prime(&BigUint::from_u64(c), 20, &mut r), "{c} is Carmichael");
+        }
+    }
+
+    #[test]
+    fn large_known_prime() {
+        // 2^127 - 1 (Mersenne prime).
+        let p = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(is_probable_prime(&p, 16, &mut rng()));
+        // 2^128 - 159 is prime; 2^128 - 157 is not.
+        let a = BigUint::one().shl(128).sub(&BigUint::from_u64(159));
+        let b = BigUint::one().shl(128).sub(&BigUint::from_u64(157));
+        assert!(is_probable_prime(&a, 16, &mut rng()));
+        assert!(!is_probable_prime(&b, 16, &mut rng()));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut r = rng();
+        for bits in [64usize, 128] {
+            let p = gen_prime(bits, &mut r);
+            assert_eq!(p.bits(), bits);
+            assert!(!p.is_even());
+        }
+    }
+
+    #[test]
+    fn dsa_prime_structure() {
+        let mut r = rng();
+        let (p, q) = gen_dsa_primes(192, 96, &mut r);
+        assert_eq!(p.bits(), 192);
+        assert_eq!(q.bits(), 96);
+        // q divides p-1.
+        let p_minus_1 = p.sub(&BigUint::one());
+        assert!(p_minus_1.rem(&q).is_zero());
+    }
+}

@@ -1,0 +1,477 @@
+//! Hand-rolled argument parsing (no CLI crates on the approved list).
+//!
+//! Grammar: `alpha <subcommand> [positional…] [--flag value…]`.
+//! Every flag takes exactly one value except boolean switches, which are
+//! listed per subcommand.
+
+use std::collections::HashMap;
+
+use alpha_core::{MacScheme, Mode, Reliability};
+use alpha_crypto::Algorithm;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `alpha keygen --scheme rsa|ecdsa --out FILE [--bits N]`
+    Keygen {
+        /// "rsa" or "ecdsa".
+        scheme: String,
+        /// Output file for the identity.
+        out: String,
+        /// RSA modulus bits (ignored for ecdsa).
+        bits: usize,
+    },
+    /// `alpha listen BIND [--alg A] [--reliable] [--seconds N]
+    ///  [--identity FILE] [--require-peer-auth]`
+    Listen {
+        /// Bind address, e.g. `0.0.0.0:7001`.
+        bind: String,
+        /// Protocol options.
+        opts: ProtoOpts,
+        /// Serve duration in seconds.
+        seconds: u64,
+    },
+    /// `alpha send PEER MSG… [--alg A] [--reliable] [--mode base|c|m]
+    ///  [--bind ADDR]`
+    Send {
+        /// Peer address.
+        peer: String,
+        /// Messages to send (one exchange).
+        messages: Vec<String>,
+        /// Protocol options.
+        opts: ProtoOpts,
+        /// Transfer mode.
+        mode: Mode,
+        /// Local bind address.
+        bind: String,
+    },
+    /// `alpha relay BIND LEFT RIGHT [--seconds N] [--strict]`
+    Relay {
+        /// Bind address of the middlebox.
+        bind: String,
+        /// Address of the first host.
+        left: String,
+        /// Address of the second host.
+        right: String,
+        /// Run duration in seconds.
+        seconds: u64,
+        /// Drop traffic of unknown associations.
+        strict: bool,
+    },
+    /// `alpha sim [--relays N] [--messages N] [--batch N] [--mode base|c|m]
+    ///  [--loss P] [--alg A] [--reliable] [--device NAME] [--seconds N]
+    ///  [--trace]`
+    Sim(SimOpts),
+    /// `alpha trace FILE` — summarize a JSON-lines packet trace produced
+    /// by `alpha sim --trace`.
+    Trace {
+        /// Trace file path ("-" for stdin).
+        file: String,
+    },
+    /// `alpha help` or `--help` anywhere.
+    Help,
+}
+
+/// Options shared by the networking subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtoOpts {
+    /// Hash algorithm.
+    pub alg: Algorithm,
+    /// Delivery guarantee.
+    pub reliability: Reliability,
+    /// MAC construction.
+    pub mac: MacScheme,
+    /// Identity file for protected bootstrap.
+    pub identity: Option<String>,
+    /// Require the peer's handshake to be signed.
+    pub require_peer_auth: bool,
+}
+
+impl Default for ProtoOpts {
+    fn default() -> ProtoOpts {
+        ProtoOpts {
+            alg: Algorithm::Sha1,
+            reliability: Reliability::Unreliable,
+            mac: MacScheme::Hmac,
+            identity: None,
+            require_peer_auth: false,
+        }
+    }
+}
+
+/// Options for `alpha sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimOpts {
+    /// Number of relays on the path.
+    pub relays: usize,
+    /// Messages to deliver.
+    pub messages: usize,
+    /// Messages per exchange.
+    pub batch: usize,
+    /// Transfer mode.
+    pub mode: Mode,
+    /// Per-link loss probability.
+    pub loss: f64,
+    /// Protocol options.
+    pub proto: ProtoOpts,
+    /// Device model name (xeon, n770, ar2315, bcm5365, geode, cc2430).
+    pub device: String,
+    /// Virtual horizon in seconds.
+    pub seconds: u64,
+    /// Payload bytes per message.
+    pub payload: usize,
+    /// Print a JSON-lines packet trace to stdout.
+    pub trace: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimOpts {
+    fn default() -> SimOpts {
+        SimOpts {
+            relays: 2,
+            messages: 100,
+            batch: 10,
+            mode: Mode::Cumulative,
+            loss: 0.01,
+            proto: ProtoOpts::default(),
+            device: "ar2315".into(),
+            seconds: 120,
+            payload: 256,
+            trace: false,
+            seed: 1,
+        }
+    }
+}
+
+/// Parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError(msg.into()))
+}
+
+/// Split args into positionals and `--flag [value]` pairs.
+/// `switches` lists the flags that take no value.
+fn split(
+    args: &[String],
+    switches: &[&str],
+) -> Result<(Vec<String>, HashMap<String, String>), ParseError> {
+    let mut pos = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if let Some(name) = a.strip_prefix("--") {
+            if switches.contains(&name) {
+                flags.insert(name.to_string(), "true".to_string());
+                i += 1;
+            } else {
+                let Some(value) = args.get(i + 1) else {
+                    return err(format!("--{name} needs a value"));
+                };
+                flags.insert(name.to_string(), value.clone());
+                i += 2;
+            }
+        } else {
+            pos.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok((pos, flags))
+}
+
+fn parse_alg(s: &str) -> Result<Algorithm, ParseError> {
+    match s {
+        "sha1" => Ok(Algorithm::Sha1),
+        "sha256" => Ok(Algorithm::Sha256),
+        "mmo" => Ok(Algorithm::MmoAes),
+        other => err(format!("unknown algorithm '{other}' (sha1|sha256|mmo)")),
+    }
+}
+
+fn parse_mode(s: &str, batch: usize) -> Result<Mode, ParseError> {
+    match s {
+        "base" => Ok(Mode::Base),
+        "c" | "cumulative" => Ok(Mode::Cumulative),
+        "m" | "merkle" => Ok(Mode::Merkle),
+        "cm" | "forest" => Ok(Mode::CumulativeMerkle { leaves_per_tree: batch.max(2) / 2 }),
+        other => err(format!("unknown mode '{other}' (base|c|m|cm)")),
+    }
+}
+
+fn proto_opts(flags: &HashMap<String, String>) -> Result<ProtoOpts, ParseError> {
+    let mut o = ProtoOpts::default();
+    if let Some(a) = flags.get("alg") {
+        o.alg = parse_alg(a)?;
+    }
+    if flags.contains_key("reliable") {
+        o.reliability = Reliability::Reliable;
+    }
+    if let Some(m) = flags.get("mac") {
+        o.mac = match m.as_str() {
+            "hmac" => MacScheme::Hmac,
+            "prefix" => MacScheme::Prefix,
+            other => return err(format!("unknown mac scheme '{other}' (hmac|prefix)")),
+        };
+    }
+    o.identity = flags.get("identity").cloned();
+    o.require_peer_auth = flags.contains_key("require-peer-auth");
+    Ok(o)
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    name: &str,
+    default: T,
+) -> Result<T, ParseError> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| ParseError(format!("--{name}: bad value '{v}'"))),
+    }
+}
+
+/// Parse a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+        return Ok(Command::Help);
+    }
+    let sub = args[0].as_str();
+    let rest = &args[1..];
+    match sub {
+        "keygen" => {
+            let (_pos, flags) = split(rest, &[])?;
+            let scheme = flags.get("scheme").cloned().unwrap_or_else(|| "ecdsa".into());
+            if scheme != "rsa" && scheme != "ecdsa" {
+                return err(format!("unknown scheme '{scheme}' (rsa|ecdsa)"));
+            }
+            let Some(out) = flags.get("out").cloned() else {
+                return err("keygen needs --out FILE");
+            };
+            Ok(Command::Keygen { scheme, out, bits: get_num(&flags, "bits", 1024)? })
+        }
+        "listen" => {
+            let (pos, flags) = split(rest, &["reliable", "require-peer-auth"])?;
+            let [bind] = pos.as_slice() else {
+                return err("listen needs exactly one bind address");
+            };
+            Ok(Command::Listen {
+                bind: bind.clone(),
+                opts: proto_opts(&flags)?,
+                seconds: get_num(&flags, "seconds", 60)?,
+            })
+        }
+        "send" => {
+            let (pos, flags) = split(rest, &["reliable", "require-peer-auth"])?;
+            let Some((peer, messages)) = pos.split_first() else {
+                return err("send needs a peer address and at least one message");
+            };
+            if messages.is_empty() {
+                return err("send needs at least one message");
+            }
+            let batch = messages.len();
+            let mode = match flags.get("mode") {
+                Some(m) => parse_mode(m, batch)?,
+                None if batch == 1 => Mode::Base,
+                None => Mode::Cumulative,
+            };
+            Ok(Command::Send {
+                peer: peer.clone(),
+                messages: messages.to_vec(),
+                opts: proto_opts(&flags)?,
+                mode,
+                bind: flags.get("bind").cloned().unwrap_or_else(|| "0.0.0.0:0".into()),
+            })
+        }
+        "relay" => {
+            let (pos, flags) = split(rest, &["strict"])?;
+            let [bind, left, right] = pos.as_slice() else {
+                return err("relay needs BIND LEFT RIGHT addresses");
+            };
+            Ok(Command::Relay {
+                bind: bind.clone(),
+                left: left.clone(),
+                right: right.clone(),
+                seconds: get_num(&flags, "seconds", 60)?,
+                strict: flags.contains_key("strict"),
+            })
+        }
+        "trace" => {
+            let (pos, _flags) = split(rest, &[])?;
+            let [file] = pos.as_slice() else {
+                return err("trace needs exactly one FILE ('-' for stdin)");
+            };
+            Ok(Command::Trace { file: file.clone() })
+        }
+        "sim" => {
+            let (pos, flags) = split(rest, &["reliable", "trace", "require-peer-auth"])?;
+            if !pos.is_empty() {
+                return err(format!("sim takes no positional arguments, got '{}'", pos[0]));
+            }
+            let mut o = SimOpts { proto: proto_opts(&flags)?, ..SimOpts::default() };
+            o.relays = get_num(&flags, "relays", o.relays)?;
+            o.messages = get_num(&flags, "messages", o.messages)?;
+            o.batch = get_num(&flags, "batch", o.batch)?;
+            o.loss = get_num(&flags, "loss", o.loss)?;
+            o.seconds = get_num(&flags, "seconds", o.seconds)?;
+            o.payload = get_num(&flags, "payload", o.payload)?;
+            o.seed = get_num(&flags, "seed", o.seed)?;
+            o.trace = flags.contains_key("trace");
+            if let Some(d) = flags.get("device") {
+                o.device = d.clone();
+            }
+            if let Some(m) = flags.get("mode") {
+                o.mode = parse_mode(m, o.batch)?;
+            }
+            Ok(Command::Sim(o))
+        }
+        other => err(format!("unknown subcommand '{other}'; try 'alpha help'")),
+    }
+}
+
+/// The help text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "alpha — ALPHA hop-by-hop authentication (CoNEXT 2008) tooling
+
+USAGE:
+  alpha keygen --out FILE [--scheme rsa|ecdsa] [--bits N]
+  alpha listen BIND [--seconds N] [--alg sha1|sha256|mmo] [--reliable]
+               [--mac hmac|prefix] [--identity FILE] [--require-peer-auth]
+  alpha send PEER MSG... [--mode base|c|m|cm] [--bind ADDR] [--alg A]
+               [--reliable] [--mac hmac|prefix] [--identity FILE]
+  alpha relay BIND LEFT RIGHT [--seconds N] [--strict]
+  alpha trace FILE|-   (summarize a JSON-lines trace from 'alpha sim --trace')
+  alpha sim [--relays N] [--messages N] [--batch N] [--mode base|c|m|cm]
+            [--loss P] [--alg A] [--reliable] [--mac hmac|prefix]
+            [--device xeon|n770|ar2315|bcm5365|geode|cc2430]
+            [--payload BYTES] [--seconds N] [--seed N] [--trace]
+
+EXAMPLES:
+  alpha listen 0.0.0.0:7001 --seconds 30
+  alpha send 192.0.2.7:7001 'hello' 'world' --mode c
+  alpha relay 0.0.0.0:7000 192.0.2.1:6000 192.0.2.7:7001
+  alpha sim --relays 3 --device cc2430 --alg mmo --mac prefix --loss 0.02
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn help_variants() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&v(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&v(&["send", "--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn keygen_parses() {
+        let cmd = parse_args(&v(&["keygen", "--out", "id.key", "--scheme", "rsa", "--bits", "512"]))
+            .unwrap();
+        assert_eq!(cmd, Command::Keygen { scheme: "rsa".into(), out: "id.key".into(), bits: 512 });
+        assert!(parse_args(&v(&["keygen"])).is_err());
+        assert!(parse_args(&v(&["keygen", "--out", "x", "--scheme", "dsa"])).is_err());
+    }
+
+    #[test]
+    fn send_defaults_mode_by_count() {
+        let one = parse_args(&v(&["send", "1.2.3.4:7001", "hi"])).unwrap();
+        match one {
+            Command::Send { mode, .. } => assert_eq!(mode, Mode::Base),
+            _ => panic!(),
+        }
+        let many = parse_args(&v(&["send", "1.2.3.4:7001", "a", "b", "c"])).unwrap();
+        match many {
+            Command::Send { mode, messages, .. } => {
+                assert_eq!(mode, Mode::Cumulative);
+                assert_eq!(messages.len(), 3);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn send_explicit_modes() {
+        for (name, want) in [
+            ("base", Mode::Base),
+            ("c", Mode::Cumulative),
+            ("m", Mode::Merkle),
+        ] {
+            let cmd = parse_args(&v(&["send", "h:1", "a", "--mode", name])).unwrap();
+            match cmd {
+                Command::Send { mode, .. } => assert_eq!(mode, want),
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn listen_flags() {
+        let cmd = parse_args(&v(&[
+            "listen", "0.0.0.0:7001", "--reliable", "--alg", "mmo", "--mac", "prefix",
+            "--seconds", "5",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Listen { opts, seconds, .. } => {
+                assert_eq!(opts.alg, Algorithm::MmoAes);
+                assert_eq!(opts.reliability, Reliability::Reliable);
+                assert_eq!(opts.mac, MacScheme::Prefix);
+                assert_eq!(seconds, 5);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn relay_positionals() {
+        let cmd = parse_args(&v(&["relay", "b:1", "l:2", "r:3", "--strict"])).unwrap();
+        match cmd {
+            Command::Relay { strict: true, .. } => {}
+            _ => panic!(),
+        }
+        assert!(parse_args(&v(&["relay", "b:1", "l:2"])).is_err());
+    }
+
+    #[test]
+    fn sim_options() {
+        let cmd = parse_args(&v(&[
+            "sim", "--relays", "4", "--messages", "50", "--loss", "0.1", "--device", "cc2430",
+            "--trace",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sim(o) => {
+                assert_eq!(o.relays, 4);
+                assert_eq!(o.messages, 50);
+                assert!((o.loss - 0.1).abs() < 1e-9);
+                assert_eq!(o.device, "cc2430");
+                assert!(o.trace);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn errors_are_messages_not_panics() {
+        assert!(parse_args(&v(&["frobnicate"])).is_err());
+        assert!(parse_args(&v(&["sim", "--loss"])).is_err());
+        assert!(parse_args(&v(&["sim", "--loss", "lots"])).is_err());
+        assert!(parse_args(&v(&["send", "host:1", "m", "--mode", "q"])).is_err());
+    }
+}

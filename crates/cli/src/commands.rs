@@ -1,0 +1,254 @@
+//! Subcommand implementations.
+
+use std::time::Duration;
+
+use alpha_core::{Config, RelayConfig};
+use alpha_pk::PrivateKey;
+use alpha_sim::{protected_path, App, DeviceModel, LinkConfig, PacketKind, SenderApp, Simulator, Trace, TraceEvent};
+use alpha_transport::{HandshakeAuth, UdpHost, UdpRelay};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::{ProtoOpts, SimOpts};
+
+/// Top-level error type: every failure is a printable message.
+pub type CliError = Box<dyn std::error::Error>;
+
+fn config_from(opts: &ProtoOpts) -> Config {
+    Config::new(opts.alg)
+        .with_reliability(opts.reliability)
+        .with_mac_scheme(opts.mac)
+        .with_chain_len(1024)
+}
+
+fn load_identity(path: &Option<String>) -> Result<Option<PrivateKey>, CliError> {
+    match path {
+        None => Ok(None),
+        Some(p) => {
+            let bytes = std::fs::read(p)?;
+            let key = PrivateKey::from_bytes(&bytes)
+                .ok_or_else(|| format!("{p}: not a valid identity file"))?;
+            Ok(Some(key))
+        }
+    }
+}
+
+/// `alpha keygen`.
+pub fn keygen(scheme: &str, out: &str, bits: usize) -> Result<(), CliError> {
+    let mut rng = StdRng::from_entropy();
+    let key = match scheme {
+        "rsa" => {
+            eprintln!("generating RSA-{bits} key…");
+            PrivateKey::Rsa(alpha_pk::rsa::RsaPrivateKey::generate(bits, &mut rng))
+        }
+        "ecdsa" => PrivateKey::Ecdsa(alpha_pk::ecdsa::EcdsaPrivateKey::generate(&mut rng)),
+        other => return Err(format!("unknown scheme '{other}'").into()),
+    };
+    std::fs::write(out, key.to_bytes())?;
+    let pk = key.as_signer().verifying_key();
+    println!(
+        "wrote {scheme} identity to {out} ({} key bytes, public key {} bytes)",
+        key.to_bytes().len(),
+        pk.to_bytes().len()
+    );
+    Ok(())
+}
+
+/// `alpha listen`.
+pub fn listen(bind: &str, opts: &ProtoOpts, seconds: u64) -> Result<(), CliError> {
+    let cfg = config_from(opts);
+    let identity = load_identity(&opts.identity)?;
+    println!("listening on {bind} for {seconds}s ({}, {:?})", opts.alg, opts.reliability);
+    let auth = HandshakeAuth {
+        identity: identity.as_ref().map(|k| k.as_signer()),
+        require_peer: opts.require_peer_auth,
+    };
+    let mut host = UdpHost::accept_with(cfg, bind, Duration::from_secs(seconds), auth)?;
+    match host.peer_key() {
+        Some(k) => println!(
+            "association established; peer identity verified ({} key bytes)",
+            k.to_bytes().len()
+        ),
+        None => println!("association established (anonymous peer)"),
+    }
+    let delivered = host.serve(Duration::from_secs(seconds))?;
+    for (i, msg) in delivered.iter().enumerate() {
+        match std::str::from_utf8(msg) {
+            Ok(text) => println!("[{i}] {text}"),
+            Err(_) => println!("[{i}] {} bytes (binary)", msg.len()),
+        }
+    }
+    println!("{} verified message(s) delivered", delivered.len());
+    Ok(())
+}
+
+/// `alpha send`.
+pub fn send(
+    peer: &str,
+    messages: &[String],
+    opts: &ProtoOpts,
+    mode: alpha_core::Mode,
+    bind: &str,
+) -> Result<(), CliError> {
+    let cfg = config_from(opts);
+    let identity = load_identity(&opts.identity)?;
+    println!("connecting to {peer}…");
+    let auth = HandshakeAuth {
+        identity: identity.as_ref().map(|k| k.as_signer()),
+        require_peer: opts.require_peer_auth,
+    };
+    let mut host =
+        UdpHost::connect_with(cfg, rand::random(), bind, peer, Duration::from_secs(10), auth)?;
+    if host.peer_key().is_some() {
+        println!("peer identity verified");
+    }
+    let refs: Vec<&[u8]> = messages.iter().map(|m| m.as_bytes()).collect();
+    host.send_batch(&refs, mode, Duration::from_secs(15))?;
+    println!("{} message(s) dispatched in mode {mode:?}", messages.len());
+    Ok(())
+}
+
+/// `alpha relay`.
+pub fn relay(bind: &str, left: &str, right: &str, seconds: u64, strict: bool) -> Result<(), CliError> {
+    let left: std::net::SocketAddr = left.parse()?;
+    let right: std::net::SocketAddr = right.parse()?;
+    let cfg = RelayConfig { forward_unknown: !strict, ..RelayConfig::default() };
+    let mut relay = UdpRelay::new(bind, left, right, cfg)?;
+    println!("relaying {left} <-> {right} on {} for {seconds}s (strict={strict})", relay.local_addr()?);
+    relay.run_for(Duration::from_secs(seconds))?;
+    println!(
+        "forwarded {} datagrams, dropped {}, verified {} payload(s) in transit:",
+        relay.forwarded,
+        relay.dropped,
+        relay.extracted.len()
+    );
+    for p in &relay.extracted {
+        match std::str::from_utf8(p) {
+            Ok(text) => println!("  {text}"),
+            Err(_) => println!("  {} bytes (binary)", p.len()),
+        }
+    }
+    Ok(())
+}
+
+/// `alpha trace`.
+pub fn trace_summary(file: &str) -> Result<(), CliError> {
+    let text = if file == "-" {
+        use std::io::Read as _;
+        let mut s = String::new();
+        std::io::stdin().read_to_string(&mut s)?;
+        s
+    } else {
+        std::fs::read_to_string(file)?
+    };
+    let trace = Trace::from_json_lines(&text).ok_or("not a valid JSON-lines trace")?;
+    let mut transmits = 0u64;
+    let mut losses = 0u64;
+    let mut bytes_total = 0u64;
+    let mut first = u64::MAX;
+    let mut last = 0u64;
+    for e in trace.entries() {
+        first = first.min(e.at_us);
+        last = last.max(e.at_us);
+        match &e.event {
+            TraceEvent::Transmit { bytes, .. } => {
+                transmits += 1;
+                bytes_total += *bytes as u64;
+            }
+            TraceEvent::Lost { .. } => losses += 1,
+        }
+    }
+    println!("trace: {} entries over {:.3}s virtual time", trace.len(),
+        last.saturating_sub(first.min(last)) as f64 / 1e6);
+    println!("transmissions: {transmits} ({bytes_total} bytes), link losses: {losses}");
+    for kind in [
+        PacketKind::Handshake,
+        PacketKind::S1,
+        PacketKind::A1,
+        PacketKind::S2,
+        PacketKind::A2,
+        PacketKind::Bundle,
+        PacketKind::Unparseable,
+    ] {
+        let n = trace.count_kind(kind);
+        if n > 0 {
+            println!("  {kind:?}: {n}");
+        }
+    }
+    Ok(())
+}
+
+fn device_by_name(name: &str) -> Result<DeviceModel, CliError> {
+    Ok(match name {
+        "xeon" => DeviceModel::xeon(),
+        "n770" | "nokia770" => DeviceModel::nokia770(),
+        "ar2315" | "ar" => DeviceModel::ar2315(),
+        "bcm5365" | "bcm" => DeviceModel::bcm5365(),
+        "geode" | "geode_lx" => DeviceModel::geode_lx(),
+        "cc2430" | "sensor" => DeviceModel::cc2430(),
+        other => return Err(format!("unknown device '{other}'").into()),
+    })
+}
+
+/// `alpha sim`.
+pub fn sim(o: &SimOpts) -> Result<(), CliError> {
+    let device = device_by_name(&o.device)?;
+    let mut sim = Simulator::new(o.seed);
+    if o.trace {
+        sim.enable_trace();
+    }
+    let cfg = config_from(&o.proto).with_chain_len(8192);
+    let link = LinkConfig::mesh().with_loss(o.loss);
+    let app = App::Sender(SenderApp::new(o.mode, o.batch, o.payload, o.messages));
+    let (s, relays, v) = protected_path(&mut sim, o.relays, device, device, link, cfg, app);
+    sim.run_until(alpha_core::Timestamp::from_millis(o.seconds * 1000));
+
+    let m = &sim.metrics[v];
+    println!(
+        "scenario: {} relays ({}), mode {:?}, {} x {} B, loss {:.1}%/link",
+        o.relays, device.name, o.mode, o.messages, o.payload, o.loss * 100.0
+    );
+    println!(
+        "delivered: {}/{} messages ({} bytes) in {:.1}s virtual time",
+        m.delivered_msgs,
+        o.messages,
+        m.delivered_bytes,
+        sim.now().micros() as f64 / 1e6
+    );
+    if !m.latencies_us.is_empty() {
+        let mut lat = m.latencies_us.clone();
+        lat.sort_unstable();
+        println!(
+            "latency: median {:.1} ms, p95 {:.1} ms",
+            lat[lat.len() / 2] as f64 / 1e3,
+            lat[lat.len() * 95 / 100] as f64 / 1e3
+        );
+    }
+    let seconds = sim.now().micros() as f64 / 1e6;
+    println!(
+        "goodput: {:.1} kbit/s end-to-end",
+        m.delivered_bytes as f64 * 8.0 / seconds / 1e3
+    );
+    for (i, r) in relays.iter().enumerate() {
+        let rm = &sim.metrics[*r];
+        println!(
+            "relay {i}: forwarded {}, verified {}, drops {:?}, cpu {:.1} ms, energy {:.1} mJ",
+            rm.forwarded,
+            rm.extracted_payloads,
+            rm.drops,
+            rm.cpu_ns / 1e6,
+            rm.energy_uj / 1e3
+        );
+    }
+    let sm = &sim.metrics[s];
+    println!(
+        "sender: cpu {:.1} ms, energy {:.1} mJ; receiver drops {:?}",
+        sm.cpu_ns / 1e6,
+        sm.energy_uj / 1e3,
+        m.drops
+    );
+    if let Some(trace) = sim.trace() {
+        print!("{}", trace.to_json_lines());
+    }
+    Ok(())
+}

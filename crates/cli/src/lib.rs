@@ -1,0 +1,18 @@
+#![warn(missing_docs)]
+
+//! Library half of the `alpha` command-line tool: argument parsing and
+//! subcommand implementations, factored out of `main` for testability.
+//!
+//! Subcommands:
+//!
+//! - `alpha keygen` — generate an RSA or ECDSA identity file for protected
+//!   bootstrapping.
+//! - `alpha listen` — receive ALPHA-protected messages over UDP.
+//! - `alpha send` — send messages over UDP (Base / ALPHA-C / ALPHA-M).
+//! - `alpha relay` — run a verifying middlebox between two hosts.
+//! - `alpha sim` — run a simulated multi-hop scenario and print metrics.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_args, Command, ParseError};

@@ -1,0 +1,35 @@
+//! `alpha` — command-line tooling for the ALPHA protocol.
+
+use alpha_cli::{args, commands, parse_args, Command};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", args::usage());
+            std::process::exit(2);
+        }
+    };
+    let result = match &cmd {
+        Command::Help => {
+            print!("{}", args::usage());
+            Ok(())
+        }
+        Command::Keygen { scheme, out, bits } => commands::keygen(scheme, out, *bits),
+        Command::Listen { bind, opts, seconds } => commands::listen(bind, opts, *seconds),
+        Command::Send { peer, messages, opts, mode, bind } => {
+            commands::send(peer, messages, opts, *mode, bind)
+        }
+        Command::Relay { bind, left, right, seconds, strict } => {
+            commands::relay(bind, left, right, *seconds, *strict)
+        }
+        Command::Sim(opts) => commands::sim(opts),
+        Command::Trace { file } => commands::trace_summary(file),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

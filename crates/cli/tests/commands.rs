@@ -1,0 +1,74 @@
+//! CLI command tests that exercise real side effects (temp files, the
+//! simulator) without touching the network.
+
+use alpha_cli::args::{parse_args, Command, SimOpts};
+use alpha_cli::commands;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("alpha-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn keygen_writes_loadable_identity() {
+    let out = tmp("ecdsa.key");
+    commands::keygen("ecdsa", out.to_str().unwrap(), 0).expect("keygen");
+    let bytes = std::fs::read(&out).expect("file written");
+    let key = alpha_pk::PrivateKey::from_bytes(&bytes).expect("parses back");
+    let mut rng = alpha::test_rng(1);
+    use alpha_pk::VerifyingKey;
+    let sig = key.as_signer().sign(alpha::crypto::Algorithm::Sha1, b"x", &mut rng);
+    assert!(key
+        .as_signer()
+        .verifying_key()
+        .verify(alpha::crypto::Algorithm::Sha1, b"x", &sig));
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
+fn keygen_rejects_unknown_scheme() {
+    let out = tmp("nope.key");
+    assert!(commands::keygen("dsa4096", out.to_str().unwrap(), 0).is_err());
+    assert!(!out.exists());
+}
+
+#[test]
+fn sim_subcommand_runs_end_to_end() {
+    // Parse a realistic command line, then execute it.
+    let argv: Vec<String> = [
+        "sim", "--relays", "1", "--messages", "10", "--batch", "5", "--loss", "0", "--device",
+        "geode", "--payload", "64", "--seconds", "30", "--seed", "3",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let Command::Sim(opts) = parse_args(&argv).expect("parses") else {
+        panic!("expected sim");
+    };
+    commands::sim(&opts).expect("sim runs");
+}
+
+#[test]
+fn sim_accepts_all_devices_and_modes() {
+    for device in ["xeon", "n770", "ar2315", "bcm5365", "geode", "cc2430"] {
+        for mode in ["base", "c", "m", "cm"] {
+            let opts = SimOpts {
+                relays: 1,
+                messages: 4,
+                batch: if mode == "base" { 1 } else { 4 },
+                device: device.into(),
+                payload: 32,
+                seconds: 20,
+                ..SimOpts::default()
+            };
+            let argv: Vec<String> =
+                ["sim", "--mode", mode].iter().map(|s| s.to_string()).collect();
+            let Command::Sim(parsed) = parse_args(&argv).unwrap() else { panic!() };
+            let merged = SimOpts { mode: parsed.mode, ..opts };
+            // MMO devices need the matching algorithm for realism but any
+            // algorithm is legal; just run it.
+            commands::sim(&merged).unwrap_or_else(|e| panic!("{device}/{mode}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The duplex end-host view of a protected path.
+//!
+//! Each host runs a [`SignerChannel`] for its outgoing simplex channel and
+//! a [`VerifierChannel`] for the incoming one; the four hash-chain anchors
+//! `{h^As_n, h^Aa_n, h^Bs_n, h^Ba_n}` of §3.1 are exactly the four chains
+//! these two pairs of machines hold between two hosts.
+
+use alpha_crypto::chain::HashChain;
+use alpha_crypto::Digest;
+use alpha_wire::{Body, Packet};
+use rand::RngCore;
+
+use crate::signer::{SignerChannel, SignerEvent};
+use crate::verifier::{VerifierChannel, VerifierEvent};
+use crate::{bootstrap, renewal, signal::Signal, Config, Mode, ProtocolError, Timestamp};
+
+/// Application-visible outcome of feeding a packet (or timer tick) into an
+/// [`Association`].
+#[derive(Debug, Default)]
+pub struct Response {
+    /// Packets to transmit, in order.
+    pub packets: Vec<Packet>,
+    /// Verified payloads delivered by the incoming channel: `(seq, bytes)`.
+    pub deliveries: Vec<(u32, Vec<u8>)>,
+    /// Signer-side events (acks, nacks, completion).
+    pub signer_events: Vec<SignerEvent>,
+    /// True when the incoming bundle completed with this packet.
+    pub bundle_complete: bool,
+    /// True when this packet carried a chain renewal from the peer, which
+    /// has already been applied (the renewal payload is consumed, not
+    /// surfaced in `deliveries`).
+    pub peer_renewed: bool,
+    /// Verified control signals from the peer ([`crate::signal`]),
+    /// consumed out of `deliveries`.
+    pub signals: Vec<Signal>,
+}
+
+impl Response {
+    /// First packet to transmit, if any (convenience for linear tests).
+    #[must_use]
+    pub fn packet(&self) -> Option<Packet> {
+        self.packets.first().cloned()
+    }
+
+    /// First delivered payload, if any.
+    #[must_use]
+    pub fn payload(&self) -> Option<&[u8]> {
+        self.deliveries.first().map(|(_, p)| p.as_slice())
+    }
+
+    fn from_signer(out: crate::signer::SignerOutput) -> Response {
+        Response {
+            packets: out.packets,
+            signer_events: out.events,
+            ..Response::default()
+        }
+    }
+
+    fn from_verifier(out: crate::verifier::VerifierOutput) -> Response {
+        let mut r = Response {
+            packets: out.packets,
+            ..Response::default()
+        };
+        for ev in out.events {
+            match ev {
+                VerifierEvent::Delivered(seq, payload) => r.deliveries.push((seq, payload)),
+                VerifierEvent::BundleComplete => r.bundle_complete = true,
+            }
+        }
+        r
+    }
+}
+
+/// One host's end of a bootstrapped association.
+pub struct Association {
+    assoc_id: u64,
+    cfg: Config,
+    signer: SignerChannel,
+    verifier: VerifierChannel,
+}
+
+impl Association {
+    /// Assemble from freshly generated own chains plus the peer's anchors
+    /// (normally called by [`bootstrap`]).
+    #[must_use]
+    pub fn from_chains(
+        cfg: Config,
+        assoc_id: u64,
+        sig_chain: HashChain,
+        ack_chain: HashChain,
+        peer_sig_anchor: (Digest, u64),
+        peer_ack_anchor: (Digest, u64),
+    ) -> Association {
+        let signer = SignerChannel::new(
+            assoc_id,
+            cfg,
+            sig_chain,
+            peer_ack_anchor.0,
+            peer_ack_anchor.1,
+        );
+        let verifier = VerifierChannel::new(
+            assoc_id,
+            cfg,
+            ack_chain,
+            peer_sig_anchor.0,
+            peer_sig_anchor.1,
+        );
+        Association { assoc_id, cfg, signer, verifier }
+    }
+
+    /// Create a bootstrapped pair of associations in memory (unprotected
+    /// handshake, no network). The workhorse of tests and examples.
+    #[must_use]
+    pub fn pair(cfg: Config, assoc_id: u64, rng: &mut dyn RngCore) -> (Association, Association) {
+        let (hs, init_pkt) = bootstrap::initiate(cfg, assoc_id, None, rng);
+        let (responder, reply_pkt, _) =
+            bootstrap::respond(cfg, &init_pkt, None, bootstrap::AuthRequirement::None, rng)
+                .expect("in-memory handshake");
+        let (initiator, _) = hs
+            .complete(&reply_pkt, bootstrap::AuthRequirement::None)
+            .expect("in-memory handshake");
+        (initiator, responder)
+    }
+
+    /// Association identifier.
+    #[must_use]
+    pub fn assoc_id(&self) -> u64 {
+        self.assoc_id
+    }
+
+    /// The association's configuration.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// Outgoing (signing) channel.
+    #[must_use]
+    pub fn signer(&mut self) -> &mut SignerChannel {
+        &mut self.signer
+    }
+
+    /// Incoming (verifying) channel.
+    #[must_use]
+    pub fn verifier(&mut self) -> &mut VerifierChannel {
+        &mut self.verifier
+    }
+
+    /// Sign a single message in the association's default mode
+    /// (`Mode::Base` signs it alone; the batch modes wrap it in a
+    /// one-element bundle). Returns the S1 packet.
+    pub fn sign(&mut self, message: &[u8], now: Timestamp) -> Result<Packet, ProtocolError> {
+        self.signer.sign(&[message], self.cfg.mode, now)
+    }
+
+    /// Sign a batch of messages in `mode` (ALPHA-C or ALPHA-M).
+    pub fn sign_batch(
+        &mut self,
+        messages: &[&[u8]],
+        mode: Mode,
+        now: Timestamp,
+    ) -> Result<Packet, ProtocolError> {
+        self.signer.sign(messages, mode, now)
+    }
+
+    /// Feed one received packet through the right channel. Verified chain
+    /// renewals from the peer ([`crate::renewal`]) are applied in place and
+    /// reported via [`Response::peer_renewed`].
+    pub fn handle(
+        &mut self,
+        pkt: &Packet,
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+    ) -> Result<Response, ProtocolError> {
+        let mut resp = match &pkt.body {
+            Body::S1 { .. } => Response::from_verifier(self.verifier.handle_s1(pkt, now, rng)?),
+            Body::S2 { .. } => Response::from_verifier(self.verifier.handle_s2(pkt, now)?),
+            Body::A1 { .. } => Response::from_signer(self.signer.handle_a1(pkt, now)?),
+            Body::A2 { .. } => Response::from_signer(self.signer.handle_a2(pkt, now)?),
+            Body::Handshake(_) => return Err(ProtocolError::UnexpectedPacket),
+        };
+        // Intercept renewal announcements among the verified deliveries.
+        let alg = self.cfg.algorithm;
+        let mut renewed = None;
+        let mut signals = Vec::new();
+        resp.deliveries.retain(|(_, payload)| {
+            if let Some(anchors) = renewal::parse(alg, payload) {
+                renewed = Some(anchors);
+                return false;
+            }
+            if let Some(sig) = Signal::parse(payload) {
+                signals.push(sig);
+                return false;
+            }
+            true
+        });
+        resp.signals = signals;
+        if let Some(anchors) = renewed {
+            self.verifier.replace_peer_sig(anchors.sig.0, anchors.sig.1);
+            self.signer.replace_peer_ack(anchors.ack.0, anchors.ack.1);
+            resp.peer_renewed = true;
+        }
+        Ok(resp)
+    }
+
+    /// Drive timers: signer retransmissions, verifier buffer expiry and
+    /// verifier timeout-nacks for missing messages.
+    pub fn poll(&mut self, now: Timestamp) -> Response {
+        let nacks = self.verifier.poll(now);
+        let mut resp = Response::from_signer(self.signer.poll(now));
+        resp.packets.extend(nacks);
+        resp
+    }
+
+    /// Earliest time [`Association::poll`] has work to do.
+    #[must_use]
+    pub fn poll_at(&self) -> Option<Timestamp> {
+        self.signer.poll_at()
+    }
+
+    /// Total protocol bytes buffered on this host (Tables 2 and 3).
+    #[must_use]
+    pub fn buffered_bytes(&self) -> usize {
+        self.signer.buffered_bytes() + self.verifier.buffered_bytes()
+    }
+
+    /// Generate fresh chains and the S1 packet announcing them as a
+    /// protected renewal message. After the exchange completes (reliable
+    /// mode confirms delivery), call [`Association::commit_renewal`].
+    pub fn begin_renewal(
+        &mut self,
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+    ) -> Result<(renewal::RenewalOffer, Packet), ProtocolError> {
+        let (offer, payload) = renewal::offer(&self.cfg, rng);
+        let s1 = self.signer.sign(&[&payload], Mode::Base, now)?;
+        Ok((offer, s1))
+    }
+
+    /// Switch to the renewed chains (after the renewal message delivered).
+    pub fn commit_renewal(&mut self, offer: renewal::RenewalOffer) -> Result<(), ProtocolError> {
+        self.signer.install_chain(offer.sig_chain)?;
+        self.verifier.install_chain(offer.ack_chain);
+        Ok(())
+    }
+
+    /// Sign a control signal toward the peer (and every on-path relay).
+    pub fn send_signal(&mut self, sig: &Signal, now: Timestamp) -> Result<Packet, ProtocolError> {
+        self.signer.sign(&[&sig.encode()], Mode::Base, now)
+    }
+}

@@ -1,0 +1,72 @@
+//! Protocol-level errors.
+
+use alpha_crypto::chain::ChainError;
+
+/// Errors surfaced by the protocol state machines. Everything here is
+/// reachable from network input or API misuse; nothing panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A hash-chain element failed authentication.
+    Chain(ChainError),
+    /// A MAC or Merkle path did not verify: the message is forged or
+    /// corrupted.
+    BadMac,
+    /// The packet type is not valid in the channel's current state
+    /// (e.g. an A2 with no exchange outstanding).
+    UnexpectedPacket,
+    /// The packet belongs to a different association.
+    WrongAssociation,
+    /// The packet's algorithm does not match the association's.
+    WrongAlgorithm,
+    /// An exchange is already in flight; ALPHA's S1/A1 phase is strictly
+    /// sequential per simplex channel (§3.3.1).
+    ExchangeInProgress,
+    /// No exchange is awaiting this packet.
+    NoExchange,
+    /// An S2/A2 referenced a message index outside the announced bundle.
+    BadSeq,
+    /// More messages than one exchange can carry.
+    TooManyMessages,
+    /// Empty message set (nothing to sign).
+    NoMessages,
+    /// The hash chain has no exchange pairs left; re-bootstrap needed.
+    ChainExhausted,
+    /// A payload exceeds the wire limit.
+    PayloadTooLarge,
+    /// Handshake processing failed (bad role ordering or state).
+    BadHandshake,
+    /// A protected handshake's public-key signature failed.
+    BadAuth,
+    /// The exchange was abandoned after exhausting retransmissions.
+    RetriesExhausted,
+}
+
+impl From<ChainError> for ProtocolError {
+    fn from(e: ChainError) -> ProtocolError {
+        ProtocolError::Chain(e)
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Chain(e) => write!(f, "chain authentication failed: {e}"),
+            ProtocolError::BadMac => write!(f, "MAC or Merkle path verification failed"),
+            ProtocolError::UnexpectedPacket => write!(f, "packet not valid in current state"),
+            ProtocolError::WrongAssociation => write!(f, "packet for a different association"),
+            ProtocolError::WrongAlgorithm => write!(f, "hash algorithm mismatch"),
+            ProtocolError::ExchangeInProgress => write!(f, "an exchange is already outstanding"),
+            ProtocolError::NoExchange => write!(f, "no outstanding exchange for this packet"),
+            ProtocolError::BadSeq => write!(f, "message index outside the announced bundle"),
+            ProtocolError::TooManyMessages => write!(f, "too many messages for one exchange"),
+            ProtocolError::NoMessages => write!(f, "no messages to sign"),
+            ProtocolError::ChainExhausted => write!(f, "hash chain exhausted"),
+            ProtocolError::PayloadTooLarge => write!(f, "payload exceeds wire limit"),
+            ProtocolError::BadHandshake => write!(f, "handshake out of order or malformed"),
+            ProtocolError::BadAuth => write!(f, "handshake signature verification failed"),
+            ProtocolError::RetriesExhausted => write!(f, "exchange abandoned after retries"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}

@@ -1,0 +1,93 @@
+//! Token-bucket rate limiter for S1 packets.
+//!
+//! S1 packets are the only thing ALPHA forwards unconditionally, so they
+//! are the remaining flooding vector; §3.5 tells relays to "initially
+//! limit and later increase the maximum size of S1 packets per sender".
+//! This bucket implements exactly that: bytes of S1 per association per
+//! second, refilled continuously, with a burst of one second's budget.
+
+use crate::Timestamp;
+
+/// Byte-rate token bucket (None = unlimited).
+pub struct S1Limiter {
+    rate_per_sec: Option<u64>,
+    tokens: u64,
+    last_refill: Timestamp,
+}
+
+impl S1Limiter {
+    /// A bucket allowing `rate_per_sec` S1 bytes per second (burst = one
+    /// second's worth), or unlimited when `None`.
+    #[must_use]
+    pub fn new(rate_per_sec: Option<u64>) -> S1Limiter {
+        S1Limiter {
+            rate_per_sec,
+            tokens: rate_per_sec.unwrap_or(0),
+            last_refill: Timestamp::ZERO,
+        }
+    }
+
+    /// Account an S1 of `bytes` at time `now`; `true` = within budget.
+    pub fn allow(&mut self, bytes: u64, now: Timestamp) -> bool {
+        let Some(rate) = self.rate_per_sec else {
+            return true;
+        };
+        let elapsed_us = now.since(self.last_refill);
+        if elapsed_us > 0 {
+            let refill = rate.saturating_mul(elapsed_us) / 1_000_000;
+            if refill > 0 {
+                self.tokens = (self.tokens + refill).min(rate);
+                self.last_refill = now;
+            }
+        }
+        if bytes <= self.tokens {
+            self.tokens -= bytes;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_always_allows() {
+        let mut l = S1Limiter::new(None);
+        for i in 0..100 {
+            assert!(l.allow(u64::MAX / 2, Timestamp::from_micros(i)));
+        }
+    }
+
+    #[test]
+    fn burst_then_blocked() {
+        let mut l = S1Limiter::new(Some(1000));
+        let t = Timestamp::from_millis(1);
+        assert!(l.allow(600, t));
+        assert!(l.allow(400, t));
+        assert!(!l.allow(1, t)); // bucket empty
+    }
+
+    #[test]
+    fn refills_over_time() {
+        let mut l = S1Limiter::new(Some(1000));
+        let t0 = Timestamp::ZERO;
+        assert!(l.allow(1000, t0));
+        assert!(!l.allow(100, t0));
+        // 100 ms later: 100 tokens back.
+        let t1 = Timestamp::from_millis(100);
+        assert!(l.allow(100, t1));
+        assert!(!l.allow(1, t1));
+    }
+
+    #[test]
+    fn never_exceeds_burst() {
+        let mut l = S1Limiter::new(Some(1000));
+        // A long quiet period must not accumulate more than one second.
+        let t = Timestamp::from_millis(60_000);
+        assert!(l.allow(1000, t));
+        assert!(!l.allow(1, t));
+    }
+}

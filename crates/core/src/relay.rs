@@ -1,0 +1,719 @@
+//! The on-path relay: per-packet verification, early dropping, and signed
+//! data extraction.
+//!
+//! A relay holds, per association it has learned (footnote 1 of the paper:
+//! forwarding nodes in a WMN/WSN/MANET, or middleboxes like firewalls):
+//!
+//! - chain verifiers for both hosts' signature and acknowledgment chains
+//!   (anchors observed in the handshake),
+//! - the buffered pre-signature of the outstanding exchange per direction
+//!   (a handful of hashes — the `n·h` relay column of Table 2), and
+//! - the buffered pre-(n)ack commitments (Table 3) so it can verify
+//!   verdicts, which signalling protocols on relays need (§3.2.2).
+//!
+//! [`Relay::observe`] returns a forwarding decision plus extraction
+//! events. Forged S2s, replayed chain elements, and unsolicited traffic
+//! (S2 with no matching buffered pre-signature — i.e. data the receiver
+//! never agreed to with an A1) are dropped, which is ALPHA's flooding
+//! mitigation (§3.5). Packets of unknown associations are forwarded or
+//! dropped by [`RelayConfig::forward_unknown`] — forwarding supports the
+//! paper's incremental-deployment story.
+
+use std::collections::HashMap;
+
+use alpha_crypto::chain::{ChainVerifier, Role};
+use alpha_crypto::preack::PreAckPair;
+use alpha_crypto::{merkle, Algorithm, Digest};
+use alpha_wire::{A2Disclosure, AckCommit, Body, HandshakeRole, Packet, PreSignature};
+
+use crate::limiter::S1Limiter;
+use crate::signer::message_mac;
+use crate::{MacScheme, Timestamp};
+
+/// Relay policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RelayConfig {
+    /// Forward packets of associations this relay has not learned
+    /// (incremental deployment) instead of dropping them.
+    pub forward_unknown: bool,
+    /// Maximum S1 bytes per association per second (the S1-flood limiter
+    /// of §3.5). `None` disables rate limiting.
+    pub s1_bytes_per_sec: Option<u64>,
+    /// Chain-verifier forward-hash bound.
+    pub max_skip: u64,
+    /// Drop S2 packets whose exchange the relay never saw an S1 for
+    /// (treat unsolicited data as forged). Disabling this still verifies
+    /// what can be verified but forwards the rest.
+    pub drop_unsolicited: bool,
+    /// MAC construction used by the deployment (must match the hosts').
+    pub mac_scheme: MacScheme,
+}
+
+impl Default for RelayConfig {
+    fn default() -> RelayConfig {
+        RelayConfig {
+            forward_unknown: true,
+            s1_bytes_per_sec: Some(64 * 1024),
+            max_skip: 128,
+            drop_unsolicited: true,
+            mac_scheme: MacScheme::Hmac,
+        }
+    }
+}
+
+/// Why a packet was dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Chain element failed authentication (forged / replayed / wrong role).
+    BadChainElement,
+    /// Message failed MAC or Merkle verification against the buffered
+    /// pre-signature.
+    BadMac,
+    /// S2 for an exchange the relay never saw announced (unsolicited data).
+    Unsolicited,
+    /// Verdict failed verification against the buffered commitment.
+    BadVerdict,
+    /// S1 rate limit exceeded (flood defence).
+    RateLimited,
+    /// Packet for an unknown association while `forward_unknown` is off.
+    UnknownAssociation,
+    /// Body malformed with respect to protocol rules (e.g. zero leaves).
+    Malformed,
+}
+
+/// Forwarding decision for one observed packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelayDecision {
+    /// Pass the packet on.
+    Forward,
+    /// Drop it.
+    Drop(DropReason),
+}
+
+/// Information a relay extracted from verified traffic — the "secure
+/// extraction of signed data by forwarding nodes" the paper builds
+/// middlebox signalling on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelayEvent {
+    /// A new association was learned from a handshake.
+    AssociationLearned(u64),
+    /// A payload verified end-to-end passed through this relay.
+    VerifiedPayload {
+        /// Association it belongs to.
+        assoc_id: u64,
+        /// Direction: true = initiator→responder chain, false = reverse.
+        forward_direction: bool,
+        /// Message index within its bundle.
+        seq: u32,
+        /// The verified bytes.
+        payload: Vec<u8>,
+    },
+    /// A delivery verdict passed through and verified.
+    VerifiedVerdict {
+        /// Association it belongs to.
+        assoc_id: u64,
+        /// Message index (0 for flat verdicts covering a bundle).
+        seq: u32,
+        /// true = ack, false = nack.
+        ack: bool,
+    },
+}
+
+/// One direction of one association, as seen from the relay.
+struct DirectionState {
+    sig: ChainVerifier,
+    ack: ChainVerifier,
+    /// Outstanding exchange announced by the last S1 in this direction.
+    exchange: Option<RelayExchange>,
+    /// The superseded exchange, kept so reordered trailing S2s still
+    /// verify (a new S1 can overtake them on multi-hop paths).
+    prev_exchange: Option<RelayExchange>,
+}
+
+struct RelayExchange {
+    s1_index: u64,
+    /// Authenticated announce element, for verifying a superseded
+    /// exchange's late S2 keys (see the verifier's equivalent).
+    announce: Digest,
+    presig: RelayPresig,
+    commit: Option<RelayCommit>,
+}
+
+enum RelayPresig {
+    Macs(Vec<Digest>),
+    Root { root: Digest, leaves: u32 },
+    Forest { trees: Vec<PreSignatureTree>, leaves_per_tree: usize },
+}
+
+/// A buffered forest tree: keyed root plus leaf count.
+struct PreSignatureTree {
+    root: Digest,
+    leaves: u32,
+}
+
+enum RelayCommit {
+    Flat(PreAckPair),
+    Amt { root: Digest, leaves: u32 },
+}
+
+struct RelayAssociation {
+    alg: Algorithm,
+    /// Initiator → responder direction (initiator's signature chain,
+    /// responder's acknowledgment chain).
+    fwd: DirectionState,
+    /// Responder → initiator direction.
+    rev: DirectionState,
+    limiter: S1Limiter,
+    /// Signalled payload-rate caps (§1: receiver-controlled, relay-
+    /// enforced). `data_cap_fwd` limits verified S2 payload bytes flowing
+    /// in the fwd direction, installed by a RateLimit signal from the
+    /// reverse direction's host.
+    data_cap_fwd: Option<S1Limiter>,
+    data_cap_rev: Option<S1Limiter>,
+    /// Pending handshake init, until the reply arrives.
+    pending_init: Option<(Digest, u64, Digest, u64)>,
+}
+
+/// A forwarding node that authenticates ALPHA traffic in transit.
+pub struct Relay {
+    cfg: RelayConfig,
+    assocs: HashMap<u64, RelayAssociation>,
+}
+
+impl Relay {
+    /// An empty relay with the given policy.
+    #[must_use]
+    pub fn new(cfg: RelayConfig) -> Relay {
+        Relay { cfg, assocs: HashMap::new() }
+    }
+
+    /// Number of associations currently tracked.
+    #[must_use]
+    pub fn association_count(&self) -> usize {
+        self.assocs.len()
+    }
+
+    /// Total protocol state buffered across all associations — what bounds
+    /// how many flows a constrained relay can authenticate concurrently
+    /// (the scalability argument of §3.1.1).
+    #[must_use]
+    pub fn total_buffered_bytes(&self) -> usize {
+        self.assocs.keys().map(|id| self.buffered_bytes(*id)).sum()
+    }
+
+    /// Bytes of protocol state buffered for `assoc_id` — the relay columns
+    /// of Tables 2 and 3.
+    #[must_use]
+    pub fn buffered_bytes(&self, assoc_id: u64) -> usize {
+        let Some(a) = self.assocs.get(&assoc_id) else {
+            return 0;
+        };
+        let h = a.alg.digest_len();
+        let dir = |d: &DirectionState| -> usize {
+            let chains = d.sig.stored_bytes() + d.ack.stored_bytes();
+            let ex = d.exchange.as_ref().map_or(0, |ex| {
+                let presig = match &ex.presig {
+                    RelayPresig::Macs(m) => m.len() * h,
+                    RelayPresig::Root { .. } => h,
+                    RelayPresig::Forest { trees, .. } => trees.len() * h,
+                };
+                let commit = match &ex.commit {
+                    Some(RelayCommit::Flat(p)) => p.stored_bytes(),
+                    Some(RelayCommit::Amt { .. }) => h,
+                    None => 0,
+                };
+                presig + commit
+            });
+            chains + ex
+        };
+        dir(&a.fwd) + dir(&a.rev)
+    }
+
+    /// Pre-register an association (static bootstrapping, §3.4: base
+    /// stations provide pair-wise anchors before deployment).
+    pub fn adopt(
+        &mut self,
+        assoc_id: u64,
+        alg: Algorithm,
+        init_sig: (Digest, u64),
+        init_ack: (Digest, u64),
+        resp_sig: (Digest, u64),
+        resp_ack: (Digest, u64),
+    ) {
+        let mk = |anchor: Digest, idx: u64, kind| {
+            ChainVerifier::new(alg, kind, anchor, idx).with_max_skip(self.cfg.max_skip)
+        };
+        use alpha_crypto::chain::ChainKind::{RoleBoundAck, RoleBoundSignature};
+        self.assocs.insert(
+            assoc_id,
+            RelayAssociation {
+                alg,
+                fwd: DirectionState {
+                    sig: mk(init_sig.0, init_sig.1, RoleBoundSignature),
+                    ack: mk(resp_ack.0, resp_ack.1, RoleBoundAck),
+                    exchange: None,
+                    prev_exchange: None,
+                },
+                rev: DirectionState {
+                    sig: mk(resp_sig.0, resp_sig.1, RoleBoundSignature),
+                    ack: mk(init_ack.0, init_ack.1, RoleBoundAck),
+                    exchange: None,
+                    prev_exchange: None,
+                },
+                limiter: S1Limiter::new(self.cfg.s1_bytes_per_sec),
+                data_cap_fwd: None,
+                data_cap_rev: None,
+                pending_init: None,
+            },
+        );
+    }
+
+    /// Observe one packet in transit. Returns the forwarding decision and
+    /// any extraction events.
+    pub fn observe(&mut self, pkt: &Packet, now: Timestamp) -> (RelayDecision, Vec<RelayEvent>) {
+        match &pkt.body {
+            Body::Handshake(hs) => self.observe_handshake(pkt, hs),
+            _ => self.observe_data(pkt, now),
+        }
+    }
+
+    fn observe_handshake(
+        &mut self,
+        pkt: &Packet,
+        hs: &alpha_wire::Handshake,
+    ) -> (RelayDecision, Vec<RelayEvent>) {
+        // Relays learn anchors by watching the handshake (§3.4). The relay
+        // cannot judge handshake authenticity (that is the endpoints' PK
+        // check); it only records anchors.
+        match hs.role {
+            HandshakeRole::Init => {
+                let entry = self.assocs.entry(pkt.assoc_id).or_insert_with(|| {
+                    RelayAssociation::placeholder(pkt.alg, self.cfg.s1_bytes_per_sec, self.cfg.max_skip)
+                });
+                entry.pending_init = Some((
+                    hs.sig_anchor,
+                    hs.sig_anchor_index,
+                    hs.ack_anchor,
+                    hs.ack_anchor_index,
+                ));
+                (RelayDecision::Forward, Vec::new())
+            }
+            HandshakeRole::Reply => {
+                let Some(a) = self.assocs.get_mut(&pkt.assoc_id) else {
+                    return (RelayDecision::Forward, Vec::new());
+                };
+                let Some((isig, isig_i, iack, iack_i)) = a.pending_init.take() else {
+                    return (RelayDecision::Forward, Vec::new());
+                };
+                let alg = pkt.alg;
+                let skip = self.cfg.max_skip;
+                use alpha_crypto::chain::ChainKind::{RoleBoundAck, RoleBoundSignature};
+                a.alg = alg;
+                a.fwd = DirectionState {
+                    sig: ChainVerifier::new(alg, RoleBoundSignature, isig, isig_i).with_max_skip(skip),
+                    ack: ChainVerifier::new(alg, RoleBoundAck, hs.ack_anchor, hs.ack_anchor_index)
+                        .with_max_skip(skip),
+                    exchange: None,
+                    prev_exchange: None,
+                };
+                a.rev = DirectionState {
+                    sig: ChainVerifier::new(alg, RoleBoundSignature, hs.sig_anchor, hs.sig_anchor_index)
+                        .with_max_skip(skip),
+                    ack: ChainVerifier::new(alg, RoleBoundAck, iack, iack_i).with_max_skip(skip),
+                    exchange: None,
+                    prev_exchange: None,
+                };
+                (
+                    RelayDecision::Forward,
+                    vec![RelayEvent::AssociationLearned(pkt.assoc_id)],
+                )
+            }
+        }
+    }
+
+    fn observe_data(&mut self, pkt: &Packet, now: Timestamp) -> (RelayDecision, Vec<RelayEvent>) {
+        let forward_unknown = self.cfg.forward_unknown;
+        let drop_unsolicited = self.cfg.drop_unsolicited;
+        let Some(a) = self.assocs.get_mut(&pkt.assoc_id) else {
+            return if forward_unknown {
+                (RelayDecision::Forward, Vec::new())
+            } else {
+                (RelayDecision::Drop(DropReason::UnknownAssociation), Vec::new())
+            };
+        };
+        if a.pending_init.is_some() {
+            // Handshake incomplete: chains unknown; treat as unknown assoc.
+            return if forward_unknown {
+                (RelayDecision::Forward, Vec::new())
+            } else {
+                (RelayDecision::Drop(DropReason::UnknownAssociation), Vec::new())
+            };
+        }
+        let alg = a.alg;
+        if pkt.alg != alg {
+            return (RelayDecision::Drop(DropReason::Malformed), Vec::new());
+        }
+        match &pkt.body {
+            Body::S1 { element, presig } => {
+                // Authenticate the chain element *before* charging the rate
+                // limiter: forged S1 floods die at the (cheap, skip-bounded)
+                // chain check without consuming the association's S1 budget,
+                // so they cannot starve the legitimate sender. The limiter
+                // then bounds floods of *authentic* S1s (§3.5).
+                // Try both directions: whichever signature chain the
+                // element authenticates against is the sender.
+                // (`accept_role` only advances on success, so a failed
+                // first attempt costs one wasted hash and nothing else.)
+                // A retransmitted S1 (lost A1 — the paper stresses that S1
+                // and A1 need robust retransmission) carries the already
+                // accepted element: recognize and forward it.
+                let mut dir = None;
+                let mut duplicate = false;
+                for d in [&mut a.fwd, &mut a.rev] {
+                    let (last_index, last) = d.sig.last();
+                    if pkt.chain_index == last_index
+                        && alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes())
+                    {
+                        dir = Some(d);
+                        duplicate = true;
+                        break;
+                    }
+                    if d.sig.accept_role(pkt.chain_index, element, Role::Announce).is_ok() {
+                        dir = Some(d);
+                        break;
+                    }
+                }
+                let Some(dir) = dir else {
+                    return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
+                };
+                // Duplicates also pay (an attacker replaying a captured S1
+                // must not bypass the flood budget), but a fresh element
+                // was already accepted above, so a rate-limited fresh S1's
+                // retransmission comes back as a duplicate and passes once
+                // the bucket refills.
+                if !a.limiter.allow(pkt.wire_len() as u64, now) {
+                    return (RelayDecision::Drop(DropReason::RateLimited), Vec::new());
+                }
+                let fresh = match presig {
+                    PreSignature::Cumulative(macs) => RelayPresig::Macs(macs.clone()),
+                    PreSignature::MerkleRoot { root, leaves } => {
+                        if *leaves == 0 {
+                            return (RelayDecision::Drop(DropReason::Malformed), Vec::new());
+                        }
+                        RelayPresig::Root { root: *root, leaves: *leaves }
+                    }
+                    PreSignature::MerkleForest(trees) => {
+                        let lpt = trees[0].leaves as usize;
+                        let full = &trees[..trees.len() - 1];
+                        if lpt == 0
+                            || full.iter().any(|t| t.leaves as usize != lpt)
+                            || trees[trees.len() - 1].leaves as usize > lpt
+                        {
+                            return (RelayDecision::Drop(DropReason::Malformed), Vec::new());
+                        }
+                        RelayPresig::Forest {
+                            trees: trees
+                                .iter()
+                                .map(|t| PreSignatureTree { root: t.root, leaves: t.leaves })
+                                .collect(),
+                            leaves_per_tree: lpt,
+                        }
+                    }
+                };
+                // First-seen pre-signature wins for a given chain element;
+                // the S1's content only becomes checkable at S2 time, so a
+                // duplicate is never allowed to overwrite buffered state.
+                let keep = duplicate
+                    && dir.exchange.as_ref().is_some_and(|ex| ex.s1_index == pkt.chain_index);
+                if !keep {
+                    dir.prev_exchange = dir.exchange.take();
+                    dir.exchange = Some(RelayExchange {
+                        s1_index: pkt.chain_index,
+                        announce: *element,
+                        presig: fresh,
+                        commit: None,
+                    });
+                }
+                (RelayDecision::Forward, Vec::new())
+            }
+            Body::A1 { element, commit } => {
+                // The A1 flows against the data direction: its ack chain
+                // belongs to the direction whose exchange it answers. A1
+                // replays (answering a retransmitted S1) carry the already
+                // accepted element and are forwarded as-is.
+                let mut dir = None;
+                let mut duplicate = false;
+                for d in [&mut a.fwd, &mut a.rev] {
+                    let (last_index, last) = d.ack.last();
+                    if pkt.chain_index == last_index
+                        && alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes())
+                    {
+                        dir = Some(d);
+                        duplicate = true;
+                        break;
+                    }
+                    if d.ack.accept_role(pkt.chain_index, element, Role::Announce).is_ok() {
+                        dir = Some(d);
+                        break;
+                    }
+                }
+                let Some(dir) = dir else {
+                    return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
+                };
+                if duplicate {
+                    return (RelayDecision::Forward, Vec::new());
+                }
+                if let Some(ex) = dir.exchange.as_mut() {
+                    ex.commit = match commit {
+                        AckCommit::None => None,
+                        AckCommit::Flat { pre_ack, pre_nack } => Some(RelayCommit::Flat(PreAckPair {
+                            pre_ack: *pre_ack,
+                            pre_nack: *pre_nack,
+                        })),
+                        AckCommit::Amt { root, leaves } => {
+                            Some(RelayCommit::Amt { root: *root, leaves: *leaves })
+                        }
+                    };
+                }
+                (RelayDecision::Forward, Vec::new())
+            }
+            Body::S2 { key, seq, path, payload } => {
+                let matches_dir = |d: &DirectionState| {
+                    if d.exchange.as_ref().is_some_and(|ex| ex.s1_index == pkt.chain_index + 1) {
+                        Some(true)
+                    } else if d
+                        .prev_exchange
+                        .as_ref()
+                        .is_some_and(|ex| ex.s1_index == pkt.chain_index + 1)
+                    {
+                        Some(false)
+                    } else {
+                        None
+                    }
+                };
+                let (dir, is_fwd, in_current) = if let Some(cur) = matches_dir(&a.fwd) {
+                    (&mut a.fwd, true, cur)
+                } else if let Some(cur) = matches_dir(&a.rev) {
+                    (&mut a.rev, false, cur)
+                } else if drop_unsolicited {
+                    return (RelayDecision::Drop(DropReason::Unsolicited), Vec::new());
+                } else {
+                    return (RelayDecision::Forward, Vec::new());
+                };
+                // Authenticate the disclosed key: through the tracker for
+                // the current exchange, or via one forward derivation to
+                // the stored announce element for a superseded one.
+                if in_current {
+                    let (last_index, last) = dir.sig.last();
+                    if pkt.chain_index == last_index {
+                        if !alpha_crypto::ct_eq(key.as_bytes(), last.as_bytes()) {
+                            return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
+                        }
+                    } else if dir.sig.accept_role(pkt.chain_index, key, Role::Disclose).is_err() {
+                        return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
+                    }
+                } else {
+                    let announce = dir.prev_exchange.as_ref().expect("matched above").announce;
+                    let derived = alpha_crypto::chain::derive(
+                        alg,
+                        alpha_crypto::chain::ChainKind::RoleBoundSignature,
+                        pkt.chain_index + 1,
+                        key,
+                    );
+                    if !alpha_crypto::ct_eq(derived.as_bytes(), announce.as_bytes()) {
+                        return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
+                    }
+                }
+                let ex = if in_current {
+                    dir.exchange.as_ref().expect("matched above")
+                } else {
+                    dir.prev_exchange.as_ref().expect("matched above")
+                };
+                let valid = match &ex.presig {
+                    RelayPresig::Macs(macs) => (*seq as usize) < macs.len() && {
+                        let mac = message_mac(alg, self.cfg.mac_scheme, key, *seq, payload);
+                        alpha_crypto::ct_eq(mac.as_bytes(), macs[*seq as usize].as_bytes())
+                    },
+                    RelayPresig::Root { root, leaves } => {
+                        let expected_depth = merkle::log2_ceil(u64::from(*leaves).max(1)) as usize;
+                        (*seq as usize) < *leaves as usize
+                            && path.len() == expected_depth
+                            && merkle::verify_keyed(
+                                alg,
+                                key,
+                                &alg.hash(payload),
+                                *seq as usize,
+                                path,
+                                root,
+                            )
+                    }
+                    RelayPresig::Forest { trees, leaves_per_tree } => {
+                        let t = *seq as usize / leaves_per_tree;
+                        let j = *seq as usize % leaves_per_tree;
+                        t < trees.len() && {
+                            let tree = &trees[t];
+                            let expected_depth =
+                                merkle::log2_ceil(u64::from(tree.leaves).max(1)) as usize;
+                            j < tree.leaves as usize
+                                && path.len() == expected_depth
+                                && merkle::verify_keyed(
+                                    alg,
+                                    key,
+                                    &alg.hash(payload),
+                                    j,
+                                    path,
+                                    &tree.root,
+                                )
+                        }
+                    }
+                };
+                if !valid {
+                    return (RelayDecision::Drop(DropReason::BadMac), Vec::new());
+                }
+                // Enforce a signalled payload-rate cap on this direction.
+                let cap = if is_fwd { &mut a.data_cap_fwd } else { &mut a.data_cap_rev };
+                if let Some(bucket) = cap {
+                    if !bucket.allow(payload.len() as u64, now) {
+                        return (RelayDecision::Drop(DropReason::RateLimited), Vec::new());
+                    }
+                }
+                // Control signals: a verified RateLimit from host X caps
+                // the traffic flowing *toward* X (the opposite direction);
+                // a verified Close releases this association's state after
+                // this packet is forwarded.
+                if let Some(sig) = crate::signal::Signal::parse(payload) {
+                    match sig {
+                        crate::signal::Signal::RateLimit { bytes_per_sec } => {
+                            let toward_sender =
+                                if is_fwd { &mut a.data_cap_rev } else { &mut a.data_cap_fwd };
+                            *toward_sender = Some(S1Limiter::new(Some(bytes_per_sec)));
+                        }
+                        crate::signal::Signal::Close => {
+                            let event = RelayEvent::VerifiedPayload {
+                                assoc_id: pkt.assoc_id,
+                                forward_direction: is_fwd,
+                                seq: *seq,
+                                payload: payload.clone(),
+                            };
+                            self.assocs.remove(&pkt.assoc_id);
+                            return (RelayDecision::Forward, vec![event]);
+                        }
+                        crate::signal::Signal::LocatorUpdate { .. } => {}
+                    }
+                }
+                // Chain renewals ride inside verified payloads; the relay
+                // re-anchors the sender's chains (its signature chain in
+                // this direction, its acknowledgment chain in the other).
+                if let Some(anchors) = crate::renewal::parse(alg, payload) {
+                    let skip = self.cfg.max_skip;
+                    use alpha_crypto::chain::ChainKind::{RoleBoundAck, RoleBoundSignature};
+                    let (sig_dir, ack_dir) = if is_fwd {
+                        (&mut a.fwd, &mut a.rev)
+                    } else {
+                        (&mut a.rev, &mut a.fwd)
+                    };
+                    sig_dir.sig =
+                        ChainVerifier::new(alg, RoleBoundSignature, anchors.sig.0, anchors.sig.1)
+                            .with_max_skip(skip);
+                    sig_dir.exchange = None;
+                    ack_dir.ack = ChainVerifier::new(alg, RoleBoundAck, anchors.ack.0, anchors.ack.1)
+                        .with_max_skip(skip);
+                }
+                (
+                    RelayDecision::Forward,
+                    vec![RelayEvent::VerifiedPayload {
+                        assoc_id: pkt.assoc_id,
+                        forward_direction: is_fwd,
+                        seq: *seq,
+                        payload: payload.clone(),
+                    }],
+                )
+            }
+            Body::A2 { element, disclosure } => {
+                let mut dir = None;
+                for d in [&mut a.fwd, &mut a.rev] {
+                    let (last_index, last) = d.ack.last();
+                    let already = pkt.chain_index == last_index
+                        && alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes());
+                    if already || d.ack.accept_role(pkt.chain_index, element, Role::Disclose).is_ok() {
+                        dir = Some(d);
+                        break;
+                    }
+                }
+                let Some(dir) = dir else {
+                    return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
+                };
+                let Some(ex) = dir.exchange.as_ref() else {
+                    // No buffered commitment: cannot verify, forward as-is.
+                    return (RelayDecision::Forward, Vec::new());
+                };
+                let mut events = Vec::new();
+                match (&ex.commit, disclosure) {
+                    (Some(RelayCommit::Flat(pair)), A2Disclosure::Flat { ack, secret }) => {
+                        let d = alpha_crypto::preack::AckDisclosure { ack: *ack, secret: *secret };
+                        if !alpha_crypto::preack::verify(alg, element, &d, pair) {
+                            return (RelayDecision::Drop(DropReason::BadVerdict), Vec::new());
+                        }
+                        events.push(RelayEvent::VerifiedVerdict {
+                            assoc_id: pkt.assoc_id,
+                            seq: 0,
+                            ack: *ack,
+                        });
+                    }
+                    (Some(RelayCommit::Amt { root, leaves }), A2Disclosure::Amt(items)) => {
+                        for item in items {
+                            match alpha_crypto::amt::verify_disclosure(
+                                alg,
+                                element,
+                                *leaves as usize,
+                                item,
+                                root,
+                            ) {
+                                None => {
+                                    return (RelayDecision::Drop(DropReason::BadVerdict), Vec::new())
+                                }
+                                Some(ack) => events.push(RelayEvent::VerifiedVerdict {
+                                    assoc_id: pkt.assoc_id,
+                                    seq: item.packet_index,
+                                    ack,
+                                }),
+                            }
+                        }
+                    }
+                    (None, _) => {}
+                    _ => return (RelayDecision::Drop(DropReason::BadVerdict), Vec::new()),
+                }
+                (RelayDecision::Forward, events)
+            }
+            Body::Handshake(_) => unreachable!("handled by observe"),
+        }
+    }
+}
+
+impl RelayAssociation {
+    /// State for an association whose handshake is still in flight.
+    fn placeholder(alg: Algorithm, s1_rate: Option<u64>, max_skip: u64) -> RelayAssociation {
+        use alpha_crypto::chain::ChainKind::{RoleBoundAck, RoleBoundSignature};
+        let dummy = Digest::zero(alg);
+        let mk = |kind| ChainVerifier::new(alg, kind, dummy, 0).with_max_skip(max_skip);
+        RelayAssociation {
+            alg,
+            fwd: DirectionState {
+                sig: mk(RoleBoundSignature),
+                ack: mk(RoleBoundAck),
+                exchange: None,
+                prev_exchange: None,
+            },
+            rev: DirectionState {
+                sig: mk(RoleBoundSignature),
+                ack: mk(RoleBoundAck),
+                exchange: None,
+                prev_exchange: None,
+            },
+            limiter: S1Limiter::new(s1_rate),
+            data_cap_fwd: None,
+            data_cap_rev: None,
+            pending_init: None,
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! In-band control signalling interpreted by peers *and* relays.
+//!
+//! The paper's introduction motivates ALPHA with exactly this: "forgery
+//! detection and data extraction form the basis for more complex services,
+//! such as rate and resource allocation within the network controlled by
+//! end-hosts but enforced by intermediate nodes." This module defines a
+//! small, typed vocabulary of such control messages. They ride inside
+//! ordinary ALPHA-protected payloads, so a relay that verifies traffic in
+//! transit can *act* on them with the same assurance the endpoint has:
+//!
+//! - [`Signal::LocatorUpdate`] — mobility signalling (the HIP use-case of
+//!   §4.1.1): middleboxes re-pin flow state to the new locator.
+//! - [`Signal::RateLimit`] — the receiving host caps the data rate it is
+//!   willing to accept; relays enforce the cap *upstream*, so excess
+//!   traffic dies before it wastes network resources (§3.5's philosophy
+//!   extended from "unsolicited" to "over-budget").
+//! - [`Signal::Close`] — association teardown: relays free their
+//!   per-association state immediately instead of waiting for timeouts.
+//!
+//! Like chain renewals, signals are recognized by
+//! [`crate::Relay::observe`] (enforcement) and surfaced to endpoint
+//! applications via `Response::signals`.
+
+/// Marker prefix distinguishing signal payloads from application data.
+pub const MAGIC: &[u8; 10] = b"ALPHA-SIG\x01";
+
+/// A verified in-band control message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Signal {
+    /// The sender moved; `locator` is its new address in
+    /// application-defined encoding (e.g. "192.0.2.7:4500").
+    LocatorUpdate {
+        /// New locator bytes (≤ 255 bytes).
+        locator: Vec<u8>,
+    },
+    /// The sender requests that no more than `bytes_per_sec` of verified
+    /// S2 payload flow *toward* it per second; ALPHA-aware relays enforce
+    /// the cap on the reverse direction.
+    RateLimit {
+        /// Permitted payload bytes per second (0 = block data entirely).
+        bytes_per_sec: u64,
+    },
+    /// Orderly association teardown.
+    Close,
+}
+
+impl Signal {
+    /// Serialize for transmission as an ALPHA payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16);
+        out.extend_from_slice(MAGIC);
+        match self {
+            Signal::LocatorUpdate { locator } => {
+                out.push(1);
+                out.push(locator.len().min(255) as u8);
+                out.extend_from_slice(&locator[..locator.len().min(255)]);
+            }
+            Signal::RateLimit { bytes_per_sec } => {
+                out.push(2);
+                out.extend_from_slice(&bytes_per_sec.to_be_bytes());
+            }
+            Signal::Close => out.push(3),
+        }
+        out
+    }
+
+    /// Parse a verified payload as a signal. `None` for application data
+    /// or malformed signals.
+    #[must_use]
+    pub fn parse(payload: &[u8]) -> Option<Signal> {
+        let rest = payload.strip_prefix(MAGIC.as_slice())?;
+        let (&tag, rest) = rest.split_first()?;
+        match tag {
+            1 => {
+                let (&len, rest) = rest.split_first()?;
+                if rest.len() != len as usize {
+                    return None;
+                }
+                Some(Signal::LocatorUpdate { locator: rest.to_vec() })
+            }
+            2 => {
+                if rest.len() != 8 {
+                    return None;
+                }
+                Some(Signal::RateLimit {
+                    bytes_per_sec: u64::from_be_bytes(rest.try_into().ok()?),
+                })
+            }
+            3 => {
+                if rest.is_empty() {
+                    Some(Signal::Close)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_signals_roundtrip() {
+        for sig in [
+            Signal::LocatorUpdate { locator: b"198.51.100.7:4500".to_vec() },
+            Signal::LocatorUpdate { locator: Vec::new() },
+            Signal::RateLimit { bytes_per_sec: 125_000 },
+            Signal::RateLimit { bytes_per_sec: 0 },
+            Signal::Close,
+        ] {
+            assert_eq!(Signal::parse(&sig.encode()), Some(sig));
+        }
+    }
+
+    #[test]
+    fn application_data_is_not_a_signal() {
+        assert!(Signal::parse(b"ordinary payload").is_none());
+        assert!(Signal::parse(b"").is_none());
+        assert!(Signal::parse(MAGIC).is_none());
+    }
+
+    #[test]
+    fn malformed_signals_rejected() {
+        let mut bytes = Signal::RateLimit { bytes_per_sec: 9 }.encode();
+        bytes.pop();
+        assert!(Signal::parse(&bytes).is_none());
+        let mut bytes = Signal::Close.encode();
+        bytes.push(0);
+        assert!(Signal::parse(&bytes).is_none());
+        let mut bytes = Signal::LocatorUpdate { locator: b"x".to_vec() }.encode();
+        bytes.push(0); // length byte no longer matches
+        assert!(Signal::parse(&bytes).is_none());
+    }
+
+    #[test]
+    fn oversized_locator_truncated_at_encode() {
+        let sig = Signal::LocatorUpdate { locator: vec![7u8; 300] };
+        let parsed = Signal::parse(&sig.encode()).unwrap();
+        match parsed {
+            Signal::LocatorUpdate { locator } => assert_eq!(locator.len(), 255),
+            _ => panic!(),
+        }
+    }
+}

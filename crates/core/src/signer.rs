@@ -1,0 +1,534 @@
+//! The signing side of one simplex protected channel.
+//!
+//! Owns the signature hash chain and drives the S1 → (A1) → S2 → (A2)
+//! exchange of Figs. 2 and 3. One exchange is outstanding at a time — the
+//! paper's S1/A1 phase is strictly sequential (§3.3.1); throughput comes
+//! from packing many messages into one exchange (ALPHA-C / ALPHA-M), not
+//! from pipelining exchanges.
+
+use alpha_crypto::chain::{ChainVerifier, HashChain, Role};
+use alpha_crypto::merkle::MerkleTree;
+use alpha_crypto::preack::PreAckPair;
+use alpha_crypto::{hmac, Digest};
+use alpha_wire::{limits, A2Disclosure, AckCommit, Body, Packet, PreSignature, TreeDescriptor};
+
+use crate::{Config, MacScheme, Mode, ProtocolError, Reliability, Timestamp};
+
+/// Events surfaced to the application by the signing side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SignerEvent {
+    /// The verifier confirmed receipt of message `seq`.
+    Acked(u32),
+    /// The verifier reported message `seq` invalid or missing; a
+    /// retransmission has been scheduled.
+    Nacked(u32),
+    /// Every message of the outstanding exchange is confirmed (reliable)
+    /// or dispatched (unreliable); the channel is idle again.
+    ExchangeComplete,
+    /// The exchange was dropped after exhausting retransmissions.
+    ExchangeAbandoned,
+}
+
+/// What a signer-side handler produced: packets to transmit and events for
+/// the application.
+#[derive(Debug, Default)]
+pub struct SignerOutput {
+    /// Packets to put on the wire, in order.
+    pub packets: Vec<Packet>,
+    /// Application events.
+    pub events: Vec<SignerEvent>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ExchangeState {
+    AwaitA1,
+    AwaitA2,
+}
+
+enum BufferedCommit {
+    Flat(PreAckPair),
+    Amt { root: Digest, leaves: u32 },
+}
+
+struct Exchange {
+    mode: Mode,
+    reliability: Reliability,
+    key_index: u64,
+    key: Digest,
+    s1: Packet,
+    messages: Vec<Vec<u8>>,
+    /// Empty for Base/ALPHA-C; one tree for ALPHA-M; several for the
+    /// combined mode. `leaves_per_tree` maps a global sequence number to
+    /// `(tree, leaf)`.
+    trees: Vec<MerkleTree>,
+    leaves_per_tree: usize,
+    state: ExchangeState,
+    commit: Option<BufferedCommit>,
+    acked: Vec<bool>,
+    last_tx: Timestamp,
+    retries: u32,
+}
+
+impl Exchange {
+    fn path_for(&self, seq: u32) -> Vec<Digest> {
+        if self.trees.is_empty() {
+            return Vec::new();
+        }
+        let t = seq as usize / self.leaves_per_tree;
+        let j = seq as usize % self.leaves_per_tree;
+        self.trees[t].auth_path(j)
+    }
+}
+
+/// The signer half of a simplex channel: signs outgoing messages with its
+/// own signature chain and authenticates the peer's acknowledgment chain.
+pub struct SignerChannel {
+    assoc_id: u64,
+    cfg: Config,
+    chain: HashChain,
+    peer_ack: ChainVerifier,
+    pending: Option<Exchange>,
+}
+
+impl SignerChannel {
+    /// Build from the signer's own chain and the peer's acknowledgment
+    /// anchor (learned in the bootstrap handshake).
+    #[must_use]
+    pub fn new(
+        assoc_id: u64,
+        cfg: Config,
+        chain: HashChain,
+        peer_ack_anchor: Digest,
+        peer_ack_anchor_index: u64,
+    ) -> SignerChannel {
+        let peer_ack = ChainVerifier::new(
+            cfg.algorithm,
+            alpha_crypto::chain::ChainKind::RoleBoundAck,
+            peer_ack_anchor,
+            peer_ack_anchor_index,
+        )
+        .with_max_skip(cfg.max_skip);
+        SignerChannel {
+            assoc_id,
+            cfg,
+            chain,
+            peer_ack,
+            pending: None,
+        }
+    }
+
+    /// Association this channel belongs to.
+    #[must_use]
+    pub fn assoc_id(&self) -> u64 {
+        self.assoc_id
+    }
+
+    /// True when no exchange is outstanding.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    /// Exchange pairs left on the signature chain.
+    #[must_use]
+    pub fn remaining_exchanges(&self) -> u64 {
+        self.chain.remaining_pairs()
+    }
+
+    /// Bytes currently buffered for the outstanding exchange: the messages
+    /// plus one MAC key — the signer's `n(m+h)` of Table 2 (ALPHA-M holds
+    /// the tree too, its `(2n−1)h`).
+    #[must_use]
+    pub fn buffered_bytes(&self) -> usize {
+        let h = self.cfg.algorithm.digest_len();
+        match &self.pending {
+            None => 0,
+            Some(ex) => {
+                let msgs: usize = ex.messages.iter().map(Vec::len).sum();
+                let tree: usize = ex
+                    .trees
+                    .iter()
+                    .map(|t| (2 * t.leaf_count().next_power_of_two() - 1) * h)
+                    .sum();
+                let commit = match &ex.commit {
+                    Some(BufferedCommit::Flat(p)) => p.stored_bytes(),
+                    Some(BufferedCommit::Amt { .. }) => h,
+                    None => 0,
+                };
+                msgs + h + tree + commit
+            }
+        }
+    }
+
+    /// Start a signature exchange over `messages` in `mode`, producing the
+    /// S1 packet. `Base` requires exactly one message; `Cumulative` and
+    /// `Merkle` accept up to the wire limits.
+    pub fn sign(
+        &mut self,
+        messages: &[&[u8]],
+        mode: Mode,
+        now: Timestamp,
+    ) -> Result<Packet, ProtocolError> {
+        if self.pending.is_some() {
+            return Err(ProtocolError::ExchangeInProgress);
+        }
+        if messages.is_empty() {
+            return Err(ProtocolError::NoMessages);
+        }
+        match mode {
+            Mode::Base if messages.len() != 1 => return Err(ProtocolError::TooManyMessages),
+            Mode::Cumulative if messages.len() > limits::MAX_PRESIGS => {
+                return Err(ProtocolError::TooManyMessages)
+            }
+            Mode::Merkle if messages.len() as u64 > u64::from(limits::MAX_LEAVES) => {
+                return Err(ProtocolError::TooManyMessages)
+            }
+            Mode::CumulativeMerkle { leaves_per_tree }
+                if (leaves_per_tree == 0
+                    || messages.len() as u64 > u64::from(limits::MAX_LEAVES)
+                    || messages.len().div_ceil(leaves_per_tree) > limits::MAX_PRESIGS)
+                => {
+                    return Err(ProtocolError::TooManyMessages);
+                }
+            _ => {}
+        }
+        if messages.iter().any(|m| m.len() > limits::MAX_PAYLOAD) {
+            return Err(ProtocolError::PayloadTooLarge);
+        }
+        if self.chain.remaining_pairs() == 0 {
+            return Err(ProtocolError::ChainExhausted);
+        }
+        let ((announce_index, announce), (key_index, key)) =
+            self.chain.disclose_pair().map_err(|_| ProtocolError::ChainExhausted)?;
+        debug_assert_eq!(alpha_crypto::chain::role_of(announce_index), Role::Announce);
+
+        let alg = self.cfg.algorithm;
+        let (presig, trees, leaves_per_tree) = match mode {
+            Mode::Base | Mode::Cumulative => {
+                let macs = messages
+                    .iter()
+                    .enumerate()
+                    .map(|(seq, m)| message_mac(alg, self.cfg.mac_scheme, &key, seq as u32, m))
+                    .collect();
+                (PreSignature::Cumulative(macs), Vec::new(), 1)
+            }
+            Mode::Merkle => {
+                let tree = MerkleTree::from_messages(alg, messages);
+                let root = tree.keyed_root(&key);
+                (
+                    PreSignature::MerkleRoot { root, leaves: messages.len() as u32 },
+                    vec![tree],
+                    messages.len().max(1),
+                )
+            }
+            Mode::CumulativeMerkle { leaves_per_tree } => {
+                let trees: Vec<MerkleTree> = messages
+                    .chunks(leaves_per_tree)
+                    .map(|chunk| MerkleTree::from_messages(alg, chunk))
+                    .collect();
+                let descriptors = trees
+                    .iter()
+                    .map(|t| TreeDescriptor {
+                        root: t.keyed_root(&key),
+                        leaves: t.leaf_count() as u32,
+                    })
+                    .collect();
+                (PreSignature::MerkleForest(descriptors), trees, leaves_per_tree)
+            }
+        };
+        let s1 = Packet {
+            assoc_id: self.assoc_id,
+            alg,
+            chain_index: announce_index,
+            body: Body::S1 { element: announce, presig },
+        };
+        self.pending = Some(Exchange {
+            mode,
+            reliability: self.cfg.reliability,
+            key_index,
+            key,
+            s1: s1.clone(),
+            messages: messages.iter().map(|m| m.to_vec()).collect(),
+            trees,
+            leaves_per_tree,
+            state: ExchangeState::AwaitA1,
+            commit: None,
+            acked: vec![false; messages.len()],
+            last_tx: now,
+            retries: 0,
+        });
+        Ok(s1)
+    }
+
+    /// Process an A1 packet. On success returns the S2 packets for every
+    /// message of the exchange.
+    pub fn handle_a1(&mut self, pkt: &Packet, now: Timestamp) -> Result<SignerOutput, ProtocolError> {
+        self.check_packet(pkt)?;
+        let Body::A1 { element, commit } = &pkt.body else {
+            return Err(ProtocolError::UnexpectedPacket);
+        };
+        let Some(ex) = self.pending.as_mut() else {
+            return Err(ProtocolError::NoExchange);
+        };
+        if ex.state != ExchangeState::AwaitA1 {
+            // §3.2.2: after sending S2, further A1 pre-(n)acks are discarded
+            // so temporal separation holds.
+            return Ok(SignerOutput::default());
+        }
+        self.peer_ack.accept_role(pkt.chain_index, element, Role::Announce)?;
+
+        if ex.reliability == Reliability::Reliable {
+            match (ex.mode, commit) {
+                (Mode::Base | Mode::Cumulative, AckCommit::Flat { pre_ack, pre_nack }) => {
+                    ex.commit = Some(BufferedCommit::Flat(PreAckPair {
+                        pre_ack: *pre_ack,
+                        pre_nack: *pre_nack,
+                    }));
+                }
+                (Mode::Merkle | Mode::CumulativeMerkle { .. }, AckCommit::Amt { root, leaves }) => {
+                    if *leaves as usize != ex.messages.len() {
+                        return Err(ProtocolError::UnexpectedPacket);
+                    }
+                    ex.commit = Some(BufferedCommit::Amt { root: *root, leaves: *leaves });
+                }
+                _ => return Err(ProtocolError::UnexpectedPacket),
+            }
+        }
+
+        let packets = Self::build_s2s(self.assoc_id, &self.cfg, ex, None);
+        let mut out = SignerOutput { packets, events: Vec::new() };
+        if ex.reliability == Reliability::Reliable {
+            ex.state = ExchangeState::AwaitA2;
+            ex.last_tx = now;
+            ex.retries = 0;
+        } else {
+            out.events.push(SignerEvent::ExchangeComplete);
+            self.pending = None;
+        }
+        Ok(out)
+    }
+
+    /// Process an A2 packet (reliable mode): per-message verdicts. Nacked
+    /// messages are retransmitted immediately.
+    pub fn handle_a2(&mut self, pkt: &Packet, now: Timestamp) -> Result<SignerOutput, ProtocolError> {
+        self.check_packet(pkt)?;
+        let Body::A2 { element, disclosure } = &pkt.body else {
+            return Err(ProtocolError::UnexpectedPacket);
+        };
+        let Some(ex) = self.pending.as_mut() else {
+            return Err(ProtocolError::NoExchange);
+        };
+        if ex.state != ExchangeState::AwaitA2 {
+            return Err(ProtocolError::UnexpectedPacket);
+        }
+        // Authenticate the disclosed ack-chain element. Repeated A2 packets
+        // disclose the same element; compare directly once accepted.
+        let (last_index, last) = self.peer_ack.last();
+        if pkt.chain_index == last_index {
+            if !alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes()) {
+                return Err(ProtocolError::Chain(alpha_crypto::chain::ChainError::Mismatch));
+            }
+        } else {
+            self.peer_ack.accept_role(pkt.chain_index, element, Role::Disclose)?;
+        }
+
+        let alg = self.cfg.algorithm;
+        let mut events = Vec::new();
+        let mut retransmit: Vec<u32> = Vec::new();
+        match (&ex.commit, disclosure) {
+            (Some(BufferedCommit::Flat(pair)), A2Disclosure::Flat { ack, secret }) => {
+                let disclosure = alpha_crypto::preack::AckDisclosure { ack: *ack, secret: *secret };
+                if !alpha_crypto::preack::verify(alg, element, &disclosure, pair) {
+                    return Err(ProtocolError::BadMac);
+                }
+                if *ack {
+                    for (seq, a) in ex.acked.iter_mut().enumerate() {
+                        if !*a {
+                            *a = true;
+                            events.push(SignerEvent::Acked(seq as u32));
+                        }
+                    }
+                } else {
+                    for seq in 0..ex.acked.len() as u32 {
+                        events.push(SignerEvent::Nacked(seq));
+                        retransmit.push(seq);
+                    }
+                }
+            }
+            (Some(BufferedCommit::Amt { root, leaves }), A2Disclosure::Amt(items)) => {
+                for item in items {
+                    let verdict = alpha_crypto::amt::verify_disclosure(
+                        alg,
+                        element,
+                        *leaves as usize,
+                        item,
+                        root,
+                    );
+                    match verdict {
+                        None => return Err(ProtocolError::BadMac),
+                        Some(true) => {
+                            let seq = item.packet_index as usize;
+                            if !ex.acked[seq] {
+                                ex.acked[seq] = true;
+                                events.push(SignerEvent::Acked(item.packet_index));
+                            }
+                        }
+                        Some(false) => {
+                            events.push(SignerEvent::Nacked(item.packet_index));
+                            retransmit.push(item.packet_index);
+                        }
+                    }
+                }
+            }
+            _ => return Err(ProtocolError::UnexpectedPacket),
+        }
+
+        // Forward progress (fresh acks) resets the abandonment counter, so
+        // only a genuinely stalled exchange is dropped.
+        if events.iter().any(|e| matches!(e, SignerEvent::Acked(_))) {
+            ex.retries = 0;
+        }
+        if self.cfg.retransmit == crate::Retransmit::GoBackN {
+            if let Some(&first) = retransmit.iter().min() {
+                retransmit = (first..ex.messages.len() as u32)
+                    .filter(|&s| !ex.acked[s as usize])
+                    .collect();
+            }
+        }
+        let mut packets = Vec::new();
+        if !retransmit.is_empty() {
+            ex.retries += 1;
+            if ex.retries > self.cfg.max_retries {
+                events.push(SignerEvent::ExchangeAbandoned);
+                self.pending = None;
+                return Ok(SignerOutput { packets, events });
+            }
+            packets = Self::build_s2s(self.assoc_id, &self.cfg, ex, Some(&retransmit));
+            ex.last_tx = now;
+        }
+        if self.pending.as_ref().is_some_and(|ex| ex.acked.iter().all(|&a| a)) {
+            events.push(SignerEvent::ExchangeComplete);
+            self.pending = None;
+        }
+        Ok(SignerOutput { packets, events })
+    }
+
+    /// Replace this channel's signature chain (chain renewal). Fails while
+    /// an exchange is outstanding — finish or abandon it first.
+    pub fn install_chain(&mut self, chain: HashChain) -> Result<(), ProtocolError> {
+        if self.pending.is_some() {
+            return Err(ProtocolError::ExchangeInProgress);
+        }
+        self.chain = chain;
+        Ok(())
+    }
+
+    /// Re-anchor the peer's acknowledgment chain (the peer renewed).
+    pub fn replace_peer_ack(&mut self, anchor: Digest, anchor_index: u64) {
+        self.peer_ack = ChainVerifier::new(
+            self.cfg.algorithm,
+            alpha_crypto::chain::ChainKind::RoleBoundAck,
+            anchor,
+            anchor_index,
+        )
+        .with_max_skip(self.cfg.max_skip);
+    }
+
+    /// Drive retransmission timers. Returns packets to (re)send and any
+    /// abandonment event.
+    pub fn poll(&mut self, now: Timestamp) -> SignerOutput {
+        let mut out = SignerOutput::default();
+        let Some(ex) = self.pending.as_mut() else {
+            return out;
+        };
+        if now.since(ex.last_tx) < self.cfg.rto_micros {
+            return out;
+        }
+        if ex.retries >= self.cfg.max_retries {
+            out.events.push(SignerEvent::ExchangeAbandoned);
+            self.pending = None;
+            return out;
+        }
+        ex.retries += 1;
+        ex.last_tx = now;
+        match ex.state {
+            ExchangeState::AwaitA1 => out.packets.push(ex.s1.clone()),
+            ExchangeState::AwaitA2 => {
+                let unacked: Vec<u32> = ex
+                    .acked
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &a)| !a)
+                    .map(|(i, _)| i as u32)
+                    .collect();
+                out.packets = Self::build_s2s(self.assoc_id, &self.cfg, ex, Some(&unacked));
+            }
+        }
+        out
+    }
+
+    /// Earliest time at which [`SignerChannel::poll`] will act, if any.
+    #[must_use]
+    pub fn poll_at(&self) -> Option<Timestamp> {
+        self.pending
+            .as_ref()
+            .map(|ex| ex.last_tx.plus_micros(self.cfg.rto_micros))
+    }
+
+    fn build_s2s(
+        assoc_id: u64,
+        cfg: &Config,
+        ex: &Exchange,
+        only: Option<&[u32]>,
+    ) -> Vec<Packet> {
+        let seqs: Vec<u32> = match only {
+            Some(list) => list.to_vec(),
+            None => (0..ex.messages.len() as u32).collect(),
+        };
+        seqs.into_iter()
+            .filter(|&seq| (seq as usize) < ex.messages.len())
+            .map(|seq| {
+                let path = ex.path_for(seq);
+                Packet {
+                    assoc_id,
+                    alg: cfg.algorithm,
+                    chain_index: ex.key_index,
+                    body: Body::S2 {
+                        key: ex.key,
+                        seq,
+                        path,
+                        payload: ex.messages[seq as usize].clone(),
+                    },
+                }
+            })
+            .collect()
+    }
+
+    fn check_packet(&self, pkt: &Packet) -> Result<(), ProtocolError> {
+        if pkt.assoc_id != self.assoc_id {
+            return Err(ProtocolError::WrongAssociation);
+        }
+        if pkt.alg != self.cfg.algorithm {
+            return Err(ProtocolError::WrongAlgorithm);
+        }
+        Ok(())
+    }
+}
+
+/// The per-message MAC of the Base/ALPHA-C pre-signature over
+/// `(seq || m)`, keyed with the undisclosed chain element `h^Ss_{i-1}`.
+/// The sequence number is bound so an attacker cannot re-index S2 packets
+/// within a cumulative bundle.
+#[must_use]
+pub fn message_mac(
+    alg: alpha_crypto::Algorithm,
+    scheme: MacScheme,
+    key: &Digest,
+    seq: u32,
+    message: &[u8],
+) -> Digest {
+    match scheme {
+        MacScheme::Hmac => hmac::mac_parts(alg, key.as_bytes(), &[&seq.to_be_bytes(), message]),
+        MacScheme::Prefix => hmac::prefix_mac(alg, key.as_bytes(), &[&seq.to_be_bytes(), message]),
+    }
+}

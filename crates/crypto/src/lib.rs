@@ -1,0 +1,78 @@
+#![warn(missing_docs)]
+
+//! Cryptographic substrate for the ALPHA protocol (CoNEXT 2008).
+//!
+//! ALPHA's security rests entirely on cryptographic hash functions: the paper
+//! evaluates SHA-1 on end hosts and mesh routers and the block-cipher-based
+//! Matyas-Meyer-Oseas (MMO) construction over AES-128 on sensor nodes with
+//! AES hardware. This crate implements, from scratch:
+//!
+//! - [`sha1`], [`sha256`] — Merkle–Damgård hash functions with streaming
+//!   contexts and FIPS/RFC test vectors.
+//! - [`aes`] — AES-128 block encryption (encryption direction only, which is
+//!   all MMO needs).
+//! - [`mmo`] — the Matyas-Meyer-Oseas one-way function used in §4.1.3.
+//! - [`hmac`] — HMAC (RFC 2104) generic over the hash [`Algorithm`]s.
+//! - [`chain`] — one-way hash chains with the S1/S2 *role binding* of §3.2.1
+//!   that defeats the reformatting attack.
+//! - [`merkle`] — Merkle trees with authentication paths ({Bc} in the paper)
+//!   and the closed-form payload-capacity formula of eq. (1) / Fig. 5.
+//! - [`amt`] — Acknowledgment Merkle Trees (§3.3.3, Fig. 7).
+//! - [`preack`] — flat pre-acknowledgements / pre-negative-acknowledgements
+//!   (§3.2.2, Fig. 3).
+//! - [`counting`] — a thread-local instrumentation layer that counts every
+//!   hash invocation, used to regenerate Table 1.
+//!
+//! All verification comparisons go through [`ct_eq`], a constant-time
+//! comparison, so none of the protocol checks leak secret material through
+//! early-exit timing.
+
+pub mod aes;
+pub mod amt;
+pub mod chain;
+pub mod counting;
+pub mod hmac;
+pub mod merkle;
+pub mod mmo;
+pub mod preack;
+pub mod sha1;
+pub mod sha256;
+
+mod digest;
+
+pub use digest::{Algorithm, Digest, Hasher, MAX_DIGEST_LEN};
+
+/// Constant-time equality over byte slices.
+///
+/// Returns `false` for length mismatches without inspecting contents, and
+/// otherwise accumulates the XOR of every byte pair so the comparison time
+/// does not depend on *where* two inputs differ.
+#[must_use]
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_equal() {
+        assert!(ct_eq(b"same bytes", b"same bytes"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn ct_eq_differs() {
+        assert!(!ct_eq(b"same bytes", b"same bytez"));
+        assert!(!ct_eq(b"short", b"longer input"));
+        assert!(!ct_eq(b"a", b""));
+    }
+}

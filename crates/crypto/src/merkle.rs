@@ -1,0 +1,406 @@
+//! Merkle trees for ALPHA-M (§3.3.2, Fig. 4) and the payload-capacity
+//! arithmetic behind Figures 5 and 6.
+//!
+//! ALPHA-M covers `n` buffered messages with a single pre-signature: the
+//! signer builds a binary hash tree over the message hashes
+//! `b_j = H(m_j)` and announces only the *keyed root*
+//! `r = H(h^Ss_{i-1} | b_0 | b_1)` in the S1 packet (the undisclosed chain
+//! element keys the root, making it a MAC). Each S2 packet then carries one
+//! message plus its *authentication path* `{Bc}` — the sibling of every node
+//! on the leaf-to-root path — so every S2 is independently verifiable in
+//! `⌈log2 n⌉` fixed-length hashes regardless of delivery order or loss.
+//!
+//! The keyed combine replaces the tree's top node exactly as drawn in the
+//! paper's Fig. 4, which keeps the verifier's per-packet hash count at
+//! `1* + log2(n)` as stated in Table 1 (one message hash plus the path).
+
+use crate::{Algorithm, Digest};
+
+/// A binary Merkle tree with all levels retained.
+///
+/// ```
+/// use alpha_crypto::merkle::{self, MerkleTree};
+/// use alpha_crypto::Algorithm;
+///
+/// let alg = Algorithm::Sha1;
+/// let messages = [b"block 0".as_slice(), b"block 1", b"block 2"];
+/// let tree = MerkleTree::from_messages(alg, &messages);
+///
+/// // The ALPHA-M pre-signature: the root keyed with the undisclosed
+/// // chain element.
+/// let key = alg.hash(b"chain element");
+/// let root = tree.keyed_root(&key);
+///
+/// // Any message verifies independently from its authentication path.
+/// let leaf = alg.hash(messages[2]);
+/// assert!(merkle::verify_keyed(alg, &key, &leaf, 2, &tree.auth_path(2), &root));
+/// ```
+///
+/// Leaves that do not fill a power of two are padded with the all-zero
+/// digest; padding leaves can never be proven (the signer never emits an S2
+/// for them), so the padding does not weaken the construction.
+#[derive(Clone)]
+pub struct MerkleTree {
+    alg: Algorithm,
+    /// `levels[0]` are the (padded) leaves; `levels.last()` is a single
+    /// node: the unkeyed root.
+    levels: Vec<Vec<Digest>>,
+    real_leaves: usize,
+}
+
+impl MerkleTree {
+    /// Build a tree over precomputed leaf digests (`b_j = H(m_j)`).
+    ///
+    /// Panics on an empty leaf set: a tree over nothing has no meaning in
+    /// the protocol (the signer never announces an empty bundle).
+    #[must_use]
+    pub fn build(alg: Algorithm, leaves: &[Digest]) -> MerkleTree {
+        assert!(!leaves.is_empty(), "Merkle tree needs at least one leaf");
+        let padded = leaves.len().next_power_of_two();
+        let mut level0: Vec<Digest> = leaves.to_vec();
+        level0.resize(padded, Digest::zero(alg));
+        let mut levels = vec![level0];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let next: Vec<Digest> = prev
+                .chunks_exact(2)
+                .map(|pair| alg.hash_parts(&[pair[0].as_bytes(), pair[1].as_bytes()]))
+                .collect();
+            levels.push(next);
+        }
+        MerkleTree {
+            alg,
+            levels,
+            real_leaves: leaves.len(),
+        }
+    }
+
+    /// Build a tree directly over message payloads (hashes each first).
+    #[must_use]
+    pub fn from_messages<M: AsRef<[u8]>>(alg: Algorithm, messages: &[M]) -> MerkleTree {
+        let leaves: Vec<Digest> = messages.iter().map(|m| alg.hash(m.as_ref())).collect();
+        MerkleTree::build(alg, &leaves)
+    }
+
+    /// Number of real (non-padding) leaves.
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.real_leaves
+    }
+
+    /// Tree depth: `⌈log2(padded leaves)⌉`; 0 for a single-leaf tree.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.len() - 1
+    }
+
+    /// The unkeyed root (top node).
+    #[must_use]
+    pub fn root(&self) -> Digest {
+        self.levels.last().expect("non-empty")[0]
+    }
+
+    /// The ALPHA-M pre-signature: the root keyed with the signer's next
+    /// undisclosed chain element, `H(key | b_0 | b_1)` per Fig. 4 (or
+    /// `H(key | leaf)` for a single-leaf tree).
+    #[must_use]
+    pub fn keyed_root(&self, key: &Digest) -> Digest {
+        if self.depth() == 0 {
+            self.alg.hash_parts(&[key.as_bytes(), self.levels[0][0].as_bytes()])
+        } else {
+            let top_children = &self.levels[self.levels.len() - 2];
+            self.alg.hash_parts(&[
+                key.as_bytes(),
+                top_children[0].as_bytes(),
+                top_children[1].as_bytes(),
+            ])
+        }
+    }
+
+    /// The authentication path `{Bc}` for leaf `j`: the sibling at every
+    /// level from the leaves up to (and including) the children of the
+    /// root. Length equals [`MerkleTree::depth`].
+    #[must_use]
+    pub fn auth_path(&self, j: usize) -> Vec<Digest> {
+        assert!(j < self.real_leaves, "leaf index out of range");
+        let mut path = Vec::with_capacity(self.depth());
+        let mut idx = j;
+        for level in &self.levels[..self.levels.len() - 1] {
+            path.push(level[idx ^ 1]);
+            idx >>= 1;
+        }
+        path
+    }
+
+    /// Leaf digest at index `j` (real leaves only).
+    #[must_use]
+    pub fn leaf(&self, j: usize) -> Digest {
+        assert!(j < self.real_leaves, "leaf index out of range");
+        self.levels[0][j]
+    }
+}
+
+/// Recompute the unkeyed root from a leaf and its authentication path.
+#[must_use]
+pub fn root_from_path(alg: Algorithm, leaf: &Digest, j: usize, path: &[Digest]) -> Digest {
+    let mut cur = *leaf;
+    let mut idx = j;
+    for sib in path {
+        cur = combine(alg, idx, &cur, sib);
+        idx >>= 1;
+    }
+    cur
+}
+
+/// Verify leaf `j` against an unkeyed root.
+#[must_use]
+pub fn verify_path(alg: Algorithm, leaf: &Digest, j: usize, path: &[Digest], root: &Digest) -> bool {
+    crate::ct_eq(root_from_path(alg, leaf, j, path).as_bytes(), root.as_bytes())
+}
+
+/// Recompute the *keyed* root (the ALPHA-M pre-signature) from a leaf, its
+/// path, and the now-disclosed chain element. This is the verifier/relay
+/// computation for each S2 packet: `⌈log2 n⌉` hashes over fixed-size input.
+#[must_use]
+pub fn keyed_root_from_path(
+    alg: Algorithm,
+    key: &Digest,
+    leaf: &Digest,
+    j: usize,
+    path: &[Digest],
+) -> Digest {
+    if path.is_empty() {
+        return alg.hash_parts(&[key.as_bytes(), leaf.as_bytes()]);
+    }
+    let mut cur = *leaf;
+    let mut idx = j;
+    for sib in &path[..path.len() - 1] {
+        cur = combine(alg, idx, &cur, sib);
+        idx >>= 1;
+    }
+    let sib = &path[path.len() - 1];
+    let (left, right) = ordered(idx, &cur, sib);
+    alg.hash_parts(&[key.as_bytes(), left.as_bytes(), right.as_bytes()])
+}
+
+/// Verify an ALPHA-M S2: message-leaf `j` against the pre-signature root.
+#[must_use]
+pub fn verify_keyed(
+    alg: Algorithm,
+    key: &Digest,
+    leaf: &Digest,
+    j: usize,
+    path: &[Digest],
+    keyed_root: &Digest,
+) -> bool {
+    crate::ct_eq(
+        keyed_root_from_path(alg, key, leaf, j, path).as_bytes(),
+        keyed_root.as_bytes(),
+    )
+}
+
+fn ordered<'a>(idx: usize, cur: &'a Digest, sib: &'a Digest) -> (&'a Digest, &'a Digest) {
+    if idx.is_multiple_of(2) {
+        (cur, sib)
+    } else {
+        (sib, cur)
+    }
+}
+
+fn combine(alg: Algorithm, idx: usize, cur: &Digest, sib: &Digest) -> Digest {
+    let (l, r) = ordered(idx, cur, sib);
+    alg.hash_parts(&[l.as_bytes(), r.as_bytes()])
+}
+
+/// Equation (1) of the paper: total payload coverable by one pre-signature
+/// when `n` S2 packets of `s_packet` payload bytes each must carry one
+/// disclosed chain element plus a `⌈log2 n⌉`-entry authentication path of
+/// `s_h`-byte hashes:
+///
+/// ```text
+/// s_total = n · (s_packet − s_h(⌈log2 n⌉ + 1))
+/// ```
+///
+/// Returns 0 when the signature data alone exceeds the packet (the regime
+/// where Fig. 5's curves terminate).
+#[must_use]
+pub fn payload_capacity(n: u64, s_packet: u64, s_h: u64) -> u64 {
+    let sig = s_h * (log2_ceil(n) + 1);
+    if sig >= s_packet {
+        0
+    } else {
+        n * (s_packet - sig)
+    }
+}
+
+/// Per-packet signature overhead ratio plotted in Fig. 6: bytes transferred
+/// per signed payload byte, `s_packet / (s_packet − s_h(⌈log2 n⌉+1))`.
+/// Returns `None` where no payload fits.
+#[must_use]
+pub fn overhead_ratio(n: u64, s_packet: u64, s_h: u64) -> Option<f64> {
+    let sig = s_h * (log2_ceil(n) + 1);
+    if sig >= s_packet {
+        None
+    } else {
+        Some(s_packet as f64 / (s_packet - sig) as f64)
+    }
+}
+
+/// `⌈log2 n⌉` with `log2_ceil(1) == 0`.
+#[must_use]
+pub fn log2_ceil(n: u64) -> u64 {
+    assert!(n > 0, "log2 of zero");
+    64 - (n - 1).leading_zeros() as u64
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index==leaf number is the point
+mod tests {
+    use super::*;
+
+    fn leaves(alg: Algorithm, n: usize) -> Vec<Digest> {
+        (0..n).map(|i| alg.hash(format!("message {i}").as_bytes())).collect()
+    }
+
+    #[test]
+    fn log2_ceil_values() {
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(4), 2);
+        assert_eq!(log2_ceil(5), 3);
+        assert_eq!(log2_ceil(1024), 10);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let l = leaves(Algorithm::Sha1, 1);
+        let t = MerkleTree::build(Algorithm::Sha1, &l);
+        assert_eq!(t.depth(), 0);
+        assert_eq!(t.root(), l[0]);
+        assert!(t.auth_path(0).is_empty());
+        let key = Algorithm::Sha1.hash(b"key");
+        assert!(verify_keyed(Algorithm::Sha1, &key, &l[0], 0, &[], &t.keyed_root(&key)));
+    }
+
+    #[test]
+    fn eight_leaf_paths_verify() {
+        for alg in Algorithm::ALL {
+            let l = leaves(alg, 8);
+            let t = MerkleTree::build(alg, &l);
+            assert_eq!(t.depth(), 3);
+            let root = t.root();
+            for j in 0..8 {
+                let path = t.auth_path(j);
+                assert_eq!(path.len(), 3);
+                assert!(verify_path(alg, &l[j], j, &path, &root));
+                // Wrong index fails.
+                assert!(!verify_path(alg, &l[j], (j + 1) % 8, &path, &root));
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_root_matches_paper_structure() {
+        // r = H(key | b0 | b1) where b0,b1 are the root's children (Fig. 4).
+        let alg = Algorithm::Sha1;
+        let l = leaves(alg, 4);
+        let t = MerkleTree::build(alg, &l);
+        let key = alg.hash(b"chain element");
+        let b0 = alg.hash_parts(&[l[0].as_bytes(), l[1].as_bytes()]);
+        let b1 = alg.hash_parts(&[l[2].as_bytes(), l[3].as_bytes()]);
+        let expect = alg.hash_parts(&[key.as_bytes(), b0.as_bytes(), b1.as_bytes()]);
+        assert_eq!(t.keyed_root(&key), expect);
+    }
+
+    #[test]
+    fn keyed_verification_and_forgery() {
+        let alg = Algorithm::Sha256;
+        let l = leaves(alg, 8);
+        let t = MerkleTree::build(alg, &l);
+        let key = alg.hash(b"undisclosed");
+        let root = t.keyed_root(&key);
+        for j in 0..8 {
+            assert!(verify_keyed(alg, &key, &l[j], j, &t.auth_path(j), &root));
+        }
+        // Tampered leaf fails.
+        let bad = alg.hash(b"tampered message");
+        assert!(!verify_keyed(alg, &key, &bad, 3, &t.auth_path(3), &root));
+        // Wrong key fails.
+        let wrong_key = alg.hash(b"guessed");
+        assert!(!verify_keyed(alg, &wrong_key, &l[3], 3, &t.auth_path(3), &root));
+    }
+
+    #[test]
+    fn non_power_of_two_padding() {
+        let alg = Algorithm::Sha1;
+        let l = leaves(alg, 5);
+        let t = MerkleTree::build(alg, &l);
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.leaf_count(), 5);
+        let key = alg.hash(b"k");
+        let root = t.keyed_root(&key);
+        for j in 0..5 {
+            assert!(verify_keyed(alg, &key, &l[j], j, &t.auth_path(j), &root));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf index out of range")]
+    fn padding_leaf_not_provable() {
+        let t = MerkleTree::build(Algorithm::Sha1, &leaves(Algorithm::Sha1, 5));
+        let _ = t.auth_path(5); // padding leaf: refused
+    }
+
+    #[test]
+    fn from_messages_equals_manual() {
+        let alg = Algorithm::Sha1;
+        let msgs = [b"alpha".as_slice(), b"bravo".as_slice(), b"charlie".as_slice()];
+        let t1 = MerkleTree::from_messages(alg, &msgs);
+        let manual: Vec<Digest> = msgs.iter().map(|m| alg.hash(m)).collect();
+        let t2 = MerkleTree::build(alg, &manual);
+        assert_eq!(t1.root(), t2.root());
+    }
+
+    #[test]
+    fn capacity_formula_spot_values() {
+        // 1280 B packet, 20 B hash (paper's Fig. 5 curve a).
+        assert_eq!(payload_capacity(1, 1280, 20), 1260);
+        assert_eq!(payload_capacity(2, 1280, 20), 2 * (1280 - 40));
+        assert_eq!(payload_capacity(1024, 1280, 20), 1024 * (1280 - 220));
+        // 128 B packets run out of room quickly (curve d's early end).
+        assert_eq!(payload_capacity(64, 128, 20), 0); // 20*(6+1)=140 > 128
+        assert_eq!(payload_capacity(32, 128, 20), 32 * (128 - 120));
+    }
+
+    #[test]
+    fn capacity_matches_real_tree_sizes() {
+        // The formula's per-packet signature bytes must equal what a real
+        // tree emits: path entries + one chain element.
+        for n in [1usize, 2, 3, 8, 33, 128] {
+            let alg = Algorithm::Sha1;
+            let t = MerkleTree::build(alg, &leaves(alg, n));
+            let per_packet_sig = (t.auth_path(0).len() + 1) * alg.digest_len();
+            let formula_sig = (log2_ceil(n as u64) + 1) * 20;
+            assert_eq!(per_packet_sig as u64, formula_sig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn overhead_ratio_monotone_in_hash_count() {
+        let r1 = overhead_ratio(1, 1280, 20).unwrap();
+        let r1024 = overhead_ratio(1024, 1280, 20).unwrap();
+        assert!(r1 < r1024);
+        assert!(overhead_ratio(64, 128, 20).is_none());
+    }
+
+    #[test]
+    fn seesaw_at_power_of_two_boundaries() {
+        // Fig. 5: crossing a power of two adds one path level and dents
+        // per-packet payload.
+        let at_8 = payload_capacity(8, 512, 20) / 8;
+        let at_9 = payload_capacity(9, 512, 20) / 9;
+        assert!(at_9 < at_8);
+    }
+}

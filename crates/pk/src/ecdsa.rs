@@ -1,0 +1,449 @@
+//! ECDSA over secp160r1, the 160-bit prime curve matching the paper's
+//! "160-ECC" reference point.
+//!
+//! §4.1.3 cites Gura et al.: a 160-bit EC point multiplication takes 0.81 s
+//! on an 8 MHz ATmega128 — acceptable for signing a hash-chain anchor once
+//! at bootstrap, prohibitive per packet. This module provides that exact
+//! primitive (affine double-and-add over the standard secp160r1 field) so
+//! the WSN harness can price it with real operation counts, and so the
+//! protected bootstrap has an ECC option.
+
+use alpha_bignum::BigUint;
+use alpha_crypto::Algorithm;
+use rand::RngCore;
+
+/// secp160r1 domain parameters (SEC 2, Certicom).
+#[derive(Debug, Clone)]
+pub struct Curve {
+    /// Field prime `p = 2^160 − 2^31 − 1`.
+    pub p: BigUint,
+    /// Coefficient `a = p − 3`.
+    pub a: BigUint,
+    /// Coefficient `b`.
+    pub b: BigUint,
+    /// Base point.
+    pub g: Point,
+    /// Order of the base point (prime).
+    pub n: BigUint,
+}
+
+/// An affine point, or the point at infinity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Point {
+    /// The identity element.
+    Infinity,
+    /// An affine point `(x, y)`.
+    Affine(BigUint, BigUint),
+}
+
+impl Curve {
+    /// The secp160r1 curve.
+    #[must_use]
+    pub fn secp160r1() -> Curve {
+        let p = BigUint::from_hex("ffffffffffffffffffffffffffffffff7fffffff");
+        let a = BigUint::from_hex("ffffffffffffffffffffffffffffffff7ffffffc");
+        let b = BigUint::from_hex("1c97befc54bd7a8b65acf89f81d4d4adc565fa45");
+        let gx = BigUint::from_hex("4a96b5688ef573284664698968c38bb913cbfc82");
+        let gy = BigUint::from_hex("23a628553168947d59dcc912042351377ac5fb32");
+        let n = BigUint::from_hex("0100000000000000000001f4c8f927aed3ca752257");
+        Curve {
+            p,
+            a,
+            b,
+            g: Point::Affine(gx, gy),
+            n,
+        }
+    }
+
+    /// True if `pt` satisfies the curve equation (or is the identity).
+    #[must_use]
+    pub fn contains(&self, pt: &Point) -> bool {
+        match pt {
+            Point::Infinity => true,
+            Point::Affine(x, y) => {
+                let lhs = y.mul_mod(y, &self.p);
+                let rhs = x
+                    .mul_mod(x, &self.p)
+                    .mul_mod(x, &self.p)
+                    .add_mod(&self.a.mul_mod(x, &self.p), &self.p)
+                    .add_mod(&self.b, &self.p);
+                lhs == rhs
+            }
+        }
+    }
+
+    /// Point addition (affine formulas with modular inversion).
+    #[must_use]
+    pub fn add(&self, p1: &Point, p2: &Point) -> Point {
+        match (p1, p2) {
+            (Point::Infinity, q) => q.clone(),
+            (q, Point::Infinity) => q.clone(),
+            (Point::Affine(x1, y1), Point::Affine(x2, y2)) => {
+                if x1 == x2 {
+                    if y1.add_mod(y2, &self.p).is_zero() {
+                        return Point::Infinity; // P + (−P)
+                    }
+                    return self.double(p1);
+                }
+                let dx = x2.sub_mod(x1, &self.p);
+                let dy = y2.sub_mod(y1, &self.p);
+                let lambda = dy.mul_mod(&dx.mod_inverse(&self.p).expect("p prime, dx != 0"), &self.p);
+                let x3 = lambda
+                    .mul_mod(&lambda, &self.p)
+                    .sub_mod(x1, &self.p)
+                    .sub_mod(x2, &self.p);
+                let y3 = lambda
+                    .mul_mod(&x1.sub_mod(&x3, &self.p), &self.p)
+                    .sub_mod(y1, &self.p);
+                Point::Affine(x3, y3)
+            }
+        }
+    }
+
+    /// Point doubling.
+    #[must_use]
+    pub fn double(&self, pt: &Point) -> Point {
+        match pt {
+            Point::Infinity => Point::Infinity,
+            Point::Affine(x, y) => {
+                if y.is_zero() {
+                    return Point::Infinity;
+                }
+                let three = BigUint::from_u64(3);
+                let two = BigUint::from_u64(2);
+                let num = three
+                    .mul_mod(&x.mul_mod(x, &self.p), &self.p)
+                    .add_mod(&self.a, &self.p);
+                let den = two.mul_mod(y, &self.p);
+                let lambda = num.mul_mod(&den.mod_inverse(&self.p).expect("p prime, y != 0"), &self.p);
+                let x3 = lambda
+                    .mul_mod(&lambda, &self.p)
+                    .sub_mod(&two.mul_mod(x, &self.p), &self.p);
+                let y3 = lambda
+                    .mul_mod(&x.sub_mod(&x3, &self.p), &self.p)
+                    .sub_mod(y, &self.p);
+                Point::Affine(x3, y3)
+            }
+        }
+    }
+
+    /// Scalar multiplication, double-and-add MSB-first. This is the
+    /// operation §4.1.3 prices ("160-ECC point multiplication").
+    #[must_use]
+    pub fn mul(&self, k: &BigUint, pt: &Point) -> Point {
+        let mut acc = Point::Infinity;
+        for i in (0..k.bits()).rev() {
+            acc = self.double(&acc);
+            if k.bit(i) {
+                acc = self.add(&acc, pt);
+            }
+        }
+        acc
+    }
+}
+
+/// Public ECDSA key: a point `Q = d·G`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcdsaPublicKey {
+    q: Point,
+}
+
+/// Private ECDSA key.
+#[derive(Clone)]
+pub struct EcdsaPrivateKey {
+    public: EcdsaPublicKey,
+    d: BigUint,
+}
+
+/// An ECDSA signature `(r, s)`, serialized as two 21-byte big-endian values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcdsaSignature {
+    /// x-coordinate of `k·G` reduced mod `n`.
+    pub r: BigUint,
+    /// `k^{-1}(z + rd) mod n`.
+    pub s: BigUint,
+}
+
+/// Fixed component width: the order of secp160r1 needs 21 bytes.
+const COMPONENT_LEN: usize = 21;
+
+impl EcdsaSignature {
+    /// Serialize to `2 · 21` bytes.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.r.to_bytes_be_padded(COMPONENT_LEN);
+        out.extend_from_slice(&self.s.to_bytes_be_padded(COMPONENT_LEN));
+        out
+    }
+
+    /// Parse a 42-byte serialization.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<EcdsaSignature> {
+        if bytes.len() != 2 * COMPONENT_LEN {
+            return None;
+        }
+        Some(EcdsaSignature {
+            r: BigUint::from_bytes_be(&bytes[..COMPONENT_LEN]),
+            s: BigUint::from_bytes_be(&bytes[COMPONENT_LEN..]),
+        })
+    }
+}
+
+fn hash_to_z(curve: &Curve, alg: Algorithm, msg: &[u8]) -> BigUint {
+    let h = alg.hash(msg);
+    let z = BigUint::from_bytes_be(h.as_bytes());
+    let hash_bits = h.len() * 8;
+    let n_bits = curve.n.bits();
+    if hash_bits > n_bits {
+        z.shr(hash_bits - n_bits)
+    } else {
+        z
+    }
+}
+
+impl EcdsaPrivateKey {
+    /// Generate a key pair on secp160r1.
+    #[must_use]
+    pub fn generate(rng: &mut dyn RngCore) -> EcdsaPrivateKey {
+        let curve = Curve::secp160r1();
+        let d = loop {
+            let d = BigUint::random_below(&curve.n, rng);
+            if !d.is_zero() {
+                break d;
+            }
+        };
+        let q = curve.mul(&d, &curve.g);
+        EcdsaPrivateKey {
+            public: EcdsaPublicKey { q },
+            d,
+        }
+    }
+
+    /// The public half.
+    #[must_use]
+    pub fn public_key(&self) -> &EcdsaPublicKey {
+        &self.public
+    }
+
+    /// Serialize the private key: 21-byte scalar + 40-byte public point.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = self.d.to_bytes_be_padded(21);
+        out.extend_from_slice(&self.public.to_bytes());
+        out
+    }
+
+    /// Parse the [`EcdsaPrivateKey::to_bytes`] form; validates the point
+    /// and that it matches the scalar.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<EcdsaPrivateKey> {
+        if bytes.len() != 21 + 40 {
+            return None;
+        }
+        let d = BigUint::from_bytes_be(&bytes[..21]);
+        let public = EcdsaPublicKey::from_bytes(&bytes[21..])?;
+        let curve = Curve::secp160r1();
+        if d.is_zero() || d >= curve.n || curve.mul(&d, &curve.g) != public.q {
+            return None;
+        }
+        Some(EcdsaPrivateKey { public, d })
+    }
+
+    /// Sign `msg`.
+    #[must_use]
+    pub fn sign(&self, alg: Algorithm, msg: &[u8], rng: &mut dyn RngCore) -> EcdsaSignature {
+        let curve = Curve::secp160r1();
+        let z = hash_to_z(&curve, alg, msg);
+        loop {
+            let k = BigUint::random_below(&curve.n, rng);
+            if k.is_zero() {
+                continue;
+            }
+            let Point::Affine(x1, _) = curve.mul(&k, &curve.g) else {
+                continue;
+            };
+            let r = x1.rem(&curve.n);
+            if r.is_zero() {
+                continue;
+            }
+            let Some(kinv) = k.mod_inverse(&curve.n) else { continue };
+            let s = kinv.mul_mod(&z.add(&r.mul_mod(&self.d, &curve.n)).rem(&curve.n), &curve.n);
+            if s.is_zero() {
+                continue;
+            }
+            return EcdsaSignature { r, s };
+        }
+    }
+}
+
+impl EcdsaPublicKey {
+    /// Serialize as the uncompressed point `x || y` (20 bytes each).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match &self.q {
+            Point::Infinity => vec![0u8; 40],
+            Point::Affine(x, y) => {
+                let mut out = x.to_bytes_be_padded(20);
+                out.extend_from_slice(&y.to_bytes_be_padded(20));
+                out
+            }
+        }
+    }
+
+    /// Parse the [`EcdsaPublicKey::to_bytes`] form; the point must lie on
+    /// the curve.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<EcdsaPublicKey> {
+        if bytes.len() != 40 {
+            return None;
+        }
+        let x = BigUint::from_bytes_be(&bytes[..20]);
+        let y = BigUint::from_bytes_be(&bytes[20..]);
+        if x.is_zero() && y.is_zero() {
+            return None;
+        }
+        let q = Point::Affine(x, y);
+        if !Curve::secp160r1().contains(&q) {
+            return None;
+        }
+        Some(EcdsaPublicKey { q })
+    }
+
+    /// Verify a signature.
+    #[must_use]
+    pub fn verify(&self, alg: Algorithm, msg: &[u8], sig: &[u8]) -> bool {
+        let Some(sig) = EcdsaSignature::from_bytes(sig) else {
+            return false;
+        };
+        self.verify_sig(alg, msg, &sig)
+    }
+
+    /// Verify a parsed signature.
+    #[must_use]
+    pub fn verify_sig(&self, alg: Algorithm, msg: &[u8], sig: &EcdsaSignature) -> bool {
+        let curve = Curve::secp160r1();
+        let zero = BigUint::zero();
+        if sig.r <= zero || sig.r >= curve.n || sig.s <= zero || sig.s >= curve.n {
+            return false;
+        }
+        if !curve.contains(&self.q) || self.q == Point::Infinity {
+            return false;
+        }
+        let z = hash_to_z(&curve, alg, msg);
+        let Some(w) = sig.s.mod_inverse(&curve.n) else {
+            return false;
+        };
+        let u1 = z.mul_mod(&w, &curve.n);
+        let u2 = sig.r.mul_mod(&w, &curve.n);
+        let pt = curve.add(&curve.mul(&u1, &curve.g), &curve.mul(&u2, &self.q));
+        match pt {
+            Point::Infinity => false,
+            Point::Affine(x, _) => x.rem(&curve.n) == sig.r,
+        }
+    }
+}
+
+impl crate::Signer for EcdsaPrivateKey {
+    fn sign(&self, alg: Algorithm, msg: &[u8], rng: &mut dyn RngCore) -> Vec<u8> {
+        EcdsaPrivateKey::sign(self, alg, msg, rng).to_bytes()
+    }
+
+    fn verifying_key(&self) -> crate::PublicKey {
+        crate::PublicKey::Ecdsa(self.public.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(160)
+    }
+
+    #[test]
+    fn base_point_on_curve() {
+        let c = Curve::secp160r1();
+        assert!(c.contains(&c.g));
+    }
+
+    #[test]
+    fn order_annihilates_base_point() {
+        let c = Curve::secp160r1();
+        assert_eq!(c.mul(&c.n, &c.g), Point::Infinity);
+    }
+
+    #[test]
+    fn group_laws() {
+        let c = Curve::secp160r1();
+        let two_g = c.double(&c.g);
+        assert!(c.contains(&two_g));
+        // 2G = G + G
+        assert_eq!(c.add(&c.g, &c.g), two_g);
+        // 3G = 2G + G = G + 2G
+        assert_eq!(c.add(&two_g, &c.g), c.add(&c.g, &two_g));
+        // scalar mul consistency
+        assert_eq!(c.mul(&BigUint::from_u64(3), &c.g), c.add(&two_g, &c.g));
+        // identity
+        assert_eq!(c.add(&c.g, &Point::Infinity), c.g);
+        assert_eq!(c.mul(&BigUint::zero(), &c.g), Point::Infinity);
+    }
+
+    #[test]
+    fn inverse_point_sums_to_infinity() {
+        let c = Curve::secp160r1();
+        let Point::Affine(x, y) = c.g.clone() else { panic!() };
+        let neg = Point::Affine(x, c.p.sub(&y));
+        assert!(c.contains(&neg));
+        assert_eq!(c.add(&c.g, &neg), Point::Infinity);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let mut r = rng();
+        let key = EcdsaPrivateKey::generate(&mut r);
+        let sig = key.sign(Algorithm::Sha1, b"sensor anchor", &mut r);
+        assert!(key.public_key().verify_sig(Algorithm::Sha1, b"sensor anchor", &sig));
+        assert!(!key.public_key().verify_sig(Algorithm::Sha1, b"sensor anchor!", &sig));
+    }
+
+    #[test]
+    fn serialized_roundtrip() {
+        let mut r = rng();
+        let key = EcdsaPrivateKey::generate(&mut r);
+        let sig = key.sign(Algorithm::MmoAes, b"16-byte-hash msg", &mut r).to_bytes();
+        assert_eq!(sig.len(), 42);
+        assert!(key.public_key().verify(Algorithm::MmoAes, b"16-byte-hash msg", &sig));
+        assert!(!key.public_key().verify(Algorithm::MmoAes, b"16-byte-hash msg", &sig[..41]));
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let mut r = rng();
+        let key = EcdsaPrivateKey::generate(&mut r);
+        let mut sig = key.sign(Algorithm::Sha1, b"m", &mut r).to_bytes();
+        sig[5] ^= 0x40;
+        assert!(!key.public_key().verify(Algorithm::Sha1, b"m", &sig));
+    }
+
+    #[test]
+    fn cross_key_rejected() {
+        let mut r = rng();
+        let k1 = EcdsaPrivateKey::generate(&mut r);
+        let k2 = EcdsaPrivateKey::generate(&mut r);
+        let sig = k1.sign(Algorithm::Sha1, b"m", &mut r).to_bytes();
+        assert!(!k2.public_key().verify(Algorithm::Sha1, b"m", &sig));
+    }
+
+    #[test]
+    fn out_of_range_components_rejected() {
+        let mut r = rng();
+        let key = EcdsaPrivateKey::generate(&mut r);
+        let c = Curve::secp160r1();
+        let bad = EcdsaSignature { r: c.n.clone(), s: BigUint::one() };
+        assert!(!key.public_key().verify_sig(Algorithm::Sha1, b"m", &bad));
+        let bad = EcdsaSignature { r: BigUint::zero(), s: BigUint::one() };
+        assert!(!key.public_key().verify_sig(Algorithm::Sha1, b"m", &bad));
+    }
+}

@@ -1,0 +1,215 @@
+//! Link models: latency, jitter, loss, corruption, duplication, bandwidth.
+//!
+//! Wireless multi-hop links are the reason ALPHA tolerates loss and
+//! reordering (§3.3.2); the link model makes those conditions reproducible.
+//! Packets traverse links as raw wire bytes, so corruption lands on real
+//! encodings and is caught by `alpha-wire` parsing or MAC checks, exactly
+//! as it would be in deployment.
+
+use alpha_core::Timestamp;
+use rand::Rng;
+
+/// Configuration of one directed link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkConfig {
+    /// Propagation delay (µs).
+    pub latency_us: u64,
+    /// Uniform jitter added on top (µs, 0..=jitter).
+    pub jitter_us: u64,
+    /// Packet loss probability (0..1).
+    pub loss: f64,
+    /// Probability that one byte of the packet is flipped (0..1).
+    pub corrupt: f64,
+    /// Probability the packet is delivered twice (0..1).
+    pub duplicate: f64,
+    /// Link rate in bits/s for serialization delay (None = infinite).
+    pub bandwidth_bps: Option<u64>,
+}
+
+impl LinkConfig {
+    /// An ideal link: 1 ms latency, nothing else.
+    #[must_use]
+    pub fn ideal() -> LinkConfig {
+        LinkConfig {
+            latency_us: 1_000,
+            jitter_us: 0,
+            loss: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            bandwidth_bps: None,
+        }
+    }
+
+    /// An 802.11-flavoured mesh link: 2 ms ± 1 ms, 1% loss, 20 Mbit/s.
+    #[must_use]
+    pub fn mesh() -> LinkConfig {
+        LinkConfig {
+            latency_us: 2_000,
+            jitter_us: 1_000,
+            loss: 0.01,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            bandwidth_bps: Some(20_000_000),
+        }
+    }
+
+    /// An 802.15.4-flavoured sensor link: 5 ms ± 3 ms, 2% loss, 250 kbit/s
+    /// (the nominal rate §4.1.3 compares against).
+    #[must_use]
+    pub fn sensor() -> LinkConfig {
+        LinkConfig {
+            latency_us: 5_000,
+            jitter_us: 3_000,
+            loss: 0.02,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            bandwidth_bps: Some(250_000),
+        }
+    }
+
+    /// Set the loss probability.
+    #[must_use]
+    pub fn with_loss(mut self, loss: f64) -> LinkConfig {
+        self.loss = loss;
+        self
+    }
+
+    /// Set the corruption probability.
+    #[must_use]
+    pub fn with_corrupt(mut self, corrupt: f64) -> LinkConfig {
+        self.corrupt = corrupt;
+        self
+    }
+}
+
+/// Runtime state of one directed link.
+pub(crate) struct Link {
+    pub cfg: LinkConfig,
+    /// Time the transmitter is free again (serialization queueing).
+    pub free_at: Timestamp,
+}
+
+/// What happened to a packet offered to the link.
+pub(crate) enum Transit {
+    /// Lost in flight.
+    Dropped,
+    /// Delivered (possibly corrupted) at the given times.
+    Deliver {
+        /// Arrival time of the (first) copy.
+        at: Timestamp,
+        /// Possibly mutated bytes.
+        bytes: Vec<u8>,
+        /// Arrival time of a duplicate copy, if the link duplicated.
+        duplicate_at: Option<Timestamp>,
+    },
+}
+
+impl Link {
+    pub fn new(cfg: LinkConfig) -> Link {
+        Link { cfg, free_at: Timestamp::ZERO }
+    }
+
+    /// Offer `bytes` to the link at `now`.
+    pub fn transmit(&mut self, mut bytes: Vec<u8>, now: Timestamp, rng: &mut impl Rng) -> Transit {
+        // Serialization: the transmitter owns the medium for len*8/bps.
+        let start = now.max(self.free_at);
+        let ser_us = self
+            .cfg
+            .bandwidth_bps
+            .map_or(0, |bps| (bytes.len() as u64 * 8).saturating_mul(1_000_000) / bps.max(1));
+        self.free_at = start.plus_micros(ser_us);
+
+        if rng.gen_bool(self.cfg.loss.clamp(0.0, 1.0)) {
+            return Transit::Dropped;
+        }
+        if !bytes.is_empty() && rng.gen_bool(self.cfg.corrupt.clamp(0.0, 1.0)) {
+            let idx = rng.gen_range(0..bytes.len());
+            let bit = 1u8 << rng.gen_range(0..8);
+            bytes[idx] ^= bit;
+        }
+        let jitter = if self.cfg.jitter_us == 0 { 0 } else { rng.gen_range(0..=self.cfg.jitter_us) };
+        let at = self.free_at.plus_micros(self.cfg.latency_us + jitter);
+        let duplicate_at = if rng.gen_bool(self.cfg.duplicate.clamp(0.0, 1.0)) {
+            Some(at.plus_micros(self.cfg.latency_us / 2 + 1))
+        } else {
+            None
+        };
+        Transit::Deliver { at, bytes, duplicate_at }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn ideal_link_delivers_unchanged() {
+        let mut l = Link::new(LinkConfig::ideal());
+        let mut r = rng();
+        match l.transmit(vec![1, 2, 3], Timestamp::ZERO, &mut r) {
+            Transit::Deliver { at, bytes, duplicate_at } => {
+                assert_eq!(at, Timestamp::from_micros(1000));
+                assert_eq!(bytes, vec![1, 2, 3]);
+                assert!(duplicate_at.is_none());
+            }
+            Transit::Dropped => panic!("ideal link dropped"),
+        }
+    }
+
+    #[test]
+    fn bandwidth_serializes_back_to_back_packets() {
+        let cfg = LinkConfig { bandwidth_bps: Some(8_000), ..LinkConfig::ideal() };
+        // 8 kbit/s: a 100-byte packet takes 100 ms on the wire.
+        let mut l = Link::new(cfg);
+        let mut r = rng();
+        let t0 = Timestamp::ZERO;
+        let first = match l.transmit(vec![0; 100], t0, &mut r) {
+            Transit::Deliver { at, .. } => at,
+            Transit::Dropped => panic!(),
+        };
+        let second = match l.transmit(vec![0; 100], t0, &mut r) {
+            Transit::Deliver { at, .. } => at,
+            Transit::Dropped => panic!(),
+        };
+        assert_eq!(first.micros(), 100_000 + 1_000);
+        assert_eq!(second.micros(), 200_000 + 1_000);
+    }
+
+    #[test]
+    fn loss_rate_roughly_respected() {
+        let cfg = LinkConfig::ideal().with_loss(0.5);
+        let mut l = Link::new(cfg);
+        let mut r = rng();
+        let mut lost = 0;
+        for _ in 0..1000 {
+            if matches!(l.transmit(vec![0], Timestamp::ZERO, &mut r), Transit::Dropped) {
+                lost += 1;
+            }
+        }
+        assert!((350..650).contains(&lost), "lost {lost}/1000");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let cfg = LinkConfig::ideal().with_corrupt(1.0);
+        let mut l = Link::new(cfg);
+        let mut r = rng();
+        let original = vec![0u8; 64];
+        match l.transmit(original.clone(), Timestamp::ZERO, &mut r) {
+            Transit::Deliver { bytes, .. } => {
+                let diff: u32 = original
+                    .iter()
+                    .zip(&bytes)
+                    .map(|(a, b)| (a ^ b).count_ones())
+                    .sum();
+                assert_eq!(diff, 1);
+            }
+            Transit::Dropped => panic!(),
+        }
+    }
+}

@@ -1,0 +1,631 @@
+//! Simulator nodes: endpoints, relays, and attackers.
+//!
+//! Endpoints wrap an [`alpha_core::Association`] plus a scripted
+//! application; relays wrap [`alpha_core::Relay`]; attackers inject or
+//! replay traffic. All protocol work happens in the real state machines —
+//! the node layer only moves frames and timestamps around.
+
+use alpha_core::{
+    bootstrap, Association, Config, Mode, Relay, RelayConfig, RelayDecision, RelayEvent, Timestamp,
+};
+use alpha_crypto::Digest;
+use alpha_wire::Packet;
+use rand::rngs::StdRng;
+use rand::RngCore;
+
+use crate::device::DeviceModel;
+use crate::sim::{Frame, NodeId, NodeMetrics};
+
+/// Context handed to node handlers.
+pub struct NodeCtx<'a> {
+    /// This node's id.
+    pub id: NodeId,
+    /// Virtual time the handler runs at.
+    pub now: Timestamp,
+    /// Simulator RNG (deterministic per seed).
+    pub rng: &'a mut StdRng,
+    /// This node's metrics.
+    pub metrics: &'a mut NodeMetrics,
+}
+
+/// Frames produced by a handler.
+#[derive(Default)]
+pub struct NodeOutput {
+    /// Frames to transmit (routed by the simulator).
+    pub frames: Vec<Frame>,
+}
+
+impl NodeOutput {
+    fn send(&mut self, src: NodeId, dst: NodeId, pkt: &Packet) {
+        self.frames.push(Frame { src, dst, bytes: pkt.emit() });
+    }
+
+    /// Send several packets to one destination as piggyback bundles
+    /// (§3.2.1), chunked at the wire's bundle limit.
+    fn send_all(&mut self, src: NodeId, dst: NodeId, pkts: &[Packet]) {
+        match pkts {
+            [] => {}
+            [one] => self.send(src, dst, one),
+            many => {
+                for chunk in many.chunks(alpha_wire::limits::MAX_BUNDLE) {
+                    self.frames.push(Frame {
+                        src,
+                        dst,
+                        bytes: alpha_wire::bundle::emit(chunk),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A scripted traffic source on an endpoint.
+#[derive(Debug, Clone)]
+pub struct SenderApp {
+    /// Messages per exchange (1 for Base).
+    pub batch: usize,
+    /// Mode for each exchange.
+    pub mode: Mode,
+    /// Bytes per message (≥ 16; a latency header is embedded).
+    pub payload_len: usize,
+    /// Total messages to deliver.
+    pub total_messages: usize,
+    /// Gap between exchange completions and the next send (µs).
+    pub interval_us: u64,
+    pub(crate) sent: usize,
+    pub(crate) next_send: Timestamp,
+}
+
+impl SenderApp {
+    /// A stream of `total` messages of `len` bytes, `batch` per exchange.
+    #[must_use]
+    pub fn new(mode: Mode, batch: usize, len: usize, total: usize) -> SenderApp {
+        SenderApp {
+            batch: batch.max(1),
+            mode,
+            payload_len: len.max(16),
+            total_messages: total,
+            interval_us: 0,
+            sent: 0,
+            next_send: Timestamp::ZERO,
+        }
+    }
+
+    /// Messages handed to the protocol so far.
+    #[must_use]
+    pub fn sent(&self) -> usize {
+        self.sent
+    }
+}
+
+/// Endpoint application behaviours.
+#[derive(Debug, Clone)]
+pub enum App {
+    /// Pure receiver.
+    Sink,
+    /// Scripted sender.
+    Sender(SenderApp),
+    /// Request-responder: echoes every delivered payload back to the peer
+    /// through its own signing channel (exercises the full-duplex design:
+    /// each host is signer *and* verifier, §3.1).
+    Echo {
+        /// Payloads delivered but not yet echoed (the signer processes one
+        /// exchange at a time).
+        pending: Vec<Vec<u8>>,
+        /// Echoes dispatched so far.
+        echoed: u64,
+    },
+}
+
+enum EpState {
+    /// Initiator before sending HS1.
+    Boot,
+    /// Initiator awaiting HS2.
+    AwaitReply(Box<bootstrap::Handshaker>),
+    /// Responder awaiting HS1 / either side ready.
+    Ready(Box<Association>),
+    /// Responder before its handshake arrives.
+    Listening,
+}
+
+/// An end host: association + app script.
+pub struct Endpoint {
+    /// Device whose cost model prices this node's crypto.
+    pub device: DeviceModel,
+    cfg: Config,
+    assoc_id: u64,
+    peer: NodeId,
+    state: EpState,
+    /// Our half of the handshake, kept for idempotent retransmission (the
+    /// HS1 for initiators, the HS2 for responders).
+    stored_handshake: Option<Packet>,
+    last_hs_tx: Timestamp,
+    /// Application behaviour.
+    pub app: App,
+}
+
+impl Endpoint {
+    /// An initiating endpoint (sends HS1 on its first tick).
+    #[must_use]
+    pub fn initiator(
+        device: DeviceModel,
+        cfg: Config,
+        assoc_id: u64,
+        peer: NodeId,
+        app: App,
+    ) -> Endpoint {
+        Endpoint {
+            device,
+            cfg,
+            assoc_id,
+            peer,
+            state: EpState::Boot,
+            stored_handshake: None,
+            last_hs_tx: Timestamp::ZERO,
+            app,
+        }
+    }
+
+    /// A responding endpoint (answers HS1).
+    #[must_use]
+    pub fn responder(
+        device: DeviceModel,
+        cfg: Config,
+        assoc_id: u64,
+        peer: NodeId,
+        app: App,
+    ) -> Endpoint {
+        Endpoint {
+            device,
+            cfg,
+            assoc_id,
+            peer,
+            state: EpState::Listening,
+            stored_handshake: None,
+            last_hs_tx: Timestamp::ZERO,
+            app,
+        }
+    }
+
+    /// The association once bootstrapped.
+    #[must_use]
+    pub fn association(&self) -> Option<&Association> {
+        match &self.state {
+            EpState::Ready(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True once the handshake completed.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        matches!(self.state, EpState::Ready(_))
+    }
+
+    /// Messages the sender app still wants to send.
+    #[must_use]
+    pub fn pending_messages(&self) -> usize {
+        match &self.app {
+            App::Sender(s) => s.total_messages.saturating_sub(s.sent),
+            App::Sink => 0,
+            App::Echo { pending, .. } => pending.len(),
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut NodeCtx<'_>, out: &mut NodeOutput) {
+        match &mut self.state {
+            EpState::Boot => {
+                let (hs, pkt) = bootstrap::initiate(self.cfg, self.assoc_id, None, ctx.rng);
+                out.send(ctx.id, self.peer, &pkt);
+                self.stored_handshake = Some(pkt);
+                self.last_hs_tx = ctx.now;
+                self.state = EpState::AwaitReply(Box::new(hs));
+            }
+            EpState::AwaitReply(_) => {
+                // HS1 or HS2 may have been lost: retransmit periodically.
+                if ctx.now.since(self.last_hs_tx) > 500_000 {
+                    if let Some(pkt) = &self.stored_handshake {
+                        out.send(ctx.id, self.peer, pkt);
+                        self.last_hs_tx = ctx.now;
+                    }
+                }
+            }
+            EpState::Listening => {}
+            EpState::Ready(assoc) => {
+                // Retransmissions / buffer expiry.
+                let resp = assoc.poll(ctx.now);
+                out.send_all(ctx.id, self.peer, &resp.packets);
+                for ev in &resp.signer_events {
+                    if matches!(ev, alpha_core::SignerEvent::ExchangeAbandoned) {
+                        ctx.metrics.drop_reason("exchange-abandoned");
+                    }
+                }
+                // Echo app: reply to queued deliveries when idle.
+                if let App::Echo { pending, echoed } = &mut self.app {
+                    if !pending.is_empty() && assoc.signer().is_idle() {
+                        let reply = pending.remove(0);
+                        if let Ok(s1) = assoc.sign_batch(&[&reply], Mode::Base, ctx.now) {
+                            *echoed += 1;
+                            out.send(ctx.id, self.peer, &s1);
+                        }
+                    }
+                }
+                // App: start the next exchange when idle.
+                if let App::Sender(app) = &mut self.app {
+                    if app.sent < app.total_messages
+                        && assoc.signer().is_idle()
+                        && ctx.now >= app.next_send
+                    {
+                        let n = app.batch.min(app.total_messages - app.sent);
+                        let msgs: Vec<Vec<u8>> = (0..n)
+                            .map(|_| make_payload(app.payload_len, ctx.now, ctx.rng))
+                            .collect();
+                        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+                        let mode = if n == 1 && app.mode == Mode::Base { Mode::Base } else { app.mode };
+                        match assoc.sign_batch(&refs, mode, ctx.now) {
+                            Ok(s1) => {
+                                app.sent += n;
+                                app.next_send = ctx.now.plus_micros(app.interval_us);
+                                out.send(ctx.id, self.peer, &s1);
+                            }
+                            Err(_) => ctx.metrics.drop_reason("sign-failed"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: Frame, out: &mut NodeOutput) {
+        // A frame may be a piggyback bundle; process each packet in order.
+        let Ok(pkts) = alpha_wire::bundle::parse(&frame.bytes) else {
+            ctx.metrics.parse_errors += 1;
+            return;
+        };
+        for pkt in pkts {
+            self.on_packet(ctx, pkt, out);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut NodeCtx<'_>, pkt: Packet, out: &mut NodeOutput) {
+        match std::mem::replace(&mut self.state, EpState::Listening) {
+            EpState::Boot => {
+                self.state = EpState::Boot;
+                ctx.metrics.drop_reason("not-ready");
+            }
+            EpState::AwaitReply(hs) => {
+                match hs.complete(&pkt, bootstrap::AuthRequirement::None) {
+                    Ok((assoc, _)) => {
+                        self.state = EpState::Ready(Box::new(assoc));
+                    }
+                    Err(_) => {
+                        ctx.metrics.drop_reason("handshake-failed");
+                        // Handshaker consumed; restart on next tick.
+                        self.state = EpState::Boot;
+                    }
+                }
+            }
+            EpState::Listening => {
+                match bootstrap::respond(
+                    self.cfg,
+                    &pkt,
+                    None,
+                    bootstrap::AuthRequirement::None,
+                    ctx.rng,
+                ) {
+                    Ok((assoc, reply, _)) => {
+                        out.send(ctx.id, self.peer, &reply);
+                        self.stored_handshake = Some(reply);
+                        self.state = EpState::Ready(Box::new(assoc));
+                    }
+                    Err(_) => {
+                        ctx.metrics.drop_reason("handshake-failed");
+                        self.state = EpState::Listening;
+                    }
+                }
+            }
+            EpState::Ready(mut assoc) => {
+                // A duplicate HS1 means our HS2 was lost: replay it.
+                if matches!(pkt.body, alpha_wire::Body::Handshake(_)) {
+                    if let Some(stored) = &self.stored_handshake {
+                        if matches!(
+                            pkt.body,
+                            alpha_wire::Body::Handshake(alpha_wire::Handshake {
+                                role: alpha_wire::HandshakeRole::Init,
+                                ..
+                            })
+                        ) {
+                            out.send(ctx.id, self.peer, stored);
+                        }
+                    }
+                    self.state = EpState::Ready(assoc);
+                    return;
+                }
+                match assoc.handle(&pkt, ctx.now, ctx.rng) {
+                    Ok(resp) => {
+                        out.send_all(ctx.id, self.peer, &resp.packets);
+                        for ev in &resp.signer_events {
+                            if matches!(ev, alpha_core::SignerEvent::ExchangeAbandoned) {
+                                ctx.metrics.drop_reason("exchange-abandoned");
+                            }
+                        }
+                        for (_seq, payload) in &resp.deliveries {
+                            ctx.metrics.delivered_msgs += 1;
+                            ctx.metrics.delivered_bytes += payload.len() as u64;
+                            if let Some(sent_at) = payload_timestamp(payload) {
+                                ctx.metrics.latencies_us.push(ctx.now.since(sent_at));
+                            }
+                            if let App::Echo { pending, .. } = &mut self.app {
+                                pending.push(payload.clone());
+                            }
+                        }
+                    }
+                    Err(_) => ctx.metrics.drop_reason("protocol-error"),
+                }
+                self.state = EpState::Ready(assoc);
+            }
+        }
+    }
+}
+
+/// App payload layout: 8-byte send timestamp (µs, BE) then random filler.
+fn make_payload(len: usize, now: Timestamp, rng: &mut StdRng) -> Vec<u8> {
+    let mut p = vec![0u8; len.max(16)];
+    p[..8].copy_from_slice(&now.micros().to_be_bytes());
+    rng.fill_bytes(&mut p[8..]);
+    p
+}
+
+fn payload_timestamp(payload: &[u8]) -> Option<Timestamp> {
+    if payload.len() < 8 {
+        return None;
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&payload[..8]);
+    Some(Timestamp::from_micros(u64::from_be_bytes(b)))
+}
+
+/// A forwarding node running the ALPHA relay.
+pub struct RelayNode {
+    /// Device pricing this relay's verification work.
+    pub device: DeviceModel,
+    /// The protocol relay.
+    pub relay: Relay,
+}
+
+impl RelayNode {
+    /// Relay with the given policy.
+    #[must_use]
+    pub fn new(device: DeviceModel, cfg: RelayConfig) -> RelayNode {
+        RelayNode { device, relay: Relay::new(cfg) }
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: Frame, out: &mut NodeOutput) {
+        // Bundles are verified packet by packet; only the packets that pass
+        // are re-bundled and forwarded (a bundle is not an all-or-nothing
+        // unit — each inner packet stands on its own authentication).
+        let Ok(pkts) = alpha_wire::bundle::parse(&frame.bytes) else {
+            ctx.metrics.parse_errors += 1;
+            ctx.metrics.drop_reason("parse-error");
+            return;
+        };
+        let mut pass = Vec::with_capacity(pkts.len());
+        for pkt in pkts {
+            let (decision, events) = self.relay.observe(&pkt, ctx.now);
+            for ev in events {
+                if matches!(ev, RelayEvent::VerifiedPayload { .. }) {
+                    ctx.metrics.extracted_payloads += 1;
+                }
+            }
+            match decision {
+                RelayDecision::Forward => pass.push(pkt),
+                RelayDecision::Drop(reason) => {
+                    ctx.metrics.drop_reason(drop_reason_str(reason));
+                }
+            }
+        }
+        if !pass.is_empty() {
+            ctx.metrics.forwarded += 1;
+            let bytes = if pass.len() == 1 {
+                pass[0].emit()
+            } else {
+                alpha_wire::bundle::emit(&pass)
+            };
+            out.frames.push(Frame { src: frame.src, dst: frame.dst, bytes });
+        }
+    }
+}
+
+fn drop_reason_str(r: alpha_core::DropReason) -> &'static str {
+    use alpha_core::DropReason::*;
+    match r {
+        BadChainElement => "bad-chain-element",
+        BadMac => "bad-mac",
+        Unsolicited => "unsolicited",
+        BadVerdict => "bad-verdict",
+        RateLimited => "rate-limited",
+        UnknownAssociation => "unknown-association",
+        Malformed => "malformed",
+    }
+}
+
+/// Adversarial nodes.
+pub enum Attacker {
+    /// Injects forged S1 packets toward a victim at a fixed rate —
+    /// the S1-flood of §3.5.
+    Flooder {
+        /// Victim node.
+        dst: NodeId,
+        /// Association id to claim.
+        assoc_id: u64,
+        /// Hash algorithm to mimic.
+        alg: alpha_crypto::Algorithm,
+        /// Packets per tick.
+        per_tick: u32,
+        /// Forged packets injected so far.
+        injected: u64,
+    },
+    /// A compromised forwarder: relays everything verbatim and re-injects
+    /// each frame once after `delay_us` (replay attack).
+    ReplayRelay {
+        /// Replay delay (µs).
+        delay_us: u64,
+        /// Captured frames awaiting replay.
+        pending: Vec<(Timestamp, Frame)>,
+        /// Frames replayed so far.
+        replayed: u64,
+    },
+    /// A compromised forwarder that flips a payload byte in S2 packets it
+    /// forwards, with the given probability (tampering insider).
+    Tamperer {
+        /// Probability of corrupting each S2 (0..1).
+        probability: f64,
+        /// Frames tampered so far.
+        tampered: u64,
+    },
+}
+
+impl Attacker {
+    fn on_tick(&mut self, ctx: &mut NodeCtx<'_>, out: &mut NodeOutput) {
+        match self {
+            Attacker::Flooder { dst, assoc_id, alg, per_tick, injected } => {
+                for _ in 0..*per_tick {
+                    let mut fake = [0u8; 32];
+                    ctx.rng.fill_bytes(&mut fake);
+                    let element = Digest::from_slice(&fake[..alg.digest_len()]);
+                    let mac = Digest::from_slice(&fake[..alg.digest_len()]);
+                    let pkt = Packet {
+                        assoc_id: *assoc_id,
+                        alg: *alg,
+                        chain_index: 999,
+                        body: alpha_wire::Body::S1 {
+                            element,
+                            presig: alpha_wire::PreSignature::Cumulative(vec![mac]),
+                        },
+                    };
+                    out.send(ctx.id, *dst, &pkt);
+                    *injected += 1;
+                }
+            }
+            Attacker::ReplayRelay { delay_us: _, pending, replayed } => {
+                let due: Vec<Frame> = {
+                    let now = ctx.now;
+                    let (ready, later): (Vec<_>, Vec<_>) =
+                        pending.drain(..).partition(|(at, _)| *at <= now);
+                    *pending = later;
+                    ready.into_iter().map(|(_, f)| f).collect()
+                };
+                for f in due {
+                    *replayed += 1;
+                    out.frames.push(f);
+                }
+            }
+            Attacker::Tamperer { .. } => {}
+        }
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: Frame, out: &mut NodeOutput) {
+        match self {
+            Attacker::Flooder { .. } => {
+                // Floods, never forwards: swallow traffic addressed here.
+                ctx.metrics.drop_reason("attacker-sink");
+            }
+            Attacker::ReplayRelay { delay_us, pending, .. } => {
+                pending.push((ctx.now.plus_micros(*delay_us), frame.clone()));
+                out.frames.push(frame);
+            }
+            Attacker::Tamperer { probability, tampered } => {
+                let mut frame = frame;
+                if let Ok(pkt) = Packet::parse(&frame.bytes) {
+                    if matches!(pkt.body, alpha_wire::Body::S2 { .. })
+                        && rand::Rng::gen_bool(ctx.rng, probability.clamp(0.0, 1.0))
+                    {
+                        // Flip a byte near the end (payload region).
+                        let n = frame.bytes.len();
+                        frame.bytes[n - 1] ^= 0x01;
+                        *tampered += 1;
+                    }
+                }
+                out.frames.push(frame);
+            }
+        }
+    }
+}
+
+/// Any simulator node.
+#[allow(clippy::large_enum_variant)] // a handful of nodes per simulation
+pub enum Node {
+    /// An end host.
+    Endpoint(Endpoint),
+    /// An ALPHA-aware forwarder.
+    Relay(RelayNode),
+    /// A plain forwarder with no ALPHA awareness (incremental deployment).
+    DumbRelay {
+        /// Device model (prices nothing; dumb relays do no crypto).
+        device: DeviceModel,
+    },
+    /// An adversary.
+    Attacker {
+        /// Device model for accounting.
+        device: DeviceModel,
+        /// Behaviour.
+        attacker: Attacker,
+    },
+}
+
+impl Node {
+    /// The device whose cost model prices this node's computation.
+    #[must_use]
+    pub fn device(&self) -> &DeviceModel {
+        match self {
+            Node::Endpoint(e) => &e.device,
+            Node::Relay(r) => &r.device,
+            Node::DumbRelay { device } => device,
+            Node::Attacker { device, .. } => device,
+        }
+    }
+
+    /// Endpoint view, if this node is one.
+    #[must_use]
+    pub fn as_endpoint(&self) -> Option<&Endpoint> {
+        match self {
+            Node::Endpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Relay view, if this node is one.
+    #[must_use]
+    pub fn as_relay(&self) -> Option<&RelayNode> {
+        match self {
+            Node::Relay(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn on_tick(&mut self, ctx: &mut NodeCtx<'_>, out: &mut NodeOutput) {
+        match self {
+            Node::Endpoint(e) => e.on_tick(ctx, out),
+            Node::Relay(_) | Node::DumbRelay { .. } => {}
+            Node::Attacker { attacker, .. } => attacker.on_tick(ctx, out),
+        }
+    }
+
+    pub(crate) fn on_frame(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        _hop_from: NodeId,
+        frame: Frame,
+        out: &mut NodeOutput,
+    ) {
+        match self {
+            Node::Endpoint(e) => e.on_frame(ctx, frame, out),
+            Node::Relay(r) => r.on_frame(ctx, frame, out),
+            Node::DumbRelay { .. } => {
+                ctx.metrics.forwarded += 1;
+                out.frames.push(frame);
+            }
+            Node::Attacker { attacker, .. } => attacker.on_frame(ctx, frame, out),
+        }
+    }
+}

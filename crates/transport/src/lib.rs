@@ -1,0 +1,559 @@
+#![warn(missing_docs)]
+
+//! UDP transport for ALPHA: drives the sans-io protocol core over real
+//! sockets.
+//!
+//! The simulator (`alpha-sim`) exercises the protocol under controlled
+//! loss and timing; this crate shows the same state machines working over
+//! an actual OS network stack:
+//!
+//! - [`UdpHost`] — an end host: blocking handshake, batch send with
+//!   retransmission driven by the core's timers, and a serve loop for the
+//!   receiving side.
+//! - [`UdpRelay`] — an on-path middlebox that forwards datagrams between
+//!   two hosts while running [`alpha_core::Relay`] verification, dropping
+//!   forged or unsolicited traffic before it wastes downstream bandwidth.
+//!
+//! Blocking sockets with short read timeouts keep the implementation
+//! dependency-light (no async runtime is on the approved crate list); the
+//! sans-io core means the protocol logic is byte-for-byte the same one
+//! the simulator and benches run.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::{Duration, Instant};
+
+use alpha_core::bootstrap::{self, AuthRequirement};
+use alpha_core::{Association, Config, Mode, Relay, RelayConfig, RelayDecision, Timestamp};
+use alpha_pk::{PublicKey, Signer};
+use alpha_wire::Packet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Transport errors.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The protocol rejected a packet or operation.
+    Protocol(alpha_core::ProtocolError),
+    /// The operation did not complete before its deadline.
+    Timeout,
+}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> TransportError {
+        TransportError::Io(e)
+    }
+}
+
+impl From<alpha_core::ProtocolError> for TransportError {
+    fn from(e: alpha_core::ProtocolError) -> TransportError {
+        TransportError::Protocol(e)
+    }
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "io error: {e}"),
+            TransportError::Protocol(e) => write!(f, "protocol error: {e}"),
+            TransportError::Timeout => write!(f, "operation timed out"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+const READ_TIMEOUT: Duration = Duration::from_millis(20);
+const MAX_DATAGRAM: usize = 65_536;
+
+/// An ALPHA end host over UDP.
+pub struct UdpHost {
+    socket: UdpSocket,
+    peer: SocketAddr,
+    assoc: Association,
+    start: Instant,
+    rng: StdRng,
+    peer_key: Option<PublicKey>,
+}
+
+/// How a [`UdpHost`] authenticates its handshake (§3.4).
+#[derive(Default)]
+pub struct HandshakeAuth<'a> {
+    /// Sign our half of the handshake with this identity.
+    pub identity: Option<&'a dyn Signer>,
+    /// Demand a valid signature from the peer (trust-on-first-use; the
+    /// verified key is surfaced via [`UdpHost::peer_key`]).
+    pub require_peer: bool,
+}
+
+impl UdpHost {
+    /// Initiate: bind `bind`, handshake with `peer`, block until HS2 (or
+    /// `timeout`). Unprotected bootstrap; see [`UdpHost::connect_with`].
+    pub fn connect<A: ToSocketAddrs, B: ToSocketAddrs>(
+        cfg: Config,
+        assoc_id: u64,
+        bind: A,
+        peer: B,
+        timeout: Duration,
+    ) -> Result<UdpHost, TransportError> {
+        Self::connect_with(cfg, assoc_id, bind, peer, timeout, HandshakeAuth::default())
+    }
+
+    /// [`UdpHost::connect`] with optional protected bootstrapping.
+    pub fn connect_with<A: ToSocketAddrs, B: ToSocketAddrs>(
+        cfg: Config,
+        assoc_id: u64,
+        bind: A,
+        peer: B,
+        timeout: Duration,
+        auth: HandshakeAuth<'_>,
+    ) -> Result<UdpHost, TransportError> {
+        let socket = UdpSocket::bind(bind)?;
+        socket.set_read_timeout(Some(READ_TIMEOUT))?;
+        let peer = peer
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no peer addr"))?;
+        let mut rng = StdRng::from_entropy();
+        let (hs, init_pkt) = bootstrap::initiate(cfg, assoc_id, auth.identity, &mut rng);
+        let require = if auth.require_peer {
+            AuthRequirement::AnyKey
+        } else {
+            AuthRequirement::None
+        };
+        let deadline = Instant::now() + timeout;
+        let init_bytes = init_pkt.emit();
+        socket.send_to(&init_bytes, peer)?;
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let mut last_resend = Instant::now();
+        loop {
+            if Instant::now() > deadline {
+                return Err(TransportError::Timeout);
+            }
+            if last_resend.elapsed() > Duration::from_millis(200) {
+                socket.send_to(&init_bytes, peer)?;
+                last_resend = Instant::now();
+            }
+            let Ok((n, _from)) = socket.recv_from(&mut buf) else {
+                continue;
+            };
+            let Ok(pkt) = Packet::parse(&buf[..n]) else {
+                continue;
+            };
+            match hs.complete(&pkt, require) {
+                Ok((assoc, peer_key)) => {
+                    return Ok(UdpHost {
+                        socket,
+                        peer,
+                        assoc,
+                        start: Instant::now(),
+                        rng,
+                        peer_key,
+                    });
+                }
+                Err(e) => return Err(TransportError::Protocol(e)),
+            }
+        }
+    }
+
+    /// Accept: bind `bind`, wait for an HS1 (up to `timeout`), reply.
+    /// Unprotected bootstrap; see [`UdpHost::accept_with`].
+    pub fn accept<A: ToSocketAddrs>(
+        cfg: Config,
+        bind: A,
+        timeout: Duration,
+    ) -> Result<UdpHost, TransportError> {
+        Self::accept_with(cfg, bind, timeout, HandshakeAuth::default())
+    }
+
+    /// [`UdpHost::accept`] with optional protected bootstrapping.
+    pub fn accept_with<A: ToSocketAddrs>(
+        cfg: Config,
+        bind: A,
+        timeout: Duration,
+        auth: HandshakeAuth<'_>,
+    ) -> Result<UdpHost, TransportError> {
+        let socket = UdpSocket::bind(bind)?;
+        socket.set_read_timeout(Some(READ_TIMEOUT))?;
+        let require = if auth.require_peer {
+            AuthRequirement::AnyKey
+        } else {
+            AuthRequirement::None
+        };
+        let deadline = Instant::now() + timeout;
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let mut rng = StdRng::from_entropy();
+        loop {
+            if Instant::now() > deadline {
+                return Err(TransportError::Timeout);
+            }
+            let Ok((n, from)) = socket.recv_from(&mut buf) else {
+                continue;
+            };
+            let Ok(pkt) = Packet::parse(&buf[..n]) else {
+                continue;
+            };
+            match bootstrap::respond(cfg, &pkt, auth.identity, require, &mut rng) {
+                Ok((assoc, reply, peer_key)) => {
+                    socket.send_to(&reply.emit(), from)?;
+                    return Ok(UdpHost {
+                        socket,
+                        peer: from,
+                        assoc,
+                        start: Instant::now(),
+                        rng,
+                        peer_key,
+                    });
+                }
+                Err(_) => continue, // stray or unauthorized handshake
+            }
+        }
+    }
+
+    /// The peer's verified public key, when the handshake was protected.
+    #[must_use]
+    pub fn peer_key(&self) -> Option<&PublicKey> {
+        self.peer_key.as_ref()
+    }
+
+    /// Local address (useful with port 0 binds).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Protocol-time now.
+    fn now(&self) -> Timestamp {
+        Timestamp::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Access the association (e.g. for buffer statistics).
+    #[must_use]
+    pub fn association(&self) -> &Association {
+        &self.assoc
+    }
+
+    /// Send one batch through a full signature exchange, driving
+    /// retransmissions until the exchange completes, is abandoned, or
+    /// `timeout` passes. Returns payloads that were *delivered to us* by
+    /// the peer while we waited (full duplex).
+    pub fn send_batch(
+        &mut self,
+        messages: &[&[u8]],
+        mode: Mode,
+        timeout: Duration,
+    ) -> Result<Vec<Vec<u8>>, TransportError> {
+        let now = self.now();
+        let s1 = self.assoc.sign_batch(messages, mode, now)?;
+        self.socket.send_to(&s1.emit(), self.peer)?;
+        let deadline = Instant::now() + timeout;
+        let mut inbound = Vec::new();
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        while !self.assoc.signer().is_idle() {
+            if Instant::now() > deadline {
+                return Err(TransportError::Timeout);
+            }
+            // Timers.
+            let out = self.assoc.poll(self.now());
+            self.send_packets(&out.packets)?;
+            // Network (frames may be piggyback bundles).
+            let Ok((n, _)) = self.socket.recv_from(&mut buf) else {
+                continue;
+            };
+            let Ok(pkts) = alpha_wire::bundle::parse(&buf[..n]) else {
+                continue;
+            };
+            for pkt in pkts {
+                let now = self.now();
+                if let Ok(resp) = self.assoc.handle(&pkt, now, &mut self.rng) {
+                    self.send_packets(&resp.packets)?;
+                    inbound.extend(resp.deliveries.into_iter().map(|(_, p)| p));
+                }
+            }
+        }
+        Ok(inbound)
+    }
+
+    /// Transmit packets, piggybacking multi-packet responses into bundle
+    /// frames (§3.2.1) chunked at the wire limit.
+    fn send_packets(&self, packets: &[Packet]) -> Result<(), TransportError> {
+        match packets {
+            [] => {}
+            [one] => {
+                self.socket.send_to(&one.emit(), self.peer)?;
+            }
+            many => {
+                for chunk in many.chunks(alpha_wire::limits::MAX_BUNDLE) {
+                    self.socket.send_to(&alpha_wire::bundle::emit(chunk), self.peer)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Serve the receiving side for `duration`, answering protocol packets
+    /// and collecting verified deliveries.
+    pub fn serve(&mut self, duration: Duration) -> Result<Vec<Vec<u8>>, TransportError> {
+        let deadline = Instant::now() + duration;
+        let mut delivered = Vec::new();
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        while Instant::now() < deadline {
+            let out = self.assoc.poll(self.now());
+            self.send_packets(&out.packets)?;
+            let Ok((n, _)) = self.socket.recv_from(&mut buf) else {
+                continue;
+            };
+            let Ok(pkts) = alpha_wire::bundle::parse(&buf[..n]) else {
+                continue;
+            };
+            for pkt in pkts {
+                let now = self.now();
+                if let Ok(resp) = self.assoc.handle(&pkt, now, &mut self.rng) {
+                    self.send_packets(&resp.packets)?;
+                    delivered.extend(resp.deliveries.into_iter().map(|(_, p)| p));
+                }
+            }
+        }
+        Ok(delivered)
+    }
+}
+
+/// An on-path UDP middlebox: forwards datagrams between two sides while
+/// verifying them with an [`alpha_core::Relay`].
+pub struct UdpRelay {
+    socket: UdpSocket,
+    left: SocketAddr,
+    right: SocketAddr,
+    relay: Relay,
+    start: Instant,
+    /// Verified payloads extracted in transit.
+    pub extracted: Vec<Vec<u8>>,
+    /// Packets dropped, by reason.
+    pub dropped: u64,
+    /// Packets forwarded.
+    pub forwarded: u64,
+}
+
+impl UdpRelay {
+    /// Bind `bind`; traffic from `left` forwards to `right` and back.
+    pub fn new<A: ToSocketAddrs>(
+        bind: A,
+        left: SocketAddr,
+        right: SocketAddr,
+        cfg: RelayConfig,
+    ) -> Result<UdpRelay, TransportError> {
+        let socket = UdpSocket::bind(bind)?;
+        socket.set_read_timeout(Some(READ_TIMEOUT))?;
+        Ok(UdpRelay {
+            socket,
+            left,
+            right,
+            relay: Relay::new(cfg),
+            start: Instant::now(),
+            extracted: Vec::new(),
+            dropped: 0,
+            forwarded: 0,
+        })
+    }
+
+    /// Local address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Forward and verify for `duration`.
+    pub fn run_for(&mut self, duration: Duration) -> Result<(), TransportError> {
+        let deadline = Instant::now() + duration;
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        while Instant::now() < deadline {
+            let Ok((n, from)) = self.socket.recv_from(&mut buf) else {
+                continue;
+            };
+            let dst = if from == self.left { self.right } else { self.left };
+            let Ok(pkts) = alpha_wire::bundle::parse(&buf[..n]) else {
+                self.dropped += 1;
+                continue;
+            };
+            let now = Timestamp::from_micros(self.start.elapsed().as_micros() as u64);
+            let mut pass = Vec::with_capacity(pkts.len());
+            for pkt in pkts {
+                let (decision, events) = self.relay.observe(&pkt, now);
+                for ev in events {
+                    if let alpha_core::RelayEvent::VerifiedPayload { payload, .. } = ev {
+                        self.extracted.push(payload);
+                    }
+                }
+                match decision {
+                    RelayDecision::Forward => pass.push(pkt),
+                    RelayDecision::Drop(_) => self.dropped += 1,
+                }
+            }
+            if !pass.is_empty() {
+                self.forwarded += 1;
+                let bytes = if pass.len() == 1 {
+                    pass[0].emit()
+                } else {
+                    alpha_wire::bundle::emit(&pass)
+                };
+                self.socket.send_to(&bytes, dst)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_crypto::Algorithm;
+
+    fn cfg() -> Config {
+        Config::new(Algorithm::Sha1).with_chain_len(64)
+    }
+
+    #[test]
+    fn udp_roundtrip_direct() {
+        let c = cfg();
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let socket_probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let addr = socket_probe.local_addr().unwrap();
+            drop(socket_probe);
+            tx.send(addr).unwrap();
+            let mut host =
+                UdpHost::accept(c, addr, Duration::from_secs(10)).expect("accept");
+            host.serve(Duration::from_millis(1500)).expect("serve")
+        });
+        let addr = rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let mut client = UdpHost::connect(c, 7, "127.0.0.1:0", addr, Duration::from_secs(10))
+            .expect("connect");
+        client
+            .send_batch(&[b"over real udp"], Mode::Base, Duration::from_secs(5))
+            .expect("send");
+        let delivered = server.join().expect("server thread");
+        assert_eq!(delivered, vec![b"over real udp".to_vec()]);
+    }
+
+    #[test]
+    fn udp_batch_through_relay() {
+        let c = cfg();
+        // Server.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let addr = probe.local_addr().unwrap();
+            drop(probe);
+            tx.send(addr).unwrap();
+            let mut host = UdpHost::accept(c, addr, Duration::from_secs(10)).expect("accept");
+            host.serve(Duration::from_millis(2500)).expect("serve")
+        });
+        let server_addr = rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+
+        // Client binds first so the relay knows both sides.
+        let client_sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let client_addr = client_sock.local_addr().unwrap();
+        drop(client_sock);
+
+        let (rtx, rrx) = std::sync::mpsc::channel();
+        let relay_thread = std::thread::spawn(move || {
+            let mut relay = UdpRelay::new(
+                "127.0.0.1:0",
+                client_addr,
+                server_addr,
+                RelayConfig::default(),
+            )
+            .expect("relay");
+            rtx.send(relay.local_addr().unwrap()).unwrap();
+            relay.run_for(Duration::from_millis(2500)).expect("relay run");
+            (relay.forwarded, relay.dropped, relay.extracted)
+        });
+        let relay_addr = rrx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+
+        let mut client = UdpHost::connect(c, 7, client_addr, relay_addr, Duration::from_secs(10))
+            .expect("connect");
+        client
+            .send_batch(
+                &[b"first".as_slice(), b"second".as_slice(), b"third".as_slice()],
+                Mode::Cumulative,
+                Duration::from_secs(5),
+            )
+            .expect("send");
+        let delivered = server.join().expect("server");
+        let (forwarded, _dropped, extracted) = relay_thread.join().expect("relay");
+        assert_eq!(delivered.len(), 3);
+        assert!(forwarded >= 5, "handshake + exchange forwarded");
+        assert_eq!(extracted.len(), 3, "relay verified every payload");
+    }
+}
+
+#[cfg(test)]
+mod protected_tests {
+    use super::*;
+    use alpha_crypto::Algorithm;
+
+    #[test]
+    fn protected_udp_handshake_verifies_identities() {
+        let cfg = Config::new(Algorithm::Sha1).with_chain_len(64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let server_key = alpha_pk::ecdsa::EcdsaPrivateKey::generate(&mut rng);
+        let client_key = alpha_pk::ecdsa::EcdsaPrivateKey::generate(&mut rng);
+
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let addr = probe.local_addr().unwrap();
+            drop(probe);
+            tx.send(addr).unwrap();
+            let auth = HandshakeAuth { identity: Some(&server_key), require_peer: true };
+            let mut host = UdpHost::accept_with(cfg, addr, Duration::from_secs(10), auth)
+                .expect("accept");
+            assert!(host.peer_key().is_some(), "client identity verified");
+            host.serve(Duration::from_millis(1200)).expect("serve")
+        });
+        let addr = rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let auth = HandshakeAuth { identity: Some(&client_key), require_peer: true };
+        let mut client = UdpHost::connect_with(
+            cfg,
+            5,
+            "127.0.0.1:0",
+            addr,
+            Duration::from_secs(10),
+            auth,
+        )
+        .expect("connect");
+        assert!(client.peer_key().is_some(), "server identity verified");
+        client
+            .send_batch(&[b"authenticated hello"], Mode::Base, Duration::from_secs(5))
+            .expect("send");
+        let delivered = server.join().expect("server");
+        assert_eq!(delivered, vec![b"authenticated hello".to_vec()]);
+    }
+
+    #[test]
+    fn unauthenticated_client_rejected_when_auth_required() {
+        let cfg = Config::new(Algorithm::Sha1).with_chain_len(64);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(78);
+        let server_key = alpha_pk::ecdsa::EcdsaPrivateKey::generate(&mut rng);
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let probe = UdpSocket::bind("127.0.0.1:0").unwrap();
+            let addr = probe.local_addr().unwrap();
+            drop(probe);
+            tx.send(addr).unwrap();
+            let auth = HandshakeAuth { identity: Some(&server_key), require_peer: true };
+            // The anonymous client below never completes a handshake, so
+            // accept times out.
+            UdpHost::accept_with(cfg, addr, Duration::from_millis(1500), auth).is_ok()
+        });
+        let addr = rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let res = UdpHost::connect(cfg, 5, "127.0.0.1:0", addr, Duration::from_millis(1200));
+        assert!(res.is_err(), "anonymous client cannot associate");
+        assert!(!server.join().unwrap(), "server refused the handshake");
+    }
+}

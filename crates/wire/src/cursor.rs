@@ -1,0 +1,150 @@
+//! Bounded read cursor and write helpers for packet (de)serialization.
+
+use crate::Error;
+use alpha_crypto::{Algorithm, Digest};
+
+/// A checked reader over a byte slice. All reads fail with
+/// [`Error::Truncated`] instead of panicking.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        if self.remaining() < n {
+            return Err(Error::Truncated);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, Error> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, Error> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, Error> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, Error> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Read one digest of `alg`'s output length.
+    pub fn digest(&mut self, alg: Algorithm) -> Result<Digest, Error> {
+        Ok(Digest::from_slice(self.take(alg.digest_len())?))
+    }
+
+    /// Read `count` digests.
+    pub fn digests(&mut self, alg: Algorithm, count: usize) -> Result<Vec<Digest>, Error> {
+        // Pre-check so a huge count on a short buffer fails before allocating.
+        if self.remaining() < count.saturating_mul(alg.digest_len()) {
+            return Err(Error::Truncated);
+        }
+        (0..count).map(|_| self.digest(alg)).collect()
+    }
+
+    /// Require the buffer to be fully consumed.
+    pub fn finish(self) -> Result<(), Error> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(Error::TrailingBytes)
+        }
+    }
+}
+
+/// Write helpers over a `Vec<u8>`.
+pub struct Writer {
+    pub out: Vec<u8>,
+}
+
+impl Writer {
+    pub fn new() -> Writer {
+        Writer { out: Vec::with_capacity(64) }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.out.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.out.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.out.extend_from_slice(v);
+    }
+
+    pub fn digest(&mut self, d: &Digest) {
+        self.out.extend_from_slice(d.as_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_and_bounds() {
+        let mut r = Reader::new(&[1, 0, 2, 0, 0, 0, 3]);
+        assert_eq!(r.u8().unwrap(), 1);
+        assert_eq!(r.u16().unwrap(), 2);
+        assert_eq!(r.u32().unwrap(), 3);
+        assert_eq!(r.u8().unwrap_err(), Error::Truncated);
+    }
+
+    #[test]
+    fn trailing_detected() {
+        let r = Reader::new(&[0]);
+        assert_eq!(r.finish().unwrap_err(), Error::TrailingBytes);
+        let mut r = Reader::new(&[0]);
+        let _ = r.u8();
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn huge_count_fails_before_alloc() {
+        let mut r = Reader::new(&[0u8; 10]);
+        assert_eq!(
+            r.digests(Algorithm::Sha1, usize::MAX / 2).unwrap_err(),
+            Error::Truncated
+        );
+    }
+
+    #[test]
+    fn writer_roundtrip() {
+        let mut w = Writer::new();
+        w.u64(0xdead_beef_0102_0304);
+        w.u8(9);
+        let mut r = Reader::new(&w.out);
+        assert_eq!(r.u64().unwrap(), 0xdead_beef_0102_0304);
+        assert_eq!(r.u8().unwrap(), 9);
+        r.finish().unwrap();
+    }
+}

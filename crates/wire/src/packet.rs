@@ -1,0 +1,952 @@
+//! Packet structures and their binary encoding.
+//!
+//! Layout (all integers big-endian):
+//!
+//! ```text
+//! 0        2        3        4        5            13           21
+//! +--------+--------+--------+--------+------------+------------+------
+//! | magic  | version| type   | alg    | assoc id   | chain index| body…
+//! | 0xA1FA |  0x01  |        |        |   u64      |    u64     |
+//! +--------+--------+--------+--------+------------+------------+------
+//! ```
+//!
+//! `chain index` is the 1-based hash-chain position of the chain element
+//! carried by the packet (announce element for S1/A1, disclosed key for
+//! S2/A2, unused = 0 for handshakes). Carrying the index explicitly lets
+//! verifiers and relays catch up over lost packets by hashing forward,
+//! instead of discarding everything after a gap.
+
+use crate::cursor::{Reader, Writer};
+use crate::{limits, Error};
+use alpha_crypto::amt::{AmtDisclosure, SECRET_LEN};
+use alpha_crypto::{Algorithm, Digest};
+
+const MAGIC: u16 = 0xA1FA;
+const VERSION: u8 = 1;
+
+/// Discriminants for the packet types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketType {
+    /// Pre-signature announcement.
+    S1 = 1,
+    /// Acknowledgment / willingness to receive.
+    A1 = 2,
+    /// Key disclosure + message.
+    S2 = 3,
+    /// Verdict disclosure.
+    A2 = 4,
+    /// Handshake initiation.
+    Hs1 = 5,
+    /// Handshake reply.
+    Hs2 = 6,
+}
+
+/// A piggyback bundle: several packets in one frame (§3.2.1: "a host that
+/// acts as signer and verifier can combine the packet transmissions of
+/// both directions and send A and S packets of independent simplex
+/// channels in the same packet"). Encoded as a one-byte magic-breaking
+/// prefix so a bundle can never be confused with a single packet.
+pub mod bundle {
+    use super::Packet;
+    use crate::{limits, Error};
+
+    /// Leading byte of a bundle frame (a plain packet starts with 0xA1).
+    pub const BUNDLE_TAG: u8 = 0xB1;
+
+    /// Encode up to [`limits::MAX_BUNDLE`] packets into one frame.
+    #[must_use]
+    pub fn emit(packets: &[Packet]) -> Vec<u8> {
+        assert!(
+            (1..=limits::MAX_BUNDLE).contains(&packets.len()),
+            "bundle of 1..=MAX_BUNDLE packets"
+        );
+        let mut out = vec![BUNDLE_TAG, packets.len() as u8];
+        for p in packets {
+            let bytes = p.emit();
+            out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Parse a frame that may be either a bundle or a single packet;
+    /// returns the contained packets in order.
+    pub fn parse(frame: &[u8]) -> Result<Vec<Packet>, Error> {
+        if frame.first() != Some(&BUNDLE_TAG) {
+            return Packet::parse(frame).map(|p| vec![p]);
+        }
+        let count = *frame.get(1).ok_or(Error::Truncated)? as usize;
+        if count == 0 || count > limits::MAX_BUNDLE {
+            return Err(Error::LimitExceeded);
+        }
+        let mut rest = &frame[2..];
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            if rest.len() < 2 {
+                return Err(Error::Truncated);
+            }
+            let len = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+            if rest.len() < 2 + len {
+                return Err(Error::Truncated);
+            }
+            out.push(Packet::parse(&rest[2..2 + len])?);
+            rest = &rest[2 + len..];
+        }
+        if !rest.is_empty() {
+            return Err(Error::TrailingBytes);
+        }
+        Ok(out)
+    }
+}
+
+/// The pre-signature material in an S1 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreSignature {
+    /// One MAC per covered message (Base mode sends exactly one; ALPHA-C
+    /// packs many, §3.3.1).
+    Cumulative(Vec<Digest>),
+    /// A single Merkle-tree root covering `leaves` messages (ALPHA-M,
+    /// §3.3.2). The root is keyed with the undisclosed chain element.
+    MerkleRoot {
+        /// Keyed root `H(h | b0 | b1)`.
+        root: Digest,
+        /// Number of real leaves (S2 packets to expect).
+        leaves: u32,
+    },
+    /// Multiple Merkle-tree roots in one S1 — the ALPHA-C + ALPHA-M
+    /// combination of §3.3.2's closing paragraph: shallower trees trade a
+    /// little relay buffer (one root per tree) for shorter authentication
+    /// paths in every S2.
+    MerkleForest(Vec<TreeDescriptor>),
+}
+
+/// One tree of a [`PreSignature::MerkleForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeDescriptor {
+    /// Keyed root of this tree.
+    pub root: Digest,
+    /// Real leaves under this root.
+    pub leaves: u32,
+}
+
+impl PreSignature {
+    /// Number of messages this pre-signature covers.
+    #[must_use]
+    pub fn covered(&self) -> u32 {
+        match self {
+            PreSignature::Cumulative(v) => v.len() as u32,
+            PreSignature::MerkleRoot { leaves, .. } => *leaves,
+            PreSignature::MerkleForest(trees) => trees.iter().map(|t| t.leaves).sum(),
+        }
+    }
+}
+
+/// The acknowledgment commitment in an A1 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AckCommit {
+    /// Unreliable mode: A1 only authenticates willingness to receive.
+    None,
+    /// Reliable Base/ALPHA-C: flat pre-ack + pre-nack hashes (§3.2.2).
+    Flat {
+        /// `H(h | "1" | s_ack)`.
+        pre_ack: Digest,
+        /// `H(h | "0" | s_nack)`.
+        pre_nack: Digest,
+    },
+    /// Reliable ALPHA-M: an Acknowledgment Merkle Tree root (§3.3.3).
+    Amt {
+        /// Keyed AMT root `H(left | right | h)`.
+        root: Digest,
+        /// Number of packets the AMT can acknowledge.
+        leaves: u32,
+    },
+}
+
+/// The verdict disclosure in an A2 packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum A2Disclosure {
+    /// Flat pre-(n)ack disclosure: verdict flag + matching secret.
+    Flat {
+        /// `true` = ack, `false` = nack.
+        ack: bool,
+        /// The disclosed secret.
+        secret: [u8; SECRET_LEN],
+    },
+    /// One or more AMT verdict disclosures (selective acknowledgment).
+    Amt(Vec<AmtDisclosure>),
+}
+
+/// Handshake direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandshakeRole {
+    /// First packet of the bootstrap exchange.
+    Init,
+    /// Responder's half.
+    Reply,
+}
+
+/// Optional public-key authentication of a handshake (§3.4 *protected
+/// bootstrapping*). The key and signature are scheme-tagged opaque blobs;
+/// `alpha-core` interprets them via `alpha-pk`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandshakeAuth {
+    /// Scheme tag: 1 = RSA, 2 = DSA, 3 = ECDSA (mirrors `alpha_pk::PublicKey`).
+    pub scheme: u8,
+    /// Serialized public key.
+    pub public_key: Vec<u8>,
+    /// Signature over the handshake's anchor fields.
+    pub signature: Vec<u8>,
+}
+
+/// Bootstrap handshake body: the four hash-chain anchors of §3.1 are
+/// exchanged as two per direction (each host sends its signature and
+/// acknowledgment anchors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handshake {
+    /// Init or reply.
+    pub role: HandshakeRole,
+    /// Sender's signature-chain anchor.
+    pub sig_anchor: Digest,
+    /// Index (= length) of the signature chain.
+    pub sig_anchor_index: u64,
+    /// Sender's acknowledgment-chain anchor.
+    pub ack_anchor: Digest,
+    /// Index (= length) of the acknowledgment chain.
+    pub ack_anchor_index: u64,
+    /// Optional public-key authentication.
+    pub auth: Option<HandshakeAuth>,
+}
+
+impl Handshake {
+    /// The byte string a protected bootstrap signs: both anchors with
+    /// their indices, domain-separated.
+    #[must_use]
+    pub fn signed_bytes(&self, assoc_id: u64) -> Vec<u8> {
+        let mut out = Vec::with_capacity(80);
+        out.extend_from_slice(b"ALPHA-HS");
+        out.extend_from_slice(&assoc_id.to_be_bytes());
+        out.push(match self.role {
+            HandshakeRole::Init => 1,
+            HandshakeRole::Reply => 2,
+        });
+        out.extend_from_slice(&self.sig_anchor_index.to_be_bytes());
+        out.extend_from_slice(self.sig_anchor.as_bytes());
+        out.extend_from_slice(&self.ack_anchor_index.to_be_bytes());
+        out.extend_from_slice(self.ack_anchor.as_bytes());
+        out
+    }
+}
+
+/// Packet bodies, one per [`PacketType`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Body {
+    /// S1: fresh chain element + pre-signature(s).
+    S1 {
+        /// Announce-role signature-chain element (index in the header).
+        element: Digest,
+        /// Pre-signature material.
+        presig: PreSignature,
+    },
+    /// A1: fresh acknowledgment-chain element + optional commitments.
+    A1 {
+        /// Announce-role acknowledgment-chain element.
+        element: Digest,
+        /// Reliability commitment.
+        commit: AckCommit,
+    },
+    /// S2: disclosed MAC key + one message.
+    S2 {
+        /// Disclosed signature-chain element (the MAC key).
+        key: Digest,
+        /// Message index within the covered bundle (0 in Base mode).
+        seq: u32,
+        /// Merkle authentication path (empty outside ALPHA-M).
+        path: Vec<Digest>,
+        /// The protected message.
+        payload: Vec<u8>,
+    },
+    /// A2: disclosed acknowledgment-chain element + verdict(s).
+    A2 {
+        /// Disclosed acknowledgment-chain element.
+        element: Digest,
+        /// Verdict disclosure.
+        disclosure: A2Disclosure,
+    },
+    /// HS1/HS2: bootstrap handshake.
+    Handshake(Handshake),
+}
+
+/// A complete ALPHA packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Association identifier (shared context between the two hosts).
+    pub assoc_id: u64,
+    /// Hash algorithm of every digest in the packet.
+    pub alg: Algorithm,
+    /// Chain position of the carried element (0 for handshakes).
+    pub chain_index: u64,
+    /// Type-specific body.
+    pub body: Body,
+}
+
+impl Packet {
+    /// The packet's type tag.
+    #[must_use]
+    pub fn packet_type(&self) -> PacketType {
+        match &self.body {
+            Body::S1 { .. } => PacketType::S1,
+            Body::A1 { .. } => PacketType::A1,
+            Body::S2 { .. } => PacketType::S2,
+            Body::A2 { .. } => PacketType::A2,
+            Body::Handshake(h) => match h.role {
+                HandshakeRole::Init => PacketType::Hs1,
+                HandshakeRole::Reply => PacketType::Hs2,
+            },
+        }
+    }
+
+    /// Serialize to bytes.
+    #[must_use]
+    pub fn emit(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u16(MAGIC);
+        w.u8(VERSION);
+        w.u8(self.packet_type() as u8);
+        w.u8(alg_tag(self.alg));
+        w.u64(self.assoc_id);
+        w.u64(self.chain_index);
+        match &self.body {
+            Body::S1 { element, presig } => {
+                w.digest(element);
+                match presig {
+                    PreSignature::Cumulative(macs) => {
+                        w.u8(1);
+                        w.u16(macs.len() as u16);
+                        for m in macs {
+                            w.digest(m);
+                        }
+                    }
+                    PreSignature::MerkleRoot { root, leaves } => {
+                        w.u8(2);
+                        w.u32(*leaves);
+                        w.digest(root);
+                    }
+                    PreSignature::MerkleForest(trees) => {
+                        w.u8(3);
+                        w.u16(trees.len() as u16);
+                        for t in trees {
+                            w.u32(t.leaves);
+                            w.digest(&t.root);
+                        }
+                    }
+                }
+            }
+            Body::A1 { element, commit } => {
+                w.digest(element);
+                match commit {
+                    AckCommit::None => w.u8(0),
+                    AckCommit::Flat { pre_ack, pre_nack } => {
+                        w.u8(1);
+                        w.digest(pre_ack);
+                        w.digest(pre_nack);
+                    }
+                    AckCommit::Amt { root, leaves } => {
+                        w.u8(2);
+                        w.u32(*leaves);
+                        w.digest(root);
+                    }
+                }
+            }
+            Body::S2 { key, seq, path, payload } => {
+                w.digest(key);
+                w.u32(*seq);
+                w.u8(path.len() as u8);
+                for p in path {
+                    w.digest(p);
+                }
+                w.u16(payload.len() as u16);
+                w.bytes(payload);
+            }
+            Body::A2 { element, disclosure } => {
+                w.digest(element);
+                match disclosure {
+                    A2Disclosure::Flat { ack, secret } => {
+                        w.u8(1);
+                        w.u8(u8::from(*ack));
+                        w.bytes(secret);
+                    }
+                    A2Disclosure::Amt(items) => {
+                        w.u8(2);
+                        w.u16(items.len() as u16);
+                        for it in items {
+                            w.u32(it.packet_index);
+                            w.u8(u8::from(it.ack));
+                            w.bytes(&it.secret);
+                            w.u8(it.path.len() as u8);
+                            for p in &it.path {
+                                w.digest(p);
+                            }
+                        }
+                    }
+                }
+            }
+            Body::Handshake(h) => {
+                w.u64(h.sig_anchor_index);
+                w.digest(&h.sig_anchor);
+                w.u64(h.ack_anchor_index);
+                w.digest(&h.ack_anchor);
+                match &h.auth {
+                    None => w.u8(0),
+                    Some(a) => {
+                        w.u8(1);
+                        w.u8(a.scheme);
+                        w.u16(a.public_key.len() as u16);
+                        w.bytes(&a.public_key);
+                        w.u16(a.signature.len() as u16);
+                        w.bytes(&a.signature);
+                    }
+                }
+            }
+        }
+        w.out
+    }
+
+    /// Encoded length without allocating the encoding twice.
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        self.emit().len()
+    }
+
+    /// Parse a packet; rejects any malformed, oversized, or trailing input.
+    pub fn parse(buf: &[u8]) -> Result<Packet, Error> {
+        let mut r = Reader::new(buf);
+        if r.u16()? != MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let version = r.u8()?;
+        if version != VERSION {
+            return Err(Error::BadVersion(version));
+        }
+        let ptype = r.u8()?;
+        let alg = parse_alg(r.u8()?)?;
+        let assoc_id = r.u64()?;
+        let chain_index = r.u64()?;
+        let body = match ptype {
+            1 => {
+                let element = r.digest(alg)?;
+                let presig = match r.u8()? {
+                    1 => {
+                        let count = r.u16()? as usize;
+                        if count == 0 || count > limits::MAX_PRESIGS {
+                            return Err(Error::LimitExceeded);
+                        }
+                        PreSignature::Cumulative(r.digests(alg, count)?)
+                    }
+                    2 => {
+                        let leaves = r.u32()?;
+                        if leaves == 0 || leaves > limits::MAX_LEAVES {
+                            return Err(Error::LimitExceeded);
+                        }
+                        PreSignature::MerkleRoot { root: r.digest(alg)?, leaves }
+                    }
+                    3 => {
+                        let count = r.u16()? as usize;
+                        if count == 0 || count > limits::MAX_PRESIGS {
+                            return Err(Error::LimitExceeded);
+                        }
+                        let mut trees = Vec::with_capacity(count.min(64));
+                        let mut total: u64 = 0;
+                        for _ in 0..count {
+                            let leaves = r.u32()?;
+                            if leaves == 0 {
+                                return Err(Error::Malformed);
+                            }
+                            total += u64::from(leaves);
+                            if total > u64::from(limits::MAX_LEAVES) {
+                                return Err(Error::LimitExceeded);
+                            }
+                            trees.push(TreeDescriptor { root: r.digest(alg)?, leaves });
+                        }
+                        PreSignature::MerkleForest(trees)
+                    }
+                    d => return Err(Error::BadDiscriminant(d)),
+                };
+                Body::S1 { element, presig }
+            }
+            2 => {
+                let element = r.digest(alg)?;
+                let commit = match r.u8()? {
+                    0 => AckCommit::None,
+                    1 => AckCommit::Flat {
+                        pre_ack: r.digest(alg)?,
+                        pre_nack: r.digest(alg)?,
+                    },
+                    2 => {
+                        let leaves = r.u32()?;
+                        if leaves == 0 || leaves > limits::MAX_LEAVES {
+                            return Err(Error::LimitExceeded);
+                        }
+                        AckCommit::Amt { root: r.digest(alg)?, leaves }
+                    }
+                    d => return Err(Error::BadDiscriminant(d)),
+                };
+                Body::A1 { element, commit }
+            }
+            3 => {
+                let key = r.digest(alg)?;
+                let seq = r.u32()?;
+                let path_len = r.u8()? as usize;
+                if path_len > limits::MAX_PATH {
+                    return Err(Error::LimitExceeded);
+                }
+                let path = r.digests(alg, path_len)?;
+                let payload_len = r.u16()? as usize;
+                if payload_len > limits::MAX_PAYLOAD {
+                    return Err(Error::LimitExceeded);
+                }
+                let payload = r.take(payload_len)?.to_vec();
+                Body::S2 { key, seq, path, payload }
+            }
+            4 => {
+                let element = r.digest(alg)?;
+                let disclosure = match r.u8()? {
+                    1 => {
+                        let ack = parse_bool(r.u8()?)?;
+                        let mut secret = [0u8; SECRET_LEN];
+                        secret.copy_from_slice(r.take(SECRET_LEN)?);
+                        A2Disclosure::Flat { ack, secret }
+                    }
+                    2 => {
+                        let count = r.u16()? as usize;
+                        if count == 0 || count > limits::MAX_DISCLOSURES {
+                            return Err(Error::LimitExceeded);
+                        }
+                        let mut items = Vec::with_capacity(count.min(64));
+                        for _ in 0..count {
+                            let packet_index = r.u32()?;
+                            let ack = parse_bool(r.u8()?)?;
+                            let mut secret = [0u8; SECRET_LEN];
+                            secret.copy_from_slice(r.take(SECRET_LEN)?);
+                            let path_len = r.u8()? as usize;
+                            if path_len > limits::MAX_PATH {
+                                return Err(Error::LimitExceeded);
+                            }
+                            let path = r.digests(alg, path_len)?;
+                            items.push(AmtDisclosure { packet_index, ack, secret, path });
+                        }
+                        A2Disclosure::Amt(items)
+                    }
+                    d => return Err(Error::BadDiscriminant(d)),
+                };
+                Body::A2 { element, disclosure }
+            }
+            t @ (5 | 6) => {
+                let sig_anchor_index = r.u64()?;
+                let sig_anchor = r.digest(alg)?;
+                let ack_anchor_index = r.u64()?;
+                let ack_anchor = r.digest(alg)?;
+                let auth = match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let scheme = r.u8()?;
+                        let klen = r.u16()? as usize;
+                        if klen > limits::MAX_AUTH_BLOB {
+                            return Err(Error::LimitExceeded);
+                        }
+                        let public_key = r.take(klen)?.to_vec();
+                        let slen = r.u16()? as usize;
+                        if slen > limits::MAX_AUTH_BLOB {
+                            return Err(Error::LimitExceeded);
+                        }
+                        let signature = r.take(slen)?.to_vec();
+                        Some(HandshakeAuth { scheme, public_key, signature })
+                    }
+                    d => return Err(Error::BadDiscriminant(d)),
+                };
+                Body::Handshake(Handshake {
+                    role: if t == 5 { HandshakeRole::Init } else { HandshakeRole::Reply },
+                    sig_anchor,
+                    sig_anchor_index,
+                    ack_anchor,
+                    ack_anchor_index,
+                    auth,
+                })
+            }
+            t => return Err(Error::UnknownType(t)),
+        };
+        r.finish()?;
+        Ok(Packet { assoc_id, alg, chain_index, body })
+    }
+}
+
+fn alg_tag(alg: Algorithm) -> u8 {
+    match alg {
+        Algorithm::Sha1 => 1,
+        Algorithm::Sha256 => 2,
+        Algorithm::MmoAes => 3,
+    }
+}
+
+fn parse_alg(tag: u8) -> Result<Algorithm, Error> {
+    match tag {
+        1 => Ok(Algorithm::Sha1),
+        2 => Ok(Algorithm::Sha256),
+        3 => Ok(Algorithm::MmoAes),
+        t => Err(Error::UnknownAlgorithm(t)),
+    }
+}
+
+fn parse_bool(b: u8) -> Result<bool, Error> {
+    match b {
+        0 => Ok(false),
+        1 => Ok(true),
+        d => Err(Error::BadDiscriminant(d)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(alg: Algorithm, s: &str) -> Digest {
+        alg.hash(s.as_bytes())
+    }
+
+    fn roundtrip(p: &Packet) {
+        let bytes = p.emit();
+        let parsed = Packet::parse(&bytes).expect("parses");
+        assert_eq!(&parsed, p);
+    }
+
+    #[test]
+    fn s1_roundtrips() {
+        for alg in Algorithm::ALL {
+            roundtrip(&Packet {
+                assoc_id: 7,
+                alg,
+                chain_index: 15,
+                body: Body::S1 {
+                    element: d(alg, "el"),
+                    presig: PreSignature::Cumulative(vec![d(alg, "m1"), d(alg, "m2")]),
+                },
+            });
+            roundtrip(&Packet {
+                assoc_id: 7,
+                alg,
+                chain_index: 15,
+                body: Body::S1 {
+                    element: d(alg, "el"),
+                    presig: PreSignature::MerkleRoot { root: d(alg, "r"), leaves: 64 },
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn a1_roundtrips() {
+        let alg = Algorithm::Sha1;
+        for commit in [
+            AckCommit::None,
+            AckCommit::Flat { pre_ack: d(alg, "a"), pre_nack: d(alg, "n") },
+            AckCommit::Amt { root: d(alg, "amt"), leaves: 16 },
+        ] {
+            roundtrip(&Packet {
+                assoc_id: 1,
+                alg,
+                chain_index: 9,
+                body: Body::A1 { element: d(alg, "ae"), commit },
+            });
+        }
+    }
+
+    #[test]
+    fn s2_roundtrips() {
+        let alg = Algorithm::MmoAes;
+        roundtrip(&Packet {
+            assoc_id: 2,
+            alg,
+            chain_index: 14,
+            body: Body::S2 {
+                key: d(alg, "key"),
+                seq: 3,
+                path: vec![d(alg, "p0"), d(alg, "p1"), d(alg, "p2")],
+                payload: b"the protected message".to_vec(),
+            },
+        });
+        // Empty payload and empty path both legal.
+        roundtrip(&Packet {
+            assoc_id: 2,
+            alg,
+            chain_index: 14,
+            body: Body::S2 { key: d(alg, "key"), seq: 0, path: vec![], payload: vec![] },
+        });
+    }
+
+    #[test]
+    fn a2_roundtrips() {
+        let alg = Algorithm::Sha256;
+        roundtrip(&Packet {
+            assoc_id: 3,
+            alg,
+            chain_index: 8,
+            body: Body::A2 {
+                element: d(alg, "ack el"),
+                disclosure: A2Disclosure::Flat { ack: true, secret: [9u8; SECRET_LEN] },
+            },
+        });
+        roundtrip(&Packet {
+            assoc_id: 3,
+            alg,
+            chain_index: 8,
+            body: Body::A2 {
+                element: d(alg, "ack el"),
+                disclosure: A2Disclosure::Amt(vec![
+                    AmtDisclosure {
+                        packet_index: 0,
+                        ack: true,
+                        secret: [1u8; SECRET_LEN],
+                        path: vec![d(alg, "x"), d(alg, "y")],
+                    },
+                    AmtDisclosure {
+                        packet_index: 5,
+                        ack: false,
+                        secret: [2u8; SECRET_LEN],
+                        path: vec![d(alg, "z"), d(alg, "w")],
+                    },
+                ]),
+            },
+        });
+    }
+
+    #[test]
+    fn handshake_roundtrips() {
+        let alg = Algorithm::Sha1;
+        for (role, auth) in [
+            (HandshakeRole::Init, None),
+            (
+                HandshakeRole::Reply,
+                Some(HandshakeAuth {
+                    scheme: 1,
+                    public_key: vec![4u8; 128],
+                    signature: vec![5u8; 128],
+                }),
+            ),
+        ] {
+            roundtrip(&Packet {
+                assoc_id: 4,
+                alg,
+                chain_index: 0,
+                body: Body::Handshake(Handshake {
+                    role,
+                    sig_anchor: d(alg, "sa"),
+                    sig_anchor_index: 1000,
+                    ack_anchor: d(alg, "aa"),
+                    ack_anchor_index: 1000,
+                    auth,
+                }),
+            });
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_type() {
+        let alg = Algorithm::Sha1;
+        let p = Packet {
+            assoc_id: 1,
+            alg,
+            chain_index: 1,
+            body: Body::A1 { element: d(alg, "e"), commit: AckCommit::None },
+        };
+        let mut bytes = p.emit();
+        let good = bytes.clone();
+
+        bytes[0] = 0;
+        assert_eq!(Packet::parse(&bytes), Err(Error::BadMagic));
+        bytes = good.clone();
+        bytes[2] = 99;
+        assert_eq!(Packet::parse(&bytes), Err(Error::BadVersion(99)));
+        bytes = good.clone();
+        bytes[3] = 77;
+        assert_eq!(Packet::parse(&bytes), Err(Error::UnknownType(77)));
+        bytes = good.clone();
+        bytes[4] = 0;
+        assert_eq!(Packet::parse(&bytes), Err(Error::UnknownAlgorithm(0)));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let alg = Algorithm::Sha1;
+        let p = Packet {
+            assoc_id: 1,
+            alg,
+            chain_index: 5,
+            body: Body::S2 {
+                key: d(alg, "k"),
+                seq: 1,
+                path: vec![d(alg, "p")],
+                payload: b"data".to_vec(),
+            },
+        };
+        let bytes = p.emit();
+        for cut in 0..bytes.len() {
+            let err = Packet::parse(&bytes[..cut]).unwrap_err();
+            assert_eq!(err, Error::Truncated, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let alg = Algorithm::Sha1;
+        let p = Packet {
+            assoc_id: 1,
+            alg,
+            chain_index: 1,
+            body: Body::A1 { element: d(alg, "e"), commit: AckCommit::None },
+        };
+        let mut bytes = p.emit();
+        bytes.push(0);
+        assert_eq!(Packet::parse(&bytes), Err(Error::TrailingBytes));
+    }
+
+    #[test]
+    fn rejects_zero_and_oversized_counts() {
+        let alg = Algorithm::Sha1;
+        // Zero pre-signatures.
+        let p = Packet {
+            assoc_id: 1,
+            alg,
+            chain_index: 1,
+            body: Body::S1 {
+                element: d(alg, "e"),
+                presig: PreSignature::Cumulative(vec![d(alg, "m")]),
+            },
+        };
+        let mut bytes = p.emit();
+        // count field sits right after header (22) + digest (20) + tag (1).
+        let count_off = 21 + 20 + 1;
+        bytes[count_off] = 0;
+        bytes[count_off + 1] = 0;
+        assert_eq!(Packet::parse(&bytes), Err(Error::LimitExceeded));
+        // Oversized count with no matching data: limit check fires first.
+        bytes[count_off] = 0xff;
+        bytes[count_off + 1] = 0xff;
+        assert_eq!(Packet::parse(&bytes), Err(Error::LimitExceeded));
+    }
+
+    #[test]
+    fn rejects_bad_bool_and_discriminant() {
+        let alg = Algorithm::Sha1;
+        let p = Packet {
+            assoc_id: 1,
+            alg,
+            chain_index: 1,
+            body: Body::A2 {
+                element: d(alg, "e"),
+                disclosure: A2Disclosure::Flat { ack: true, secret: [0u8; SECRET_LEN] },
+            },
+        };
+        let mut bytes = p.emit();
+        let good = bytes.clone();
+        let flag_off = 21 + 20 + 1; // header + element + discriminant
+        bytes[flag_off] = 7;
+        assert_eq!(Packet::parse(&bytes), Err(Error::BadDiscriminant(7)));
+        bytes = good;
+        bytes[flag_off - 1] = 9; // the disclosure discriminant itself
+        assert_eq!(Packet::parse(&bytes), Err(Error::BadDiscriminant(9)));
+    }
+
+    #[test]
+    fn signed_bytes_bind_all_anchor_fields() {
+        let alg = Algorithm::Sha1;
+        let hs = Handshake {
+            role: HandshakeRole::Init,
+            sig_anchor: d(alg, "sa"),
+            sig_anchor_index: 10,
+            ack_anchor: d(alg, "aa"),
+            ack_anchor_index: 12,
+            auth: None,
+        };
+        let base = hs.signed_bytes(1);
+        let mut changed = hs.clone();
+        changed.sig_anchor_index = 11;
+        assert_ne!(base, changed.signed_bytes(1));
+        assert_ne!(base, hs.signed_bytes(2));
+        let mut changed = hs.clone();
+        changed.role = HandshakeRole::Reply;
+        assert_ne!(base, changed.signed_bytes(1));
+    }
+
+    #[test]
+    fn wire_len_matches_emit() {
+        let alg = Algorithm::Sha1;
+        let p = Packet {
+            assoc_id: 1,
+            alg,
+            chain_index: 1,
+            body: Body::S1 {
+                element: d(alg, "e"),
+                presig: PreSignature::Cumulative(vec![d(alg, "m"); 20]),
+            },
+        };
+        assert_eq!(p.wire_len(), p.emit().len());
+        // S1 with 20 pre-signatures (the WMN configuration): header 21 +
+        // element 20 + tag 1 + count 2 + 20·20.
+        assert_eq!(p.wire_len(), 21 + 20 + 1 + 2 + 400);
+    }
+}
+
+#[cfg(test)]
+mod bundle_tests {
+    use super::*;
+
+    fn sample(alg: Algorithm, i: u64) -> Packet {
+        Packet {
+            assoc_id: i,
+            alg,
+            chain_index: i,
+            body: Body::A1 { element: alg.hash(&i.to_be_bytes()), commit: AckCommit::None },
+        }
+    }
+
+    #[test]
+    fn bundle_roundtrip() {
+        let pkts: Vec<Packet> = (0..5).map(|i| sample(Algorithm::Sha1, i)).collect();
+        let frame = bundle::emit(&pkts);
+        assert_eq!(frame[0], bundle::BUNDLE_TAG);
+        assert_eq!(bundle::parse(&frame).unwrap(), pkts);
+    }
+
+    #[test]
+    fn single_packet_passes_through_bundle_parse() {
+        let p = sample(Algorithm::MmoAes, 7);
+        assert_eq!(bundle::parse(&p.emit()).unwrap(), vec![p]);
+    }
+
+    #[test]
+    fn bundle_truncation_and_trailing_rejected() {
+        let pkts: Vec<Packet> = (0..3).map(|i| sample(Algorithm::Sha1, i)).collect();
+        let frame = bundle::emit(&pkts);
+        for cut in 1..frame.len() {
+            assert!(bundle::parse(&frame[..cut]).is_err(), "cut={cut}");
+        }
+        let mut long = frame.clone();
+        long.push(0);
+        assert_eq!(bundle::parse(&long), Err(Error::TrailingBytes));
+    }
+
+    #[test]
+    fn bundle_count_limits() {
+        let mut bad = vec![bundle::BUNDLE_TAG, 0];
+        assert_eq!(bundle::parse(&bad), Err(Error::LimitExceeded));
+        bad[1] = (crate::limits::MAX_BUNDLE + 1) as u8;
+        assert_eq!(bundle::parse(&bad), Err(Error::LimitExceeded));
+    }
+
+    #[test]
+    fn corrupt_inner_packet_rejected() {
+        let pkts: Vec<Packet> = (0..2).map(|i| sample(Algorithm::Sha1, i)).collect();
+        let mut frame = bundle::emit(&pkts);
+        frame[4] = 0; // smash the first inner packet's magic
+        assert!(bundle::parse(&frame).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Sensor-network scenario (§4.1.3): CC2430-class nodes with hardware AES
+//! hashing (MMO), 100-byte packets over a lossy 802.15.4-flavoured link,
+//! ALPHA-C with 5 pre-signatures per S1 and reliable delivery — streaming
+//! sensed data from a field node to a collector across two relay motes.
+//!
+//! Run with: `cargo run --example sensor_net`
+
+use alpha::core::{Config, MacScheme, Mode, Reliability, Timestamp};
+use alpha::crypto::Algorithm;
+use alpha::sim::{protected_path, App, DeviceModel, LinkConfig, SenderApp, Simulator};
+
+fn main() {
+    let mut sim = Simulator::new(2430);
+    sim.set_tick_us(20_000);
+
+    // The paper's WSN configuration: MMO hashing (one AES pass per 16 B on
+    // the CC2430's radio chip), single-pass prefix MACs, 5 pre-signatures
+    // per S1, reliable delivery with pre-acks.
+    let cfg = Config::new(Algorithm::MmoAes)
+        .with_chain_len(2048)
+        .with_mac_scheme(MacScheme::Prefix)
+        .with_reliability(Reliability::Reliable)
+        .with_rto_micros(500_000);
+
+    // 64 readings of 64 bytes each (≈100 B packets after ALPHA overhead).
+    let app = App::Sender(SenderApp::new(Mode::Cumulative, 5, 64, 64));
+    let (signer, relays, collector) = protected_path(
+        &mut sim,
+        2,
+        DeviceModel::cc2430(),
+        DeviceModel::cc2430(),
+        LinkConfig::sensor(),
+        cfg,
+        app,
+    );
+
+    sim.run_until(Timestamp::from_millis(300_000));
+
+    let v = &sim.metrics[collector];
+    let r0 = &sim.metrics[relays[0]];
+    println!("sensor field node → 2 relay motes → collector (802.15.4-class link, 2% loss):");
+    println!("  delivered : {} / 64 readings", v.delivered_msgs);
+    println!("  relays    : verified {} packets in transit, drops {:?}", r0.extracted_payloads, r0.drops);
+    println!(
+        "  field node: {:.1} ms of virtual CPU for {} sent frames ({:.2} ms per frame incl. MMO)",
+        sim.metrics[signer].cpu_ns / 1e6,
+        sim.metrics[signer].sent_frames,
+        sim.metrics[signer].cpu_ns / 1e6 / sim.metrics[signer].sent_frames.max(1) as f64,
+    );
+    if !v.latencies_us.is_empty() {
+        let mut lat = v.latencies_us.clone();
+        lat.sort_unstable();
+        println!("  latency   : median {} ms (includes the 1.5-RTT ALPHA floor)", lat[lat.len() / 2] / 1000);
+    }
+    assert_eq!(v.delivered_msgs, 64);
+    println!("  => the collector authenticated every reading end-to-end; every relay mote");
+    println!("     verified each packet in transit at MMO-hash cost (no public-key ops at all).");
+}

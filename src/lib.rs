@@ -1,0 +1,65 @@
+//! # ALPHA — Adaptive and Lightweight Protocol for Hop-by-hop Authentication
+//!
+//! A full Rust reproduction of the protocol from
+//! *Heer, Götz, Garcia Morchon, Wehrle — "ALPHA: An Adaptive and Lightweight
+//! Protocol for Hop-by-hop Authentication", ACM CoNEXT 2008.*
+//!
+//! This umbrella crate re-exports the workspace crates:
+//!
+//! - [`crypto`] — hash primitives (SHA-1, SHA-256, AES-128/MMO), HMAC,
+//!   role-bound hash chains, Merkle trees, acknowledgment Merkle trees.
+//! - [`bignum`] / [`pk`] — arbitrary-precision arithmetic and the RSA / DSA /
+//!   ECDSA schemes used for protected bootstrapping and the Table 4
+//!   baselines.
+//! - [`wire`] — on-the-wire packet formats (S1/A1/S2/A2 and the handshake).
+//! - [`core`] — the sans-io protocol state machines: [`core::SignerChannel`],
+//!   [`core::VerifierChannel`], [`core::Relay`], duplex
+//!   [`core::Association`]s, the three operating modes (Base, ALPHA-C,
+//!   ALPHA-M) and the reliability machinery.
+//! - [`sim`] — a discrete-event multi-hop network simulator with calibrated
+//!   device cost models standing in for the paper's testbed hardware.
+//! - [`transport`] — a real UDP transport driving the sans-io core.
+//! - [`baselines`] — TESLA, µTESLA, pairwise hop-HMAC and per-packet
+//!   public-key signing, the comparison points from the paper's §2.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use alpha::core::{Association, Config, Timestamp};
+//! use alpha::crypto::Algorithm;
+//!
+//! // Two endpoints bootstrap an association (anchor exchange) in memory.
+//! let mut rng = alpha::test_rng(7);
+//! let cfg = Config::new(Algorithm::Sha1).with_chain_len(64);
+//! let (mut alice, mut bob) = Association::pair(cfg, 1, &mut rng);
+//!
+//! // Alice signs a message; the three-way S1/A1/S2 exchange delivers it.
+//! let now = Timestamp::ZERO;
+//! let s1 = alice.sign(b"hello over a protected path", now).unwrap();
+//! let a1 = bob.handle(&s1, now, &mut rng).unwrap().packet().unwrap();
+//! let s2 = alice.handle(&a1, now, &mut rng).unwrap().packet().unwrap();
+//! let delivered = bob.handle(&s2, now, &mut rng).unwrap();
+//! assert_eq!(delivered.payload().unwrap(), b"hello over a protected path");
+//! ```
+//!
+//! See `examples/` for multi-hop, sensor-network, middlebox and UDP
+//! scenarios, and `crates/bench` for the binaries regenerating every table
+//! and figure of the paper.
+
+pub use alpha_baselines as baselines;
+pub use alpha_bignum as bignum;
+pub use alpha_core as core;
+pub use alpha_crypto as crypto;
+pub use alpha_pk as pk;
+pub use alpha_sim as sim;
+pub use alpha_transport as transport;
+pub use alpha_wire as wire;
+
+/// Deterministic RNG for examples, tests and docs.
+///
+/// A thin wrapper over [`rand::rngs::StdRng`]`::seed_from_u64` so example
+/// code does not need to import `SeedableRng`.
+pub fn test_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
