@@ -1,0 +1,266 @@
+//! Engine scaling — aggregate S2-verify throughput of the sharded
+//! multi-flow relay engine as flows grow 1 → 4096 and workers 1 → 8.
+//!
+//! Methodology (honest on any core count): the engine's workers share
+//! nothing — each owns a disjoint set of shards and flows land on shards
+//! by stable address hashing — so a W-worker deployment is W independent
+//! single-threaded engines over a partition of the flows. We therefore
+//! time each worker's partition **sequentially** on one core and model
+//! the W-worker wall clock as the makespan (the slowest partition),
+//! which is exactly what a W-core host achieves for a share-nothing
+//! workload. The host's actual core count is recorded in the output so
+//! nobody mistakes the projection for a measured multicore run.
+//!
+//! For every flow a full wire-level association is bootstrapped and M
+//! exchanges are pre-generated (client S1 → relay → server A1 → relay →
+//! client S2 → relay, Base mode); the measured region is the relay
+//! engine ingesting those datagrams — buffering pre-signatures,
+//! verifying S2s in transit, forwarding. Per-flow isolation is asserted:
+//! every flow's payloads, and only them, verify on that flow.
+//!
+//! Output: a table on stdout and `BENCH_engine_scaling.json` in the
+//! working directory.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use alpha_bench::table;
+use alpha_core::bootstrap::{self, AuthRequirement};
+use alpha_core::{Config, Timestamp};
+use alpha_crypto::Algorithm;
+use alpha_engine::{EngineConfig, EngineCore};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Exchanges pre-generated per flow.
+const EXCHANGES: usize = 4;
+/// Shards per engine: one deployment constant for every worker count.
+const SHARDS: usize = 64;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const FLOW_COUNTS: [usize; 5] = [1, 16, 256, 1024, 4096];
+
+/// One flow's pre-generated traffic: addresses, the handshake frames
+/// (setup, unmeasured) and the exchange frames (measured), each tagged
+/// with the address it is sent *from*.
+struct FlowTraffic {
+    client: SocketAddr,
+    server: SocketAddr,
+    handshake: Vec<(SocketAddr, Vec<u8>)>,
+    frames: Vec<(SocketAddr, Vec<u8>)>,
+    payload: Vec<u8>,
+}
+
+fn flow_addrs(i: usize) -> (SocketAddr, SocketAddr) {
+    // Distinct loopback-ish addresses per flow; ports keep the pair apart.
+    let ip = [10u8, (i >> 16) as u8, (i >> 8) as u8, i as u8];
+    (SocketAddr::from((ip, 40_000)), SocketAddr::from((ip, 50_000)))
+}
+
+fn generate_flow(i: usize, cfg: Config) -> FlowTraffic {
+    let (client_addr, server_addr) = flow_addrs(i);
+    let mut rng = StdRng::seed_from_u64(0x5ca1e + i as u64);
+    let assoc_id = i as u64;
+    let payload = format!("flow {i} payload").into_bytes();
+
+    let (hs, hs1) = bootstrap::initiate(cfg, assoc_id, None, &mut rng);
+    let (mut server, hs2, _) =
+        bootstrap::respond(cfg, &hs1, None, AuthRequirement::None, &mut rng)
+            .expect("bootstrap respond");
+    let (mut client, _) = hs.complete(&hs2, AuthRequirement::None).expect("bootstrap complete");
+    let handshake = vec![(client_addr, hs1.emit()), (server_addr, hs2.emit())];
+
+    let mut frames = Vec::new();
+    for x in 0..EXCHANGES {
+        let now = Timestamp::from_millis(10 + x as u64);
+        // Record the full S1/A1/S2(/A2) ping-pong in wire order.
+        let mut from_client = true;
+        let mut pkt = Some(client.sign(&payload, now).expect("sign"));
+        while let Some(p) = pkt {
+            let from = if from_client { client_addr } else { server_addr };
+            frames.push((from, p.emit()));
+            let handler = if from_client { &mut server } else { &mut client };
+            pkt = handler.handle(&p, now, &mut rng).expect("handle").packet();
+            from_client = !from_client;
+        }
+    }
+    FlowTraffic { client: client_addr, server: server_addr, handshake, frames, payload }
+}
+
+struct RunResult {
+    flows: usize,
+    workers: usize,
+    verified: u64,
+    makespan_secs: f64,
+    per_worker_secs: Vec<f64>,
+    aggregate_per_sec: f64,
+}
+
+/// Run one (flows, workers) configuration: partition flows across W
+/// fresh engine cores the way the threaded engine does (by source-address
+/// shard), feed each partition, and time each worker's measured region.
+fn run_config(traffic: &[FlowTraffic], workers: usize, cfg: Config) -> RunResult {
+    let mut rng = StdRng::seed_from_u64(99);
+    // One core per worker; identical shard layout in each.
+    let cores: Vec<EngineCore> = (0..workers)
+        .map(|_| {
+            let mut ecfg = EngineConfig::new(cfg).with_shards(SHARDS);
+            ecfg.accept_handshakes = false;
+            EngineCore::new(ecfg)
+        })
+        .collect();
+    // Partition flows exactly as the threaded front end demuxes
+    // datagrams: shard of the source address, modulo worker count.
+    let mut partitions: Vec<Vec<&FlowTraffic>> = vec![Vec::new(); workers];
+    for t in traffic {
+        cores[0].add_route(t.client, t.server); // resolve shard via route
+        let w = cores[0].shard_of_source(t.client) % workers;
+        partitions[w].push(t);
+    }
+    for (w, part) in partitions.iter().enumerate() {
+        for t in part {
+            cores[w].add_route(t.client, t.server);
+        }
+    }
+
+    // Unmeasured setup: the relay observes every flow's handshake.
+    for (w, part) in partitions.iter().enumerate() {
+        for t in part {
+            for (from, bytes) in &t.handshake {
+                cores[w].handle_datagram(*from, bytes, Timestamp::from_millis(1), &mut rng);
+            }
+        }
+    }
+
+    // Measured region, one worker at a time (share-nothing makespan
+    // model — see module docs). Frames interleave across the worker's
+    // flows to keep many flows simultaneously mid-exchange.
+    let mut verified: HashMap<u64, u64> = HashMap::new();
+    let mut per_worker_secs = Vec::with_capacity(workers);
+    for (w, part) in partitions.iter().enumerate() {
+        let max_frames = part.iter().map(|t| t.frames.len()).max().unwrap_or(0);
+        let started = Instant::now();
+        for idx in 0..max_frames {
+            for t in part {
+                let Some((from, bytes)) = t.frames.get(idx) else { continue };
+                let now = Timestamp::from_millis(100 + idx as u64);
+                let out = cores[w].handle_datagram(*from, bytes, now, &mut rng);
+                for (assoc_id, payload) in &out.extracted {
+                    assert_eq!(payload, &t.payload, "cross-flow payload bleed");
+                    *verified.entry(*assoc_id).or_default() += 1;
+                }
+            }
+        }
+        per_worker_secs.push(started.elapsed().as_secs_f64());
+    }
+
+    // Per-flow isolation: every flow verified exactly its own payloads.
+    for (i, t) in traffic.iter().enumerate() {
+        assert_eq!(
+            verified.get(&(i as u64)).copied().unwrap_or(0),
+            EXCHANGES as u64,
+            "flow {i} ({}) must verify exactly {EXCHANGES} payloads",
+            t.client
+        );
+    }
+    let total: u64 = verified.values().sum();
+    let makespan = per_worker_secs.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    RunResult {
+        flows: traffic.len(),
+        workers,
+        verified: total,
+        makespan_secs: makespan,
+        per_worker_secs,
+        aggregate_per_sec: total as f64 / makespan,
+    }
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+}
+
+fn main() {
+    let cfg = Config::new(Algorithm::Sha1).with_chain_len(64);
+    let mut results: Vec<RunResult> = Vec::new();
+    let mut rows = Vec::new();
+
+    for &flows in &FLOW_COUNTS {
+        let traffic: Vec<FlowTraffic> = (0..flows).map(|i| generate_flow(i, cfg)).collect();
+        for &workers in &WORKER_COUNTS {
+            if workers > flows {
+                continue;
+            }
+            let r = run_config(&traffic, workers, cfg);
+            rows.push(vec![
+                r.flows.to_string(),
+                r.workers.to_string(),
+                r.verified.to_string(),
+                format!("{:.3}", r.makespan_secs * 1e3),
+                format!("{:.0}", r.aggregate_per_sec),
+            ]);
+            results.push(r);
+        }
+    }
+
+    table::print(
+        "Engine scaling — relay S2-verify throughput (share-nothing makespan model)",
+        &["flows", "workers", "verified", "makespan ms", "agg S2/s"],
+        &rows,
+    );
+
+    // The acceptance ratio: aggregate throughput at 8 workers vs 1, at
+    // the largest flow count.
+    let max_flows = *FLOW_COUNTS.last().unwrap();
+    let tput = |w: usize| {
+        results
+            .iter()
+            .find(|r| r.flows == max_flows && r.workers == w)
+            .map(|r| r.aggregate_per_sec)
+            .unwrap_or(0.0)
+    };
+    let ratio = tput(8) / tput(1);
+    println!(
+        "\n{max_flows} flows: {:.0} S2/s at 1 worker -> {:.0} S2/s at 8 workers ({ratio:.2}x)",
+        tput(1),
+        tput(8)
+    );
+    println!("host cores: {} (multi-worker numbers are share-nothing projections)", host_cores());
+
+    // Hand-rolled JSON: stable layout, no serializer dependency needed.
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"engine_scaling\",");
+    let _ = writeln!(json, "  \"model\": \"share-nothing makespan (sequential per-worker timing)\",");
+    let _ = writeln!(json, "  \"host_cores\": {},", host_cores());
+    let _ = writeln!(json, "  \"exchanges_per_flow\": {EXCHANGES},");
+    let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(json, "  \"speedup_8_workers_vs_1\": {ratio:.4},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let per_worker: Vec<String> =
+            r.per_worker_secs.iter().map(|s| format!("{s:.6}")).collect();
+        let _ = writeln!(
+            json,
+            "    {{\"flows\": {}, \"workers\": {}, \"s2_verified\": {}, \
+             \"makespan_secs\": {:.6}, \"aggregate_s2_per_sec\": {:.1}, \
+             \"per_worker_secs\": [{}]}}{}",
+            r.flows,
+            r.workers,
+            r.verified,
+            r.makespan_secs,
+            r.aggregate_per_sec,
+            per_worker.join(", "),
+            if i + 1 == results.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_engine_scaling.json", &json).expect("write BENCH_engine_scaling.json");
+    println!("wrote BENCH_engine_scaling.json");
+
+    assert!(
+        ratio >= 4.0,
+        "aggregate S2-verify throughput must scale >=4x from 1 to 8 workers, got {ratio:.2}x"
+    );
+}

@@ -68,6 +68,36 @@ pub enum Command {
         /// Trace file path ("-" for stdin).
         file: String,
     },
+    /// `alpha engine serve BIND [--workers N] [--shards N] [--seconds N]
+    ///  [--alg A] [--mac hmac|prefix] [--reliable] [--s1-budget BYTES]
+    ///  [--max-buffered BYTES] [--route LEFT=RIGHT]`
+    EngineServe {
+        /// Bind address of the shared socket.
+        bind: String,
+        /// Protocol options for accepted associations.
+        opts: ProtoOpts,
+        /// Worker threads (shards are spread across them).
+        workers: usize,
+        /// Flow-table shards.
+        shards: usize,
+        /// Run duration in seconds (0 = forever).
+        seconds: u64,
+        /// Per-flow S1 admission budget in bytes/sec (0 = unlimited).
+        s1_budget: u64,
+        /// Global buffered-bytes valve (0 = unlimited).
+        max_buffered: u64,
+        /// Optional relay route `LEFT=RIGHT`: also verify-and-forward
+        /// between these two addresses.
+        route: Option<(String, String)>,
+    },
+    /// `alpha engine stats ADDR [--timeout-ms N]` — query a running
+    /// engine's JSON stats snapshot.
+    EngineStats {
+        /// Address of the engine's shared socket.
+        addr: String,
+        /// Reply timeout in milliseconds.
+        timeout_ms: u64,
+    },
     /// `alpha help` or `--help` anywhere.
     Help,
 }
@@ -305,6 +335,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 strict: flags.contains_key("strict"),
             })
         }
+        "engine" => {
+            let Some((verb, rest)) = rest.split_first() else {
+                return err("engine needs a verb: serve|stats");
+            };
+            match verb.as_str() {
+                "serve" => {
+                    let (pos, flags) = split(rest, &["reliable", "require-peer-auth"])?;
+                    let [bind] = pos.as_slice() else {
+                        return err("engine serve needs exactly one bind address");
+                    };
+                    let route = match flags.get("route") {
+                        None => None,
+                        Some(r) => {
+                            let Some((l, rt)) = r.split_once('=') else {
+                                return err("--route wants LEFT=RIGHT addresses");
+                            };
+                            Some((l.to_string(), rt.to_string()))
+                        }
+                    };
+                    Ok(Command::EngineServe {
+                        bind: bind.clone(),
+                        opts: proto_opts(&flags)?,
+                        workers: get_num(&flags, "workers", 4)?,
+                        shards: get_num(&flags, "shards", 8)?,
+                        seconds: get_num(&flags, "seconds", 0)?,
+                        s1_budget: get_num(&flags, "s1-budget", 1 << 20)?,
+                        max_buffered: get_num(&flags, "max-buffered", 64 << 20)?,
+                        route,
+                    })
+                }
+                "stats" => {
+                    let (pos, flags) = split(rest, &[])?;
+                    let [addr] = pos.as_slice() else {
+                        return err("engine stats needs exactly one engine address");
+                    };
+                    Ok(Command::EngineStats {
+                        addr: addr.clone(),
+                        timeout_ms: get_num(&flags, "timeout-ms", 2000)?,
+                    })
+                }
+                other => err(format!("unknown engine verb '{other}' (serve|stats)")),
+            }
+        }
         "trace" => {
             let (pos, _flags) = split(rest, &[])?;
             let [file] = pos.as_slice() else {
@@ -350,6 +423,10 @@ USAGE:
   alpha send PEER MSG... [--mode base|c|m|cm] [--bind ADDR] [--alg A]
                [--reliable] [--mac hmac|prefix] [--identity FILE]
   alpha relay BIND LEFT RIGHT [--seconds N] [--strict]
+  alpha engine serve BIND [--workers N] [--shards N] [--seconds N] [--alg A]
+               [--mac hmac|prefix] [--reliable] [--s1-budget BYTES]
+               [--max-buffered BYTES] [--route LEFT=RIGHT]
+  alpha engine stats ADDR [--timeout-ms N]
   alpha trace FILE|-   (summarize a JSON-lines trace from 'alpha sim --trace')
   alpha sim [--relays N] [--messages N] [--batch N] [--mode base|c|m|cm]
             [--loss P] [--alg A] [--reliable] [--mac hmac|prefix]
@@ -361,6 +438,8 @@ EXAMPLES:
   alpha send 192.0.2.7:7001 'hello' 'world' --mode c
   alpha relay 0.0.0.0:7000 192.0.2.1:6000 192.0.2.7:7001
   alpha sim --relays 3 --device cc2430 --alg mmo --mac prefix --loss 0.02
+  alpha engine serve 0.0.0.0:7000 --workers 8 --shards 16
+  alpha engine stats 192.0.2.9:7000
 "
 }
 
@@ -465,6 +544,35 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn engine_subcommands_parse() {
+        let cmd = parse_args(&v(&[
+            "engine", "serve", "0.0.0.0:7000", "--workers", "8", "--shards", "16",
+            "--route", "10.0.0.1:5000=10.0.0.2:6000",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::EngineServe { workers, shards, route, seconds, .. } => {
+                assert_eq!(workers, 8);
+                assert_eq!(shards, 16);
+                assert_eq!(seconds, 0);
+                assert_eq!(
+                    route,
+                    Some(("10.0.0.1:5000".into(), "10.0.0.2:6000".into()))
+                );
+            }
+            _ => panic!(),
+        }
+        let cmd = parse_args(&v(&["engine", "stats", "127.0.0.1:7000"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::EngineStats { addr: "127.0.0.1:7000".into(), timeout_ms: 2000 }
+        );
+        assert!(parse_args(&v(&["engine"])).is_err());
+        assert!(parse_args(&v(&["engine", "restart"])).is_err());
+        assert!(parse_args(&v(&["engine", "serve", "a:1", "--route", "nope"])).is_err());
     }
 
     #[test]

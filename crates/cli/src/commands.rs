@@ -252,3 +252,54 @@ pub fn sim(o: &SimOpts) -> Result<(), CliError> {
     }
     Ok(())
 }
+
+/// `alpha engine serve`.
+#[allow(clippy::too_many_arguments)]
+pub fn engine_serve(
+    bind: &str,
+    opts: &ProtoOpts,
+    workers: usize,
+    shards: usize,
+    seconds: u64,
+    s1_budget: u64,
+    max_buffered: u64,
+    route: &Option<(String, String)>,
+) -> Result<(), CliError> {
+    let mut ecfg = alpha_engine::EngineConfig::new(config_from(opts)).with_shards(shards);
+    ecfg.s1_bytes_per_sec = (s1_budget > 0).then_some(s1_budget);
+    ecfg.max_buffered_bytes = (max_buffered > 0).then_some(max_buffered);
+    let core = alpha_engine::EngineCore::new(ecfg);
+    if let Some((l, r)) = route {
+        let l: std::net::SocketAddr = l.parse()?;
+        let r: std::net::SocketAddr = r.parse()?;
+        core.add_route(l, r);
+        println!("relaying {l} <-> {r}");
+    }
+    let engine = alpha_engine::Engine::bind(bind, core, workers)?;
+    println!(
+        "engine on {} ({workers} worker(s), {shards} shard(s)); query with 'alpha engine stats'",
+        engine.local_addr()?
+    );
+    let started = std::time::Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        if seconds > 0 && started.elapsed() >= Duration::from_secs(seconds) {
+            break;
+        }
+    }
+    println!("{}", engine.stats_json());
+    engine.shutdown();
+    Ok(())
+}
+
+/// `alpha engine stats`.
+pub fn engine_stats(addr: &str, timeout_ms: u64) -> Result<(), CliError> {
+    use std::net::ToSocketAddrs;
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| format!("cannot resolve '{addr}'"))?;
+    let json = alpha_engine::query_stats(addr, Duration::from_millis(timeout_ms))?;
+    println!("{json}");
+    Ok(())
+}

@@ -27,6 +27,28 @@ fn main() {
         }
         Command::Sim(opts) => commands::sim(opts),
         Command::Trace { file } => commands::trace_summary(file),
+        Command::EngineServe {
+            bind,
+            opts,
+            workers,
+            shards,
+            seconds,
+            s1_budget,
+            max_buffered,
+            route,
+        } => commands::engine_serve(
+            bind,
+            opts,
+            *workers,
+            *shards,
+            *seconds,
+            *s1_budget,
+            *max_buffered,
+            route,
+        ),
+        Command::EngineStats { addr, timeout_ms } => {
+            commands::engine_stats(addr, *timeout_ms)
+        }
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

@@ -46,7 +46,7 @@ mod verifier;
 pub use association::{Association, Response};
 pub use error::ProtocolError;
 pub use signer::message_mac;
-pub use limiter::S1Limiter;
+pub use limiter::{S1Limiter, SharedS1Limiter};
 pub use relay::{DropReason, Relay, RelayConfig, RelayDecision, RelayEvent};
 pub use signer::{SignerChannel, SignerEvent};
 pub use verifier::{VerifierChannel, VerifierEvent};
@@ -268,6 +268,13 @@ impl Config {
     #[must_use]
     pub fn with_rto_micros(mut self, rto: u64) -> Config {
         self.rto_micros = rto;
+        self
+    }
+
+    /// Set the retransmission budget before an exchange is abandoned.
+    #[must_use]
+    pub fn with_max_retries(mut self, max_retries: u32) -> Config {
+        self.max_retries = max_retries;
         self
     }
 

@@ -1,0 +1,112 @@
+//! Exponential backoff with jitter for handshake/retransmit pacing.
+//!
+//! ALPHA's bootstrap handshake (HS1/HS2) is the one exchange with no
+//! hash-chain pacing of its own, so the transport must pick resend
+//! times. A fixed resend interval synchronizes retry storms when many
+//! flows start at once (the exact situation the engine is built for);
+//! "full jitter" exponential backoff spreads them out.
+
+use std::time::Duration;
+
+use rand::{RngCore, SampleRange};
+
+/// Exponential backoff schedule with full jitter.
+///
+/// Delay for attempt *n* is drawn uniformly from
+/// `[base/2, min(cap, base * 2^n))`, so retries decorrelate while the
+/// expected delay still doubles per attempt.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A schedule starting around `base` and never exceeding `cap`.
+    #[must_use]
+    pub fn new(base: Duration, cap: Duration) -> Backoff {
+        Backoff {
+            base: base.max(Duration::from_micros(1)),
+            cap: cap.max(base),
+            attempt: 0,
+        }
+    }
+
+    /// The transport's default handshake schedule: ~100 ms doubling up
+    /// to 1.6 s, which resolves a clean loopback handshake on the first
+    /// try yet keeps a lossy WAN handshake under ALPHA's multi-second
+    /// association setup budget.
+    #[must_use]
+    pub fn handshake() -> Backoff {
+        Backoff::new(Duration::from_millis(100), Duration::from_millis(1600))
+    }
+
+    /// Attempts drawn so far.
+    #[must_use]
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Draw the next delay and advance the schedule.
+    pub fn next_delay(&mut self, rng: &mut dyn RngCore) -> Duration {
+        let exp = self.attempt.min(20);
+        self.attempt = self.attempt.saturating_add(1);
+        let ceil_us = (self.base.as_micros() as u64)
+            .saturating_mul(1u64 << exp)
+            .min(self.cap.as_micros() as u64);
+        let floor_us = (self.base.as_micros() as u64 / 2).max(1).min(ceil_us);
+        Duration::from_micros((floor_us..=ceil_us).sample_from(rng))
+    }
+
+    /// Restart the schedule (e.g. after progress is observed).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn delays_grow_and_cap() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_millis(1600));
+        for attempt in 0..12 {
+            let d = b.next_delay(&mut rng);
+            assert!(d >= Duration::from_millis(50), "attempt {attempt}: {d:?}");
+            assert!(d <= Duration::from_millis(1600), "attempt {attempt}: {d:?}");
+            let ceiling = Duration::from_millis(100 * (1 << attempt.min(4)));
+            assert!(
+                d <= ceiling.max(Duration::from_millis(100)),
+                "attempt {attempt}: {d:?}"
+            );
+        }
+        assert_eq!(b.attempts(), 12);
+        b.reset();
+        assert_eq!(b.attempts(), 0);
+    }
+
+    #[test]
+    fn jitter_decorrelates() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = Backoff::new(Duration::from_millis(100), Duration::from_secs(2));
+        // Skip to a wide window, then check draws actually vary.
+        for _ in 0..4 {
+            b.next_delay(&mut rng);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            let mut probe = b.clone();
+            seen.insert(probe.next_delay(&mut rng).as_micros());
+        }
+        assert!(
+            seen.len() > 8,
+            "jitter produced only {} distinct delays",
+            seen.len()
+        );
+    }
+}

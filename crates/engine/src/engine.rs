@@ -1,0 +1,1202 @@
+//! The sans-io multi-flow engine core.
+//!
+//! [`EngineCore`] multiplexes many ALPHA associations — host role *and*
+//! relay role — behind one datagram entry point. Like the protocol
+//! machines it wraps, it does no I/O and reads no clock: callers feed
+//! `(source address, datagram bytes, Timestamp)` in and get datagrams
+//! to transmit plus verified deliveries back in an [`EngineOutput`].
+//! The same core is driven by the threaded UDP front end
+//! ([`crate::worker::Engine`]), the refactored `alpha-transport`
+//! endpoints, the scaling bench, and the deterministic tests in this
+//! module.
+//!
+//! ## Structure
+//!
+//! - Flows live in a [`Sharded`] table keyed by [`FlowKey`]. Shard
+//!   selection hashes only the flow's *address* ([`addr_hash`] +
+//!   [`jump_hash`]), so a receiver thread can route a datagram to the
+//!   worker owning its shard without parsing it first, and every packet
+//!   takes exactly one shard lock — never two.
+//! - Each shard embeds a [`TimerWheel`] driving host retransmission and
+//!   handshake resends, replacing the transport's fixed 20 ms poll.
+//! - S1/HS1 packets (the unverifiable flood vectors) pass a per-flow
+//!   [`SharedS1Limiter`] under the shard *read* lock, so over-budget
+//!   traffic is shed without write contention, plus a global
+//!   byte-budget valve over all relay pre-signature buffers.
+//! - Every event lands in an [`EngineMetrics`] registry snapshotable as
+//!   JSON while traffic flows.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+use alpha_core::bootstrap::{self, AuthRequirement, Handshaker};
+use alpha_core::{
+    Association, Config, DropReason, Mode, ProtocolError, Relay, RelayConfig, RelayDecision,
+    RelayEvent, SharedS1Limiter, Timestamp,
+};
+use alpha_wire::{Body, HandshakeRole, Packet, PacketType};
+use parking_lot::RwLock;
+use rand::RngCore;
+
+use crate::backoff::Backoff;
+use crate::metrics::EngineMetrics;
+use crate::shard::{addr_hash, jump_hash, FlowKey, Sharded};
+use crate::timer::TimerWheel;
+
+/// Engine-level tunables. Protocol behaviour stays in the wrapped
+/// [`Config`] / [`RelayConfig`]; everything here is about serving many
+/// flows at once.
+#[derive(Clone, Copy)]
+pub struct EngineConfig {
+    /// Protocol configuration for host-role flows (and the chains of
+    /// handshakes this engine answers).
+    pub protocol: Config,
+    /// Relay policy for relay-role flows.
+    pub relay: RelayConfig,
+    /// Flow-table shards. More shards = less lock contention; workers
+    /// own disjoint shard sets.
+    pub shards: usize,
+    /// Per-flow engine admission budget for S1/HS1 bytes per second
+    /// (`None` disables). This runs *before* any protocol processing,
+    /// under a shard read lock.
+    pub s1_bytes_per_sec: Option<u64>,
+    /// Global cap on bytes buffered across every relay flow's
+    /// pre-signature stores. When exceeded, new S1s are shed until
+    /// disclosure drains the buffers (backpressure valve).
+    pub max_buffered_bytes: Option<u64>,
+    /// Answer unknown-flow HS1 packets by standing up a new host
+    /// association (server behaviour). Disable for pure relays.
+    pub accept_handshakes: bool,
+    /// Handshake resend attempts before a connecting flow is abandoned.
+    pub handshake_retries: u32,
+}
+
+impl EngineConfig {
+    /// Defaults around a protocol config: 8 shards, 1 MiB/s per-flow S1
+    /// budget, 64 MiB global buffer valve, handshakes accepted.
+    #[must_use]
+    pub fn new(protocol: Config) -> EngineConfig {
+        EngineConfig {
+            protocol,
+            relay: RelayConfig::default(),
+            shards: 8,
+            s1_bytes_per_sec: Some(1 << 20),
+            max_buffered_bytes: Some(64 << 20),
+            accept_handshakes: true,
+            handshake_retries: 10,
+        }
+    }
+
+    /// Set the shard count.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> EngineConfig {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Set the relay policy.
+    #[must_use]
+    pub fn with_relay(mut self, relay: RelayConfig) -> EngineConfig {
+        self.relay = relay;
+        self
+    }
+
+    /// Set the per-flow S1/HS1 admission budget.
+    #[must_use]
+    pub fn with_s1_budget(mut self, bytes_per_sec: Option<u64>) -> EngineConfig {
+        self.s1_bytes_per_sec = bytes_per_sec;
+        self
+    }
+
+    /// Set the global relay-buffer byte valve.
+    #[must_use]
+    pub fn with_buffer_valve(mut self, max_bytes: Option<u64>) -> EngineConfig {
+        self.max_buffered_bytes = max_bytes;
+        self
+    }
+}
+
+/// Errors from engine API calls (not from network input, which is
+/// counted in metrics and never raised).
+#[derive(Debug)]
+pub enum EngineError {
+    /// No flow with this key.
+    UnknownFlow(FlowKey),
+    /// The flow exists but is not an established host association.
+    NotAHostFlow(FlowKey),
+    /// The protocol rejected the operation.
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownFlow(k) => write!(f, "no flow {}#{}", k.peer, k.assoc_id),
+            EngineError::NotAHostFlow(k) => {
+                write!(
+                    f,
+                    "flow {}#{} is not an established host",
+                    k.peer, k.assoc_id
+                )
+            }
+            EngineError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ProtocolError> for EngineError {
+    fn from(e: ProtocolError) -> EngineError {
+        EngineError::Protocol(e)
+    }
+}
+
+/// Everything one engine call produced. The caller owns transmission
+/// (`datagrams`) and consumption (`delivered` / `extracted`).
+#[derive(Default)]
+pub struct EngineOutput {
+    /// Datagrams to transmit, already bundled/chunked at wire limits.
+    pub datagrams: Vec<(SocketAddr, Vec<u8>)>,
+    /// Verified payloads delivered to host-role flows:
+    /// `(assoc_id, message index, payload)`.
+    pub delivered: Vec<(u64, u32, Vec<u8>)>,
+    /// Payloads verified in transit by relay-role flows.
+    pub extracted: Vec<(u64, Vec<u8>)>,
+    /// Handshakes that completed during this call.
+    pub completed: Vec<FlowKey>,
+}
+
+impl EngineOutput {
+    /// Merge `other` into `self`.
+    pub fn absorb(&mut self, other: EngineOutput) {
+        self.datagrams.extend(other.datagrams);
+        self.delivered.extend(other.delivered);
+        self.extracted.extend(other.extracted);
+        self.completed.extend(other.completed);
+    }
+}
+
+/// Per-flow state. Boxed so the table's entries stay small.
+enum FlowState {
+    /// Initiator waiting for HS2. `wire` is the HS1 for resends.
+    Connecting {
+        hs: Option<Box<Handshaker>>,
+        wire: Vec<u8>,
+        backoff: Backoff,
+        started: Timestamp,
+        next_resend: Timestamp,
+    },
+    /// Established end-host association.
+    Host {
+        assoc: Box<Association>,
+        /// When the current outbound exchange started (RTT metric).
+        inflight_since: Option<Timestamp>,
+    },
+    /// On-path verifier between the canonical pair of endpoints.
+    Relay {
+        relay: Box<Relay>,
+        /// Last observed pre-signature buffer total, for the valve
+        /// gauge delta.
+        buffered: usize,
+    },
+}
+
+struct FlowEntry {
+    limiter: SharedS1Limiter,
+    state: FlowState,
+}
+
+/// One shard: its slice of the flow table plus the timer wheel driving
+/// those flows. A worker write-locks a shard only while touching it.
+struct Shard {
+    flows: HashMap<FlowKey, FlowEntry>,
+    wheel: TimerWheel<FlowKey>,
+}
+
+/// The sans-io engine: sharded flow table + timers + metrics.
+pub struct EngineCore {
+    cfg: EngineConfig,
+    shards: Sharded<Shard>,
+    /// next-hop routing for relay role: `from → dst` (bidirectional
+    /// entries). Read-only on the hot path.
+    routes: RwLock<HashMap<SocketAddr, SocketAddr>>,
+    /// Global relay pre-signature buffer gauge (bytes). Signed: deltas
+    /// from concurrent shards may transiently dip below zero.
+    buffered: AtomicI64,
+    metrics: EngineMetrics,
+}
+
+fn is_flood_vector(pkt: &Packet) -> bool {
+    matches!(pkt.packet_type(), PacketType::S1 | PacketType::Hs1)
+}
+
+/// Order addresses so both directions of a relay pair map to one flow.
+fn addr_rank(a: &SocketAddr) -> (u8, u128, u16) {
+    match a {
+        SocketAddr::V4(v) => (4, u128::from(u32::from_be_bytes(v.ip().octets())), v.port()),
+        SocketAddr::V6(v) => (6, u128::from_be_bytes(v.ip().octets()), v.port()),
+    }
+}
+
+fn canonical(a: SocketAddr, b: SocketAddr) -> SocketAddr {
+    if addr_rank(&a) <= addr_rank(&b) {
+        a
+    } else {
+        b
+    }
+}
+
+impl EngineCore {
+    /// Build an engine with no flows and no routes.
+    #[must_use]
+    pub fn new(cfg: EngineConfig) -> EngineCore {
+        let shards = Sharded::new(cfg.shards, |_| Shard {
+            flows: HashMap::new(),
+            wheel: TimerWheel::with_default_tick(Timestamp::ZERO),
+        });
+        EngineCore {
+            cfg,
+            shards,
+            routes: RwLock::new(HashMap::new()),
+            buffered: AtomicI64::new(0),
+            metrics: EngineMetrics::new(),
+        }
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// The metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
+    /// Register a bidirectional relay route: datagrams from `a` forward
+    /// to `b` and vice versa, through per-association relay verifiers.
+    pub fn add_route(&self, a: SocketAddr, b: SocketAddr) {
+        let mut routes = self.routes.write();
+        routes.insert(a, b);
+        routes.insert(b, a);
+    }
+
+    /// Shard index owning traffic *from* this address (resolving relay
+    /// routes to the canonical pair endpoint). Receiver threads use
+    /// this to demux datagrams to workers without parsing them.
+    #[must_use]
+    pub fn shard_of_source(&self, from: SocketAddr) -> usize {
+        let addr = match self.routes.read().get(&from) {
+            Some(&dst) => canonical(from, dst),
+            None => from,
+        };
+        jump_hash(addr_hash(&addr), self.shards.len() as u32) as usize
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Flows resident across all shards.
+    #[must_use]
+    pub fn flow_count(&self) -> usize {
+        self.shards.iter().map(|s| s.read().flows.len()).sum()
+    }
+
+    /// Current global relay buffer gauge in bytes.
+    #[must_use]
+    pub fn buffered_bytes(&self) -> i64 {
+        self.buffered.load(Ordering::Relaxed)
+    }
+
+    fn shard_index(&self, key: &FlowKey) -> usize {
+        jump_hash(addr_hash(&key.peer), self.shards.len() as u32) as usize
+    }
+
+    /// Record and stage outbound packets for `dst` as one datagram
+    /// (bundling multi-packet responses like the transport does).
+    fn push_packets(&self, out: &mut EngineOutput, dst: SocketAddr, packets: &[Packet]) {
+        match packets {
+            [] => {}
+            [one] => self.push_datagram(out, dst, one.emit()),
+            many => {
+                for chunk in many.chunks(alpha_wire::limits::MAX_BUNDLE) {
+                    self.push_datagram(out, dst, alpha_wire::bundle::emit(chunk));
+                }
+            }
+        }
+    }
+
+    fn push_datagram(&self, out: &mut EngineOutput, dst: SocketAddr, bytes: Vec<u8>) {
+        self.metrics.packets_out.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .bytes_out
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        out.datagrams.push((dst, bytes));
+    }
+
+    // ------------------------------------------------------------------
+    // Flow creation
+    // ------------------------------------------------------------------
+
+    /// Install an already-established host association (e.g. from an
+    /// out-of-band or authenticated handshake) as a flow toward `peer`.
+    pub fn add_host(&self, peer: SocketAddr, assoc: Association, now: Timestamp) -> FlowKey {
+        let key = FlowKey {
+            peer,
+            assoc_id: assoc.assoc_id(),
+        };
+        let idx = self.shard_index(&key);
+        let mut shard = self.shards.shard(idx).write();
+        let poll_at = assoc.poll_at();
+        shard.flows.insert(
+            key,
+            FlowEntry {
+                limiter: SharedS1Limiter::new(self.cfg.s1_bytes_per_sec),
+                state: FlowState::Host {
+                    assoc: Box::new(assoc),
+                    inflight_since: None,
+                },
+            },
+        );
+        if let Some(t) = poll_at {
+            shard.wheel.schedule(t.max(now), key);
+        }
+        self.metrics.flows_active.fetch_add(1, Ordering::Relaxed);
+        key
+    }
+
+    /// Start an (unprotected) handshake toward `peer`: emits the HS1
+    /// and arms jittered exponential resends until HS2 arrives or the
+    /// retry budget runs out. Completion is reported through
+    /// [`EngineOutput::completed`].
+    pub fn connect(
+        &self,
+        peer: SocketAddr,
+        assoc_id: u64,
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+    ) -> (FlowKey, EngineOutput) {
+        let mut out = EngineOutput::default();
+        let (hs, pkt) = bootstrap::initiate(self.cfg.protocol, assoc_id, None, rng);
+        let wire = pkt.emit();
+        let key = FlowKey { peer, assoc_id };
+        let mut backoff = Backoff::handshake();
+        let next_resend = now.plus_micros(backoff.next_delay(rng).as_micros() as u64);
+        let idx = self.shard_index(&key);
+        {
+            let mut shard = self.shards.shard(idx).write();
+            shard.flows.insert(
+                key,
+                FlowEntry {
+                    limiter: SharedS1Limiter::new(self.cfg.s1_bytes_per_sec),
+                    state: FlowState::Connecting {
+                        hs: Some(Box::new(hs)),
+                        wire: wire.clone(),
+                        backoff,
+                        started: now,
+                        next_resend,
+                    },
+                },
+            );
+            shard.wheel.schedule(next_resend, key);
+        }
+        self.metrics.flows_active.fetch_add(1, Ordering::Relaxed);
+        self.push_datagram(&mut out, peer, wire);
+        (key, out)
+    }
+
+    /// Drop a flow, returning whether it existed.
+    pub fn remove_flow(&self, key: FlowKey) -> bool {
+        let idx = self.shard_index(&key);
+        let removed = self.shards.shard(idx).write().flows.remove(&key);
+        if let Some(entry) = &removed {
+            if let FlowState::Relay { buffered, .. } = entry.state {
+                self.buffered.fetch_sub(buffered as i64, Ordering::Relaxed);
+            }
+            self.metrics.flows_active.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed.is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Host-flow operations
+    // ------------------------------------------------------------------
+
+    /// Run `f` against the flow's association (any flow whose state is
+    /// an established host). Returns `None` for unknown or non-host
+    /// flows.
+    pub fn with_association<R>(
+        &self,
+        key: FlowKey,
+        f: impl FnOnce(&mut Association) -> R,
+    ) -> Option<R> {
+        let idx = self.shard_index(&key);
+        let mut shard = self.shards.shard(idx).write();
+        match shard.flows.get_mut(&key) {
+            Some(FlowEntry {
+                state: FlowState::Host { assoc, .. },
+                ..
+            }) => Some(f(assoc)),
+            _ => None,
+        }
+    }
+
+    /// Whether a host flow has no exchange in flight.
+    #[must_use]
+    pub fn flow_is_idle(&self, key: FlowKey) -> bool {
+        self.with_association(key, |a| a.signer().is_idle())
+            .unwrap_or(false)
+    }
+
+    /// Sign and stage a batch on an established host flow.
+    pub fn sign_batch(
+        &self,
+        key: FlowKey,
+        messages: &[&[u8]],
+        mode: Mode,
+        now: Timestamp,
+    ) -> Result<EngineOutput, EngineError> {
+        let mut out = EngineOutput::default();
+        let idx = self.shard_index(&key);
+        let mut guard = self.shards.shard(idx).write();
+        let shard = &mut *guard;
+        let Some(entry) = shard.flows.get_mut(&key) else {
+            return Err(EngineError::UnknownFlow(key));
+        };
+        let FlowState::Host {
+            assoc,
+            inflight_since,
+        } = &mut entry.state
+        else {
+            return Err(EngineError::NotAHostFlow(key));
+        };
+        let pkt = assoc.sign_batch(messages, mode, now)?;
+        *inflight_since = Some(now);
+        if let Some(t) = assoc.poll_at() {
+            shard.wheel.schedule(t, key);
+        }
+        drop(guard);
+        self.push_packets(&mut out, key.peer, &[pkt]);
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Datagram intake
+    // ------------------------------------------------------------------
+
+    /// Feed one received datagram through the engine.
+    pub fn handle_datagram(
+        &self,
+        from: SocketAddr,
+        bytes: &[u8],
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+    ) -> EngineOutput {
+        let mut out = EngineOutput::default();
+        self.metrics.packets_in.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .bytes_in
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        let Ok(pkts) = alpha_wire::bundle::parse(bytes) else {
+            self.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+            return out;
+        };
+        let route = self.routes.read().get(&from).copied();
+        match route {
+            Some(dst) => self.relay_datagram(from, dst, &pkts, now, &mut out),
+            None => {
+                for pkt in &pkts {
+                    self.host_packet(from, pkt, now, rng, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Admission veto for flood-vector packets, taken under the shard
+    /// *read* lock: over-budget S1/HS1 traffic is shed without any
+    /// write contention. Returns `false` when the packet must drop.
+    /// Flows not yet in the table are admitted here and charged at
+    /// insertion instead.
+    fn admit(&self, shard_idx: usize, key: &FlowKey, pkt: &Packet, now: Timestamp) -> bool {
+        if !is_flood_vector(pkt) {
+            return true;
+        }
+        if pkt.packet_type() == PacketType::S1 {
+            if let Some(max) = self.cfg.max_buffered_bytes {
+                if self.buffered.load(Ordering::Relaxed) > max as i64 {
+                    self.metrics
+                        .backpressure_drops
+                        .fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        let shard = self.shards.shard(shard_idx).read();
+        if let Some(entry) = shard.flows.get(key) {
+            if !entry.limiter.allow(pkt.wire_len() as u64, now) {
+                self.metrics.admission_drops.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        true
+    }
+
+    fn relay_datagram(
+        &self,
+        from: SocketAddr,
+        dst: SocketAddr,
+        pkts: &[Packet],
+        now: Timestamp,
+        out: &mut EngineOutput,
+    ) {
+        let left = canonical(from, dst);
+        let mut pass: Vec<Packet> = Vec::with_capacity(pkts.len());
+        for pkt in pkts {
+            let key = FlowKey {
+                peer: left,
+                assoc_id: pkt.assoc_id,
+            };
+            let idx = self.shard_index(&key);
+            if !self.admit(idx, &key, pkt, now) {
+                continue;
+            }
+            let mut shard = self.shards.shard(idx).write();
+            let entry = shard.flows.entry(key).or_insert_with(|| {
+                self.metrics.flows_active.fetch_add(1, Ordering::Relaxed);
+                let limiter = SharedS1Limiter::new(self.cfg.s1_bytes_per_sec);
+                // Flows created by this very packet are charged here;
+                // established flows were charged in `admit`.
+                limiter.allow(pkt.wire_len() as u64, now);
+                FlowEntry {
+                    limiter,
+                    state: FlowState::Relay {
+                        relay: Box::new(Relay::new(self.cfg.relay)),
+                        buffered: 0,
+                    },
+                }
+            });
+            let FlowState::Relay { relay, buffered } = &mut entry.state else {
+                // A host flow keyed like a routed pair: treat as
+                // mis-routed and drop.
+                self.metrics.record_drop(DropReason::UnknownAssociation);
+                continue;
+            };
+            let (decision, events) = relay.observe(pkt, now);
+            let new_buffered = relay.total_buffered_bytes();
+            let delta = new_buffered as i64 - *buffered as i64;
+            *buffered = new_buffered;
+            drop(shard);
+            if delta != 0 {
+                self.buffered.fetch_add(delta, Ordering::Relaxed);
+            }
+            for ev in events {
+                match ev {
+                    RelayEvent::VerifiedPayload {
+                        assoc_id, payload, ..
+                    } => {
+                        self.metrics.s2_verified.fetch_add(1, Ordering::Relaxed);
+                        out.extracted.push((assoc_id, payload));
+                    }
+                    RelayEvent::AssociationLearned(_) => {
+                        self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    RelayEvent::VerifiedVerdict { .. } => {}
+                }
+            }
+            match decision {
+                RelayDecision::Forward => pass.push(pkt.clone()),
+                RelayDecision::Drop(reason) => self.metrics.record_drop(reason),
+            }
+        }
+        self.push_packets(out, dst, &pass);
+    }
+
+    fn host_packet(
+        &self,
+        from: SocketAddr,
+        pkt: &Packet,
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+        out: &mut EngineOutput,
+    ) {
+        let key = FlowKey {
+            peer: from,
+            assoc_id: pkt.assoc_id,
+        };
+        let idx = self.shard_index(&key);
+        if !self.admit(idx, &key, pkt, now) {
+            return;
+        }
+        // Peek the flow's kind under a read lock, then dispatch; each
+        // handler re-checks under its own write lock, so a racing
+        // transition is handled, not corrupted.
+        enum Kind {
+            Missing,
+            Connecting,
+            Host,
+            Relay,
+        }
+        let kind = match self.shards.shard(idx).read().flows.get(&key) {
+            None => Kind::Missing,
+            Some(e) => match e.state {
+                FlowState::Connecting { .. } => Kind::Connecting,
+                FlowState::Host { .. } => Kind::Host,
+                FlowState::Relay { .. } => Kind::Relay,
+            },
+        };
+        match kind {
+            Kind::Missing => self.accept_handshake(key, pkt, now, rng, out),
+            Kind::Connecting => self.complete_handshake(idx, key, pkt, now, out),
+            Kind::Host => self.host_handle(idx, key, pkt, now, rng, out),
+            Kind::Relay => self.metrics.record_drop(DropReason::UnknownAssociation),
+        }
+    }
+
+    /// Established host flow: feed the packet to the association.
+    fn host_handle(
+        &self,
+        idx: usize,
+        key: FlowKey,
+        pkt: &Packet,
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+        out: &mut EngineOutput,
+    ) {
+        let mut guard = self.shards.shard(idx).write();
+        let shard = &mut *guard;
+        let Some(FlowEntry {
+            state:
+                FlowState::Host {
+                    assoc,
+                    inflight_since,
+                },
+            ..
+        }) = shard.flows.get_mut(&key)
+        else {
+            self.metrics.record_drop(DropReason::UnknownAssociation);
+            return;
+        };
+        match assoc.handle(pkt, now, rng) {
+            Ok(resp) => {
+                if inflight_since.is_some() && assoc.signer().is_idle() {
+                    let started = inflight_since.take().expect("checked above");
+                    self.metrics.rtt_us.record(now.since(started));
+                }
+                self.metrics
+                    .s2_verified
+                    .fetch_add(resp.deliveries.len() as u64, Ordering::Relaxed);
+                if let Some(t) = assoc.poll_at() {
+                    shard.wheel.schedule(t, key);
+                }
+                drop(guard);
+                out.delivered.extend(
+                    resp.deliveries
+                        .into_iter()
+                        .map(|(seq, p)| (key.assoc_id, seq, p)),
+                );
+                self.push_packets(out, key.peer, &resp.packets);
+            }
+            Err(e) => {
+                drop(guard);
+                self.metrics.record_drop(protocol_drop_reason(e));
+            }
+        }
+    }
+
+    /// Unknown flow: if it is an HS1 and this engine accepts
+    /// handshakes, stand up a new host association and reply with HS2.
+    fn accept_handshake(
+        &self,
+        key: FlowKey,
+        pkt: &Packet,
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+        out: &mut EngineOutput,
+    ) {
+        let is_hs1 = matches!(&pkt.body, Body::Handshake(h) if h.role == HandshakeRole::Init);
+        if !self.cfg.accept_handshakes || !is_hs1 {
+            self.metrics.record_drop(DropReason::UnknownAssociation);
+            return;
+        }
+        match bootstrap::respond(self.cfg.protocol, pkt, None, AuthRequirement::None, rng) {
+            Ok((assoc, reply, _key)) => {
+                let idx = self.shard_index(&key);
+                let limiter = SharedS1Limiter::new(self.cfg.s1_bytes_per_sec);
+                limiter.allow(pkt.wire_len() as u64, now); // charge the HS1
+                self.shards.shard(idx).write().flows.insert(
+                    key,
+                    FlowEntry {
+                        limiter,
+                        state: FlowState::Host {
+                            assoc: Box::new(assoc),
+                            inflight_since: None,
+                        },
+                    },
+                );
+                self.metrics.flows_active.fetch_add(1, Ordering::Relaxed);
+                self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
+                out.completed.push(key);
+                self.push_packets(out, key.peer, &[reply]);
+            }
+            Err(_) => self.metrics.record_drop(DropReason::Malformed),
+        }
+    }
+
+    /// Connecting flow: try to finish the handshake with this packet.
+    fn complete_handshake(
+        &self,
+        idx: usize,
+        key: FlowKey,
+        pkt: &Packet,
+        now: Timestamp,
+        out: &mut EngineOutput,
+    ) {
+        let is_hs2 = matches!(&pkt.body, Body::Handshake(h) if h.role == HandshakeRole::Reply)
+            && pkt.assoc_id == key.assoc_id;
+        if !is_hs2 {
+            // Everything but an HS2 reply is noise while connecting
+            // (e.g. a duplicated HS1 reflection).
+            self.metrics.record_drop(DropReason::Unsolicited);
+            return;
+        }
+        let mut shard = self.shards.shard(idx).write();
+        let Some(entry) = shard.flows.get_mut(&key) else {
+            return; // reaped by the retry budget in the meantime
+        };
+        let FlowState::Connecting { hs, started, .. } = &mut entry.state else {
+            return; // a racing packet already completed it
+        };
+        let started = *started;
+        let Some(hs) = hs.take() else {
+            return;
+        };
+        match hs.complete(pkt, AuthRequirement::None) {
+            Ok((assoc, _peer_key)) => {
+                entry.state = FlowState::Host {
+                    assoc: Box::new(assoc),
+                    inflight_since: None,
+                };
+                self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
+                self.metrics.handshake_us.record(now.since(started));
+                out.completed.push(key);
+            }
+            Err(_) => {
+                // Unrecoverable (the handshaker is consumed): drop the
+                // flow; a caller-level retry starts a fresh connect.
+                shard.flows.remove(&key);
+                self.metrics.flows_active.fetch_sub(1, Ordering::Relaxed);
+                self.metrics.record_drop(DropReason::Malformed);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Timers
+    // ------------------------------------------------------------------
+
+    /// Earliest timer deadline across all shards, if any.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Timestamp> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.read().wheel.next_deadline())
+            .min()
+    }
+
+    /// Advance every shard's timers to `now`.
+    pub fn poll(&self, now: Timestamp, rng: &mut dyn RngCore) -> EngineOutput {
+        let mut out = EngineOutput::default();
+        for idx in 0..self.shards.len() {
+            self.poll_shard(idx, now, rng, &mut out);
+        }
+        out
+    }
+
+    /// Advance one shard's timers to `now` (workers poll only the
+    /// shards they own).
+    pub fn poll_shard(
+        &self,
+        idx: usize,
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+        out: &mut EngineOutput,
+    ) {
+        let mut fired = Vec::new();
+        let mut guard = self.shards.shard(idx).write();
+        let shard = &mut *guard;
+        shard.wheel.advance(now, &mut fired);
+        if fired.is_empty() {
+            return;
+        }
+        self.metrics
+            .timer_fires
+            .fetch_add(fired.len() as u64, Ordering::Relaxed);
+        let mut staged: Vec<(SocketAddr, Vec<Packet>)> = Vec::new();
+        let mut dead: Vec<FlowKey> = Vec::new();
+        for key in fired {
+            let Some(entry) = shard.flows.get_mut(&key) else {
+                continue;
+            };
+            match &mut entry.state {
+                FlowState::Connecting {
+                    wire,
+                    backoff,
+                    next_resend,
+                    ..
+                } => {
+                    if now < *next_resend {
+                        shard.wheel.schedule(*next_resend, key);
+                        continue;
+                    }
+                    if backoff.attempts() > self.cfg.handshake_retries {
+                        dead.push(key);
+                        continue;
+                    }
+                    self.push_datagram(out, key.peer, wire.clone());
+                    *next_resend = now.plus_micros(backoff.next_delay(rng).as_micros() as u64);
+                    shard.wheel.schedule(*next_resend, key);
+                }
+                FlowState::Host {
+                    assoc,
+                    inflight_since,
+                } => {
+                    let Some(due) = assoc.poll_at() else {
+                        continue;
+                    };
+                    if due > now {
+                        shard.wheel.schedule(due, key);
+                        continue;
+                    }
+                    let resp = assoc.poll(now);
+                    if inflight_since.is_some() && assoc.signer().is_idle() {
+                        let started = inflight_since.take().expect("checked above");
+                        self.metrics.rtt_us.record(now.since(started));
+                    }
+                    out.delivered.extend(
+                        resp.deliveries
+                            .into_iter()
+                            .map(|(seq, p)| (key.assoc_id, seq, p)),
+                    );
+                    if !resp.packets.is_empty() {
+                        staged.push((key.peer, resp.packets));
+                    }
+                    if let Some(t) = assoc.poll_at() {
+                        shard.wheel.schedule(t, key);
+                    }
+                }
+                FlowState::Relay { .. } => {}
+            }
+        }
+        for key in dead {
+            shard.flows.remove(&key);
+            self.metrics.flows_active.fetch_sub(1, Ordering::Relaxed);
+        }
+        drop(guard);
+        for (dst, packets) in staged {
+            self.push_packets(out, dst, &packets);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Snapshot engine state + metrics as a JSON value.
+    #[must_use]
+    pub fn snapshot(&self) -> serde::Value {
+        serde::Value::object([
+            (
+                "flows".to_owned(),
+                serde::Value::U64(self.flow_count() as u64),
+            ),
+            (
+                "shards".to_owned(),
+                serde::Value::U64(self.shards.len() as u64),
+            ),
+            (
+                "buffered_bytes".to_owned(),
+                serde::Value::I64(self.buffered.load(Ordering::Relaxed)),
+            ),
+            ("metrics".to_owned(), self.metrics.snapshot()),
+        ])
+    }
+
+    /// Snapshot rendered as a JSON string.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("stats serialize")
+    }
+}
+
+/// Map a host-side protocol rejection onto the drop taxonomy.
+fn protocol_drop_reason(e: ProtocolError) -> DropReason {
+    match e {
+        ProtocolError::Chain(_) => DropReason::BadChainElement,
+        ProtocolError::BadMac | ProtocolError::BadAuth => DropReason::BadMac,
+        ProtocolError::UnexpectedPacket | ProtocolError::NoExchange => DropReason::Unsolicited,
+        ProtocolError::WrongAssociation => DropReason::UnknownAssociation,
+        _ => DropReason::Malformed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_crypto::Algorithm;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> EngineConfig {
+        EngineConfig::new(Config::new(Algorithm::Sha1).with_chain_len(64))
+    }
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    /// Drive two engines against each other in memory: `a`'s datagrams
+    /// to `a_addr`'s counterpart are handed to `b` and vice versa.
+    fn pump(
+        a: &EngineCore,
+        a_addr: SocketAddr,
+        b: &EngineCore,
+        b_addr: SocketAddr,
+        mut pending: Vec<(SocketAddr, Vec<u8>)>,
+        now: Timestamp,
+        rng: &mut StdRng,
+    ) -> (EngineOutput, EngineOutput) {
+        let mut out_a = EngineOutput::default();
+        let mut out_b = EngineOutput::default();
+        let mut hops = 0;
+        while !pending.is_empty() {
+            hops += 1;
+            assert!(hops < 64, "in-memory exchange did not converge");
+            let mut next = Vec::new();
+            for (dst, bytes) in pending.drain(..) {
+                let o = if dst == a_addr {
+                    let o = a.handle_datagram(b_addr, &bytes, now, rng);
+                    next.extend(o.datagrams.iter().cloned());
+                    out_a.absorb(o);
+                    continue;
+                } else {
+                    assert_eq!(dst, b_addr, "unexpected destination");
+                    b.handle_datagram(a_addr, &bytes, now, rng)
+                };
+                next.extend(o.datagrams.iter().cloned());
+                out_b.absorb(o);
+            }
+            pending = next;
+        }
+        (out_a, out_b)
+    }
+
+    #[test]
+    fn connect_accept_and_exchange_in_memory() {
+        let client = EngineCore::new(cfg());
+        let server = EngineCore::new(cfg());
+        let ca = addr(1000);
+        let sa = addr(2000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let now = Timestamp::from_millis(1);
+
+        let (key, out) = client.connect(sa, 42, now, &mut rng);
+        let (from_client, from_server) =
+            pump(&client, ca, &server, sa, out.datagrams, now, &mut rng);
+        assert_eq!(
+            from_client.completed,
+            vec![key],
+            "client handshake completed"
+        );
+        assert_eq!(from_server.completed.len(), 1, "server stood up the flow");
+        assert_eq!(client.flow_count(), 1);
+        assert_eq!(server.flow_count(), 1);
+        assert_eq!(server.metrics().handshakes.load(Ordering::Relaxed), 1);
+
+        let out = client
+            .sign_batch(key, &[b"engine hello".as_slice()], Mode::Base, now)
+            .expect("sign");
+        let (_, from_server) = pump(&client, ca, &server, sa, out.datagrams, now, &mut rng);
+        assert_eq!(from_server.delivered.len(), 1);
+        assert_eq!(from_server.delivered[0].2, b"engine hello");
+        assert!(client.flow_is_idle(key), "exchange finished");
+        assert_eq!(client.metrics().rtt_us.count(), 1, "RTT sampled");
+    }
+
+    #[test]
+    fn relay_flow_verifies_and_forwards() {
+        let client = EngineCore::new(cfg());
+        let server = EngineCore::new(cfg());
+        let relay = EngineCore::new(cfg());
+        let ca = addr(1100);
+        let sa = addr(2100);
+        relay.add_route(ca, sa);
+        let mut rng = StdRng::seed_from_u64(8);
+        let now = Timestamp::from_millis(1);
+
+        // Every datagram passes through the relay engine.
+        let relay_hop =
+            |pending: Vec<(SocketAddr, Vec<u8>)>, rng: &mut StdRng| -> Vec<(SocketAddr, Vec<u8>)> {
+                let mut forwarded = Vec::new();
+                for (dst, bytes) in pending {
+                    let from = if dst == sa { ca } else { sa };
+                    let o = relay.handle_datagram(from, &bytes, now, rng);
+                    forwarded.extend(o.datagrams);
+                }
+                forwarded
+            };
+
+        let (key, out) = client.connect(sa, 9, now, &mut rng);
+        let mut pending = relay_hop(out.datagrams, &mut rng);
+        let mut done = false;
+        for _ in 0..16 {
+            if pending.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for (dst, bytes) in pending.drain(..) {
+                let o = if dst == sa {
+                    server.handle_datagram(ca, &bytes, now, &mut rng)
+                } else {
+                    client.handle_datagram(sa, &bytes, now, &mut rng)
+                };
+                done |= !o.completed.is_empty() && o.completed[0] == key;
+                next.extend(relay_hop(o.datagrams, &mut rng));
+            }
+            pending = next;
+        }
+        assert!(done, "handshake completed through the relay");
+        assert_eq!(relay.flow_count(), 1, "one relay flow for the pair");
+
+        let out = client
+            .sign_batch(key, &[b"via relay".as_slice()], Mode::Base, now)
+            .unwrap();
+        let mut pending = relay_hop(out.datagrams, &mut rng);
+        for _ in 0..16 {
+            if pending.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for (dst, bytes) in pending.drain(..) {
+                let o = if dst == sa {
+                    server.handle_datagram(ca, &bytes, now, &mut rng)
+                } else {
+                    client.handle_datagram(sa, &bytes, now, &mut rng)
+                };
+                next.extend(relay_hop(o.datagrams, &mut rng));
+            }
+            pending = next;
+        }
+        assert_eq!(relay.metrics().s2_verified.load(Ordering::Relaxed), 1);
+        assert_eq!(server.metrics().s2_verified.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn handshake_resends_use_backoff_and_give_up() {
+        let client = EngineCore::new(cfg());
+        let sa = addr(2200);
+        let mut rng = StdRng::seed_from_u64(9);
+        let (_key, out) = client.connect(sa, 5, Timestamp::from_millis(1), &mut rng);
+        assert_eq!(out.datagrams.len(), 1, "HS1 sent immediately");
+        // No reply ever arrives: polling far in the future must resend
+        // (with growing gaps) and eventually abandon the flow.
+        let mut resends = 0;
+        let mut t = Timestamp::from_millis(1);
+        for _ in 0..4000 {
+            t = t.plus_micros(20_000);
+            let o = client.poll(t, &mut rng);
+            resends += o.datagrams.len();
+            if client.flow_count() == 0 {
+                break;
+            }
+        }
+        assert!(
+            resends > 3,
+            "multiple resends before giving up, got {resends}"
+        );
+        assert!(
+            resends <= client.config().handshake_retries as usize + 1,
+            "bounded by the retry budget, got {resends}"
+        );
+        assert_eq!(client.flow_count(), 0, "abandoned flow was reaped");
+    }
+
+    #[test]
+    fn admission_limiter_sheds_s1_floods() {
+        let mut c = cfg();
+        c.s1_bytes_per_sec = Some(512); // tiny budget
+        let server = EngineCore::new(c);
+        let client = EngineCore::new(cfg());
+        let ca = addr(1300);
+        let sa = addr(2300);
+        let mut rng = StdRng::seed_from_u64(10);
+        let now = Timestamp::from_millis(1);
+        let (key, out) = client.connect(sa, 77, now, &mut rng);
+        pump(&client, ca, &server, sa, out.datagrams, now, &mut rng);
+        // Replay one S1 far past the 512 B/s budget: the engine must
+        // start shedding without write-locking the shard.
+        let s1 = client
+            .sign_batch(key, &[b"flood".as_slice()], Mode::Base, now)
+            .unwrap()
+            .datagrams
+            .remove(0)
+            .1;
+        for _ in 0..64 {
+            server.handle_datagram(ca, &s1, now, &mut rng);
+        }
+        let shed = server.metrics().admission_drops.load(Ordering::Relaxed);
+        assert!(shed > 32, "flood was shed by admission, got {shed}");
+    }
+
+    #[test]
+    fn backpressure_valve_sheds_when_buffers_full() {
+        let mut c = cfg();
+        c.max_buffered_bytes = Some(0); // valve closed as soon as anything buffers
+        let relay = EngineCore::new(c);
+        let client = EngineCore::new(cfg());
+        let ca = addr(1400);
+        let sa = addr(2400);
+        relay.add_route(ca, sa);
+        let mut rng = StdRng::seed_from_u64(11);
+        let now = Timestamp::from_millis(1);
+        // Learn the association at the relay via the handshake pair.
+        let (key, out) = client.connect(sa, 3, now, &mut rng);
+        let hs1 = out.datagrams[0].1.clone();
+        let o = relay.handle_datagram(ca, &hs1, now, &mut rng);
+        // Fabricate the HS2 by letting a server engine answer.
+        let server = EngineCore::new(cfg());
+        let hs2 = server.handle_datagram(ca, &o.datagrams[0].1, now, &mut rng);
+        relay.handle_datagram(sa, &hs2.datagrams[0].1, now, &mut rng);
+        client.handle_datagram(sa, &hs2.datagrams[0].1, now, &mut rng);
+        // First S1 buffers a pre-signature; gauge goes positive; the
+        // next S1 must hit the valve.
+        let s1a = client
+            .sign_batch(key, &[b"one".as_slice()], Mode::Base, now)
+            .unwrap()
+            .datagrams
+            .remove(0)
+            .1;
+        relay.handle_datagram(ca, &s1a, now, &mut rng);
+        assert!(relay.buffered_bytes() > 0, "pre-signature buffered");
+        relay.handle_datagram(ca, &s1a, now, &mut rng);
+        assert!(
+            relay.metrics().backpressure_drops.load(Ordering::Relaxed) >= 1,
+            "valve shed the second S1"
+        );
+    }
+
+    #[test]
+    fn stats_json_roundtrips() {
+        let engine = EngineCore::new(cfg());
+        let v: serde::Value = serde_json::from_str(&engine.stats_json()).unwrap();
+        assert_eq!(v.get("flows").unwrap().as_u64(), Some(0));
+        assert!(v.get("metrics").unwrap().get("packets_in").is_some());
+    }
+}

@@ -1,0 +1,24 @@
+//! alpha-engine: a sharded multi-flow engine serving thousands of
+//! concurrent ALPHA associations.
+//!
+//! The protocol crates give one association (or one relay) at a time;
+//! this crate scales them out. [`EngineCore`] is a sans-io flow
+//! multiplexer — sharded flow table, per-shard timer wheels, per-flow
+//! admission control, a global buffer valve, and a metrics registry —
+//! and [`Engine`] is its thread-per-core UDP front end. See the
+//! "Engine architecture" section of `DESIGN.md` for the full picture.
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod engine;
+pub mod metrics;
+pub mod shard;
+pub mod timer;
+pub mod worker;
+
+pub use backoff::Backoff;
+pub use engine::{EngineConfig, EngineCore, EngineError, EngineOutput};
+pub use metrics::{EngineMetrics, Histogram};
+pub use shard::{addr_hash, jump_hash, FlowKey, Sharded};
+pub use timer::TimerWheel;
+pub use worker::{query_stats, Engine, STATS_MAGIC};

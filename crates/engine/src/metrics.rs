@@ -1,0 +1,292 @@
+//! Engine metrics: lock-free counters and fixed-bucket histograms,
+//! snapshotable as JSON.
+//!
+//! Workers on the hot path touch only relaxed atomics — a snapshot
+//! (CLI `engine stats`, bench reporters) walks the same atomics without
+//! stopping traffic, so the numbers are a consistent-enough view for
+//! operations, not a linearizable one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use alpha_core::DropReason;
+use serde::Value;
+
+/// Labels for [`DropReason`] buckets, in index order.
+pub const DROP_LABELS: [&str; 7] = [
+    "bad-chain-element",
+    "bad-mac",
+    "unsolicited",
+    "bad-verdict",
+    "rate-limited",
+    "unknown-association",
+    "malformed",
+];
+
+fn drop_index(reason: DropReason) -> usize {
+    match reason {
+        DropReason::BadChainElement => 0,
+        DropReason::BadMac => 1,
+        DropReason::Unsolicited => 2,
+        DropReason::BadVerdict => 3,
+        DropReason::RateLimited => 4,
+        DropReason::UnknownAssociation => 5,
+        DropReason::Malformed => 6,
+    }
+}
+
+/// A fixed-bucket latency histogram (microsecond samples).
+///
+/// Bucket upper bounds follow a 1-2-5 decade ladder from 100 µs to
+/// 10 s; the last bucket is unbounded. Fixed buckets keep `record` to
+/// one relaxed fetch-add with no allocation.
+pub struct Histogram {
+    buckets: [AtomicU64; Histogram::BOUNDS.len() + 1],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Upper bounds (µs, inclusive) of each bounded bucket.
+    pub const BOUNDS: [u64; 16] = [
+        100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+        1_000_000, 2_000_000, 5_000_000, 10_000_000,
+    ];
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&self, value_us: u64) {
+        let idx = Self::BOUNDS.partition_point(|&b| b < value_us);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(value_us, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (µs), 0 when empty.
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile from bucket boundaries (upper bound of the
+    /// bucket holding the q-th sample).
+    #[must_use]
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Self::BOUNDS.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Snapshot as a JSON object.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        let buckets: Vec<Value> = self
+            .buckets
+            .iter()
+            .map(|b| Value::U64(b.load(Ordering::Relaxed)))
+            .collect();
+        Value::object([
+            ("count".to_owned(), Value::U64(self.count())),
+            (
+                "sum_us".to_owned(),
+                Value::U64(self.sum_us.load(Ordering::Relaxed)),
+            ),
+            ("mean_us".to_owned(), Value::F64(self.mean_us())),
+            ("p50_us".to_owned(), Value::U64(self.quantile_us(0.50))),
+            ("p99_us".to_owned(), Value::U64(self.quantile_us(0.99))),
+            ("buckets".to_owned(), Value::Array(buckets)),
+        ])
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// The engine's metrics registry. One instance per engine, shared by
+/// every worker through an `Arc`.
+#[derive(Default)]
+pub struct EngineMetrics {
+    /// Datagrams handed to the engine.
+    pub packets_in: AtomicU64,
+    /// Datagrams the engine emitted.
+    pub packets_out: AtomicU64,
+    /// Bytes handed to the engine.
+    pub bytes_in: AtomicU64,
+    /// Bytes the engine emitted.
+    pub bytes_out: AtomicU64,
+    /// S2 payloads verified (host deliveries + relay extractions).
+    pub s2_verified: AtomicU64,
+    /// Packets rejected by protocol verification (any drop reason that
+    /// implies a failed integrity check).
+    pub verify_failures: AtomicU64,
+    /// Completed bootstrap handshakes.
+    pub handshakes: AtomicU64,
+    /// Flows currently resident in the flow table.
+    pub flows_active: AtomicU64,
+    /// Packets refused by per-flow S1 admission.
+    pub admission_drops: AtomicU64,
+    /// Packets refused by the global byte-budget valve.
+    pub backpressure_drops: AtomicU64,
+    /// Timer-wheel entries fired.
+    pub timer_fires: AtomicU64,
+    /// Datagrams that did not parse as ALPHA traffic.
+    pub parse_errors: AtomicU64,
+    drops: [AtomicU64; DROP_LABELS.len()],
+    /// Handshake completion latency.
+    pub handshake_us: Histogram,
+    /// S1→A1 round-trip latency observed by host flows.
+    pub rtt_us: Histogram,
+}
+
+impl EngineMetrics {
+    /// Fresh registry.
+    #[must_use]
+    pub fn new() -> EngineMetrics {
+        EngineMetrics::default()
+    }
+
+    /// Record a relay/protocol drop by cause.
+    pub fn record_drop(&self, reason: DropReason) {
+        self.drops[drop_index(reason)].fetch_add(1, Ordering::Relaxed);
+        if matches!(
+            reason,
+            DropReason::BadChainElement | DropReason::BadMac | DropReason::BadVerdict
+        ) {
+            self.verify_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Drops recorded for `reason`.
+    #[must_use]
+    pub fn drops(&self, reason: DropReason) -> u64 {
+        self.drops[drop_index(reason)].load(Ordering::Relaxed)
+    }
+
+    /// Total drops across causes.
+    #[must_use]
+    pub fn total_drops(&self) -> u64 {
+        self.drops.iter().map(|d| d.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Snapshot every counter as a JSON object.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        let ld = |a: &AtomicU64| Value::U64(a.load(Ordering::Relaxed));
+        let drops = Value::object(
+            DROP_LABELS
+                .iter()
+                .zip(&self.drops)
+                .map(|(label, v)| ((*label).to_owned(), ld(v))),
+        );
+        Value::object([
+            ("packets_in".to_owned(), ld(&self.packets_in)),
+            ("packets_out".to_owned(), ld(&self.packets_out)),
+            ("bytes_in".to_owned(), ld(&self.bytes_in)),
+            ("bytes_out".to_owned(), ld(&self.bytes_out)),
+            ("s2_verified".to_owned(), ld(&self.s2_verified)),
+            ("verify_failures".to_owned(), ld(&self.verify_failures)),
+            ("handshakes".to_owned(), ld(&self.handshakes)),
+            ("flows_active".to_owned(), ld(&self.flows_active)),
+            ("admission_drops".to_owned(), ld(&self.admission_drops)),
+            (
+                "backpressure_drops".to_owned(),
+                ld(&self.backpressure_drops),
+            ),
+            ("timer_fires".to_owned(), ld(&self.timer_fires)),
+            ("parse_errors".to_owned(), ld(&self.parse_errors)),
+            ("drops".to_owned(), drops),
+            ("handshake_us".to_owned(), self.handshake_us.snapshot()),
+            ("rtt_us".to_owned(), self.rtt_us.snapshot()),
+        ])
+    }
+
+    /// Snapshot rendered as a JSON string.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.snapshot()).expect("metrics serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for v in [50, 150, 150, 900, 40_000, 9_000_000, 60_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert!(h.mean_us() > 0.0);
+        assert!(h.quantile_us(0.01) <= 100);
+        assert_eq!(h.quantile_us(1.0), u64::MAX); // overflow bucket
+        let snap = h.snapshot();
+        assert_eq!(snap.get("count").unwrap().as_u64(), Some(7));
+    }
+
+    #[test]
+    fn drops_split_by_reason_and_count_verify_failures() {
+        let m = EngineMetrics::new();
+        m.record_drop(DropReason::BadMac);
+        m.record_drop(DropReason::BadMac);
+        m.record_drop(DropReason::RateLimited);
+        assert_eq!(m.drops(DropReason::BadMac), 2);
+        assert_eq!(m.drops(DropReason::RateLimited), 1);
+        assert_eq!(m.total_drops(), 3);
+        assert_eq!(m.verify_failures.load(Ordering::Relaxed), 2);
+        let snap = m.snapshot();
+        let drops = snap.get("drops").unwrap();
+        assert_eq!(drops.get("bad-mac").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn json_snapshot_parses_back() {
+        let m = EngineMetrics::new();
+        m.packets_in.fetch_add(5, Ordering::Relaxed);
+        m.handshake_us.record(1234);
+        let text = m.to_json();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.get("packets_in").unwrap().as_u64(), Some(5));
+        assert_eq!(
+            v.get("handshake_us")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64(),
+            Some(1)
+        );
+    }
+}

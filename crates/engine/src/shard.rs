@@ -1,0 +1,206 @@
+//! Sharded flow table: consistent-hash shard selection over
+//! per-shard `parking_lot::RwLock`s.
+//!
+//! Flows are keyed by `(peer SocketAddr, association id)` and mapped to
+//! a shard with Jump Consistent Hash, so growing the shard count (a
+//! restart-time decision today) moves only `1/n` of the flows — the
+//! property that matters once flow state is checkpointed or handed
+//! between processes. Each worker thread owns a disjoint set of shards;
+//! on the hot path a worker locks only shards it owns, so there is no
+//! cross-shard contention by construction, and the `RwLock` exists for
+//! the cold paths (stats walks, flow insertion from the supervisor).
+
+use std::net::SocketAddr;
+
+use parking_lot::RwLock;
+
+/// Identity of one flow through the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// The peer (for relay flows: the canonical left endpoint).
+    pub peer: SocketAddr,
+    /// ALPHA association id from the wire header.
+    pub assoc_id: u64,
+}
+
+impl FlowKey {
+    /// Stable 64-bit hash of the key (FNV-1a over address + id).
+    ///
+    /// Deliberately not `DefaultHasher`: shard placement must be stable
+    /// across processes so a restarted engine re-shards identically.
+    #[must_use]
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |b: u8| {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        };
+        match self.peer {
+            SocketAddr::V4(a) => {
+                eat(4);
+                a.ip().octets().into_iter().for_each(&mut eat);
+            }
+            SocketAddr::V6(a) => {
+                eat(6);
+                a.ip().octets().into_iter().for_each(&mut eat);
+            }
+        }
+        self.peer
+            .port()
+            .to_le_bytes()
+            .into_iter()
+            .for_each(&mut eat);
+        self.assoc_id.to_le_bytes().into_iter().for_each(&mut eat);
+        h
+    }
+}
+
+/// Stable FNV-1a hash of an address alone (no association id).
+///
+/// The engine places all flows of one peer (or one relay address pair)
+/// on the same shard, so a receiver thread can demux a datagram to its
+/// owning worker from the source address — before parsing the packet to
+/// learn the association id.
+#[must_use]
+pub fn addr_hash(addr: &SocketAddr) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u8| {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    match addr {
+        SocketAddr::V4(a) => {
+            eat(4);
+            a.ip().octets().into_iter().for_each(&mut eat);
+        }
+        SocketAddr::V6(a) => {
+            eat(6);
+            a.ip().octets().into_iter().for_each(&mut eat);
+        }
+    }
+    addr.port().to_le_bytes().into_iter().for_each(&mut eat);
+    h
+}
+
+/// Jump Consistent Hash (Lamping & Veach): maps `key` to a bucket in
+/// `[0, buckets)` such that changing `buckets` from n to n+1 remaps
+/// only 1/(n+1) of the keys.
+#[must_use]
+pub fn jump_hash(mut key: u64, buckets: u32) -> u32 {
+    assert!(buckets > 0, "jump_hash needs at least one bucket");
+    let mut b: i64 = -1;
+    let mut j: i64 = 0;
+    while j < i64::from(buckets) {
+        b = j;
+        key = key.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1);
+        let r = ((key >> 33) + 1) as f64;
+        j = (((b + 1) as f64) * ((1u64 << 31) as f64 / r)) as i64;
+    }
+    b as u32
+}
+
+/// A fixed set of shards, each behind its own `RwLock`.
+pub struct Sharded<T> {
+    shards: Vec<RwLock<T>>,
+}
+
+impl<T> Sharded<T> {
+    /// Build `n` shards with `init(shard_index)`.
+    pub fn new(n: usize, mut init: impl FnMut(usize) -> T) -> Sharded<T> {
+        let n = n.max(1);
+        Sharded {
+            shards: (0..n).map(|i| RwLock::new(init(i))).collect(),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Always false (there is at least one shard).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Shard index owning `key`.
+    #[must_use]
+    pub fn shard_of(&self, key: &FlowKey) -> usize {
+        jump_hash(key.stable_hash(), self.shards.len() as u32) as usize
+    }
+
+    /// The lock for shard `idx`.
+    #[must_use]
+    pub fn shard(&self, idx: usize) -> &RwLock<T> {
+        &self.shards[idx]
+    }
+
+    /// The lock for the shard owning `key`.
+    #[must_use]
+    pub fn shard_for(&self, key: &FlowKey) -> &RwLock<T> {
+        &self.shards[self.shard_of(key)]
+    }
+
+    /// Iterate over all shard locks (stats walks, shutdown).
+    pub fn iter(&self) -> impl Iterator<Item = &RwLock<T>> {
+        self.shards.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(port: u16, assoc: u64) -> FlowKey {
+        FlowKey {
+            peer: format!("10.0.0.1:{port}").parse().unwrap(),
+            assoc_id: assoc,
+        }
+    }
+
+    #[test]
+    fn stable_hash_is_stable_and_spreads() {
+        let a = key(1000, 1).stable_hash();
+        assert_eq!(a, key(1000, 1).stable_hash());
+        assert_ne!(a, key(1000, 2).stable_hash());
+        assert_ne!(a, key(1001, 1).stable_hash());
+    }
+
+    #[test]
+    fn jump_hash_in_range_and_balanced() {
+        let buckets = 8u32;
+        let mut counts = vec![0u32; buckets as usize];
+        for i in 0..8000u64 {
+            let b = jump_hash(key(1024 + (i % 40_000) as u16, i).stable_hash(), buckets);
+            counts[b as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((600..1400).contains(&c), "bucket {i} got {c}/8000");
+        }
+    }
+
+    #[test]
+    fn jump_hash_minimal_disruption() {
+        // Growing 8 -> 9 buckets must move roughly 1/9 of keys.
+        let mut moved = 0u32;
+        for i in 0..9000u64 {
+            let h = key((i % 50_000) as u16, i).stable_hash();
+            if jump_hash(h, 8) != jump_hash(h, 9) {
+                moved += 1;
+            }
+        }
+        assert!((500..1600).contains(&moved), "moved {moved}/9000 keys");
+    }
+
+    #[test]
+    fn sharded_routing_consistent() {
+        let table: Sharded<Vec<u64>> = Sharded::new(4, |_| Vec::new());
+        let k = key(5555, 42);
+        let idx = table.shard_of(&k);
+        table.shard_for(&k).write().push(k.assoc_id);
+        assert_eq!(table.shard(idx).read().as_slice(), &[42]);
+        assert_eq!(table.len(), 4);
+    }
+}

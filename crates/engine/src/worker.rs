@@ -1,0 +1,343 @@
+//! Threaded UDP front end for [`EngineCore`].
+//!
+//! One receiver thread drains the shared socket and demuxes datagrams
+//! to a pool of worker threads over crossbeam channels. Demux keys off
+//! the *source address* only ([`EngineCore::shard_of_source`]), which
+//! the engine guarantees agrees with flow-table shard placement — so a
+//! shard is only ever touched by the one worker owning it and the hot
+//! path never contends on a lock. Workers also drive their own shards'
+//! timer wheels between datagrams, replacing the old transport pattern
+//! of a fixed 20 ms read timeout around a global poll.
+//!
+//! A stats datagram (prefix [`STATS_MAGIC`]) is answered directly from
+//! the receiver thread with the engine's JSON snapshot, so `engine
+//! stats` works against a live engine without a side channel.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use alpha_core::Timestamp;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::engine::{EngineCore, EngineOutput};
+
+/// First bytes of a stats-query datagram. Starts with 0x00, which no
+/// ALPHA packet type uses, so protocol traffic can never alias it.
+pub const STATS_MAGIC: &[u8] = b"\x00ALPHA-ENGINE-STATS";
+
+const MAX_DATAGRAM: usize = 65_536;
+const RECV_TIMEOUT: Duration = Duration::from_millis(5);
+
+/// A running multi-flow engine: shared UDP socket, receiver thread,
+/// and a worker pool owning disjoint shard sets.
+pub struct Engine {
+    core: Arc<EngineCore>,
+    socket: UdpSocket,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    start: Instant,
+}
+
+/// What each verified delivery/extraction sink receives.
+pub type DeliverySink = Box<dyn Fn(&EngineOutput) + Send + Sync>;
+
+impl Engine {
+    /// Bind `addr` and start `workers` worker threads over `core`.
+    pub fn bind<A: ToSocketAddrs>(addr: A, core: EngineCore, workers: usize) -> io::Result<Engine> {
+        Engine::bind_with_sink(addr, core, workers, None)
+    }
+
+    /// [`Engine::bind`] with an optional sink invoked (on worker
+    /// threads) for every output carrying deliveries or extractions.
+    pub fn bind_with_sink<A: ToSocketAddrs>(
+        addr: A,
+        core: EngineCore,
+        workers: usize,
+        sink: Option<DeliverySink>,
+    ) -> io::Result<Engine> {
+        let workers = workers.max(1);
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_read_timeout(Some(RECV_TIMEOUT))?;
+        let core = Arc::new(core);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+        let sink = sink.map(Arc::new);
+
+        let mut senders: Vec<Sender<(SocketAddr, Vec<u8>)>> = Vec::with_capacity(workers);
+        let mut threads = Vec::with_capacity(workers + 1);
+        for w in 0..workers {
+            let (tx, rx) = channel::bounded::<(SocketAddr, Vec<u8>)>(1024);
+            senders.push(tx);
+            threads.push(spawn_worker(
+                w,
+                workers,
+                rx,
+                Arc::clone(&core),
+                socket.try_clone()?,
+                Arc::clone(&shutdown),
+                start,
+                sink.clone(),
+            ));
+        }
+        threads.push(spawn_receiver(
+            socket.try_clone()?,
+            senders,
+            Arc::clone(&core),
+            Arc::clone(&shutdown),
+        ));
+        Ok(Engine {
+            core,
+            socket,
+            shutdown,
+            threads,
+            start,
+        })
+    }
+
+    /// The engine core (routes, flow creation, metrics).
+    #[must_use]
+    pub fn core(&self) -> &Arc<EngineCore> {
+        &self.core
+    }
+
+    /// Bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Engine-relative protocol time (µs since bind).
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        Timestamp::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Send pre-staged datagrams (e.g. from
+    /// [`EngineCore::sign_batch`]) through the shared socket.
+    pub fn transmit(&self, out: &EngineOutput) -> io::Result<()> {
+        for (dst, bytes) in &out.datagrams {
+            self.socket.send_to(bytes, *dst)?;
+        }
+        Ok(())
+    }
+
+    /// Current stats snapshot as JSON.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        self.core.stats_json()
+    }
+
+    /// Signal shutdown and join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_worker(
+    index: usize,
+    workers: usize,
+    rx: Receiver<(SocketAddr, Vec<u8>)>,
+    core: Arc<EngineCore>,
+    socket: UdpSocket,
+    shutdown: Arc<AtomicBool>,
+    start: Instant,
+    sink: Option<Arc<DeliverySink>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut rng = StdRng::from_entropy();
+        let owned: Vec<usize> = (0..core.shard_count())
+            .filter(|s| s % workers == index)
+            .collect();
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
+            // Drive this worker's shards' timers first, then block on
+            // the channel until the next deadline-ish tick.
+            let mut out = EngineOutput::default();
+            for &s in &owned {
+                core.poll_shard(s, now, &mut rng, &mut out);
+            }
+            dispatch(&socket, &out, sink.as_deref());
+            match rx.recv_timeout(RECV_TIMEOUT) {
+                Ok((from, bytes)) => {
+                    let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
+                    let out = core.handle_datagram(from, &bytes, now, &mut rng);
+                    dispatch(&socket, &out, sink.as_deref());
+                    // Drain whatever queued behind it before timers run
+                    // again.
+                    while let Ok((from, bytes)) = rx.try_recv() {
+                        let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
+                        let out = core.handle_datagram(from, &bytes, now, &mut rng);
+                        dispatch(&socket, &out, sink.as_deref());
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    })
+}
+
+fn dispatch(socket: &UdpSocket, out: &EngineOutput, sink: Option<&DeliverySink>) {
+    for (dst, bytes) in &out.datagrams {
+        let _ = socket.send_to(bytes, *dst);
+    }
+    if let Some(sink) = sink {
+        if !out.delivered.is_empty() || !out.extracted.is_empty() || !out.completed.is_empty() {
+            sink(out);
+        }
+    }
+}
+
+fn spawn_receiver(
+    socket: UdpSocket,
+    senders: Vec<Sender<(SocketAddr, Vec<u8>)>>,
+    core: Arc<EngineCore>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        while !shutdown.load(Ordering::Relaxed) {
+            let Ok((n, from)) = socket.recv_from(&mut buf) else {
+                continue; // read timeout: re-check shutdown
+            };
+            let bytes = &buf[..n];
+            if bytes.starts_with(STATS_MAGIC) {
+                let _ = socket.send_to(core.stats_json().as_bytes(), from);
+                continue;
+            }
+            let worker = core.shard_of_source(from) % senders.len();
+            // Bounded channel: a stalled worker sheds load here rather
+            // than ballooning memory.
+            let _ = senders[worker].try_send((from, bytes.to_vec()));
+        }
+    })
+}
+
+/// Query a running engine's stats over UDP (the `engine stats` CLI).
+pub fn query_stats(addr: SocketAddr, timeout: Duration) -> io::Result<String> {
+    let socket = UdpSocket::bind(match addr {
+        SocketAddr::V4(_) => "0.0.0.0:0",
+        SocketAddr::V6(_) => "[::]:0",
+    })?;
+    socket.set_read_timeout(Some(timeout))?;
+    socket.send_to(STATS_MAGIC, addr)?;
+    let mut buf = vec![0u8; MAX_DATAGRAM];
+    let (n, _) = socket.recv_from(&mut buf)?;
+    Ok(String::from_utf8_lossy(&buf[..n]).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use alpha_core::{Config, Mode};
+    use alpha_crypto::Algorithm;
+
+    fn engine_cfg() -> EngineConfig {
+        EngineConfig::new(Config::new(Algorithm::Sha1).with_chain_len(64))
+    }
+
+    /// A single-flow client driven by its own `EngineCore` over a raw
+    /// socket: handshake, send one message, wait for the exchange to
+    /// finish.
+    fn run_client(server_addr: SocketAddr, assoc_id: u64, payload: &[u8]) {
+        let core = EngineCore::new(engine_cfg());
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+        socket
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(assoc_id);
+        let now = |s: Instant| Timestamp::from_micros(s.elapsed().as_micros() as u64);
+
+        let (key, out) = core.connect(server_addr, assoc_id, now(start), &mut rng);
+        for (dst, bytes) in &out.datagrams {
+            socket.send_to(bytes, *dst).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let mut connected = false;
+        let mut sent = false;
+        while Instant::now() < deadline {
+            let mut out = core.poll(now(start), &mut rng);
+            if let Ok((n, from)) = socket.recv_from(&mut buf) {
+                out.absorb(core.handle_datagram(from, &buf[..n], now(start), &mut rng));
+            }
+            for (dst, bytes) in &out.datagrams {
+                socket.send_to(bytes, *dst).unwrap();
+            }
+            connected |= out.completed.contains(&key);
+            if connected && !sent {
+                let out = core
+                    .sign_batch(key, &[payload], Mode::Base, now(start))
+                    .expect("sign");
+                for (dst, bytes) in &out.datagrams {
+                    socket.send_to(bytes, *dst).unwrap();
+                }
+                sent = true;
+            }
+            if sent && core.flow_is_idle(key) {
+                return;
+            }
+        }
+        panic!("client {assoc_id} did not finish its exchange in time");
+    }
+
+    #[test]
+    fn serve_multiple_clients_and_answer_stats() {
+        let server = Engine::bind("127.0.0.1:0", EngineCore::new(engine_cfg()), 2).expect("bind");
+        let server_addr = server.local_addr().unwrap();
+
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            handles.push(std::thread::spawn(move || {
+                run_client(server_addr, 100 + i, format!("client {i}").as_bytes());
+            }));
+        }
+        for h in handles {
+            h.join().expect("client");
+        }
+        // A client is done once its own signer goes idle, which can be a
+        // moment before the server worker has processed the final S2 —
+        // poll the live stats endpoint until the counters converge.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let v = loop {
+            let stats = query_stats(server_addr, Duration::from_secs(5)).expect("stats");
+            let v: serde::Value = serde_json::from_str(&stats).expect("stats json");
+            let verified = v
+                .get("metrics")
+                .and_then(|m| m.get("s2_verified"))
+                .and_then(serde::Value::as_u64);
+            if verified == Some(4) || Instant::now() >= deadline {
+                break v;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let m = v.get("metrics").unwrap();
+        assert_eq!(m.get("handshakes").unwrap().as_u64(), Some(4));
+        assert_eq!(m.get("s2_verified").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("flows").unwrap().as_u64(), Some(4));
+        server.shutdown();
+    }
+}

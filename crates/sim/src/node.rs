@@ -436,6 +436,58 @@ impl RelayNode {
     }
 }
 
+/// A forwarding node running the sharded multi-flow engine instead of a
+/// bare [`alpha_core::Relay`]: every flow of the topology shares one
+/// [`alpha_engine::EngineCore`], exercising its flow table, admission
+/// control and metrics under simulated time.
+pub struct EngineRelayNode {
+    /// Device pricing this relay's verification work.
+    pub device: DeviceModel,
+    /// The multi-flow engine core.
+    pub core: alpha_engine::EngineCore,
+}
+
+/// Synthetic address for a simulator node, so the address-keyed engine
+/// can run inside the node-id-keyed simulator.
+#[must_use]
+pub fn sim_node_addr(id: NodeId) -> std::net::SocketAddr {
+    std::net::SocketAddr::from(([10, 255, (id >> 8) as u8, id as u8], 7000))
+}
+
+impl EngineRelayNode {
+    /// Engine relay with the given relay policy.
+    #[must_use]
+    pub fn new(device: DeviceModel, cfg: RelayConfig) -> EngineRelayNode {
+        let mut ecfg = alpha_engine::EngineConfig::new(Config::new(
+            alpha_crypto::Algorithm::Sha1,
+        ));
+        ecfg.relay = cfg;
+        ecfg.accept_handshakes = false;
+        EngineRelayNode { device, core: alpha_engine::EngineCore::new(ecfg) }
+    }
+
+    fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: Frame, out: &mut NodeOutput) {
+        let from = sim_node_addr(frame.src);
+        let to = sim_node_addr(frame.dst);
+        // Routes are learned from frame addressing (the underlay's
+        // forwarding table); re-registering a known pair is a no-op.
+        self.core.add_route(from, to);
+        let m = self.core.metrics();
+        use std::sync::atomic::Ordering::Relaxed;
+        let drops_before = m.total_drops() + m.parse_errors.load(Relaxed);
+        let engine_out = self.core.handle_datagram(from, &frame.bytes, ctx.now, ctx.rng);
+        let drops_after = m.total_drops() + m.parse_errors.load(Relaxed);
+        for _ in drops_before..drops_after {
+            ctx.metrics.drop_reason("engine-drop");
+        }
+        ctx.metrics.extracted_payloads += engine_out.extracted.len() as u64;
+        for (_dst, bytes) in engine_out.datagrams {
+            ctx.metrics.forwarded += 1;
+            out.frames.push(Frame { src: frame.src, dst: frame.dst, bytes });
+        }
+    }
+}
+
 fn drop_reason_str(r: alpha_core::DropReason) -> &'static str {
     use alpha_core::DropReason::*;
     match r {
@@ -559,6 +611,8 @@ pub enum Node {
     Endpoint(Endpoint),
     /// An ALPHA-aware forwarder.
     Relay(RelayNode),
+    /// An ALPHA-aware forwarder backed by the multi-flow engine.
+    EngineRelay(EngineRelayNode),
     /// A plain forwarder with no ALPHA awareness (incremental deployment).
     DumbRelay {
         /// Device model (prices nothing; dumb relays do no crypto).
@@ -580,6 +634,7 @@ impl Node {
         match self {
             Node::Endpoint(e) => &e.device,
             Node::Relay(r) => &r.device,
+            Node::EngineRelay(r) => &r.device,
             Node::DumbRelay { device } => device,
             Node::Attacker { device, .. } => device,
         }
@@ -603,10 +658,19 @@ impl Node {
         }
     }
 
+    /// Engine-relay view, if this node is one.
+    #[must_use]
+    pub fn as_engine_relay(&self) -> Option<&EngineRelayNode> {
+        match self {
+            Node::EngineRelay(r) => Some(r),
+            _ => None,
+        }
+    }
+
     pub(crate) fn on_tick(&mut self, ctx: &mut NodeCtx<'_>, out: &mut NodeOutput) {
         match self {
             Node::Endpoint(e) => e.on_tick(ctx, out),
-            Node::Relay(_) | Node::DumbRelay { .. } => {}
+            Node::Relay(_) | Node::EngineRelay(_) | Node::DumbRelay { .. } => {}
             Node::Attacker { attacker, .. } => attacker.on_tick(ctx, out),
         }
     }
@@ -621,6 +685,7 @@ impl Node {
         match self {
             Node::Endpoint(e) => e.on_frame(ctx, frame, out),
             Node::Relay(r) => r.on_frame(ctx, frame, out),
+            Node::EngineRelay(r) => r.on_frame(ctx, frame, out),
             Node::DumbRelay { .. } => {
                 ctx.metrics.forwarded += 1;
                 out.frames.push(frame);

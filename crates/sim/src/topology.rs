@@ -4,7 +4,7 @@ use alpha_core::{Config, RelayConfig};
 
 use crate::device::DeviceModel;
 use crate::link::LinkConfig;
-use crate::node::{App, Endpoint, Node, RelayNode};
+use crate::node::{App, Endpoint, EngineRelayNode, Node, RelayNode};
 use crate::sim::{NodeId, Simulator};
 
 /// The protected path of Fig. 1: a signer, `n_relays` ALPHA-aware relays,
@@ -100,6 +100,53 @@ pub fn star_through_relay(
     (relay, endpoints)
 }
 
+/// Like [`star_through_relay`], but the hub is a single multi-flow
+/// [`alpha_engine::EngineCore`] ([`crate::EngineRelayNode`]) instead of a
+/// bare relay: all `pairs` associations share one flow table, one
+/// admission policy and one metrics registry — the deployment shape of
+/// `alpha engine serve` under simulated time.
+///
+/// Returns `(engine_relay, [(sender, receiver); pairs])`.
+pub fn star_through_engine(
+    sim: &mut Simulator,
+    pairs: usize,
+    endpoint_device: DeviceModel,
+    relay_device: DeviceModel,
+    link: LinkConfig,
+    cfg: Config,
+    mut app_for_pair: impl FnMut(usize) -> App,
+) -> (NodeId, Vec<(NodeId, NodeId)>) {
+    let relay_cfg = RelayConfig {
+        mac_scheme: cfg.mac_scheme,
+        s1_bytes_per_sec: None,
+        ..RelayConfig::default()
+    };
+    let relay =
+        sim.add_node(Node::EngineRelay(EngineRelayNode::new(relay_device, relay_cfg)));
+    let mut endpoints = Vec::with_capacity(pairs);
+    for k in 0..pairs {
+        let assoc_id = 0xE00u64 + k as u64;
+        let sender_id = sim.add_node(Node::Endpoint(Endpoint::initiator(
+            endpoint_device,
+            cfg,
+            assoc_id,
+            relay + 2 + 2 * k, // the receiver added right after this sender
+            app_for_pair(k),
+        )));
+        let receiver_id = sim.add_node(Node::Endpoint(Endpoint::responder(
+            endpoint_device,
+            cfg,
+            assoc_id,
+            sender_id,
+            App::Sink,
+        )));
+        sim.add_link(sender_id, relay, link);
+        sim.add_link(receiver_id, relay, link);
+        endpoints.push((sender_id, receiver_id));
+    }
+    (relay, endpoints)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,6 +173,45 @@ mod tests {
         for r in relays {
             assert_eq!(sim.node(r).as_relay().unwrap().relay.association_count(), 1);
         }
+    }
+
+    #[test]
+    fn multi_flow_star_through_engine_delivers_and_isolates() {
+        let mut sim = Simulator::new(7);
+        let cfg = Config::new(Algorithm::Sha1).with_chain_len(256);
+        const PAIRS: usize = 8;
+        const MSGS: usize = 20;
+        let (relay, endpoints) = star_through_engine(
+            &mut sim,
+            PAIRS,
+            DeviceModel::xeon(),
+            DeviceModel::ar2315(),
+            LinkConfig::ideal(),
+            cfg,
+            |_| App::Sender(SenderApp::new(Mode::Cumulative, 5, 64, MSGS)),
+        );
+        sim.run_until(Timestamp::from_millis(20_000));
+        for (k, (_s, r)) in endpoints.iter().enumerate() {
+            assert_eq!(
+                sim.metrics[*r].delivered_msgs,
+                MSGS as u64,
+                "flow {k} delivered fully (drops: {:?})",
+                sim.metrics[*r].drops
+            );
+        }
+        // One engine carried every flow: a flow-table entry per pair, a
+        // verified payload per message, a learned association per pair.
+        let core = &sim.node(relay).as_engine_relay().unwrap().core;
+        assert_eq!(core.flow_count(), PAIRS);
+        use std::sync::atomic::Ordering::Relaxed;
+        let m = core.metrics();
+        assert!(m.s2_verified.load(Relaxed) >= (PAIRS * MSGS) as u64 / 5);
+        assert_eq!(m.handshakes.load(Relaxed), PAIRS as u64);
+        assert_eq!(
+            sim.metrics[relay].extracted_payloads,
+            m.s2_verified.load(Relaxed),
+            "sim metrics and engine metrics agree"
+        );
     }
 
     #[test]

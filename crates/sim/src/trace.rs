@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::sim::NodeId;
 
 /// Packet classification for trace entries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PacketKind {
     /// Pre-signature announcement.
     S1,
@@ -32,7 +32,7 @@ pub enum PacketKind {
 }
 
 /// One traced event.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A frame was offered to a link.
     Transmit {
@@ -57,12 +57,118 @@ pub enum TraceEvent {
 }
 
 /// A timestamped trace entry.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEntry {
     /// Virtual time (µs).
     pub at_us: u64,
     /// What happened.
     pub event: TraceEvent,
+}
+
+// Serde impls are written by hand against the vendored value-tree serde
+// (no derive macros offline). The external JSON shape matches what the
+// derives produced: unit enums as strings, struct variants as
+// single-key objects.
+
+impl PacketKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            PacketKind::S1 => "S1",
+            PacketKind::A1 => "A1",
+            PacketKind::S2 => "S2",
+            PacketKind::A2 => "A2",
+            PacketKind::Handshake => "Handshake",
+            PacketKind::Bundle => "Bundle",
+            PacketKind::Unparseable => "Unparseable",
+        }
+    }
+}
+
+impl Serialize for PacketKind {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Str(self.as_str().to_owned())
+    }
+}
+
+impl Deserialize for PacketKind {
+    fn from_value(v: &serde::Value) -> Option<PacketKind> {
+        Some(match v.as_str()? {
+            "S1" => PacketKind::S1,
+            "A1" => PacketKind::A1,
+            "S2" => PacketKind::S2,
+            "A2" => PacketKind::A2,
+            "Handshake" => PacketKind::Handshake,
+            "Bundle" => PacketKind::Bundle,
+            "Unparseable" => PacketKind::Unparseable,
+            _ => return None,
+        })
+    }
+}
+
+impl Serialize for TraceEvent {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            TraceEvent::Transmit { from, next_hop, dst, bytes, packet_type } => {
+                serde::Value::object([(
+                    "Transmit".to_owned(),
+                    serde::Value::object([
+                        ("from".to_owned(), from.to_value()),
+                        ("next_hop".to_owned(), next_hop.to_value()),
+                        ("dst".to_owned(), dst.to_value()),
+                        ("bytes".to_owned(), bytes.to_value()),
+                        ("packet_type".to_owned(), packet_type.to_value()),
+                    ]),
+                )])
+            }
+            TraceEvent::Lost { from, next_hop } => serde::Value::object([(
+                "Lost".to_owned(),
+                serde::Value::object([
+                    ("from".to_owned(), from.to_value()),
+                    ("next_hop".to_owned(), next_hop.to_value()),
+                ]),
+            )]),
+        }
+    }
+}
+
+impl Deserialize for TraceEvent {
+    fn from_value(v: &serde::Value) -> Option<TraceEvent> {
+        let map = v.as_object()?;
+        if let Some(body) = map.get("Transmit") {
+            return Some(TraceEvent::Transmit {
+                from: Deserialize::from_value(body.get("from")?)?,
+                next_hop: Deserialize::from_value(body.get("next_hop")?)?,
+                dst: Deserialize::from_value(body.get("dst")?)?,
+                bytes: Deserialize::from_value(body.get("bytes")?)?,
+                packet_type: Deserialize::from_value(body.get("packet_type")?)?,
+            });
+        }
+        if let Some(body) = map.get("Lost") {
+            return Some(TraceEvent::Lost {
+                from: Deserialize::from_value(body.get("from")?)?,
+                next_hop: Deserialize::from_value(body.get("next_hop")?)?,
+            });
+        }
+        None
+    }
+}
+
+impl Serialize for TraceEntry {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::object([
+            ("at_us".to_owned(), self.at_us.to_value()),
+            ("event".to_owned(), self.event.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for TraceEntry {
+    fn from_value(v: &serde::Value) -> Option<TraceEntry> {
+        Some(TraceEntry {
+            at_us: Deserialize::from_value(v.get("at_us")?)?,
+            event: Deserialize::from_value(v.get("event")?)?,
+        })
+    }
 }
 
 /// A recorded trace.

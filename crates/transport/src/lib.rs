@@ -7,24 +7,27 @@
 //! loss and timing; this crate shows the same state machines working over
 //! an actual OS network stack:
 //!
-//! - [`UdpHost`] — an end host: blocking handshake, batch send with
-//!   retransmission driven by the core's timers, and a serve loop for the
-//!   receiving side.
+//! - [`UdpHost`] — an end host: blocking handshake with jittered
+//!   exponential-backoff resends, batch send with retransmission driven
+//!   by the engine's timer wheel, and a serve loop for the receiving
+//!   side.
 //! - [`UdpRelay`] — an on-path middlebox that forwards datagrams between
 //!   two hosts while running [`alpha_core::Relay`] verification, dropping
 //!   forged or unsolicited traffic before it wastes downstream bandwidth.
 //!
-//! Blocking sockets with short read timeouts keep the implementation
-//! dependency-light (no async runtime is on the approved crate list); the
-//! sans-io core means the protocol logic is byte-for-byte the same one
-//! the simulator and benches run.
+//! Both endpoints are thin shells around [`alpha_engine::EngineCore`]:
+//! the transport owns the socket and the clock, the engine owns flow
+//! state, timers, admission and metrics. A multi-flow deployment uses
+//! [`alpha_engine::Engine`] (or `alpha engine serve`) directly; these
+//! types keep the simple one-association API on the same machinery.
 
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::{Duration, Instant};
 
 use alpha_core::bootstrap::{self, AuthRequirement};
-use alpha_core::{Association, Config, Mode, Relay, RelayConfig, RelayDecision, Timestamp};
+use alpha_core::{Association, Config, Mode, RelayConfig, Timestamp};
+use alpha_engine::{Backoff, EngineConfig, EngineCore, EngineError, EngineOutput, FlowKey};
 use alpha_pk::{PublicKey, Signer};
 use alpha_wire::Packet;
 use rand::rngs::StdRng;
@@ -37,8 +40,14 @@ pub enum TransportError {
     Io(io::Error),
     /// The protocol rejected a packet or operation.
     Protocol(alpha_core::ProtocolError),
-    /// The operation did not complete before its deadline.
-    Timeout,
+    /// The operation did not complete before its deadline. `attempts`
+    /// counts the transmissions made (first try + resends), so callers
+    /// can distinguish "peer unreachable despite retries" from "gave up
+    /// early".
+    Timeout {
+        /// Transmissions attempted before the deadline passed.
+        attempts: u32,
+    },
 }
 
 impl From<io::Error> for TransportError {
@@ -53,26 +62,41 @@ impl From<alpha_core::ProtocolError> for TransportError {
     }
 }
 
+impl From<EngineError> for TransportError {
+    fn from(e: EngineError) -> TransportError {
+        match e {
+            EngineError::Protocol(p) => TransportError::Protocol(p),
+            other => TransportError::Io(io::Error::other(other.to_string())),
+        }
+    }
+}
+
 impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TransportError::Io(e) => write!(f, "io error: {e}"),
             TransportError::Protocol(e) => write!(f, "protocol error: {e}"),
-            TransportError::Timeout => write!(f, "operation timed out"),
+            TransportError::Timeout { attempts } => {
+                write!(f, "operation timed out after {attempts} attempt(s)")
+            }
         }
     }
 }
 
 impl std::error::Error for TransportError {}
 
-const READ_TIMEOUT: Duration = Duration::from_millis(20);
+/// Floor for the dynamic read timeout: short enough to notice deadline
+/// expiry promptly, long enough not to spin.
+const MIN_READ_TIMEOUT: Duration = Duration::from_millis(1);
+/// Ceiling for the dynamic read timeout, used when no timer is armed.
+const MAX_READ_TIMEOUT: Duration = Duration::from_millis(50);
 const MAX_DATAGRAM: usize = 65_536;
 
-/// An ALPHA end host over UDP.
+/// An ALPHA end host over UDP: one association, served by an engine.
 pub struct UdpHost {
     socket: UdpSocket,
-    peer: SocketAddr,
-    assoc: Association,
+    core: EngineCore,
+    key: FlowKey,
     start: Instant,
     rng: StdRng,
     peer_key: Option<PublicKey>,
@@ -86,6 +110,14 @@ pub struct HandshakeAuth<'a> {
     /// Demand a valid signature from the peer (trust-on-first-use; the
     /// verified key is surfaced via [`UdpHost::peer_key`]).
     pub require_peer: bool,
+}
+
+fn single_flow_engine(cfg: Config) -> EngineCore {
+    // A UdpHost serves exactly the association it handshook; stray HS1s
+    // from other parties are dropped, as the pre-engine transport did.
+    let mut ecfg = EngineConfig::new(cfg);
+    ecfg.accept_handshakes = false;
+    EngineCore::new(ecfg)
 }
 
 impl UdpHost {
@@ -102,6 +134,11 @@ impl UdpHost {
     }
 
     /// [`UdpHost::connect`] with optional protected bootstrapping.
+    ///
+    /// The HS1 is resent on a full-jitter exponential backoff schedule
+    /// (~100 ms doubling to 1.6 s) instead of a fixed interval, so a
+    /// thundering herd of connecting hosts decorrelates; on timeout the
+    /// attempt count is reported in [`TransportError::Timeout`].
     pub fn connect_with<A: ToSocketAddrs, B: ToSocketAddrs>(
         cfg: Config,
         assoc_id: u64,
@@ -111,7 +148,6 @@ impl UdpHost {
         auth: HandshakeAuth<'_>,
     ) -> Result<UdpHost, TransportError> {
         let socket = UdpSocket::bind(bind)?;
-        socket.set_read_timeout(Some(READ_TIMEOUT))?;
         let peer = peer
             .to_socket_addrs()?
             .next()
@@ -125,17 +161,23 @@ impl UdpHost {
         };
         let deadline = Instant::now() + timeout;
         let init_bytes = init_pkt.emit();
+        let mut backoff = Backoff::handshake();
         socket.send_to(&init_bytes, peer)?;
+        let mut next_resend = Instant::now() + backoff.next_delay(&mut rng);
         let mut buf = vec![0u8; MAX_DATAGRAM];
-        let mut last_resend = Instant::now();
         loop {
-            if Instant::now() > deadline {
-                return Err(TransportError::Timeout);
+            let now = Instant::now();
+            if now > deadline {
+                return Err(TransportError::Timeout { attempts: backoff.attempts() });
             }
-            if last_resend.elapsed() > Duration::from_millis(200) {
+            if now >= next_resend {
                 socket.send_to(&init_bytes, peer)?;
-                last_resend = Instant::now();
+                next_resend = now + backoff.next_delay(&mut rng);
             }
+            let wait = next_resend
+                .saturating_duration_since(now)
+                .clamp(MIN_READ_TIMEOUT, MAX_READ_TIMEOUT);
+            socket.set_read_timeout(Some(wait))?;
             let Ok((n, _from)) = socket.recv_from(&mut buf) else {
                 continue;
             };
@@ -144,14 +186,7 @@ impl UdpHost {
             };
             match hs.complete(&pkt, require) {
                 Ok((assoc, peer_key)) => {
-                    return Ok(UdpHost {
-                        socket,
-                        peer,
-                        assoc,
-                        start: Instant::now(),
-                        rng,
-                        peer_key,
-                    });
+                    return Ok(UdpHost::from_parts(socket, peer, assoc, rng, peer_key));
                 }
                 Err(e) => return Err(TransportError::Protocol(e)),
             }
@@ -176,7 +211,7 @@ impl UdpHost {
         auth: HandshakeAuth<'_>,
     ) -> Result<UdpHost, TransportError> {
         let socket = UdpSocket::bind(bind)?;
-        socket.set_read_timeout(Some(READ_TIMEOUT))?;
+        socket.set_read_timeout(Some(MAX_READ_TIMEOUT))?;
         let require = if auth.require_peer {
             AuthRequirement::AnyKey
         } else {
@@ -187,7 +222,8 @@ impl UdpHost {
         let mut rng = StdRng::from_entropy();
         loop {
             if Instant::now() > deadline {
-                return Err(TransportError::Timeout);
+                // The acceptor never transmits before an HS1 arrives.
+                return Err(TransportError::Timeout { attempts: 0 });
             }
             let Ok((n, from)) = socket.recv_from(&mut buf) else {
                 continue;
@@ -198,18 +234,24 @@ impl UdpHost {
             match bootstrap::respond(cfg, &pkt, auth.identity, require, &mut rng) {
                 Ok((assoc, reply, peer_key)) => {
                     socket.send_to(&reply.emit(), from)?;
-                    return Ok(UdpHost {
-                        socket,
-                        peer: from,
-                        assoc,
-                        start: Instant::now(),
-                        rng,
-                        peer_key,
-                    });
+                    return Ok(UdpHost::from_parts(socket, from, assoc, rng, peer_key));
                 }
                 Err(_) => continue, // stray or unauthorized handshake
             }
         }
+    }
+
+    fn from_parts(
+        socket: UdpSocket,
+        peer: SocketAddr,
+        assoc: Association,
+        rng: StdRng,
+        peer_key: Option<PublicKey>,
+    ) -> UdpHost {
+        let start = Instant::now();
+        let core = single_flow_engine(*assoc.config());
+        let key = core.add_host(peer, assoc, Timestamp::ZERO);
+        UdpHost { socket, core, key, start, rng, peer_key }
     }
 
     /// The peer's verified public key, when the handshake was protected.
@@ -228,10 +270,46 @@ impl UdpHost {
         Timestamp::from_micros(self.start.elapsed().as_micros() as u64)
     }
 
-    /// Access the association (e.g. for buffer statistics).
+    /// The engine core serving this host's association.
     #[must_use]
-    pub fn association(&self) -> &Association {
-        &self.assoc
+    pub fn engine(&self) -> &EngineCore {
+        &self.core
+    }
+
+    /// Run `f` against the association (e.g. for buffer statistics).
+    pub fn with_association<R>(&self, f: impl FnOnce(&mut Association) -> R) -> R {
+        self.core.with_association(self.key, f).expect("host flow always present")
+    }
+
+    /// Block on the socket until the engine's next timer deadline (or
+    /// the caps), then drain one datagram through the engine.
+    fn pump_once(&mut self, inbound: &mut Vec<Vec<u8>>) -> Result<(), TransportError> {
+        let wait = match self.core.next_deadline() {
+            Some(t) => Duration::from_micros(t.since(self.now()))
+                .clamp(MIN_READ_TIMEOUT, MAX_READ_TIMEOUT),
+            None => MAX_READ_TIMEOUT,
+        };
+        self.socket.set_read_timeout(Some(wait))?;
+        let mut buf = [0u8; MAX_DATAGRAM];
+        if let Ok((n, from)) = self.socket.recv_from(&mut buf) {
+            let out = self.core.handle_datagram(from, &buf[..n], self.now(), &mut self.rng);
+            self.flush(out, inbound)?;
+        }
+        let out = self.core.poll(self.now(), &mut self.rng);
+        self.flush(out, inbound)?;
+        Ok(())
+    }
+
+    fn flush(
+        &self,
+        out: EngineOutput,
+        inbound: &mut Vec<Vec<u8>>,
+    ) -> Result<(), TransportError> {
+        for (dst, bytes) in &out.datagrams {
+            self.socket.send_to(bytes, *dst)?;
+        }
+        inbound.extend(out.delivered.into_iter().map(|(_, _, p)| p));
+        Ok(())
     }
 
     /// Send one batch through a full signature exchange, driving
@@ -245,51 +323,21 @@ impl UdpHost {
         timeout: Duration,
     ) -> Result<Vec<Vec<u8>>, TransportError> {
         let now = self.now();
-        let s1 = self.assoc.sign_batch(messages, mode, now)?;
-        self.socket.send_to(&s1.emit(), self.peer)?;
-        let deadline = Instant::now() + timeout;
+        let out = self.core.sign_batch(self.key, messages, mode, now)?;
+        let mut attempts = out.datagrams.len() as u32;
         let mut inbound = Vec::new();
-        let mut buf = vec![0u8; MAX_DATAGRAM];
-        while !self.assoc.signer().is_idle() {
+        self.flush(out, &mut inbound)?;
+        let deadline = Instant::now() + timeout;
+        while !self.core.flow_is_idle(self.key) {
             if Instant::now() > deadline {
-                return Err(TransportError::Timeout);
+                return Err(TransportError::Timeout { attempts });
             }
-            // Timers.
-            let out = self.assoc.poll(self.now());
-            self.send_packets(&out.packets)?;
-            // Network (frames may be piggyback bundles).
-            let Ok((n, _)) = self.socket.recv_from(&mut buf) else {
-                continue;
-            };
-            let Ok(pkts) = alpha_wire::bundle::parse(&buf[..n]) else {
-                continue;
-            };
-            for pkt in pkts {
-                let now = self.now();
-                if let Ok(resp) = self.assoc.handle(&pkt, now, &mut self.rng) {
-                    self.send_packets(&resp.packets)?;
-                    inbound.extend(resp.deliveries.into_iter().map(|(_, p)| p));
-                }
-            }
+            let sent_before = self.core.metrics().packets_out.load(std::sync::atomic::Ordering::Relaxed);
+            self.pump_once(&mut inbound)?;
+            let sent_after = self.core.metrics().packets_out.load(std::sync::atomic::Ordering::Relaxed);
+            attempts += (sent_after - sent_before) as u32;
         }
         Ok(inbound)
-    }
-
-    /// Transmit packets, piggybacking multi-packet responses into bundle
-    /// frames (§3.2.1) chunked at the wire limit.
-    fn send_packets(&self, packets: &[Packet]) -> Result<(), TransportError> {
-        match packets {
-            [] => {}
-            [one] => {
-                self.socket.send_to(&one.emit(), self.peer)?;
-            }
-            many => {
-                for chunk in many.chunks(alpha_wire::limits::MAX_BUNDLE) {
-                    self.socket.send_to(&alpha_wire::bundle::emit(chunk), self.peer)?;
-                }
-            }
-        }
-        Ok(())
     }
 
     /// Serve the receiving side for `duration`, answering protocol packets
@@ -297,41 +345,25 @@ impl UdpHost {
     pub fn serve(&mut self, duration: Duration) -> Result<Vec<Vec<u8>>, TransportError> {
         let deadline = Instant::now() + duration;
         let mut delivered = Vec::new();
-        let mut buf = vec![0u8; MAX_DATAGRAM];
         while Instant::now() < deadline {
-            let out = self.assoc.poll(self.now());
-            self.send_packets(&out.packets)?;
-            let Ok((n, _)) = self.socket.recv_from(&mut buf) else {
-                continue;
-            };
-            let Ok(pkts) = alpha_wire::bundle::parse(&buf[..n]) else {
-                continue;
-            };
-            for pkt in pkts {
-                let now = self.now();
-                if let Ok(resp) = self.assoc.handle(&pkt, now, &mut self.rng) {
-                    self.send_packets(&resp.packets)?;
-                    delivered.extend(resp.deliveries.into_iter().map(|(_, p)| p));
-                }
-            }
+            self.pump_once(&mut delivered)?;
         }
         Ok(delivered)
     }
 }
 
 /// An on-path UDP middlebox: forwards datagrams between two sides while
-/// verifying them with an [`alpha_core::Relay`].
+/// verifying them with a relay-role engine flow per association.
 pub struct UdpRelay {
     socket: UdpSocket,
-    left: SocketAddr,
-    right: SocketAddr,
-    relay: Relay,
+    core: EngineCore,
     start: Instant,
     /// Verified payloads extracted in transit.
     pub extracted: Vec<Vec<u8>>,
-    /// Packets dropped, by reason.
+    /// Packets dropped, by any cause (verification, admission,
+    /// backpressure, or unparseable frames).
     pub dropped: u64,
-    /// Packets forwarded.
+    /// Datagrams forwarded.
     pub forwarded: u64,
 }
 
@@ -344,12 +376,17 @@ impl UdpRelay {
         cfg: RelayConfig,
     ) -> Result<UdpRelay, TransportError> {
         let socket = UdpSocket::bind(bind)?;
-        socket.set_read_timeout(Some(READ_TIMEOUT))?;
+        socket.set_read_timeout(Some(MAX_READ_TIMEOUT))?;
+        // Relay-only engine: host config is irrelevant but required, and
+        // unknown-flow HS1s must never stand up host state here.
+        let mut ecfg = EngineConfig::new(Config::new(alpha_crypto::Algorithm::Sha1));
+        ecfg.relay = cfg;
+        ecfg.accept_handshakes = false;
+        let core = EngineCore::new(ecfg);
+        core.add_route(left, right);
         Ok(UdpRelay {
             socket,
-            left,
-            right,
-            relay: Relay::new(cfg),
+            core,
             start: Instant::now(),
             extracted: Vec::new(),
             dropped: 0,
@@ -362,42 +399,34 @@ impl UdpRelay {
         self.socket.local_addr()
     }
 
+    /// The relay's engine core (metrics, flow counts).
+    #[must_use]
+    pub fn engine(&self) -> &EngineCore {
+        &self.core
+    }
+
     /// Forward and verify for `duration`.
     pub fn run_for(&mut self, duration: Duration) -> Result<(), TransportError> {
         let deadline = Instant::now() + duration;
         let mut buf = vec![0u8; MAX_DATAGRAM];
+        let mut rng = StdRng::from_entropy();
         while Instant::now() < deadline {
             let Ok((n, from)) = self.socket.recv_from(&mut buf) else {
                 continue;
             };
-            let dst = if from == self.left { self.right } else { self.left };
-            let Ok(pkts) = alpha_wire::bundle::parse(&buf[..n]) else {
-                self.dropped += 1;
-                continue;
-            };
             let now = Timestamp::from_micros(self.start.elapsed().as_micros() as u64);
-            let mut pass = Vec::with_capacity(pkts.len());
-            for pkt in pkts {
-                let (decision, events) = self.relay.observe(&pkt, now);
-                for ev in events {
-                    if let alpha_core::RelayEvent::VerifiedPayload { payload, .. } = ev {
-                        self.extracted.push(payload);
-                    }
-                }
-                match decision {
-                    RelayDecision::Forward => pass.push(pkt),
-                    RelayDecision::Drop(_) => self.dropped += 1,
-                }
+            let out = self.core.handle_datagram(from, &buf[..n], now, &mut rng);
+            for (dst, bytes) in &out.datagrams {
+                self.socket.send_to(bytes, *dst)?;
             }
-            if !pass.is_empty() {
-                self.forwarded += 1;
-                let bytes = if pass.len() == 1 {
-                    pass[0].emit()
-                } else {
-                    alpha_wire::bundle::emit(&pass)
-                };
-                self.socket.send_to(&bytes, dst)?;
-            }
+            self.forwarded += out.datagrams.len() as u64;
+            self.extracted.extend(out.extracted.into_iter().map(|(_, p)| p));
+            let m = self.core.metrics();
+            use std::sync::atomic::Ordering::Relaxed;
+            self.dropped = m.total_drops()
+                + m.admission_drops.load(Relaxed)
+                + m.backpressure_drops.load(Relaxed)
+                + m.parse_errors.load(Relaxed);
         }
         Ok(())
     }
@@ -487,6 +516,25 @@ mod tests {
         assert_eq!(delivered.len(), 3);
         assert!(forwarded >= 5, "handshake + exchange forwarded");
         assert_eq!(extracted.len(), 3, "relay verified every payload");
+    }
+
+    #[test]
+    fn timeout_reports_attempts() {
+        // Nobody listens on this socket: connect must retry with
+        // backoff and report how often it tried.
+        let victim = UdpSocket::bind("127.0.0.1:0").unwrap();
+        let addr = victim.local_addr().unwrap();
+        let res = UdpHost::connect(cfg(), 9, "127.0.0.1:0", addr, Duration::from_millis(900));
+        match res {
+            Err(TransportError::Timeout { attempts }) => {
+                assert!(
+                    (2..=8).contains(&attempts),
+                    "expected a few backoff attempts in 900 ms, got {attempts}"
+                );
+            }
+            Err(other) => panic!("expected timeout, got {other}"),
+            Ok(_) => panic!("expected timeout, connected to a mute socket"),
+        }
     }
 }
 

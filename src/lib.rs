@@ -19,6 +19,8 @@
 //! - [`sim`] — a discrete-event multi-hop network simulator with calibrated
 //!   device cost models standing in for the paper's testbed hardware.
 //! - [`transport`] — a real UDP transport driving the sans-io core.
+//! - [`engine`] — a sharded multi-flow engine serving thousands of
+//!   concurrent associations (host and relay roles) over shared sockets.
 //! - [`baselines`] — TESLA, µTESLA, pairwise hop-HMAC and per-packet
 //!   public-key signing, the comparison points from the paper's §2.
 //!
@@ -50,6 +52,7 @@ pub use alpha_baselines as baselines;
 pub use alpha_bignum as bignum;
 pub use alpha_core as core;
 pub use alpha_crypto as crypto;
+pub use alpha_engine as engine;
 pub use alpha_pk as pk;
 pub use alpha_sim as sim;
 pub use alpha_transport as transport;

@@ -1,0 +1,335 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `crossbeam::channel` — multi-producer multi-consumer
+//! channels with the same disconnect semantics as crossbeam-channel
+//! (send fails once all receivers are gone; recv drains the queue and
+//! then fails once all senders are gone). Built on Mutex + Condvar
+//! rather than a lock-free queue: the engine's demux channels move
+//! whole datagrams at network rates, where a well-shaped mutex queue
+//! is nowhere near the bottleneck.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half; clonable (MPMC).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half; clonable (MPMC).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The channel is disconnected (no receivers); the value comes back.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is empty and disconnected (no senders).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a non-blocking receive returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Nothing queued and every sender is gone.
+        Disconnected,
+    }
+
+    /// Why a bounded receive returned nothing.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed.
+        Timeout,
+        /// Nothing queued and every sender is gone.
+        Disconnected,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Channel with no capacity bound.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(None)
+    }
+
+    /// Channel holding at most `cap` queued values; senders block when full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_cap(Some(cap.max(1)))
+    }
+
+    fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { inner: inner.clone() }, Receiver { inner })
+    }
+
+    fn lock<T>(inner: &Inner<T>) -> std::sync::MutexGuard<'_, State<T>> {
+        inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    impl<T> Sender<T> {
+        /// Queue `value`, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.inner);
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                let full = self.inner.cap.is_some_and(|c| st.queue.len() >= c);
+                if !full {
+                    st.queue.push_back(value);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self
+                    .inner
+                    .not_full
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        /// Queue `value` only if there is room right now.
+        pub fn try_send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = lock(&self.inner);
+            if st.receivers == 0 || self.inner.cap.is_some_and(|c| st.queue.len() >= c) {
+                return Err(SendError(value));
+            }
+            st.queue.push_back(value);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Queued values right now.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            lock(&self.inner).queue.len()
+        }
+
+        /// Whether the queue is empty right now.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Take the next value, blocking until one arrives or all
+        /// senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = lock(&self.inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self
+                    .inner
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        }
+
+        /// As [`Receiver::recv`] with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = lock(&self.inner);
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                st = g;
+            }
+        }
+
+        /// Take the next value only if one is already queued.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = lock(&self.inner);
+            if let Some(v) = st.queue.pop_front() {
+                self.inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Queued values right now.
+        #[must_use]
+        pub fn len(&self) -> usize {
+            lock(&self.inner).queue.len()
+        }
+
+        /// Whether the queue is empty right now.
+        #[must_use]
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            lock(&self.inner).senders += 1;
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Receiver<T> {
+            lock(&self.inner).receivers += 1;
+            Receiver { inner: self.inner.clone() }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.inner);
+            st.senders -= 1;
+            if st.senders == 0 {
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = lock(&self.inner);
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_order() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn disconnect_semantics() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(1).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Err(RecvError));
+
+            let (tx, rx) = unbounded::<u32>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (_tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn mpmc_across_threads() {
+            let (tx, rx) = bounded::<u64>(4);
+            let mut handles = Vec::new();
+            for t in 0..3 {
+                let tx = tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        tx.send(t * 1000 + i).unwrap();
+                    }
+                }));
+            }
+            drop(tx);
+            let mut consumers = Vec::new();
+            for _ in 0..2 {
+                let rx = rx.clone();
+                consumers.push(std::thread::spawn(move || {
+                    let mut got = 0u64;
+                    while rx.recv().is_ok() {
+                        got += 1;
+                    }
+                    got
+                }));
+            }
+            drop(rx);
+            for h in handles {
+                h.join().unwrap();
+            }
+            let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+            assert_eq!(total, 300);
+        }
+    }
+}

@@ -1,0 +1,587 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no crates.io registry, so this crate
+//! reimplements the slice of the proptest 1.x API the workspace's
+//! property tests use: [`strategy::Strategy`] with `prop_map` /
+//! `prop_flat_map`, tuple and range strategies, [`collection::vec`],
+//! `any::<T>()`, `prop_oneof!`, and the `proptest! { #[test] fn f(x in
+//! strat) { .. } }` runner with `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **No shrinking.** A failing case reports the seed it was generated
+//!   from; rerun with `PROPTEST_SEED=<seed>` to reproduce exactly.
+//! - Generation is a plain function of an RNG, not a value tree.
+//! - Case counts honor `ProptestConfig::with_cases` and the
+//!   `PROPTEST_CASES` env var.
+
+pub use runner::TestCaseError;
+
+/// Runner configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generate an intermediate value, then generate from the
+        /// strategy `f` builds out of it.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Type-erase this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) base: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Choose uniformly among `arms` each generation.
+        #[must_use]
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut StdRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — canonical strategies per type.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, Standard};
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arb_standard {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    arb_standard!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut StdRng) -> f64 {
+            f64::sample_standard(rng)
+        }
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        fn arbitrary(rng: &mut StdRng) -> [u8; N] {
+            let mut out = [0u8; N];
+            rng.fill_bytes(&mut out);
+            out
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Element-count bounds for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// `Vec`s of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod runner {
+    //! The per-test case loop behind the `proptest!` macro.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Why one generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` filtered the case out; it does not count.
+        Reject(String),
+        /// A `prop_assert!` failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// An assumption-violation rejection.
+        #[must_use]
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// A hard failure.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `f` for the configured number of cases. Each case gets its
+    /// own sub-seed so a failure can be reproduced in isolation via
+    /// `PROPTEST_SEED=<reported seed>`.
+    pub fn run<F>(config: &super::ProptestConfig, test_name: &str, mut f: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let forced_seed = std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse::<u64>().ok());
+        let cases = match forced_seed {
+            Some(_) => 1,
+            None => std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse::<u32>().ok())
+                .unwrap_or(config.cases)
+                .max(1),
+        };
+        let base = fnv1a(test_name);
+        let mut accepted = 0u32;
+        let mut rejected = 0u64;
+        let max_rejects = u64::from(cases) * 64 + 1024;
+        let mut case_index = 0u64;
+        while accepted < cases {
+            let seed = forced_seed.unwrap_or(base ^ case_index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Decorrelate from other tests that share a case index.
+            let _ = rng.next_u64();
+            case_index += 1;
+            match f(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "{test_name}: too many prop_assume! rejections ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "{test_name}: case {} failed (reproduce with PROPTEST_SEED={seed}): {msg}",
+                        accepted + 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the test files import with `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        ProptestConfig, TestCaseError,
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Soft assertion: fails the current case with location info.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} at {}:{}",
+                format_args!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Soft equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}: `{} == {}`\n  left: {:?}\n right: {:?}",
+            format_args!($($fmt)+),
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Soft inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($parm:pat in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::runner::run(&config, stringify!($name), |__proptest_rng| {
+                $(let $parm = $crate::strategy::Strategy::generate(&($strategy), __proptest_rng);)+
+                $body
+                ::core::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn map_preserves_invariant(x in evens()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_vecs(
+            (a, b) in (0u32..10, 10u32..20),
+            v in crate::collection::vec(any::<u8>(), 3..7),
+        ) {
+            prop_assert!(a < 10 && (10..20).contains(&b));
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_hits_every_arm(x in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in any::<u8>()) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_dependent_generation() {
+        let strat = (1usize..5).prop_flat_map(|n| crate::collection::vec(Just(n), n));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use rand::SeedableRng as _;
+        for _ in 0..32 {
+            let v = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!(!v.is_empty() && v.len() == v[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "PROPTEST_SEED")]
+    fn failure_reports_seed() {
+        let config = ProptestConfig::with_cases(4);
+        crate::runner::run(&config, "failure_reports_seed", |_rng| {
+            Err(TestCaseError::fail("always fails"))
+        });
+    }
+}
