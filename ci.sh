@@ -1,6 +1,6 @@
 #!/bin/sh
 # CI gate. Tier-1 first (the whole workspace must build and test), then
-# style/lint gates on the engine crate, which is held to -D warnings.
+# style/lint gates on the whole workspace, held to -D warnings.
 set -eu
 
 echo "==> tier 1: build (release)"
@@ -9,10 +9,10 @@ cargo build --release
 echo "==> tier 1: test"
 cargo test -q
 
-echo "==> fmt check (engine crate)"
-cargo fmt -p alpha-engine --check
+echo "==> fmt check (workspace)"
+cargo fmt --all --check
 
-echo "==> clippy -D warnings (engine crate)"
-cargo clippy -p alpha-engine --all-targets -- -D warnings
+echo "==> clippy -D warnings (workspace)"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> ci OK"

@@ -1,0 +1,378 @@
+//! Per-flow channel estimation.
+//!
+//! The estimator turns per-exchange outcomes into three smoothed signals
+//! the mode controller acts on:
+//!
+//! - **Loss** — an EWMA over the *retransmission fraction* of each
+//!   exchange (retransmitted packets / packets sent). This deliberately
+//!   measures *effective* loss as the signer experiences it: under the
+//!   flat pre-ack commit (Base/ALPHA-C) a single lost S2 forces the whole
+//!   bundle to be resent, so the same channel reads hotter in a
+//!   retransmit-all mode than under AMT selective repeat. That
+//!   amplification is exactly the cost the controller must steer away
+//!   from, so it is a feature of the signal, not a bias to correct.
+//! - **RTT** — RFC 6298 smoothing (SRTT/RTTVAR, RTO = SRTT + 4·RTTVAR)
+//!   over S1→A1 samples, with Karn's rule: an exchange whose S1 was
+//!   retransmitted contributes no sample.
+//! - **Goodput per auth byte** — delivered payload bytes divided by
+//!   authentication overhead bytes actually put on the wire, accounted on
+//!   top of [`Mode::s1_wire_len`] / [`Mode::s2_overhead`]-shaped packets
+//!   (the full S1, and every S2's non-payload bytes, retransmissions
+//!   included). This is the efficiency the adaptive_modes bench sweeps.
+
+use alpha_core::Mode;
+use serde::Value;
+
+use crate::AdaptConfig;
+
+/// Which of the four operating modes an exchange used, without the
+/// [`Mode::CumulativeMerkle`] payload (the controller tracks
+/// `leaves_per_tree` separately in its configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeKind {
+    /// One message per exchange.
+    Base,
+    /// ALPHA-C: flat pre-signature list, flat pre-ack.
+    Cumulative,
+    /// ALPHA-M: one Merkle root, per-S2 authentication paths, AMT acks.
+    Merkle,
+    /// ALPHA-C+M: a forest of shallow trees, AMT acks.
+    CumulativeMerkle,
+}
+
+impl ModeKind {
+    /// The kind of a concrete [`Mode`].
+    #[must_use]
+    pub fn of(mode: Mode) -> ModeKind {
+        match mode {
+            Mode::Base => ModeKind::Base,
+            Mode::Cumulative => ModeKind::Cumulative,
+            Mode::Merkle => ModeKind::Merkle,
+            Mode::CumulativeMerkle { .. } => ModeKind::CumulativeMerkle,
+        }
+    }
+
+    /// Stable lower-case label for JSON snapshots and CLI output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ModeKind::Base => "base",
+            ModeKind::Cumulative => "cumulative",
+            ModeKind::Merkle => "merkle",
+            ModeKind::CumulativeMerkle => "cumulative-merkle",
+        }
+    }
+}
+
+/// The observed outcome of one signature exchange, as accumulated by
+/// [`crate::FlowAdapt`] and fed to the estimator and policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ExchangeSample {
+    /// Mode the exchange ran in.
+    pub kind: ModeKind,
+    /// Messages bundled under the S1.
+    pub n: u32,
+    /// Times the S1 was put on the wire (1 = no retransmission).
+    pub s1_transmissions: u32,
+    /// S2 packets put on the wire, retransmissions included.
+    pub s2_transmissions: u32,
+    /// Explicit nack verdicts received.
+    pub nacks: u32,
+    /// Authentication overhead bytes transmitted (full S1s plus the
+    /// non-payload bytes of every S2).
+    pub auth_bytes: u64,
+    /// Payload bytes covered by the exchange (credited only when it
+    /// completed).
+    pub payload_bytes: u64,
+    /// Karn-valid S1→A1 round-trip sample, if any.
+    pub rtt_us: Option<u64>,
+    /// Whether the exchange completed (false: abandoned after retries).
+    pub completed: bool,
+}
+
+impl ExchangeSample {
+    /// The retransmission fraction of this exchange in `[0, 1]`: the
+    /// share of transmitted packets that were retransmissions. Abandoned
+    /// exchanges saturate to 1.0 — every byte was spent without a
+    /// delivery confirmation.
+    #[must_use]
+    pub fn loss_fraction(&self) -> f64 {
+        if !self.completed {
+            return 1.0;
+        }
+        let sent = self.s1_transmissions + self.s2_transmissions;
+        if sent == 0 {
+            return 0.0;
+        }
+        let expected = 1 + self.n.min(self.s2_transmissions);
+        let retx = sent.saturating_sub(expected);
+        f64::from(retx) / f64::from(sent)
+    }
+}
+
+/// Smoothed per-flow channel state. See the module docs for the three
+/// signals and their smoothing rules.
+#[derive(Debug, Clone)]
+pub struct ChannelEstimator {
+    cfg: AdaptConfig,
+    loss: f64,
+    have_loss: bool,
+    srtt_us: f64,
+    rttvar_us: f64,
+    have_rtt: bool,
+    efficiency: f64,
+    have_efficiency: bool,
+    total_exchanges: u64,
+    total_abandoned: u64,
+    total_auth_bytes: u64,
+    total_payload_bytes: u64,
+}
+
+impl ChannelEstimator {
+    /// A fresh estimator with no samples.
+    #[must_use]
+    pub fn new(cfg: AdaptConfig) -> ChannelEstimator {
+        ChannelEstimator {
+            cfg,
+            loss: 0.0,
+            have_loss: false,
+            srtt_us: 0.0,
+            rttvar_us: 0.0,
+            have_rtt: false,
+            efficiency: 0.0,
+            have_efficiency: false,
+            total_exchanges: 0,
+            total_abandoned: 0,
+            total_auth_bytes: 0,
+            total_payload_bytes: 0,
+        }
+    }
+
+    /// Fold one finished exchange into the smoothed signals.
+    pub fn observe(&mut self, sample: &ExchangeSample) {
+        let a = self.cfg.loss_alpha;
+        let loss = sample.loss_fraction();
+        if self.have_loss {
+            self.loss = (1.0 - a) * self.loss + a * loss;
+        } else {
+            self.loss = loss;
+            self.have_loss = true;
+        }
+        if sample.auth_bytes > 0 {
+            let eff = sample.payload_bytes as f64 / sample.auth_bytes as f64;
+            if self.have_efficiency {
+                self.efficiency = (1.0 - a) * self.efficiency + a * eff;
+            } else {
+                self.efficiency = eff;
+                self.have_efficiency = true;
+            }
+        }
+        if let Some(rtt) = sample.rtt_us {
+            self.rtt_sample(rtt);
+        }
+        self.total_exchanges += 1;
+        if !sample.completed {
+            self.total_abandoned += 1;
+        }
+        self.total_auth_bytes += sample.auth_bytes;
+        self.total_payload_bytes += sample.payload_bytes;
+    }
+
+    /// Fold one RTT measurement (RFC 6298 §2).
+    pub fn rtt_sample(&mut self, rtt_us: u64) {
+        let r = rtt_us as f64;
+        if self.have_rtt {
+            // RTTVAR before SRTT, per the RFC's update order.
+            self.rttvar_us = 0.75 * self.rttvar_us + 0.25 * (self.srtt_us - r).abs();
+            self.srtt_us = 0.875 * self.srtt_us + 0.125 * r;
+        } else {
+            self.srtt_us = r;
+            self.rttvar_us = r / 2.0;
+            self.have_rtt = true;
+        }
+    }
+
+    /// Smoothed effective loss estimate in `[0, 1]` (0.0 until the first
+    /// sample).
+    #[must_use]
+    pub fn loss_estimate(&self) -> f64 {
+        if self.have_loss {
+            self.loss
+        } else {
+            0.0
+        }
+    }
+
+    /// Smoothed round-trip time (µs), `None` until the first Karn-valid
+    /// sample.
+    #[must_use]
+    pub fn srtt_us(&self) -> Option<u64> {
+        self.have_rtt.then_some(self.srtt_us as u64)
+    }
+
+    /// Smoothed round-trip variance (µs), `None` until the first sample.
+    #[must_use]
+    pub fn rttvar_us(&self) -> Option<u64> {
+        self.have_rtt.then_some(self.rttvar_us as u64)
+    }
+
+    /// RFC 6298 retransmission timeout `SRTT + 4·RTTVAR`, clamped to the
+    /// configured bounds; `None` until an RTT sample exists.
+    #[must_use]
+    pub fn rto_us(&self) -> Option<u64> {
+        self.have_rtt.then(|| {
+            let rto = self.srtt_us + 4.0 * self.rttvar_us;
+            (rto as u64).clamp(self.cfg.min_rto_us, self.cfg.max_rto_us)
+        })
+    }
+
+    /// Smoothed goodput per authentication byte (payload bytes delivered
+    /// per overhead byte transmitted); 0.0 until the first sample.
+    #[must_use]
+    pub fn goodput_per_auth_byte(&self) -> f64 {
+        if self.have_efficiency {
+            self.efficiency
+        } else {
+            0.0
+        }
+    }
+
+    /// Lifetime goodput per auth byte (totals, not smoothed).
+    #[must_use]
+    pub fn lifetime_goodput_per_auth_byte(&self) -> f64 {
+        if self.total_auth_bytes == 0 {
+            0.0
+        } else {
+            self.total_payload_bytes as f64 / self.total_auth_bytes as f64
+        }
+    }
+
+    /// Exchanges observed.
+    #[must_use]
+    pub fn exchanges(&self) -> u64 {
+        self.total_exchanges
+    }
+
+    /// Exchanges abandoned after exhausting retransmissions.
+    #[must_use]
+    pub fn abandoned(&self) -> u64 {
+        self.total_abandoned
+    }
+
+    /// Total authentication overhead bytes observed.
+    #[must_use]
+    pub fn auth_bytes(&self) -> u64 {
+        self.total_auth_bytes
+    }
+
+    /// Total payload bytes credited.
+    #[must_use]
+    pub fn payload_bytes(&self) -> u64 {
+        self.total_payload_bytes
+    }
+
+    /// JSON snapshot of every smoothed signal and lifetime counter.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        Value::object([
+            ("loss".to_owned(), Value::F64(self.loss_estimate())),
+            (
+                "srtt_us".to_owned(),
+                Value::U64(self.srtt_us().unwrap_or(0)),
+            ),
+            (
+                "rttvar_us".to_owned(),
+                Value::U64(self.rttvar_us().unwrap_or(0)),
+            ),
+            ("rto_us".to_owned(), Value::U64(self.rto_us().unwrap_or(0))),
+            (
+                "goodput_per_auth_byte".to_owned(),
+                Value::F64(self.goodput_per_auth_byte()),
+            ),
+            (
+                "lifetime_goodput_per_auth_byte".to_owned(),
+                Value::F64(self.lifetime_goodput_per_auth_byte()),
+            ),
+            ("exchanges".to_owned(), Value::U64(self.total_exchanges)),
+            ("abandoned".to_owned(), Value::U64(self.total_abandoned)),
+            ("auth_bytes".to_owned(), Value::U64(self.total_auth_bytes)),
+            (
+                "payload_bytes".to_owned(),
+                Value::U64(self.total_payload_bytes),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_sample(n: u32) -> ExchangeSample {
+        ExchangeSample {
+            kind: ModeKind::Cumulative,
+            n,
+            s1_transmissions: 1,
+            s2_transmissions: n,
+            nacks: 0,
+            auth_bytes: 100,
+            payload_bytes: 1000,
+            rtt_us: Some(10_000),
+            completed: true,
+        }
+    }
+
+    #[test]
+    fn loss_fraction_counts_retransmissions() {
+        let mut s = clean_sample(8);
+        assert_eq!(s.loss_fraction(), 0.0);
+        s.s2_transmissions = 16; // the whole bundle resent once
+        let sent = 1.0 + 16.0;
+        assert!((s.loss_fraction() - 8.0 / sent).abs() < 1e-9);
+        s.completed = false;
+        assert_eq!(s.loss_fraction(), 1.0);
+    }
+
+    #[test]
+    fn ewma_loss_converges_and_decays() {
+        let mut est = ChannelEstimator::new(AdaptConfig::default());
+        for _ in 0..20 {
+            let mut s = clean_sample(8);
+            s.s2_transmissions = 16;
+            est.observe(&s);
+        }
+        let hot = est.loss_estimate();
+        assert!(hot > 0.3, "loss should read hot, got {hot}");
+        for _ in 0..30 {
+            est.observe(&clean_sample(8));
+        }
+        assert!(est.loss_estimate() < 0.05);
+    }
+
+    #[test]
+    fn rfc6298_rto_tracks_srtt_and_var() {
+        let mut est = ChannelEstimator::new(AdaptConfig::default());
+        est.rtt_sample(100_000);
+        assert_eq!(est.srtt_us(), Some(100_000));
+        assert_eq!(est.rttvar_us(), Some(50_000));
+        assert_eq!(est.rto_us(), Some(300_000));
+        for _ in 0..50 {
+            est.rtt_sample(100_000);
+        }
+        // Stable samples shrink the variance term toward the floor.
+        assert!(est.rto_us().unwrap() < 150_000);
+        assert!(est.rto_us().unwrap() >= AdaptConfig::default().min_rto_us);
+    }
+
+    #[test]
+    fn goodput_accounting_uses_totals() {
+        let mut est = ChannelEstimator::new(AdaptConfig::default());
+        est.observe(&clean_sample(4));
+        est.observe(&clean_sample(4));
+        assert!((est.lifetime_goodput_per_auth_byte() - 10.0).abs() < 1e-9);
+        assert_eq!(est.exchanges(), 2);
+        let snap = est.snapshot();
+        assert_eq!(snap.get("exchanges").unwrap().as_u64(), Some(2));
+        assert!(snap.get("loss").unwrap().as_f64().unwrap() < 1e-9);
+    }
+}

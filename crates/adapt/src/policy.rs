@@ -1,0 +1,399 @@
+//! Mode/bundle-size control policies.
+//!
+//! The default [`HysteresisPolicy`] is a three-rung ladder over the
+//! loss estimate, with AIMD bundle sizing inside each rung:
+//!
+//! ```text
+//!   loss →   Cumulative  ⇄  CumulativeMerkle  ⇄  Merkle
+//!            (flat acks)     (shallow forest,     (single root,
+//!                             AMT selective        smallest S1,
+//!                             repeat)              AMT selective
+//!                                                  repeat)
+//! ```
+//!
+//! Rationale (§3.3 of the paper): ALPHA-C amortizes one S1 over n
+//! messages at one hash of overhead each — unbeatable on a clean
+//! channel — but its flat pre-ack is all-or-nothing, so one lost S2
+//! resends the whole bundle and the expected cost grows like
+//! `(1-p)^-n`. The Merkle modes pay `h·(log₂ + 1)` per packet but their
+//! AMT verdicts enable selective repeat, so cost grows only like
+//! `(1-p)^-1`. C+M with shallow trees is the middle point; pure ALPHA-M
+//! is the storm rung: its S1 is the smallest of any bundled mode (one
+//! root regardless of n), maximizing the chance the exchange opens at
+//! all when every packet is a coin toss, and each S2 verifies
+//! independently.
+//!
+//! Rung changes are damped twice: the **raw per-exchange loss sample**
+//! must sit beyond the threshold for [`AdaptConfig::dwell`] consecutive
+//! exchanges (one amplified flat-ack spike decaying through the EWMA
+//! cannot fake a streak — any clean exchange resets it), and the enter
+//! thresholds are strictly above the exit thresholds, so a flow
+//! oscillating around one threshold latches instead of flapping.
+//!
+//! Bundle size is AIMD per rung: doubled after a retransmission-free
+//! exchange, halved on any loss, always a power of two within the
+//! rung's floor/cap.
+
+use crate::estimator::{ChannelEstimator, ExchangeSample, ModeKind};
+use crate::AdaptConfig;
+use alpha_core::Mode;
+
+/// What the controller wants the next exchange to look like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Operating mode family.
+    pub kind: ModeKind,
+    /// Target bundle size (messages under one S1), a power of two.
+    pub n: usize,
+}
+
+impl Decision {
+    /// The concrete [`Mode`] for a bundle of `take` messages
+    /// (`take ≤ self.n`; short final batches degrade gracefully).
+    /// A single-message cumulative bundle is exactly Base mode, and a
+    /// one-leaf tree is pointless, so `take == 1` always maps to Base —
+    /// its S1 is the smallest of all (§3.3 Fig. 2).
+    #[must_use]
+    pub fn mode_for(&self, take: usize, leaves_per_tree: usize) -> Mode {
+        if take <= 1 {
+            return Mode::Base;
+        }
+        match self.kind {
+            ModeKind::Base => Mode::Base,
+            ModeKind::Cumulative => Mode::Cumulative,
+            ModeKind::Merkle => Mode::Merkle,
+            ModeKind::CumulativeMerkle => Mode::CumulativeMerkle {
+                leaves_per_tree: leaves_per_tree.max(1).min(take),
+            },
+        }
+    }
+}
+
+/// A pluggable mode/bundle controller. Implementations are consulted
+/// once per finished exchange with the smoothed channel state, the raw
+/// sample, and their previous decision.
+pub trait ModePolicy: std::fmt::Debug + Send + Sync {
+    /// Pick the mode and bundle size for the next exchange.
+    fn decide(
+        &mut self,
+        est: &ChannelEstimator,
+        sample: &ExchangeSample,
+        prev: Decision,
+    ) -> Decision;
+
+    /// The decision to use before any exchange has completed.
+    fn initial(&self) -> Decision;
+
+    /// Clone this policy with its full control state (lets flow state
+    /// holding a boxed policy stay `Clone`).
+    fn clone_box(&self) -> Box<dyn ModePolicy>;
+}
+
+impl Clone for Box<dyn ModePolicy> {
+    fn clone(&self) -> Box<dyn ModePolicy> {
+        self.clone_box()
+    }
+}
+
+/// Ladder rungs, in escalation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Rung {
+    Cumulative,
+    Forest,
+    Merkle,
+}
+
+impl Rung {
+    fn kind(self) -> ModeKind {
+        match self {
+            Rung::Cumulative => ModeKind::Cumulative,
+            Rung::Forest => ModeKind::CumulativeMerkle,
+            Rung::Merkle => ModeKind::Merkle,
+        }
+    }
+}
+
+/// The default threshold ladder with dwell-count hysteresis (see the
+/// module docs for the rationale).
+#[derive(Debug, Clone)]
+pub struct HysteresisPolicy {
+    cfg: AdaptConfig,
+    rung: Rung,
+    n: usize,
+    /// Consecutive exchanges whose raw loss sample was beyond the next
+    /// rung's enter threshold.
+    escalate_streak: u32,
+    /// Consecutive exchanges whose raw loss sample was below the
+    /// current rung's exit threshold.
+    relax_streak: u32,
+    /// Consecutive retransmission-free exchanges, for damped AIMD
+    /// growth.
+    clean_streak: u32,
+}
+
+impl HysteresisPolicy {
+    /// A policy starting on the Cumulative rung with the minimum bundle.
+    #[must_use]
+    pub fn new(cfg: AdaptConfig) -> HysteresisPolicy {
+        HysteresisPolicy {
+            cfg,
+            rung: Rung::Cumulative,
+            n: cfg.min_n.max(1).next_power_of_two(),
+            escalate_streak: 0,
+            relax_streak: 0,
+            clean_streak: 0,
+        }
+    }
+
+    /// `(floor, cap)` for the bundle size on a rung. The forest rung
+    /// keeps at least one full tree; the Merkle rung caps n so the
+    /// per-S2 path (`log₂ n` hashes) stays shallow.
+    fn n_bounds(&self, rung: Rung) -> (usize, usize) {
+        let cap = self.cfg.max_n.max(1);
+        match rung {
+            Rung::Cumulative => (self.cfg.min_n.max(1), cap),
+            Rung::Forest => (self.cfg.leaves_per_tree.max(2).min(cap), cap),
+            Rung::Merkle => (2.min(cap), self.cfg.merkle_max_n.max(2).min(cap)),
+        }
+    }
+
+    /// Advance the dwell streaks with one exchange's **raw** loss
+    /// sample and move the rung when a streak reaches `dwell`.
+    ///
+    /// Streaks deliberately count raw samples, not the EWMA: with
+    /// flat-ack bundles a single lost packet amplifies into a resend of
+    /// the whole bundle, so one unlucky exchange produces a loss spike
+    /// that would sit above the enter threshold for several exchanges
+    /// while it decays through the EWMA. Raw samples make a streak mean
+    /// "`dwell` *independently* bad exchanges in a row", which is
+    /// vanishingly unlikely on a clean channel but near-certain under
+    /// sustained loss.
+    ///
+    /// `shrunk` says AIMD has already collapsed the bundle to the rung
+    /// floor. Escalation only counts while it holds: the cheap response
+    /// to loss is a smaller bundle, and at a large `n` a single short
+    /// burst amplifies into a misleadingly large raw sample (one lost
+    /// packet resends the whole bundle). Only when loss persists *after*
+    /// the bundle has been shrunk is a mode change warranted — that is
+    /// what separates sustained loss from occasional bursts.
+    fn step(&mut self, loss: f64, shrunk: bool) {
+        let c = &self.cfg;
+        let (enter_next, exit_here) = match self.rung {
+            Rung::Cumulative => (Some(c.forest_enter_loss), None),
+            Rung::Forest => (Some(c.merkle_enter_loss), Some(c.forest_exit_loss)),
+            Rung::Merkle => (None, Some(c.merkle_exit_loss)),
+        };
+        if shrunk && enter_next.is_some_and(|t| loss >= t) {
+            self.escalate_streak += 1;
+        } else {
+            self.escalate_streak = 0;
+        }
+        if exit_here.is_some_and(|t| loss <= t) {
+            self.relax_streak += 1;
+        } else {
+            self.relax_streak = 0;
+        }
+        if self.escalate_streak >= c.dwell {
+            self.rung = match self.rung {
+                Rung::Cumulative => Rung::Forest,
+                Rung::Forest | Rung::Merkle => Rung::Merkle,
+            };
+            self.escalate_streak = 0;
+            self.relax_streak = 0;
+        } else if self.relax_streak >= c.dwell {
+            self.rung = match self.rung {
+                Rung::Merkle => Rung::Forest,
+                Rung::Forest | Rung::Cumulative => Rung::Cumulative,
+            };
+            self.escalate_streak = 0;
+            self.relax_streak = 0;
+        }
+    }
+}
+
+/// Largest power of two `≤ x` (1 for `x == 0`).
+fn pow2_at_most(x: usize) -> usize {
+    if x == 0 {
+        1
+    } else {
+        1 << (usize::BITS - 1 - x.leading_zeros())
+    }
+}
+
+impl ModePolicy for HysteresisPolicy {
+    fn decide(
+        &mut self,
+        _est: &ChannelEstimator,
+        sample: &ExchangeSample,
+        _prev: Decision,
+    ) -> Decision {
+        let (floor, _) = self.n_bounds(self.rung);
+        let shrunk = self.n <= (floor * 2).max(2);
+        self.step(sample.loss_fraction(), shrunk);
+        // Bounds follow the (possibly new) rung chosen above.
+        let (floor, cap) = self.n_bounds(self.rung);
+        // AIMD in powers of two: back off on any retransmission or
+        // abandonment, grow on a retransmission-free exchange — but only
+        // from the *second* consecutive clean one. Holding after a
+        // backoff keeps the random walk from bouncing a full factor of
+        // two on every isolated burst, which moves the AIMD equilibrium
+        // from P(dirty) ≈ 1/2 down to ≈ 0.38 and roughly halves the
+        // oscillation amplitude around it.
+        let clean = sample.completed && sample.loss_fraction() == 0.0 && sample.nacks == 0;
+        self.clean_streak = if clean { self.clean_streak + 1 } else { 0 };
+        let next = if clean && self.clean_streak >= 2 {
+            self.n.saturating_mul(2)
+        } else if clean {
+            self.n
+        } else {
+            self.n / 2
+        };
+        self.n = pow2_at_most(next.clamp(floor.max(1), cap.max(1)));
+        if self.n < floor {
+            self.n = floor.next_power_of_two().min(pow2_at_most(cap.max(1)));
+        }
+        Decision {
+            kind: self.rung.kind(),
+            n: self.n.max(1),
+        }
+    }
+
+    fn initial(&self) -> Decision {
+        Decision {
+            kind: self.rung.kind(),
+            n: self.n,
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn ModePolicy> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: ModeKind, n: u32, retx: u32, completed: bool) -> ExchangeSample {
+        ExchangeSample {
+            kind,
+            n,
+            s1_transmissions: 1,
+            s2_transmissions: n + retx,
+            nacks: 0,
+            auth_bytes: 100,
+            payload_bytes: if completed { 256 * u64::from(n) } else { 0 },
+            rtt_us: None,
+            completed,
+        }
+    }
+
+    fn drive(
+        policy: &mut HysteresisPolicy,
+        est: &mut ChannelEstimator,
+        s: ExchangeSample,
+    ) -> Decision {
+        est.observe(&s);
+        let prev = policy.initial();
+        policy.decide(est, &s, prev)
+    }
+
+    #[test]
+    fn clean_channel_grows_cumulative_bundles() {
+        let cfg = AdaptConfig::default();
+        let mut p = HysteresisPolicy::new(cfg);
+        let mut est = ChannelEstimator::new(cfg);
+        let mut d = p.initial();
+        for _ in 0..10 {
+            d = drive(
+                &mut p,
+                &mut est,
+                sample(ModeKind::Cumulative, d.n as u32, 0, true),
+            );
+        }
+        assert_eq!(d.kind, ModeKind::Cumulative);
+        assert_eq!(d.n, cfg.max_n);
+        assert!(d.n.is_power_of_two());
+    }
+
+    #[test]
+    fn sustained_loss_escalates_to_merkle_and_recovers() {
+        let cfg = AdaptConfig::default();
+        let mut p = HysteresisPolicy::new(cfg);
+        let mut est = ChannelEstimator::new(cfg);
+        let mut d = p.initial();
+        // Heavy loss: whole-bundle retransmissions, some abandonments.
+        let mut seen = vec![d.kind];
+        for i in 0..30 {
+            let n = d.n as u32;
+            d = drive(&mut p, &mut est, sample(d.kind, n, 2 * n, i % 3 != 0));
+            seen.push(d.kind);
+        }
+        assert_eq!(
+            d.kind,
+            ModeKind::Merkle,
+            "ladder should top out, saw {seen:?}"
+        );
+        assert!(d.n <= cfg.merkle_max_n);
+        // Ladder steps through the forest rung on the way up.
+        assert!(seen.contains(&ModeKind::CumulativeMerkle));
+        // Recovery: clean exchanges walk back down to Cumulative.
+        for _ in 0..30 {
+            d = drive(&mut p, &mut est, sample(d.kind, d.n as u32, 0, true));
+        }
+        assert_eq!(d.kind, ModeKind::Cumulative);
+    }
+
+    #[test]
+    fn hysteresis_latches_between_exit_and_enter_thresholds() {
+        let cfg = AdaptConfig::default();
+        let mut p = HysteresisPolicy::new(cfg);
+        let mut est = ChannelEstimator::new(cfg);
+        // Push the flow onto the forest rung with moderate loss...
+        let mut d = p.initial();
+        for _ in 0..10 {
+            d = drive(&mut p, &mut est, sample(d.kind, 8, 3, true));
+        }
+        assert_eq!(d.kind, ModeKind::CumulativeMerkle);
+        // ...then hold the loss estimate in the dead band between
+        // forest_exit_loss and merkle_enter_loss: one mild-loss exchange
+        // alternating with one clean one. The rung must latch — zero
+        // further switches in either direction.
+        let mut switches = 0;
+        let mut prev_kind = d.kind;
+        for i in 0..40 {
+            let retx = if i % 2 == 0 { 1 } else { 0 };
+            d = drive(&mut p, &mut est, sample(d.kind, 8, retx, true));
+            let loss = est.loss_estimate();
+            assert!(
+                loss > cfg.forest_exit_loss && loss < cfg.merkle_enter_loss,
+                "test drifted out of the dead band: {loss}"
+            );
+            if d.kind != prev_kind {
+                switches += 1;
+            }
+            prev_kind = d.kind;
+        }
+        assert_eq!(switches, 0, "rung flapped inside the dead band");
+        assert_eq!(d.kind, ModeKind::CumulativeMerkle);
+    }
+
+    #[test]
+    fn decision_maps_to_concrete_modes() {
+        let d = Decision {
+            kind: ModeKind::CumulativeMerkle,
+            n: 16,
+        };
+        assert_eq!(
+            d.mode_for(16, 4),
+            Mode::CumulativeMerkle { leaves_per_tree: 4 }
+        );
+        assert_eq!(d.mode_for(1, 4), Mode::Base);
+        let m = Decision {
+            kind: ModeKind::Merkle,
+            n: 8,
+        };
+        assert_eq!(m.mode_for(8, 4), Mode::Merkle);
+        assert_eq!(m.mode_for(3, 4), Mode::Merkle);
+    }
+}

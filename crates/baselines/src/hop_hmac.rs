@@ -31,7 +31,10 @@ impl HopNode {
     /// A node with no keys yet.
     #[must_use]
     pub fn new(alg: Algorithm) -> HopNode {
-        HopNode { alg, keys: Vec::new() }
+        HopNode {
+            alg,
+            keys: Vec::new(),
+        }
     }
 
     /// Install a pairwise key with `neighbor` (call on both ends with the
@@ -42,7 +45,10 @@ impl HopNode {
     }
 
     fn key_for(&self, neighbor: usize) -> Option<&[u8; 32]> {
-        self.keys.iter().find(|(n, _)| *n == neighbor).map(|(_, k)| k)
+        self.keys
+            .iter()
+            .find(|(n, _)| *n == neighbor)
+            .map(|(_, k)| k)
     }
 
     /// Emit `payload` toward `next`.

@@ -139,7 +139,12 @@ impl TeslaSender {
         let disclosed_key = epoch
             .checked_sub(self.cfg.disclosure_lag)
             .and_then(|e| self.key_of(e).map(|k| (e, k)));
-        Some(TeslaPacket { epoch, payload: payload.to_vec(), mac, disclosed_key })
+        Some(TeslaPacket {
+            epoch,
+            payload: payload.to_vec(),
+            mac,
+            disclosed_key,
+        })
     }
 }
 
@@ -232,7 +237,9 @@ impl TeslaReceiver {
             .anchor_index
             .checked_sub(1 + epoch)
             .ok_or(TeslaError::BadKey)?;
-        self.verifier.accept(idx, &key).map_err(|_| TeslaError::BadKey)?;
+        self.verifier
+            .accept(idx, &key)
+            .map_err(|_| TeslaError::BadKey)?;
         self.keys.push((epoch, key));
         Ok(())
     }
@@ -307,10 +314,7 @@ mod tests {
         let mut p0 = sender.send(b"genuine", t(0.1, &cfg)).unwrap();
         p0.payload[0] ^= 1;
         receiver.receive(p0, t(0.2, &cfg)).unwrap();
-        let delivered = receiver.receive_key(
-            0,
-            key_for_test(&sender, 0),
-        );
+        let delivered = receiver.receive_key(0, key_for_test(&sender, 0));
         assert_eq!(delivered.unwrap(), Vec::<Vec<u8>>::new());
         assert_eq!(receiver.buffered(), 0);
     }
@@ -324,7 +328,10 @@ mod tests {
         let cfg = TeslaConfig::new(Algorithm::Sha1);
         let (_sender, mut receiver) = setup(cfg);
         let junk = Algorithm::Sha1.hash(b"not a chain element");
-        assert_eq!(receiver.receive_key(0, junk).unwrap_err(), TeslaError::BadKey);
+        assert_eq!(
+            receiver.receive_key(0, junk).unwrap_err(),
+            TeslaError::BadKey
+        );
     }
 
     #[test]

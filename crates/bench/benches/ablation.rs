@@ -75,41 +75,60 @@ fn bench_chain_storage(c: &mut Criterion) {
     use alpha_crypto::chain::{ChainKind, HashChain};
     let mut g = c.benchmark_group("ablation/chain-storage");
     for len in [256u64, 4096] {
-        g.bench_with_input(BenchmarkId::new("full-disclose-all", len), &len, |b, &len| {
-            b.iter_batched(
-                || HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, len, b"s"),
-                |mut chain| while chain.disclose_pair().is_ok() {},
-                criterion::BatchSize::SmallInput,
-            );
-        });
-        g.bench_with_input(BenchmarkId::new("sqrt-disclose-all", len), &len, |b, &len| {
-            b.iter_batched(
-                || {
-                    HashChain::from_seed_compact(
-                        Algorithm::Sha1,
-                        ChainKind::RoleBoundSignature,
-                        len,
-                        b"s",
-                    )
-                },
-                |mut chain| while chain.disclose_pair().is_ok() {},
-                criterion::BatchSize::SmallInput,
-            );
-        });
-        g.bench_with_input(BenchmarkId::new("dyadic-disclose-all", len), &len, |b, &len| {
-            b.iter_batched(
-                || {
-                    HashChain::from_seed_dyadic(
-                        Algorithm::Sha1,
-                        ChainKind::RoleBoundSignature,
-                        len,
-                        b"s",
-                    )
-                },
-                |mut chain| while chain.disclose_pair().is_ok() {},
-                criterion::BatchSize::SmallInput,
-            );
-        });
+        g.bench_with_input(
+            BenchmarkId::new("full-disclose-all", len),
+            &len,
+            |b, &len| {
+                b.iter_batched(
+                    || {
+                        HashChain::from_seed(
+                            Algorithm::Sha1,
+                            ChainKind::RoleBoundSignature,
+                            len,
+                            b"s",
+                        )
+                    },
+                    |mut chain| while chain.disclose_pair().is_ok() {},
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("sqrt-disclose-all", len),
+            &len,
+            |b, &len| {
+                b.iter_batched(
+                    || {
+                        HashChain::from_seed_compact(
+                            Algorithm::Sha1,
+                            ChainKind::RoleBoundSignature,
+                            len,
+                            b"s",
+                        )
+                    },
+                    |mut chain| while chain.disclose_pair().is_ok() {},
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dyadic-disclose-all", len),
+            &len,
+            |b, &len| {
+                b.iter_batched(
+                    || {
+                        HashChain::from_seed_dyadic(
+                            Algorithm::Sha1,
+                            ChainKind::RoleBoundSignature,
+                            len,
+                            b"s",
+                        )
+                    },
+                    |mut chain| while chain.disclose_pair().is_ok() {},
+                    criterion::BatchSize::SmallInput,
+                );
+            },
+        );
     }
     g.finish();
 }

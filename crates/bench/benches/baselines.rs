@@ -64,8 +64,12 @@ fn bench_tesla(c: &mut Criterion) {
     });
     c.bench_function("baseline/tesla-receive-verify", |b| {
         let (anchor, start) = sender.commitment();
-        let p0 = sender.send(&[7u8; 512], Timestamp::from_millis(10)).unwrap();
-        let p2 = sender.send(&[8u8; 512], Timestamp::from_millis(210)).unwrap();
+        let p0 = sender
+            .send(&[7u8; 512], Timestamp::from_millis(10))
+            .unwrap();
+        let p2 = sender
+            .send(&[8u8; 512], Timestamp::from_millis(210))
+            .unwrap();
         b.iter_batched(
             || tesla::TeslaReceiver::new(cfg, anchor, start),
             |mut rx| {
@@ -91,5 +95,11 @@ fn bench_hop_hmac(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_alpha_reference, bench_pk, bench_tesla, bench_hop_hmac);
+criterion_group!(
+    benches,
+    bench_alpha_reference,
+    bench_pk,
+    bench_tesla,
+    bench_hop_hmac
+);
 criterion_main!(benches);

@@ -32,7 +32,9 @@ fn bench_macs(c: &mut Criterion) {
             b.iter(|| hmac::mac(Algorithm::Sha1, key.as_bytes(), std::hint::black_box(d)));
         });
         g.bench_with_input(BenchmarkId::new("prefix-sha1", len), &data, |b, d| {
-            b.iter(|| hmac::prefix_mac(Algorithm::Sha1, key.as_bytes(), &[std::hint::black_box(d)]));
+            b.iter(|| {
+                hmac::prefix_mac(Algorithm::Sha1, key.as_bytes(), &[std::hint::black_box(d)])
+            });
         });
     }
     g.finish();
@@ -112,11 +114,20 @@ fn bench_acks(c: &mut Criterion) {
         let root = tree.keyed_root(&key);
         let d = tree.disclose(0, true);
         g.bench_with_input(BenchmarkId::new("amt-verify", n), &d, |b, d| {
-            b.iter(|| amt::verify_disclosure(Algorithm::Sha1, &key, n, std::hint::black_box(d), &root));
+            b.iter(|| {
+                amt::verify_disclosure(Algorithm::Sha1, &key, n, std::hint::black_box(d), &root)
+            });
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_hashes, bench_macs, bench_chains, bench_merkle, bench_acks);
+criterion_group!(
+    benches,
+    bench_hashes,
+    bench_macs,
+    bench_chains,
+    bench_merkle,
+    bench_acks
+);
 criterion_main!(benches);

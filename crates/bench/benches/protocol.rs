@@ -37,7 +37,11 @@ fn bench_modes(c: &mut Criterion) {
         ("merkle", Mode::Merkle, 64),
     ] {
         for reliability in [Reliability::Unreliable, Reliability::Reliable] {
-            let rel = if reliability == Reliability::Reliable { "reliable" } else { "unreliable" };
+            let rel = if reliability == Reliability::Reliable {
+                "reliable"
+            } else {
+                "unreliable"
+            };
             let msgs: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 512]).collect();
             let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
             g.throughput(Throughput::Bytes((n * 512) as u64));

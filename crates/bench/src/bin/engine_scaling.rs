@@ -55,7 +55,10 @@ struct FlowTraffic {
 fn flow_addrs(i: usize) -> (SocketAddr, SocketAddr) {
     // Distinct loopback-ish addresses per flow; ports keep the pair apart.
     let ip = [10u8, (i >> 16) as u8, (i >> 8) as u8, i as u8];
-    (SocketAddr::from((ip, 40_000)), SocketAddr::from((ip, 50_000)))
+    (
+        SocketAddr::from((ip, 40_000)),
+        SocketAddr::from((ip, 50_000)),
+    )
 }
 
 fn generate_flow(i: usize, cfg: Config) -> FlowTraffic {
@@ -65,10 +68,11 @@ fn generate_flow(i: usize, cfg: Config) -> FlowTraffic {
     let payload = format!("flow {i} payload").into_bytes();
 
     let (hs, hs1) = bootstrap::initiate(cfg, assoc_id, None, &mut rng);
-    let (mut server, hs2, _) =
-        bootstrap::respond(cfg, &hs1, None, AuthRequirement::None, &mut rng)
-            .expect("bootstrap respond");
-    let (mut client, _) = hs.complete(&hs2, AuthRequirement::None).expect("bootstrap complete");
+    let (mut server, hs2, _) = bootstrap::respond(cfg, &hs1, None, AuthRequirement::None, &mut rng)
+        .expect("bootstrap respond");
+    let (mut client, _) = hs
+        .complete(&hs2, AuthRequirement::None)
+        .expect("bootstrap complete");
     let handshake = vec![(client_addr, hs1.emit()), (server_addr, hs2.emit())];
 
     let mut frames = Vec::new();
@@ -78,14 +82,28 @@ fn generate_flow(i: usize, cfg: Config) -> FlowTraffic {
         let mut from_client = true;
         let mut pkt = Some(client.sign(&payload, now).expect("sign"));
         while let Some(p) = pkt {
-            let from = if from_client { client_addr } else { server_addr };
+            let from = if from_client {
+                client_addr
+            } else {
+                server_addr
+            };
             frames.push((from, p.emit()));
-            let handler = if from_client { &mut server } else { &mut client };
+            let handler = if from_client {
+                &mut server
+            } else {
+                &mut client
+            };
             pkt = handler.handle(&p, now, &mut rng).expect("handle").packet();
             from_client = !from_client;
         }
     }
-    FlowTraffic { client: client_addr, server: server_addr, handshake, frames, payload }
+    FlowTraffic {
+        client: client_addr,
+        server: server_addr,
+        handshake,
+        frames,
+        payload,
+    }
 }
 
 struct RunResult {
@@ -143,7 +161,9 @@ fn run_config(traffic: &[FlowTraffic], workers: usize, cfg: Config) -> RunResult
         let started = Instant::now();
         for idx in 0..max_frames {
             for t in part {
-                let Some((from, bytes)) = t.frames.get(idx) else { continue };
+                let Some((from, bytes)) = t.frames.get(idx) else {
+                    continue;
+                };
                 let now = Timestamp::from_millis(100 + idx as u64);
                 let out = cores[w].handle_datagram(*from, bytes, now, &mut rng);
                 for (assoc_id, payload) in &out.extracted {
@@ -165,7 +185,10 @@ fn run_config(traffic: &[FlowTraffic], workers: usize, cfg: Config) -> RunResult
         );
     }
     let total: u64 = verified.values().sum();
-    let makespan = per_worker_secs.iter().cloned().fold(f64::MIN_POSITIVE, f64::max);
+    let makespan = per_worker_secs
+        .iter()
+        .cloned()
+        .fold(f64::MIN_POSITIVE, f64::max);
     RunResult {
         flows: traffic.len(),
         workers,
@@ -177,7 +200,9 @@ fn run_config(traffic: &[FlowTraffic], workers: usize, cfg: Config) -> RunResult
 }
 
 fn host_cores() -> usize {
-    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 fn main() {
@@ -225,21 +250,30 @@ fn main() {
         tput(1),
         tput(8)
     );
-    println!("host cores: {} (multi-worker numbers are share-nothing projections)", host_cores());
+    println!(
+        "host cores: {} (multi-worker numbers are share-nothing projections)",
+        host_cores()
+    );
 
     // Hand-rolled JSON: stable layout, no serializer dependency needed.
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"engine_scaling\",");
-    let _ = writeln!(json, "  \"model\": \"share-nothing makespan (sequential per-worker timing)\",");
+    let _ = writeln!(
+        json,
+        "  \"model\": \"share-nothing makespan (sequential per-worker timing)\","
+    );
     let _ = writeln!(json, "  \"host_cores\": {},", host_cores());
     let _ = writeln!(json, "  \"exchanges_per_flow\": {EXCHANGES},");
     let _ = writeln!(json, "  \"shards\": {SHARDS},");
     let _ = writeln!(json, "  \"speedup_8_workers_vs_1\": {ratio:.4},");
     let _ = writeln!(json, "  \"runs\": [");
     for (i, r) in results.iter().enumerate() {
-        let per_worker: Vec<String> =
-            r.per_worker_secs.iter().map(|s| format!("{s:.6}")).collect();
+        let per_worker: Vec<String> = r
+            .per_worker_secs
+            .iter()
+            .map(|s| format!("{s:.6}"))
+            .collect();
         let _ = writeln!(
             json,
             "    {{\"flows\": {}, \"workers\": {}, \"s2_verified\": {}, \

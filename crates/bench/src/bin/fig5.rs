@@ -31,7 +31,11 @@ fn main() {
         let mut row = vec![n.to_string()];
         for &size in &SIZES {
             let cap = merkle::payload_capacity(n, size, H);
-            row.push(if cap == 0 { "-".into() } else { cap.to_string() });
+            row.push(if cap == 0 {
+                "-".into()
+            } else {
+                cap.to_string()
+            });
         }
         rows.push(row);
     }

@@ -43,7 +43,14 @@ fn main() {
                 row.push("-".into());
                 continue;
             }
-            let rc = run_exchange(Algorithm::Sha1, Mode::Merkle, Reliability::Unreliable, n, payload, 1);
+            let rc = run_exchange(
+                Algorithm::Sha1,
+                Mode::Merkle,
+                Reliability::Unreliable,
+                n,
+                payload,
+                1,
+            );
             let (s1, a1, s2_total, _a2) = rc.wire_bytes;
             let signed = n * payload;
             let transferred = s1 + a1 + s2_total;
@@ -75,7 +82,14 @@ fn main() {
         if payload < 16 {
             return None;
         }
-        let rc = run_exchange(Algorithm::Sha1, Mode::Merkle, Reliability::Unreliable, n, payload, 2);
+        let rc = run_exchange(
+            Algorithm::Sha1,
+            Mode::Merkle,
+            Reliability::Unreliable,
+            n,
+            payload,
+            2,
+        );
         let (s1, a1, s2, _) = rc.wire_bytes;
         Some((n * payload, (s1 + a1 + s2) as f64 / (n * payload) as f64))
     };
@@ -84,11 +98,21 @@ fn main() {
     let (signed9, _) = {
         let depth = merkle::log2_ceil(9) as usize;
         let payload = 512 - H * (depth + 1) - S2_FRAME;
-        let rc = run_exchange(Algorithm::Sha1, Mode::Merkle, Reliability::Unreliable, 9, payload, 3);
+        let rc = run_exchange(
+            Algorithm::Sha1,
+            Mode::Merkle,
+            Reliability::Unreliable,
+            9,
+            payload,
+            3,
+        );
         let (s1, a1, s2, _) = rc.wire_bytes;
         (9 * payload, (s1 + a1 + s2) as f64)
     };
-    assert!(signed9 / 9 < signed8 / 8, "see-saw dent at the 8→9 crossing");
+    assert!(
+        signed9 / 9 < signed8 / 8,
+        "see-saw dent at the 8→9 crossing"
+    );
     // Fig. 6 ordering: larger packets carry less relative overhead.
     let (_, r1280) = measure(64, 1280).unwrap();
     let (_, r256) = measure(64, 256).unwrap();

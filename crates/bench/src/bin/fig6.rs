@@ -44,9 +44,15 @@ fn main() {
     // Shape assertions.
     let r1_1280 = merkle::overhead_ratio(1, 1280, H).unwrap();
     let r1_128 = merkle::overhead_ratio(1, 128, H).unwrap();
-    assert!(r1_1280 < r1_128, "larger packets carry less relative overhead");
+    assert!(
+        r1_1280 < r1_128,
+        "larger packets carry less relative overhead"
+    );
     let r1024_1280 = merkle::overhead_ratio(1024, 1280, H).unwrap();
     assert!(r1024_1280 > r1_1280, "overhead grows with tree depth");
-    assert!(merkle::overhead_ratio(64, 128, H).is_none(), "128B curve terminates");
+    assert!(
+        merkle::overhead_ratio(64, 128, H).is_none(),
+        "128B curve terminates"
+    );
     println!("\n# shape checks passed: size ordering, growth with n, 128B termination");
 }

@@ -30,7 +30,10 @@ fn main() {
             |_| App::Sender(SenderApp::new(Mode::Cumulative, 10, 256, 50)),
         );
         sim.run_until(Timestamp::from_millis(60_000));
-        let delivered: u64 = endpoints.iter().map(|(_, r)| sim.metrics[*r].delivered_msgs).sum();
+        let delivered: u64 = endpoints
+            .iter()
+            .map(|(_, r)| sim.metrics[*r].delivered_msgs)
+            .sum();
         let relay_node = sim.node(relay).as_relay().expect("relay");
         let total = relay_node.relay.total_buffered_bytes();
         rows.push(vec![

@@ -48,7 +48,9 @@ fn main() {
                 let msg_sized = counts.mac_invocations.max(counts.long_input_invocations);
                 let fixed = counts.invocations
                     - counts.mac_raw_invocations
-                    - counts.long_input_invocations.saturating_sub(counts.mac_invocations);
+                    - counts
+                        .long_input_invocations
+                        .saturating_sub(counts.mac_invocations);
                 rows.push(vec![
                     name.to_string(),
                     format!("n={n}"),
@@ -72,7 +74,15 @@ fn main() {
         }
         table::print(
             &format!("Table 1 — hash computations per message ({rel_name})"),
-            &["mode", "bundle", "role", "msg-sized/msg (1*)", "fixed/msg", "total/msg", "paper total/msg"],
+            &[
+                "mode",
+                "bundle",
+                "role",
+                "msg-sized/msg (1*)",
+                "fixed/msg",
+                "total/msg",
+                "paper total/msg",
+            ],
             &rows,
         );
     }
@@ -89,7 +99,11 @@ fn paper_totals(mode: Mode, n: f64, log2n: f64, rel: Reliability) -> (String, St
     let ack = matches!(rel, Reliability::Reliable);
     match mode {
         Mode::Base | Mode::Cumulative => {
-            let (s_ack, v_ack, r_ack) = if ack { (1.0, 2.0, 1.0) } else { (0.0, 0.0, 0.0) };
+            let (s_ack, v_ack, r_ack) = if ack {
+                (1.0, 2.0, 1.0)
+            } else {
+                (0.0, 0.0, 0.0)
+            };
             (
                 format!("1* + {:.2}", 1.0 / n + s_ack),
                 format!("1* + {:.2}", 1.0 / n + v_ack),

@@ -42,7 +42,10 @@ fn main() {
             let (mut bob, reply, _) =
                 bootstrap::respond(cfg, &init, None, AuthRequirement::None, &mut rng).unwrap();
             let (mut alice, _) = hs.complete(&reply, AuthRequirement::None).unwrap();
-            let mut relay = Relay::new(RelayConfig { s1_bytes_per_sec: None, ..RelayConfig::default() });
+            let mut relay = Relay::new(RelayConfig {
+                s1_bytes_per_sec: None,
+                ..RelayConfig::default()
+            });
             relay.observe(&init, t);
             relay.observe(&reply, t);
 

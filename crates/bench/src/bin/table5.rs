@@ -12,7 +12,11 @@ use alpha_sim::DeviceModel;
 
 fn main() {
     let alg = Algorithm::Sha1;
-    let devices = [DeviceModel::ar2315(), DeviceModel::bcm5365(), DeviceModel::geode_lx()];
+    let devices = [
+        DeviceModel::ar2315(),
+        DeviceModel::bcm5365(),
+        DeviceModel::geode_lx(),
+    ];
     let paper = [
         ("20 Byte digest", 20usize, [0.059, 0.046, 0.011]),
         ("1024 Byte digest", 1024, [0.360, 0.361, 0.062]),
@@ -57,7 +61,8 @@ fn main() {
     let n1024 = time_mean_ns(iters, || {
         std::hint::black_box(alg.hash(std::hint::black_box(&buf1024)));
     });
-    println!("\n1024B/20B cost ratios — AR2315: {:.1}, BCM5365: {:.1}, Geode: {:.1}, native: {:.1}",
+    println!(
+        "\n1024B/20B cost ratios — AR2315: {:.1}, BCM5365: {:.1}, Geode: {:.1}, native: {:.1}",
         0.360 / 0.059,
         0.361 / 0.046,
         0.062 / 0.011,

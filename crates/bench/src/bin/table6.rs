@@ -46,13 +46,22 @@ fn main() {
 
         // Run a real verification of one S2 out of this bundle and count
         // every hash operation.
-        let msgs: Vec<Vec<u8>> = (0..leaves as usize).map(|i| vec![i as u8; payload]).collect();
+        let msgs: Vec<Vec<u8>> = (0..leaves as usize)
+            .map(|i| vec![i as u8; payload])
+            .collect();
         let tree = MerkleTree::from_messages(alg, &msgs);
         let key = alg.hash(b"chain element");
         let root = tree.keyed_root(&key);
         let path = tree.auth_path(0);
         let scope = counting::Scope::start();
-        assert!(merkle::verify_keyed(alg, &key, &alg.hash(&msgs[0]), 0, &path, &root));
+        assert!(merkle::verify_keyed(
+            alg,
+            &key,
+            &alg.hash(&msgs[0]),
+            0,
+            &path,
+            &root
+        ));
         let counts = scope.finish();
 
         let proc_ar = ar.price_counts_ns(counts) / 1e3; // µs

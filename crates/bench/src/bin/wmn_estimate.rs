@@ -50,7 +50,7 @@ fn main() {
     let mut rows = Vec::new();
     for (dev, paper_mbit) in devices {
         let ns_per_msg = dev.price_counts_ns(per_msg);
-        let mbit = PAYLOAD as f64 * 8.0 / (ns_per_msg / 1e3) ; // bits per µs = Mbit/s
+        let mbit = PAYLOAD as f64 * 8.0 / (ns_per_msg / 1e3); // bits per µs = Mbit/s
         let mac_only = dev.hash_ns(PAYLOAD + dev.hash_alg.digest_len() + 4);
         rows.push(vec![
             dev.name.to_string(),
@@ -61,7 +61,12 @@ fn main() {
     }
     table::print(
         "§4.1.2 — ALPHA-C verifiable throughput (1024 B payload, 20 presigs/S1)",
-        &["platform", "paper Mbit/s", "ours Mbit/s", "MAC share of cost"],
+        &[
+            "platform",
+            "paper Mbit/s",
+            "ours Mbit/s",
+            "MAC share of cost",
+        ],
         &rows,
     );
 
@@ -70,11 +75,14 @@ fn main() {
     sim.set_tick_us(1_000);
     let cfg = Config::new(Algorithm::Sha1).with_chain_len(4096);
     let app = App::Sender(SenderApp::new(Mode::Cumulative, 100, PAYLOAD, 4000));
-    let link = LinkConfig { bandwidth_bps: Some(100_000_000), ..LinkConfig::ideal() };
+    let link = LinkConfig {
+        bandwidth_bps: Some(100_000_000),
+        ..LinkConfig::ideal()
+    };
     let (_s, relays, v) = protected_path(
         &mut sim,
         1,
-        DeviceModel::xeon(),    // fast endpoints: the relay must bottleneck
+        DeviceModel::xeon(), // fast endpoints: the relay must bottleneck
         DeviceModel::ar2315(),
         link,
         cfg,

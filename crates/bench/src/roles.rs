@@ -59,7 +59,15 @@ pub fn run_exchange(
     payload_len: usize,
     seed: u64,
 ) -> RoleCounts {
-    run_exchange_with(alg, mode, reliability, MacScheme::Hmac, n, payload_len, seed)
+    run_exchange_with(
+        alg,
+        mode,
+        reliability,
+        MacScheme::Hmac,
+        n,
+        payload_len,
+        seed,
+    )
 }
 
 /// [`run_exchange`] with an explicit MAC construction.
@@ -80,7 +88,10 @@ pub fn run_exchange_with(
         .with_mac_scheme(mac_scheme)
         .with_chain_len(64);
     let t = Timestamp::ZERO;
-    let mut out = RoleCounts { messages: n, ..RoleCounts::default() };
+    let mut out = RoleCounts {
+        messages: n,
+        ..RoleCounts::default()
+    };
 
     // Bootstrap (chain generation measured separately; halve for per-host).
     let scope = counting::Scope::start();
@@ -111,7 +122,11 @@ pub fn run_exchange_with(
     let observe = |relay: &mut Relay, pkt: &Packet, counts: &mut Counts| {
         let scope = counting::Scope::start();
         let (decision, _) = relay.observe(pkt, t);
-        assert_eq!(decision, alpha_core::RelayDecision::Forward, "relay dropped in harness");
+        assert_eq!(
+            decision,
+            alpha_core::RelayDecision::Forward,
+            "relay dropped in harness"
+        );
         add(counts, scope.finish());
     };
 
@@ -154,7 +169,10 @@ pub fn run_exchange_with(
     }
 
     if reliability == Reliability::Reliable {
-        assert!(alice.signer().is_idle(), "exchange must complete in harness");
+        assert!(
+            alice.signer().is_idle(),
+            "exchange must complete in harness"
+        );
     }
     out
 }
@@ -165,7 +183,14 @@ mod tests {
 
     #[test]
     fn base_mode_counts_match_protocol_structure() {
-        let rc = run_exchange(Algorithm::Sha1, Mode::Base, Reliability::Unreliable, 1, 100, 1);
+        let rc = run_exchange(
+            Algorithm::Sha1,
+            Mode::Base,
+            Reliability::Unreliable,
+            1,
+            100,
+            1,
+        );
         // Signer: 1 MAC (the pre-signature) and 1 fixed hash (verify A1).
         assert_eq!(rc.signer.mac_invocations, 1);
         assert_eq!(fixed_hashes(rc.signer), 1.0);
@@ -182,20 +207,44 @@ mod tests {
     fn merkle_verifier_costs_log_n() {
         let n = 16;
         // 200-byte payloads so leaf hashes classify as message-sized.
-        let rc = run_exchange(Algorithm::Sha1, Mode::Merkle, Reliability::Unreliable, n, 200, 2);
+        let rc = run_exchange(
+            Algorithm::Sha1,
+            Mode::Merkle,
+            Reliability::Unreliable,
+            n,
+            200,
+            2,
+        );
         // Verifier per message: 1 leaf hash (message-sized, classified
         // long) + log2(n) short hashes for the path + 2/n chain checks.
         let per_msg_long = rc.verifier.long_input_invocations as f64 / n as f64;
         let per_msg_short = rc.verifier.short_input_invocations() as f64 / n as f64;
         assert!((per_msg_long - 1.0).abs() < 0.01, "leaves: {per_msg_long}");
         let expected = 4.0 + 2.0 / n as f64; // log2(16) = 4
-        assert!((per_msg_short - expected).abs() < 0.01, "paths: {per_msg_short}");
+        assert!(
+            (per_msg_short - expected).abs() < 0.01,
+            "paths: {per_msg_short}"
+        );
     }
 
     #[test]
     fn cumulative_amortizes_chain_costs() {
-        let one = run_exchange(Algorithm::Sha1, Mode::Cumulative, Reliability::Unreliable, 1, 64, 3);
-        let many = run_exchange(Algorithm::Sha1, Mode::Cumulative, Reliability::Unreliable, 20, 64, 3);
+        let one = run_exchange(
+            Algorithm::Sha1,
+            Mode::Cumulative,
+            Reliability::Unreliable,
+            1,
+            64,
+            3,
+        );
+        let many = run_exchange(
+            Algorithm::Sha1,
+            Mode::Cumulative,
+            Reliability::Unreliable,
+            20,
+            64,
+            3,
+        );
         let per_msg_one = fixed_hashes(one.verifier) / 1.0;
         let per_msg_many = fixed_hashes(many.verifier) / 20.0;
         assert!(per_msg_many < per_msg_one, "{per_msg_many} < {per_msg_one}");

@@ -86,8 +86,7 @@ fn knuth_d(u: &[u32], v: &[u32]) -> (Vec<u32>, Vec<u32>) {
         let top = (u64::from(un[j + n]) << 32) | u64::from(un[j + n - 1]);
         let mut qhat = top / u64::from(vn[n - 1]);
         let mut rhat = top % u64::from(vn[n - 1]);
-        while qhat >= BASE
-            || qhat * u64::from(vn[n - 2]) > (rhat << 32) + u64::from(un[j + n - 2])
+        while qhat >= BASE || qhat * u64::from(vn[n - 2]) > (rhat << 32) + u64::from(un[j + n - 2])
         {
             qhat -= 1;
             rhat += u64::from(vn[n - 1]);

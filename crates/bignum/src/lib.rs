@@ -214,7 +214,9 @@ impl BigUint {
     #[must_use]
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
-        self.limbs.get(limb).is_some_and(|l| (l >> (i % 64)) & 1 == 1)
+        self.limbs
+            .get(limb)
+            .is_some_and(|l| (l >> (i % 64)) & 1 == 1)
     }
 
     /// `self + other`.
@@ -246,7 +248,10 @@ impl BigUint {
     /// `self - other`. Panics on underflow (callers compare first).
     #[must_use]
     pub fn sub(&self, other: &BigUint) -> BigUint {
-        assert!(self.cmp(other) != Ordering::Less, "BigUint subtraction underflow");
+        assert!(
+            self.cmp(other) != Ordering::Less,
+            "BigUint subtraction underflow"
+        );
         let mut out = Vec::with_capacity(self.limbs.len());
         let mut borrow = 0u64;
         for i in 0..self.limbs.len() {
@@ -443,7 +448,10 @@ mod tests {
     fn roundtrip_bytes() {
         let v = BigUint::from_hex("0123456789abcdef00112233445566778899aabbccddeeff");
         assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
-        assert_eq!(v.to_hex(), "123456789abcdef00112233445566778899aabbccddeeff");
+        assert_eq!(
+            v.to_hex(),
+            "123456789abcdef00112233445566778899aabbccddeeff"
+        );
     }
 
     #[test]

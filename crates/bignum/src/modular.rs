@@ -24,7 +24,10 @@ impl Montgomery {
     /// Build a context; panics if `modulus` is even or < 3.
     #[must_use]
     pub fn new(modulus: &BigUint) -> Montgomery {
-        assert!(!modulus.is_even() && modulus.bits() >= 2, "Montgomery needs odd modulus >= 3");
+        assert!(
+            !modulus.is_even() && modulus.bits() >= 2,
+            "Montgomery needs odd modulus >= 3"
+        );
         let n = modulus.limbs.clone();
         let n0inv = inv64(n[0]).wrapping_neg();
         // R^2 mod n via repeated doubling: start from R mod n.
@@ -80,7 +83,9 @@ impl Montgomery {
         // Conditional final subtraction.
         let mut out = BigUint { limbs: t };
         out.normalize();
-        let nbig = BigUint { limbs: self.n.clone() };
+        let nbig = BigUint {
+            limbs: self.n.clone(),
+        };
         if out.cmp(&nbig) != Ordering::Less {
             out = out.sub(&nbig);
         }
@@ -101,7 +106,9 @@ impl Montgomery {
             v[0] = 1;
             v
         };
-        let mut out = BigUint { limbs: self.mont_mul(a, &one) };
+        let mut out = BigUint {
+            limbs: self.mont_mul(a, &one),
+        };
         out.normalize();
         out
     }
@@ -109,7 +116,9 @@ impl Montgomery {
     /// `base^exp mod n` with a 4-bit fixed window.
     #[must_use]
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
-        let nbig = BigUint { limbs: self.n.clone() };
+        let nbig = BigUint {
+            limbs: self.n.clone(),
+        };
         let base = base.rem(&nbig);
         if exp.is_zero() {
             return BigUint::one().rem(&nbig);
@@ -231,7 +240,11 @@ impl BigUint {
         } else {
             old_s.rem(modulus)
         };
-        let inv = if inv.cmp(modulus) == Ordering::Less { inv } else { inv.sub(modulus) };
+        let inv = if inv.cmp(modulus) == Ordering::Less {
+            inv
+        } else {
+            inv.sub(modulus)
+        };
         Some(inv)
     }
 }
@@ -239,8 +252,8 @@ impl BigUint {
 /// `(a, a_neg) - (b, b_neg)` over sign-magnitude big integers.
 fn signed_sub(a: (&BigUint, bool), b: (&BigUint, bool)) -> (BigUint, bool) {
     match (a.1, b.1) {
-        (false, true) => (a.0.add(b.0), false),  // a - (-b) = a + b
-        (true, false) => (a.0.add(b.0), true),   // -a - b = -(a+b)
+        (false, true) => (a.0.add(b.0), false), // a - (-b) = a + b
+        (true, false) => (a.0.add(b.0), true),  // -a - b = -(a+b)
         (false, false) => {
             if a.0.cmp(b.0) == Ordering::Less {
                 (b.0.sub(a.0), true)

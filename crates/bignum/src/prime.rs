@@ -23,7 +23,10 @@ const SMALL_PRIMES: [u64; 46] = [
 pub fn is_probable_prime(n: &BigUint, rounds: u32, rng: &mut dyn RngCore) -> bool {
     if n.bits() <= 6 {
         let v = if n.is_zero() { 0 } else { n.limbs[0] };
-        return matches!(v, 2 | 3 | 5 | 7 | 11 | 13 | 17 | 19 | 23 | 29 | 31 | 37 | 41 | 43 | 47 | 53 | 59 | 61);
+        return matches!(
+            v,
+            2 | 3 | 5 | 7 | 11 | 13 | 17 | 19 | 23 | 29 | 31 | 37 | 41 | 43 | 47 | 53 | 59 | 61
+        );
     }
     if n.is_even() {
         return false;
@@ -126,10 +129,16 @@ mod tests {
     fn known_primes_and_composites() {
         let mut r = rng();
         for p in [2u64, 3, 5, 61, 97, 211, 65537, 2_147_483_647] {
-            assert!(is_probable_prime(&BigUint::from_u64(p), 20, &mut r), "{p} is prime");
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 20, &mut r),
+                "{p} is prime"
+            );
         }
         for c in [0u64, 1, 4, 63, 100, 65535, 2_147_483_645] {
-            assert!(!is_probable_prime(&BigUint::from_u64(c), 20, &mut r), "{c} is composite");
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut r),
+                "{c} is composite"
+            );
         }
     }
 
@@ -137,7 +146,10 @@ mod tests {
     fn carmichael_numbers_rejected() {
         let mut r = rng();
         for c in [561u64, 1105, 1729, 41041, 825265] {
-            assert!(!is_probable_prime(&BigUint::from_u64(c), 20, &mut r), "{c} is Carmichael");
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 20, &mut r),
+                "{c} is Carmichael"
+            );
         }
     }
 

@@ -70,7 +70,7 @@ pub enum Command {
     },
     /// `alpha engine serve BIND [--workers N] [--shards N] [--seconds N]
     ///  [--alg A] [--mac hmac|prefix] [--reliable] [--s1-budget BYTES]
-    ///  [--max-buffered BYTES] [--route LEFT=RIGHT]`
+    ///  [--max-buffered BYTES] [--route LEFT=RIGHT] [--adapt]`
     EngineServe {
         /// Bind address of the shared socket.
         bind: String,
@@ -89,14 +89,19 @@ pub enum Command {
         /// Optional relay route `LEFT=RIGHT`: also verify-and-forward
         /// between these two addresses.
         route: Option<(String, String)>,
+        /// Enable per-flow channel estimation and mode adaptation.
+        adapt: bool,
     },
-    /// `alpha engine stats ADDR [--timeout-ms N]` — query a running
-    /// engine's JSON stats snapshot.
+    /// `alpha engine stats ADDR [--timeout-ms N] [--json]` — query a
+    /// running engine and print a human summary (or the raw JSON
+    /// snapshot with `--json`), including per-flow adaptation state.
     EngineStats {
         /// Address of the engine's shared socket.
         addr: String,
         /// Reply timeout in milliseconds.
         timeout_ms: u64,
+        /// Print the raw JSON snapshot instead of the summary.
+        json: bool,
     },
     /// `alpha help` or `--help` anywhere.
     Help,
@@ -234,7 +239,9 @@ fn parse_mode(s: &str, batch: usize) -> Result<Mode, ParseError> {
         "base" => Ok(Mode::Base),
         "c" | "cumulative" => Ok(Mode::Cumulative),
         "m" | "merkle" => Ok(Mode::Merkle),
-        "cm" | "forest" => Ok(Mode::CumulativeMerkle { leaves_per_tree: batch.max(2) / 2 }),
+        "cm" | "forest" => Ok(Mode::CumulativeMerkle {
+            leaves_per_tree: batch.max(2) / 2,
+        }),
         other => err(format!("unknown mode '{other}' (base|c|m|cm)")),
     }
 }
@@ -266,13 +273,19 @@ fn get_num<T: std::str::FromStr>(
 ) -> Result<T, ParseError> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| ParseError(format!("--{name}: bad value '{v}'"))),
+        Some(v) => v
+            .parse()
+            .map_err(|_| ParseError(format!("--{name}: bad value '{v}'"))),
     }
 }
 
 /// Parse a full argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h" || a == "help") {
+    if args.is_empty()
+        || args
+            .iter()
+            .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
         return Ok(Command::Help);
     }
     let sub = args[0].as_str();
@@ -280,14 +293,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
     match sub {
         "keygen" => {
             let (_pos, flags) = split(rest, &[])?;
-            let scheme = flags.get("scheme").cloned().unwrap_or_else(|| "ecdsa".into());
+            let scheme = flags
+                .get("scheme")
+                .cloned()
+                .unwrap_or_else(|| "ecdsa".into());
             if scheme != "rsa" && scheme != "ecdsa" {
                 return err(format!("unknown scheme '{scheme}' (rsa|ecdsa)"));
             }
             let Some(out) = flags.get("out").cloned() else {
                 return err("keygen needs --out FILE");
             };
-            Ok(Command::Keygen { scheme, out, bits: get_num(&flags, "bits", 1024)? })
+            Ok(Command::Keygen {
+                scheme,
+                out,
+                bits: get_num(&flags, "bits", 1024)?,
+            })
         }
         "listen" => {
             let (pos, flags) = split(rest, &["reliable", "require-peer-auth"])?;
@@ -319,7 +339,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 messages: messages.to_vec(),
                 opts: proto_opts(&flags)?,
                 mode,
-                bind: flags.get("bind").cloned().unwrap_or_else(|| "0.0.0.0:0".into()),
+                bind: flags
+                    .get("bind")
+                    .cloned()
+                    .unwrap_or_else(|| "0.0.0.0:0".into()),
             })
         }
         "relay" => {
@@ -341,7 +364,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
             };
             match verb.as_str() {
                 "serve" => {
-                    let (pos, flags) = split(rest, &["reliable", "require-peer-auth"])?;
+                    let (pos, flags) = split(rest, &["reliable", "require-peer-auth", "adapt"])?;
                     let [bind] = pos.as_slice() else {
                         return err("engine serve needs exactly one bind address");
                     };
@@ -363,16 +386,18 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                         s1_budget: get_num(&flags, "s1-budget", 1 << 20)?,
                         max_buffered: get_num(&flags, "max-buffered", 64 << 20)?,
                         route,
+                        adapt: flags.contains_key("adapt"),
                     })
                 }
                 "stats" => {
-                    let (pos, flags) = split(rest, &[])?;
+                    let (pos, flags) = split(rest, &["json"])?;
                     let [addr] = pos.as_slice() else {
                         return err("engine stats needs exactly one engine address");
                     };
                     Ok(Command::EngineStats {
                         addr: addr.clone(),
                         timeout_ms: get_num(&flags, "timeout-ms", 2000)?,
+                        json: flags.contains_key("json"),
                     })
                 }
                 other => err(format!("unknown engine verb '{other}' (serve|stats)")),
@@ -388,9 +413,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "sim" => {
             let (pos, flags) = split(rest, &["reliable", "trace", "require-peer-auth"])?;
             if !pos.is_empty() {
-                return err(format!("sim takes no positional arguments, got '{}'", pos[0]));
+                return err(format!(
+                    "sim takes no positional arguments, got '{}'",
+                    pos[0]
+                ));
             }
-            let mut o = SimOpts { proto: proto_opts(&flags)?, ..SimOpts::default() };
+            let mut o = SimOpts {
+                proto: proto_opts(&flags)?,
+                ..SimOpts::default()
+            };
             o.relays = get_num(&flags, "relays", o.relays)?;
             o.messages = get_num(&flags, "messages", o.messages)?;
             o.batch = get_num(&flags, "batch", o.batch)?;
@@ -425,8 +456,8 @@ USAGE:
   alpha relay BIND LEFT RIGHT [--seconds N] [--strict]
   alpha engine serve BIND [--workers N] [--shards N] [--seconds N] [--alg A]
                [--mac hmac|prefix] [--reliable] [--s1-budget BYTES]
-               [--max-buffered BYTES] [--route LEFT=RIGHT]
-  alpha engine stats ADDR [--timeout-ms N]
+               [--max-buffered BYTES] [--route LEFT=RIGHT] [--adapt]
+  alpha engine stats ADDR [--timeout-ms N] [--json]
   alpha trace FILE|-   (summarize a JSON-lines trace from 'alpha sim --trace')
   alpha sim [--relays N] [--messages N] [--batch N] [--mode base|c|m|cm]
             [--loss P] [--alg A] [--reliable] [--mac hmac|prefix]
@@ -460,9 +491,18 @@ mod tests {
 
     #[test]
     fn keygen_parses() {
-        let cmd = parse_args(&v(&["keygen", "--out", "id.key", "--scheme", "rsa", "--bits", "512"]))
-            .unwrap();
-        assert_eq!(cmd, Command::Keygen { scheme: "rsa".into(), out: "id.key".into(), bits: 512 });
+        let cmd = parse_args(&v(&[
+            "keygen", "--out", "id.key", "--scheme", "rsa", "--bits", "512",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Keygen {
+                scheme: "rsa".into(),
+                out: "id.key".into(),
+                bits: 512
+            }
+        );
         assert!(parse_args(&v(&["keygen"])).is_err());
         assert!(parse_args(&v(&["keygen", "--out", "x", "--scheme", "dsa"])).is_err());
     }
@@ -502,8 +542,15 @@ mod tests {
     #[test]
     fn listen_flags() {
         let cmd = parse_args(&v(&[
-            "listen", "0.0.0.0:7001", "--reliable", "--alg", "mmo", "--mac", "prefix",
-            "--seconds", "5",
+            "listen",
+            "0.0.0.0:7001",
+            "--reliable",
+            "--alg",
+            "mmo",
+            "--mac",
+            "prefix",
+            "--seconds",
+            "5",
         ]))
         .unwrap();
         match cmd {
@@ -530,7 +577,15 @@ mod tests {
     #[test]
     fn sim_options() {
         let cmd = parse_args(&v(&[
-            "sim", "--relays", "4", "--messages", "50", "--loss", "0.1", "--device", "cc2430",
+            "sim",
+            "--relays",
+            "4",
+            "--messages",
+            "50",
+            "--loss",
+            "0.1",
+            "--device",
+            "cc2430",
             "--trace",
         ]))
         .unwrap();
@@ -549,12 +604,25 @@ mod tests {
     #[test]
     fn engine_subcommands_parse() {
         let cmd = parse_args(&v(&[
-            "engine", "serve", "0.0.0.0:7000", "--workers", "8", "--shards", "16",
-            "--route", "10.0.0.1:5000=10.0.0.2:6000",
+            "engine",
+            "serve",
+            "0.0.0.0:7000",
+            "--workers",
+            "8",
+            "--shards",
+            "16",
+            "--route",
+            "10.0.0.1:5000=10.0.0.2:6000",
         ]))
         .unwrap();
         match cmd {
-            Command::EngineServe { workers, shards, route, seconds, .. } => {
+            Command::EngineServe {
+                workers,
+                shards,
+                route,
+                seconds,
+                ..
+            } => {
                 assert_eq!(workers, 8);
                 assert_eq!(shards, 16);
                 assert_eq!(seconds, 0);
@@ -568,7 +636,28 @@ mod tests {
         let cmd = parse_args(&v(&["engine", "stats", "127.0.0.1:7000"])).unwrap();
         assert_eq!(
             cmd,
-            Command::EngineStats { addr: "127.0.0.1:7000".into(), timeout_ms: 2000 }
+            Command::EngineStats {
+                addr: "127.0.0.1:7000".into(),
+                timeout_ms: 2000,
+                json: false
+            }
+        );
+        let cmd = parse_args(&v(&[
+            "engine",
+            "stats",
+            "127.0.0.1:7000",
+            "--json",
+            "--timeout-ms",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::EngineStats {
+                addr: "127.0.0.1:7000".into(),
+                timeout_ms: 50,
+                json: true
+            }
         );
         assert!(parse_args(&v(&["engine"])).is_err());
         assert!(parse_args(&v(&["engine", "restart"])).is_err());

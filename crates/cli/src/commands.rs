@@ -4,7 +4,10 @@ use std::time::Duration;
 
 use alpha_core::{Config, RelayConfig};
 use alpha_pk::PrivateKey;
-use alpha_sim::{protected_path, App, DeviceModel, LinkConfig, PacketKind, SenderApp, Simulator, Trace, TraceEvent};
+use alpha_sim::{
+    protected_path, App, DeviceModel, LinkConfig, PacketKind, SenderApp, Simulator, Trace,
+    TraceEvent,
+};
 use alpha_transport::{HandshakeAuth, UdpHost, UdpRelay};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -58,7 +61,10 @@ pub fn keygen(scheme: &str, out: &str, bits: usize) -> Result<(), CliError> {
 pub fn listen(bind: &str, opts: &ProtoOpts, seconds: u64) -> Result<(), CliError> {
     let cfg = config_from(opts);
     let identity = load_identity(&opts.identity)?;
-    println!("listening on {bind} for {seconds}s ({}, {:?})", opts.alg, opts.reliability);
+    println!(
+        "listening on {bind} for {seconds}s ({}, {:?})",
+        opts.alg, opts.reliability
+    );
     let auth = HandshakeAuth {
         identity: identity.as_ref().map(|k| k.as_signer()),
         require_peer: opts.require_peer_auth,
@@ -97,8 +103,14 @@ pub fn send(
         identity: identity.as_ref().map(|k| k.as_signer()),
         require_peer: opts.require_peer_auth,
     };
-    let mut host =
-        UdpHost::connect_with(cfg, rand::random(), bind, peer, Duration::from_secs(10), auth)?;
+    let mut host = UdpHost::connect_with(
+        cfg,
+        rand::random(),
+        bind,
+        peer,
+        Duration::from_secs(10),
+        auth,
+    )?;
     if host.peer_key().is_some() {
         println!("peer identity verified");
     }
@@ -109,12 +121,24 @@ pub fn send(
 }
 
 /// `alpha relay`.
-pub fn relay(bind: &str, left: &str, right: &str, seconds: u64, strict: bool) -> Result<(), CliError> {
+pub fn relay(
+    bind: &str,
+    left: &str,
+    right: &str,
+    seconds: u64,
+    strict: bool,
+) -> Result<(), CliError> {
     let left: std::net::SocketAddr = left.parse()?;
     let right: std::net::SocketAddr = right.parse()?;
-    let cfg = RelayConfig { forward_unknown: !strict, ..RelayConfig::default() };
+    let cfg = RelayConfig {
+        forward_unknown: !strict,
+        ..RelayConfig::default()
+    };
     let mut relay = UdpRelay::new(bind, left, right, cfg)?;
-    println!("relaying {left} <-> {right} on {} for {seconds}s (strict={strict})", relay.local_addr()?);
+    println!(
+        "relaying {left} <-> {right} on {} for {seconds}s (strict={strict})",
+        relay.local_addr()?
+    );
     relay.run_for(Duration::from_secs(seconds))?;
     println!(
         "forwarded {} datagrams, dropped {}, verified {} payload(s) in transit:",
@@ -158,8 +182,11 @@ pub fn trace_summary(file: &str) -> Result<(), CliError> {
             TraceEvent::Lost { .. } => losses += 1,
         }
     }
-    println!("trace: {} entries over {:.3}s virtual time", trace.len(),
-        last.saturating_sub(first.min(last)) as f64 / 1e6);
+    println!(
+        "trace: {} entries over {:.3}s virtual time",
+        trace.len(),
+        last.saturating_sub(first.min(last)) as f64 / 1e6
+    );
     println!("transmissions: {transmits} ({bytes_total} bytes), link losses: {losses}");
     for kind in [
         PacketKind::Handshake,
@@ -206,7 +233,12 @@ pub fn sim(o: &SimOpts) -> Result<(), CliError> {
     let m = &sim.metrics[v];
     println!(
         "scenario: {} relays ({}), mode {:?}, {} x {} B, loss {:.1}%/link",
-        o.relays, device.name, o.mode, o.messages, o.payload, o.loss * 100.0
+        o.relays,
+        device.name,
+        o.mode,
+        o.messages,
+        o.payload,
+        o.loss * 100.0
     );
     println!(
         "delivered: {}/{} messages ({} bytes) in {:.1}s virtual time",
@@ -264,8 +296,12 @@ pub fn engine_serve(
     s1_budget: u64,
     max_buffered: u64,
     route: &Option<(String, String)>,
+    adapt: bool,
 ) -> Result<(), CliError> {
     let mut ecfg = alpha_engine::EngineConfig::new(config_from(opts)).with_shards(shards);
+    if adapt {
+        ecfg = ecfg.with_adapt(alpha_engine::AdaptConfig::default());
+    }
     ecfg.s1_bytes_per_sec = (s1_budget > 0).then_some(s1_budget);
     ecfg.max_buffered_bytes = (max_buffered > 0).then_some(max_buffered);
     let core = alpha_engine::EngineCore::new(ecfg);
@@ -293,13 +329,141 @@ pub fn engine_serve(
 }
 
 /// `alpha engine stats`.
-pub fn engine_stats(addr: &str, timeout_ms: u64) -> Result<(), CliError> {
+pub fn engine_stats(addr: &str, timeout_ms: u64, raw_json: bool) -> Result<(), CliError> {
     use std::net::ToSocketAddrs;
     let addr = addr
         .to_socket_addrs()?
         .next()
         .ok_or_else(|| format!("cannot resolve '{addr}'"))?;
     let json = alpha_engine::query_stats(addr, Duration::from_millis(timeout_ms))?;
-    println!("{json}");
+    if raw_json {
+        println!("{json}");
+        return Ok(());
+    }
+    let snap: serde_json::Value =
+        serde_json::from_str(&json).map_err(|e| format!("engine sent malformed stats: {e}"))?;
+    print!("{}", render_engine_stats(&snap));
     Ok(())
+}
+
+/// Human-readable rendering of an engine stats snapshot, including the
+/// per-flow adaptation state carried in `adapt_flows`.
+fn render_engine_stats(snap: &serde_json::Value) -> String {
+    use std::fmt::Write as _;
+    let u = |v: Option<&serde_json::Value>| v.and_then(serde_json::Value::as_u64).unwrap_or(0);
+    let f = |v: Option<&serde_json::Value>| v.and_then(serde_json::Value::as_f64).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "engine: {} flow(s) across {} shard(s), {} buffered byte(s)",
+        u(snap.get("flows")),
+        u(snap.get("shards")),
+        u(snap.get("buffered_bytes")),
+    );
+    if let Some(serde_json::Value::Object(metrics)) = snap.get("metrics") {
+        let nonzero: Vec<String> = metrics
+            .iter()
+            .filter(|(_, v)| v.as_u64().is_some_and(|n| n > 0))
+            .map(|(k, v)| format!("{k}={}", v.as_u64().unwrap_or(0)))
+            .collect();
+        if nonzero.is_empty() {
+            let _ = writeln!(out, "metrics: all counters zero");
+        } else {
+            let _ = writeln!(out, "metrics: {}", nonzero.join(" "));
+        }
+    }
+    match snap.get("adapt_flows") {
+        Some(serde_json::Value::Array(rows)) if !rows.is_empty() => {
+            let _ = writeln!(out, "adaptive flows ({}):", rows.len());
+            for row in rows {
+                let adapt = row.get("adapt");
+                let est = adapt.and_then(|a| a.get("estimator"));
+                let _ = writeln!(
+                    out,
+                    "  {} assoc={} mode={} n={} switches={} loss={:.3} srtt={:.1}ms \
+                     rto={:.0}ms exchanges={} abandoned={} goodput={:.2} B/authB",
+                    row.get("peer")
+                        .and_then(serde_json::Value::as_str)
+                        .unwrap_or("?"),
+                    u(row.get("assoc_id")),
+                    adapt
+                        .and_then(|a| a.get("mode"))
+                        .and_then(serde_json::Value::as_str)
+                        .unwrap_or("?"),
+                    u(adapt.and_then(|a| a.get("n"))),
+                    u(adapt.and_then(|a| a.get("switches"))),
+                    f(est.and_then(|e| e.get("loss"))),
+                    f(est.and_then(|e| e.get("srtt_us"))) / 1e3,
+                    f(est.and_then(|e| e.get("rto_us"))) / 1e3,
+                    u(est.and_then(|e| e.get("exchanges"))),
+                    u(est.and_then(|e| e.get("abandoned"))),
+                    f(est.and_then(|e| e.get("goodput_per_auth_byte"))),
+                );
+            }
+        }
+        _ => {
+            let _ = writeln!(
+                out,
+                "adaptive flows: none (engine runs without --adapt state)"
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_stats_render_summarizes_adapt_flows() {
+        let snap = serde_json::json!({
+            "flows": 2u64,
+            "shards": 8u64,
+            "buffered_bytes": 0u64,
+            "metrics": {"verified": 10u64, "dropped": 0u64, "adapt_switches": 3u64},
+            "adapt_flows": [{
+                "peer": "10.0.0.1:700",
+                "assoc_id": 21u64,
+                "adapt": {
+                    "mode": "merkle",
+                    "n": 8u64,
+                    "switches": 12u64,
+                    "estimator": {
+                        "loss": 0.25,
+                        "srtt_us": 4200u64,
+                        "rto_us": 50000u64,
+                        "exchanges": 34u64,
+                        "abandoned": 3u64,
+                        "goodput_per_auth_byte": 1.93
+                    }
+                }
+            }]
+        });
+        let text = render_engine_stats(&snap);
+        assert!(text.contains("2 flow(s) across 8 shard(s)"), "{text}");
+        assert!(text.contains("verified=10"), "{text}");
+        assert!(text.contains("adapt_switches=3"), "{text}");
+        assert!(
+            !text.contains("dropped=0"),
+            "zero counters stay hidden: {text}"
+        );
+        assert!(
+            text.contains("10.0.0.1:700 assoc=21 mode=merkle n=8 switches=12"),
+            "{text}"
+        );
+        assert!(text.contains("loss=0.250"), "{text}");
+        assert!(text.contains("srtt=4.2ms"), "{text}");
+
+        let empty = serde_json::json!({
+            "flows": 0u64,
+            "shards": 1u64,
+            "buffered_bytes": 0u64,
+            "metrics": {},
+            "adapt_flows": []
+        });
+        let text = render_engine_stats(&empty);
+        assert!(text.contains("adaptive flows: none"), "{text}");
+        assert!(text.contains("metrics: all counters zero"), "{text}");
+    }
 }

@@ -18,13 +18,25 @@ fn main() {
             Ok(())
         }
         Command::Keygen { scheme, out, bits } => commands::keygen(scheme, out, *bits),
-        Command::Listen { bind, opts, seconds } => commands::listen(bind, opts, *seconds),
-        Command::Send { peer, messages, opts, mode, bind } => {
-            commands::send(peer, messages, opts, *mode, bind)
-        }
-        Command::Relay { bind, left, right, seconds, strict } => {
-            commands::relay(bind, left, right, *seconds, *strict)
-        }
+        Command::Listen {
+            bind,
+            opts,
+            seconds,
+        } => commands::listen(bind, opts, *seconds),
+        Command::Send {
+            peer,
+            messages,
+            opts,
+            mode,
+            bind,
+        } => commands::send(peer, messages, opts, *mode, bind),
+        Command::Relay {
+            bind,
+            left,
+            right,
+            seconds,
+            strict,
+        } => commands::relay(bind, left, right, *seconds, *strict),
         Command::Sim(opts) => commands::sim(opts),
         Command::Trace { file } => commands::trace_summary(file),
         Command::EngineServe {
@@ -36,6 +48,7 @@ fn main() {
             s1_budget,
             max_buffered,
             route,
+            adapt,
         } => commands::engine_serve(
             bind,
             opts,
@@ -45,10 +58,13 @@ fn main() {
             *s1_budget,
             *max_buffered,
             route,
+            *adapt,
         ),
-        Command::EngineStats { addr, timeout_ms } => {
-            commands::engine_stats(addr, *timeout_ms)
-        }
+        Command::EngineStats {
+            addr,
+            timeout_ms,
+            json,
+        } => commands::engine_stats(addr, *timeout_ms, *json),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

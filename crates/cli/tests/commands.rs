@@ -18,7 +18,9 @@ fn keygen_writes_loadable_identity() {
     let key = alpha_pk::PrivateKey::from_bytes(&bytes).expect("parses back");
     let mut rng = alpha::test_rng(1);
     use alpha_pk::VerifyingKey;
-    let sig = key.as_signer().sign(alpha::crypto::Algorithm::Sha1, b"x", &mut rng);
+    let sig = key
+        .as_signer()
+        .sign(alpha::crypto::Algorithm::Sha1, b"x", &mut rng);
     assert!(key
         .as_signer()
         .verifying_key()
@@ -37,8 +39,23 @@ fn keygen_rejects_unknown_scheme() {
 fn sim_subcommand_runs_end_to_end() {
     // Parse a realistic command line, then execute it.
     let argv: Vec<String> = [
-        "sim", "--relays", "1", "--messages", "10", "--batch", "5", "--loss", "0", "--device",
-        "geode", "--payload", "64", "--seconds", "30", "--seed", "3",
+        "sim",
+        "--relays",
+        "1",
+        "--messages",
+        "10",
+        "--batch",
+        "5",
+        "--loss",
+        "0",
+        "--device",
+        "geode",
+        "--payload",
+        "64",
+        "--seconds",
+        "30",
+        "--seed",
+        "3",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -62,10 +79,17 @@ fn sim_accepts_all_devices_and_modes() {
                 seconds: 20,
                 ..SimOpts::default()
             };
-            let argv: Vec<String> =
-                ["sim", "--mode", mode].iter().map(|s| s.to_string()).collect();
-            let Command::Sim(parsed) = parse_args(&argv).unwrap() else { panic!() };
-            let merged = SimOpts { mode: parsed.mode, ..opts };
+            let argv: Vec<String> = ["sim", "--mode", mode]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            let Command::Sim(parsed) = parse_args(&argv).unwrap() else {
+                panic!()
+            };
+            let merged = SimOpts {
+                mode: parsed.mode,
+                ..opts
+            };
             // MMO devices need the matching algorithm for realism but any
             // algorithm is legal; just run it.
             commands::sim(&merged).unwrap_or_else(|e| panic!("{device}/{mode}: {e}"));

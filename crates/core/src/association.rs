@@ -105,7 +105,12 @@ impl Association {
             peer_sig_anchor.0,
             peer_sig_anchor.1,
         );
-        Association { assoc_id, cfg, signer, verifier }
+        Association {
+            assoc_id,
+            cfg,
+            signer,
+            verifier,
+        }
     }
 
     /// Create a bootstrapped pair of associations in memory (unprotected
@@ -216,6 +221,12 @@ impl Association {
     #[must_use]
     pub fn poll_at(&self) -> Option<Timestamp> {
         self.signer.poll_at()
+    }
+
+    /// Retune the signer's retransmission timeout at runtime (see
+    /// [`SignerChannel::set_rto_micros`]).
+    pub fn set_rto_micros(&mut self, rto_micros: u64) {
+        self.signer.set_rto_micros(rto_micros);
     }
 
     /// Total protocol bytes buffered on this host (Tables 2 and 3).

@@ -60,7 +60,15 @@ pub fn initiate(
         auth,
         rng,
     );
-    (Handshaker { cfg, assoc_id, sig_chain, ack_chain }, packet)
+    (
+        Handshaker {
+            cfg,
+            assoc_id,
+            sig_chain,
+            ack_chain,
+        },
+        packet,
+    )
 }
 
 /// Responder side: process HS1, emit HS2, and stand up the association.

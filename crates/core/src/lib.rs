@@ -36,18 +36,18 @@
 mod association;
 pub mod bootstrap;
 mod error;
-pub mod renewal;
-pub mod signal;
 mod limiter;
 mod relay;
+pub mod renewal;
+pub mod signal;
 mod signer;
 mod verifier;
 
 pub use association::{Association, Response};
 pub use error::ProtocolError;
-pub use signer::message_mac;
 pub use limiter::{S1Limiter, SharedS1Limiter};
 pub use relay::{DropReason, Relay, RelayConfig, RelayDecision, RelayEvent};
+pub use signer::message_mac;
 pub use signer::{SignerChannel, SignerEvent};
 pub use verifier::{VerifierChannel, VerifierEvent};
 

@@ -76,7 +76,10 @@ impl SharedS1Limiter {
     /// (burst = one second's worth), or unlimited when `None`.
     #[must_use]
     pub fn new(rate_per_sec: Option<u64>) -> SharedS1Limiter {
-        SharedS1Limiter { rate_per_sec, tat_us: AtomicU64::new(0) }
+        SharedS1Limiter {
+            rate_per_sec,
+            tat_us: AtomicU64::new(0),
+        }
     }
 
     /// Account `bytes` at time `now`; `true` = within budget. Safe to
@@ -90,10 +93,9 @@ impl SharedS1Limiter {
             return false;
         }
         let now_us = now.micros();
-        let cost_us = u64::try_from(
-            (u128::from(bytes) * u128::from(BURST_US)).div_ceil(u128::from(rate)),
-        )
-        .unwrap_or(u64::MAX);
+        let cost_us =
+            u64::try_from((u128::from(bytes) * u128::from(BURST_US)).div_ceil(u128::from(rate)))
+                .unwrap_or(u64::MAX);
         let mut observed = self.tat_us.load(Ordering::Relaxed);
         loop {
             // A clock that jumped far ahead refills the bucket: TAT

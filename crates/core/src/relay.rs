@@ -141,8 +141,14 @@ struct RelayExchange {
 
 enum RelayPresig {
     Macs(Vec<Digest>),
-    Root { root: Digest, leaves: u32 },
-    Forest { trees: Vec<PreSignatureTree>, leaves_per_tree: usize },
+    Root {
+        root: Digest,
+        leaves: u32,
+    },
+    Forest {
+        trees: Vec<PreSignatureTree>,
+        leaves_per_tree: usize,
+    },
 }
 
 /// A buffered forest tree: keyed root plus leaf count.
@@ -184,7 +190,10 @@ impl Relay {
     /// An empty relay with the given policy.
     #[must_use]
     pub fn new(cfg: RelayConfig) -> Relay {
-        Relay { cfg, assocs: HashMap::new() }
+        Relay {
+            cfg,
+            assocs: HashMap::new(),
+        }
     }
 
     /// Number of associations currently tracked.
@@ -288,7 +297,11 @@ impl Relay {
         match hs.role {
             HandshakeRole::Init => {
                 let entry = self.assocs.entry(pkt.assoc_id).or_insert_with(|| {
-                    RelayAssociation::placeholder(pkt.alg, self.cfg.s1_bytes_per_sec, self.cfg.max_skip)
+                    RelayAssociation::placeholder(
+                        pkt.alg,
+                        self.cfg.s1_bytes_per_sec,
+                        self.cfg.max_skip,
+                    )
                 });
                 entry.pending_init = Some((
                     hs.sig_anchor,
@@ -310,15 +323,21 @@ impl Relay {
                 use alpha_crypto::chain::ChainKind::{RoleBoundAck, RoleBoundSignature};
                 a.alg = alg;
                 a.fwd = DirectionState {
-                    sig: ChainVerifier::new(alg, RoleBoundSignature, isig, isig_i).with_max_skip(skip),
+                    sig: ChainVerifier::new(alg, RoleBoundSignature, isig, isig_i)
+                        .with_max_skip(skip),
                     ack: ChainVerifier::new(alg, RoleBoundAck, hs.ack_anchor, hs.ack_anchor_index)
                         .with_max_skip(skip),
                     exchange: None,
                     prev_exchange: None,
                 };
                 a.rev = DirectionState {
-                    sig: ChainVerifier::new(alg, RoleBoundSignature, hs.sig_anchor, hs.sig_anchor_index)
-                        .with_max_skip(skip),
+                    sig: ChainVerifier::new(
+                        alg,
+                        RoleBoundSignature,
+                        hs.sig_anchor,
+                        hs.sig_anchor_index,
+                    )
+                    .with_max_skip(skip),
                     ack: ChainVerifier::new(alg, RoleBoundAck, iack, iack_i).with_max_skip(skip),
                     exchange: None,
                     prev_exchange: None,
@@ -338,7 +357,10 @@ impl Relay {
             return if forward_unknown {
                 (RelayDecision::Forward, Vec::new())
             } else {
-                (RelayDecision::Drop(DropReason::UnknownAssociation), Vec::new())
+                (
+                    RelayDecision::Drop(DropReason::UnknownAssociation),
+                    Vec::new(),
+                )
             };
         };
         if a.pending_init.is_some() {
@@ -346,7 +368,10 @@ impl Relay {
             return if forward_unknown {
                 (RelayDecision::Forward, Vec::new())
             } else {
-                (RelayDecision::Drop(DropReason::UnknownAssociation), Vec::new())
+                (
+                    RelayDecision::Drop(DropReason::UnknownAssociation),
+                    Vec::new(),
+                )
             };
         }
         let alg = a.alg;
@@ -378,7 +403,10 @@ impl Relay {
                         duplicate = true;
                         break;
                     }
-                    if d.sig.accept_role(pkt.chain_index, element, Role::Announce).is_ok() {
+                    if d.sig
+                        .accept_role(pkt.chain_index, element, Role::Announce)
+                        .is_ok()
+                    {
                         dir = Some(d);
                         break;
                     }
@@ -400,7 +428,10 @@ impl Relay {
                         if *leaves == 0 {
                             return (RelayDecision::Drop(DropReason::Malformed), Vec::new());
                         }
-                        RelayPresig::Root { root: *root, leaves: *leaves }
+                        RelayPresig::Root {
+                            root: *root,
+                            leaves: *leaves,
+                        }
                     }
                     PreSignature::MerkleForest(trees) => {
                         let lpt = trees[0].leaves as usize;
@@ -414,7 +445,10 @@ impl Relay {
                         RelayPresig::Forest {
                             trees: trees
                                 .iter()
-                                .map(|t| PreSignatureTree { root: t.root, leaves: t.leaves })
+                                .map(|t| PreSignatureTree {
+                                    root: t.root,
+                                    leaves: t.leaves,
+                                })
                                 .collect(),
                             leaves_per_tree: lpt,
                         }
@@ -424,7 +458,10 @@ impl Relay {
                 // the S1's content only becomes checkable at S2 time, so a
                 // duplicate is never allowed to overwrite buffered state.
                 let keep = duplicate
-                    && dir.exchange.as_ref().is_some_and(|ex| ex.s1_index == pkt.chain_index);
+                    && dir
+                        .exchange
+                        .as_ref()
+                        .is_some_and(|ex| ex.s1_index == pkt.chain_index);
                 if !keep {
                     dir.prev_exchange = dir.exchange.take();
                     dir.exchange = Some(RelayExchange {
@@ -452,7 +489,10 @@ impl Relay {
                         duplicate = true;
                         break;
                     }
-                    if d.ack.accept_role(pkt.chain_index, element, Role::Announce).is_ok() {
+                    if d.ack
+                        .accept_role(pkt.chain_index, element, Role::Announce)
+                        .is_ok()
+                    {
                         dir = Some(d);
                         break;
                     }
@@ -466,20 +506,31 @@ impl Relay {
                 if let Some(ex) = dir.exchange.as_mut() {
                     ex.commit = match commit {
                         AckCommit::None => None,
-                        AckCommit::Flat { pre_ack, pre_nack } => Some(RelayCommit::Flat(PreAckPair {
-                            pre_ack: *pre_ack,
-                            pre_nack: *pre_nack,
-                        })),
-                        AckCommit::Amt { root, leaves } => {
-                            Some(RelayCommit::Amt { root: *root, leaves: *leaves })
+                        AckCommit::Flat { pre_ack, pre_nack } => {
+                            Some(RelayCommit::Flat(PreAckPair {
+                                pre_ack: *pre_ack,
+                                pre_nack: *pre_nack,
+                            }))
                         }
+                        AckCommit::Amt { root, leaves } => Some(RelayCommit::Amt {
+                            root: *root,
+                            leaves: *leaves,
+                        }),
                     };
                 }
                 (RelayDecision::Forward, Vec::new())
             }
-            Body::S2 { key, seq, path, payload } => {
+            Body::S2 {
+                key,
+                seq,
+                path,
+                payload,
+            } => {
                 let matches_dir = |d: &DirectionState| {
-                    if d.exchange.as_ref().is_some_and(|ex| ex.s1_index == pkt.chain_index + 1) {
+                    if d.exchange
+                        .as_ref()
+                        .is_some_and(|ex| ex.s1_index == pkt.chain_index + 1)
+                    {
                         Some(true)
                     } else if d
                         .prev_exchange
@@ -509,7 +560,11 @@ impl Relay {
                         if !alpha_crypto::ct_eq(key.as_bytes(), last.as_bytes()) {
                             return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
                         }
-                    } else if dir.sig.accept_role(pkt.chain_index, key, Role::Disclose).is_err() {
+                    } else if dir
+                        .sig
+                        .accept_role(pkt.chain_index, key, Role::Disclose)
+                        .is_err()
+                    {
                         return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
                     }
                 } else {
@@ -530,10 +585,12 @@ impl Relay {
                     dir.prev_exchange.as_ref().expect("matched above")
                 };
                 let valid = match &ex.presig {
-                    RelayPresig::Macs(macs) => (*seq as usize) < macs.len() && {
-                        let mac = message_mac(alg, self.cfg.mac_scheme, key, *seq, payload);
-                        alpha_crypto::ct_eq(mac.as_bytes(), macs[*seq as usize].as_bytes())
-                    },
+                    RelayPresig::Macs(macs) => {
+                        (*seq as usize) < macs.len() && {
+                            let mac = message_mac(alg, self.cfg.mac_scheme, key, *seq, payload);
+                            alpha_crypto::ct_eq(mac.as_bytes(), macs[*seq as usize].as_bytes())
+                        }
+                    }
                     RelayPresig::Root { root, leaves } => {
                         let expected_depth = merkle::log2_ceil(u64::from(*leaves).max(1)) as usize;
                         (*seq as usize) < *leaves as usize
@@ -547,7 +604,10 @@ impl Relay {
                                 root,
                             )
                     }
-                    RelayPresig::Forest { trees, leaves_per_tree } => {
+                    RelayPresig::Forest {
+                        trees,
+                        leaves_per_tree,
+                    } => {
                         let t = *seq as usize / leaves_per_tree;
                         let j = *seq as usize % leaves_per_tree;
                         t < trees.len() && {
@@ -571,7 +631,11 @@ impl Relay {
                     return (RelayDecision::Drop(DropReason::BadMac), Vec::new());
                 }
                 // Enforce a signalled payload-rate cap on this direction.
-                let cap = if is_fwd { &mut a.data_cap_fwd } else { &mut a.data_cap_rev };
+                let cap = if is_fwd {
+                    &mut a.data_cap_fwd
+                } else {
+                    &mut a.data_cap_rev
+                };
                 if let Some(bucket) = cap {
                     if !bucket.allow(payload.len() as u64, now) {
                         return (RelayDecision::Drop(DropReason::RateLimited), Vec::new());
@@ -584,8 +648,11 @@ impl Relay {
                 if let Some(sig) = crate::signal::Signal::parse(payload) {
                     match sig {
                         crate::signal::Signal::RateLimit { bytes_per_sec } => {
-                            let toward_sender =
-                                if is_fwd { &mut a.data_cap_rev } else { &mut a.data_cap_fwd };
+                            let toward_sender = if is_fwd {
+                                &mut a.data_cap_rev
+                            } else {
+                                &mut a.data_cap_fwd
+                            };
                             *toward_sender = Some(S1Limiter::new(Some(bytes_per_sec)));
                         }
                         crate::signal::Signal::Close => {
@@ -616,8 +683,9 @@ impl Relay {
                         ChainVerifier::new(alg, RoleBoundSignature, anchors.sig.0, anchors.sig.1)
                             .with_max_skip(skip);
                     sig_dir.exchange = None;
-                    ack_dir.ack = ChainVerifier::new(alg, RoleBoundAck, anchors.ack.0, anchors.ack.1)
-                        .with_max_skip(skip);
+                    ack_dir.ack =
+                        ChainVerifier::new(alg, RoleBoundAck, anchors.ack.0, anchors.ack.1)
+                            .with_max_skip(skip);
                 }
                 (
                     RelayDecision::Forward,
@@ -629,13 +697,20 @@ impl Relay {
                     }],
                 )
             }
-            Body::A2 { element, disclosure } => {
+            Body::A2 {
+                element,
+                disclosure,
+            } => {
                 let mut dir = None;
                 for d in [&mut a.fwd, &mut a.rev] {
                     let (last_index, last) = d.ack.last();
                     let already = pkt.chain_index == last_index
                         && alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes());
-                    if already || d.ack.accept_role(pkt.chain_index, element, Role::Disclose).is_ok() {
+                    if already
+                        || d.ack
+                            .accept_role(pkt.chain_index, element, Role::Disclose)
+                            .is_ok()
+                    {
                         dir = Some(d);
                         break;
                     }
@@ -650,7 +725,10 @@ impl Relay {
                 let mut events = Vec::new();
                 match (&ex.commit, disclosure) {
                     (Some(RelayCommit::Flat(pair)), A2Disclosure::Flat { ack, secret }) => {
-                        let d = alpha_crypto::preack::AckDisclosure { ack: *ack, secret: *secret };
+                        let d = alpha_crypto::preack::AckDisclosure {
+                            ack: *ack,
+                            secret: *secret,
+                        };
                         if !alpha_crypto::preack::verify(alg, element, &d, pair) {
                             return (RelayDecision::Drop(DropReason::BadVerdict), Vec::new());
                         }
@@ -670,7 +748,10 @@ impl Relay {
                                 root,
                             ) {
                                 None => {
-                                    return (RelayDecision::Drop(DropReason::BadVerdict), Vec::new())
+                                    return (
+                                        RelayDecision::Drop(DropReason::BadVerdict),
+                                        Vec::new(),
+                                    )
                                 }
                                 Some(ack) => events.push(RelayEvent::VerifiedVerdict {
                                     assoc_id: pkt.assoc_id,

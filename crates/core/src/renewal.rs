@@ -66,7 +66,13 @@ pub fn offer(cfg: &Config, rng: &mut dyn RngCore) -> (RenewalOffer, Vec<u8>) {
         gen(ChainKind::RoleBoundAck, rng),
     );
     let payload = encode(cfg.algorithm, &sig_chain, &ack_chain);
-    (RenewalOffer { sig_chain, ack_chain }, payload)
+    (
+        RenewalOffer {
+            sig_chain,
+            ack_chain,
+        },
+        payload,
+    )
 }
 
 fn encode(alg: Algorithm, sig: &HashChain, ack: &HashChain) -> Vec<u8> {

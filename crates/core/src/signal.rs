@@ -77,7 +77,9 @@ impl Signal {
                 if rest.len() != len as usize {
                     return None;
                 }
-                Some(Signal::LocatorUpdate { locator: rest.to_vec() })
+                Some(Signal::LocatorUpdate {
+                    locator: rest.to_vec(),
+                })
             }
             2 => {
                 if rest.len() != 8 {
@@ -106,9 +108,15 @@ mod tests {
     #[test]
     fn all_signals_roundtrip() {
         for sig in [
-            Signal::LocatorUpdate { locator: b"198.51.100.7:4500".to_vec() },
-            Signal::LocatorUpdate { locator: Vec::new() },
-            Signal::RateLimit { bytes_per_sec: 125_000 },
+            Signal::LocatorUpdate {
+                locator: b"198.51.100.7:4500".to_vec(),
+            },
+            Signal::LocatorUpdate {
+                locator: Vec::new(),
+            },
+            Signal::RateLimit {
+                bytes_per_sec: 125_000,
+            },
             Signal::RateLimit { bytes_per_sec: 0 },
             Signal::Close,
         ] {
@@ -131,14 +139,19 @@ mod tests {
         let mut bytes = Signal::Close.encode();
         bytes.push(0);
         assert!(Signal::parse(&bytes).is_none());
-        let mut bytes = Signal::LocatorUpdate { locator: b"x".to_vec() }.encode();
+        let mut bytes = Signal::LocatorUpdate {
+            locator: b"x".to_vec(),
+        }
+        .encode();
         bytes.push(0); // length byte no longer matches
         assert!(Signal::parse(&bytes).is_none());
     }
 
     #[test]
     fn oversized_locator_truncated_at_encode() {
-        let sig = Signal::LocatorUpdate { locator: vec![7u8; 300] };
+        let sig = Signal::LocatorUpdate {
+            locator: vec![7u8; 300],
+        };
         let parsed = Signal::parse(&sig.encode()).unwrap();
         match parsed {
             Signal::LocatorUpdate { locator } => assert_eq!(locator.len(), 255),

@@ -129,6 +129,21 @@ impl SignerChannel {
         self.pending.is_none()
     }
 
+    /// Retune the retransmission timeout at runtime. The hook for the
+    /// adaptation plane (`alpha-adapt`): an RFC 6298 estimate measured on
+    /// live exchanges replaces the configured constant. Takes effect from
+    /// the next (re)transmission; the value is clamped to at least 1 ms
+    /// so a bad estimate cannot spin the timer.
+    pub fn set_rto_micros(&mut self, rto_micros: u64) {
+        self.cfg.rto_micros = rto_micros.max(1_000);
+    }
+
+    /// The currently effective retransmission timeout (µs).
+    #[must_use]
+    pub fn rto_micros(&self) -> u64 {
+        self.cfg.rto_micros
+    }
+
     /// Exchange pairs left on the signature chain.
     #[must_use]
     pub fn remaining_exchanges(&self) -> u64 {
@@ -186,10 +201,10 @@ impl SignerChannel {
             Mode::CumulativeMerkle { leaves_per_tree }
                 if (leaves_per_tree == 0
                     || messages.len() as u64 > u64::from(limits::MAX_LEAVES)
-                    || messages.len().div_ceil(leaves_per_tree) > limits::MAX_PRESIGS)
-                => {
-                    return Err(ProtocolError::TooManyMessages);
-                }
+                    || messages.len().div_ceil(leaves_per_tree) > limits::MAX_PRESIGS) =>
+            {
+                return Err(ProtocolError::TooManyMessages);
+            }
             _ => {}
         }
         if messages.iter().any(|m| m.len() > limits::MAX_PAYLOAD) {
@@ -198,8 +213,10 @@ impl SignerChannel {
         if self.chain.remaining_pairs() == 0 {
             return Err(ProtocolError::ChainExhausted);
         }
-        let ((announce_index, announce), (key_index, key)) =
-            self.chain.disclose_pair().map_err(|_| ProtocolError::ChainExhausted)?;
+        let ((announce_index, announce), (key_index, key)) = self
+            .chain
+            .disclose_pair()
+            .map_err(|_| ProtocolError::ChainExhausted)?;
         debug_assert_eq!(alpha_crypto::chain::role_of(announce_index), Role::Announce);
 
         let alg = self.cfg.algorithm;
@@ -216,7 +233,10 @@ impl SignerChannel {
                 let tree = MerkleTree::from_messages(alg, messages);
                 let root = tree.keyed_root(&key);
                 (
-                    PreSignature::MerkleRoot { root, leaves: messages.len() as u32 },
+                    PreSignature::MerkleRoot {
+                        root,
+                        leaves: messages.len() as u32,
+                    },
                     vec![tree],
                     messages.len().max(1),
                 )
@@ -233,14 +253,21 @@ impl SignerChannel {
                         leaves: t.leaf_count() as u32,
                     })
                     .collect();
-                (PreSignature::MerkleForest(descriptors), trees, leaves_per_tree)
+                (
+                    PreSignature::MerkleForest(descriptors),
+                    trees,
+                    leaves_per_tree,
+                )
             }
         };
         let s1 = Packet {
             assoc_id: self.assoc_id,
             alg,
             chain_index: announce_index,
-            body: Body::S1 { element: announce, presig },
+            body: Body::S1 {
+                element: announce,
+                presig,
+            },
         };
         self.pending = Some(Exchange {
             mode,
@@ -262,7 +289,11 @@ impl SignerChannel {
 
     /// Process an A1 packet. On success returns the S2 packets for every
     /// message of the exchange.
-    pub fn handle_a1(&mut self, pkt: &Packet, now: Timestamp) -> Result<SignerOutput, ProtocolError> {
+    pub fn handle_a1(
+        &mut self,
+        pkt: &Packet,
+        now: Timestamp,
+    ) -> Result<SignerOutput, ProtocolError> {
         self.check_packet(pkt)?;
         let Body::A1 { element, commit } = &pkt.body else {
             return Err(ProtocolError::UnexpectedPacket);
@@ -275,7 +306,8 @@ impl SignerChannel {
             // so temporal separation holds.
             return Ok(SignerOutput::default());
         }
-        self.peer_ack.accept_role(pkt.chain_index, element, Role::Announce)?;
+        self.peer_ack
+            .accept_role(pkt.chain_index, element, Role::Announce)?;
 
         if ex.reliability == Reliability::Reliable {
             match (ex.mode, commit) {
@@ -289,14 +321,20 @@ impl SignerChannel {
                     if *leaves as usize != ex.messages.len() {
                         return Err(ProtocolError::UnexpectedPacket);
                     }
-                    ex.commit = Some(BufferedCommit::Amt { root: *root, leaves: *leaves });
+                    ex.commit = Some(BufferedCommit::Amt {
+                        root: *root,
+                        leaves: *leaves,
+                    });
                 }
                 _ => return Err(ProtocolError::UnexpectedPacket),
             }
         }
 
         let packets = Self::build_s2s(self.assoc_id, &self.cfg, ex, None);
-        let mut out = SignerOutput { packets, events: Vec::new() };
+        let mut out = SignerOutput {
+            packets,
+            events: Vec::new(),
+        };
         if ex.reliability == Reliability::Reliable {
             ex.state = ExchangeState::AwaitA2;
             ex.last_tx = now;
@@ -310,9 +348,17 @@ impl SignerChannel {
 
     /// Process an A2 packet (reliable mode): per-message verdicts. Nacked
     /// messages are retransmitted immediately.
-    pub fn handle_a2(&mut self, pkt: &Packet, now: Timestamp) -> Result<SignerOutput, ProtocolError> {
+    pub fn handle_a2(
+        &mut self,
+        pkt: &Packet,
+        now: Timestamp,
+    ) -> Result<SignerOutput, ProtocolError> {
         self.check_packet(pkt)?;
-        let Body::A2 { element, disclosure } = &pkt.body else {
+        let Body::A2 {
+            element,
+            disclosure,
+        } = &pkt.body
+        else {
             return Err(ProtocolError::UnexpectedPacket);
         };
         let Some(ex) = self.pending.as_mut() else {
@@ -326,10 +372,13 @@ impl SignerChannel {
         let (last_index, last) = self.peer_ack.last();
         if pkt.chain_index == last_index {
             if !alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes()) {
-                return Err(ProtocolError::Chain(alpha_crypto::chain::ChainError::Mismatch));
+                return Err(ProtocolError::Chain(
+                    alpha_crypto::chain::ChainError::Mismatch,
+                ));
             }
         } else {
-            self.peer_ack.accept_role(pkt.chain_index, element, Role::Disclose)?;
+            self.peer_ack
+                .accept_role(pkt.chain_index, element, Role::Disclose)?;
         }
 
         let alg = self.cfg.algorithm;
@@ -337,7 +386,10 @@ impl SignerChannel {
         let mut retransmit: Vec<u32> = Vec::new();
         match (&ex.commit, disclosure) {
             (Some(BufferedCommit::Flat(pair)), A2Disclosure::Flat { ack, secret }) => {
-                let disclosure = alpha_crypto::preack::AckDisclosure { ack: *ack, secret: *secret };
+                let disclosure = alpha_crypto::preack::AckDisclosure {
+                    ack: *ack,
+                    secret: *secret,
+                };
                 if !alpha_crypto::preack::verify(alg, element, &disclosure, pair) {
                     return Err(ProtocolError::BadMac);
                 }
@@ -406,7 +458,11 @@ impl SignerChannel {
             packets = Self::build_s2s(self.assoc_id, &self.cfg, ex, Some(&retransmit));
             ex.last_tx = now;
         }
-        if self.pending.as_ref().is_some_and(|ex| ex.acked.iter().all(|&a| a)) {
+        if self
+            .pending
+            .as_ref()
+            .is_some_and(|ex| ex.acked.iter().all(|&a| a))
+        {
             events.push(SignerEvent::ExchangeComplete);
             self.pending = None;
         }
@@ -475,12 +531,7 @@ impl SignerChannel {
             .map(|ex| ex.last_tx.plus_micros(self.cfg.rto_micros))
     }
 
-    fn build_s2s(
-        assoc_id: u64,
-        cfg: &Config,
-        ex: &Exchange,
-        only: Option<&[u32]>,
-    ) -> Vec<Packet> {
+    fn build_s2s(assoc_id: u64, cfg: &Config, ex: &Exchange, only: Option<&[u32]>) -> Vec<Packet> {
         let seqs: Vec<u32> = match only {
             Some(list) => list.to_vec(),
             None => (0..ex.messages.len() as u32).collect(),

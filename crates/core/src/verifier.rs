@@ -40,8 +40,14 @@ pub struct VerifierOutput {
 
 enum BufferedPresig {
     Macs(Vec<Digest>),
-    Root { root: Digest, leaves: u32 },
-    Forest { trees: Vec<alpha_wire::TreeDescriptor>, leaves_per_tree: usize },
+    Root {
+        root: Digest,
+        leaves: u32,
+    },
+    Forest {
+        trees: Vec<alpha_wire::TreeDescriptor>,
+        leaves_per_tree: usize,
+    },
 }
 
 enum AckState {
@@ -122,7 +128,9 @@ impl VerifierChannel {
             current: None,
             previous: None,
             accepting: true,
-            exchange_ttl: cfg.rto_micros.saturating_mul(u64::from(cfg.max_retries) + 5),
+            exchange_ttl: cfg
+                .rto_micros
+                .saturating_mul(u64::from(cfg.max_retries) + 5),
         }
     }
 
@@ -192,14 +200,16 @@ impl VerifierChannel {
         if covered == 0 || covered > limits::MAX_LEAVES {
             return Err(ProtocolError::TooManyMessages);
         }
-        self.peer_sig.accept_role(pkt.chain_index, element, Role::Announce)?;
+        self.peer_sig
+            .accept_role(pkt.chain_index, element, Role::Announce)?;
 
         let alg = self.cfg.algorithm;
         let presig = match presig {
             PreSignature::Cumulative(macs) => BufferedPresig::Macs(macs.clone()),
-            PreSignature::MerkleRoot { root, leaves } => {
-                BufferedPresig::Root { root: *root, leaves: *leaves }
-            }
+            PreSignature::MerkleRoot { root, leaves } => BufferedPresig::Root {
+                root: *root,
+                leaves: *leaves,
+            },
             PreSignature::MerkleForest(trees) => {
                 // Every tree but the last must be the same size so global
                 // sequence numbers map unambiguously to (tree, leaf).
@@ -211,7 +221,10 @@ impl VerifierChannel {
                 if trees[trees.len() - 1].leaves as usize > lpt {
                     return Err(ProtocolError::UnexpectedPacket);
                 }
-                BufferedPresig::Forest { trees: trees.clone(), leaves_per_tree: lpt }
+                BufferedPresig::Forest {
+                    trees: trees.clone(),
+                    leaves_per_tree: lpt,
+                }
             }
         };
         let ((a_index, a_element), (ack_key_index, ack_key)) = self
@@ -224,14 +237,27 @@ impl VerifierChannel {
                 BufferedPresig::Macs(_) => {
                     let (pair, secrets) = alpha_crypto::preack::generate(alg, &ack_key, rng);
                     (
-                        AckState::Flat { pair, secrets, verdict_sent: false },
-                        AckCommit::Flat { pre_ack: pair.pre_ack, pre_nack: pair.pre_nack },
+                        AckState::Flat {
+                            pair,
+                            secrets,
+                            verdict_sent: false,
+                        },
+                        AckCommit::Flat {
+                            pre_ack: pair.pre_ack,
+                            pre_nack: pair.pre_nack,
+                        },
                     )
                 }
                 BufferedPresig::Root { .. } | BufferedPresig::Forest { .. } => {
                     let amt = AckMerkleTree::generate(alg, covered as usize, rng);
                     let root = amt.keyed_root(&ack_key);
-                    (AckState::Amt(amt), AckCommit::Amt { root, leaves: covered })
+                    (
+                        AckState::Amt(amt),
+                        AckCommit::Amt {
+                            root,
+                            leaves: covered,
+                        },
+                    )
                 }
             }
         } else {
@@ -242,7 +268,10 @@ impl VerifierChannel {
             assoc_id: self.assoc_id,
             alg,
             chain_index: a_index,
-            body: Body::A1 { element: a_element, commit },
+            body: Body::A1 {
+                element: a_element,
+                commit,
+            },
         };
         self.previous = self.current.take();
         self.current = Some(BufferedExchange {
@@ -258,15 +287,28 @@ impl VerifierChannel {
             first_s2_at: None,
             last_nack_at: Timestamp::ZERO,
         });
-        Ok(VerifierOutput { packets: vec![a1], events: Vec::new() })
+        Ok(VerifierOutput {
+            packets: vec![a1],
+            events: Vec::new(),
+        })
     }
 
     /// Process an S2 packet: authenticate the disclosed key, check the
     /// message against the buffered pre-signature, deliver the payload and
     /// (in reliable mode) disclose a verdict.
-    pub fn handle_s2(&mut self, pkt: &Packet, _now: Timestamp) -> Result<VerifierOutput, ProtocolError> {
+    pub fn handle_s2(
+        &mut self,
+        pkt: &Packet,
+        _now: Timestamp,
+    ) -> Result<VerifierOutput, ProtocolError> {
         self.check_packet(pkt)?;
-        let Body::S2 { key, seq, path, payload } = &pkt.body else {
+        let Body::S2 {
+            key,
+            seq,
+            path,
+            payload,
+        } = &pkt.body
+        else {
             return Err(ProtocolError::UnexpectedPacket);
         };
         let alg = self.cfg.algorithm;
@@ -299,10 +341,13 @@ impl VerifierChannel {
             let (last_index, last) = self.peer_sig.last();
             if pkt.chain_index == last_index {
                 if !alpha_crypto::ct_eq(key.as_bytes(), last.as_bytes()) {
-                    return Err(ProtocolError::Chain(alpha_crypto::chain::ChainError::Mismatch));
+                    return Err(ProtocolError::Chain(
+                        alpha_crypto::chain::ChainError::Mismatch,
+                    ));
                 }
             } else {
-                self.peer_sig.accept_role(pkt.chain_index, key, Role::Disclose)?;
+                self.peer_sig
+                    .accept_role(pkt.chain_index, key, Role::Disclose)?;
             }
         } else {
             let derived = alpha_crypto::chain::derive(
@@ -312,7 +357,9 @@ impl VerifierChannel {
                 key,
             );
             if !alpha_crypto::ct_eq(derived.as_bytes(), ex.announce.as_bytes()) {
-                return Err(ProtocolError::Chain(alpha_crypto::chain::ChainError::Mismatch));
+                return Err(ProtocolError::Chain(
+                    alpha_crypto::chain::ChainError::Mismatch,
+                ));
             }
         }
 
@@ -327,7 +374,10 @@ impl VerifierChannel {
                 path.len() == expected_depth
                     && merkle::verify_keyed(alg, key, &alg.hash(payload), seq as usize, path, root)
             }
-            BufferedPresig::Forest { trees, leaves_per_tree } => {
+            BufferedPresig::Forest {
+                trees,
+                leaves_per_tree,
+            } => {
                 let t = seq as usize / leaves_per_tree;
                 let j = seq as usize % leaves_per_tree;
                 let tree = &trees[t];
@@ -360,7 +410,8 @@ impl VerifierChannel {
         let first_time = !ex.received[seq as usize];
         ex.received[seq as usize] = true;
         if first_time {
-            out.events.push(VerifierEvent::Delivered(seq, payload.clone()));
+            out.events
+                .push(VerifierEvent::Delivered(seq, payload.clone()));
         }
         let complete = ex.received.iter().all(|&r| r);
         if complete && first_time {
@@ -425,8 +476,13 @@ impl VerifierChannel {
         };
         let ex = self.current.as_mut().expect("matched above");
         ex.last_nack_at = now;
-        let AckState::Amt(amt) = &ex.ack else { unreachable!() };
-        let items: Vec<_> = missing.iter().map(|&seq| amt.disclose(seq as usize, false)).collect();
+        let AckState::Amt(amt) = &ex.ack else {
+            unreachable!()
+        };
+        let items: Vec<_> = missing
+            .iter()
+            .map(|&seq| amt.disclose(seq as usize, false))
+            .collect();
         vec![Packet {
             assoc_id: self.assoc_id,
             alg: self.cfg.algorithm,
@@ -444,10 +500,18 @@ impl VerifierChannel {
     /// a nack at the first failure); AMT mode acknowledges every packet
     /// individually (selective acknowledgment).
     fn make_verdict(&mut self, in_current: bool, seq: u32, ok: bool) -> Option<Packet> {
-        let ex = if in_current { self.current.as_mut()? } else { self.previous.as_mut()? };
+        let ex = if in_current {
+            self.current.as_mut()?
+        } else {
+            self.previous.as_mut()?
+        };
         let (disclosure, key_index, key) = match &mut ex.ack {
             AckState::None => return None,
-            AckState::Flat { pair: _, secrets, verdict_sent } => {
+            AckState::Flat {
+                pair: _,
+                secrets,
+                verdict_sent,
+            } => {
                 if ok {
                     let all = ex.received.iter().all(|&r| r);
                     if !all {
@@ -459,7 +523,10 @@ impl VerifierChannel {
                 }
                 let d = alpha_crypto::preack::disclose(secrets, ok);
                 (
-                    A2Disclosure::Flat { ack: d.ack, secret: d.secret },
+                    A2Disclosure::Flat {
+                        ack: d.ack,
+                        secret: d.secret,
+                    },
                     ex.ack_key_index,
                     ex.ack_key,
                 )
@@ -473,7 +540,10 @@ impl VerifierChannel {
             assoc_id: self.assoc_id,
             alg: self.cfg.algorithm,
             chain_index: key_index,
-            body: Body::A2 { element: key, disclosure },
+            body: Body::A2 {
+                element: key,
+                disclosure,
+            },
         })
     }
 

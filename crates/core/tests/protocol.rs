@@ -65,7 +65,10 @@ fn base_reliable_ack_flow() {
     let a1 = bob.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
     // A1 must carry a flat pre-(n)ack commitment.
     match &a1.body {
-        Body::A1 { commit: alpha_wire::AckCommit::Flat { .. }, .. } => {}
+        Body::A1 {
+            commit: alpha_wire::AckCommit::Flat { .. },
+            ..
+        } => {}
         other => panic!("expected flat commit, got {other:?}"),
     }
     let s2 = alice.handle(&a1, T0, &mut r).unwrap().packets.remove(0);
@@ -106,7 +109,9 @@ fn cumulative_batch_out_of_order_delivery() {
 #[test]
 fn merkle_batch_loss_tolerance() {
     let (mut alice, mut bob, mut r) = pair(cfg(Algorithm::Sha1), 5);
-    let msgs: Vec<Vec<u8>> = (0..16).map(|i| format!("block {i:04}").into_bytes()).collect();
+    let msgs: Vec<Vec<u8>> = (0..16)
+        .map(|i| format!("block {i:04}").into_bytes())
+        .collect();
     let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
     let s1 = alice.sign_batch(&refs, Mode::Merkle, T0).unwrap();
     let a1 = bob.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
@@ -126,12 +131,17 @@ fn merkle_batch_loss_tolerance() {
 fn merkle_reliable_selective_repeat() {
     let c = cfg(Algorithm::Sha1).with_reliability(Reliability::Reliable);
     let (mut alice, mut bob, mut r) = pair(c, 6);
-    let msgs: Vec<Vec<u8>> = (0..4).map(|i| format!("reliable {i}").into_bytes()).collect();
+    let msgs: Vec<Vec<u8>> = (0..4)
+        .map(|i| format!("reliable {i}").into_bytes())
+        .collect();
     let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
     let s1 = alice.sign_batch(&refs, Mode::Merkle, T0).unwrap();
     let a1 = bob.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
     match &a1.body {
-        Body::A1 { commit: alpha_wire::AckCommit::Amt { leaves: 4, .. }, .. } => {}
+        Body::A1 {
+            commit: alpha_wire::AckCommit::Amt { leaves: 4, .. },
+            ..
+        } => {}
         other => panic!("expected AMT commit, got {other:?}"),
     }
     let s2s = alice.handle(&a1, T0, &mut r).unwrap().packets;
@@ -179,7 +189,10 @@ fn tampered_payload_rejected_unreliable() {
     if let Body::S2 { payload, .. } = &mut s2.body {
         payload[0] ^= 0xff;
     }
-    assert_eq!(bob.handle(&s2, T0, &mut r).unwrap_err(), ProtocolError::BadMac);
+    assert_eq!(
+        bob.handle(&s2, T0, &mut r).unwrap_err(),
+        ProtocolError::BadMac
+    );
 }
 
 #[test]
@@ -237,9 +250,16 @@ fn s1_retransmission_after_lost_a1() {
     let out = alice.poll(later);
     assert_eq!(out.packets, vec![s1.clone()]);
     // Bob replays the A1, the exchange proceeds.
-    let a1 = bob.handle(&out.packets[0], later, &mut r).unwrap().packet().unwrap();
+    let a1 = bob
+        .handle(&out.packets[0], later, &mut r)
+        .unwrap()
+        .packet()
+        .unwrap();
     let s2 = alice.handle(&a1, later, &mut r).unwrap().packets.remove(0);
-    assert_eq!(bob.handle(&s2, later, &mut r).unwrap().payload().unwrap(), b"lost a1");
+    assert_eq!(
+        bob.handle(&s2, later, &mut r).unwrap().payload().unwrap(),
+        b"lost a1"
+    );
 }
 
 #[test]
@@ -310,7 +330,10 @@ fn chain_exhaustion_reported() {
     let a1 = bob.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
     let s2 = alice.handle(&a1, T0, &mut r).unwrap().packets.remove(0);
     bob.handle(&s2, T0, &mut r).unwrap();
-    assert_eq!(alice.sign(b"y", T0).unwrap_err(), ProtocolError::ChainExhausted);
+    assert_eq!(
+        alice.sign(b"y", T0).unwrap_err(),
+        ProtocolError::ChainExhausted
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -318,10 +341,7 @@ fn chain_exhaustion_reported() {
 // ---------------------------------------------------------------------
 
 /// Run a full handshake through a relay and return everything.
-fn relayed_pair(
-    c: Config,
-    seed: u64,
-) -> (Association, Association, Relay, StdRng) {
+fn relayed_pair(c: Config, seed: u64) -> (Association, Association, Relay, StdRng) {
     let mut r = rng(seed);
     let mut relay = Relay::new(RelayConfig::default());
     let (hs, init_pkt) = bootstrap::initiate(c, 9, None, &mut r);
@@ -366,7 +386,10 @@ fn relay_drops_tampered_s2() {
     if let Body::S2 { payload, .. } = &mut s2.body {
         payload[0] ^= 1;
     }
-    assert_eq!(relay.observe(&s2, T0).0, RelayDecision::Drop(DropReason::BadMac));
+    assert_eq!(
+        relay.observe(&s2, T0).0,
+        RelayDecision::Drop(DropReason::BadMac)
+    );
 }
 
 #[test]
@@ -378,12 +401,18 @@ fn relay_drops_unsolicited_s2() {
     let s2 = alice.handle(&a1, T0, &mut r).unwrap().packets.remove(0);
     // The relay never saw the announcement: unsolicited data is dropped
     // (flooding cannot propagate past the first ALPHA-aware relay).
-    assert_eq!(relay.observe(&s2, T0).0, RelayDecision::Drop(DropReason::Unsolicited));
+    assert_eq!(
+        relay.observe(&s2, T0).0,
+        RelayDecision::Drop(DropReason::Unsolicited)
+    );
 }
 
 #[test]
 fn relay_rate_limits_s1_floods() {
-    let cfg_relay = RelayConfig { s1_bytes_per_sec: Some(100), ..RelayConfig::default() };
+    let cfg_relay = RelayConfig {
+        s1_bytes_per_sec: Some(100),
+        ..RelayConfig::default()
+    };
     let c = cfg(Algorithm::Sha1);
     let mut r = rng(23);
     let mut relay = Relay::new(cfg_relay);
@@ -397,7 +426,11 @@ fn relay_rate_limits_s1_floods() {
     // A base-mode S1 is 64 bytes; the 100-byte budget admits one per second.
     let s1a = initiator.sign(b"a", T0).unwrap();
     assert_eq!(relay.observe(&s1a, T0).0, RelayDecision::Forward);
-    let a1 = responder.handle(&s1a, T0, &mut r).unwrap().packet().unwrap();
+    let a1 = responder
+        .handle(&s1a, T0, &mut r)
+        .unwrap()
+        .packet()
+        .unwrap();
     relay.observe(&a1, T0);
     let s2 = initiator.handle(&a1, T0, &mut r).unwrap().packets.remove(0);
     relay.observe(&s2, T0);
@@ -427,10 +460,9 @@ fn relay_verifies_verdicts() {
     let a2 = resp.packets[0].clone();
     let (dec, events) = relay.observe(&a2, T0);
     assert_eq!(dec, RelayDecision::Forward);
-    assert!(events.iter().any(|e| matches!(
-        e,
-        RelayEvent::VerifiedVerdict { ack: true, .. }
-    )));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, RelayEvent::VerifiedVerdict { ack: true, .. })));
 }
 
 #[test]
@@ -439,7 +471,10 @@ fn relay_unknown_association_policy() {
     let s1 = alice.sign(b"x", T0).unwrap();
     let _ = bob.handle(&s1, T0, &mut r);
     // A relay that never saw the handshake:
-    let mut strict = Relay::new(RelayConfig { forward_unknown: false, ..RelayConfig::default() });
+    let mut strict = Relay::new(RelayConfig {
+        forward_unknown: false,
+        ..RelayConfig::default()
+    });
     assert_eq!(
         strict.observe(&s1, T0).0,
         RelayDecision::Drop(DropReason::UnknownAssociation)
@@ -470,7 +505,9 @@ fn protected_bootstrap_rsa_pinned() {
     )
     .unwrap();
     assert_eq!(peer, Some(alice_pub));
-    let (_initiator, peer) = hs.complete(&reply, AuthRequirement::Pinned(&bob_pub)).unwrap();
+    let (_initiator, peer) = hs
+        .complete(&reply, AuthRequirement::Pinned(&bob_pub))
+        .unwrap();
     assert_eq!(peer, Some(bob_pub));
 }
 
@@ -490,7 +527,9 @@ fn unauthenticated_handshake_rejected_when_auth_required() {
     let mut r = rng(32);
     let c = cfg(Algorithm::Sha1);
     let (_hs, init) = bootstrap::initiate(c, 5, None, &mut r);
-    let err = bootstrap::respond(c, &init, None, AuthRequirement::AnyKey, &mut r).map(|_| ()).unwrap_err();
+    let err = bootstrap::respond(c, &init, None, AuthRequirement::AnyKey, &mut r)
+        .map(|_| ())
+        .unwrap_err();
     assert_eq!(err, ProtocolError::BadAuth);
 }
 
@@ -504,7 +543,9 @@ fn tampered_handshake_signature_rejected() {
         // Attacker substitutes its own anchor but keeps the signature.
         hs.sig_anchor_index += 2;
     }
-    let err = bootstrap::respond(c, &init, None, AuthRequirement::AnyKey, &mut r).map(|_| ()).unwrap_err();
+    let err = bootstrap::respond(c, &init, None, AuthRequirement::AnyKey, &mut r)
+        .map(|_| ())
+        .unwrap_err();
     assert_eq!(err, ProtocolError::BadAuth);
 }
 
@@ -578,15 +619,29 @@ fn relay_forwards_retransmitted_s1_and_replayed_a1() {
     // A1 lost; the RTO fires and the identical S1 crosses the relay again.
     let retx = alice.poll(Timestamp::from_millis(250));
     assert_eq!(retx.packets, vec![s1.clone()]);
-    assert_eq!(relay.observe(&retx.packets[0], T0).0, RelayDecision::Forward);
+    assert_eq!(
+        relay.observe(&retx.packets[0], T0).0,
+        RelayDecision::Forward
+    );
     // Bob replays the same A1; the relay forwards that too.
-    let a1_again = bob.handle(&retx.packets[0], T0, &mut r).unwrap().packet().unwrap();
+    let a1_again = bob
+        .handle(&retx.packets[0], T0, &mut r)
+        .unwrap()
+        .packet()
+        .unwrap();
     assert_eq!(a1_again, a1);
     assert_eq!(relay.observe(&a1_again, T0).0, RelayDecision::Forward);
     // The exchange then completes through the relay.
-    let s2 = alice.handle(&a1_again, T0, &mut r).unwrap().packets.remove(0);
+    let s2 = alice
+        .handle(&a1_again, T0, &mut r)
+        .unwrap()
+        .packets
+        .remove(0);
     assert_eq!(relay.observe(&s2, T0).0, RelayDecision::Forward);
-    assert_eq!(bob.handle(&s2, T0, &mut r).unwrap().payload().unwrap(), b"retry me");
+    assert_eq!(
+        bob.handle(&s2, T0, &mut r).unwrap().payload().unwrap(),
+        b"retry me"
+    );
 }
 
 #[test]
@@ -612,12 +667,17 @@ fn cumulative_merkle_forest_roundtrip() {
     // The ALPHA-C + ALPHA-M combination: 16 messages across 4 trees of 4.
     // Paths shrink to depth 2 instead of depth 4.
     let (mut alice, mut bob, mut r) = pair(cfg(Algorithm::Sha1), 50);
-    let msgs: Vec<Vec<u8>> = (0..16).map(|i| format!("forest {i:02}").into_bytes()).collect();
+    let msgs: Vec<Vec<u8>> = (0..16)
+        .map(|i| format!("forest {i:02}").into_bytes())
+        .collect();
     let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
     let mode = Mode::CumulativeMerkle { leaves_per_tree: 4 };
     let s1 = alice.sign_batch(&refs, mode, T0).unwrap();
     match &s1.body {
-        Body::S1 { presig: alpha_wire::PreSignature::MerkleForest(trees), .. } => {
+        Body::S1 {
+            presig: alpha_wire::PreSignature::MerkleForest(trees),
+            ..
+        } => {
             assert_eq!(trees.len(), 4);
             assert!(trees.iter().all(|t| t.leaves == 4));
         }
@@ -674,7 +734,10 @@ fn cumulative_merkle_reliable_with_amt() {
         .unwrap();
     let a1 = bob.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
     match &a1.body {
-        Body::A1 { commit: alpha_wire::AckCommit::Amt { leaves: 8, .. }, .. } => {}
+        Body::A1 {
+            commit: alpha_wire::AckCommit::Amt { leaves: 8, .. },
+            ..
+        } => {}
         other => panic!("expected 8-leaf AMT, got {other:?}"),
     }
     let s2s = alice.handle(&a1, T0, &mut r).unwrap().packets;
@@ -700,7 +763,10 @@ fn cumulative_merkle_tamper_rejected_per_tree() {
     if let Body::S2 { payload, .. } = &mut s2s[5].body {
         payload[0] ^= 1;
     }
-    assert_eq!(bob.handle(&s2s[5], T0, &mut r).unwrap_err(), ProtocolError::BadMac);
+    assert_eq!(
+        bob.handle(&s2s[5], T0, &mut r).unwrap_err(),
+        ProtocolError::BadMac
+    );
     // Other trees unaffected.
     assert_eq!(bob.handle(&s2s[0], T0, &mut r).unwrap().deliveries.len(), 1);
 }
@@ -715,7 +781,11 @@ fn forest_with_mismatched_tree_sizes_rejected() {
     let mut s1 = alice
         .sign_batch(&refs, Mode::CumulativeMerkle { leaves_per_tree: 4 }, T0)
         .unwrap();
-    if let Body::S1 { presig: alpha_wire::PreSignature::MerkleForest(trees), .. } = &mut s1.body {
+    if let Body::S1 {
+        presig: alpha_wire::PreSignature::MerkleForest(trees),
+        ..
+    } = &mut s1.body
+    {
         trees[0].leaves = 3; // interior tree no longer full
     }
     assert_eq!(
@@ -731,7 +801,9 @@ fn compact_chains_interoperate_transparently() {
     use alpha_core::ChainStorage;
     for storage in [ChainStorage::Sqrt, ChainStorage::Dyadic] {
         let mut r = rng(60);
-        let small_cfg = cfg(Algorithm::Sha1).with_chain_storage(storage).with_chain_len(64);
+        let small_cfg = cfg(Algorithm::Sha1)
+            .with_chain_storage(storage)
+            .with_chain_len(64);
         let full_cfg = cfg(Algorithm::Sha1).with_chain_len(64);
         let (hs, init) = bootstrap::initiate(small_cfg, 1, None, &mut r);
         let (mut bob, reply, _) =
@@ -834,7 +906,10 @@ fn chain_renewal_end_to_end_through_relay() {
     assert!(!events.is_empty(), "relay verified the renewal payload");
     let resp = bob.handle(&s2, T0, &mut r).unwrap();
     assert!(resp.peer_renewed, "bob applied the renewal");
-    assert!(resp.deliveries.is_empty(), "renewal payload is consumed internally");
+    assert!(
+        resp.deliveries.is_empty(),
+        "renewal payload is consumed internally"
+    );
     let a2 = resp.packets[0].clone();
     relay.observe(&a2, T0);
     let fin = alice.handle(&a2, T0, &mut r).unwrap();
@@ -939,7 +1014,10 @@ fn forged_renewal_payload_rejected_like_any_forgery() {
         let (_evil, evil_payload) = alpha_core::renewal::offer(&evil_cfg, &mut r);
         *payload = evil_payload;
     }
-    assert_eq!(bob.handle(&s2, T0, &mut r).unwrap_err(), ProtocolError::BadMac);
+    assert_eq!(
+        bob.handle(&s2, T0, &mut r).unwrap_err(),
+        ProtocolError::BadMac
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -950,7 +1028,9 @@ fn forged_renewal_payload_rejected_like_any_forgery() {
 fn signals_surface_to_application_not_deliveries() {
     use alpha_core::signal::Signal;
     let (mut alice, mut bob, mut r) = pair(cfg(Algorithm::Sha1), 80);
-    let sig = Signal::LocatorUpdate { locator: b"203.0.113.9:4500".to_vec() };
+    let sig = Signal::LocatorUpdate {
+        locator: b"203.0.113.9:4500".to_vec(),
+    };
     let s1 = alice.send_signal(&sig, T0).unwrap();
     let a1 = bob.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
     let s2 = alice.handle(&a1, T0, &mut r).unwrap().packets.remove(0);
@@ -965,7 +1045,9 @@ fn relay_enforces_signalled_rate_limit() {
     let (mut alice, mut bob, mut relay, mut r) = relayed_pair(cfg(Algorithm::Sha1), 81);
 
     // Bob signals: at most 300 payload bytes/second toward me.
-    let s1 = bob.send_signal(&Signal::RateLimit { bytes_per_sec: 300 }, T0).unwrap();
+    let s1 = bob
+        .send_signal(&Signal::RateLimit { bytes_per_sec: 300 }, T0)
+        .unwrap();
     relay.observe(&s1, T0);
     let a1 = alice.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
     relay.observe(&a1, T0);
@@ -1023,7 +1105,9 @@ fn forged_rate_limit_signal_cannot_be_injected() {
     // An attacker cannot throttle a flow by injecting a RateLimit: the
     // signal rides in an authenticated S2 like everything else.
     let (mut alice, mut bob, mut relay, mut r) = relayed_pair(cfg(Algorithm::Sha1), 83);
-    let s1 = bob.send_signal(&Signal::RateLimit { bytes_per_sec: 1 }, T0).unwrap();
+    let s1 = bob
+        .send_signal(&Signal::RateLimit { bytes_per_sec: 1 }, T0)
+        .unwrap();
     relay.observe(&s1, T0);
     let a1 = alice.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
     relay.observe(&a1, T0);
@@ -1032,7 +1116,10 @@ fn forged_rate_limit_signal_cannot_be_injected() {
         // Attacker rewrites the limit to zero.
         *payload = Signal::RateLimit { bytes_per_sec: 0 }.encode();
     }
-    assert_eq!(relay.observe(&s2, T0).0, RelayDecision::Drop(DropReason::BadMac));
+    assert_eq!(
+        relay.observe(&s2, T0).0,
+        RelayDecision::Drop(DropReason::BadMac)
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -1046,7 +1133,10 @@ fn signer_rejects_out_of_state_packets() {
     let s1 = alice.sign(b"x", T0).unwrap();
     let a1 = bob.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
     let _ = alice.handle(&a1, T0, &mut r).unwrap(); // completes (unreliable)
-    assert_eq!(alice.handle(&a1, T0, &mut r).unwrap_err(), ProtocolError::NoExchange);
+    assert_eq!(
+        alice.handle(&a1, T0, &mut r).unwrap_err(),
+        ProtocolError::NoExchange
+    );
     // A2 in unreliable mode.
     let s1 = alice.sign(b"y", T0).unwrap();
     let a2ish = alpha_wire::Packet {
@@ -1055,7 +1145,10 @@ fn signer_rejects_out_of_state_packets() {
         chain_index: 1,
         body: Body::A2 {
             element: Algorithm::Sha1.hash(b"e"),
-            disclosure: alpha_wire::A2Disclosure::Flat { ack: true, secret: [0; 16] },
+            disclosure: alpha_wire::A2Disclosure::Flat {
+                ack: true,
+                secret: [0; 16],
+            },
         },
     };
     let err = alice.handle(&a2ish, T0, &mut r).unwrap_err();
@@ -1087,19 +1180,27 @@ fn sign_input_validation() {
     );
     // A second sign while one is outstanding.
     alice.sign(b"first", T0).unwrap();
-    assert_eq!(alice.sign(b"second", T0).unwrap_err(), ProtocolError::ExchangeInProgress);
+    assert_eq!(
+        alice.sign(b"second", T0).unwrap_err(),
+        ProtocolError::ExchangeInProgress
+    );
 }
 
 #[test]
 fn s2_with_out_of_range_seq_rejected() {
     let (mut alice, mut bob, mut r) = pair(cfg(Algorithm::Sha1), 92);
-    let s1 = alice.sign_batch(&[b"a", b"b"], Mode::Cumulative, T0).unwrap();
+    let s1 = alice
+        .sign_batch(&[b"a", b"b"], Mode::Cumulative, T0)
+        .unwrap();
     let a1 = bob.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
     let mut s2 = alice.handle(&a1, T0, &mut r).unwrap().packets.remove(0);
     if let Body::S2 { seq, .. } = &mut s2.body {
         *seq = 99;
     }
-    assert_eq!(bob.handle(&s2, T0, &mut r).unwrap_err(), ProtocolError::BadSeq);
+    assert_eq!(
+        bob.handle(&s2, T0, &mut r).unwrap_err(),
+        ProtocolError::BadSeq
+    );
 }
 
 #[test]

@@ -123,7 +123,12 @@ fn xtime(b: u8) -> u8 {
 
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         let t = col[0] ^ col[1] ^ col[2] ^ col[3];
         let s0 = col[0];
         for r in 0..4 {

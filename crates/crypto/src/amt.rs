@@ -94,7 +94,12 @@ impl AckMerkleTree {
             })
             .collect();
         let tree = MerkleTree::build(alg, &leaves);
-        AckMerkleTree { alg, n, secrets, tree }
+        AckMerkleTree {
+            alg,
+            n,
+            secrets,
+            tree,
+        }
     }
 
     /// Number of packets this AMT can acknowledge.
@@ -165,7 +170,11 @@ fn leaf_digest(alg: Algorithm, x: u32, secret: &[u8; SECRET_LEN]) -> Digest {
 }
 
 fn keyed_root_from_children(alg: Algorithm, children: &[Digest; 2], key: &Digest) -> Digest {
-    alg.hash_parts(&[children[0].as_bytes(), children[1].as_bytes(), key.as_bytes()])
+    alg.hash_parts(&[
+        children[0].as_bytes(),
+        children[1].as_bytes(),
+        key.as_bytes(),
+    ])
 }
 
 /// Verify a disclosed verdict against the AMT root buffered from the A1
@@ -241,8 +250,14 @@ mod tests {
         let key = alg.hash(b"k");
         let amt = AckMerkleTree::generate(alg, 1, &mut rng());
         let root = amt.keyed_root(&key);
-        assert_eq!(verify_disclosure(alg, &key, 1, &amt.disclose(0, true), &root), Some(true));
-        assert_eq!(verify_disclosure(alg, &key, 1, &amt.disclose(0, false), &root), Some(false));
+        assert_eq!(
+            verify_disclosure(alg, &key, 1, &amt.disclose(0, true), &root),
+            Some(true)
+        );
+        assert_eq!(
+            verify_disclosure(alg, &key, 1, &amt.disclose(0, false), &root),
+            Some(false)
+        );
     }
 
     #[test]

@@ -49,12 +49,16 @@ impl ChainKind {
     pub fn tag(self, index: u64) -> Option<&'static [u8]> {
         match self {
             ChainKind::Plain => None,
-            ChainKind::RoleBoundSignature => {
-                Some(if index % 2 == 1 { b"S1".as_slice() } else { b"S2".as_slice() })
-            }
-            ChainKind::RoleBoundAck => {
-                Some(if index % 2 == 1 { b"A1".as_slice() } else { b"A2".as_slice() })
-            }
+            ChainKind::RoleBoundSignature => Some(if index % 2 == 1 {
+                b"S1".as_slice()
+            } else {
+                b"S2".as_slice()
+            }),
+            ChainKind::RoleBoundAck => Some(if index % 2 == 1 {
+                b"A1".as_slice()
+            } else {
+                b"A2".as_slice()
+            }),
         }
     }
 }
@@ -113,7 +117,10 @@ impl std::fmt::Display for ChainError {
             ChainError::Mismatch => write!(f, "chain element does not hash to anchor"),
             ChainError::SkipTooLarge => write!(f, "chain element skips too many positions"),
             ChainError::WrongRole { expected, actual } => {
-                write!(f, "chain element role {actual:?} where {expected:?} expected")
+                write!(
+                    f,
+                    "chain element role {actual:?} where {expected:?} expected"
+                )
             }
         }
     }
@@ -255,7 +262,12 @@ impl HashChain {
         HashChain {
             alg,
             kind,
-            storage: Storage::Compact { seed_hash, interval, checkpoints, len },
+            storage: Storage::Compact {
+                seed_hash,
+                interval,
+                checkpoints,
+                len,
+            },
             next: len - 1,
         }
     }
@@ -301,7 +313,11 @@ impl HashChain {
         HashChain {
             alg,
             kind,
-            storage: Storage::Dyadic { pebbles, positions, len },
+            storage: Storage::Dyadic {
+                pebbles,
+                positions,
+                len,
+            },
             next: len - 1,
         }
     }
@@ -320,7 +336,12 @@ impl HashChain {
     fn dyadic_element(&mut self, index: u64) -> Digest {
         let alg = self.alg;
         let kind = self.kind;
-        let Storage::Dyadic { pebbles, positions, len } = &mut self.storage else {
+        let Storage::Dyadic {
+            pebbles,
+            positions,
+            len,
+        } = &mut self.storage
+        else {
             unreachable!("caller checked");
         };
         assert!(index <= *len, "element index out of range");
@@ -399,7 +420,12 @@ impl HashChain {
     pub fn element(&self, index: u64) -> Digest {
         match &self.storage {
             Storage::Full(e) => e[index as usize],
-            Storage::Compact { interval, checkpoints, len, .. } => {
+            Storage::Compact {
+                interval,
+                checkpoints,
+                len,
+                ..
+            } => {
                 assert!(index <= *len, "element index out of range");
                 let k = index / interval;
                 let mut cur = checkpoints[k as usize];
@@ -408,7 +434,11 @@ impl HashChain {
                 }
                 cur
             }
-            Storage::Dyadic { pebbles, positions, len } => {
+            Storage::Dyadic {
+                pebbles,
+                positions,
+                len,
+            } => {
                 assert!(index <= *len, "element index out of range");
                 let (mut pos, mut cur) = pebbles
                     .iter()
@@ -501,7 +531,9 @@ impl HashChain {
             Storage::Compact { checkpoints, .. } => {
                 checkpoints.len() * self.alg.digest_len() + 3 * std::mem::size_of::<u64>()
             }
-            Storage::Dyadic { pebbles, positions, .. } => {
+            Storage::Dyadic {
+                pebbles, positions, ..
+            } => {
                 pebbles.len() * self.alg.digest_len()
                     + (positions.len() + 1) * std::mem::size_of::<u64>()
             }
@@ -540,7 +572,12 @@ pub const DEFAULT_MAX_SKIP: u64 = 128;
 impl ChainVerifier {
     /// Track a chain from its `anchor` at `anchor_index`.
     #[must_use]
-    pub fn new(alg: Algorithm, kind: ChainKind, anchor: Digest, anchor_index: u64) -> ChainVerifier {
+    pub fn new(
+        alg: Algorithm,
+        kind: ChainKind,
+        anchor: Digest,
+        anchor_index: u64,
+    ) -> ChainVerifier {
         ChainVerifier {
             alg,
             kind,
@@ -595,7 +632,10 @@ impl ChainVerifier {
     pub fn check_role(&self, index: u64, element: &Digest, role: Role) -> Result<(), ChainError> {
         let actual = role_of(index);
         if self.kind != ChainKind::Plain && actual != role {
-            return Err(ChainError::WrongRole { expected: role, actual });
+            return Err(ChainError::WrongRole {
+                expected: role,
+                actual,
+            });
         }
         self.check(index, element)
     }
@@ -609,7 +649,12 @@ impl ChainVerifier {
     }
 
     /// Authenticate with a role requirement, then accept.
-    pub fn accept_role(&mut self, index: u64, element: &Digest, role: Role) -> Result<(), ChainError> {
+    pub fn accept_role(
+        &mut self,
+        index: u64,
+        element: &Digest,
+        role: Role,
+    ) -> Result<(), ChainError> {
         self.check_role(index, element, role)?;
         self.last = *element;
         self.last_index = index;
@@ -642,7 +687,12 @@ mod tests {
 
     #[test]
     fn disclosure_descends_and_verifies() {
-        let mut chain = HashChain::generate(Algorithm::Sha1, ChainKind::RoleBoundSignature, 16, &mut rng());
+        let mut chain = HashChain::generate(
+            Algorithm::Sha1,
+            ChainKind::RoleBoundSignature,
+            16,
+            &mut rng(),
+        );
         let mut verifier = ChainVerifier::new(
             Algorithm::Sha1,
             ChainKind::RoleBoundSignature,
@@ -658,7 +708,8 @@ mod tests {
 
     #[test]
     fn verifier_catches_up_over_gaps() {
-        let chain = HashChain::from_seed(Algorithm::Sha256, ChainKind::RoleBoundSignature, 32, b"g");
+        let chain =
+            HashChain::from_seed(Algorithm::Sha256, ChainKind::RoleBoundSignature, 32, b"g");
         let mut verifier = ChainVerifier::new(
             Algorithm::Sha256,
             ChainKind::RoleBoundSignature,
@@ -693,7 +744,8 @@ mod tests {
     #[test]
     fn forgery_rejected() {
         let chain = HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 8, b"f");
-        let other = HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 8, b"not f");
+        let other =
+            HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 8, b"not f");
         let mut verifier = ChainVerifier::new(
             Algorithm::Sha1,
             ChainKind::RoleBoundSignature,
@@ -709,8 +761,9 @@ mod tests {
     #[test]
     fn skip_bound_enforced() {
         let chain = HashChain::from_seed(Algorithm::Sha1, ChainKind::Plain, 64, b"s");
-        let mut verifier = ChainVerifier::new(Algorithm::Sha1, ChainKind::Plain, chain.anchor(), 64)
-            .with_max_skip(4);
+        let mut verifier =
+            ChainVerifier::new(Algorithm::Sha1, ChainKind::Plain, chain.anchor(), 64)
+                .with_max_skip(4);
         assert_eq!(
             verifier.accept(32, &chain.element(32)).unwrap_err(),
             ChainError::SkipTooLarge
@@ -720,7 +773,8 @@ mod tests {
 
     #[test]
     fn role_binding_rejects_cross_role_use() {
-        let chain = HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 8, b"role");
+        let chain =
+            HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 8, b"role");
         let verifier = ChainVerifier::new(
             Algorithm::Sha1,
             ChainKind::RoleBoundSignature,
@@ -733,7 +787,9 @@ mod tests {
             verifier.check_role(7, &chain.element(7), Role::Disclose),
             Err(ChainError::WrongRole { .. })
         ));
-        verifier.check_role(7, &chain.element(7), Role::Announce).unwrap();
+        verifier
+            .check_role(7, &chain.element(7), Role::Announce)
+            .unwrap();
     }
 
     #[test]
@@ -742,7 +798,8 @@ mod tests {
         // next S1 (revealing h_{i-2}... actually the next odd below). With
         // role binding, substituting an even-role element where an odd-role
         // element is required fails structurally.
-        let chain = HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 16, b"atk");
+        let chain =
+            HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 16, b"atk");
         let mut verifier = ChainVerifier::new(
             Algorithm::Sha1,
             ChainKind::RoleBoundSignature,
@@ -750,8 +807,12 @@ mod tests {
             chain.anchor_index(),
         );
         // Legitimate first exchange: announce h15, disclose h14.
-        verifier.accept_role(15, &chain.element(15), Role::Announce).unwrap();
-        verifier.accept_role(14, &chain.element(14), Role::Disclose).unwrap();
+        verifier
+            .accept_role(15, &chain.element(15), Role::Announce)
+            .unwrap();
+        verifier
+            .accept_role(14, &chain.element(14), Role::Disclose)
+            .unwrap();
         // Attacker replays captured h13 (announce role) as a *MAC key*: rejected.
         assert!(matches!(
             verifier.check_role(13, &chain.element(13), Role::Disclose),
@@ -762,11 +823,19 @@ mod tests {
     #[test]
     fn plain_chain_has_no_roles() {
         let chain = HashChain::from_seed(Algorithm::Sha1, ChainKind::Plain, 8, b"p");
-        let verifier =
-            ChainVerifier::new(Algorithm::Sha1, ChainKind::Plain, chain.anchor(), chain.anchor_index());
+        let verifier = ChainVerifier::new(
+            Algorithm::Sha1,
+            ChainKind::Plain,
+            chain.anchor(),
+            chain.anchor_index(),
+        );
         // Any role is accepted on a plain chain.
-        verifier.check_role(7, &chain.element(7), Role::Disclose).unwrap();
-        verifier.check_role(7, &chain.element(7), Role::Announce).unwrap();
+        verifier
+            .check_role(7, &chain.element(7), Role::Disclose)
+            .unwrap();
+        verifier
+            .check_role(7, &chain.element(7), Role::Announce)
+            .unwrap();
     }
 
     #[test]
@@ -780,7 +849,12 @@ mod tests {
 
     #[test]
     fn disclose_pair_alternates_roles() {
-        let mut chain = HashChain::generate(Algorithm::MmoAes, ChainKind::RoleBoundSignature, 12, &mut rng());
+        let mut chain = HashChain::generate(
+            Algorithm::MmoAes,
+            ChainKind::RoleBoundSignature,
+            12,
+            &mut rng(),
+        );
         let ((i1, _), (i2, _)) = chain.disclose_pair().unwrap();
         assert_eq!(i1 % 2, 1);
         assert_eq!(i2, i1 - 1);
@@ -790,7 +864,8 @@ mod tests {
 
     #[test]
     fn disclose_pair_realigns_after_single_disclose() {
-        let mut chain = HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 12, b"align");
+        let mut chain =
+            HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 12, b"align");
         let (idx, _) = chain.disclose().unwrap(); // consumes 11 (announce)
         assert_eq!(idx, 11);
         // Cursor now points at 10 (disclose role); pair must skip to (9, 8).
@@ -800,7 +875,8 @@ mod tests {
 
     #[test]
     fn exhaustion_via_pairs() {
-        let mut chain = HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 4, b"ex");
+        let mut chain =
+            HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 4, b"ex");
         assert_eq!(chain.remaining_pairs(), 1);
         chain.disclose_pair().unwrap();
         assert_eq!(chain.disclose_pair().unwrap_err(), ChainError::Exhausted);
@@ -822,9 +898,14 @@ mod compact_tests {
     #[test]
     fn compact_equals_full_everywhere() {
         for len in [4u64, 10, 63, 100] {
-            let full = HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, len, b"c");
-            let compact =
-                HashChain::from_seed_compact(Algorithm::Sha1, ChainKind::RoleBoundSignature, len, b"c");
+            let full =
+                HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, len, b"c");
+            let compact = HashChain::from_seed_compact(
+                Algorithm::Sha1,
+                ChainKind::RoleBoundSignature,
+                len,
+                b"c",
+            );
             assert_eq!(full.anchor(), compact.anchor(), "len={len}");
             assert_eq!(full.len(), compact.len());
             for i in 0..=full.len() {
@@ -867,7 +948,11 @@ mod compact_tests {
         let scope = crate::counting::Scope::start();
         let _ = compact.element(777);
         let c = scope.finish();
-        assert!(c.invocations <= 32, "≤ √n hashes per access, got {}", c.invocations);
+        assert!(
+            c.invocations <= 32,
+            "≤ √n hashes per access, got {}",
+            c.invocations
+        );
     }
 }
 
@@ -879,8 +964,14 @@ mod dyadic_tests {
     #[test]
     fn dyadic_equals_full_for_every_element() {
         for len in [4u64, 16, 30, 128, 100] {
-            let full = HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, len, b"d");
-            let dy = HashChain::from_seed_dyadic(Algorithm::Sha1, ChainKind::RoleBoundSignature, len, b"d");
+            let full =
+                HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, len, b"d");
+            let dy = HashChain::from_seed_dyadic(
+                Algorithm::Sha1,
+                ChainKind::RoleBoundSignature,
+                len,
+                b"d",
+            );
             assert_eq!(full.anchor(), dy.anchor(), "len={len}");
             for i in 0..=full.len() {
                 assert_eq!(full.element(i), dy.element(i), "len={len} i={i}");
@@ -891,7 +982,12 @@ mod dyadic_tests {
     #[test]
     fn dyadic_full_traversal_matches_and_interoperates() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
-        let mut dy = HashChain::generate_dyadic(Algorithm::Sha1, ChainKind::RoleBoundSignature, 256, &mut rng);
+        let mut dy = HashChain::generate_dyadic(
+            Algorithm::Sha1,
+            ChainKind::RoleBoundSignature,
+            256,
+            &mut rng,
+        );
         let mut verifier = ChainVerifier::new(
             Algorithm::Sha1,
             ChainKind::RoleBoundSignature,
@@ -912,7 +1008,12 @@ mod dyadic_tests {
         let sqrt = HashChain::from_seed_compact(Algorithm::Sha1, ChainKind::Plain, len, b"m");
         let dy = HashChain::from_seed_dyadic(Algorithm::Sha1, ChainKind::Plain, len, b"m");
         // log2(4096)+1 = 13 pebbles vs 65 sqrt checkpoints vs 4097 elements.
-        assert!(dy.stored_bytes() < sqrt.stored_bytes() / 3, "{} vs {}", dy.stored_bytes(), sqrt.stored_bytes());
+        assert!(
+            dy.stored_bytes() < sqrt.stored_bytes() / 3,
+            "{} vs {}",
+            dy.stored_bytes(),
+            sqrt.stored_bytes()
+        );
         assert!(sqrt.stored_bytes() < full.stored_bytes() / 10);
         assert!(dy.stored_bytes() <= 14 * 20 + 15 * 8);
     }

@@ -39,7 +39,11 @@ impl HmacContext {
         let ipad_key: Vec<u8> = k.iter().map(|b| b ^ IPAD).collect();
         inner.update(&ipad_key);
         let opad_key: Vec<u8> = k.iter().map(|b| b ^ OPAD).collect();
-        HmacContext { alg, inner, opad_key }
+        HmacContext {
+            alg,
+            inner,
+            opad_key,
+        }
     }
 
     /// Absorb message bytes.

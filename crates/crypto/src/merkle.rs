@@ -106,7 +106,8 @@ impl MerkleTree {
     #[must_use]
     pub fn keyed_root(&self, key: &Digest) -> Digest {
         if self.depth() == 0 {
-            self.alg.hash_parts(&[key.as_bytes(), self.levels[0][0].as_bytes()])
+            self.alg
+                .hash_parts(&[key.as_bytes(), self.levels[0][0].as_bytes()])
         } else {
             let top_children = &self.levels[self.levels.len() - 2];
             self.alg.hash_parts(&[
@@ -154,8 +155,17 @@ pub fn root_from_path(alg: Algorithm, leaf: &Digest, j: usize, path: &[Digest]) 
 
 /// Verify leaf `j` against an unkeyed root.
 #[must_use]
-pub fn verify_path(alg: Algorithm, leaf: &Digest, j: usize, path: &[Digest], root: &Digest) -> bool {
-    crate::ct_eq(root_from_path(alg, leaf, j, path).as_bytes(), root.as_bytes())
+pub fn verify_path(
+    alg: Algorithm,
+    leaf: &Digest,
+    j: usize,
+    path: &[Digest],
+    root: &Digest,
+) -> bool {
+    crate::ct_eq(
+        root_from_path(alg, leaf, j, path).as_bytes(),
+        root.as_bytes(),
+    )
 }
 
 /// Recompute the *keyed* root (the ALPHA-M pre-signature) from a leaf, its
@@ -259,7 +269,9 @@ mod tests {
     use super::*;
 
     fn leaves(alg: Algorithm, n: usize) -> Vec<Digest> {
-        (0..n).map(|i| alg.hash(format!("message {i}").as_bytes())).collect()
+        (0..n)
+            .map(|i| alg.hash(format!("message {i}").as_bytes()))
+            .collect()
     }
 
     #[test]
@@ -281,7 +293,14 @@ mod tests {
         assert_eq!(t.root(), l[0]);
         assert!(t.auth_path(0).is_empty());
         let key = Algorithm::Sha1.hash(b"key");
-        assert!(verify_keyed(Algorithm::Sha1, &key, &l[0], 0, &[], &t.keyed_root(&key)));
+        assert!(verify_keyed(
+            Algorithm::Sha1,
+            &key,
+            &l[0],
+            0,
+            &[],
+            &t.keyed_root(&key)
+        ));
     }
 
     #[test]
@@ -329,7 +348,14 @@ mod tests {
         assert!(!verify_keyed(alg, &key, &bad, 3, &t.auth_path(3), &root));
         // Wrong key fails.
         let wrong_key = alg.hash(b"guessed");
-        assert!(!verify_keyed(alg, &wrong_key, &l[3], 3, &t.auth_path(3), &root));
+        assert!(!verify_keyed(
+            alg,
+            &wrong_key,
+            &l[3],
+            3,
+            &t.auth_path(3),
+            &root
+        ));
     }
 
     #[test]
@@ -356,7 +382,11 @@ mod tests {
     #[test]
     fn from_messages_equals_manual() {
         let alg = Algorithm::Sha1;
-        let msgs = [b"alpha".as_slice(), b"bravo".as_slice(), b"charlie".as_slice()];
+        let msgs = [
+            b"alpha".as_slice(),
+            b"bravo".as_slice(),
+            b"charlie".as_slice(),
+        ];
         let t1 = MerkleTree::from_messages(alg, &msgs);
         let manual: Vec<Digest> = msgs.iter().map(|m| alg.hash(m)).collect();
         let t2 = MerkleTree::build(alg, &manual);

@@ -107,7 +107,11 @@ pub fn disclose(secrets: &PreAckSecrets, ack: bool) -> AckDisclosure {
 #[must_use]
 pub fn verify(alg: Algorithm, key: &Digest, disclosure: &AckDisclosure, pair: &PreAckPair) -> bool {
     let flag: &[u8] = if disclosure.ack { ACK_FLAG } else { NACK_FLAG };
-    let expected = if disclosure.ack { &pair.pre_ack } else { &pair.pre_nack };
+    let expected = if disclosure.ack {
+        &pair.pre_ack
+    } else {
+        &pair.pre_nack
+    };
     let computed = alg.hash_parts(&[key.as_bytes(), flag, &disclosure.secret]);
     crate::ct_eq(computed.as_bytes(), expected.as_bytes())
 }
@@ -137,8 +141,14 @@ mod tests {
         let key = alg.hash(b"k");
         let (pair, secrets) = generate(alg, &key, &mut rng());
         // Present the ack secret as a nack (and vice versa): both fail.
-        let forged_nack = AckDisclosure { ack: false, secret: disclose(&secrets, true).secret };
-        let forged_ack = AckDisclosure { ack: true, secret: disclose(&secrets, false).secret };
+        let forged_nack = AckDisclosure {
+            ack: false,
+            secret: disclose(&secrets, true).secret,
+        };
+        let forged_ack = AckDisclosure {
+            ack: true,
+            secret: disclose(&secrets, false).secret,
+        };
         assert!(!verify(alg, &key, &forged_nack, &pair));
         assert!(!verify(alg, &key, &forged_ack, &pair));
     }

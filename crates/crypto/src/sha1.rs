@@ -28,7 +28,13 @@ impl Sha1 {
     #[must_use]
     pub fn new() -> Sha1 {
         Sha1 {
-            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            state: [
+                0x6745_2301,
+                0xEFCD_AB89,
+                0x98BA_DCFE,
+                0x1032_5476,
+                0xC3D2_E1F0,
+            ],
             buf: [0u8; 64],
             buf_len: 0,
             total_len: 0,
@@ -145,13 +151,18 @@ mod tests {
 
     #[test]
     fn abc() {
-        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(&sha1(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
     }
 
     #[test]
     fn two_block_message() {
         assert_eq!(
-            hex(&sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            hex(&sha1(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
             "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
         );
     }
@@ -159,7 +170,10 @@ mod tests {
     #[test]
     fn million_a() {
         let data = vec![b'a'; 1_000_000];
-        assert_eq!(hex(&sha1(&data)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+        assert_eq!(
+            hex(&sha1(&data)),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
     }
 
     #[test]
@@ -182,6 +196,9 @@ mod tests {
     fn rfc3174_repeated() {
         // TEST4 from RFC 3174: 80 repetitions of "01234567".
         let data = b"01234567".repeat(80);
-        assert_eq!(hex(&sha1(&data)), "dea356a2cddd90c7a7ecedc5ebb563934f460452");
+        assert_eq!(
+            hex(&sha1(&data)),
+            "dea356a2cddd90c7a7ecedc5ebb563934f460452"
+        );
     }
 }

@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicI64, Ordering};
 
+use alpha_adapt::{AdaptConfig, FlowAdapt};
 use alpha_core::bootstrap::{self, AuthRequirement, Handshaker};
 use alpha_core::{
     Association, Config, DropReason, Mode, ProtocolError, Relay, RelayConfig, RelayDecision,
@@ -70,6 +71,10 @@ pub struct EngineConfig {
     pub accept_handshakes: bool,
     /// Handshake resend attempts before a connecting flow is abandoned.
     pub handshake_retries: u32,
+    /// Per-flow adaptation (`alpha-adapt`): when set, every host flow
+    /// carries a channel estimator + mode controller, and
+    /// [`EngineCore::sign_adaptive`] picks mode and bundle size online.
+    pub adapt: Option<AdaptConfig>,
 }
 
 impl EngineConfig {
@@ -85,6 +90,7 @@ impl EngineConfig {
             max_buffered_bytes: Some(64 << 20),
             accept_handshakes: true,
             handshake_retries: 10,
+            adapt: None,
         }
     }
 
@@ -113,6 +119,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_buffer_valve(mut self, max_bytes: Option<u64>) -> EngineConfig {
         self.max_buffered_bytes = max_bytes;
+        self
+    }
+
+    /// Enable per-flow adaptation with the given tunables.
+    #[must_use]
+    pub fn with_adapt(mut self, adapt: AdaptConfig) -> EngineConfig {
+        self.adapt = Some(adapt);
         self
     }
 }
@@ -193,6 +206,9 @@ enum FlowState {
         assoc: Box<Association>,
         /// When the current outbound exchange started (RTT metric).
         inflight_since: Option<Timestamp>,
+        /// Channel estimator + mode controller, present when
+        /// [`EngineConfig::adapt`] is set.
+        adapt: Option<Box<FlowAdapt>>,
     },
     /// On-path verifier between the canonical pair of endpoints.
     Relay {
@@ -345,6 +361,11 @@ impl EngineCore {
     // Flow creation
     // ------------------------------------------------------------------
 
+    /// Fresh per-flow adaptation state, when the engine enables it.
+    fn new_adapt(&self) -> Option<Box<FlowAdapt>> {
+        self.cfg.adapt.map(|c| Box::new(FlowAdapt::new(c)))
+    }
+
     /// Install an already-established host association (e.g. from an
     /// out-of-band or authenticated handshake) as a flow toward `peer`.
     pub fn add_host(&self, peer: SocketAddr, assoc: Association, now: Timestamp) -> FlowKey {
@@ -362,6 +383,7 @@ impl EngineCore {
                 state: FlowState::Host {
                     assoc: Box::new(assoc),
                     inflight_since: None,
+                    adapt: self.new_adapt(),
                 },
             },
         );
@@ -463,6 +485,35 @@ impl EngineCore {
         mode: Mode,
         now: Timestamp,
     ) -> Result<EngineOutput, EngineError> {
+        self.sign_on_flow(key, messages, Some(mode), now)
+            .map(|(_, out)| out)
+    }
+
+    /// Sign a bundle whose mode and size the flow's controller picks
+    /// from its channel estimate: up to `min(n*, messages.len())`
+    /// messages are consumed, front first. Returns how many were taken
+    /// plus the staged output; the caller re-offers the remainder after
+    /// the exchange completes. Flows without adaptation (engine built
+    /// without [`EngineConfig::with_adapt`]) take everything in the
+    /// protocol config's mode.
+    pub fn sign_adaptive(
+        &self,
+        key: FlowKey,
+        messages: &[&[u8]],
+        now: Timestamp,
+    ) -> Result<(usize, EngineOutput), EngineError> {
+        self.sign_on_flow(key, messages, None, now)
+    }
+
+    /// Shared signing path: `fixed` forces a mode (classic
+    /// `sign_batch`), `None` asks the flow's controller.
+    fn sign_on_flow(
+        &self,
+        key: FlowKey,
+        messages: &[&[u8]],
+        fixed: Option<Mode>,
+        now: Timestamp,
+    ) -> Result<(usize, EngineOutput), EngineError> {
         let mut out = EngineOutput::default();
         let idx = self.shard_index(&key);
         let mut guard = self.shards.shard(idx).write();
@@ -473,18 +524,43 @@ impl EngineCore {
         let FlowState::Host {
             assoc,
             inflight_since,
+            adapt,
         } = &mut entry.state
         else {
             return Err(EngineError::NotAHostFlow(key));
         };
-        let pkt = assoc.sign_batch(messages, mode, now)?;
+        let (mode, take) = match (fixed, adapt.as_ref()) {
+            (Some(mode), _) => (mode, messages.len()),
+            (None, Some(a)) => a.plan(messages.len()),
+            (None, None) => (self.cfg.protocol.mode, messages.len()),
+        };
+        let pkt = assoc.sign_batch(&messages[..take], mode, now)?;
         *inflight_since = Some(now);
+        if let Some(a) = adapt.as_mut() {
+            let payload: u64 = messages[..take].iter().map(|m| m.len() as u64).sum();
+            a.begin_exchange(mode, take, payload, now);
+            a.observe_packets(std::slice::from_ref(&pkt));
+        }
         if let Some(t) = assoc.poll_at() {
             shard.wheel.schedule(t, key);
         }
         drop(guard);
         self.push_packets(&mut out, key.peer, &[pkt]);
-        Ok(out)
+        Ok((take, out))
+    }
+
+    /// Run `f` against the flow's adaptation state; `None` for unknown
+    /// flows, non-host flows, or engines without adaptation.
+    pub fn with_adapt<R>(&self, key: FlowKey, f: impl FnOnce(&FlowAdapt) -> R) -> Option<R> {
+        let idx = self.shard_index(&key);
+        let shard = self.shards.shard(idx).read();
+        match shard.flows.get(&key) {
+            Some(FlowEntry {
+                state: FlowState::Host { adapt: Some(a), .. },
+                ..
+            }) => Some(f(a)),
+            _ => None,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -677,6 +753,7 @@ impl EngineCore {
                 FlowState::Host {
                     assoc,
                     inflight_since,
+                    adapt,
                 },
             ..
         }) = shard.flows.get_mut(&key)
@@ -684,11 +761,26 @@ impl EngineCore {
             self.metrics.record_drop(DropReason::UnknownAssociation);
             return;
         };
+        if let Some(a) = adapt.as_mut() {
+            if matches!(pkt.body, Body::A1 { .. }) {
+                a.on_a1(now);
+            }
+        }
         match assoc.handle(pkt, now, rng) {
             Ok(resp) => {
                 if inflight_since.is_some() && assoc.signer().is_idle() {
                     let started = inflight_since.take().expect("checked above");
                     self.metrics.rtt_us.record(now.since(started));
+                }
+                if let Some(a) = adapt.as_mut() {
+                    let before = a.switches_total();
+                    a.observe(&resp.packets, &resp.signer_events);
+                    self.metrics
+                        .adapt_switches
+                        .fetch_add(a.switches_total() - before, Ordering::Relaxed);
+                    if let Some(rto) = a.rto_us() {
+                        assoc.set_rto_micros(rto);
+                    }
                 }
                 self.metrics
                     .s2_verified
@@ -738,6 +830,7 @@ impl EngineCore {
                         state: FlowState::Host {
                             assoc: Box::new(assoc),
                             inflight_since: None,
+                            adapt: self.new_adapt(),
                         },
                     },
                 );
@@ -783,6 +876,7 @@ impl EngineCore {
                 entry.state = FlowState::Host {
                     assoc: Box::new(assoc),
                     inflight_since: None,
+                    adapt: self.new_adapt(),
                 };
                 self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
                 self.metrics.handshake_us.record(now.since(started));
@@ -867,6 +961,7 @@ impl EngineCore {
                 FlowState::Host {
                     assoc,
                     inflight_since,
+                    adapt,
                 } => {
                     let Some(due) = assoc.poll_at() else {
                         continue;
@@ -879,6 +974,13 @@ impl EngineCore {
                     if inflight_since.is_some() && assoc.signer().is_idle() {
                         let started = inflight_since.take().expect("checked above");
                         self.metrics.rtt_us.record(now.since(started));
+                    }
+                    if let Some(a) = adapt.as_mut() {
+                        let before = a.switches_total();
+                        a.observe(&resp.packets, &resp.signer_events);
+                        self.metrics
+                            .adapt_switches
+                            .fetch_add(a.switches_total() - before, Ordering::Relaxed);
                     }
                     out.delivered.extend(
                         resp.deliveries
@@ -909,7 +1011,34 @@ impl EngineCore {
     // Introspection
     // ------------------------------------------------------------------
 
-    /// Snapshot engine state + metrics as a JSON value.
+    /// Per-flow adaptation snapshots (sorted by peer then association,
+    /// capped at `limit` entries). Empty when adaptation is disabled.
+    fn adapt_snapshots(&self, limit: usize) -> Vec<serde::Value> {
+        let mut rows: Vec<(String, u64, serde::Value)> = Vec::new();
+        for shard in self.shards.iter() {
+            let shard = shard.read();
+            for (key, entry) in &shard.flows {
+                if let FlowState::Host { adapt: Some(a), .. } = &entry.state {
+                    rows.push((key.peer.to_string(), key.assoc_id, a.snapshot()));
+                }
+            }
+        }
+        rows.sort_by(|a, b| (&a.0, a.1).cmp(&(&b.0, b.1)));
+        rows.truncate(limit);
+        rows.into_iter()
+            .map(|(peer, assoc_id, snap)| {
+                serde::Value::object([
+                    ("peer".to_owned(), serde::Value::Str(peer)),
+                    ("assoc_id".to_owned(), serde::Value::U64(assoc_id)),
+                    ("adapt".to_owned(), snap),
+                ])
+            })
+            .collect()
+    }
+
+    /// Snapshot engine state + metrics as a JSON value. When adaptation
+    /// is enabled, `adapt_flows` carries per-flow controller state (up
+    /// to 64 flows, sorted by peer address).
     #[must_use]
     pub fn snapshot(&self) -> serde::Value {
         serde::Value::object([
@@ -924,6 +1053,10 @@ impl EngineCore {
             (
                 "buffered_bytes".to_owned(),
                 serde::Value::I64(self.buffered.load(Ordering::Relaxed)),
+            ),
+            (
+                "adapt_flows".to_owned(),
+                serde::Value::Array(self.adapt_snapshots(64)),
             ),
             ("metrics".to_owned(), self.metrics.snapshot()),
         ])
@@ -1198,5 +1331,89 @@ mod tests {
         let v: serde::Value = serde_json::from_str(&engine.stats_json()).unwrap();
         assert_eq!(v.get("flows").unwrap().as_u64(), Some(0));
         assert!(v.get("metrics").unwrap().get("packets_in").is_some());
+    }
+
+    #[test]
+    fn adaptive_flow_escalates_under_loss_and_reports_in_snapshot() {
+        let proto = Config::new(Algorithm::Sha1).with_chain_len(512);
+        let acfg = alpha_adapt::AdaptConfig {
+            dwell: 2,
+            ..alpha_adapt::AdaptConfig::default()
+        };
+        let client = EngineCore::new(EngineConfig::new(proto).with_adapt(acfg));
+        let server = EngineCore::new(EngineConfig::new(proto));
+        let ca = addr(1500);
+        let sa = addr(2500);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut now = Timestamp::from_millis(1);
+
+        let (key, out) = client.connect(sa, 21, now, &mut rng);
+        pump(&client, ca, &server, sa, out.datagrams, now, &mut rng);
+
+        // Clean phase: offer a full buffer each exchange; AIMD must walk
+        // the bundle size up to the cap on the Cumulative rung.
+        let msgs: Vec<Vec<u8>> = (0..acfg.max_n).map(|i| vec![i as u8; 32]).collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let mut last_take = 0;
+        for _ in 0..12 {
+            now = now.plus_micros(10_000);
+            let (take, out) = client.sign_adaptive(key, &refs, now).expect("sign");
+            last_take = take;
+            pump(&client, ca, &server, sa, out.datagrams, now, &mut rng);
+            assert!(client.flow_is_idle(key), "clean exchange must finish");
+        }
+        assert_eq!(last_take, acfg.max_n, "AIMD grew the bundle to the cap");
+        client
+            .with_adapt(key, |a| {
+                assert_eq!(a.decision().kind, alpha_adapt::ModeKind::Cumulative);
+                assert!(a.estimator().srtt_us().is_some(), "RTT sampled");
+            })
+            .expect("adaptive flow state");
+
+        // Loss phase: sign and then drop every datagram on the floor; the
+        // signer retries through the timer wheel until it abandons, and
+        // each abandoned exchange drives the loss estimate up the ladder.
+        for _ in 0..10 {
+            now = now.plus_micros(10_000);
+            let (_take, _out) = client.sign_adaptive(key, &refs, now).expect("sign");
+            let mut spins = 0;
+            while !client.flow_is_idle(key) {
+                now = now.plus_micros(250_000);
+                let _ = client.poll(now, &mut rng); // datagrams dropped
+                spins += 1;
+                assert!(spins < 200, "exchange never abandoned");
+            }
+        }
+        let (kind, n) = client
+            .with_adapt(key, |a| (a.decision().kind, a.decision().n))
+            .expect("adaptive flow state");
+        assert_eq!(
+            kind,
+            alpha_adapt::ModeKind::Merkle,
+            "sustained loss tops out the ladder"
+        );
+        assert!(n <= acfg.merkle_max_n);
+        assert!(
+            client.metrics().adapt_switches.load(Ordering::Relaxed) >= 2,
+            "switches surfaced in metrics"
+        );
+
+        // The JSON snapshot carries the per-flow controller state.
+        let snap: serde::Value = serde_json::from_str(&client.stats_json()).unwrap();
+        let flows = snap.get("adapt_flows").unwrap();
+        let serde::Value::Array(rows) = flows else {
+            panic!("adapt_flows should be an array")
+        };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("assoc_id").unwrap().as_u64(), Some(21));
+        let adapt = rows[0].get("adapt").unwrap();
+        assert_eq!(adapt.get("mode").unwrap().as_str(), Some("merkle"));
+        assert!(adapt.get("switches").unwrap().as_u64().unwrap() >= 2);
+        // An engine without adaptation reports an empty array.
+        let snap: serde::Value = serde_json::from_str(&server.stats_json()).unwrap();
+        let serde::Value::Array(rows) = snap.get("adapt_flows").unwrap() else {
+            panic!("adapt_flows should be an array")
+        };
+        assert!(rows.is_empty());
     }
 }

@@ -16,6 +16,7 @@ pub mod shard;
 pub mod timer;
 pub mod worker;
 
+pub use alpha_adapt::{AdaptConfig, FlowAdapt};
 pub use backoff::Backoff;
 pub use engine::{EngineConfig, EngineCore, EngineError, EngineOutput};
 pub use metrics::{EngineMetrics, Histogram};

@@ -163,6 +163,9 @@ pub struct EngineMetrics {
     pub timer_fires: AtomicU64,
     /// Datagrams that did not parse as ALPHA traffic.
     pub parse_errors: AtomicU64,
+    /// Controller decision changes (mode or bundle size) across all
+    /// adaptive host flows.
+    pub adapt_switches: AtomicU64,
     drops: [AtomicU64; DROP_LABELS.len()],
     /// Handshake completion latency.
     pub handshake_us: Histogram,
@@ -226,6 +229,7 @@ impl EngineMetrics {
             ),
             ("timer_fires".to_owned(), ld(&self.timer_fires)),
             ("parse_errors".to_owned(), ld(&self.parse_errors)),
+            ("adapt_switches".to_owned(), ld(&self.adapt_switches)),
             ("drops".to_owned(), drops),
             ("handshake_us".to_owned(), self.handshake_us.snapshot()),
             ("rtt_us".to_owned(), self.rtt_us.snapshot()),

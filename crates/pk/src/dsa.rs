@@ -135,7 +135,11 @@ impl DsaPrivateKey {
 
     /// Convenience: generate domain and key together.
     #[must_use]
-    pub fn generate_with_domain(p_bits: usize, q_bits: usize, rng: &mut dyn RngCore) -> DsaPrivateKey {
+    pub fn generate_with_domain(
+        p_bits: usize,
+        q_bits: usize,
+        rng: &mut dyn RngCore,
+    ) -> DsaPrivateKey {
         let params = DsaParams::generate(p_bits, q_bits, rng);
         DsaPrivateKey::generate(params, rng)
     }
@@ -162,7 +166,9 @@ impl DsaPrivateKey {
             if r.is_zero() {
                 continue;
             }
-            let Some(kinv) = k.mod_inverse(q) else { continue };
+            let Some(kinv) = k.mod_inverse(q) else {
+                continue;
+            };
             let s = kinv.mul_mod(&z.add(&self.x.mul_mod(&r, q)).rem(q), q);
             if s.is_zero() {
                 continue;
@@ -193,7 +199,10 @@ impl DsaPublicKey {
         if !bytes.is_empty() || p.is_zero() || q.is_zero() || g.is_zero() || y.is_zero() {
             return None;
         }
-        Some(DsaPublicKey { params: DsaParams { p, q, g }, y })
+        Some(DsaPublicKey {
+            params: DsaParams { p, q, g },
+            y,
+        })
     }
 
     /// Verify a signature.
@@ -261,7 +270,9 @@ mod tests {
         let mut r = rng();
         let key = test_key(&mut r);
         let sig = key.sign(Algorithm::Sha1, b"anchor bytes", &mut r);
-        assert!(key.public_key().verify(Algorithm::Sha1, b"anchor bytes", &sig));
+        assert!(key
+            .public_key()
+            .verify(Algorithm::Sha1, b"anchor bytes", &sig));
     }
 
     #[test]
@@ -277,8 +288,14 @@ mod tests {
         let mut r = rng();
         let key = test_key(&mut r);
         let sig = key.sign(Algorithm::Sha1, b"message", &mut r);
-        let bad_r = DsaSignature { r: sig.r.add(&BigUint::one()), s: sig.s.clone() };
-        let bad_s = DsaSignature { r: sig.r.clone(), s: sig.s.add(&BigUint::one()) };
+        let bad_r = DsaSignature {
+            r: sig.r.add(&BigUint::one()),
+            s: sig.s.clone(),
+        };
+        let bad_s = DsaSignature {
+            r: sig.r.clone(),
+            s: sig.s.add(&BigUint::one()),
+        };
         assert!(!key.public_key().verify(Algorithm::Sha1, b"message", &bad_r));
         assert!(!key.public_key().verify(Algorithm::Sha1, b"message", &bad_s));
     }
@@ -288,9 +305,15 @@ mod tests {
         let mut r = rng();
         let key = test_key(&mut r);
         let q = key.public_key().params.q.clone();
-        let sig = DsaSignature { r: q.clone(), s: BigUint::one() };
+        let sig = DsaSignature {
+            r: q.clone(),
+            s: BigUint::one(),
+        };
         assert!(!key.public_key().verify(Algorithm::Sha1, b"m", &sig));
-        let sig = DsaSignature { r: BigUint::zero(), s: BigUint::one() };
+        let sig = DsaSignature {
+            r: BigUint::zero(),
+            s: BigUint::one(),
+        };
         assert!(!key.public_key().verify(Algorithm::Sha1, b"m", &sig));
     }
 
@@ -301,7 +324,9 @@ mod tests {
         let sig = key.sign(Algorithm::Sha256, b"serialize me", &mut r);
         let bytes = sig.to_bytes();
         assert_eq!(DsaSignature::from_bytes(&bytes), Some(sig.clone()));
-        assert!(key.public_key().verify_bytes(Algorithm::Sha256, b"serialize me", &bytes));
+        assert!(key
+            .public_key()
+            .verify_bytes(Algorithm::Sha256, b"serialize me", &bytes));
         // Truncated forms rejected.
         assert!(DsaSignature::from_bytes(&bytes[..bytes.len() - 1]).is_none());
         assert!(DsaSignature::from_bytes(&[]).is_none());

@@ -87,7 +87,8 @@ impl Curve {
                 }
                 let dx = x2.sub_mod(x1, &self.p);
                 let dy = y2.sub_mod(y1, &self.p);
-                let lambda = dy.mul_mod(&dx.mod_inverse(&self.p).expect("p prime, dx != 0"), &self.p);
+                let lambda =
+                    dy.mul_mod(&dx.mod_inverse(&self.p).expect("p prime, dx != 0"), &self.p);
                 let x3 = lambda
                     .mul_mod(&lambda, &self.p)
                     .sub_mod(x1, &self.p)
@@ -115,7 +116,8 @@ impl Curve {
                     .mul_mod(&x.mul_mod(x, &self.p), &self.p)
                     .add_mod(&self.a, &self.p);
                 let den = two.mul_mod(y, &self.p);
-                let lambda = num.mul_mod(&den.mod_inverse(&self.p).expect("p prime, y != 0"), &self.p);
+                let lambda =
+                    num.mul_mod(&den.mod_inverse(&self.p).expect("p prime, y != 0"), &self.p);
                 let x3 = lambda
                     .mul_mod(&lambda, &self.p)
                     .sub_mod(&two.mul_mod(x, &self.p), &self.p);
@@ -266,8 +268,13 @@ impl EcdsaPrivateKey {
             if r.is_zero() {
                 continue;
             }
-            let Some(kinv) = k.mod_inverse(&curve.n) else { continue };
-            let s = kinv.mul_mod(&z.add(&r.mul_mod(&self.d, &curve.n)).rem(&curve.n), &curve.n);
+            let Some(kinv) = k.mod_inverse(&curve.n) else {
+                continue;
+            };
+            let s = kinv.mul_mod(
+                &z.add(&r.mul_mod(&self.d, &curve.n)).rem(&curve.n),
+                &curve.n,
+            );
             if s.is_zero() {
                 continue;
             }
@@ -393,7 +400,9 @@ mod tests {
     #[test]
     fn inverse_point_sums_to_infinity() {
         let c = Curve::secp160r1();
-        let Point::Affine(x, y) = c.g.clone() else { panic!() };
+        let Point::Affine(x, y) = c.g.clone() else {
+            panic!()
+        };
         let neg = Point::Affine(x, c.p.sub(&y));
         assert!(c.contains(&neg));
         assert_eq!(c.add(&c.g, &neg), Point::Infinity);
@@ -404,18 +413,28 @@ mod tests {
         let mut r = rng();
         let key = EcdsaPrivateKey::generate(&mut r);
         let sig = key.sign(Algorithm::Sha1, b"sensor anchor", &mut r);
-        assert!(key.public_key().verify_sig(Algorithm::Sha1, b"sensor anchor", &sig));
-        assert!(!key.public_key().verify_sig(Algorithm::Sha1, b"sensor anchor!", &sig));
+        assert!(key
+            .public_key()
+            .verify_sig(Algorithm::Sha1, b"sensor anchor", &sig));
+        assert!(!key
+            .public_key()
+            .verify_sig(Algorithm::Sha1, b"sensor anchor!", &sig));
     }
 
     #[test]
     fn serialized_roundtrip() {
         let mut r = rng();
         let key = EcdsaPrivateKey::generate(&mut r);
-        let sig = key.sign(Algorithm::MmoAes, b"16-byte-hash msg", &mut r).to_bytes();
+        let sig = key
+            .sign(Algorithm::MmoAes, b"16-byte-hash msg", &mut r)
+            .to_bytes();
         assert_eq!(sig.len(), 42);
-        assert!(key.public_key().verify(Algorithm::MmoAes, b"16-byte-hash msg", &sig));
-        assert!(!key.public_key().verify(Algorithm::MmoAes, b"16-byte-hash msg", &sig[..41]));
+        assert!(key
+            .public_key()
+            .verify(Algorithm::MmoAes, b"16-byte-hash msg", &sig));
+        assert!(!key
+            .public_key()
+            .verify(Algorithm::MmoAes, b"16-byte-hash msg", &sig[..41]));
     }
 
     #[test]
@@ -441,9 +460,15 @@ mod tests {
         let mut r = rng();
         let key = EcdsaPrivateKey::generate(&mut r);
         let c = Curve::secp160r1();
-        let bad = EcdsaSignature { r: c.n.clone(), s: BigUint::one() };
+        let bad = EcdsaSignature {
+            r: c.n.clone(),
+            s: BigUint::one(),
+        };
         assert!(!key.public_key().verify_sig(Algorithm::Sha1, b"m", &bad));
-        let bad = EcdsaSignature { r: BigUint::zero(), s: BigUint::one() };
+        let bad = EcdsaSignature {
+            r: BigUint::zero(),
+            s: BigUint::one(),
+        };
         assert!(!key.public_key().verify_sig(Algorithm::Sha1, b"m", &bad));
     }
 }

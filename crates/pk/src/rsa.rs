@@ -85,7 +85,9 @@ impl RsaPublicKey {
         if s.cmp(&self.n) != std::cmp::Ordering::Less {
             return false;
         }
-        let em = s.modpow(&self.e, &self.n).to_bytes_be_padded(self.modulus_len());
+        let em = s
+            .modpow(&self.e, &self.n)
+            .to_bytes_be_padded(self.modulus_len());
         match emsa_pkcs1_v15(alg, msg, self.modulus_len()) {
             Some(expected) => alpha_crypto::ct_eq(&em, &expected),
             None => false,
@@ -100,7 +102,10 @@ impl RsaPrivateKey {
     /// 1024-bit keys (release builds) to match the paper.
     #[must_use]
     pub fn generate(bits: usize, rng: &mut dyn RngCore) -> RsaPrivateKey {
-        assert!(bits >= 128 && bits.is_multiple_of(2), "unsupported modulus size");
+        assert!(
+            bits >= 128 && bits.is_multiple_of(2),
+            "unsupported modulus size"
+        );
         let e = BigUint::from_u64(65537);
         let one = BigUint::one();
         loop {
@@ -114,10 +119,14 @@ impl RsaPrivateKey {
                 continue;
             }
             let phi = p.sub(&one).mul(&q.sub(&one));
-            let Some(d) = e.mod_inverse(&phi) else { continue };
+            let Some(d) = e.mod_inverse(&phi) else {
+                continue;
+            };
             let dp = d.rem(&p.sub(&one));
             let dq = d.rem(&q.sub(&one));
-            let Some(qinv) = q.mod_inverse(&p) else { continue };
+            let Some(qinv) = q.mod_inverse(&p) else {
+                continue;
+            };
             return RsaPrivateKey {
                 public: RsaPublicKey { n, e },
                 d,
@@ -145,9 +154,14 @@ impl RsaPrivateKey {
         // CRT: s_p = m^dp mod p, s_q = m^dq mod q, recombine.
         let sp = m.modpow(&self.dp, &self.p);
         let sq = m.modpow(&self.dq, &self.q);
-        let h = self.qinv.mul_mod(&sp.sub_mod(&sq.rem(&self.p), &self.p), &self.p);
+        let h = self
+            .qinv
+            .mul_mod(&sp.sub_mod(&sq.rem(&self.p), &self.p), &self.p);
         let s = sq.add(&self.q.mul(&h));
-        debug_assert_eq!(s.modpow(&self.public.e, &self.public.n), m.rem(&self.public.n));
+        debug_assert_eq!(
+            s.modpow(&self.public.e, &self.public.n),
+            m.rem(&self.public.n)
+        );
         s.to_bytes_be_padded(k)
     }
 
@@ -182,8 +196,14 @@ impl RsaPrivateKey {
         }
         let mut it = parts.into_iter();
         let (n, e, d, p, q, dp, dq, qinv) = (
-            it.next()?, it.next()?, it.next()?, it.next()?,
-            it.next()?, it.next()?, it.next()?, it.next()?,
+            it.next()?,
+            it.next()?,
+            it.next()?,
+            it.next()?,
+            it.next()?,
+            it.next()?,
+            it.next()?,
+            it.next()?,
         );
         Some(RsaPrivateKey {
             public: RsaPublicKey { n, e },
@@ -288,7 +308,10 @@ mod tests {
     fn crt_matches_plain_exponentiation() {
         let mut r = rng();
         let key = RsaPrivateKey::generate(512, &mut r);
-        assert_eq!(key.sign(Algorithm::Sha1, b"x"), key.sign_no_crt(Algorithm::Sha1, b"x"));
+        assert_eq!(
+            key.sign(Algorithm::Sha1, b"x"),
+            key.sign_no_crt(Algorithm::Sha1, b"x")
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl AffineCost {
     #[must_use]
     pub fn fit(len_a: f64, cost_a_ns: f64, len_b: f64, cost_b_ns: f64) -> AffineCost {
         let per_byte_ns = (cost_b_ns - cost_a_ns) / (len_b - len_a);
-        AffineCost { base_ns: cost_a_ns - per_byte_ns * len_a, per_byte_ns }
+        AffineCost {
+            base_ns: cost_a_ns - per_byte_ns * len_a,
+            per_byte_ns,
+        }
     }
 
     /// Cost of hashing `len` bytes, in nanoseconds.
@@ -96,7 +99,10 @@ impl DeviceModel {
         DeviceModel {
             name: "Nokia 770 (ARM926 220 MHz)",
             hash_alg: Algorithm::Sha1,
-            hash: AffineCost { base_ns: ar.base_ns * scale, per_byte_ns: ar.per_byte_ns * scale },
+            hash: AffineCost {
+                base_ns: ar.base_ns * scale,
+                per_byte_ns: ar.per_byte_ns * scale,
+            },
             packet_overhead_ns: 0.25 * MS, // from Table 4 step timings (see table4 harness)
             rsa_sign_ns: Some(181.32 * MS),
             rsa_verify_ns: Some(10.53 * MS),

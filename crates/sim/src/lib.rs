@@ -28,8 +28,10 @@ pub mod topology;
 pub mod trace;
 
 pub use device::{AffineCost, DeviceModel};
-pub use link::LinkConfig;
-pub use node::{sim_node_addr, App, Attacker, Endpoint, EngineRelayNode, Node, RelayNode, SenderApp};
+pub use link::{GeChannel, GilbertElliott, LinkConfig};
+pub use node::{
+    sim_node_addr, App, Attacker, Endpoint, EngineRelayNode, Node, RelayNode, SenderApp,
+};
 pub use sim::{Frame, NodeId, NodeMetrics, Simulator};
 pub use topology::{protected_path, star_through_engine, star_through_relay};
 pub use trace::{PacketKind, Trace, TraceEntry, TraceEvent};

@@ -37,7 +37,11 @@ pub struct NodeOutput {
 
 impl NodeOutput {
     fn send(&mut self, src: NodeId, dst: NodeId, pkt: &Packet) {
-        self.frames.push(Frame { src, dst, bytes: pkt.emit() });
+        self.frames.push(Frame {
+            src,
+            dst,
+            bytes: pkt.emit(),
+        });
     }
 
     /// Send several packets to one destination as piggyback bundles
@@ -115,6 +119,28 @@ pub enum App {
         /// Echoes dispatched so far.
         echoed: u64,
     },
+    /// A sender whose mode and bundle size are chosen per exchange by the
+    /// adaptation plane: `app.mode` and `app.batch` are ignored as fixed
+    /// values — `batch` only caps how many messages are available per
+    /// exchange, and the controller picks the mode and the actual bundle.
+    Adaptive {
+        /// The underlying traffic script.
+        app: SenderApp,
+        /// Per-flow estimator + controller.
+        adapt: Box<alpha_adapt::FlowAdapt>,
+    },
+}
+
+impl App {
+    /// An adaptive sender of `total` messages of `len` bytes with default
+    /// adaptation tunables.
+    #[must_use]
+    pub fn adaptive(len: usize, total: usize, cfg: alpha_adapt::AdaptConfig) -> App {
+        App::Adaptive {
+            app: SenderApp::new(Mode::Cumulative, cfg.max_n, len, total),
+            adapt: Box::new(alpha_adapt::FlowAdapt::new(cfg)),
+        }
+    }
 }
 
 enum EpState {
@@ -206,9 +232,20 @@ impl Endpoint {
     #[must_use]
     pub fn pending_messages(&self) -> usize {
         match &self.app {
-            App::Sender(s) => s.total_messages.saturating_sub(s.sent),
+            App::Sender(s) | App::Adaptive { app: s, .. } => {
+                s.total_messages.saturating_sub(s.sent)
+            }
             App::Sink => 0,
             App::Echo { pending, .. } => pending.len(),
+        }
+    }
+
+    /// The adaptation state of an [`App::Adaptive`] endpoint.
+    #[must_use]
+    pub fn adapt(&self) -> Option<&alpha_adapt::FlowAdapt> {
+        match &self.app {
+            App::Adaptive { adapt, .. } => Some(adapt),
+            _ => None,
         }
     }
 
@@ -235,6 +272,9 @@ impl Endpoint {
                 // Retransmissions / buffer expiry.
                 let resp = assoc.poll(ctx.now);
                 out.send_all(ctx.id, self.peer, &resp.packets);
+                if let App::Adaptive { adapt, .. } = &mut self.app {
+                    adapt.observe(&resp.packets, &resp.signer_events);
+                }
                 for ev in &resp.signer_events {
                     if matches!(ev, alpha_core::SignerEvent::ExchangeAbandoned) {
                         ctx.metrics.drop_reason("exchange-abandoned");
@@ -261,11 +301,40 @@ impl Endpoint {
                             .map(|_| make_payload(app.payload_len, ctx.now, ctx.rng))
                             .collect();
                         let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
-                        let mode = if n == 1 && app.mode == Mode::Base { Mode::Base } else { app.mode };
+                        let mode = if n == 1 && app.mode == Mode::Base {
+                            Mode::Base
+                        } else {
+                            app.mode
+                        };
                         match assoc.sign_batch(&refs, mode, ctx.now) {
                             Ok(s1) => {
                                 app.sent += n;
                                 app.next_send = ctx.now.plus_micros(app.interval_us);
+                                out.send(ctx.id, self.peer, &s1);
+                            }
+                            Err(_) => ctx.metrics.drop_reason("sign-failed"),
+                        }
+                    }
+                }
+                // Adaptive app: the controller picks mode and bundle size.
+                if let App::Adaptive { app, adapt } = &mut self.app {
+                    if app.sent < app.total_messages
+                        && assoc.signer().is_idle()
+                        && ctx.now >= app.next_send
+                    {
+                        let available = app.batch.min(app.total_messages - app.sent);
+                        let (mode, n) = adapt.plan(available);
+                        let msgs: Vec<Vec<u8>> = (0..n)
+                            .map(|_| make_payload(app.payload_len, ctx.now, ctx.rng))
+                            .collect();
+                        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+                        let payload_bytes: u64 = msgs.iter().map(|m| m.len() as u64).sum();
+                        match assoc.sign_batch(&refs, mode, ctx.now) {
+                            Ok(s1) => {
+                                app.sent += n;
+                                app.next_send = ctx.now.plus_micros(app.interval_us);
+                                adapt.begin_exchange(mode, n, payload_bytes, ctx.now);
+                                adapt.observe_packets(std::slice::from_ref(&s1));
                                 out.send(ctx.id, self.peer, &s1);
                             }
                             Err(_) => ctx.metrics.drop_reason("sign-failed"),
@@ -341,9 +410,23 @@ impl Endpoint {
                     self.state = EpState::Ready(assoc);
                     return;
                 }
+                if let App::Adaptive { adapt, .. } = &mut self.app {
+                    if matches!(pkt.body, alpha_wire::Body::A1 { .. }) {
+                        adapt.on_a1(ctx.now);
+                    }
+                }
                 match assoc.handle(&pkt, ctx.now, ctx.rng) {
                     Ok(resp) => {
                         out.send_all(ctx.id, self.peer, &resp.packets);
+                        if let App::Adaptive { adapt, .. } = &mut self.app {
+                            adapt.observe(&resp.packets, &resp.signer_events);
+                            // Close the loop onto the live timers: the
+                            // measured RFC 6298 RTO replaces the static
+                            // configured constant.
+                            if let Some(rto) = adapt.rto_us() {
+                                assoc.set_rto_micros(rto);
+                            }
+                        }
                         for ev in &resp.signer_events {
                             if matches!(ev, alpha_core::SignerEvent::ExchangeAbandoned) {
                                 ctx.metrics.drop_reason("exchange-abandoned");
@@ -397,7 +480,10 @@ impl RelayNode {
     /// Relay with the given policy.
     #[must_use]
     pub fn new(device: DeviceModel, cfg: RelayConfig) -> RelayNode {
-        RelayNode { device, relay: Relay::new(cfg) }
+        RelayNode {
+            device,
+            relay: Relay::new(cfg),
+        }
     }
 
     fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: Frame, out: &mut NodeOutput) {
@@ -431,7 +517,11 @@ impl RelayNode {
             } else {
                 alpha_wire::bundle::emit(&pass)
             };
-            out.frames.push(Frame { src: frame.src, dst: frame.dst, bytes });
+            out.frames.push(Frame {
+                src: frame.src,
+                dst: frame.dst,
+                bytes,
+            });
         }
     }
 }
@@ -458,12 +548,13 @@ impl EngineRelayNode {
     /// Engine relay with the given relay policy.
     #[must_use]
     pub fn new(device: DeviceModel, cfg: RelayConfig) -> EngineRelayNode {
-        let mut ecfg = alpha_engine::EngineConfig::new(Config::new(
-            alpha_crypto::Algorithm::Sha1,
-        ));
+        let mut ecfg = alpha_engine::EngineConfig::new(Config::new(alpha_crypto::Algorithm::Sha1));
         ecfg.relay = cfg;
         ecfg.accept_handshakes = false;
-        EngineRelayNode { device, core: alpha_engine::EngineCore::new(ecfg) }
+        EngineRelayNode {
+            device,
+            core: alpha_engine::EngineCore::new(ecfg),
+        }
     }
 
     fn on_frame(&mut self, ctx: &mut NodeCtx<'_>, frame: Frame, out: &mut NodeOutput) {
@@ -475,7 +566,9 @@ impl EngineRelayNode {
         let m = self.core.metrics();
         use std::sync::atomic::Ordering::Relaxed;
         let drops_before = m.total_drops() + m.parse_errors.load(Relaxed);
-        let engine_out = self.core.handle_datagram(from, &frame.bytes, ctx.now, ctx.rng);
+        let engine_out = self
+            .core
+            .handle_datagram(from, &frame.bytes, ctx.now, ctx.rng);
         let drops_after = m.total_drops() + m.parse_errors.load(Relaxed);
         for _ in drops_before..drops_after {
             ctx.metrics.drop_reason("engine-drop");
@@ -483,7 +576,11 @@ impl EngineRelayNode {
         ctx.metrics.extracted_payloads += engine_out.extracted.len() as u64;
         for (_dst, bytes) in engine_out.datagrams {
             ctx.metrics.forwarded += 1;
-            out.frames.push(Frame { src: frame.src, dst: frame.dst, bytes });
+            out.frames.push(Frame {
+                src: frame.src,
+                dst: frame.dst,
+                bytes,
+            });
         }
     }
 }
@@ -540,7 +637,13 @@ pub enum Attacker {
 impl Attacker {
     fn on_tick(&mut self, ctx: &mut NodeCtx<'_>, out: &mut NodeOutput) {
         match self {
-            Attacker::Flooder { dst, assoc_id, alg, per_tick, injected } => {
+            Attacker::Flooder {
+                dst,
+                assoc_id,
+                alg,
+                per_tick,
+                injected,
+            } => {
                 for _ in 0..*per_tick {
                     let mut fake = [0u8; 32];
                     ctx.rng.fill_bytes(&mut fake);
@@ -559,7 +662,11 @@ impl Attacker {
                     *injected += 1;
                 }
             }
-            Attacker::ReplayRelay { delay_us: _, pending, replayed } => {
+            Attacker::ReplayRelay {
+                delay_us: _,
+                pending,
+                replayed,
+            } => {
                 let due: Vec<Frame> = {
                     let now = ctx.now;
                     let (ready, later): (Vec<_>, Vec<_>) =
@@ -582,11 +689,16 @@ impl Attacker {
                 // Floods, never forwards: swallow traffic addressed here.
                 ctx.metrics.drop_reason("attacker-sink");
             }
-            Attacker::ReplayRelay { delay_us, pending, .. } => {
+            Attacker::ReplayRelay {
+                delay_us, pending, ..
+            } => {
                 pending.push((ctx.now.plus_micros(*delay_us), frame.clone()));
                 out.frames.push(frame);
             }
-            Attacker::Tamperer { probability, tampered } => {
+            Attacker::Tamperer {
+                probability,
+                tampered,
+            } => {
                 let mut frame = frame;
                 if let Ok(pkt) = Packet::parse(&frame.bytes) {
                     if matches!(pkt.body, alpha_wire::Body::S2 { .. })

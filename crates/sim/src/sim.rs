@@ -30,8 +30,14 @@ pub struct Frame {
 
 #[derive(Debug)]
 enum Event {
-    Arrival { hop_from: NodeId, at_node: NodeId, frame: Frame },
-    Tick { node: NodeId },
+    Arrival {
+        hop_from: NodeId,
+        at_node: NodeId,
+        frame: Frame,
+    },
+    Tick {
+        node: NodeId,
+    },
 }
 
 struct Scheduled {
@@ -198,6 +204,22 @@ impl Simulator {
         self.routes.clear();
     }
 
+    /// Change the loss probability of the bidirectional link between `a`
+    /// and `b` mid-run (both directions). The lever for scripted loss
+    /// traces driving the adaptation controller; burst state and
+    /// serialization queues are preserved. Returns false if no such link
+    /// exists.
+    pub fn set_link_loss(&mut self, a: NodeId, b: NodeId, loss: f64) -> bool {
+        let mut found = false;
+        for key in [(a, b), (b, a)] {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.cfg.loss = loss;
+                found = true;
+            }
+        }
+        found
+    }
+
     /// Remove the bidirectional link between `a` and `b` (link failure or
     /// mobility); routes are recomputed on the next transmission. ALPHA
     /// requires path stability for ~2 RTTs (§3.5) — this is the lever for
@@ -246,7 +268,11 @@ impl Simulator {
 
     fn schedule(&mut self, at: Timestamp, event: Event) {
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at, seq: self.seq, event }));
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        }));
     }
 
     /// Run until the virtual clock passes `until` or the queue drains.
@@ -266,7 +292,11 @@ impl Simulator {
 
     fn dispatch(&mut self, event: Event) {
         match event {
-            Event::Arrival { hop_from, at_node, frame } => {
+            Event::Arrival {
+                hop_from,
+                at_node,
+                frame,
+            } => {
                 self.metrics[at_node].recv_frames += 1;
                 self.metrics[at_node].recv_bytes += frame.bytes.len() as u64;
                 self.process_at_node(at_node, Some((hop_from, frame)));
@@ -326,32 +356,62 @@ impl Simulator {
         };
         self.metrics[from].sent_frames += 1;
         self.metrics[from].sent_bytes += frame.bytes.len() as u64;
-        let link = self.links.get_mut(&(from, next)).expect("route over existing link");
+        let link = self
+            .links
+            .get_mut(&(from, next))
+            .expect("route over existing link");
         if let Some(trace) = &mut self.trace {
-            trace.record(now, TraceEvent::Transmit {
-                from,
-                next_hop: next,
-                dst: frame.dst,
-                bytes: frame.bytes.len(),
-                packet_type: Trace::classify(&frame.bytes),
-            });
+            trace.record(
+                now,
+                TraceEvent::Transmit {
+                    from,
+                    next_hop: next,
+                    dst: frame.dst,
+                    bytes: frame.bytes.len(),
+                    packet_type: Trace::classify(&frame.bytes),
+                },
+            );
         }
         match link.transmit(frame.bytes.clone(), now, &mut self.rng) {
             Transit::Dropped => {
                 self.metrics[from].drop_reason("link-loss");
                 if let Some(trace) = &mut self.trace {
-                    trace.record(now, TraceEvent::Lost { from, next_hop: next });
+                    trace.record(
+                        now,
+                        TraceEvent::Lost {
+                            from,
+                            next_hop: next,
+                        },
+                    );
                 }
             }
-            Transit::Deliver { at, bytes, duplicate_at } => {
-                let delivered = Frame { bytes, ..frame.clone() };
+            Transit::Deliver {
+                at,
+                bytes,
+                duplicate_at,
+            } => {
+                let delivered = Frame {
+                    bytes,
+                    ..frame.clone()
+                };
                 if let Some(dup_at) = duplicate_at {
                     self.schedule(
                         dup_at,
-                        Event::Arrival { hop_from: from, at_node: next, frame: delivered.clone() },
+                        Event::Arrival {
+                            hop_from: from,
+                            at_node: next,
+                            frame: delivered.clone(),
+                        },
                     );
                 }
-                self.schedule(at, Event::Arrival { hop_from: from, at_node: next, frame: delivered });
+                self.schedule(
+                    at,
+                    Event::Arrival {
+                        hop_from: from,
+                        at_node: next,
+                        frame: delivered,
+                    },
+                );
             }
         }
     }

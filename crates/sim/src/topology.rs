@@ -31,7 +31,10 @@ pub fn protected_path(
         1 + n_relays,
         app,
     )));
-    let relay_cfg = RelayConfig { mac_scheme: cfg.mac_scheme, ..RelayConfig::default() };
+    let relay_cfg = RelayConfig {
+        mac_scheme: cfg.mac_scheme,
+        ..RelayConfig::default()
+    };
     let mut relays = Vec::with_capacity(n_relays);
     for _ in 0..n_relays {
         relays.push(sim.add_node(Node::Relay(RelayNode::new(relay_device, relay_cfg))));
@@ -121,8 +124,10 @@ pub fn star_through_engine(
         s1_bytes_per_sec: None,
         ..RelayConfig::default()
     };
-    let relay =
-        sim.add_node(Node::EngineRelay(EngineRelayNode::new(relay_device, relay_cfg)));
+    let relay = sim.add_node(Node::EngineRelay(EngineRelayNode::new(
+        relay_device,
+        relay_cfg,
+    )));
     let mut endpoints = Vec::with_capacity(pairs);
     for k in 0..pairs {
         let assoc_id = 0xE00u64 + k as u64;
@@ -193,8 +198,7 @@ mod tests {
         sim.run_until(Timestamp::from_millis(20_000));
         for (k, (_s, r)) in endpoints.iter().enumerate() {
             assert_eq!(
-                sim.metrics[*r].delivered_msgs,
-                MSGS as u64,
+                sim.metrics[*r].delivered_msgs, MSGS as u64,
                 "flow {k} delivered fully (drops: {:?})",
                 sim.metrics[*r].drops
             );

@@ -108,18 +108,22 @@ impl Deserialize for PacketKind {
 impl Serialize for TraceEvent {
     fn to_value(&self) -> serde::Value {
         match self {
-            TraceEvent::Transmit { from, next_hop, dst, bytes, packet_type } => {
-                serde::Value::object([(
-                    "Transmit".to_owned(),
-                    serde::Value::object([
-                        ("from".to_owned(), from.to_value()),
-                        ("next_hop".to_owned(), next_hop.to_value()),
-                        ("dst".to_owned(), dst.to_value()),
-                        ("bytes".to_owned(), bytes.to_value()),
-                        ("packet_type".to_owned(), packet_type.to_value()),
-                    ]),
-                )])
-            }
+            TraceEvent::Transmit {
+                from,
+                next_hop,
+                dst,
+                bytes,
+                packet_type,
+            } => serde::Value::object([(
+                "Transmit".to_owned(),
+                serde::Value::object([
+                    ("from".to_owned(), from.to_value()),
+                    ("next_hop".to_owned(), next_hop.to_value()),
+                    ("dst".to_owned(), dst.to_value()),
+                    ("bytes".to_owned(), bytes.to_value()),
+                    ("packet_type".to_owned(), packet_type.to_value()),
+                ]),
+            )]),
             TraceEvent::Lost { from, next_hop } => serde::Value::object([(
                 "Lost".to_owned(),
                 serde::Value::object([
@@ -180,7 +184,10 @@ pub struct Trace {
 impl Trace {
     /// Append an event.
     pub fn record(&mut self, at: Timestamp, event: TraceEvent) {
-        self.entries.push(TraceEntry { at_us: at.micros(), event });
+        self.entries.push(TraceEntry {
+            at_us: at.micros(),
+            event,
+        });
     }
 
     /// All entries in order.
@@ -266,9 +273,21 @@ mod tests {
         let mut t = Trace::default();
         t.record(
             Timestamp::from_millis(1),
-            TraceEvent::Transmit { from: 0, next_hop: 1, dst: 2, bytes: 64, packet_type: PacketKind::S1 },
+            TraceEvent::Transmit {
+                from: 0,
+                next_hop: 1,
+                dst: 2,
+                bytes: 64,
+                packet_type: PacketKind::S1,
+            },
         );
-        t.record(Timestamp::from_millis(2), TraceEvent::Lost { from: 1, next_hop: 2 });
+        t.record(
+            Timestamp::from_millis(2),
+            TraceEvent::Lost {
+                from: 1,
+                next_hop: 2,
+            },
+        );
         let json = t.to_json_lines();
         let back = Trace::from_json_lines(&json).unwrap();
         assert_eq!(back.entries(), t.entries());

@@ -1,0 +1,159 @@
+//! Deterministic end-to-end test of the adaptation plane: a scripted
+//! loss trace (low → heavy → low) over the protected path must walk the
+//! controller up the mode ladder to ALPHA-M and back down to ALPHA-C,
+//! converging within a bounded number of exchanges and without
+//! flapping. Everything runs under one fixed seed; every assertion is
+//! exact.
+
+use alpha_adapt::{AdaptConfig, ModeKind};
+use alpha_core::{Config, Reliability, Timestamp};
+use alpha_crypto::Algorithm;
+use alpha_sim::{protected_path, App, DeviceModel, LinkConfig, Simulator};
+
+fn adapt_of(sim: &Simulator, signer: usize) -> &alpha_adapt::FlowAdapt {
+    sim.node(signer)
+        .as_endpoint()
+        .expect("signer endpoint")
+        .adapt()
+        .expect("adaptive app")
+}
+
+/// Run until `cond` holds (checked every 100 ms of virtual time) or the
+/// deadline passes; returns whether it held.
+fn run_while(
+    sim: &mut Simulator,
+    deadline: Timestamp,
+    signer: usize,
+    cond: impl Fn(&alpha_adapt::FlowAdapt) -> bool,
+) -> bool {
+    while sim.now() < deadline {
+        if cond(adapt_of(sim, signer)) {
+            return true;
+        }
+        let step = sim.now().plus_micros(100_000);
+        sim.run_until(step);
+    }
+    cond(adapt_of(sim, signer))
+}
+
+#[test]
+fn scripted_loss_trace_walks_the_mode_ladder_and_back() {
+    let mut sim = Simulator::new(11);
+    let cfg = Config::new(Algorithm::Sha1)
+        .with_chain_len(8192)
+        .with_reliability(Reliability::Reliable);
+    let acfg = AdaptConfig::default();
+    let app = App::adaptive(64, 1_000_000, acfg);
+    let (signer, relays, verifier) = protected_path(
+        &mut sim,
+        1,
+        DeviceModel::xeon(),
+        DeviceModel::xeon(),
+        LinkConfig::ideal(),
+        cfg,
+        app,
+    );
+    let relay = relays[0];
+
+    // ── Phase 1: clean links. The controller must sit on the Cumulative
+    // rung and grow the bundle to the cap.
+    sim.run_until(Timestamp::from_millis(4_000));
+    let adapt = adapt_of(&sim, signer);
+    assert_eq!(adapt.decision().kind, ModeKind::Cumulative);
+    assert_eq!(adapt.decision().n, acfg.max_n);
+    assert!(adapt.estimator().loss_estimate() < acfg.forest_enter_loss);
+    assert!(
+        adapt.estimator().srtt_us().is_some(),
+        "clean exchanges must yield Karn-valid RTT samples"
+    );
+    let phase1_exchanges = adapt.exchanges();
+    assert!(phase1_exchanges > 20, "got {phase1_exchanges} exchanges");
+    assert_eq!(adapt.mode_switches_total(), 0);
+
+    // ── Phase 2: heavy loss on both hops (≈ 44% per one-way path). The
+    // ladder must escalate Cumulative → CumulativeMerkle → Merkle.
+    assert!(sim.set_link_loss(signer, relay, 0.25));
+    assert!(sim.set_link_loss(relay, verifier, 0.25));
+    let reached_merkle = run_while(&mut sim, Timestamp::from_millis(120_000), signer, |a| {
+        a.decision().kind == ModeKind::Merkle
+    });
+    let adapt = adapt_of(&sim, signer);
+    assert!(
+        reached_merkle,
+        "never escalated to Merkle; loss estimate {:.3}, kind {:?}",
+        adapt.estimator().loss_estimate(),
+        adapt.decision().kind
+    );
+    // Convergence bound: the switch onto the Merkle rung happened within
+    // a bounded number of exchanges after the loss started.
+    let to_merkle = adapt
+        .switches()
+        .iter()
+        .find(|s| s.to.kind == ModeKind::Merkle)
+        .expect("switch record for the Merkle rung");
+    assert!(
+        to_merkle.exchange > phase1_exchanges,
+        "escalation must postdate the loss change"
+    );
+    assert!(
+        to_merkle.exchange - phase1_exchanges <= 40,
+        "took {} exchanges to reach Merkle",
+        to_merkle.exchange - phase1_exchanges
+    );
+    // The ladder walked through the forest rung on the way up.
+    assert!(adapt
+        .switches()
+        .iter()
+        .any(|s| s.to.kind == ModeKind::CumulativeMerkle));
+    // The storm keeps the Merkle bundle small.
+    assert!(adapt.decision().n <= acfg.merkle_max_n);
+    let phase2_exchanges = adapt.exchanges();
+
+    // ── Phase 3: clean again. The controller must relax back down to
+    // Cumulative within a bounded number of exchanges.
+    assert!(sim.set_link_loss(signer, relay, 0.0));
+    assert!(sim.set_link_loss(relay, verifier, 0.0));
+    let recovery_deadline = sim.now().plus_micros(60_000_000);
+    let recovered = run_while(&mut sim, recovery_deadline, signer, |a| {
+        a.decision().kind == ModeKind::Cumulative
+    });
+    let adapt = adapt_of(&sim, signer);
+    assert!(
+        recovered,
+        "never relaxed back to Cumulative; loss estimate {:.3}, kind {:?}",
+        adapt.estimator().loss_estimate(),
+        adapt.decision().kind
+    );
+    let back_to_c = adapt
+        .switches()
+        .iter()
+        .rfind(|s| s.to.kind == ModeKind::Cumulative)
+        .expect("switch record for the recovery");
+    assert!(
+        back_to_c.exchange - phase2_exchanges <= 40,
+        "took {} exchanges to recover",
+        back_to_c.exchange - phase2_exchanges
+    );
+
+    // ── Hysteresis: the whole trace produces exactly one climb and one
+    // descent — no flapping anywhere.
+    let kind_changes: Vec<(ModeKind, ModeKind)> = adapt
+        .switches()
+        .iter()
+        .filter(|s| s.from.kind != s.to.kind)
+        .map(|s| (s.from.kind, s.to.kind))
+        .collect();
+    assert_eq!(
+        kind_changes,
+        vec![
+            (ModeKind::Cumulative, ModeKind::CumulativeMerkle),
+            (ModeKind::CumulativeMerkle, ModeKind::Merkle),
+            (ModeKind::Merkle, ModeKind::CumulativeMerkle),
+            (ModeKind::CumulativeMerkle, ModeKind::Cumulative),
+        ],
+        "hysteresis should yield exactly one climb and one descent"
+    );
+
+    // The verifier actually received traffic in every phase.
+    assert!(sim.metrics[verifier].delivered_msgs > phase1_exchanges);
+}

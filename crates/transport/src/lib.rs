@@ -168,7 +168,9 @@ impl UdpHost {
         loop {
             let now = Instant::now();
             if now > deadline {
-                return Err(TransportError::Timeout { attempts: backoff.attempts() });
+                return Err(TransportError::Timeout {
+                    attempts: backoff.attempts(),
+                });
             }
             if now >= next_resend {
                 socket.send_to(&init_bytes, peer)?;
@@ -251,7 +253,14 @@ impl UdpHost {
         let start = Instant::now();
         let core = single_flow_engine(*assoc.config());
         let key = core.add_host(peer, assoc, Timestamp::ZERO);
-        UdpHost { socket, core, key, start, rng, peer_key }
+        UdpHost {
+            socket,
+            core,
+            key,
+            start,
+            rng,
+            peer_key,
+        }
     }
 
     /// The peer's verified public key, when the handshake was protected.
@@ -278,21 +287,26 @@ impl UdpHost {
 
     /// Run `f` against the association (e.g. for buffer statistics).
     pub fn with_association<R>(&self, f: impl FnOnce(&mut Association) -> R) -> R {
-        self.core.with_association(self.key, f).expect("host flow always present")
+        self.core
+            .with_association(self.key, f)
+            .expect("host flow always present")
     }
 
     /// Block on the socket until the engine's next timer deadline (or
     /// the caps), then drain one datagram through the engine.
     fn pump_once(&mut self, inbound: &mut Vec<Vec<u8>>) -> Result<(), TransportError> {
         let wait = match self.core.next_deadline() {
-            Some(t) => Duration::from_micros(t.since(self.now()))
-                .clamp(MIN_READ_TIMEOUT, MAX_READ_TIMEOUT),
+            Some(t) => {
+                Duration::from_micros(t.since(self.now())).clamp(MIN_READ_TIMEOUT, MAX_READ_TIMEOUT)
+            }
             None => MAX_READ_TIMEOUT,
         };
         self.socket.set_read_timeout(Some(wait))?;
         let mut buf = [0u8; MAX_DATAGRAM];
         if let Ok((n, from)) = self.socket.recv_from(&mut buf) {
-            let out = self.core.handle_datagram(from, &buf[..n], self.now(), &mut self.rng);
+            let out = self
+                .core
+                .handle_datagram(from, &buf[..n], self.now(), &mut self.rng);
             self.flush(out, inbound)?;
         }
         let out = self.core.poll(self.now(), &mut self.rng);
@@ -300,11 +314,7 @@ impl UdpHost {
         Ok(())
     }
 
-    fn flush(
-        &self,
-        out: EngineOutput,
-        inbound: &mut Vec<Vec<u8>>,
-    ) -> Result<(), TransportError> {
+    fn flush(&self, out: EngineOutput, inbound: &mut Vec<Vec<u8>>) -> Result<(), TransportError> {
         for (dst, bytes) in &out.datagrams {
             self.socket.send_to(bytes, *dst)?;
         }
@@ -332,9 +342,17 @@ impl UdpHost {
             if Instant::now() > deadline {
                 return Err(TransportError::Timeout { attempts });
             }
-            let sent_before = self.core.metrics().packets_out.load(std::sync::atomic::Ordering::Relaxed);
+            let sent_before = self
+                .core
+                .metrics()
+                .packets_out
+                .load(std::sync::atomic::Ordering::Relaxed);
             self.pump_once(&mut inbound)?;
-            let sent_after = self.core.metrics().packets_out.load(std::sync::atomic::Ordering::Relaxed);
+            let sent_after = self
+                .core
+                .metrics()
+                .packets_out
+                .load(std::sync::atomic::Ordering::Relaxed);
             attempts += (sent_after - sent_before) as u32;
         }
         Ok(inbound)
@@ -420,7 +438,8 @@ impl UdpRelay {
                 self.socket.send_to(bytes, *dst)?;
             }
             self.forwarded += out.datagrams.len() as u64;
-            self.extracted.extend(out.extracted.into_iter().map(|(_, p)| p));
+            self.extracted
+                .extend(out.extracted.into_iter().map(|(_, p)| p));
             let m = self.core.metrics();
             use std::sync::atomic::Ordering::Relaxed;
             self.dropped = m.total_drops()
@@ -450,14 +469,13 @@ mod tests {
             let addr = socket_probe.local_addr().unwrap();
             drop(socket_probe);
             tx.send(addr).unwrap();
-            let mut host =
-                UdpHost::accept(c, addr, Duration::from_secs(10)).expect("accept");
+            let mut host = UdpHost::accept(c, addr, Duration::from_secs(10)).expect("accept");
             host.serve(Duration::from_millis(1500)).expect("serve")
         });
         let addr = rx.recv().unwrap();
         std::thread::sleep(Duration::from_millis(50));
-        let mut client = UdpHost::connect(c, 7, "127.0.0.1:0", addr, Duration::from_secs(10))
-            .expect("connect");
+        let mut client =
+            UdpHost::connect(c, 7, "127.0.0.1:0", addr, Duration::from_secs(10)).expect("connect");
         client
             .send_batch(&[b"over real udp"], Mode::Base, Duration::from_secs(5))
             .expect("send");
@@ -496,7 +514,9 @@ mod tests {
             )
             .expect("relay");
             rtx.send(relay.local_addr().unwrap()).unwrap();
-            relay.run_for(Duration::from_millis(2500)).expect("relay run");
+            relay
+                .run_for(Duration::from_millis(2500))
+                .expect("relay run");
             (relay.forwarded, relay.dropped, relay.extracted)
         });
         let relay_addr = rrx.recv().unwrap();
@@ -506,7 +526,11 @@ mod tests {
             .expect("connect");
         client
             .send_batch(
-                &[b"first".as_slice(), b"second".as_slice(), b"third".as_slice()],
+                &[
+                    b"first".as_slice(),
+                    b"second".as_slice(),
+                    b"third".as_slice(),
+                ],
                 Mode::Cumulative,
                 Duration::from_secs(5),
             )
@@ -556,27 +580,31 @@ mod protected_tests {
             let addr = probe.local_addr().unwrap();
             drop(probe);
             tx.send(addr).unwrap();
-            let auth = HandshakeAuth { identity: Some(&server_key), require_peer: true };
-            let mut host = UdpHost::accept_with(cfg, addr, Duration::from_secs(10), auth)
-                .expect("accept");
+            let auth = HandshakeAuth {
+                identity: Some(&server_key),
+                require_peer: true,
+            };
+            let mut host =
+                UdpHost::accept_with(cfg, addr, Duration::from_secs(10), auth).expect("accept");
             assert!(host.peer_key().is_some(), "client identity verified");
             host.serve(Duration::from_millis(1200)).expect("serve")
         });
         let addr = rx.recv().unwrap();
         std::thread::sleep(Duration::from_millis(50));
-        let auth = HandshakeAuth { identity: Some(&client_key), require_peer: true };
-        let mut client = UdpHost::connect_with(
-            cfg,
-            5,
-            "127.0.0.1:0",
-            addr,
-            Duration::from_secs(10),
-            auth,
-        )
-        .expect("connect");
+        let auth = HandshakeAuth {
+            identity: Some(&client_key),
+            require_peer: true,
+        };
+        let mut client =
+            UdpHost::connect_with(cfg, 5, "127.0.0.1:0", addr, Duration::from_secs(10), auth)
+                .expect("connect");
         assert!(client.peer_key().is_some(), "server identity verified");
         client
-            .send_batch(&[b"authenticated hello"], Mode::Base, Duration::from_secs(5))
+            .send_batch(
+                &[b"authenticated hello"],
+                Mode::Base,
+                Duration::from_secs(5),
+            )
             .expect("send");
         let delivered = server.join().expect("server");
         assert_eq!(delivered, vec![b"authenticated hello".to_vec()]);
@@ -593,7 +621,10 @@ mod protected_tests {
             let addr = probe.local_addr().unwrap();
             drop(probe);
             tx.send(addr).unwrap();
-            let auth = HandshakeAuth { identity: Some(&server_key), require_peer: true };
+            let auth = HandshakeAuth {
+                identity: Some(&server_key),
+                require_peer: true,
+            };
             // The anonymous client below never completes a handshake, so
             // accept times out.
             UdpHost::accept_with(cfg, addr, Duration::from_millis(1500), auth).is_ok()

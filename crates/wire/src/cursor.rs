@@ -44,7 +44,9 @@ impl<'a> Reader<'a> {
 
     pub fn u64(&mut self) -> Result<u64, Error> {
         let b = self.take(8)?;
-        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Read one digest of `alg`'s output length.
@@ -78,7 +80,9 @@ pub struct Writer {
 
 impl Writer {
     pub fn new() -> Writer {
-        Writer { out: Vec::with_capacity(64) }
+        Writer {
+            out: Vec::with_capacity(64),
+        }
     }
 
     pub fn u8(&mut self, v: u8) {

@@ -357,7 +357,12 @@ impl Packet {
                     }
                 }
             }
-            Body::S2 { key, seq, path, payload } => {
+            Body::S2 {
+                key,
+                seq,
+                path,
+                payload,
+            } => {
                 w.digest(key);
                 w.u32(*seq);
                 w.u8(path.len() as u8);
@@ -367,7 +372,10 @@ impl Packet {
                 w.u16(payload.len() as u16);
                 w.bytes(payload);
             }
-            Body::A2 { element, disclosure } => {
+            Body::A2 {
+                element,
+                disclosure,
+            } => {
                 w.digest(element);
                 match disclosure {
                     A2Disclosure::Flat { ack, secret } => {
@@ -447,7 +455,10 @@ impl Packet {
                         if leaves == 0 || leaves > limits::MAX_LEAVES {
                             return Err(Error::LimitExceeded);
                         }
-                        PreSignature::MerkleRoot { root: r.digest(alg)?, leaves }
+                        PreSignature::MerkleRoot {
+                            root: r.digest(alg)?,
+                            leaves,
+                        }
                     }
                     3 => {
                         let count = r.u16()? as usize;
@@ -465,7 +476,10 @@ impl Packet {
                             if total > u64::from(limits::MAX_LEAVES) {
                                 return Err(Error::LimitExceeded);
                             }
-                            trees.push(TreeDescriptor { root: r.digest(alg)?, leaves });
+                            trees.push(TreeDescriptor {
+                                root: r.digest(alg)?,
+                                leaves,
+                            });
                         }
                         PreSignature::MerkleForest(trees)
                     }
@@ -486,7 +500,10 @@ impl Packet {
                         if leaves == 0 || leaves > limits::MAX_LEAVES {
                             return Err(Error::LimitExceeded);
                         }
-                        AckCommit::Amt { root: r.digest(alg)?, leaves }
+                        AckCommit::Amt {
+                            root: r.digest(alg)?,
+                            leaves,
+                        }
                     }
                     d => return Err(Error::BadDiscriminant(d)),
                 };
@@ -505,7 +522,12 @@ impl Packet {
                     return Err(Error::LimitExceeded);
                 }
                 let payload = r.take(payload_len)?.to_vec();
-                Body::S2 { key, seq, path, payload }
+                Body::S2 {
+                    key,
+                    seq,
+                    path,
+                    payload,
+                }
             }
             4 => {
                 let element = r.digest(alg)?;
@@ -532,13 +554,21 @@ impl Packet {
                                 return Err(Error::LimitExceeded);
                             }
                             let path = r.digests(alg, path_len)?;
-                            items.push(AmtDisclosure { packet_index, ack, secret, path });
+                            items.push(AmtDisclosure {
+                                packet_index,
+                                ack,
+                                secret,
+                                path,
+                            });
                         }
                         A2Disclosure::Amt(items)
                     }
                     d => return Err(Error::BadDiscriminant(d)),
                 };
-                Body::A2 { element, disclosure }
+                Body::A2 {
+                    element,
+                    disclosure,
+                }
             }
             t @ (5 | 6) => {
                 let sig_anchor_index = r.u64()?;
@@ -559,12 +589,20 @@ impl Packet {
                             return Err(Error::LimitExceeded);
                         }
                         let signature = r.take(slen)?.to_vec();
-                        Some(HandshakeAuth { scheme, public_key, signature })
+                        Some(HandshakeAuth {
+                            scheme,
+                            public_key,
+                            signature,
+                        })
                     }
                     d => return Err(Error::BadDiscriminant(d)),
                 };
                 Body::Handshake(Handshake {
-                    role: if t == 5 { HandshakeRole::Init } else { HandshakeRole::Reply },
+                    role: if t == 5 {
+                        HandshakeRole::Init
+                    } else {
+                        HandshakeRole::Reply
+                    },
                     sig_anchor,
                     sig_anchor_index,
                     ack_anchor,
@@ -575,7 +613,12 @@ impl Packet {
             t => return Err(Error::UnknownType(t)),
         };
         r.finish()?;
-        Ok(Packet { assoc_id, alg, chain_index, body })
+        Ok(Packet {
+            assoc_id,
+            alg,
+            chain_index,
+            body,
+        })
     }
 }
 
@@ -636,7 +679,10 @@ mod tests {
                 chain_index: 15,
                 body: Body::S1 {
                     element: d(alg, "el"),
-                    presig: PreSignature::MerkleRoot { root: d(alg, "r"), leaves: 64 },
+                    presig: PreSignature::MerkleRoot {
+                        root: d(alg, "r"),
+                        leaves: 64,
+                    },
                 },
             });
         }
@@ -647,14 +693,23 @@ mod tests {
         let alg = Algorithm::Sha1;
         for commit in [
             AckCommit::None,
-            AckCommit::Flat { pre_ack: d(alg, "a"), pre_nack: d(alg, "n") },
-            AckCommit::Amt { root: d(alg, "amt"), leaves: 16 },
+            AckCommit::Flat {
+                pre_ack: d(alg, "a"),
+                pre_nack: d(alg, "n"),
+            },
+            AckCommit::Amt {
+                root: d(alg, "amt"),
+                leaves: 16,
+            },
         ] {
             roundtrip(&Packet {
                 assoc_id: 1,
                 alg,
                 chain_index: 9,
-                body: Body::A1 { element: d(alg, "ae"), commit },
+                body: Body::A1 {
+                    element: d(alg, "ae"),
+                    commit,
+                },
             });
         }
     }
@@ -678,7 +733,12 @@ mod tests {
             assoc_id: 2,
             alg,
             chain_index: 14,
-            body: Body::S2 { key: d(alg, "key"), seq: 0, path: vec![], payload: vec![] },
+            body: Body::S2 {
+                key: d(alg, "key"),
+                seq: 0,
+                path: vec![],
+                payload: vec![],
+            },
         });
     }
 
@@ -691,7 +751,10 @@ mod tests {
             chain_index: 8,
             body: Body::A2 {
                 element: d(alg, "ack el"),
-                disclosure: A2Disclosure::Flat { ack: true, secret: [9u8; SECRET_LEN] },
+                disclosure: A2Disclosure::Flat {
+                    ack: true,
+                    secret: [9u8; SECRET_LEN],
+                },
             },
         });
         roundtrip(&Packet {
@@ -755,7 +818,10 @@ mod tests {
             assoc_id: 1,
             alg,
             chain_index: 1,
-            body: Body::A1 { element: d(alg, "e"), commit: AckCommit::None },
+            body: Body::A1 {
+                element: d(alg, "e"),
+                commit: AckCommit::None,
+            },
         };
         let mut bytes = p.emit();
         let good = bytes.clone();
@@ -801,7 +867,10 @@ mod tests {
             assoc_id: 1,
             alg,
             chain_index: 1,
-            body: Body::A1 { element: d(alg, "e"), commit: AckCommit::None },
+            body: Body::A1 {
+                element: d(alg, "e"),
+                commit: AckCommit::None,
+            },
         };
         let mut bytes = p.emit();
         bytes.push(0);
@@ -842,7 +911,10 @@ mod tests {
             chain_index: 1,
             body: Body::A2 {
                 element: d(alg, "e"),
-                disclosure: A2Disclosure::Flat { ack: true, secret: [0u8; SECRET_LEN] },
+                disclosure: A2Disclosure::Flat {
+                    ack: true,
+                    secret: [0u8; SECRET_LEN],
+                },
             },
         };
         let mut bytes = p.emit();
@@ -904,7 +976,10 @@ mod bundle_tests {
             assoc_id: i,
             alg,
             chain_index: i,
-            body: Body::A1 { element: alg.hash(&i.to_be_bytes()), commit: AckCommit::None },
+            body: Body::A1 {
+                element: alg.hash(&i.to_be_bytes()),
+                commit: AckCommit::None,
+            },
         }
     }
 

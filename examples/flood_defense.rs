@@ -57,7 +57,10 @@ fn main() {
     sim.run_until(Timestamp::from_millis(10_000));
 
     let injected = match sim.node(flooder) {
-        Node::Attacker { attacker: Attacker::Flooder { injected, .. }, .. } => *injected,
+        Node::Attacker {
+            attacker: Attacker::Flooder { injected, .. },
+            ..
+        } => *injected,
         _ => unreachable!(),
     };
     let r = &sim.metrics[relay];
@@ -65,12 +68,18 @@ fn main() {
     println!("10 s of legitimate traffic under a 4000-pps forged-S1 flood:");
     println!("  flooder : injected {injected} forged S1 packets");
     println!("  relay   : drops {:?}", r.drops);
-    println!("  victim  : received {} frames, delivered {} genuine messages", v.recv_frames, v.delivered_msgs);
+    println!(
+        "  victim  : received {} frames, delivered {} genuine messages",
+        v.recv_frames, v.delivered_msgs
+    );
     let reached = v.recv_frames;
     let legit = v.delivered_msgs;
     // Unreliable mode: the 2 x 1% lossy links cost a few messages, the
     // flood costs none.
-    assert!(legit >= 280, "legitimate stream must be essentially unaffected, got {legit}");
+    assert!(
+        legit >= 280,
+        "legitimate stream must be essentially unaffected, got {legit}"
+    );
     // The victim sees only legitimate protocol traffic plus what the relay
     // forwarded before learning better (nothing: forged elements never
     // verify).
@@ -79,7 +88,5 @@ fn main() {
         "  => {injected} forged packets, {} stopped at the relay, {forged_reaching_victim} reached the victim;",
         r.drops.get("bad-chain-element").copied().unwrap_or(0)
     );
-    println!(
-        "     the victim's {reached} received frames are the legitimate exchange only."
-    );
+    println!("     the victim's {reached} received frames are the legitimate exchange only.");
 }

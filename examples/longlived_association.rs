@@ -63,7 +63,9 @@ fn main() {
     bob.commit_renewal(offer).unwrap();
 
     // Bob throttles the flow to 64 B/s; the relay enforces it upstream.
-    let s1 = bob.send_signal(&Signal::RateLimit { bytes_per_sec: 64 }, t).unwrap();
+    let s1 = bob
+        .send_signal(&Signal::RateLimit { bytes_per_sec: 64 }, t)
+        .unwrap();
     run_exchange(&mut bob, &mut alice, &mut relay, s1, t, &mut rng);
     println!("bob signalled RateLimit(64 B/s); relay now polices alice's data");
     // Two sends, keeping the last exchange pair for the Close below —
@@ -90,7 +92,10 @@ fn main() {
     // verified Close passes through.
     let s1 = alice.send_signal(&Signal::Close, t).unwrap();
     run_exchange(&mut alice, &mut bob, &mut relay, s1, t, &mut rng);
-    println!("close signalled; relay holds {} associations", relay.association_count());
+    println!(
+        "close signalled; relay holds {} associations",
+        relay.association_count()
+    );
     assert_eq!(relay.association_count(), 0);
 }
 

@@ -35,7 +35,10 @@ fn main() {
     )));
     let tamperer = sim.add_node(Node::Attacker {
         device: DeviceModel::geode_lx(),
-        attacker: Attacker::Tamperer { probability: 0.15, tampered: 0 },
+        attacker: Attacker::Tamperer {
+            probability: 0.15,
+            tampered: 0,
+        },
     });
     let relay_b = sim.add_node(Node::Relay(alpha::sim::RelayNode::new(
         DeviceModel::ar2315(),
@@ -59,17 +62,37 @@ fn main() {
     let v = &sim.metrics[verifier];
     let rb = &sim.metrics[relay_b];
     let tampered = match &sim.node(tamperer) {
-        Node::Attacker { attacker: Attacker::Tamperer { tampered, .. }, .. } => *tampered,
+        Node::Attacker {
+            attacker: Attacker::Tamperer { tampered, .. },
+            ..
+        } => *tampered,
         _ => unreachable!(),
     };
-    println!("mesh stream over {} hops with 2% loss and an on-path tamperer:", 4);
-    println!("  delivered   : {} / 320 messages ({} KB)", v.delivered_msgs, v.delivered_bytes / 1024);
+    println!(
+        "mesh stream over {} hops with 2% loss and an on-path tamperer:",
+        4
+    );
+    println!(
+        "  delivered   : {} / 320 messages ({} KB)",
+        v.delivered_msgs,
+        v.delivered_bytes / 1024
+    );
     println!("  tampered    : {tampered} S2 packets corrupted in transit");
     println!("  relay B     : dropped {:?}", rb.drops);
-    println!("  relay B     : verified {} payloads in transit", rb.extracted_payloads);
+    println!(
+        "  relay B     : verified {} payloads in transit",
+        rb.extracted_payloads
+    );
     println!("  signer      : drops {:?}", sim.metrics[signer].drops);
-    println!("  verifier    : drops {:?}, ready {}", v.drops, sim.node(verifier).as_endpoint().unwrap().is_ready());
-    println!("  signer      : pending {}", sim.node(signer).as_endpoint().unwrap().pending_messages());
+    println!(
+        "  verifier    : drops {:?}, ready {}",
+        v.drops,
+        sim.node(verifier).as_endpoint().unwrap().is_ready()
+    );
+    println!(
+        "  signer      : pending {}",
+        sim.node(signer).as_endpoint().unwrap().pending_messages()
+    );
     println!("  relay A     : dropped {:?}", sim.metrics[relay_a].drops);
     if !v.latencies_us.is_empty() {
         let mut lat = v.latencies_us.clone();
@@ -80,8 +103,16 @@ fn main() {
             lat[lat.len() * 95 / 100] / 1000
         );
     }
-    assert_eq!(v.delivered_msgs, 320, "reliability must repair tampering + loss");
-    assert!(rb.drops.contains_key("bad-mac"), "relay B must catch tampered packets");
-    println!("  => every tampered packet was caught by the first ALPHA-aware relay behind the attacker,");
+    assert_eq!(
+        v.delivered_msgs, 320,
+        "reliability must repair tampering + loss"
+    );
+    assert!(
+        rb.drops.contains_key("bad-mac"),
+        "relay B must catch tampered packets"
+    );
+    println!(
+        "  => every tampered packet was caught by the first ALPHA-aware relay behind the attacker,"
+    );
     println!("     and selective repeat (AMT nacks + RTO) recovered all 320 messages end-to-end.");
 }

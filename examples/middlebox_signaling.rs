@@ -75,7 +75,9 @@ fn main() {
     }
 
     // ---- A forged update is stopped at the firewall. ---------------------
-    let s1 = mobile.sign(b"HIP-UPDATE seq=3 LOCATOR=10.0.0.1:4500", t).unwrap();
+    let s1 = mobile
+        .sign(b"HIP-UPDATE seq=3 LOCATOR=10.0.0.1:4500", t)
+        .unwrap();
     firewall.observe(&s1, t);
     let a1 = server.handle(&s1, t, &mut rng).unwrap().packet().unwrap();
     firewall.observe(&a1, t);

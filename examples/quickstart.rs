@@ -13,7 +13,10 @@ fn main() {
     // ---- 1. Base mode: one message per three-way exchange. --------------
     let cfg = Config::new(Algorithm::Sha1).with_chain_len(128);
     let (mut alice, mut bob) = Association::pair(cfg, 1, &mut rng);
-    println!("bootstrapped association {} (unprotected handshake)", alice.assoc_id());
+    println!(
+        "bootstrapped association {} (unprotected handshake)",
+        alice.assoc_id()
+    );
 
     let s1 = alice.sign(b"base mode message", now).unwrap();
     let a1 = bob.handle(&s1, now, &mut rng).unwrap().packet().unwrap();
@@ -26,7 +29,9 @@ fn main() {
     );
 
     // ---- 2. ALPHA-C: one S1 covers a burst of messages. ------------------
-    let chunks: Vec<Vec<u8>> = (0..10).map(|i| format!("cumulative chunk {i}").into_bytes()).collect();
+    let chunks: Vec<Vec<u8>> = (0..10)
+        .map(|i| format!("cumulative chunk {i}").into_bytes())
+        .collect();
     let refs: Vec<&[u8]> = chunks.iter().map(Vec::as_slice).collect();
     let s1 = alice.sign_batch(&refs, Mode::Cumulative, now).unwrap();
     let a1 = bob.handle(&s1, now, &mut rng).unwrap().packet().unwrap();

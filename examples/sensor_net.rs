@@ -40,7 +40,10 @@ fn main() {
     let r0 = &sim.metrics[relays[0]];
     println!("sensor field node → 2 relay motes → collector (802.15.4-class link, 2% loss):");
     println!("  delivered : {} / 64 readings", v.delivered_msgs);
-    println!("  relays    : verified {} packets in transit, drops {:?}", r0.extracted_payloads, r0.drops);
+    println!(
+        "  relays    : verified {} packets in transit, drops {:?}",
+        r0.extracted_payloads, r0.drops
+    );
     println!(
         "  field node: {:.1} ms of virtual CPU for {} sent frames ({:.2} ms per frame incl. MMO)",
         sim.metrics[signer].cpu_ns / 1e6,
@@ -50,7 +53,10 @@ fn main() {
     if !v.latencies_us.is_empty() {
         let mut lat = v.latencies_us.clone();
         lat.sort_unstable();
-        println!("  latency   : median {} ms (includes the 1.5-RTT ALPHA floor)", lat[lat.len() / 2] / 1000);
+        println!(
+            "  latency   : median {} ms (includes the 1.5-RTT ALPHA floor)",
+            lat[lat.len() / 2] / 1000
+        );
     }
     assert_eq!(v.delivered_msgs, 64);
     println!("  => the collector authenticated every reading end-to-end; every relay mote");

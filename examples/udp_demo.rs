@@ -40,18 +40,25 @@ fn main() {
     // Middlebox thread.
     let (tx, rx) = std::sync::mpsc::channel();
     let relay = std::thread::spawn(move || {
-        let mut relay = UdpRelay::new("127.0.0.1:0", client_addr, server_addr, RelayConfig::default())
-            .expect("relay bind");
+        let mut relay = UdpRelay::new(
+            "127.0.0.1:0",
+            client_addr,
+            server_addr,
+            RelayConfig::default(),
+        )
+        .expect("relay bind");
         tx.send(relay.local_addr().unwrap()).unwrap();
-        relay.run_for(Duration::from_millis(3200)).expect("relay run");
+        relay
+            .run_for(Duration::from_millis(3200))
+            .expect("relay run");
         (relay.forwarded, relay.dropped, relay.extracted)
     });
     let relay_addr = rx.recv().unwrap();
     std::thread::sleep(Duration::from_millis(100));
 
     // Client: handshake *through* the middlebox, then send a batch.
-    let mut client =
-        UdpHost::connect(cfg, 42, client_addr, relay_addr, Duration::from_secs(10)).expect("connect");
+    let mut client = UdpHost::connect(cfg, 42, client_addr, relay_addr, Duration::from_secs(10))
+        .expect("connect");
     println!("client connected through middlebox {relay_addr}");
     client
         .send_batch(

@@ -21,6 +21,9 @@
 //! - [`transport`] — a real UDP transport driving the sans-io core.
 //! - [`engine`] — a sharded multi-flow engine serving thousands of
 //!   concurrent associations (host and relay roles) over shared sockets.
+//! - [`adapt`] — the adaptation plane: per-flow channel estimation
+//!   (EWMA loss, RFC 6298 RTT, goodput-per-auth-byte) and the online
+//!   mode / bundle-size controller.
 //! - [`baselines`] — TESLA, µTESLA, pairwise hop-HMAC and per-packet
 //!   public-key signing, the comparison points from the paper's §2.
 //!
@@ -48,6 +51,7 @@
 //! scenarios, and `crates/bench` for the binaries regenerating every table
 //! and figure of the paper.
 
+pub use alpha_adapt as adapt;
 pub use alpha_baselines as baselines;
 pub use alpha_bignum as bignum;
 pub use alpha_core as core;

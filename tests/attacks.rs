@@ -106,7 +106,10 @@ fn preack_replay_across_exchanges_rejected() {
         matches!(err, ProtocolError::Chain(_) | ProtocolError::BadMac),
         "replayed verdict accepted: {err:?}"
     );
-    assert!(!alice.signer().is_idle(), "exchange 2 must not be completed by a replay");
+    assert!(
+        !alice.signer().is_idle(),
+        "exchange 2 must not be completed by a replay"
+    );
 }
 
 /// AMT mix-and-match: a verdict disclosure from exchange k fails against
@@ -200,7 +203,10 @@ fn forged_flat_a2_rejected() {
         chain_index: a1.chain_index - 1,
         body: Body::A2 {
             element: Algorithm::Sha1.hash(b"guessed"),
-            disclosure: A2Disclosure::Flat { ack: true, secret: [7u8; 16] },
+            disclosure: A2Disclosure::Flat {
+                ack: true,
+                secret: [7u8; 16],
+            },
         },
     };
     let err = alice.handle(&forged, T0, &mut r).unwrap_err();
@@ -235,7 +241,10 @@ fn old_s2_replay_never_redelivered() {
     let s1 = alice.sign(b"third", T0).unwrap();
     bob.handle(&s1, T0, &mut r).unwrap();
     let err = bob.handle(&s2_old, T0, &mut r).unwrap_err();
-    assert!(matches!(err, ProtocolError::NoExchange | ProtocolError::Chain(_)));
+    assert!(matches!(
+        err,
+        ProtocolError::NoExchange | ProtocolError::Chain(_)
+    ));
 }
 
 /// Tampering with every individual byte of a Base-mode S2 payload: all
@@ -264,5 +273,8 @@ fn exhaustive_payload_tampering_rejected() {
         }
     }
     // The genuine packet still delivers afterwards.
-    assert_eq!(bob.handle(&s2, T0, &mut r).unwrap().payload().unwrap(), b"exhaustive");
+    assert_eq!(
+        bob.handle(&s2, T0, &mut r).unwrap().payload().unwrap(),
+        b"exhaustive"
+    );
 }

@@ -14,7 +14,11 @@ fn base_cfg() -> Config {
 
 #[test]
 fn five_hop_path_delivers_all_modes() {
-    for (mode, batch) in [(Mode::Base, 1usize), (Mode::Cumulative, 8), (Mode::Merkle, 8)] {
+    for (mode, batch) in [
+        (Mode::Base, 1usize),
+        (Mode::Cumulative, 8),
+        (Mode::Merkle, 8),
+    ] {
         let mut sim = Simulator::new(7);
         let app = App::Sender(SenderApp::new(mode, batch, 200, 40));
         let (_s, relays, v) = protected_path(
@@ -75,7 +79,11 @@ fn replay_attacker_cannot_duplicate_deliveries() {
     )));
     let replayer = sim.add_node(Node::Attacker {
         device: DeviceModel::xeon(),
-        attacker: Attacker::ReplayRelay { delay_us: 50_000, pending: Vec::new(), replayed: 0 },
+        attacker: Attacker::ReplayRelay {
+            delay_us: 50_000,
+            pending: Vec::new(),
+            replayed: 0,
+        },
     });
     let verifier = sim.add_node(Node::Endpoint(alpha::sim::Endpoint::responder(
         DeviceModel::xeon(),
@@ -89,7 +97,10 @@ fn replay_attacker_cannot_duplicate_deliveries() {
     sim.run_until(Timestamp::from_millis(30_000));
 
     let replayed = match sim.node(replayer) {
-        Node::Attacker { attacker: Attacker::ReplayRelay { replayed, .. }, .. } => *replayed,
+        Node::Attacker {
+            attacker: Attacker::ReplayRelay { replayed, .. },
+            ..
+        } => *replayed,
         _ => unreachable!(),
     };
     assert!(replayed > 20, "attacker replayed traffic ({replayed})");
@@ -113,7 +124,9 @@ fn incremental_deployment_with_dumb_relay() {
         3,
         app,
     )));
-    let dumb = sim.add_node(Node::DumbRelay { device: DeviceModel::geode_lx() });
+    let dumb = sim.add_node(Node::DumbRelay {
+        device: DeviceModel::geode_lx(),
+    });
     let aware = sim.add_node(Node::Relay(alpha::sim::RelayNode::new(
         DeviceModel::geode_lx(),
         alpha::core::RelayConfig::default(),
@@ -130,7 +143,10 @@ fn incremental_deployment_with_dumb_relay() {
     sim.add_link(aware, verifier, LinkConfig::ideal());
     sim.run_until(Timestamp::from_millis(20_000));
     assert_eq!(sim.metrics[verifier].delivered_msgs, 20);
-    assert!(sim.metrics[dumb].forwarded > 0, "legacy node forwards blindly");
+    assert!(
+        sim.metrics[dumb].forwarded > 0,
+        "legacy node forwards blindly"
+    );
     assert!(
         sim.metrics[aware].extracted_payloads >= 20,
         "the isolated ALPHA relay still verifies everything"
@@ -168,8 +184,17 @@ fn corrupted_frames_rejected_by_parsers_or_macs() {
     // retry as a replay and an unlucky pattern can abandon the exchange
     // (bounded by max_retries). Require a high floor plus evidence that
     // the abandon accounting explains every missing message.
-    assert!(m.delivered_msgs >= 36, "delivered {}/40, drops: {:?}", m.delivered_msgs, m.drops);
-    let abandoned = sim.metrics.iter().map(|nm| *nm.drops.get("exchange-abandoned").unwrap_or(&0)).sum::<u64>();
+    assert!(
+        m.delivered_msgs >= 36,
+        "delivered {}/40, drops: {:?}",
+        m.delivered_msgs,
+        m.drops
+    );
+    let abandoned = sim
+        .metrics
+        .iter()
+        .map(|nm| *nm.drops.get("exchange-abandoned").unwrap_or(&0))
+        .sum::<u64>();
     assert!(
         m.delivered_msgs + abandoned >= 40,
         "missing messages unaccounted for: delivered {}, abandoned {abandoned}",
@@ -200,7 +225,11 @@ fn mmo_prefix_mac_deployment_end_to_end() {
         app,
     );
     sim.run_until(Timestamp::from_millis(200_000));
-    assert_eq!(sim.metrics[v].delivered_msgs, 30, "drops: {:?}", sim.metrics[v].drops);
+    assert_eq!(
+        sim.metrics[v].delivered_msgs, 30,
+        "drops: {:?}",
+        sim.metrics[v].drops
+    );
     assert!(sim.metrics[relays[0]].extracted_payloads >= 30);
     // The CC2430's virtual CPU cost must reflect MMO pricing (≈ms scale).
     assert!(sim.metrics[relays[0]].cpu_ns > 1e6);
@@ -225,7 +254,10 @@ fn tesla_vs_alpha_latency_profile() {
     // ALPHA on an equivalent 5 ms link: delivered within ~3 link crossings.
     let mut sim = Simulator::new(14);
     let app = App::Sender(SenderApp::new(Mode::Base, 1, 64, 1));
-    let link = LinkConfig { latency_us: 5_000, ..LinkConfig::ideal() };
+    let link = LinkConfig {
+        latency_us: 5_000,
+        ..LinkConfig::ideal()
+    };
     let (_s, _r, v) = protected_path(
         &mut sim,
         0,
@@ -239,7 +271,10 @@ fn tesla_vs_alpha_latency_profile() {
     let alpha_latency_us = sim.metrics[v].latencies_us[0];
     // TESLA's floor here is 2 epochs = 200 ms; ALPHA's measured latency is
     // far below it.
-    assert!(alpha_latency_us < 100_000, "ALPHA delivered in {alpha_latency_us} µs");
+    assert!(
+        alpha_latency_us < 100_000,
+        "ALPHA delivered in {alpha_latency_us} µs"
+    );
 }
 
 #[test]
@@ -286,8 +321,8 @@ fn renewal_works_across_simulated_path() {
 #[test]
 fn bypass_attack_compromises_relay_extraction_not_end_to_end() {
     use alpha::core::bootstrap::{self, AuthRequirement};
-    use alpha::core::{Relay, RelayConfig, RelayDecision, RelayEvent};
     use alpha::core::message_mac;
+    use alpha::core::{Relay, RelayConfig, RelayDecision, RelayEvent};
     use alpha::wire::{Body, Packet, PreSignature};
 
     let mut rng = alpha::test_rng(666);
@@ -296,9 +331,13 @@ fn bypass_attack_compromises_relay_extraction_not_end_to_end() {
 
     // Handshake observed by the victim relay (it is on the original path).
     let (hs, init) = bootstrap::initiate(cfg, 9, None, &mut rng);
-    let mut victim = Relay::new(RelayConfig { s1_bytes_per_sec: None, ..RelayConfig::default() });
+    let mut victim = Relay::new(RelayConfig {
+        s1_bytes_per_sec: None,
+        ..RelayConfig::default()
+    });
     victim.observe(&init, t);
-    let (mut bob, reply, _) = bootstrap::respond(cfg, &init, None, AuthRequirement::None, &mut rng).unwrap();
+    let (mut bob, reply, _) =
+        bootstrap::respond(cfg, &init, None, AuthRequirement::None, &mut rng).unwrap();
     victim.observe(&reply, t);
     let (mut alice, _) = hs.complete(&reply, AuthRequirement::None).unwrap();
 
@@ -307,7 +346,10 @@ fn bypass_attack_compromises_relay_extraction_not_end_to_end() {
     let s1 = alice.sign(b"pay 5 to bob", t).unwrap();
     let a1 = bob.handle(&s1, t, &mut rng).unwrap().packet().unwrap();
     let s2 = alice.handle(&a1, t, &mut rng).unwrap().packets.remove(0);
-    assert_eq!(bob.handle(&s2, t, &mut rng).unwrap().payload().unwrap(), b"pay 5 to bob");
+    assert_eq!(
+        bob.handle(&s2, t, &mut rng).unwrap().payload().unwrap(),
+        b"pay 5 to bob"
+    );
 
     // The attackers captured everything and now know the disclosed MAC key.
     let (s1_element, s1_index) = match (&s1.body, s1.chain_index) {
@@ -337,7 +379,12 @@ fn bypass_attack_compromises_relay_extraction_not_end_to_end() {
         assoc_id: 9,
         alg: Algorithm::Sha1,
         chain_index: key_index,
-        body: Body::S2 { key: disclosed_key, seq: 0, path: vec![], payload: evil.to_vec() },
+        body: Body::S2 {
+            key: disclosed_key,
+            seq: 0,
+            path: vec![],
+            payload: evil.to_vec(),
+        },
     };
     let (decision, events) = victim.observe(&forged_s2, t);
     // The victim relay verifies and extracts the FORGED message: its
@@ -395,7 +442,10 @@ fn route_change_mid_stream_recovers_with_reliability() {
     // Primary path through relay A; relay B is the (longer) backup.
     sim.add_link(signer, relay_a, LinkConfig::ideal());
     sim.add_link(relay_a, verifier, LinkConfig::ideal());
-    let slow = LinkConfig { latency_us: 4_000, ..LinkConfig::ideal() };
+    let slow = LinkConfig {
+        latency_us: 4_000,
+        ..LinkConfig::ideal()
+    };
     sim.add_link(signer, relay_b, slow);
     sim.add_link(relay_b, verifier, slow);
 
@@ -408,7 +458,11 @@ fn route_change_mid_stream_recovers_with_reliability() {
     sim.run_until(Timestamp::from_millis(120_000));
 
     let v = &sim.metrics[verifier];
-    assert_eq!(v.delivered_msgs, 80, "all messages recovered after reroute; drops {:?}", v.drops);
+    assert_eq!(
+        v.delivered_msgs, 80,
+        "all messages recovered after reroute; drops {:?}",
+        v.drops
+    );
     assert!(sim.metrics[relay_b].forwarded > 0, "backup path took over");
 }
 
@@ -436,7 +490,11 @@ fn energy_accounting_tracks_device_class() {
         app,
     );
     sim.run_until(Timestamp::from_millis(120_000));
-    assert_eq!(sim.metrics[v].delivered_msgs, 25, "drops: {:?}", sim.metrics[v].drops);
+    assert_eq!(
+        sim.metrics[v].delivered_msgs, 25,
+        "drops: {:?}",
+        sim.metrics[v].drops
+    );
     for id in [s, relays[0], v] {
         let m = &sim.metrics[id];
         assert!(m.energy_uj > 0.0);
@@ -522,7 +580,10 @@ fn latency_floor_is_one_and_a_half_rtts() {
     let mut sim = Simulator::new(25);
     sim.set_tick_us(1_000);
     let app = App::Sender(SenderApp::new(Mode::Base, 1, 64, 5));
-    let link = LinkConfig { latency_us: one_way_ms * 1000, ..LinkConfig::ideal() };
+    let link = LinkConfig {
+        latency_us: one_way_ms * 1000,
+        ..LinkConfig::ideal()
+    };
     let (_s, _r, v) = protected_path(
         &mut sim,
         0,
@@ -537,8 +598,14 @@ fn latency_floor_is_one_and_a_half_rtts() {
     assert_eq!(m.delivered_msgs, 5);
     let floor_us = 3 * one_way_ms * 1000;
     for &l in &m.latencies_us {
-        assert!(l >= floor_us, "latency {l} µs below the 1.5-RTT floor {floor_us} µs");
-        assert!(l < floor_us + 10_000, "latency {l} µs far above the floor (tick slack only)");
+        assert!(
+            l >= floor_us,
+            "latency {l} µs below the 1.5-RTT floor {floor_us} µs"
+        );
+        assert!(
+            l < floor_us + 10_000,
+            "latency {l} µs far above the floor (tick slack only)"
+        );
     }
 }
 
@@ -597,9 +664,15 @@ fn echo_app_measures_round_trips() {
         cfg,
         1,
         requester,
-        App::Echo { pending: Vec::new(), echoed: 0 },
+        App::Echo {
+            pending: Vec::new(),
+            echoed: 0,
+        },
     )));
-    let link = LinkConfig { latency_us: one_way_ms * 1000, ..LinkConfig::ideal() };
+    let link = LinkConfig {
+        latency_us: one_way_ms * 1000,
+        ..LinkConfig::ideal()
+    };
     sim.add_link(requester, server, link);
     sim.run_until(Timestamp::from_millis(20_000));
 
@@ -698,8 +771,16 @@ fn engine_relays_32_concurrent_associations_without_bleed() {
     let core = relay.core();
     assert_eq!(core.flow_count(), FLOWS, "one relay flow per association");
     let m = core.metrics();
-    assert_eq!(m.s2_verified.load(Relaxed), FLOWS as u64, "relay verified every payload");
-    assert_eq!(m.handshakes.load(Relaxed), FLOWS as u64, "relay learned every association");
+    assert_eq!(
+        m.s2_verified.load(Relaxed),
+        FLOWS as u64,
+        "relay verified every payload"
+    );
+    assert_eq!(
+        m.handshakes.load(Relaxed),
+        FLOWS as u64,
+        "relay learned every association"
+    );
     relay.shutdown();
 }
 
@@ -743,7 +824,8 @@ fn engine_relay_rejects_cross_flow_forged_s2() {
     // the relay addresses endpoints; source addresses drive routing.
     let mut held_s2: Vec<(SocketAddr, Vec<u8>)> = Vec::new();
     let mut inflight: Vec<(SocketAddr, SocketAddr, Vec<u8>)> = Vec::new(); // (src, dst, bytes)
-    let stage = |src: SocketAddr, out: EngineOutput,
+    let stage = |src: SocketAddr,
+                 out: EngineOutput,
                  inflight: &mut Vec<(SocketAddr, SocketAddr, Vec<u8>)>,
                  held: &mut Vec<(SocketAddr, Vec<u8>)>| {
         for (dst, bytes) in out.datagrams {
@@ -787,10 +869,17 @@ fn engine_relay_rejects_cross_flow_forged_s2() {
         }
     }
     // Handshakes completed; now put both flows mid-exchange.
-    assert!(a_cli.flow_is_idle(a_key) && b_cli.flow_is_idle(b_key), "handshakes done");
+    assert!(
+        a_cli.flow_is_idle(a_key) && b_cli.flow_is_idle(b_key),
+        "handshakes done"
+    );
     let now = Timestamp::from_millis(100);
-    let a_out = a_cli.sign_batch(a_key, &[b"payload of flow A"], Mode::Base, now).unwrap();
-    let b_out = b_cli.sign_batch(b_key, &[b"payload of flow B"], Mode::Base, now).unwrap();
+    let a_out = a_cli
+        .sign_batch(a_key, &[b"payload of flow A"], Mode::Base, now)
+        .unwrap();
+    let b_out = b_cli
+        .sign_batch(b_key, &[b"payload of flow B"], Mode::Base, now)
+        .unwrap();
     stage(a_client, a_out, &mut inflight, &mut held_s2);
     stage(b_client, b_out, &mut inflight, &mut held_s2);
     for hop in 0..64 {
@@ -822,10 +911,21 @@ fn engine_relay_rejects_cross_flow_forged_s2() {
     // came back, and both S2s are captured in our hand.
     assert_eq!(held_s2.len(), 2, "both S2s intercepted");
     assert_eq!(relay.flow_count(), 2, "two relay flows resident");
-    assert!(relay.buffered_bytes() > 0, "relay holds buffered pre-signatures");
+    assert!(
+        relay.buffered_bytes() > 0,
+        "relay holds buffered pre-signatures"
+    );
     assert_eq!(relay_extracted, 0, "nothing verified yet");
-    let (b_src, b_s2) = held_s2.iter().find(|(s, _)| *s == b_client).cloned().unwrap();
-    let (_, a_s2) = held_s2.iter().find(|(s, _)| *s == a_client).cloned().unwrap();
+    let (b_src, b_s2) = held_s2
+        .iter()
+        .find(|(s, _)| *s == b_client)
+        .cloned()
+        .unwrap();
+    let (_, a_s2) = held_s2
+        .iter()
+        .find(|(s, _)| *s == a_client)
+        .cloned()
+        .unwrap();
 
     // THE FORGERY: flow B's valid S2 injected on flow A's route. Same
     // assoc id, same relay, valid chain — for the *other* flow. The
@@ -839,14 +939,30 @@ fn engine_relay_rejects_cross_flow_forged_s2() {
         relay.metrics().verify_failures.load(Relaxed) > fails_before,
         "forgery recorded as a verification failure"
     );
-    assert_eq!(relay.flow_count(), 2, "forgery must not create or destroy flows");
+    assert_eq!(
+        relay.flow_count(),
+        2,
+        "forgery must not create or destroy flows"
+    );
 
     // Both legitimate S2s, from their true sources, still verify.
     let out = relay.handle_datagram(a_client, &a_s2, now, &mut rng);
-    assert_eq!(out.extracted.len(), 1, "flow A's own S2 verifies after the forgery");
+    assert_eq!(
+        out.extracted.len(),
+        1,
+        "flow A's own S2 verifies after the forgery"
+    );
     assert_eq!(out.extracted[0].1, b"payload of flow A".to_vec());
-    assert_eq!(out.datagrams.len(), 1, "flow A's S2 forwarded to its server");
+    assert_eq!(
+        out.datagrams.len(),
+        1,
+        "flow A's S2 forwarded to its server"
+    );
     let out = relay.handle_datagram(b_src, &b_s2, now, &mut rng);
-    assert_eq!(out.extracted.len(), 1, "flow B's S2 verifies on its own route");
+    assert_eq!(
+        out.extracted.len(),
+        1,
+        "flow B's S2 verifies on its own route"
+    );
     assert_eq!(out.extracted[0].1, b"payload of flow B".to_vec());
 }

@@ -42,7 +42,10 @@ fn arbitrary_packet() -> impl Strategy<Value = Packet> {
             ),
             // S1 merkle
             (digest(alg), digest(alg), 1u32..1_000_000).prop_map(move |(element, root, leaves)| {
-                Body::S1 { element, presig: PreSignature::MerkleRoot { root, leaves } }
+                Body::S1 {
+                    element,
+                    presig: PreSignature::MerkleRoot { root, leaves },
+                }
             }),
             // S1 merkle forest (ALPHA-C + ALPHA-M combination)
             (
@@ -64,7 +67,10 @@ fn arbitrary_packet() -> impl Strategy<Value = Packet> {
                     element,
                     commit: match pick % 3 {
                         0 => AckCommit::None,
-                        1 => AckCommit::Flat { pre_ack: a, pre_nack: b },
+                        1 => AckCommit::Flat {
+                            pre_ack: a,
+                            pre_nack: b
+                        },
                         _ => AckCommit::Amt { root: a, leaves: 7 },
                     },
                 }
@@ -76,11 +82,21 @@ fn arbitrary_packet() -> impl Strategy<Value = Packet> {
                 proptest::collection::vec(digest(alg), 0..12),
                 proptest::collection::vec(any::<u8>(), 0..300)
             )
-                .prop_map(move |(key, seq, path, payload)| Body::S2 { key, seq, path, payload }),
+                .prop_map(move |(key, seq, path, payload)| Body::S2 {
+                    key,
+                    seq,
+                    path,
+                    payload
+                }),
             // A2 flat
-            (digest(alg), any::<bool>(), any::<[u8; 16]>()).prop_map(move |(element, ack, secret)| {
-                Body::A2 { element, disclosure: A2Disclosure::Flat { ack, secret } }
-            }),
+            (digest(alg), any::<bool>(), any::<[u8; 16]>()).prop_map(
+                move |(element, ack, secret)| {
+                    Body::A2 {
+                        element,
+                        disclosure: A2Disclosure::Flat { ack, secret },
+                    }
+                }
+            ),
             // Handshake
             (
                 digest(alg),
@@ -92,7 +108,11 @@ fn arbitrary_packet() -> impl Strategy<Value = Packet> {
             )
                 .prop_map(move |(sa, aa, si, ai, init, blob)| {
                     Body::Handshake(Handshake {
-                        role: if init { HandshakeRole::Init } else { HandshakeRole::Reply },
+                        role: if init {
+                            HandshakeRole::Init
+                        } else {
+                            HandshakeRole::Reply
+                        },
                         sig_anchor: sa,
                         sig_anchor_index: si,
                         ack_anchor: aa,
@@ -293,6 +313,106 @@ proptest! {
         let mut flip = d;
         flip.ack = !ack;
         prop_assert_eq!(amt::verify_disclosure(alg, &key, n, &flip, &root), None);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire ⇄ core size formulas
+// ---------------------------------------------------------------------
+
+/// Drive one unreliable exchange and check every serialized packet
+/// against the planning formulas [`Mode::s1_wire_len`] and
+/// [`Mode::s2_overhead`] (the adaptation plane budgets bytes with these,
+/// so they must track the real wire exactly).
+///
+/// The S2 constant 28 is header (21) + seq (4) + path count (1) +
+/// payload length (2); key and path are the `s2_overhead` term.
+fn check_exchange_sizes(alg: Algorithm, mode: Mode, payloads: &[Vec<u8>]) {
+    let n = payloads.len();
+    let h = alg.digest_len();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+    let cfg = Config::new(alg).with_chain_len(8);
+    let (mut alice, mut bob) = Association::pair(cfg, 1, &mut rng);
+    let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+
+    let s1 = alice.sign_batch(&refs, mode, T0).unwrap();
+    assert_eq!(
+        s1.wire_len(),
+        mode.s1_wire_len(n, h),
+        "S1 size for {mode:?} n={n} alg={alg:?}"
+    );
+    assert_eq!(s1.emit().len(), s1.wire_len());
+
+    let a1 = bob.handle(&s1, T0, &mut rng).unwrap().packet().unwrap();
+    let s2s = alice.handle(&a1, T0, &mut rng).unwrap().packets;
+    assert_eq!(s2s.len(), n, "one S2 per message");
+    for s2 in &s2s {
+        let Body::S2 { seq, payload, .. } = &s2.body else {
+            panic!("expected S2, got {s2:?}")
+        };
+        let sig_bytes = s2.wire_len() - payload.len() - 28;
+        let bound = mode.s2_overhead(n, h);
+        assert!(
+            sig_bytes <= bound,
+            "S2 overhead for {mode:?} n={n}: {sig_bytes} > formula {bound}"
+        );
+        // The formula is exact except for messages in a ragged final
+        // CumulativeMerkle tree, whose path is shallower.
+        let exact = match mode {
+            Mode::CumulativeMerkle { leaves_per_tree } => {
+                let lpt = leaves_per_tree.max(1);
+                let tree_size = lpt.min(n - (*seq as usize / lpt) * lpt);
+                tree_size == lpt.min(n)
+            }
+            _ => true,
+        };
+        if exact {
+            assert_eq!(sig_bytes, bound, "S2 overhead for {mode:?} n={n} seq={seq}");
+        }
+        assert_eq!(s2.emit().len(), s2.wire_len());
+    }
+}
+
+#[test]
+fn s1_and_s2_sizes_match_formulas_for_all_modes_and_bundle_sizes() {
+    // Exhaustive sweep: every mode at every bundle size 1..=64 (Base is
+    // single-message by definition, so it runs at n = 1 only).
+    check_exchange_sizes(Algorithm::Sha1, Mode::Base, &[vec![7u8; 33]]);
+    for n in 1..=64usize {
+        let payloads: Vec<Vec<u8>> = (0..n).map(|i| vec![i as u8; 17 + i % 5]).collect();
+        check_exchange_sizes(Algorithm::Sha1, Mode::Cumulative, &payloads);
+        check_exchange_sizes(Algorithm::Sha1, Mode::Merkle, &payloads);
+        for lpt in [1, 3, 4, 8] {
+            check_exchange_sizes(
+                Algorithm::Sha1,
+                Mode::CumulativeMerkle {
+                    leaves_per_tree: lpt,
+                },
+                &payloads,
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The same size laws under arbitrary algorithms, bundle sizes,
+    /// tree widths and payload lengths.
+    #[test]
+    fn s1_and_s2_sizes_match_formulas(
+        alg in algorithms(),
+        mode_pick in 0u8..3,
+        lpt in 1usize..=8,
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 1..=64),
+    ) {
+        let mode = match mode_pick {
+            0 => Mode::Cumulative,
+            1 => Mode::Merkle,
+            _ => Mode::CumulativeMerkle { leaves_per_tree: lpt },
+        };
+        check_exchange_sizes(alg, mode, &payloads);
     }
 }
 

@@ -51,18 +51,24 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`.
     pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
     }
 
     /// Just a parameter under the group's name.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { label: parameter.to_string() }
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
     }
 }
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> BenchmarkId {
-        BenchmarkId { label: s.to_owned() }
+        BenchmarkId {
+            label: s.to_owned(),
+        }
     }
 }
 
@@ -227,7 +233,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     // (or the routine is clearly slow and one iteration is enough).
     let mut iters = 1u64;
     loop {
-        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
             break;
@@ -236,7 +245,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     }
     let mut per_iter_ns: Vec<f64> = (0..samples)
         .map(|_| {
-            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             b.elapsed.as_nanos() as f64 / iters as f64
         })
@@ -244,7 +256,9 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     per_iter_ns.sort_by(f64::total_cmp);
     let median = per_iter_ns[per_iter_ns.len() / 2];
     let rate = throughput.map(|t| match t {
-        Throughput::Bytes(n) => format!(", {:.1} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64),
+        Throughput::Bytes(n) => {
+            format!(", {:.1} MiB/s", n as f64 / median * 1e9 / (1 << 20) as f64)
+        }
         Throughput::Elements(n) => format!(", {:.2} Melem/s", n as f64 / median * 1e9 / 1e6),
     });
     println!(

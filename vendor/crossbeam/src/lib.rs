@@ -98,16 +98,28 @@ pub mod channel {
 
     fn with_cap<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let inner = Arc::new(Inner {
-            state: Mutex::new(State { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
             cap,
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         });
-        (Sender { inner: inner.clone() }, Receiver { inner })
+        (
+            Sender {
+                inner: inner.clone(),
+            },
+            Receiver { inner },
+        )
     }
 
     fn lock<T>(inner: &Inner<T>) -> std::sync::MutexGuard<'_, State<T>> {
-        inner.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        inner
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     impl<T> Sender<T> {
@@ -232,14 +244,18 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Sender<T> {
             lock(&self.inner).senders += 1;
-            Sender { inner: self.inner.clone() }
+            Sender {
+                inner: self.inner.clone(),
+            }
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Receiver<T> {
             lock(&self.inner).receivers += 1;
-            Receiver { inner: self.inner.clone() }
+            Receiver {
+                inner: self.inner.clone(),
+            }
         }
     }
 

@@ -24,19 +24,25 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Wrap `value`.
     pub const fn new(value: T) -> Mutex<T> {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Block until the lock is held.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Take the lock if free.
@@ -50,7 +56,9 @@ impl<T: ?Sized> Mutex<T> {
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -63,24 +71,32 @@ pub struct RwLock<T: ?Sized> {
 impl<T> RwLock<T> {
     /// Wrap `value`.
     pub const fn new(value: T) -> RwLock<T> {
-        RwLock { inner: std::sync::RwLock::new(value) }
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Block until a shared read guard is held.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.inner.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Block until the exclusive write guard is held.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.inner.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Shared read guard if no writer holds the lock.
@@ -103,7 +119,9 @@ impl<T: ?Sized> RwLock<T> {
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -116,12 +134,16 @@ pub struct Condvar {
 impl Condvar {
     /// New condition variable.
     pub const fn new() -> Condvar {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Atomically release the guard and sleep until notified.
     pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-        self.inner.wait(guard).unwrap_or_else(std::sync::PoisonError::into_inner)
+        self.inner
+            .wait(guard)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// As [`Condvar::wait`] with an upper bound; `true` in the second

@@ -88,7 +88,9 @@ impl SplitMix64 {
 
 fn entropy_u64() -> u64 {
     use std::time::{SystemTime, UNIX_EPOCH};
-    let t = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+    let t = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
     let stack_probe = 0u8;
     let aslr = &stack_probe as *const u8 as u64;
     let ctr = {
@@ -316,7 +318,12 @@ pub mod rngs {
             }
             // xoshiro must not start from the all-zero state.
             if s == [0, 0, 0, 0] {
-                s = [0x9E37_79B9_7F4A_7C15, 0x6A09_E667_F3BC_C909, 0xBB67_AE85_84CA_A73B, 1];
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    1,
+                ];
             }
             StdRng { s }
         }

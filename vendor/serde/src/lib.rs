@@ -56,9 +56,7 @@ impl Value {
         match *self {
             Value::U64(v) => Some(v),
             Value::I64(v) if v >= 0 => Some(v as u64),
-            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
-                Some(v as u64)
-            }
+            Value::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => Some(v as u64),
             _ => None,
         }
     }

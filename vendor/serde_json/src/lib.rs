@@ -169,7 +169,10 @@ fn write_string(s: &str, out: &mut String) {
 }
 
 fn parse_value(s: &str) -> Result<Value, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -200,7 +203,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error::new(format!("expected '{}' at byte {}", b as char, self.pos)))
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
         }
     }
 
@@ -244,7 +250,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Array(items));
                 }
-                _ => return Err(Error::new(format!("expected ',' or ']' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -272,7 +283,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Object(map));
                 }
-                _ => return Err(Error::new(format!("expected ',' or '}}' at byte {}", self.pos))),
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
@@ -302,9 +318,8 @@ impl<'a> Parser<'a> {
                             if self.pos + 4 >= self.bytes.len() {
                                 return Err(Error::new("truncated \\u escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| Error::new("bad \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| Error::new("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| Error::new("bad \\u escape"))?;
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
