@@ -15,4 +15,13 @@ cargo fmt --all --check
 echo "==> clippy -D warnings (workspace)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> datapath bench smoke (release, --quick)"
+cargo run --release -p alpha-bench --bin datapath -- --quick
+
+echo "==> decoder robustness properties (release)"
+cargo test --release --test properties -q -- \
+    truncation_at_every_offset_agrees \
+    single_flipped_byte_never_diverges \
+    view_never_disagrees_with_owned
+
 echo "==> ci OK"

@@ -118,6 +118,9 @@ impl Association {
     #[must_use]
     pub fn pair(cfg: Config, assoc_id: u64, rng: &mut dyn RngCore) -> (Association, Association) {
         let (hs, init_pkt) = bootstrap::initiate(cfg, assoc_id, None, rng);
+        // Allowlist: both packets come straight from our own bootstrap
+        // with AuthRequirement::None — no network input is involved, so
+        // respond/complete cannot fail.
         let (responder, reply_pkt, _) =
             bootstrap::respond(cfg, &init_pkt, None, bootstrap::AuthRequirement::None, rng)
                 .expect("in-memory handshake");
@@ -184,7 +187,42 @@ impl Association {
             Body::A2 { .. } => Response::from_signer(self.signer.handle_a2(pkt, now)?),
             Body::Handshake(_) => return Err(ProtocolError::UnexpectedPacket),
         };
-        // Intercept renewal announcements among the verified deliveries.
+        self.intercept(&mut resp);
+        Ok(resp)
+    }
+
+    /// Feed the fields of a received S2 through the verifying channel
+    /// without materialising an owned [`Packet`]: the zero-copy ingest path
+    /// used by the engine, with the path and payload still borrowed from
+    /// the receive buffer.
+    #[allow(clippy::too_many_arguments)] // one call site per decode path
+    pub fn handle_s2_fields(
+        &mut self,
+        assoc_id: u64,
+        chain_index: u64,
+        key: &Digest,
+        seq: u32,
+        path: &[Digest],
+        payload: &[u8],
+        now: Timestamp,
+    ) -> Result<Response, ProtocolError> {
+        let mut resp = Response::from_verifier(self.verifier.handle_s2_fields(
+            assoc_id,
+            self.cfg.algorithm,
+            chain_index,
+            key,
+            seq,
+            path,
+            payload,
+            now,
+        )?);
+        self.intercept(&mut resp);
+        Ok(resp)
+    }
+
+    /// Intercept renewal announcements and control signals among the
+    /// verified deliveries, applying renewals in place.
+    fn intercept(&mut self, resp: &mut Response) {
         let alg = self.cfg.algorithm;
         let mut renewed = None;
         let mut signals = Vec::new();
@@ -205,7 +243,6 @@ impl Association {
             self.signer.replace_peer_ack(anchors.ack.0, anchors.ack.1);
             resp.peer_renewed = true;
         }
-        Ok(resp)
     }
 
     /// Drive timers: signer retransmissions, verifier buffer expiry and

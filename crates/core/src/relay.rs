@@ -24,7 +24,9 @@ use std::collections::HashMap;
 use alpha_crypto::chain::{ChainVerifier, Role};
 use alpha_crypto::preack::PreAckPair;
 use alpha_crypto::{merkle, Algorithm, Digest};
-use alpha_wire::{A2Disclosure, AckCommit, Body, HandshakeRole, Packet, PreSignature};
+use alpha_wire::{
+    A2Disclosure, AckCommit, Body, BodyView, HandshakeRole, Packet, PacketView, PreSignature,
+};
 
 use crate::limiter::S1Limiter;
 use crate::signer::message_mac;
@@ -117,6 +119,20 @@ pub enum RelayEvent {
         /// true = ack, false = nack.
         ack: bool,
     },
+}
+
+/// What [`Relay::observe_view`] extracted from one packet. Unlike
+/// [`RelayEvent`], this carries no payload bytes — the caller already
+/// holds the S2 view's payload slice, so the zero-copy path never clones
+/// it into an event.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RelayViewOutcome {
+    /// A new association was learned from a handshake.
+    pub learned: Option<u64>,
+    /// An S2 payload verified end-to-end: `(forward_direction, seq)`.
+    pub verified_s2: Option<(bool, u32)>,
+    /// Verified delivery verdicts as `(seq, ack)` pairs.
+    pub verdicts: Vec<(u32, bool)>,
 }
 
 /// One direction of one association, as seen from the relay.
@@ -281,27 +297,60 @@ impl Relay {
     /// any extraction events.
     pub fn observe(&mut self, pkt: &Packet, now: Timestamp) -> (RelayDecision, Vec<RelayEvent>) {
         match &pkt.body {
-            Body::Handshake(hs) => self.observe_handshake(pkt, hs),
+            Body::Handshake(hs) => {
+                let (decision, learned) = self.observe_handshake(pkt.assoc_id, pkt.alg, hs);
+                let events = learned
+                    .map(|id| vec![RelayEvent::AssociationLearned(id)])
+                    .unwrap_or_default();
+                (decision, events)
+            }
             _ => self.observe_data(pkt, now),
+        }
+    }
+
+    /// Observe one borrowed packet view in transit — the zero-copy
+    /// equivalent of [`Relay::observe`]. `wire_len` is the encoded length
+    /// of the packet (the slice it was parsed from) and is what the S1
+    /// flood limiter charges. The outcome carries no payload bytes; a
+    /// caller that extracts verified payloads copies the view's own
+    /// payload slice exactly once.
+    pub fn observe_view(
+        &mut self,
+        view: &PacketView<'_>,
+        wire_len: usize,
+        now: Timestamp,
+    ) -> (RelayDecision, RelayViewOutcome) {
+        match &view.body {
+            BodyView::Handshake(h) => {
+                // Handshakes are rare (one pair per association): going
+                // through the owned body here is off the hot path.
+                let hs = h.to_handshake();
+                let (decision, learned) = self.observe_handshake(view.assoc_id, view.alg, &hs);
+                (
+                    decision,
+                    RelayViewOutcome {
+                        learned,
+                        ..RelayViewOutcome::default()
+                    },
+                )
+            }
+            _ => self.observe_view_data(view, wire_len, now),
         }
     }
 
     fn observe_handshake(
         &mut self,
-        pkt: &Packet,
+        assoc_id: u64,
+        alg: Algorithm,
         hs: &alpha_wire::Handshake,
-    ) -> (RelayDecision, Vec<RelayEvent>) {
+    ) -> (RelayDecision, Option<u64>) {
         // Relays learn anchors by watching the handshake (§3.4). The relay
         // cannot judge handshake authenticity (that is the endpoints' PK
         // check); it only records anchors.
         match hs.role {
             HandshakeRole::Init => {
-                let entry = self.assocs.entry(pkt.assoc_id).or_insert_with(|| {
-                    RelayAssociation::placeholder(
-                        pkt.alg,
-                        self.cfg.s1_bytes_per_sec,
-                        self.cfg.max_skip,
-                    )
+                let entry = self.assocs.entry(assoc_id).or_insert_with(|| {
+                    RelayAssociation::placeholder(alg, self.cfg.s1_bytes_per_sec, self.cfg.max_skip)
                 });
                 entry.pending_init = Some((
                     hs.sig_anchor,
@@ -309,16 +358,15 @@ impl Relay {
                     hs.ack_anchor,
                     hs.ack_anchor_index,
                 ));
-                (RelayDecision::Forward, Vec::new())
+                (RelayDecision::Forward, None)
             }
             HandshakeRole::Reply => {
-                let Some(a) = self.assocs.get_mut(&pkt.assoc_id) else {
-                    return (RelayDecision::Forward, Vec::new());
+                let Some(a) = self.assocs.get_mut(&assoc_id) else {
+                    return (RelayDecision::Forward, None);
                 };
                 let Some((isig, isig_i, iack, iack_i)) = a.pending_init.take() else {
-                    return (RelayDecision::Forward, Vec::new());
+                    return (RelayDecision::Forward, None);
                 };
-                let alg = pkt.alg;
                 let skip = self.cfg.max_skip;
                 use alpha_crypto::chain::ChainKind::{RoleBoundAck, RoleBoundSignature};
                 a.alg = alg;
@@ -342,433 +390,609 @@ impl Relay {
                     exchange: None,
                     prev_exchange: None,
                 };
-                (
-                    RelayDecision::Forward,
-                    vec![RelayEvent::AssociationLearned(pkt.assoc_id)],
-                )
+                (RelayDecision::Forward, Some(assoc_id))
             }
         }
     }
 
-    fn observe_data(&mut self, pkt: &Packet, now: Timestamp) -> (RelayDecision, Vec<RelayEvent>) {
+    /// Common preamble for data packets: association lookup, handshake
+    /// completeness, and algorithm agreement. `Err` carries the decision
+    /// to return directly.
+    fn data_assoc(
+        &mut self,
+        assoc_id: u64,
+        alg: Algorithm,
+    ) -> Result<&mut RelayAssociation, RelayDecision> {
         let forward_unknown = self.cfg.forward_unknown;
-        let drop_unsolicited = self.cfg.drop_unsolicited;
-        let Some(a) = self.assocs.get_mut(&pkt.assoc_id) else {
-            return if forward_unknown {
-                (RelayDecision::Forward, Vec::new())
+        let unknown = || {
+            if forward_unknown {
+                RelayDecision::Forward
             } else {
-                (
-                    RelayDecision::Drop(DropReason::UnknownAssociation),
-                    Vec::new(),
-                )
-            };
+                RelayDecision::Drop(DropReason::UnknownAssociation)
+            }
+        };
+        let Some(a) = self.assocs.get_mut(&assoc_id) else {
+            return Err(unknown());
         };
         if a.pending_init.is_some() {
             // Handshake incomplete: chains unknown; treat as unknown assoc.
-            return if forward_unknown {
-                (RelayDecision::Forward, Vec::new())
-            } else {
-                (
-                    RelayDecision::Drop(DropReason::UnknownAssociation),
-                    Vec::new(),
-                )
-            };
+            return Err(unknown());
         }
-        let alg = a.alg;
-        if pkt.alg != alg {
-            return (RelayDecision::Drop(DropReason::Malformed), Vec::new());
+        if alg != a.alg {
+            return Err(RelayDecision::Drop(DropReason::Malformed));
         }
+        Ok(a)
+    }
+
+    fn observe_data(&mut self, pkt: &Packet, now: Timestamp) -> (RelayDecision, Vec<RelayEvent>) {
+        let cfg = self.cfg;
+        let a = match self.data_assoc(pkt.assoc_id, pkt.alg) {
+            Ok(a) => a,
+            Err(decision) => return (decision, Vec::new()),
+        };
         match &pkt.body {
             Body::S1 { element, presig } => {
-                // Authenticate the chain element *before* charging the rate
-                // limiter: forged S1 floods die at the (cheap, skip-bounded)
-                // chain check without consuming the association's S1 budget,
-                // so they cannot starve the legitimate sender. The limiter
-                // then bounds floods of *authentic* S1s (§3.5).
-                // Try both directions: whichever signature chain the
-                // element authenticates against is the sender.
-                // (`accept_role` only advances on success, so a failed
-                // first attempt costs one wasted hash and nothing else.)
-                // A retransmitted S1 (lost A1 — the paper stresses that S1
-                // and A1 need robust retransmission) carries the already
-                // accepted element: recognize and forward it.
-                let mut dir = None;
-                let mut duplicate = false;
-                for d in [&mut a.fwd, &mut a.rev] {
-                    let (last_index, last) = d.sig.last();
-                    if pkt.chain_index == last_index
-                        && alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes())
-                    {
-                        dir = Some(d);
-                        duplicate = true;
-                        break;
-                    }
-                    if d.sig
-                        .accept_role(pkt.chain_index, element, Role::Announce)
-                        .is_ok()
-                    {
-                        dir = Some(d);
-                        break;
-                    }
-                }
-                let Some(dir) = dir else {
-                    return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
-                };
-                // Duplicates also pay (an attacker replaying a captured S1
-                // must not bypass the flood budget), but a fresh element
-                // was already accepted above, so a rate-limited fresh S1's
-                // retransmission comes back as a duplicate and passes once
-                // the bucket refills.
-                if !a.limiter.allow(pkt.wire_len() as u64, now) {
-                    return (RelayDecision::Drop(DropReason::RateLimited), Vec::new());
-                }
-                let fresh = match presig {
-                    PreSignature::Cumulative(macs) => RelayPresig::Macs(macs.clone()),
-                    PreSignature::MerkleRoot { root, leaves } => {
-                        if *leaves == 0 {
-                            return (RelayDecision::Drop(DropReason::Malformed), Vec::new());
-                        }
-                        RelayPresig::Root {
-                            root: *root,
-                            leaves: *leaves,
-                        }
-                    }
-                    PreSignature::MerkleForest(trees) => {
-                        let lpt = trees[0].leaves as usize;
-                        let full = &trees[..trees.len() - 1];
-                        if lpt == 0
-                            || full.iter().any(|t| t.leaves as usize != lpt)
-                            || trees[trees.len() - 1].leaves as usize > lpt
-                        {
-                            return (RelayDecision::Drop(DropReason::Malformed), Vec::new());
-                        }
-                        RelayPresig::Forest {
-                            trees: trees
-                                .iter()
-                                .map(|t| PreSignatureTree {
-                                    root: t.root,
-                                    leaves: t.leaves,
-                                })
-                                .collect(),
-                            leaves_per_tree: lpt,
-                        }
-                    }
-                };
-                // First-seen pre-signature wins for a given chain element;
-                // the S1's content only becomes checkable at S2 time, so a
-                // duplicate is never allowed to overwrite buffered state.
-                let keep = duplicate
-                    && dir
-                        .exchange
-                        .as_ref()
-                        .is_some_and(|ex| ex.s1_index == pkt.chain_index);
-                if !keep {
-                    dir.prev_exchange = dir.exchange.take();
-                    dir.exchange = Some(RelayExchange {
-                        s1_index: pkt.chain_index,
-                        announce: *element,
-                        presig: fresh,
-                        commit: None,
-                    });
-                }
-                (RelayDecision::Forward, Vec::new())
+                let decision = s1_parts(a, pkt.chain_index, element, pkt.wire_len(), now, || {
+                    presig_from_owned(presig)
+                });
+                (decision, Vec::new())
             }
             Body::A1 { element, commit } => {
-                // The A1 flows against the data direction: its ack chain
-                // belongs to the direction whose exchange it answers. A1
-                // replays (answering a retransmitted S1) carry the already
-                // accepted element and are forwarded as-is.
-                let mut dir = None;
-                let mut duplicate = false;
-                for d in [&mut a.fwd, &mut a.rev] {
-                    let (last_index, last) = d.ack.last();
-                    if pkt.chain_index == last_index
-                        && alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes())
-                    {
-                        dir = Some(d);
-                        duplicate = true;
-                        break;
-                    }
-                    if d.ack
-                        .accept_role(pkt.chain_index, element, Role::Announce)
-                        .is_ok()
-                    {
-                        dir = Some(d);
-                        break;
-                    }
-                }
-                let Some(dir) = dir else {
-                    return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
-                };
-                if duplicate {
-                    return (RelayDecision::Forward, Vec::new());
-                }
-                if let Some(ex) = dir.exchange.as_mut() {
-                    ex.commit = match commit {
-                        AckCommit::None => None,
-                        AckCommit::Flat { pre_ack, pre_nack } => {
-                            Some(RelayCommit::Flat(PreAckPair {
-                                pre_ack: *pre_ack,
-                                pre_nack: *pre_nack,
-                            }))
-                        }
-                        AckCommit::Amt { root, leaves } => Some(RelayCommit::Amt {
-                            root: *root,
-                            leaves: *leaves,
-                        }),
-                    };
-                }
-                (RelayDecision::Forward, Vec::new())
+                (a1_parts(a, pkt.chain_index, element, commit), Vec::new())
             }
             Body::S2 {
                 key,
                 seq,
                 path,
                 payload,
-            } => {
-                let matches_dir = |d: &DirectionState| {
-                    if d.exchange
-                        .as_ref()
-                        .is_some_and(|ex| ex.s1_index == pkt.chain_index + 1)
-                    {
-                        Some(true)
-                    } else if d
-                        .prev_exchange
-                        .as_ref()
-                        .is_some_and(|ex| ex.s1_index == pkt.chain_index + 1)
-                    {
-                        Some(false)
-                    } else {
-                        None
+            } => match s2_parts(&cfg, a, pkt.chain_index, key, *seq, path, payload, now) {
+                Err(reason) => (RelayDecision::Drop(reason), Vec::new()),
+                Ok(S2Outcome::Unverified) => (RelayDecision::Forward, Vec::new()),
+                Ok(S2Outcome::Verified { is_fwd, close }) => {
+                    if close {
+                        self.assocs.remove(&pkt.assoc_id);
                     }
-                };
-                let (dir, is_fwd, in_current) = if let Some(cur) = matches_dir(&a.fwd) {
-                    (&mut a.fwd, true, cur)
-                } else if let Some(cur) = matches_dir(&a.rev) {
-                    (&mut a.rev, false, cur)
-                } else if drop_unsolicited {
-                    return (RelayDecision::Drop(DropReason::Unsolicited), Vec::new());
-                } else {
-                    return (RelayDecision::Forward, Vec::new());
-                };
-                // Authenticate the disclosed key: through the tracker for
-                // the current exchange, or via one forward derivation to
-                // the stored announce element for a superseded one.
-                if in_current {
-                    let (last_index, last) = dir.sig.last();
-                    if pkt.chain_index == last_index {
-                        if !alpha_crypto::ct_eq(key.as_bytes(), last.as_bytes()) {
-                            return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
-                        }
-                    } else if dir
-                        .sig
-                        .accept_role(pkt.chain_index, key, Role::Disclose)
-                        .is_err()
-                    {
-                        return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
-                    }
-                } else {
-                    let announce = dir.prev_exchange.as_ref().expect("matched above").announce;
-                    let derived = alpha_crypto::chain::derive(
-                        alg,
-                        alpha_crypto::chain::ChainKind::RoleBoundSignature,
-                        pkt.chain_index + 1,
-                        key,
-                    );
-                    if !alpha_crypto::ct_eq(derived.as_bytes(), announce.as_bytes()) {
-                        return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
-                    }
+                    (
+                        RelayDecision::Forward,
+                        vec![RelayEvent::VerifiedPayload {
+                            assoc_id: pkt.assoc_id,
+                            forward_direction: is_fwd,
+                            seq: *seq,
+                            payload: payload.clone(),
+                        }],
+                    )
                 }
-                let ex = if in_current {
-                    dir.exchange.as_ref().expect("matched above")
-                } else {
-                    dir.prev_exchange.as_ref().expect("matched above")
-                };
-                let valid = match &ex.presig {
-                    RelayPresig::Macs(macs) => {
-                        (*seq as usize) < macs.len() && {
-                            let mac = message_mac(alg, self.cfg.mac_scheme, key, *seq, payload);
-                            alpha_crypto::ct_eq(mac.as_bytes(), macs[*seq as usize].as_bytes())
-                        }
-                    }
-                    RelayPresig::Root { root, leaves } => {
-                        let expected_depth = merkle::log2_ceil(u64::from(*leaves).max(1)) as usize;
-                        (*seq as usize) < *leaves as usize
-                            && path.len() == expected_depth
-                            && merkle::verify_keyed(
-                                alg,
-                                key,
-                                &alg.hash(payload),
-                                *seq as usize,
-                                path,
-                                root,
-                            )
-                    }
-                    RelayPresig::Forest {
-                        trees,
-                        leaves_per_tree,
-                    } => {
-                        let t = *seq as usize / leaves_per_tree;
-                        let j = *seq as usize % leaves_per_tree;
-                        t < trees.len() && {
-                            let tree = &trees[t];
-                            let expected_depth =
-                                merkle::log2_ceil(u64::from(tree.leaves).max(1)) as usize;
-                            j < tree.leaves as usize
-                                && path.len() == expected_depth
-                                && merkle::verify_keyed(
-                                    alg,
-                                    key,
-                                    &alg.hash(payload),
-                                    j,
-                                    path,
-                                    &tree.root,
-                                )
-                        }
-                    }
-                };
-                if !valid {
-                    return (RelayDecision::Drop(DropReason::BadMac), Vec::new());
-                }
-                // Enforce a signalled payload-rate cap on this direction.
-                let cap = if is_fwd {
-                    &mut a.data_cap_fwd
-                } else {
-                    &mut a.data_cap_rev
-                };
-                if let Some(bucket) = cap {
-                    if !bucket.allow(payload.len() as u64, now) {
-                        return (RelayDecision::Drop(DropReason::RateLimited), Vec::new());
-                    }
-                }
-                // Control signals: a verified RateLimit from host X caps
-                // the traffic flowing *toward* X (the opposite direction);
-                // a verified Close releases this association's state after
-                // this packet is forwarded.
-                if let Some(sig) = crate::signal::Signal::parse(payload) {
-                    match sig {
-                        crate::signal::Signal::RateLimit { bytes_per_sec } => {
-                            let toward_sender = if is_fwd {
-                                &mut a.data_cap_rev
-                            } else {
-                                &mut a.data_cap_fwd
-                            };
-                            *toward_sender = Some(S1Limiter::new(Some(bytes_per_sec)));
-                        }
-                        crate::signal::Signal::Close => {
-                            let event = RelayEvent::VerifiedPayload {
-                                assoc_id: pkt.assoc_id,
-                                forward_direction: is_fwd,
-                                seq: *seq,
-                                payload: payload.clone(),
-                            };
-                            self.assocs.remove(&pkt.assoc_id);
-                            return (RelayDecision::Forward, vec![event]);
-                        }
-                        crate::signal::Signal::LocatorUpdate { .. } => {}
-                    }
-                }
-                // Chain renewals ride inside verified payloads; the relay
-                // re-anchors the sender's chains (its signature chain in
-                // this direction, its acknowledgment chain in the other).
-                if let Some(anchors) = crate::renewal::parse(alg, payload) {
-                    let skip = self.cfg.max_skip;
-                    use alpha_crypto::chain::ChainKind::{RoleBoundAck, RoleBoundSignature};
-                    let (sig_dir, ack_dir) = if is_fwd {
-                        (&mut a.fwd, &mut a.rev)
-                    } else {
-                        (&mut a.rev, &mut a.fwd)
-                    };
-                    sig_dir.sig =
-                        ChainVerifier::new(alg, RoleBoundSignature, anchors.sig.0, anchors.sig.1)
-                            .with_max_skip(skip);
-                    sig_dir.exchange = None;
-                    ack_dir.ack =
-                        ChainVerifier::new(alg, RoleBoundAck, anchors.ack.0, anchors.ack.1)
-                            .with_max_skip(skip);
-                }
-                (
-                    RelayDecision::Forward,
-                    vec![RelayEvent::VerifiedPayload {
-                        assoc_id: pkt.assoc_id,
-                        forward_direction: is_fwd,
-                        seq: *seq,
-                        payload: payload.clone(),
-                    }],
-                )
-            }
+            },
             Body::A2 {
                 element,
                 disclosure,
-            } => {
-                let mut dir = None;
-                for d in [&mut a.fwd, &mut a.rev] {
-                    let (last_index, last) = d.ack.last();
-                    let already = pkt.chain_index == last_index
-                        && alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes());
-                    if already
-                        || d.ack
-                            .accept_role(pkt.chain_index, element, Role::Disclose)
-                            .is_ok()
-                    {
-                        dir = Some(d);
-                        break;
-                    }
-                }
-                let Some(dir) = dir else {
-                    return (RelayDecision::Drop(DropReason::BadChainElement), Vec::new());
-                };
-                let Some(ex) = dir.exchange.as_ref() else {
-                    // No buffered commitment: cannot verify, forward as-is.
-                    return (RelayDecision::Forward, Vec::new());
-                };
-                let mut events = Vec::new();
-                match (&ex.commit, disclosure) {
-                    (Some(RelayCommit::Flat(pair)), A2Disclosure::Flat { ack, secret }) => {
-                        let d = alpha_crypto::preack::AckDisclosure {
-                            ack: *ack,
-                            secret: *secret,
-                        };
-                        if !alpha_crypto::preack::verify(alg, element, &d, pair) {
-                            return (RelayDecision::Drop(DropReason::BadVerdict), Vec::new());
-                        }
-                        events.push(RelayEvent::VerifiedVerdict {
+            } => match a2_parts(a, pkt.chain_index, element, disclosure) {
+                Err(reason) => (RelayDecision::Drop(reason), Vec::new()),
+                Ok(verdicts) => {
+                    let events = verdicts
+                        .into_iter()
+                        .map(|(seq, ack)| RelayEvent::VerifiedVerdict {
                             assoc_id: pkt.assoc_id,
-                            seq: 0,
-                            ack: *ack,
-                        });
-                    }
-                    (Some(RelayCommit::Amt { root, leaves }), A2Disclosure::Amt(items)) => {
-                        for item in items {
-                            match alpha_crypto::amt::verify_disclosure(
-                                alg,
-                                element,
-                                *leaves as usize,
-                                item,
-                                root,
-                            ) {
-                                None => {
-                                    return (
-                                        RelayDecision::Drop(DropReason::BadVerdict),
-                                        Vec::new(),
-                                    )
-                                }
-                                Some(ack) => events.push(RelayEvent::VerifiedVerdict {
-                                    assoc_id: pkt.assoc_id,
-                                    seq: item.packet_index,
-                                    ack,
-                                }),
-                            }
-                        }
-                    }
-                    (None, _) => {}
-                    _ => return (RelayDecision::Drop(DropReason::BadVerdict), Vec::new()),
+                            seq,
+                            ack,
+                        })
+                        .collect();
+                    (RelayDecision::Forward, events)
                 }
-                (RelayDecision::Forward, events)
-            }
+            },
+            // Allowlist: `observe` dispatches handshakes before reaching
+            // here, so no network input can hit this arm.
             Body::Handshake(_) => unreachable!("handled by observe"),
         }
     }
+
+    fn observe_view_data(
+        &mut self,
+        view: &PacketView<'_>,
+        wire_len: usize,
+        now: Timestamp,
+    ) -> (RelayDecision, RelayViewOutcome) {
+        let cfg = self.cfg;
+        let none = RelayViewOutcome::default();
+        let a = match self.data_assoc(view.assoc_id, view.alg) {
+            Ok(a) => a,
+            Err(decision) => return (decision, none),
+        };
+        match &view.body {
+            BodyView::S1 { element, presig } => {
+                let decision = s1_parts(a, view.chain_index, element, wire_len, now, || {
+                    presig_from_view(presig)
+                });
+                (decision, none)
+            }
+            BodyView::A1 { element, commit } => {
+                (a1_parts(a, view.chain_index, element, commit), none)
+            }
+            BodyView::S2 {
+                key,
+                seq,
+                path,
+                payload,
+            } => {
+                // The authentication path moves to the stack; the payload
+                // stays borrowed from the datagram. No heap allocation on
+                // this whole arm.
+                let path = path.to_path();
+                match s2_parts(&cfg, a, view.chain_index, key, *seq, &path, payload, now) {
+                    Err(reason) => (RelayDecision::Drop(reason), none),
+                    Ok(S2Outcome::Unverified) => (RelayDecision::Forward, none),
+                    Ok(S2Outcome::Verified { is_fwd, close }) => {
+                        if close {
+                            self.assocs.remove(&view.assoc_id);
+                        }
+                        (
+                            RelayDecision::Forward,
+                            RelayViewOutcome {
+                                verified_s2: Some((is_fwd, *seq)),
+                                ..RelayViewOutcome::default()
+                            },
+                        )
+                    }
+                }
+            }
+            BodyView::A2 {
+                element,
+                disclosure,
+            } => {
+                // A2s are rare (one per exchange) — the owned disclosure
+                // conversion is off the hot path.
+                let disclosure = disclosure.to_disclosure();
+                match a2_parts(a, view.chain_index, element, &disclosure) {
+                    Err(reason) => (RelayDecision::Drop(reason), none),
+                    Ok(verdicts) => (
+                        RelayDecision::Forward,
+                        RelayViewOutcome {
+                            verdicts,
+                            ..RelayViewOutcome::default()
+                        },
+                    ),
+                }
+            }
+            // Allowlist: `observe_view` dispatches handshakes before
+            // reaching here, so no network input can hit this arm.
+            BodyView::Handshake(_) => unreachable!("handled by observe_view"),
+        }
+    }
+}
+
+/// Buffer an S1's pre-signature for later S2 verification (owned body).
+fn presig_from_owned(presig: &PreSignature) -> Result<RelayPresig, DropReason> {
+    match presig {
+        PreSignature::Cumulative(macs) => Ok(RelayPresig::Macs(macs.clone())),
+        PreSignature::MerkleRoot { root, leaves } => {
+            if *leaves == 0 {
+                return Err(DropReason::Malformed);
+            }
+            Ok(RelayPresig::Root {
+                root: *root,
+                leaves: *leaves,
+            })
+        }
+        PreSignature::MerkleForest(trees) => forest_presig(
+            trees
+                .iter()
+                .map(|t| PreSignatureTree {
+                    root: t.root,
+                    leaves: t.leaves,
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Buffer an S1's pre-signature for later S2 verification (borrowed
+/// body). The buffered state must outlive the datagram, so this is where
+/// the relay's one deliberate S1 copy happens.
+fn presig_from_view(presig: &alpha_wire::PreSignatureView<'_>) -> Result<RelayPresig, DropReason> {
+    use alpha_wire::PreSignatureView;
+    match presig {
+        PreSignatureView::Cumulative(macs) => Ok(RelayPresig::Macs(macs.to_vec())),
+        PreSignatureView::MerkleRoot { root, leaves } => {
+            if *leaves == 0 {
+                return Err(DropReason::Malformed);
+            }
+            Ok(RelayPresig::Root {
+                root: *root,
+                leaves: *leaves,
+            })
+        }
+        PreSignatureView::MerkleForest(trees) => forest_presig(
+            trees
+                .iter()
+                .map(|t| PreSignatureTree {
+                    root: t.root,
+                    leaves: t.leaves,
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Validate forest uniformity: all trees but the last carry the same
+/// leaf count, the last at most that many.
+fn forest_presig(trees: Vec<PreSignatureTree>) -> Result<RelayPresig, DropReason> {
+    let Some(first) = trees.first() else {
+        return Err(DropReason::Malformed);
+    };
+    let lpt = first.leaves as usize;
+    let full = &trees[..trees.len() - 1];
+    if lpt == 0
+        || full.iter().any(|t| t.leaves as usize != lpt)
+        || trees[trees.len() - 1].leaves as usize > lpt
+    {
+        return Err(DropReason::Malformed);
+    }
+    Ok(RelayPresig::Forest {
+        trees,
+        leaves_per_tree: lpt,
+    })
+}
+
+/// The S1 logic shared by the owned and borrowed observe paths.
+fn s1_parts(
+    a: &mut RelayAssociation,
+    chain_index: u64,
+    element: &Digest,
+    wire_len: usize,
+    now: Timestamp,
+    build_presig: impl FnOnce() -> Result<RelayPresig, DropReason>,
+) -> RelayDecision {
+    // Authenticate the chain element *before* charging the rate
+    // limiter: forged S1 floods die at the (cheap, skip-bounded)
+    // chain check without consuming the association's S1 budget,
+    // so they cannot starve the legitimate sender. The limiter
+    // then bounds floods of *authentic* S1s (§3.5).
+    // Try both directions: whichever signature chain the
+    // element authenticates against is the sender.
+    // (`accept_role` only advances on success, so a failed
+    // first attempt costs one wasted hash and nothing else.)
+    // A retransmitted S1 (lost A1 — the paper stresses that S1
+    // and A1 need robust retransmission) carries the already
+    // accepted element: recognize and forward it.
+    let mut dir = None;
+    let mut duplicate = false;
+    for d in [&mut a.fwd, &mut a.rev] {
+        let (last_index, last) = d.sig.last();
+        if chain_index == last_index && alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes()) {
+            dir = Some(d);
+            duplicate = true;
+            break;
+        }
+        if d.sig
+            .accept_role(chain_index, element, Role::Announce)
+            .is_ok()
+        {
+            dir = Some(d);
+            break;
+        }
+    }
+    let Some(dir) = dir else {
+        return RelayDecision::Drop(DropReason::BadChainElement);
+    };
+    // Duplicates also pay (an attacker replaying a captured S1
+    // must not bypass the flood budget), but a fresh element
+    // was already accepted above, so a rate-limited fresh S1's
+    // retransmission comes back as a duplicate and passes once
+    // the bucket refills.
+    if !a.limiter.allow(wire_len as u64, now) {
+        return RelayDecision::Drop(DropReason::RateLimited);
+    }
+    let fresh = match build_presig() {
+        Ok(p) => p,
+        Err(reason) => return RelayDecision::Drop(reason),
+    };
+    // First-seen pre-signature wins for a given chain element;
+    // the S1's content only becomes checkable at S2 time, so a
+    // duplicate is never allowed to overwrite buffered state.
+    let keep = duplicate
+        && dir
+            .exchange
+            .as_ref()
+            .is_some_and(|ex| ex.s1_index == chain_index);
+    if !keep {
+        dir.prev_exchange = dir.exchange.take();
+        dir.exchange = Some(RelayExchange {
+            s1_index: chain_index,
+            announce: *element,
+            presig: fresh,
+            commit: None,
+        });
+    }
+    RelayDecision::Forward
+}
+
+/// The A1 logic shared by the owned and borrowed observe paths.
+fn a1_parts(
+    a: &mut RelayAssociation,
+    chain_index: u64,
+    element: &Digest,
+    commit: &AckCommit,
+) -> RelayDecision {
+    // The A1 flows against the data direction: its ack chain
+    // belongs to the direction whose exchange it answers. A1
+    // replays (answering a retransmitted S1) carry the already
+    // accepted element and are forwarded as-is.
+    let mut dir = None;
+    let mut duplicate = false;
+    for d in [&mut a.fwd, &mut a.rev] {
+        let (last_index, last) = d.ack.last();
+        if chain_index == last_index && alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes()) {
+            dir = Some(d);
+            duplicate = true;
+            break;
+        }
+        if d.ack
+            .accept_role(chain_index, element, Role::Announce)
+            .is_ok()
+        {
+            dir = Some(d);
+            break;
+        }
+    }
+    let Some(dir) = dir else {
+        return RelayDecision::Drop(DropReason::BadChainElement);
+    };
+    if duplicate {
+        return RelayDecision::Forward;
+    }
+    if let Some(ex) = dir.exchange.as_mut() {
+        ex.commit = match commit {
+            AckCommit::None => None,
+            AckCommit::Flat { pre_ack, pre_nack } => Some(RelayCommit::Flat(PreAckPair {
+                pre_ack: *pre_ack,
+                pre_nack: *pre_nack,
+            })),
+            AckCommit::Amt { root, leaves } => Some(RelayCommit::Amt {
+                root: *root,
+                leaves: *leaves,
+            }),
+        };
+    }
+    RelayDecision::Forward
+}
+
+/// How a verified S2 should be handled by the caller.
+enum S2Outcome {
+    /// Forward without extraction (no matching exchange, policy allows).
+    Unverified,
+    /// Verified: extract the payload; `close` removes the association.
+    Verified {
+        /// Direction: true = initiator→responder.
+        is_fwd: bool,
+        /// A verified Close signal releases the association's state.
+        close: bool,
+    },
+}
+
+/// The S2 verification logic shared by the owned and borrowed observe
+/// paths. Takes slices end-to-end: no allocation happens here regardless
+/// of which decode produced the fields.
+#[allow(clippy::too_many_arguments)] // one call site per decode path
+fn s2_parts(
+    cfg: &RelayConfig,
+    a: &mut RelayAssociation,
+    chain_index: u64,
+    key: &Digest,
+    seq: u32,
+    path: &[Digest],
+    payload: &[u8],
+    now: Timestamp,
+) -> Result<S2Outcome, DropReason> {
+    let alg = a.alg;
+    let matches_dir = |d: &DirectionState| {
+        if d.exchange
+            .as_ref()
+            .is_some_and(|ex| ex.s1_index == chain_index + 1)
+        {
+            Some(true)
+        } else if d
+            .prev_exchange
+            .as_ref()
+            .is_some_and(|ex| ex.s1_index == chain_index + 1)
+        {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    let (dir, is_fwd, in_current) = if let Some(cur) = matches_dir(&a.fwd) {
+        (&mut a.fwd, true, cur)
+    } else if let Some(cur) = matches_dir(&a.rev) {
+        (&mut a.rev, false, cur)
+    } else if cfg.drop_unsolicited {
+        return Err(DropReason::Unsolicited);
+    } else {
+        return Ok(S2Outcome::Unverified);
+    };
+    // Authenticate the disclosed key: through the tracker for
+    // the current exchange, or via one forward derivation to
+    // the stored announce element for a superseded one.
+    if in_current {
+        let (last_index, last) = dir.sig.last();
+        if chain_index == last_index {
+            if !alpha_crypto::ct_eq(key.as_bytes(), last.as_bytes()) {
+                return Err(DropReason::BadChainElement);
+            }
+        } else if dir
+            .sig
+            .accept_role(chain_index, key, Role::Disclose)
+            .is_err()
+        {
+            return Err(DropReason::BadChainElement);
+        }
+    } else {
+        // Allowlist: `in_current == false` implies `matches_dir` found
+        // `prev_exchange` populated, and nothing in between releases it.
+        let announce = dir.prev_exchange.as_ref().expect("matched above").announce;
+        let derived = alpha_crypto::chain::derive(
+            alg,
+            alpha_crypto::chain::ChainKind::RoleBoundSignature,
+            chain_index + 1,
+            key,
+        );
+        if !alpha_crypto::ct_eq(derived.as_bytes(), announce.as_bytes()) {
+            return Err(DropReason::BadChainElement);
+        }
+    }
+    // Allowlist: same invariant — the matched exchange is still in place.
+    let ex = if in_current {
+        dir.exchange.as_ref().expect("matched above")
+    } else {
+        dir.prev_exchange.as_ref().expect("matched above")
+    };
+    let valid = match &ex.presig {
+        RelayPresig::Macs(macs) => {
+            (seq as usize) < macs.len() && {
+                let mac = message_mac(alg, cfg.mac_scheme, key, seq, payload);
+                alpha_crypto::ct_eq(mac.as_bytes(), macs[seq as usize].as_bytes())
+            }
+        }
+        RelayPresig::Root { root, leaves } => {
+            let expected_depth = merkle::log2_ceil(u64::from(*leaves).max(1)) as usize;
+            (seq as usize) < *leaves as usize
+                && path.len() == expected_depth
+                && merkle::verify_keyed(alg, key, &alg.hash(payload), seq as usize, path, root)
+        }
+        RelayPresig::Forest {
+            trees,
+            leaves_per_tree,
+        } => {
+            let t = seq as usize / leaves_per_tree;
+            let j = seq as usize % leaves_per_tree;
+            t < trees.len() && {
+                let tree = &trees[t];
+                let expected_depth = merkle::log2_ceil(u64::from(tree.leaves).max(1)) as usize;
+                j < tree.leaves as usize
+                    && path.len() == expected_depth
+                    && merkle::verify_keyed(alg, key, &alg.hash(payload), j, path, &tree.root)
+            }
+        }
+    };
+    if !valid {
+        return Err(DropReason::BadMac);
+    }
+    // Enforce a signalled payload-rate cap on this direction.
+    let cap = if is_fwd {
+        &mut a.data_cap_fwd
+    } else {
+        &mut a.data_cap_rev
+    };
+    if let Some(bucket) = cap {
+        if !bucket.allow(payload.len() as u64, now) {
+            return Err(DropReason::RateLimited);
+        }
+    }
+    // Control signals: a verified RateLimit from host X caps
+    // the traffic flowing *toward* X (the opposite direction);
+    // a verified Close releases this association's state after
+    // this packet is forwarded.
+    if let Some(sig) = crate::signal::Signal::parse(payload) {
+        match sig {
+            crate::signal::Signal::RateLimit { bytes_per_sec } => {
+                let toward_sender = if is_fwd {
+                    &mut a.data_cap_rev
+                } else {
+                    &mut a.data_cap_fwd
+                };
+                *toward_sender = Some(S1Limiter::new(Some(bytes_per_sec)));
+            }
+            crate::signal::Signal::Close => {
+                return Ok(S2Outcome::Verified {
+                    is_fwd,
+                    close: true,
+                });
+            }
+            crate::signal::Signal::LocatorUpdate { .. } => {}
+        }
+    }
+    // Chain renewals ride inside verified payloads; the relay
+    // re-anchors the sender's chains (its signature chain in
+    // this direction, its acknowledgment chain in the other).
+    if let Some(anchors) = crate::renewal::parse(alg, payload) {
+        let skip = cfg.max_skip;
+        use alpha_crypto::chain::ChainKind::{RoleBoundAck, RoleBoundSignature};
+        let (sig_dir, ack_dir) = if is_fwd {
+            (&mut a.fwd, &mut a.rev)
+        } else {
+            (&mut a.rev, &mut a.fwd)
+        };
+        sig_dir.sig = ChainVerifier::new(alg, RoleBoundSignature, anchors.sig.0, anchors.sig.1)
+            .with_max_skip(skip);
+        sig_dir.exchange = None;
+        ack_dir.ack =
+            ChainVerifier::new(alg, RoleBoundAck, anchors.ack.0, anchors.ack.1).with_max_skip(skip);
+    }
+    Ok(S2Outcome::Verified {
+        is_fwd,
+        close: false,
+    })
+}
+
+/// The A2 verification logic shared by the owned and borrowed observe
+/// paths. Returns the verified `(seq, ack)` verdicts.
+fn a2_parts(
+    a: &mut RelayAssociation,
+    chain_index: u64,
+    element: &Digest,
+    disclosure: &A2Disclosure,
+) -> Result<Vec<(u32, bool)>, DropReason> {
+    let alg = a.alg;
+    let mut dir = None;
+    for d in [&mut a.fwd, &mut a.rev] {
+        let (last_index, last) = d.ack.last();
+        let already =
+            chain_index == last_index && alpha_crypto::ct_eq(element.as_bytes(), last.as_bytes());
+        if already
+            || d.ack
+                .accept_role(chain_index, element, Role::Disclose)
+                .is_ok()
+        {
+            dir = Some(d);
+            break;
+        }
+    }
+    let Some(dir) = dir else {
+        return Err(DropReason::BadChainElement);
+    };
+    let Some(ex) = dir.exchange.as_ref() else {
+        // No buffered commitment: cannot verify, forward as-is.
+        return Ok(Vec::new());
+    };
+    let mut verdicts = Vec::new();
+    match (&ex.commit, disclosure) {
+        (Some(RelayCommit::Flat(pair)), A2Disclosure::Flat { ack, secret }) => {
+            let d = alpha_crypto::preack::AckDisclosure {
+                ack: *ack,
+                secret: *secret,
+            };
+            if !alpha_crypto::preack::verify(alg, element, &d, pair) {
+                return Err(DropReason::BadVerdict);
+            }
+            verdicts.push((0, *ack));
+        }
+        (Some(RelayCommit::Amt { root, leaves }), A2Disclosure::Amt(items)) => {
+            for item in items {
+                match alpha_crypto::amt::verify_disclosure(
+                    alg,
+                    element,
+                    *leaves as usize,
+                    item,
+                    root,
+                ) {
+                    None => return Err(DropReason::BadVerdict),
+                    Some(ack) => verdicts.push((item.packet_index, ack)),
+                }
+            }
+        }
+        (None, _) => {}
+        _ => return Err(DropReason::BadVerdict),
+    }
+    Ok(verdicts)
 }
 
 impl RelayAssociation {

@@ -299,9 +299,8 @@ impl VerifierChannel {
     pub fn handle_s2(
         &mut self,
         pkt: &Packet,
-        _now: Timestamp,
+        now: Timestamp,
     ) -> Result<VerifierOutput, ProtocolError> {
-        self.check_packet(pkt)?;
         let Body::S2 {
             key,
             seq,
@@ -311,25 +310,59 @@ impl VerifierChannel {
         else {
             return Err(ProtocolError::UnexpectedPacket);
         };
-        let alg = self.cfg.algorithm;
+        self.handle_s2_fields(
+            pkt.assoc_id,
+            pkt.alg,
+            pkt.chain_index,
+            key,
+            *seq,
+            path,
+            payload,
+            now,
+        )
+    }
+
+    /// Field-level S2 processing shared by the owned-packet path and the
+    /// zero-copy [`alpha_wire::PacketView`] path: the key, authentication
+    /// path and payload arrive as borrowed slices and the payload is
+    /// copied exactly once, on first-time delivery.
+    #[allow(clippy::too_many_arguments)] // one call site per decode path
+    pub fn handle_s2_fields(
+        &mut self,
+        assoc_id: u64,
+        alg: alpha_crypto::Algorithm,
+        chain_index: u64,
+        key: &Digest,
+        seq: u32,
+        path: &[Digest],
+        payload: &[u8],
+        now: Timestamp,
+    ) -> Result<VerifierOutput, ProtocolError> {
+        if assoc_id != self.assoc_id {
+            return Err(ProtocolError::WrongAssociation);
+        }
+        if alg != self.cfg.algorithm {
+            return Err(ProtocolError::WrongAlgorithm);
+        }
         let in_current = self
             .current
             .as_ref()
-            .is_some_and(|ex| pkt.chain_index == ex.s1_index - 1);
+            .is_some_and(|ex| chain_index == ex.s1_index - 1);
         let in_previous = !in_current
             && self
                 .previous
                 .as_ref()
-                .is_some_and(|ex| pkt.chain_index == ex.s1_index - 1);
+                .is_some_and(|ex| chain_index == ex.s1_index - 1);
         if !in_current && !in_previous {
             return Err(ProtocolError::NoExchange);
         }
+        // Allowlist: `in_current`/`in_previous` just verified the
+        // corresponding exchange is populated.
         let ex = if in_current {
             self.current.as_mut().expect("checked")
         } else {
             self.previous.as_mut().expect("checked")
         };
-        let seq = *seq;
         if seq as usize >= ex.received.len() {
             return Err(ProtocolError::BadSeq);
         }
@@ -339,7 +372,7 @@ impl VerifierChannel {
         // forward derivation links the key to the stored announce element.
         if in_current {
             let (last_index, last) = self.peer_sig.last();
-            if pkt.chain_index == last_index {
+            if chain_index == last_index {
                 if !alpha_crypto::ct_eq(key.as_bytes(), last.as_bytes()) {
                     return Err(ProtocolError::Chain(
                         alpha_crypto::chain::ChainError::Mismatch,
@@ -347,7 +380,7 @@ impl VerifierChannel {
                 }
             } else {
                 self.peer_sig
-                    .accept_role(pkt.chain_index, key, Role::Disclose)?;
+                    .accept_role(chain_index, key, Role::Disclose)?;
             }
         } else {
             let derived = alpha_crypto::chain::derive(
@@ -399,19 +432,22 @@ impl VerifierChannel {
             return Err(ProtocolError::BadMac);
         }
 
+        // Allowlist: the exchange matched above cannot have been released
+        // by the verdict construction.
         let ex = if in_current {
             self.current.as_mut().expect("still current")
         } else {
             self.previous.as_mut().expect("still previous")
         };
         if ex.first_s2_at.is_none() {
-            ex.first_s2_at = Some(_now);
+            ex.first_s2_at = Some(now);
         }
         let first_time = !ex.received[seq as usize];
         ex.received[seq as usize] = true;
         if first_time {
+            // The only payload copy on the delivery path.
             out.events
-                .push(VerifierEvent::Delivered(seq, payload.clone()));
+                .push(VerifierEvent::Delivered(seq, payload.to_vec()));
         }
         let complete = ex.received.iter().all(|&r| r);
         if complete && first_time {
@@ -474,10 +510,13 @@ impl VerifierChannel {
             }
             _ => return Vec::new(),
         };
+        // Allowlist: `missing` is only non-empty when the match above saw
+        // `Some(ex)` with an AMT ack state, and nothing in between mutates
+        // `self.current`.
         let ex = self.current.as_mut().expect("matched above");
         ex.last_nack_at = now;
         let AckState::Amt(amt) = &ex.ack else {
-            unreachable!()
+            unreachable!("matched above")
         };
         let items: Vec<_> = missing
             .iter()

@@ -239,6 +239,8 @@ impl EngineMetrics {
     /// Snapshot rendered as a JSON string.
     #[must_use]
     pub fn to_json(&self) -> String {
+        // Allowlist: serialising an in-memory value we just built; no
+        // network input reaches this.
         serde_json::to_string(&self.snapshot()).expect("metrics serialize")
     }
 }

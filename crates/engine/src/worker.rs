@@ -21,6 +21,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use alpha_core::Timestamp;
+use alpha_wire::Frame;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -69,10 +70,10 @@ impl Engine {
         let start = Instant::now();
         let sink = sink.map(Arc::new);
 
-        let mut senders: Vec<Sender<(SocketAddr, Vec<u8>)>> = Vec::with_capacity(workers);
+        let mut senders: Vec<Sender<(SocketAddr, Frame)>> = Vec::with_capacity(workers);
         let mut threads = Vec::with_capacity(workers + 1);
         for w in 0..workers {
-            let (tx, rx) = channel::bounded::<(SocketAddr, Vec<u8>)>(1024);
+            let (tx, rx) = channel::bounded::<(SocketAddr, Frame)>(1024);
             senders.push(tx);
             threads.push(spawn_worker(
                 w,
@@ -154,7 +155,7 @@ impl Drop for Engine {
 fn spawn_worker(
     index: usize,
     workers: usize,
-    rx: Receiver<(SocketAddr, Vec<u8>)>,
+    rx: Receiver<(SocketAddr, Frame)>,
     core: Arc<EngineCore>,
     socket: UdpSocket,
     shutdown: Arc<AtomicBool>,
@@ -211,7 +212,7 @@ fn dispatch(socket: &UdpSocket, out: &EngineOutput, sink: Option<&DeliverySink>)
 
 fn spawn_receiver(
     socket: UdpSocket,
-    senders: Vec<Sender<(SocketAddr, Vec<u8>)>>,
+    senders: Vec<Sender<(SocketAddr, Frame)>>,
     core: Arc<EngineCore>,
     shutdown: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
@@ -227,9 +228,13 @@ fn spawn_receiver(
                 continue;
             }
             let worker = core.shard_of_source(from) % senders.len();
+            // RX buffers come from the engine pool: workers drop the
+            // frame after processing and it recycles for a later recv.
+            let mut frame = core.frame_pool().checkout();
+            frame.buf_mut().extend_from_slice(bytes);
             // Bounded channel: a stalled worker sheds load here rather
             // than ballooning memory.
-            let _ = senders[worker].try_send((from, bytes.to_vec()));
+            let _ = senders[worker].try_send((from, frame));
         }
     })
 }

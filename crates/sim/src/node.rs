@@ -52,11 +52,11 @@ impl NodeOutput {
             [one] => self.send(src, dst, one),
             many => {
                 for chunk in many.chunks(alpha_wire::limits::MAX_BUNDLE) {
-                    self.frames.push(Frame {
-                        src,
-                        dst,
-                        bytes: alpha_wire::bundle::emit(chunk),
-                    });
+                    // Allowlist: `chunks` yields 1..=MAX_BUNDLE packets,
+                    // so the count limits cannot trip.
+                    let bytes =
+                        alpha_wire::bundle::emit(chunk).expect("chunked within bundle limits");
+                    self.frames.push(Frame { src, dst, bytes });
                 }
             }
         }
@@ -515,7 +515,9 @@ impl RelayNode {
             let bytes = if pass.len() == 1 {
                 pass[0].emit()
             } else {
-                alpha_wire::bundle::emit(&pass)
+                // Allowlist: `pass` holds 1..=MAX_BUNDLE packets out of
+                // one parsed bundle, so re-emitting cannot trip limits.
+                alpha_wire::bundle::emit(&pass).expect("re-bundle within limits")
             };
             out.frames.push(Frame {
                 src: frame.src,
@@ -579,7 +581,7 @@ impl EngineRelayNode {
             out.frames.push(Frame {
                 src: frame.src,
                 dst: frame.dst,
-                bytes,
+                bytes: bytes.into_vec(),
             });
         }
     }

@@ -287,6 +287,8 @@ impl UdpHost {
 
     /// Run `f` against the association (e.g. for buffer statistics).
     pub fn with_association<R>(&self, f: impl FnOnce(&mut Association) -> R) -> R {
+        // Allowlist: the constructor registers this host flow and nothing
+        // removes it while the handle is alive.
         self.core
             .with_association(self.key, f)
             .expect("host flow always present")

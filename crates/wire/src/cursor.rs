@@ -73,16 +73,16 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Write helpers over a `Vec<u8>`.
-pub struct Writer {
-    pub out: Vec<u8>,
+/// Write helpers over a caller-supplied `Vec<u8>`: appends, never
+/// reallocates when the buffer already has capacity, so encoders can
+/// reuse one buffer across packets.
+pub struct Writer<'a> {
+    pub out: &'a mut Vec<u8>,
 }
 
-impl Writer {
-    pub fn new() -> Writer {
-        Writer {
-            out: Vec::with_capacity(64),
-        }
+impl<'a> Writer<'a> {
+    pub fn new(out: &'a mut Vec<u8>) -> Writer<'a> {
+        Writer { out }
     }
 
     pub fn u8(&mut self, v: u8) {
@@ -143,10 +143,11 @@ mod tests {
 
     #[test]
     fn writer_roundtrip() {
-        let mut w = Writer::new();
+        let mut buf = Vec::new();
+        let mut w = Writer::new(&mut buf);
         w.u64(0xdead_beef_0102_0304);
         w.u8(9);
-        let mut r = Reader::new(&w.out);
+        let mut r = Reader::new(&buf);
         assert_eq!(r.u64().unwrap(), 0xdead_beef_0102_0304);
         assert_eq!(r.u8().unwrap(), 9);
         r.finish().unwrap();

@@ -19,10 +19,17 @@
 
 mod cursor;
 mod packet;
+mod pool;
+mod view;
 
 pub use packet::{
     bundle, A2Disclosure, AckCommit, Body, Handshake, HandshakeAuth, HandshakeRole, Packet,
     PacketType, PreSignature, TreeDescriptor,
+};
+pub use pool::{Frame, FramePool, PoolStats};
+pub use view::{
+    A2DisclosureView, AmtSlice, BodyView, DigestPath, DigestSlice, HandshakeAuthView,
+    HandshakeView, PacketView, PreSignatureView, TreeSlice,
 };
 
 /// Parse-time resource limits.

@@ -21,8 +21,8 @@ use crate::{limits, Error};
 use alpha_crypto::amt::{AmtDisclosure, SECRET_LEN};
 use alpha_crypto::{Algorithm, Digest};
 
-const MAGIC: u16 = 0xA1FA;
-const VERSION: u8 = 1;
+pub(crate) const MAGIC: u16 = 0xA1FA;
+pub(crate) const VERSION: u8 = 1;
 
 /// Discriminants for the packet types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,19 +54,92 @@ pub mod bundle {
     pub const BUNDLE_TAG: u8 = 0xB1;
 
     /// Encode up to [`limits::MAX_BUNDLE`] packets into one frame.
-    #[must_use]
-    pub fn emit(packets: &[Packet]) -> Vec<u8> {
-        assert!(
-            (1..=limits::MAX_BUNDLE).contains(&packets.len()),
-            "bundle of 1..=MAX_BUNDLE packets"
-        );
-        let mut out = vec![BUNDLE_TAG, packets.len() as u8];
-        for p in packets {
-            let bytes = p.emit();
-            out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
-            out.extend_from_slice(&bytes);
+    /// Returns [`Error::LimitExceeded`] for 0 or more than
+    /// `MAX_BUNDLE` packets (API misuse must not abort a relay).
+    pub fn emit(packets: &[Packet]) -> Result<Vec<u8>, Error> {
+        let mut out = Vec::new();
+        emit_into(packets, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`emit`] into a caller-supplied buffer (appended; callers clear
+    /// between frames to reuse the allocation).
+    pub fn emit_into(packets: &[Packet], out: &mut Vec<u8>) -> Result<(), Error> {
+        if !(1..=limits::MAX_BUNDLE).contains(&packets.len()) {
+            return Err(Error::LimitExceeded);
         }
-        out
+        out.push(BUNDLE_TAG);
+        out.push(packets.len() as u8);
+        for p in packets {
+            out.extend_from_slice(&(p.wire_len() as u16).to_be_bytes());
+            p.encode_into(out);
+        }
+        Ok(())
+    }
+
+    /// Bundle already-encoded packets without re-encoding them: one slice
+    /// is copied through as a bare packet frame, several get the bundle
+    /// framing. This is the relay's zero-copy forwarding path — inner
+    /// packets that passed verification are spliced from the incoming
+    /// datagram straight into the outgoing frame.
+    pub fn emit_slices_into(packets: &[&[u8]], out: &mut Vec<u8>) -> Result<(), Error> {
+        match packets {
+            [] => Err(Error::LimitExceeded),
+            [one] => {
+                out.extend_from_slice(one);
+                Ok(())
+            }
+            many => {
+                if many.len() > limits::MAX_BUNDLE {
+                    return Err(Error::LimitExceeded);
+                }
+                out.push(BUNDLE_TAG);
+                out.push(many.len() as u8);
+                for p in many {
+                    if p.len() > u16::MAX as usize {
+                        return Err(Error::LimitExceeded);
+                    }
+                    out.extend_from_slice(&(p.len() as u16).to_be_bytes());
+                    out.extend_from_slice(p);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Split a frame into its constituent packet slices without parsing
+    /// or allocating: a non-bundle frame yields itself as the single
+    /// entry. Validates the bundle framing (count, length prefixes, no
+    /// trailing bytes) but not the inner packets. Returns the number of
+    /// slices written into `out`.
+    pub fn split<'a>(
+        frame: &'a [u8],
+        out: &mut [&'a [u8]; limits::MAX_BUNDLE],
+    ) -> Result<usize, Error> {
+        if frame.first() != Some(&BUNDLE_TAG) {
+            out[0] = frame;
+            return Ok(1);
+        }
+        let count = *frame.get(1).ok_or(Error::Truncated)? as usize;
+        if count == 0 || count > limits::MAX_BUNDLE {
+            return Err(Error::LimitExceeded);
+        }
+        let mut rest = &frame[2..];
+        for slot in out.iter_mut().take(count) {
+            if rest.len() < 2 {
+                return Err(Error::Truncated);
+            }
+            let len = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+            if rest.len() < 2 + len {
+                return Err(Error::Truncated);
+            }
+            *slot = &rest[2..2 + len];
+            rest = &rest[2 + len..];
+        }
+        if !rest.is_empty() {
+            return Err(Error::TrailingBytes);
+        }
+        Ok(count)
     }
 
     /// Parse a frame that may be either a bundle or a single packet;
@@ -142,7 +215,7 @@ impl PreSignature {
 }
 
 /// The acknowledgment commitment in an A1 packet.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AckCommit {
     /// Unreliable mode: A1 only authenticates willingness to receive.
     None,
@@ -305,10 +378,20 @@ impl Packet {
         }
     }
 
-    /// Serialize to bytes.
+    /// Serialize to a fresh byte vector. Hot paths should prefer
+    /// [`Packet::encode_into`] with a reused buffer.
     #[must_use]
     pub fn emit(&self) -> Vec<u8> {
-        let mut w = Writer::new();
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialize by appending to a caller-supplied buffer. The caller
+    /// clears (not drops) the buffer between packets to recycle its
+    /// allocation.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut w = Writer::new(out);
         w.u16(MAGIC);
         w.u8(VERSION);
         w.u8(self.packet_type() as u8);
@@ -416,13 +499,56 @@ impl Packet {
                 }
             }
         }
-        w.out
     }
 
-    /// Encoded length without allocating the encoding twice.
+    /// Encoded length, computed arithmetically — no allocation, exact
+    /// per construction (checked against `emit` by the property tests).
     #[must_use]
     pub fn wire_len(&self) -> usize {
-        self.emit().len()
+        let dl = self.alg.digest_len();
+        const HEADER: usize = 21; // magic 2 + ver 1 + type 1 + alg 1 + assoc 8 + index 8
+        HEADER
+            + match &self.body {
+                Body::S1 { presig, .. } => {
+                    dl + 1
+                        + match presig {
+                            PreSignature::Cumulative(macs) => 2 + macs.len() * dl,
+                            PreSignature::MerkleRoot { .. } => 4 + dl,
+                            PreSignature::MerkleForest(trees) => 2 + trees.len() * (4 + dl),
+                        }
+                }
+                Body::A1 { commit, .. } => {
+                    dl + 1
+                        + match commit {
+                            AckCommit::None => 0,
+                            AckCommit::Flat { .. } => 2 * dl,
+                            AckCommit::Amt { .. } => 4 + dl,
+                        }
+                }
+                Body::S2 { path, payload, .. } => dl + 4 + 1 + path.len() * dl + 2 + payload.len(),
+                Body::A2 { disclosure, .. } => {
+                    dl + 1
+                        + match disclosure {
+                            A2Disclosure::Flat { .. } => 1 + SECRET_LEN,
+                            A2Disclosure::Amt(items) => {
+                                2 + items
+                                    .iter()
+                                    .map(|it| 4 + 1 + SECRET_LEN + 1 + it.path.len() * dl)
+                                    .sum::<usize>()
+                            }
+                        }
+                }
+                Body::Handshake(h) => {
+                    8 + dl
+                        + 8
+                        + dl
+                        + 1
+                        + match &h.auth {
+                            None => 0,
+                            Some(a) => 1 + 2 + a.public_key.len() + 2 + a.signature.len(),
+                        }
+                }
+            }
     }
 
     /// Parse a packet; rejects any malformed, oversized, or trailing input.
@@ -622,7 +748,7 @@ impl Packet {
     }
 }
 
-fn alg_tag(alg: Algorithm) -> u8 {
+pub(crate) fn alg_tag(alg: Algorithm) -> u8 {
     match alg {
         Algorithm::Sha1 => 1,
         Algorithm::Sha256 => 2,
@@ -630,7 +756,7 @@ fn alg_tag(alg: Algorithm) -> u8 {
     }
 }
 
-fn parse_alg(tag: u8) -> Result<Algorithm, Error> {
+pub(crate) fn parse_alg(tag: u8) -> Result<Algorithm, Error> {
     match tag {
         1 => Ok(Algorithm::Sha1),
         2 => Ok(Algorithm::Sha256),
@@ -639,7 +765,7 @@ fn parse_alg(tag: u8) -> Result<Algorithm, Error> {
     }
 }
 
-fn parse_bool(b: u8) -> Result<bool, Error> {
+pub(crate) fn parse_bool(b: u8) -> Result<bool, Error> {
     match b {
         0 => Ok(false),
         1 => Ok(true),
@@ -986,9 +1112,58 @@ mod bundle_tests {
     #[test]
     fn bundle_roundtrip() {
         let pkts: Vec<Packet> = (0..5).map(|i| sample(Algorithm::Sha1, i)).collect();
-        let frame = bundle::emit(&pkts);
+        let frame = bundle::emit(&pkts).unwrap();
         assert_eq!(frame[0], bundle::BUNDLE_TAG);
         assert_eq!(bundle::parse(&frame).unwrap(), pkts);
+    }
+
+    #[test]
+    fn emit_rejects_bad_counts_without_panicking() {
+        assert_eq!(bundle::emit(&[]), Err(Error::LimitExceeded));
+        let pkts: Vec<Packet> = (0..crate::limits::MAX_BUNDLE as u64 + 1)
+            .map(|i| sample(Algorithm::Sha1, i))
+            .collect();
+        assert_eq!(bundle::emit(&pkts), Err(Error::LimitExceeded));
+        let mut out = Vec::new();
+        assert_eq!(
+            bundle::emit_into(&pkts, &mut out),
+            Err(Error::LimitExceeded)
+        );
+        assert_eq!(
+            bundle::emit_slices_into(&[], &mut out),
+            Err(Error::LimitExceeded)
+        );
+    }
+
+    #[test]
+    fn split_matches_parse() {
+        let pkts: Vec<Packet> = (0..4).map(|i| sample(Algorithm::Sha1, i)).collect();
+        let frame = bundle::emit(&pkts).unwrap();
+        let mut slices: [&[u8]; crate::limits::MAX_BUNDLE] = [&[]; crate::limits::MAX_BUNDLE];
+        let n = bundle::split(&frame, &mut slices).unwrap();
+        assert_eq!(n, 4);
+        for (s, p) in slices[..n].iter().zip(&pkts) {
+            assert_eq!(&Packet::parse(s).unwrap(), p);
+        }
+        // A bare packet splits into itself.
+        let one = pkts[0].emit();
+        let n = bundle::split(&one, &mut slices).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(slices[0], &one[..]);
+    }
+
+    #[test]
+    fn emit_slices_roundtrip() {
+        let pkts: Vec<Packet> = (0..3).map(|i| sample(Algorithm::MmoAes, i)).collect();
+        let encoded: Vec<Vec<u8>> = pkts.iter().map(Packet::emit).collect();
+        let refs: Vec<&[u8]> = encoded.iter().map(Vec::as_slice).collect();
+        let mut frame = Vec::new();
+        bundle::emit_slices_into(&refs, &mut frame).unwrap();
+        assert_eq!(bundle::parse(&frame).unwrap(), pkts);
+        // Single slice comes through as a bare packet, not a bundle.
+        frame.clear();
+        bundle::emit_slices_into(&refs[..1], &mut frame).unwrap();
+        assert_eq!(frame, encoded[0]);
     }
 
     #[test]
@@ -1000,7 +1175,7 @@ mod bundle_tests {
     #[test]
     fn bundle_truncation_and_trailing_rejected() {
         let pkts: Vec<Packet> = (0..3).map(|i| sample(Algorithm::Sha1, i)).collect();
-        let frame = bundle::emit(&pkts);
+        let frame = bundle::emit(&pkts).unwrap();
         for cut in 1..frame.len() {
             assert!(bundle::parse(&frame[..cut]).is_err(), "cut={cut}");
         }
@@ -1020,7 +1195,7 @@ mod bundle_tests {
     #[test]
     fn corrupt_inner_packet_rejected() {
         let pkts: Vec<Packet> = (0..2).map(|i| sample(Algorithm::Sha1, i)).collect();
-        let mut frame = bundle::emit(&pkts);
+        let mut frame = bundle::emit(&pkts).unwrap();
         frame[4] = 0; // smash the first inner packet's magic
         assert!(bundle::parse(&frame).is_err());
     }

@@ -1,0 +1,326 @@
+//! A freelist of reusable datagram buffers.
+//!
+//! Steady-state packet processing should do zero malloc/free per packet:
+//! RX loops check a [`Frame`] out of a [`FramePool`], fill it from the
+//! socket, hand it through the engine, and the frame returns itself to
+//! the pool when dropped. Depletion falls back to fresh allocation (and
+//! is counted), so the pool is a fast path, never a correctness limit.
+//!
+//! In debug builds, frames are poisoned with a marker byte when they
+//! return to the pool, so stale reads of recycled buffers show up as
+//! garbage instead of silently reading the previous packet.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+/// Byte written over returned frames in debug builds.
+#[cfg(debug_assertions)]
+pub const POISON: u8 = 0xDB;
+
+struct PoolInner {
+    /// Capacity each fresh frame is allocated with.
+    capacity: usize,
+    /// Freelist high-water mark; frames returned beyond it are dropped.
+    max_frames: usize,
+    free: Mutex<Vec<Vec<u8>>>,
+    reused: AtomicU64,
+    fresh: AtomicU64,
+    returned: AtomicU64,
+    discarded: AtomicU64,
+}
+
+/// Counters describing a pool's behaviour so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkouts served from the freelist.
+    pub reused: u64,
+    /// Checkouts that had to allocate (empty freelist).
+    pub fresh: u64,
+    /// Frames accepted back into the freelist.
+    pub returned: u64,
+    /// Frames dropped on return because the freelist was full.
+    pub discarded: u64,
+    /// Frames currently sitting in the freelist.
+    pub idle: usize,
+}
+
+/// A shared freelist of fixed-capacity byte buffers. Cloning is cheap
+/// (an `Arc` bump); all clones share one freelist.
+#[derive(Clone)]
+pub struct FramePool {
+    inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for FramePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("FramePool")
+            .field("capacity", &self.inner.capacity)
+            .field("max_frames", &self.inner.max_frames)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl FramePool {
+    /// A pool of frames allocated `frame_capacity` bytes each, keeping at
+    /// most `max_frames` idle buffers.
+    #[must_use]
+    pub fn new(frame_capacity: usize, max_frames: usize) -> FramePool {
+        FramePool {
+            inner: Arc::new(PoolInner {
+                capacity: frame_capacity.max(1),
+                max_frames: max_frames.max(1),
+                free: Mutex::new(Vec::new()),
+                reused: AtomicU64::new(0),
+                fresh: AtomicU64::new(0),
+                returned: AtomicU64::new(0),
+                discarded: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Check a cleared frame out of the pool. Served from the freelist
+    /// when possible; allocates (and counts it) when depleted.
+    #[must_use]
+    pub fn checkout(&self) -> Frame {
+        let recycled = {
+            let mut free = match self.inner.free.lock() {
+                Ok(g) => g,
+                // A panic while holding the freelist lock only loses
+                // pooled buffers; continue with fresh allocations.
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            free.pop()
+        };
+        let buf = match recycled {
+            Some(mut b) => {
+                self.inner.reused.fetch_add(1, Relaxed);
+                b.clear();
+                b
+            }
+            None => {
+                self.inner.fresh.fetch_add(1, Relaxed);
+                Vec::with_capacity(self.inner.capacity)
+            }
+        };
+        Frame {
+            buf,
+            pool: Some(Arc::clone(&self.inner)),
+        }
+    }
+
+    /// Counters since construction.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let idle = match self.inner.free.lock() {
+            Ok(g) => g.len(),
+            Err(poisoned) => poisoned.into_inner().len(),
+        };
+        PoolStats {
+            reused: self.inner.reused.load(Relaxed),
+            fresh: self.inner.fresh.load(Relaxed),
+            returned: self.inner.returned.load(Relaxed),
+            discarded: self.inner.discarded.load(Relaxed),
+            idle,
+        }
+    }
+
+    #[cfg(test)]
+    fn idle_frames_for_test(&self) -> Vec<Vec<u8>> {
+        match self.inner.free.lock() {
+            Ok(g) => g.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        }
+    }
+}
+
+/// A byte buffer on loan from a [`FramePool`] (or detached, if built
+/// from a plain vector). Dereferences to its filled bytes; returns
+/// itself to the pool on drop.
+pub struct Frame {
+    buf: Vec<u8>,
+    pool: Option<Arc<PoolInner>>,
+}
+
+impl Frame {
+    /// A detached frame owning `bytes` (no pool to return to).
+    #[must_use]
+    pub fn detached(bytes: Vec<u8>) -> Frame {
+        Frame {
+            buf: bytes,
+            pool: None,
+        }
+    }
+
+    /// Mutable access to the underlying vector for filling.
+    pub fn buf_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+
+    /// Detach from the pool and take the bytes (the buffer is not
+    /// recycled).
+    #[must_use]
+    pub fn into_vec(mut self) -> Vec<u8> {
+        self.pool = None;
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Copy the filled bytes into a fresh vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+}
+
+impl Drop for Frame {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            #[cfg_attr(not(debug_assertions), allow(unused_mut))]
+            let mut buf = std::mem::take(&mut self.buf);
+            #[cfg(debug_assertions)]
+            {
+                // Poison the whole allocation so stale reads through a
+                // dangling view are loud. Checkout clears before reuse.
+                buf.clear();
+                buf.resize(buf.capacity(), POISON);
+            }
+            let mut free = match pool.free.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if free.len() < pool.max_frames {
+                free.push(buf);
+                pool.returned.fetch_add(1, Relaxed);
+            } else {
+                pool.discarded.fetch_add(1, Relaxed);
+            }
+        }
+    }
+}
+
+impl std::ops::Deref for Frame {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Clone for Frame {
+    /// Cloning detaches: the copy owns its bytes and is not returned to
+    /// the pool (only the original loan is).
+    fn clone(&self) -> Frame {
+        Frame::detached(self.buf.clone())
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Frame")
+            .field("len", &self.buf.len())
+            .field("pooled", &self.pool.is_some())
+            .finish()
+    }
+}
+
+impl From<Frame> for Vec<u8> {
+    fn from(f: Frame) -> Vec<u8> {
+        f.into_vec()
+    }
+}
+
+impl From<Vec<u8>> for Frame {
+    fn from(bytes: Vec<u8>) -> Frame {
+        Frame::detached(bytes)
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Frame) -> bool {
+        self.buf == other.buf
+    }
+}
+impl Eq for Frame {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reissued_frames_come_back_cleared() {
+        let pool = FramePool::new(64, 4);
+        let mut f = pool.checkout();
+        f.buf_mut().extend_from_slice(b"secret bytes");
+        drop(f);
+        let f = pool.checkout();
+        assert!(f.is_empty(), "recycled frame must be cleared");
+        let s = pool.stats();
+        assert_eq!((s.fresh, s.reused, s.returned), (1, 1, 1));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn returned_frames_are_poisoned() {
+        let pool = FramePool::new(32, 4);
+        let mut f = pool.checkout();
+        f.buf_mut().extend_from_slice(b"plaintext");
+        drop(f);
+        let idle = pool.idle_frames_for_test();
+        assert_eq!(idle.len(), 1);
+        assert!(!idle[0].is_empty());
+        assert!(idle[0].iter().all(|&b| b == POISON));
+    }
+
+    #[test]
+    fn depletion_allocates_and_counts() {
+        let pool = FramePool::new(16, 2);
+        let a = pool.checkout();
+        let b = pool.checkout();
+        let c = pool.checkout();
+        assert_eq!(pool.stats().fresh, 3);
+        drop(a);
+        drop(b);
+        drop(c); // freelist already holds max_frames = 2
+        let s = pool.stats();
+        assert_eq!((s.returned, s.discarded, s.idle), (2, 1, 2));
+        let _ = pool.checkout();
+        assert_eq!(pool.stats().reused, 1);
+    }
+
+    #[test]
+    fn clone_detaches_and_into_vec_skips_recycling() {
+        let pool = FramePool::new(16, 4);
+        let mut f = pool.checkout();
+        f.buf_mut().extend_from_slice(b"abc");
+        let copy = f.clone();
+        drop(copy); // detached: freelist untouched
+        assert_eq!(pool.stats().returned, 0);
+        let v = f.into_vec();
+        assert_eq!(v, b"abc");
+        assert_eq!(pool.stats().returned, 0);
+    }
+
+    #[test]
+    fn concurrent_checkout_checkin_smoke() {
+        let pool = FramePool::new(256, 8);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        let mut f = pool.checkout();
+                        assert!(f.is_empty());
+                        f.buf_mut().extend_from_slice(&(t * 1000 + i).to_be_bytes());
+                        assert_eq!(f.len(), 4);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker thread");
+        }
+        let s = pool.stats();
+        assert_eq!(s.reused + s.fresh, 2000);
+        assert!(s.reused > 0, "steady state must recycle");
+    }
+}

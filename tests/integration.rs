@@ -829,6 +829,7 @@ fn engine_relay_rejects_cross_flow_forged_s2() {
                  inflight: &mut Vec<(SocketAddr, SocketAddr, Vec<u8>)>,
                  held: &mut Vec<(SocketAddr, Vec<u8>)>| {
         for (dst, bytes) in out.datagrams {
+            let bytes = bytes.into_vec();
             let is_s2 = bundle::parse(&bytes)
                 .map(|pkts| pkts.iter().any(|p| p.packet_type() == PacketType::S2))
                 .unwrap_or(false);
@@ -853,7 +854,7 @@ fn engine_relay_rejects_cross_flow_forged_s2() {
                 let out = relay.handle_datagram(src, &bytes, now, &mut rng);
                 relay_extracted += out.extracted.len();
                 for (fwd_dst, fwd_bytes) in out.datagrams {
-                    inflight.push((relay_addr, fwd_dst, fwd_bytes));
+                    inflight.push((relay_addr, fwd_dst, fwd_bytes.into_vec()));
                 }
             } else {
                 let endpoint = match dst {
@@ -892,7 +893,7 @@ fn engine_relay_rejects_cross_flow_forged_s2() {
                 let out = relay.handle_datagram(src, &bytes, now, &mut rng);
                 relay_extracted += out.extracted.len();
                 for (fwd_dst, fwd_bytes) in out.datagrams {
-                    inflight.push((relay_addr, fwd_dst, fwd_bytes));
+                    inflight.push((relay_addr, fwd_dst, fwd_bytes.into_vec()));
                 }
             } else {
                 let endpoint = match dst {

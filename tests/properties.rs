@@ -173,13 +173,72 @@ proptest! {
         pkts in proptest::collection::vec(arbitrary_packet(), 1..16),
         junk in proptest::collection::vec(any::<u8>(), 0..512),
     ) {
-        let frame = alpha::wire::bundle::emit(&pkts);
+        let frame = alpha::wire::bundle::emit(&pkts).expect("1..=16 packets fit a bundle");
         prop_assert_eq!(alpha::wire::bundle::parse(&frame).unwrap(), pkts);
         let _ = alpha::wire::bundle::parse(&junk); // must not panic
         // A bundle-tagged prefix over junk must not panic either.
         let mut tagged = vec![0xB1];
         tagged.extend_from_slice(&junk);
         let _ = alpha::wire::bundle::parse(&tagged);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating an encoded packet at *every* byte offset must error out
+    /// of both decoders (owned and borrowed) without panicking, and both
+    /// must report the same error.
+    #[test]
+    fn truncation_at_every_offset_agrees(pkt in arbitrary_packet()) {
+        let bytes = pkt.emit();
+        for cut in 0..bytes.len() {
+            let prefix = &bytes[..cut];
+            let owned = Packet::parse(prefix);
+            let view = alpha::wire::PacketView::parse(prefix);
+            prop_assert!(owned.is_err(), "prefix of {} bytes decoded", cut);
+            match (owned, view) {
+                (Err(a), Err(b)) => prop_assert_eq!(a, b, "error mismatch at cut {}", cut),
+                _ => prop_assert!(false, "view decoded a prefix the owned decoder rejected"),
+            }
+        }
+    }
+
+    /// Flipping any single byte of an encoded packet never panics either
+    /// decoder, and the borrowed view never disagrees with the owned
+    /// decode: both succeed with identical packets or fail identically.
+    #[test]
+    fn single_flipped_byte_never_diverges(
+        pkt in arbitrary_packet(),
+        pos_frac in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let mut bytes = pkt.emit();
+        let pos = ((pos_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[pos] ^= xor;
+        match (Packet::parse(&bytes), alpha::wire::PacketView::parse(&bytes)) {
+            (Ok(p), Ok(v)) => prop_assert_eq!(v.to_packet(), p),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (owned, view) => prop_assert!(
+                false,
+                "decoders diverge at byte {}: owned {:?}, view {:?}",
+                pos,
+                owned.is_ok(),
+                view.is_ok()
+            ),
+        }
+    }
+
+    /// On completely arbitrary bytes the two decoders agree byte for byte.
+    #[test]
+    fn view_never_disagrees_with_owned(
+        bytes in proptest::collection::vec(any::<u8>(), 0..2048),
+    ) {
+        match (Packet::parse(&bytes), alpha::wire::PacketView::parse(&bytes)) {
+            (Ok(p), Ok(v)) => prop_assert_eq!(v.to_packet(), p),
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            _ => prop_assert!(false, "owned and view decode disagree"),
+        }
     }
 }
 
