@@ -18,6 +18,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> datapath bench smoke (release, --quick)"
 cargo run --release -p alpha-bench --bin datapath -- --quick
 
+echo "==> digest backend equivalence (forced scalar, then auto-detected)"
+ALPHA_DIGEST_BACKEND=scalar cargo test -q -p alpha-crypto --test backend_props
+cargo test -q -p alpha-crypto --test backend_props
+
+echo "==> digest throughput bench smoke (release, --quick)"
+cargo run --release -p alpha-bench --bin digest_throughput -- --quick
+
 echo "==> decoder robustness properties (release)"
 cargo test --release --test properties -q -- \
     truncation_at_every_offset_agrees \

@@ -127,7 +127,9 @@ impl TeslaSender {
         if idx == 0 {
             return None; // seed is never used
         }
-        Some(self.chain.element(idx))
+        // `idx < anchor_index` by construction; the checked accessor keeps
+        // this total even if the epoch arithmetic ever changes.
+        self.chain.try_element(idx).ok()
     }
 
     /// Protect `payload` for transmission at `now`.

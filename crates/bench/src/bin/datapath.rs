@@ -318,6 +318,11 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"datapath\",");
+    let _ = writeln!(
+        json,
+        "  \"digest_backend\": \"{}\",",
+        alpha_crypto::backend::active().name()
+    );
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"flows\": {flows},");
     let _ = writeln!(json, "  \"exchanges_per_flow\": {exchanges},");

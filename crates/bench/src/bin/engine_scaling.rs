@@ -264,6 +264,11 @@ fn main() {
         "  \"model\": \"share-nothing makespan (sequential per-worker timing)\","
     );
     let _ = writeln!(json, "  \"host_cores\": {},", host_cores());
+    let _ = writeln!(
+        json,
+        "  \"digest_backend\": \"{}\",",
+        alpha_crypto::backend::active().name()
+    );
     let _ = writeln!(json, "  \"exchanges_per_flow\": {EXCHANGES},");
     let _ = writeln!(json, "  \"shards\": {SHARDS},");
     let _ = writeln!(json, "  \"speedup_8_workers_vs_1\": {ratio:.4},");

@@ -353,12 +353,17 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
     let u = |v: Option<&serde_json::Value>| v.and_then(serde_json::Value::as_u64).unwrap_or(0);
     let f = |v: Option<&serde_json::Value>| v.and_then(serde_json::Value::as_f64).unwrap_or(0.0);
     let mut out = String::new();
+    let backend = snap
+        .get("digest_backend")
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or("unknown");
     let _ = writeln!(
         out,
-        "engine: {} flow(s) across {} shard(s), {} buffered byte(s)",
+        "engine: {} flow(s) across {} shard(s), {} buffered byte(s), digest backend {}",
         u(snap.get("flows")),
         u(snap.get("shards")),
         u(snap.get("buffered_bytes")),
+        backend,
     );
     if let Some(serde_json::Value::Object(metrics)) = snap.get("metrics") {
         let nonzero: Vec<String> = metrics
@@ -421,6 +426,7 @@ mod tests {
             "flows": 2u64,
             "shards": 8u64,
             "buffered_bytes": 0u64,
+            "digest_backend": "lanes4",
             "metrics": {"verified": 10u64, "dropped": 0u64, "adapt_switches": 3u64},
             "adapt_flows": [{
                 "peer": "10.0.0.1:700",
@@ -442,6 +448,7 @@ mod tests {
         });
         let text = render_engine_stats(&snap);
         assert!(text.contains("2 flow(s) across 8 shard(s)"), "{text}");
+        assert!(text.contains("digest backend lanes4"), "{text}");
         assert!(text.contains("verified=10"), "{text}");
         assert!(text.contains("adapt_switches=3"), "{text}");
         assert!(

@@ -144,19 +144,45 @@ impl Handshaker {
 }
 
 fn make_chains(cfg: &Config, rng: &mut dyn RngCore) -> (HashChain, HashChain) {
-    let gen = |kind, rng: &mut dyn RngCore| match cfg.chain_storage {
-        crate::ChainStorage::Full => HashChain::generate(cfg.algorithm, kind, cfg.chain_len, rng),
-        crate::ChainStorage::Sqrt => {
-            HashChain::generate_compact(cfg.algorithm, kind, cfg.chain_len, rng)
+    match cfg.chain_storage {
+        // Full storage generates both chains in lockstep so every
+        // derivation step hashes the signature and ack lanes together.
+        crate::ChainStorage::Full => {
+            let mut sig_seed = [0u8; 32];
+            let mut ack_seed = [0u8; 32];
+            rng.fill_bytes(&mut sig_seed);
+            rng.fill_bytes(&mut ack_seed);
+            let mut chains = HashChain::from_seeds_batch(
+                cfg.algorithm,
+                cfg.chain_len,
+                &[
+                    (ChainKind::RoleBoundSignature, &sig_seed),
+                    (ChainKind::RoleBoundAck, &ack_seed),
+                ],
+            );
+            let ack = chains.pop().expect("two chains requested");
+            let sig = chains.pop().expect("two chains requested");
+            (sig, ack)
         }
-        crate::ChainStorage::Dyadic => {
-            HashChain::generate_dyadic(cfg.algorithm, kind, cfg.chain_len, rng)
-        }
-    };
-    (
-        gen(ChainKind::RoleBoundSignature, rng),
-        gen(ChainKind::RoleBoundAck, rng),
-    )
+        crate::ChainStorage::Sqrt => (
+            HashChain::generate_compact(
+                cfg.algorithm,
+                ChainKind::RoleBoundSignature,
+                cfg.chain_len,
+                rng,
+            ),
+            HashChain::generate_compact(cfg.algorithm, ChainKind::RoleBoundAck, cfg.chain_len, rng),
+        ),
+        crate::ChainStorage::Dyadic => (
+            HashChain::generate_dyadic(
+                cfg.algorithm,
+                ChainKind::RoleBoundSignature,
+                cfg.chain_len,
+                rng,
+            ),
+            HashChain::generate_dyadic(cfg.algorithm, ChainKind::RoleBoundAck, cfg.chain_len, rng),
+        ),
+    }
 }
 
 fn handshake_packet(

@@ -46,7 +46,9 @@ mod verifier;
 pub use association::{Association, Response};
 pub use error::ProtocolError;
 pub use limiter::{S1Limiter, SharedS1Limiter};
-pub use relay::{DropReason, Relay, RelayConfig, RelayDecision, RelayEvent, RelayViewOutcome};
+pub use relay::{
+    DropReason, Relay, RelayConfig, RelayDecision, RelayEvent, RelayViewOutcome, S2BatchItem,
+};
 pub use signer::message_mac;
 pub use signer::{SignerChannel, SignerEvent};
 pub use verifier::{VerifierChannel, VerifierEvent};

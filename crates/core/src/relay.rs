@@ -558,6 +558,257 @@ impl Relay {
             BodyView::Handshake(_) => unreachable!("handled by observe_view"),
         }
     }
+
+    /// Observe a run of S2 packets of one association in one call,
+    /// verifying their MACs / Merkle paths through the batched digest
+    /// backend. Decisions come back in input order and are exactly what a
+    /// packet-by-packet [`Relay::observe_view`] sequence would have
+    /// produced: phase 1 (chain acceptance, structural checks) still runs
+    /// strictly sequentially per packet, only the independent digest
+    /// computations are batched, and any payload that could carry a
+    /// relay-visible control message (signal or chain renewal — both
+    /// magic-prefixed) forms a barrier that is processed single-shot so
+    /// its state changes order correctly with its neighbours.
+    pub fn observe_s2_batch(
+        &mut self,
+        assoc_id: u64,
+        items: &[S2BatchItem<'_>],
+        now: Timestamp,
+    ) -> Vec<(RelayDecision, RelayViewOutcome)> {
+        let mut out = Vec::with_capacity(items.len());
+        let mut i = 0;
+        while i < items.len() {
+            if carries_control(items[i].payload) {
+                let item = &items[i];
+                out.push(self.observe_s2_one(assoc_id, item, now));
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < items.len() && !carries_control(items[i].payload) {
+                i += 1;
+            }
+            self.s2_run(assoc_id, &items[start..i], now, &mut out);
+        }
+        out
+    }
+
+    /// Single-shot S2 processing for one batch item (control barriers and
+    /// the degenerate one-packet run).
+    fn observe_s2_one(
+        &mut self,
+        assoc_id: u64,
+        item: &S2BatchItem<'_>,
+        now: Timestamp,
+    ) -> (RelayDecision, RelayViewOutcome) {
+        let cfg = self.cfg;
+        let none = RelayViewOutcome::default();
+        let a = match self.data_assoc(assoc_id, item.alg) {
+            Ok(a) => a,
+            Err(decision) => return (decision, none),
+        };
+        match s2_parts(
+            &cfg,
+            a,
+            item.chain_index,
+            &item.key,
+            item.seq,
+            item.path,
+            item.payload,
+            now,
+        ) {
+            Err(reason) => (RelayDecision::Drop(reason), none),
+            Ok(S2Outcome::Unverified) => (RelayDecision::Forward, none),
+            Ok(S2Outcome::Verified { is_fwd, close }) => {
+                if close {
+                    self.assocs.remove(&assoc_id);
+                }
+                (
+                    RelayDecision::Forward,
+                    RelayViewOutcome {
+                        verified_s2: Some((is_fwd, item.seq)),
+                        ..RelayViewOutcome::default()
+                    },
+                )
+            }
+        }
+    }
+
+    /// A control-free run: prepare every packet sequentially, compute all
+    /// deferred digests in batched sweeps, then finish sequentially.
+    fn s2_run(
+        &mut self,
+        assoc_id: u64,
+        run: &[S2BatchItem<'_>],
+        now: Timestamp,
+        out: &mut Vec<(RelayDecision, RelayViewOutcome)>,
+    ) {
+        let cfg = self.cfg;
+        let none = RelayViewOutcome::default;
+        // Phase 1: sequential prepare. `decided` holds packets resolved
+        // without crypto; `checks` the deferred comparisons.
+        let mut decided: Vec<Option<RelayDecision>> = Vec::with_capacity(run.len());
+        let mut checks: Vec<Option<(bool, S2Check)>> = Vec::with_capacity(run.len());
+        for item in run {
+            match self.data_assoc(assoc_id, item.alg) {
+                Err(decision) => {
+                    decided.push(Some(decision));
+                    checks.push(None);
+                }
+                Ok(a) => match s2_prepare(
+                    &cfg,
+                    a,
+                    item.chain_index,
+                    &item.key,
+                    item.seq,
+                    item.path.len(),
+                ) {
+                    Err(reason) => {
+                        decided.push(Some(RelayDecision::Drop(reason)));
+                        checks.push(None);
+                    }
+                    Ok(S2Prepared::Unverified) => {
+                        decided.push(Some(RelayDecision::Forward));
+                        checks.push(None);
+                    }
+                    Ok(S2Prepared::Check { is_fwd, check }) => {
+                        decided.push(None);
+                        checks.push(Some((is_fwd, check)));
+                    }
+                },
+            }
+        }
+        // Phase 2: batched crypto. All checked packets share the
+        // association's algorithm (data_assoc enforced it), so HMAC keys
+        // are same-length and `mac_parts_batch` applies; Merkle leaf
+        // hashes batch through `digest_batch` before the scalar path walk.
+        // No association ⇒ every packet was decided in phase 1 and no
+        // crypto job exists, so the fallback value is never used.
+        let alg = self
+            .assocs
+            .get(&assoc_id)
+            .map_or(Algorithm::Sha1, |a| a.alg);
+        let mut passed = vec![false; run.len()];
+        let mut mac_idx: Vec<usize> = Vec::new();
+        let mut leaf_idx: Vec<usize> = Vec::new();
+        for (k, check) in checks.iter().enumerate() {
+            match check {
+                Some((_, S2Check::Mac { .. })) => mac_idx.push(k),
+                Some((_, S2Check::Keyed { .. })) => leaf_idx.push(k),
+                None => {}
+            }
+        }
+        if !mac_idx.is_empty() {
+            match cfg.mac_scheme {
+                MacScheme::Hmac => {
+                    let seq_be: Vec<[u8; 4]> =
+                        mac_idx.iter().map(|&k| run[k].seq.to_be_bytes()).collect();
+                    let parts: Vec<[&[u8]; 2]> = mac_idx
+                        .iter()
+                        .zip(&seq_be)
+                        .map(|(&k, s)| [s.as_slice(), run[k].payload])
+                        .collect();
+                    let msgs: Vec<&[&[u8]]> = parts.iter().map(|p| p.as_slice()).collect();
+                    let keys: Vec<&[u8]> = mac_idx.iter().map(|&k| run[k].key.as_bytes()).collect();
+                    let mut macs = vec![Digest::zero(alg); mac_idx.len()];
+                    alpha_crypto::backend::mac_parts_batch(alg, &keys, &msgs, &mut macs);
+                    for (&k, mac) in mac_idx.iter().zip(&macs) {
+                        let Some((_, S2Check::Mac { expected })) = &checks[k] else {
+                            unreachable!("index collected from a Mac check");
+                        };
+                        passed[k] = alpha_crypto::ct_eq(mac.as_bytes(), expected.as_bytes());
+                    }
+                }
+                MacScheme::Prefix => {
+                    for &k in &mac_idx {
+                        let Some((_, check)) = &checks[k] else {
+                            unreachable!("index collected from a check");
+                        };
+                        passed[k] = s2_check_passes(
+                            &cfg,
+                            alg,
+                            &run[k].key,
+                            run[k].seq,
+                            run[k].path,
+                            run[k].payload,
+                            check,
+                        );
+                    }
+                }
+            }
+        }
+        if !leaf_idx.is_empty() {
+            let payloads: Vec<&[u8]> = leaf_idx.iter().map(|&k| run[k].payload).collect();
+            let mut leaves = vec![Digest::zero(alg); leaf_idx.len()];
+            alpha_crypto::backend::digest_batch(alg, &payloads, &mut leaves);
+            for (&k, leaf) in leaf_idx.iter().zip(&leaves) {
+                let Some((_, S2Check::Keyed { root, leaf_index })) = &checks[k] else {
+                    unreachable!("index collected from a Keyed check");
+                };
+                let computed =
+                    merkle::keyed_root_from_path(alg, &run[k].key, leaf, *leaf_index, run[k].path);
+                passed[k] = alpha_crypto::ct_eq(computed.as_bytes(), root.as_bytes());
+            }
+        }
+        // Phase 3: sequential finish, in input order.
+        for (k, item) in run.iter().enumerate() {
+            if let Some(decision) = decided[k].take() {
+                out.push((decision, none()));
+                continue;
+            }
+            let Some(&(is_fwd, _)) = checks[k].as_ref() else {
+                unreachable!("undecided packets carry a check");
+            };
+            if !passed[k] {
+                out.push((RelayDecision::Drop(DropReason::BadMac), none()));
+                continue;
+            }
+            // Allowlist: a packet reaches here only if phase 1 found the
+            // association, and nothing in a control-free run removes it.
+            let a = self.assocs.get_mut(&assoc_id).expect("present in phase 1");
+            match s2_finish(&cfg, a, is_fwd, item.payload, now) {
+                Err(reason) => out.push((RelayDecision::Drop(reason), none())),
+                Ok(S2Outcome::Unverified) => out.push((RelayDecision::Forward, none())),
+                Ok(S2Outcome::Verified { is_fwd, close }) => {
+                    if close {
+                        self.assocs.remove(&assoc_id);
+                    }
+                    out.push((
+                        RelayDecision::Forward,
+                        RelayViewOutcome {
+                            verified_s2: Some((is_fwd, item.seq)),
+                            ..RelayViewOutcome::default()
+                        },
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Borrowed fields of one S2 packet queued for [`Relay::observe_s2_batch`].
+pub struct S2BatchItem<'a> {
+    /// Hash algorithm from the packet header.
+    pub alg: Algorithm,
+    /// Chain index from the packet header.
+    pub chain_index: u64,
+    /// Disclosed MAC-key chain element.
+    pub key: Digest,
+    /// Message sequence number within its bundle.
+    pub seq: u32,
+    /// Merkle authentication path (empty for Base/ALPHA-C).
+    pub path: &'a [Digest],
+    /// Borrowed payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// True when a payload could carry a relay-visible control message (a
+/// signal or a chain renewal, both magic-prefixed). Such packets change
+/// relay state when verified, so the batch path orders them with a
+/// single-shot barrier; false positives (malformed control payloads) only
+/// cost the batching, never correctness.
+fn carries_control(payload: &[u8]) -> bool {
+    payload.starts_with(crate::signal::MAGIC) || payload.starts_with(crate::renewal::MAGIC)
 }
 
 /// Buffer an S1's pre-signature for later S2 verification (owned body).
@@ -769,20 +1020,52 @@ enum S2Outcome {
     },
 }
 
-/// The S2 verification logic shared by the owned and borrowed observe
-/// paths. Takes slices end-to-end: no allocation happens here regardless
-/// of which decode produced the fields.
-#[allow(clippy::too_many_arguments)] // one call site per decode path
-fn s2_parts(
+/// The one cryptographic comparison an S2 still owes after
+/// [`s2_prepare`] — everything needed to run it detached from the
+/// association borrow, so a caller can compute many checks in one
+/// batched sweep.
+enum S2Check {
+    /// Recompute the per-message MAC and compare with the buffered one.
+    Mac {
+        /// MAC buffered from the S1 pre-signature for this sequence number.
+        expected: Digest,
+    },
+    /// Recompute the keyed Merkle root from the payload leaf and its
+    /// authentication path.
+    Keyed {
+        /// Keyed root buffered from the S1 pre-signature.
+        root: Digest,
+        /// Leaf index within the (per-tree) leaf range.
+        leaf_index: usize,
+    },
+}
+
+/// Result of the pre-crypto phase of S2 processing.
+enum S2Prepared {
+    /// No matching exchange and policy forwards unverified traffic.
+    Unverified,
+    /// Chain-accepted and structurally valid; the crypto check is pending.
+    Check {
+        /// Direction: true = initiator→responder.
+        is_fwd: bool,
+        /// The deferred comparison.
+        check: S2Check,
+    },
+}
+
+/// Phase 1 of S2 processing: direction match, chain-element
+/// authentication, and structural checks against the buffered
+/// pre-signature. Mirrors the original single-shot flow exactly — in
+/// particular the chain verifier advances *before* the MAC/Merkle check
+/// runs, so deferring the crypto to a batch changes nothing observable.
+fn s2_prepare(
     cfg: &RelayConfig,
     a: &mut RelayAssociation,
     chain_index: u64,
     key: &Digest,
     seq: u32,
-    path: &[Digest],
-    payload: &[u8],
-    now: Timestamp,
-) -> Result<S2Outcome, DropReason> {
+    path_len: usize,
+) -> Result<S2Prepared, DropReason> {
     let alg = a.alg;
     let matches_dir = |d: &DirectionState| {
         if d.exchange
@@ -807,7 +1090,7 @@ fn s2_parts(
     } else if cfg.drop_unsolicited {
         return Err(DropReason::Unsolicited);
     } else {
-        return Ok(S2Outcome::Unverified);
+        return Ok(S2Prepared::Unverified);
     };
     // Authenticate the disclosed key: through the tracker for
     // the current exchange, or via one forward derivation to
@@ -845,18 +1128,24 @@ fn s2_parts(
     } else {
         dir.prev_exchange.as_ref().expect("matched above")
     };
-    let valid = match &ex.presig {
+    let check = match &ex.presig {
         RelayPresig::Macs(macs) => {
-            (seq as usize) < macs.len() && {
-                let mac = message_mac(alg, cfg.mac_scheme, key, seq, payload);
-                alpha_crypto::ct_eq(mac.as_bytes(), macs[seq as usize].as_bytes())
+            if (seq as usize) >= macs.len() {
+                return Err(DropReason::BadMac);
+            }
+            S2Check::Mac {
+                expected: macs[seq as usize],
             }
         }
         RelayPresig::Root { root, leaves } => {
             let expected_depth = merkle::log2_ceil(u64::from(*leaves).max(1)) as usize;
-            (seq as usize) < *leaves as usize
-                && path.len() == expected_depth
-                && merkle::verify_keyed(alg, key, &alg.hash(payload), seq as usize, path, root)
+            if (seq as usize) >= *leaves as usize || path_len != expected_depth {
+                return Err(DropReason::BadMac);
+            }
+            S2Check::Keyed {
+                root: *root,
+                leaf_index: seq as usize,
+            }
         }
         RelayPresig::Forest {
             trees,
@@ -864,18 +1153,56 @@ fn s2_parts(
         } => {
             let t = seq as usize / leaves_per_tree;
             let j = seq as usize % leaves_per_tree;
-            t < trees.len() && {
-                let tree = &trees[t];
-                let expected_depth = merkle::log2_ceil(u64::from(tree.leaves).max(1)) as usize;
-                j < tree.leaves as usize
-                    && path.len() == expected_depth
-                    && merkle::verify_keyed(alg, key, &alg.hash(payload), j, path, &tree.root)
+            if t >= trees.len() {
+                return Err(DropReason::BadMac);
+            }
+            let tree = &trees[t];
+            let expected_depth = merkle::log2_ceil(u64::from(tree.leaves).max(1)) as usize;
+            if j >= tree.leaves as usize || path_len != expected_depth {
+                return Err(DropReason::BadMac);
+            }
+            S2Check::Keyed {
+                root: tree.root,
+                leaf_index: j,
             }
         }
     };
-    if !valid {
-        return Err(DropReason::BadMac);
+    Ok(S2Prepared::Check { is_fwd, check })
+}
+
+/// Phase 2 of S2 processing, scalar form: run the deferred comparison
+/// for one packet. The batch path computes the same digests through the
+/// lane-parallel backend instead.
+fn s2_check_passes(
+    cfg: &RelayConfig,
+    alg: Algorithm,
+    key: &Digest,
+    seq: u32,
+    path: &[Digest],
+    payload: &[u8],
+    check: &S2Check,
+) -> bool {
+    match check {
+        S2Check::Mac { expected } => {
+            let mac = message_mac(alg, cfg.mac_scheme, key, seq, payload);
+            alpha_crypto::ct_eq(mac.as_bytes(), expected.as_bytes())
+        }
+        S2Check::Keyed { root, leaf_index } => {
+            merkle::verify_keyed(alg, key, &alg.hash(payload), *leaf_index, path, root)
+        }
     }
+}
+
+/// Phase 3 of S2 processing: rate caps, control signals, and chain
+/// renewal for a packet whose crypto check passed.
+fn s2_finish(
+    cfg: &RelayConfig,
+    a: &mut RelayAssociation,
+    is_fwd: bool,
+    payload: &[u8],
+    now: Timestamp,
+) -> Result<S2Outcome, DropReason> {
+    let alg = a.alg;
     // Enforce a signalled payload-rate cap on this direction.
     let cap = if is_fwd {
         &mut a.data_cap_fwd
@@ -931,6 +1258,33 @@ fn s2_parts(
         is_fwd,
         close: false,
     })
+}
+
+/// The S2 verification logic shared by the owned and borrowed observe
+/// paths, recomposed from the three phases. Takes slices end-to-end: no
+/// allocation happens here regardless of which decode produced the
+/// fields.
+#[allow(clippy::too_many_arguments)] // one call site per decode path
+fn s2_parts(
+    cfg: &RelayConfig,
+    a: &mut RelayAssociation,
+    chain_index: u64,
+    key: &Digest,
+    seq: u32,
+    path: &[Digest],
+    payload: &[u8],
+    now: Timestamp,
+) -> Result<S2Outcome, DropReason> {
+    let alg = a.alg;
+    match s2_prepare(cfg, a, chain_index, key, seq, path.len())? {
+        S2Prepared::Unverified => Ok(S2Outcome::Unverified),
+        S2Prepared::Check { is_fwd, check } => {
+            if !s2_check_passes(cfg, alg, key, seq, path, payload, &check) {
+                return Err(DropReason::BadMac);
+            }
+            s2_finish(cfg, a, is_fwd, payload, now)
+        }
+    }
 }
 
 /// The A2 verification logic shared by the owned and borrowed observe

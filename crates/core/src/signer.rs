@@ -222,11 +222,31 @@ impl SignerChannel {
         let alg = self.cfg.algorithm;
         let (presig, trees, leaves_per_tree) = match mode {
             Mode::Base | Mode::Cumulative => {
-                let macs = messages
-                    .iter()
-                    .enumerate()
-                    .map(|(seq, m)| message_mac(alg, self.cfg.mac_scheme, &key, seq as u32, m))
-                    .collect();
+                let macs = match self.cfg.mac_scheme {
+                    MacScheme::Hmac => {
+                        // Every MAC of the bundle shares the chain-element
+                        // key, so the whole pre-signature hashes in batched
+                        // lane sweeps (byte-identical to `message_mac`).
+                        let seq_be: Vec<[u8; 4]> = (0..messages.len() as u32)
+                            .map(|s| s.to_be_bytes())
+                            .collect();
+                        let parts: Vec<[&[u8]; 2]> = seq_be
+                            .iter()
+                            .zip(messages)
+                            .map(|(s, m)| [s.as_slice(), *m])
+                            .collect();
+                        let msgs: Vec<&[&[u8]]> = parts.iter().map(|p| p.as_slice()).collect();
+                        let keys: Vec<&[u8]> = vec![key.as_bytes(); messages.len()];
+                        let mut macs = vec![Digest::zero(alg); messages.len()];
+                        alpha_crypto::backend::mac_parts_batch(alg, &keys, &msgs, &mut macs);
+                        macs
+                    }
+                    MacScheme::Prefix => messages
+                        .iter()
+                        .enumerate()
+                        .map(|(seq, m)| message_mac(alg, MacScheme::Prefix, &key, seq as u32, m))
+                        .collect(),
+                };
                 (PreSignature::Cumulative(macs), Vec::new(), 1)
             }
             Mode::Merkle => {

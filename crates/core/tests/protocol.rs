@@ -375,6 +375,99 @@ fn relay_learns_forwards_and_extracts() {
     bob.handle(&s2, T0, &mut r).unwrap();
 }
 
+/// The batched S2 verification path must be decision-for-decision
+/// identical to packet-by-packet observation: same forwards, same drops,
+/// same verified-payload outcomes, including a tampered packet mid-run
+/// and a control (signal) payload that forms a single-shot barrier.
+#[test]
+fn relay_s2_batch_matches_sequential() {
+    use alpha_core::signal::Signal;
+    use alpha_core::S2BatchItem;
+    use alpha_wire::PacketView;
+
+    for mode in [Mode::Cumulative, Mode::Merkle] {
+        let c = cfg(Algorithm::Sha256);
+        let mut r = rng(77);
+        let mut relay_seq = Relay::new(RelayConfig::default());
+        let mut relay_bat = Relay::new(RelayConfig::default());
+        let (hs, init_pkt) = bootstrap::initiate(c, 9, None, &mut r);
+        let (mut bob, reply_pkt, _) =
+            bootstrap::respond(c, &init_pkt, None, AuthRequirement::None, &mut r).unwrap();
+        let (mut alice, _) = hs.complete(&reply_pkt, AuthRequirement::None).unwrap();
+
+        // Exchange A: a four-message bundle. Exchange B: a rate-limit
+        // signal, whose S2 payload is magic-prefixed control data.
+        let msgs: Vec<Vec<u8>> = (0..4)
+            .map(|i| format!("batched {i}").into_bytes())
+            .collect();
+        let refs: Vec<&[u8]> = msgs.iter().map(Vec::as_slice).collect();
+        let s1a = alice.sign_batch(&refs, mode, T0).unwrap();
+        let a1a = bob.handle(&s1a, T0, &mut r).unwrap().packet().unwrap();
+        let mut s2s = alice.handle(&a1a, T0, &mut r).unwrap().packets;
+        let s1b = alice
+            .send_signal(&Signal::RateLimit { bytes_per_sec: 512 }, T0)
+            .unwrap();
+        let a1b = bob.handle(&s1b, T0, &mut r).unwrap().packet().unwrap();
+        let s2b = alice.handle(&a1b, T0, &mut r).unwrap().packets.remove(0);
+        for relay in [&mut relay_seq, &mut relay_bat] {
+            for pkt in [&init_pkt, &reply_pkt, &s1a, &a1a, &s1b, &a1b] {
+                assert_eq!(relay.observe(pkt, T0).0, RelayDecision::Forward);
+            }
+        }
+        // Tamper one mid-run payload: exactly it must drop.
+        if let Body::S2 { payload, .. } = &mut s2s[2].body {
+            payload[0] ^= 1;
+        }
+        s2s.push(s2b);
+
+        let emitted: Vec<Vec<u8>> = s2s.iter().map(alpha_wire::Packet::emit).collect();
+        let seq_results: Vec<_> = emitted
+            .iter()
+            .map(|bytes| {
+                let view = PacketView::parse(bytes).unwrap();
+                relay_seq.observe_view(&view, bytes.len(), T0)
+            })
+            .collect();
+
+        let items: Vec<S2BatchItem<'_>> = s2s
+            .iter()
+            .map(|p| {
+                let Body::S2 {
+                    key,
+                    seq,
+                    path,
+                    payload,
+                } = &p.body
+                else {
+                    panic!("expected S2");
+                };
+                S2BatchItem {
+                    alg: p.alg,
+                    chain_index: p.chain_index,
+                    key: *key,
+                    seq: *seq,
+                    path,
+                    payload,
+                }
+            })
+            .collect();
+        let bat_results = relay_bat.observe_s2_batch(9, &items, T0);
+        assert_eq!(seq_results, bat_results, "mode {mode:?}");
+        assert_eq!(
+            bat_results[2].0,
+            RelayDecision::Drop(DropReason::BadMac),
+            "mode {mode:?}"
+        );
+        let forwarded = bat_results
+            .iter()
+            .filter(|(d, _)| *d == RelayDecision::Forward)
+            .count();
+        assert_eq!(forwarded, 4, "mode {mode:?}");
+        // The signal rode last and still verified through the barrier.
+        assert!(bat_results[4].1.verified_s2.is_some(), "mode {mode:?}");
+    }
+}
+
 #[test]
 fn relay_drops_tampered_s2() {
     let (mut alice, mut bob, mut relay, mut r) = relayed_pair(cfg(Algorithm::Sha1), 21);

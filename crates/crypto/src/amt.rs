@@ -87,12 +87,16 @@ impl AckMerkleTree {
             rng.fill_bytes(&mut s);
             secrets.push(s);
         }
-        let leaves: Vec<Digest> = (0..2 * n)
-            .map(|i| {
-                let x = (i % n) as u32;
-                leaf_digest(alg, x, &secrets[i])
-            })
+        // Leaf hashing is embarrassingly parallel: batch `H(x | secret)`
+        // across lanes (byte-identical to the scalar `leaf_digest` loop).
+        let xs: Vec<[u8; 4]> = (0..2 * n).map(|i| ((i % n) as u32).to_be_bytes()).collect();
+        let jobs: Vec<crate::backend::PartsRef<'_>> = xs
+            .iter()
+            .zip(secrets.iter())
+            .map(|(x, s)| crate::backend::PartsRef::new(&[x, s]))
             .collect();
+        let mut leaves = vec![Digest::zero(alg); 2 * n];
+        crate::backend::hash_parts_lanes(alg, &jobs, &mut leaves);
         let tree = MerkleTree::build(alg, &leaves);
         AckMerkleTree {
             alg,

@@ -1,0 +1,701 @@
+//! Runtime-dispatched digest backends and batch hashing APIs.
+//!
+//! ALPHA's steady-state cost is almost entirely hash compressions (§5 of the
+//! paper), so this module lets the crate pick the fastest implementation the
+//! host CPU offers — once, at startup — and exposes *batch* entry points for
+//! the call sites that hash many independent short inputs (HMAC
+//! pre-signatures, Merkle levels, chain walks, relay S2 verification).
+//!
+//! Three tiers exist:
+//!
+//! - [`BackendKind::ShaNi`] — x86_64 SHA extension instructions for SHA-1 and
+//!   SHA-256, selected only when `is_x86_feature_detected!` proves support.
+//!   All `unsafe` lives in the feature-gated `shani` module.
+//! - [`BackendKind::Lanes4`] — a portable 4-lane interleaved scalar
+//!   implementation ([`crate::multilane`]): four independent messages walk
+//!   the compression function in lockstep over `[u32; 4]` words, which the
+//!   compiler autovectorizes. Only batch calls benefit; single-stream hashing
+//!   falls through to scalar code.
+//! - [`BackendKind::Scalar`] — the original from-scratch code, the universal
+//!   fallback and the reference every other backend must match bit for bit.
+//!
+//! Selection order is SHA-NI > 4-lane > scalar, overridable for testing via
+//! the `ALPHA_DIGEST_BACKEND` environment variable (`scalar`, `lanes4`,
+//! `sha-ni`, or `auto`). An unsupported or unknown override logs a warning to
+//! stderr and falls back to auto-detection. MMO/AES is untouched by backend
+//! selection: it is a 16-byte-block cipher construction with no wide-lane
+//! variant here, and always runs the scalar path.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::{counting, Algorithm, Digest};
+
+/// Identifies one of the compiled-in digest backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Portable scalar code; always available, the correctness reference.
+    Scalar,
+    /// Portable 4-lane interleaved scalar implementation; always available,
+    /// accelerates batch calls only.
+    Lanes4,
+    /// x86_64 SHA-NI intrinsics; available only when the CPU advertises the
+    /// `sha` feature (plus SSSE3/SSE4.1 for the byte shuffles).
+    ShaNi,
+}
+
+impl BackendKind {
+    /// Stable lowercase name, as accepted by `ALPHA_DIGEST_BACKEND` and
+    /// reported in `engine stats` / BENCH_*.json outputs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Lanes4 => "lanes4",
+            BackendKind::ShaNi => "sha-ni",
+        }
+    }
+
+    /// Parse a backend name (the inverse of [`BackendKind::name`]).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<BackendKind> {
+        match name {
+            "scalar" => Some(BackendKind::Scalar),
+            "lanes4" => Some(BackendKind::Lanes4),
+            "sha-ni" | "shani" => Some(BackendKind::ShaNi),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current CPU.
+    #[must_use]
+    pub fn is_supported(self) -> bool {
+        match self {
+            BackendKind::Scalar | BackendKind::Lanes4 => true,
+            BackendKind::ShaNi => sha_ni_detected(),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn sha_ni_detected() -> bool {
+    crate::shani::sha_ni_detected()
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn sha_ni_detected() -> bool {
+    false
+}
+
+/// Backends usable on this CPU, in increasing preference order.
+#[must_use]
+pub fn available() -> Vec<BackendKind> {
+    let mut v = vec![BackendKind::Scalar, BackendKind::Lanes4];
+    if BackendKind::ShaNi.is_supported() {
+        v.push(BackendKind::ShaNi);
+    }
+    v
+}
+
+/// What auto-detection would pick on this CPU (ignoring the env override).
+#[must_use]
+pub fn detect() -> BackendKind {
+    if sha_ni_detected() {
+        BackendKind::ShaNi
+    } else {
+        BackendKind::Lanes4
+    }
+}
+
+// 0 = not yet resolved; otherwise BackendKind discriminant + 1.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn code(kind: BackendKind) -> u8 {
+    match kind {
+        BackendKind::Scalar => 1,
+        BackendKind::Lanes4 => 2,
+        BackendKind::ShaNi => 3,
+    }
+}
+
+/// The backend in effect for all hashing in this process.
+///
+/// Resolved once on first use: `ALPHA_DIGEST_BACKEND` if set and valid,
+/// otherwise [`detect`]. Subsequent calls are a single relaxed atomic load.
+#[must_use]
+pub fn active() -> BackendKind {
+    match ACTIVE.load(Ordering::Relaxed) {
+        1 => BackendKind::Scalar,
+        2 => BackendKind::Lanes4,
+        3 => BackendKind::ShaNi,
+        _ => {
+            let kind = resolve();
+            ACTIVE.store(code(kind), Ordering::Relaxed);
+            kind
+        }
+    }
+}
+
+fn resolve() -> BackendKind {
+    match std::env::var("ALPHA_DIGEST_BACKEND") {
+        Ok(raw) => {
+            let name = raw.trim().to_ascii_lowercase();
+            if name.is_empty() || name == "auto" {
+                return detect();
+            }
+            match BackendKind::parse(&name) {
+                Some(kind) if kind.is_supported() => kind,
+                Some(kind) => {
+                    eprintln!(
+                        "alpha-crypto: ALPHA_DIGEST_BACKEND={} not supported on this CPU; \
+                         falling back to {}",
+                        kind.name(),
+                        detect().name()
+                    );
+                    detect()
+                }
+                None => {
+                    eprintln!(
+                        "alpha-crypto: unknown ALPHA_DIGEST_BACKEND={raw:?} \
+                         (expected scalar|lanes4|sha-ni|auto); falling back to {}",
+                        detect().name()
+                    );
+                    detect()
+                }
+            }
+        }
+        Err(_) => detect(),
+    }
+}
+
+/// Error returned by [`force`] for a backend the CPU cannot run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedBackend(
+    /// The backend that was requested.
+    pub BackendKind,
+);
+
+impl std::fmt::Display for UnsupportedBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "digest backend {} not supported on this CPU", self.0)
+    }
+}
+
+impl std::error::Error for UnsupportedBackend {}
+
+/// Force the process-wide backend. Intended for benches and tests that
+/// compare tiers in one process; production code should rely on [`active`]'s
+/// one-time detection. All backends produce identical digests, so switching
+/// mid-flight is safe (it only changes which implementation runs).
+pub fn force(kind: BackendKind) -> Result<(), UnsupportedBackend> {
+    if !kind.is_supported() {
+        return Err(UnsupportedBackend(kind));
+    }
+    ACTIVE.store(code(kind), Ordering::Relaxed);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Block-compression dispatch (used by the streaming Sha1/Sha256 contexts).
+// ---------------------------------------------------------------------------
+
+/// Compress `blocks` (length a multiple of 64) into `state` with the active
+/// backend.
+pub(crate) fn sha1_compress(state: &mut [u32; 5], blocks: &[u8]) {
+    sha1_compress_with(active(), state, blocks);
+}
+
+/// Compress `blocks` (length a multiple of 64) into `state` with the active
+/// backend.
+pub(crate) fn sha256_compress(state: &mut [u32; 8], blocks: &[u8]) {
+    sha256_compress_with(active(), state, blocks);
+}
+
+pub(crate) fn sha1_compress_with(kind: BackendKind, state: &mut [u32; 5], blocks: &[u8]) {
+    debug_assert_eq!(blocks.len() % 64, 0);
+    #[cfg(target_arch = "x86_64")]
+    if kind == BackendKind::ShaNi {
+        crate::shani::sha1_compress(state, blocks);
+        return;
+    }
+    let _ = kind;
+    for block in blocks.chunks_exact(64) {
+        // Allowlist: chunks_exact(64) yields exactly 64-byte slices.
+        let block: &[u8; 64] = block.try_into().expect("chunks_exact(64)");
+        crate::sha1::compress_block(state, block);
+    }
+}
+
+pub(crate) fn sha256_compress_with(kind: BackendKind, state: &mut [u32; 8], blocks: &[u8]) {
+    debug_assert_eq!(blocks.len() % 64, 0);
+    #[cfg(target_arch = "x86_64")]
+    if kind == BackendKind::ShaNi {
+        crate::shani::sha256_compress(state, blocks);
+        return;
+    }
+    let _ = kind;
+    for block in blocks.chunks_exact(64) {
+        // Allowlist: chunks_exact(64) yields exactly 64-byte slices.
+        let block: &[u8; 64] = block.try_into().expect("chunks_exact(64)");
+        crate::sha256::compress_block(state, block);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-part inputs: the shared "logical message" view for batch hashing.
+// ---------------------------------------------------------------------------
+
+/// Maximum number of byte-string parts one batched input may concatenate.
+/// Everything ALPHA hashes is a short concatenation: chain steps are
+/// `tag | prev` (2), tree nodes `left | right` (2), keyed roots
+/// `key | b0 | b1` (3), HMAC passes `pad_key | seq | msg` (3).
+pub(crate) const MAX_PARTS: usize = 4;
+
+/// A borrowed logical message: the concatenation of up to [`MAX_PARTS`]
+/// byte strings, with Merkle–Damgård block/padding production so lane
+/// implementations can pull padded 64-byte blocks without allocating.
+#[derive(Clone, Copy)]
+pub(crate) struct PartsRef<'a> {
+    parts: [&'a [u8]; MAX_PARTS],
+    n: usize,
+    len: usize,
+}
+
+impl<'a> PartsRef<'a> {
+    pub(crate) fn new(parts: &[&'a [u8]]) -> PartsRef<'a> {
+        assert!(parts.len() <= MAX_PARTS, "too many message parts");
+        let mut p: [&[u8]; MAX_PARTS] = [&[]; MAX_PARTS];
+        p[..parts.len()].copy_from_slice(parts);
+        PartsRef {
+            parts: p,
+            n: parts.len(),
+            len: parts.iter().map(|s| s.len()).sum(),
+        }
+    }
+
+    pub(crate) fn one(data: &'a [u8]) -> PartsRef<'a> {
+        PartsRef::new(&[data])
+    }
+
+    pub(crate) fn total_len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of 64-byte blocks in the padded message (data + 0x80 + length).
+    pub(crate) fn num_blocks64(&self) -> usize {
+        (self.len + 9).div_ceil(64)
+    }
+
+    /// If the message is a single contiguous slice, return it.
+    pub(crate) fn contiguous(&self) -> Option<&'a [u8]> {
+        if self.n == 1 {
+            Some(self.parts[0])
+        } else {
+            None
+        }
+    }
+
+    fn read_at(&self, mut offset: usize, out: &mut [u8]) {
+        let mut written = 0;
+        for part in &self.parts[..self.n] {
+            if written == out.len() {
+                break;
+            }
+            if offset >= part.len() {
+                offset -= part.len();
+                continue;
+            }
+            let take = (part.len() - offset).min(out.len() - written);
+            out[written..written + take].copy_from_slice(&part[offset..offset + take]);
+            written += take;
+            offset = 0;
+        }
+        debug_assert_eq!(written, out.len());
+    }
+
+    /// Materialize padded block `idx` (of [`PartsRef::num_blocks64`]).
+    pub(crate) fn fill_block64(&self, idx: usize, out: &mut [u8; 64]) {
+        out.fill(0);
+        let start = idx * 64;
+        if start < self.len {
+            let n = (self.len - start).min(64);
+            self.read_at(start, &mut out[..n]);
+        }
+        if (start..start + 64).contains(&self.len) {
+            out[self.len - start] = 0x80;
+        }
+        if idx + 1 == self.num_blocks64() {
+            out[56..].copy_from_slice(&((self.len as u64) * 8).to_be_bytes());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch digest / MAC APIs.
+// ---------------------------------------------------------------------------
+
+/// Hash many independent inputs with the active backend.
+///
+/// Byte-identical to calling [`Algorithm::hash`] per input (and records the
+/// same per-invocation instrumentation in [`crate::counting`]), but lets a
+/// lane-parallel backend process up to four inputs per compression sweep.
+///
+/// # Panics
+/// Panics if `inputs.len() != out.len()`.
+pub fn digest_batch(alg: Algorithm, inputs: &[&[u8]], out: &mut [Digest]) {
+    digest_batch_using(active(), alg, inputs, out);
+}
+
+/// [`digest_batch`] with an explicit backend; for benches and equivalence
+/// tests that compare tiers without touching process-global state.
+///
+/// # Panics
+/// Panics if `inputs.len() != out.len()` or `kind` is unsupported here.
+pub fn digest_batch_using(kind: BackendKind, alg: Algorithm, inputs: &[&[u8]], out: &mut [Digest]) {
+    assert_eq!(inputs.len(), out.len(), "digest_batch length mismatch");
+    assert!(kind.is_supported(), "backend {kind} not supported");
+    match alg {
+        Algorithm::MmoAes => {
+            for (input, slot) in inputs.iter().zip(out.iter_mut()) {
+                *slot = alg.hash(input);
+            }
+        }
+        Algorithm::Sha1 | Algorithm::Sha256 => {
+            let mut i = 0;
+            while i < inputs.len() {
+                let take = (inputs.len() - i).min(LANES);
+                let mut jobs = [PartsRef::new(&[]); LANES];
+                for (j, input) in inputs[i..i + take].iter().enumerate() {
+                    jobs[j] = PartsRef::one(input);
+                }
+                hash_lanes_with(kind, alg, &jobs[..take], &mut out[i..i + take]);
+                i += take;
+            }
+        }
+    }
+}
+
+/// Lane width of the batch paths (matches the 4-lane portable backend).
+pub(crate) const LANES: usize = 4;
+
+/// Hash arbitrarily many independent multi-part messages with the active
+/// backend — the crate-internal workhorse behind Merkle level construction,
+/// lockstep chain generation, and AMT leaf hashing. Byte-identical to
+/// [`Algorithm::hash_parts`] per job, with the same counting.
+pub(crate) fn hash_parts_lanes(alg: Algorithm, jobs: &[PartsRef<'_>], out: &mut [Digest]) {
+    debug_assert_eq!(jobs.len(), out.len());
+    let kind = active();
+    let mut i = 0;
+    while i < jobs.len() {
+        let take = (jobs.len() - i).min(LANES);
+        hash_lanes_with(kind, alg, &jobs[i..i + take], &mut out[i..i + take]);
+        i += take;
+    }
+}
+
+/// Hash up to [`LANES`] multi-part messages, honoring `kind`, recording one
+/// counting invocation per message. `jobs.len() == out.len() <= LANES`.
+pub(crate) fn hash_lanes_with(
+    kind: BackendKind,
+    alg: Algorithm,
+    jobs: &[PartsRef<'_>],
+    out: &mut [Digest],
+) {
+    debug_assert!(jobs.len() <= LANES && jobs.len() == out.len());
+    match alg {
+        Algorithm::MmoAes => {
+            // No lane variant for the MMO construction: scalar per message.
+            for (job, slot) in jobs.iter().zip(out.iter_mut()) {
+                let mut h = crate::Hasher::new(alg);
+                for p in &job.parts[..job.n] {
+                    h.update(p);
+                }
+                *slot = h.finish();
+            }
+            return;
+        }
+        Algorithm::Sha1 | Algorithm::Sha256 => {}
+    }
+    // Lane-parallel only pays off with >1 message on the portable tier.
+    if kind == BackendKind::Lanes4 && jobs.len() > 1 {
+        match alg {
+            Algorithm::Sha1 => crate::multilane::sha1_lanes(jobs, out),
+            Algorithm::Sha256 => crate::multilane::sha256_lanes(jobs, out),
+            Algorithm::MmoAes => unreachable!(),
+        }
+        for job in jobs {
+            counting::record(alg, job.total_len());
+        }
+        return;
+    }
+    for (job, slot) in jobs.iter().zip(out.iter_mut()) {
+        *slot = hash_one_with(kind, alg, job);
+        counting::record(alg, job.total_len());
+    }
+}
+
+/// Single-message hash honoring an explicit backend (no counting).
+fn hash_one_with(kind: BackendKind, alg: Algorithm, job: &PartsRef<'_>) -> Digest {
+    match alg {
+        Algorithm::Sha1 => {
+            let mut state = crate::sha1::INIT;
+            run_blocks64(kind, alg, &mut state_adapter_sha1(&mut state), job);
+            let mut bytes = [0u8; 20];
+            for (i, word) in state.iter().enumerate() {
+                bytes[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+            }
+            Digest::from_slice(&bytes)
+        }
+        Algorithm::Sha256 => {
+            let mut state = crate::sha256::INIT;
+            run_blocks64(kind, alg, &mut state_adapter_sha256(&mut state), job);
+            let mut bytes = [0u8; 32];
+            for (i, word) in state.iter().enumerate() {
+                bytes[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+            }
+            Digest::from_slice(&bytes)
+        }
+        Algorithm::MmoAes => unreachable!("MMO handled by caller"),
+    }
+}
+
+// Small adapter so `run_blocks64` can drive either SHA state width without
+// generics over the two compress signatures.
+enum ShaState<'s> {
+    Sha1(&'s mut [u32; 5]),
+    Sha256(&'s mut [u32; 8]),
+}
+
+fn state_adapter_sha1(state: &mut [u32; 5]) -> ShaState<'_> {
+    ShaState::Sha1(state)
+}
+
+fn state_adapter_sha256(state: &mut [u32; 8]) -> ShaState<'_> {
+    ShaState::Sha256(state)
+}
+
+fn run_blocks64(kind: BackendKind, _alg: Algorithm, state: &mut ShaState<'_>, job: &PartsRef<'_>) {
+    let compress = |state: &mut ShaState<'_>, blocks: &[u8]| match state {
+        ShaState::Sha1(s) => sha1_compress_with(kind, s, blocks),
+        ShaState::Sha256(s) => sha256_compress_with(kind, s, blocks),
+    };
+    let nblocks = job.num_blocks64();
+    let mut next = 0usize;
+    if let Some(data) = job.contiguous() {
+        // Fast path: compress the contiguous full blocks directly, then only
+        // materialize the 1-2 padding blocks.
+        let full = data.len() / 64;
+        if full > 0 {
+            compress(state, &data[..full * 64]);
+            next = full;
+        }
+    }
+    let mut block = [0u8; 64];
+    while next < nblocks {
+        job.fill_block64(next, &mut block);
+        compress(state, &block);
+        next += 1;
+    }
+}
+
+/// HMAC many messages in one call, each under its own same-length key.
+///
+/// Byte-identical to [`crate::hmac::mac`] per `(key, msg)` pair, including
+/// [`crate::counting`] instrumentation. Keys must all have the same length
+/// (in ALPHA a key is always one chain element); keys no longer than the
+/// block length get the batch path, longer keys fall back to scalar HMAC.
+///
+/// # Panics
+/// Panics if `keys`, `msgs` and `out` lengths differ, or key lengths differ.
+pub fn mac_batch(alg: Algorithm, keys: &[&[u8]], msgs: &[&[u8]], out: &mut [Digest]) {
+    assert_eq!(keys.len(), msgs.len(), "mac_batch length mismatch");
+    let jobs: Vec<[&[u8]; 1]> = msgs.iter().map(|m| [*m]).collect();
+    let jobs: Vec<&[&[u8]]> = jobs.iter().map(|p| &p[..]).collect();
+    mac_parts_batch_using(active(), alg, keys, &jobs, out);
+}
+
+/// [`mac_batch`] over multi-part messages (each message is a concatenation
+/// of up to 3 byte strings, e.g. `seq | payload`).
+pub fn mac_parts_batch(alg: Algorithm, keys: &[&[u8]], msgs: &[&[&[u8]]], out: &mut [Digest]) {
+    mac_parts_batch_using(active(), alg, keys, msgs, out);
+}
+
+/// [`mac_parts_batch`] with an explicit backend; for benches and tests.
+///
+/// # Panics
+/// Panics as [`mac_batch`], or if a message has more than 3 parts.
+pub fn mac_parts_batch_using(
+    kind: BackendKind,
+    alg: Algorithm,
+    keys: &[&[u8]],
+    msgs: &[&[&[u8]]],
+    out: &mut [Digest],
+) {
+    assert_eq!(keys.len(), msgs.len(), "mac_batch length mismatch");
+    assert_eq!(keys.len(), out.len(), "mac_batch length mismatch");
+    if keys.is_empty() {
+        return;
+    }
+    let key_len = keys[0].len();
+    assert!(
+        keys.iter().all(|k| k.len() == key_len),
+        "mac_batch requires same-length keys"
+    );
+    let block = alg.block_len();
+    if key_len > block || alg == Algorithm::MmoAes {
+        // Long keys need a pre-hash (never happens in ALPHA); MMO has no
+        // lane path. Scalar HMAC already counts per-invocation.
+        for ((key, msg), slot) in keys.iter().zip(msgs.iter()).zip(out.iter_mut()) {
+            *slot = crate::hmac::mac_parts(alg, key, msg);
+        }
+        return;
+    }
+    debug_assert_eq!(block, 64);
+    let mut i = 0;
+    while i < keys.len() {
+        let take = (keys.len() - i).min(LANES);
+        // RFC 2104 inner/outer pad keys, one 64-byte block each per lane.
+        let mut ipad = [[0x36u8; 64]; LANES];
+        let mut opad = [[0x5cu8; 64]; LANES];
+        for j in 0..take {
+            for (b, k) in keys[i + j].iter().enumerate() {
+                ipad[j][b] ^= k;
+                opad[j][b] ^= k;
+            }
+        }
+        // Inner pass: H(ipad_key | msg...).
+        let mut inner = [Digest::zero(alg); LANES];
+        let mut jobs = [PartsRef::new(&[]); LANES];
+        for j in 0..take {
+            let msg = msgs[i + j];
+            assert!(
+                msg.len() < MAX_PARTS,
+                "mac_batch message has too many parts"
+            );
+            let mut parts: [&[u8]; MAX_PARTS] = [&[]; MAX_PARTS];
+            parts[0] = &ipad[j];
+            parts[1..1 + msg.len()].copy_from_slice(msg);
+            jobs[j] = PartsRef::new(&parts[..1 + msg.len()]);
+        }
+        hash_lanes_with(kind, alg, &jobs[..take], &mut inner[..take]);
+        // Outer pass: H(opad_key | inner).
+        let mut jobs = [PartsRef::new(&[]); LANES];
+        for j in 0..take {
+            jobs[j] = PartsRef::new(&[&opad[j], inner[j].as_bytes()]);
+        }
+        hash_lanes_with(kind, alg, &jobs[..take], &mut out[i..i + take]);
+        for _ in 0..take {
+            counting::record_mac(2);
+        }
+        i += take;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in [BackendKind::Scalar, BackendKind::Lanes4, BackendKind::ShaNi] {
+            assert_eq!(BackendKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(BackendKind::parse("mystery"), None);
+    }
+
+    #[test]
+    fn available_always_has_scalar_and_lanes() {
+        let avail = available();
+        assert!(avail.contains(&BackendKind::Scalar));
+        assert!(avail.contains(&BackendKind::Lanes4));
+    }
+
+    #[test]
+    fn parts_ref_blocks_match_streaming() {
+        // fill_block64 must produce exactly the padded Merkle–Damgård
+        // stream: reassemble blocks and compare against a scalar hash of
+        // the concatenation.
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 128, 200] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 31 % 251) as u8).collect();
+            let (a, b) = data.split_at(len / 3);
+            let job = PartsRef::new(&[a, b]);
+            assert_eq!(job.total_len(), len);
+            let mut state = crate::sha256::INIT;
+            let mut block = [0u8; 64];
+            for idx in 0..job.num_blocks64() {
+                job.fill_block64(idx, &mut block);
+                crate::sha256::compress_block(&mut state, &block);
+            }
+            let mut bytes = [0u8; 32];
+            for (i, w) in state.iter().enumerate() {
+                bytes[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+            }
+            assert_eq!(&bytes, &crate::sha256::sha256(&data), "len={len}");
+        }
+    }
+
+    #[test]
+    fn digest_batch_matches_scalar_all_backends() {
+        let inputs: Vec<Vec<u8>> = (0..9)
+            .map(|i| (0..i * 23).map(|b| (b % 256) as u8).collect())
+            .collect();
+        let refs: Vec<&[u8]> = inputs.iter().map(|v| v.as_slice()).collect();
+        for alg in Algorithm::ALL {
+            let expect: Vec<Digest> = refs.iter().map(|d| alg.hash(d)).collect();
+            for kind in available() {
+                let mut got = vec![Digest::zero(alg); refs.len()];
+                digest_batch_using(kind, alg, &refs, &mut got);
+                assert_eq!(got, expect, "alg={alg} backend={kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn mac_batch_matches_scalar_all_backends() {
+        let keys: Vec<Digest> = (0..7u8).map(|i| Algorithm::Sha1.hash(&[i])).collect();
+        let key_refs: Vec<&[u8]> = keys.iter().map(|k| k.as_bytes()).collect();
+        let msgs: Vec<Vec<u8>> = (0..7)
+            .map(|i| (0..i * 17 + 3).map(|b| (b % 251) as u8).collect())
+            .collect();
+        let msg_refs: Vec<&[u8]> = msgs.iter().map(|m| m.as_slice()).collect();
+        for alg in Algorithm::ALL {
+            let expect: Vec<Digest> = key_refs
+                .iter()
+                .zip(&msg_refs)
+                .map(|(k, m)| crate::hmac::mac(alg, k, m))
+                .collect();
+            for kind in available() {
+                let jobs: Vec<[&[u8]; 1]> = msg_refs.iter().map(|m| [*m]).collect();
+                let jobs: Vec<&[&[u8]]> = jobs.iter().map(|p| &p[..]).collect();
+                let mut got = vec![Digest::zero(alg); keys.len()];
+                mac_parts_batch_using(kind, alg, &key_refs, &jobs, &mut got);
+                assert_eq!(got, expect, "alg={alg} backend={kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_counting_matches_scalar() {
+        // The Table 1 harness must see identical op counts from batch and
+        // scalar paths.
+        let inputs: Vec<&[u8]> = vec![b"one", b"two two", b"three three three", b""];
+        counting::reset();
+        for d in &inputs {
+            let _ = Algorithm::Sha256.hash(d);
+        }
+        let scalar = counting::snapshot();
+        for kind in available() {
+            counting::reset();
+            let mut out = vec![Digest::zero(Algorithm::Sha256); inputs.len()];
+            digest_batch_using(kind, Algorithm::Sha256, &inputs, &mut out);
+            let got = counting::snapshot();
+            assert_eq!(got.invocations, scalar.invocations, "backend={kind}");
+            assert_eq!(got.input_bytes, scalar.input_bytes, "backend={kind}");
+        }
+    }
+}

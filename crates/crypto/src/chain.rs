@@ -107,6 +107,9 @@ pub enum ChainError {
         /// Role the element's chain position encodes.
         actual: Role,
     },
+    /// An element index beyond the chain's length was requested
+    /// ([`HashChain::try_element`]).
+    IndexOutOfRange,
 }
 
 impl std::fmt::Display for ChainError {
@@ -122,6 +125,7 @@ impl std::fmt::Display for ChainError {
                     "chain element role {actual:?} where {expected:?} expected"
                 )
             }
+            ChainError::IndexOutOfRange => write!(f, "chain element index out of range"),
         }
     }
 }
@@ -227,6 +231,65 @@ impl HashChain {
             storage: Storage::Full(elements),
             next: len - 1,
         }
+    }
+
+    /// Deterministic generation of several chains in lockstep, hashing each
+    /// derivation step across all chains in one multi-lane sweep (see
+    /// [`crate::backend`]). Every chain shares `alg` and `len` (rounded up
+    /// to even as in [`HashChain::from_seed`]); each `specs` entry supplies
+    /// a chain's derivation kind and seed, and the output order matches
+    /// `specs`. Byte-identical to calling [`HashChain::from_seed`] per
+    /// entry — lanes change the schedule, never the derivation.
+    ///
+    /// Bootstrap is the natural caller: an association's signature and
+    /// acknowledgment chains have the same algorithm and length, so both
+    /// are produced in a single two-lane pass.
+    #[must_use]
+    pub fn from_seeds_batch(
+        alg: Algorithm,
+        len: u64,
+        specs: &[(ChainKind, &[u8])],
+    ) -> Vec<HashChain> {
+        let len = if len.is_multiple_of(2) { len } else { len + 1 };
+        assert!(len >= 2, "chain must hold at least one exchange pair");
+        let n = specs.len();
+        let seeds: Vec<&[u8]> = specs.iter().map(|(_, s)| *s).collect();
+        let mut cur = vec![Digest::zero(alg); n];
+        crate::backend::digest_batch(alg, &seeds, &mut cur);
+        let mut elements: Vec<Vec<Digest>> = cur
+            .iter()
+            .map(|h0| {
+                let mut v = Vec::with_capacity(len as usize + 1);
+                v.push(*h0); // h_0: never disclosed
+                v
+            })
+            .collect();
+        let mut next = vec![Digest::zero(alg); n];
+        for i in 1..=len {
+            let jobs: Vec<crate::backend::PartsRef<'_>> = specs
+                .iter()
+                .zip(cur.iter())
+                .map(|((kind, _), prev)| match kind.tag(i) {
+                    Some(tag) => crate::backend::PartsRef::new(&[tag, prev.as_bytes()]),
+                    None => crate::backend::PartsRef::one(prev.as_bytes()),
+                })
+                .collect();
+            crate::backend::hash_parts_lanes(alg, &jobs, &mut next);
+            for (v, d) in elements.iter_mut().zip(next.iter()) {
+                v.push(*d);
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        specs
+            .iter()
+            .zip(elements)
+            .map(|(&(kind, _), elements)| HashChain {
+                alg,
+                kind,
+                storage: Storage::Full(elements),
+                next: len - 1,
+            })
+            .collect()
     }
 
     /// Generate a chain with O(√n) checkpointed storage instead of keeping
@@ -344,7 +407,10 @@ impl HashChain {
         else {
             unreachable!("caller checked");
         };
-        assert!(index <= *len, "element index out of range");
+        // Internal invariant, not a release-mode bounds check: the only
+        // caller (`element_mut_path`) is reached through `disclose`, which
+        // maintains `next <= len`.
+        debug_assert!(index <= *len, "element index out of range");
         let levels = pebbles.len();
         // The anchor (index == len) is one step above the top segment;
         // handle it via the cursor path as well.
@@ -416,17 +482,20 @@ impl HashChain {
     /// from the nearest pebble at or below `index` (without moving the
     /// pebbles — sequential disclosure through [`HashChain::disclose`] is
     /// what maintains the amortized O(log n) bound).
-    #[must_use]
-    pub fn element(&self, index: u64) -> Digest {
-        match &self.storage {
+    ///
+    /// Returns [`ChainError::IndexOutOfRange`] when `index` exceeds
+    /// [`HashChain::len`] — the checked twin of [`HashChain::element`].
+    pub fn try_element(&self, index: u64) -> Result<Digest, ChainError> {
+        if index > self.total_len() {
+            return Err(ChainError::IndexOutOfRange);
+        }
+        Ok(match &self.storage {
             Storage::Full(e) => e[index as usize],
             Storage::Compact {
                 interval,
                 checkpoints,
-                len,
                 ..
             } => {
-                assert!(index <= *len, "element index out of range");
                 let k = index / interval;
                 let mut cur = checkpoints[k as usize];
                 for i in (k * interval + 1)..=index {
@@ -435,11 +504,8 @@ impl HashChain {
                 cur
             }
             Storage::Dyadic {
-                pebbles,
-                positions,
-                len,
+                pebbles, positions, ..
             } => {
-                assert!(index <= *len, "element index out of range");
                 let (mut pos, mut cur) = pebbles
                     .iter()
                     .zip(positions.iter())
@@ -453,7 +519,18 @@ impl HashChain {
                 }
                 cur
             }
-        }
+        })
+    }
+
+    /// Unchecked convenience form of [`HashChain::try_element`].
+    ///
+    /// # Panics
+    /// Panics if `index` exceeds [`HashChain::len`]. Callers handling
+    /// untrusted or computed indices should use [`HashChain::try_element`].
+    #[must_use]
+    pub fn element(&self, index: u64) -> Digest {
+        self.try_element(index)
+            .expect("chain element index out of range")
     }
 
     /// Like [`HashChain::element`], but allowed to advance internal
@@ -683,6 +760,41 @@ mod tests {
     fn odd_length_rounds_up() {
         let c = HashChain::from_seed(Algorithm::Sha1, ChainKind::Plain, 9, b"x");
         assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn try_element_rejects_out_of_range() {
+        for c in [
+            HashChain::from_seed(Algorithm::Sha1, ChainKind::Plain, 8, b"x"),
+            HashChain::from_seed_compact(Algorithm::Sha1, ChainKind::Plain, 8, b"x"),
+            HashChain::from_seed_dyadic(Algorithm::Sha1, ChainKind::Plain, 8, b"x"),
+        ] {
+            assert_eq!(c.try_element(8).unwrap(), c.anchor());
+            assert_eq!(c.try_element(9), Err(ChainError::IndexOutOfRange));
+        }
+    }
+
+    #[test]
+    fn batch_generation_matches_from_seed() {
+        for alg in [Algorithm::Sha1, Algorithm::Sha256, Algorithm::MmoAes] {
+            let specs: [(ChainKind, &[u8]); 6] = [
+                (ChainKind::RoleBoundSignature, b"sig seed"),
+                (ChainKind::RoleBoundAck, b"ack seed"),
+                (ChainKind::Plain, b"plain seed"),
+                (ChainKind::RoleBoundSignature, b"another"),
+                (ChainKind::Plain, b""),
+                (ChainKind::RoleBoundAck, b"sixth lane spills a sweep"),
+            ];
+            let batch = HashChain::from_seeds_batch(alg, 12, &specs);
+            assert_eq!(batch.len(), specs.len());
+            for ((kind, seed), chain) in specs.iter().zip(&batch) {
+                let solo = HashChain::from_seed(alg, *kind, 12, seed);
+                assert_eq!(chain.anchor(), solo.anchor());
+                for i in 0..=12 {
+                    assert_eq!(chain.element(i), solo.element(i));
+                }
+            }
+        }
     }
 
     #[test]

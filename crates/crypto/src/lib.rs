@@ -29,6 +29,7 @@
 
 pub mod aes;
 pub mod amt;
+pub mod backend;
 pub mod chain;
 pub mod counting;
 pub mod hmac;
@@ -39,6 +40,9 @@ pub mod sha1;
 pub mod sha256;
 
 mod digest;
+mod multilane;
+#[cfg(target_arch = "x86_64")]
+mod shani;
 
 pub use digest::{Algorithm, Digest, Hasher, MAX_DIGEST_LEN};
 

@@ -14,7 +14,75 @@
 //! paper's Fig. 4, which keeps the verifier's per-packet hash count at
 //! `1* + log2(n)` as stated in Table 1 (one message hash plus the path).
 
+use crate::backend::{self, PartsRef};
 use crate::{Algorithm, Digest};
+
+/// Maximum length of a Merkle authentication path, and hence the capacity
+/// of [`DigestPath`]. A 64-level path covers 2⁶⁴ leaves — far beyond the
+/// wire-format leaf bound — so real paths always fit.
+pub const MAX_PATH: usize = 64;
+
+/// A fixed-capacity, stack-allocated Merkle authentication path — the
+/// no-allocation replacement for `Vec<Digest>` on the S2 hot path, used
+/// both when parsing a received path out of wire bytes and when emitting
+/// one from a sender-side tree via [`MerkleTree::auth_path_into`].
+#[derive(Debug, Clone, Copy)]
+pub struct DigestPath {
+    len: usize,
+    buf: [Digest; MAX_PATH],
+}
+
+impl DigestPath {
+    /// An empty path whose slots are zero digests of `alg`.
+    #[must_use]
+    pub fn empty(alg: Algorithm) -> DigestPath {
+        DigestPath {
+            len: 0,
+            buf: [Digest::zero(alg); MAX_PATH],
+        }
+    }
+
+    /// Append a sibling digest.
+    ///
+    /// # Panics
+    /// Panics if the path already holds [`MAX_PATH`] entries.
+    pub fn push(&mut self, d: Digest) {
+        assert!(self.len < MAX_PATH, "authentication path overflow");
+        self.buf[self.len] = d;
+        self.len += 1;
+    }
+
+    /// Reset to empty without touching the buffer, so a single path can be
+    /// reused across the S2 packets of a bundle.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Number of digests held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the path holds no digests (single-leaf trees).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The digests as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Digest] {
+        &self.buf[..self.len]
+    }
+}
+
+impl std::ops::Deref for DigestPath {
+    type Target = [Digest];
+    fn deref(&self) -> &[Digest] {
+        self.as_slice()
+    }
+}
 
 /// A binary Merkle tree with all levels retained.
 ///
@@ -61,11 +129,18 @@ impl MerkleTree {
         level0.resize(padded, Digest::zero(alg));
         let mut levels = vec![level0];
         while levels.last().expect("non-empty").len() > 1 {
-            let prev = levels.last().expect("non-empty");
-            let next: Vec<Digest> = prev
-                .chunks_exact(2)
-                .map(|pair| alg.hash_parts(&[pair[0].as_bytes(), pair[1].as_bytes()]))
-                .collect();
+            // Sibling pairs are independent, so a whole level hashes in
+            // lane-parallel sweeps (byte-identical to the scalar loop).
+            let next = {
+                let prev = levels.last().expect("non-empty");
+                let jobs: Vec<PartsRef<'_>> = prev
+                    .chunks_exact(2)
+                    .map(|pair| PartsRef::new(&[pair[0].as_bytes(), pair[1].as_bytes()]))
+                    .collect();
+                let mut next = vec![Digest::zero(alg); jobs.len()];
+                backend::hash_parts_lanes(alg, &jobs, &mut next);
+                next
+            };
             levels.push(next);
         }
         MerkleTree {
@@ -78,7 +153,9 @@ impl MerkleTree {
     /// Build a tree directly over message payloads (hashes each first).
     #[must_use]
     pub fn from_messages<M: AsRef<[u8]>>(alg: Algorithm, messages: &[M]) -> MerkleTree {
-        let leaves: Vec<Digest> = messages.iter().map(|m| alg.hash(m.as_ref())).collect();
+        let inputs: Vec<&[u8]> = messages.iter().map(AsRef::as_ref).collect();
+        let mut leaves = vec![Digest::zero(alg); inputs.len()];
+        backend::digest_batch(alg, &inputs, &mut leaves);
         MerkleTree::build(alg, &leaves)
     }
 
@@ -131,6 +208,19 @@ impl MerkleTree {
             idx >>= 1;
         }
         path
+    }
+
+    /// Like [`MerkleTree::auth_path`], but writes into a caller-owned
+    /// [`DigestPath`] so the per-S2 send path allocates nothing: the sender
+    /// clears and refills one stack path per packet of a bundle.
+    pub fn auth_path_into(&self, j: usize, out: &mut DigestPath) {
+        assert!(j < self.real_leaves, "leaf index out of range");
+        out.clear();
+        let mut idx = j;
+        for level in &self.levels[..self.levels.len() - 1] {
+            out.push(level[idx ^ 1]);
+            idx >>= 1;
+        }
     }
 
     /// Leaf digest at index `j` (real leaves only).
@@ -377,6 +467,34 @@ mod tests {
     fn padding_leaf_not_provable() {
         let t = MerkleTree::build(Algorithm::Sha1, &leaves(Algorithm::Sha1, 5));
         let _ = t.auth_path(5); // padding leaf: refused
+    }
+
+    #[test]
+    fn auth_path_into_matches_auth_path() {
+        for alg in Algorithm::ALL {
+            for n in [1usize, 2, 5, 8, 33] {
+                let t = MerkleTree::build(alg, &leaves(alg, n));
+                let mut p = DigestPath::empty(alg);
+                for j in 0..n {
+                    t.auth_path_into(j, &mut p);
+                    assert_eq!(p.as_slice(), t.auth_path(j).as_slice(), "n={n} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn digest_path_push_clear() {
+        let alg = Algorithm::Sha1;
+        let mut p = DigestPath::empty(alg);
+        assert!(p.is_empty());
+        p.push(alg.hash(b"a"));
+        p.push(alg.hash(b"b"));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0], alg.hash(b"a"));
+        p.clear();
+        assert!(p.is_empty());
+        assert!(p.as_slice().is_empty());
     }
 
     #[test]

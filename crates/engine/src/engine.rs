@@ -34,10 +34,10 @@ use alpha_adapt::{AdaptConfig, FlowAdapt};
 use alpha_core::bootstrap::{self, AuthRequirement, Handshaker};
 use alpha_core::{
     Association, Config, DropReason, Mode, ProtocolError, Relay, RelayConfig, RelayDecision,
-    SharedS1Limiter, Timestamp,
+    S2BatchItem, SharedS1Limiter, Timestamp,
 };
 use alpha_wire::{
-    bundle, BodyView, Frame, FramePool, HandshakeRole, Packet, PacketType, PacketView,
+    bundle, BodyView, DigestPath, Frame, FramePool, HandshakeRole, Packet, PacketType, PacketView,
 };
 use parking_lot::RwLock;
 use rand::RngCore;
@@ -646,6 +646,25 @@ impl EngineCore {
         out
     }
 
+    /// Feed a burst of received datagrams through the engine in one
+    /// call, merging all outputs. Each datagram is processed exactly as
+    /// [`EngineCore::handle_datagram`] would — within one datagram the
+    /// relay path already batches consecutive same-association S2s — so
+    /// draining a receive queue through this keeps worker loops simple
+    /// without changing semantics.
+    pub fn handle_datagrams(
+        &self,
+        batch: &[(SocketAddr, &[u8])],
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+    ) -> EngineOutput {
+        let mut out = EngineOutput::default();
+        for &(from, bytes) in batch {
+            out.absorb(self.handle_datagram(from, bytes, now, rng));
+        }
+        out
+    }
+
     /// Admission veto for flood-vector packets, taken under the shard
     /// *read* lock: over-budget S1/HS1 traffic is shed without any
     /// write contention. Returns `false` when the packet must drop.
@@ -697,63 +716,43 @@ impl EngineCore {
         let mut pass: [&[u8]; alpha_wire::limits::MAX_BUNDLE] =
             [&[]; alpha_wire::limits::MAX_BUNDLE];
         let mut npass = 0usize;
-        for (slice, view) in slices.iter().zip(views) {
-            let Some(view) = view else { continue };
-            let key = FlowKey {
-                peer: left,
-                assoc_id: view.assoc_id,
-            };
-            let idx = self.shard_index(&key);
-            if !self.admit(idx, &key, view.packet_type(), slice.len(), now) {
-                continue;
-            }
-            let mut shard = self.shards.shard(idx).write();
-            let entry = shard.flows.entry(key).or_insert_with(|| {
-                self.metrics.flows_active.fetch_add(1, Ordering::Relaxed);
-                let limiter = SharedS1Limiter::new(self.cfg.s1_bytes_per_sec);
-                // Flows created by this very packet are charged here;
-                // established flows were charged in `admit`.
-                limiter.allow(slice.len() as u64, now);
-                FlowEntry {
-                    limiter,
-                    state: FlowState::Relay {
-                        relay: Box::new(Relay::new(self.cfg.relay)),
-                        buffered: 0,
-                    },
-                }
-            });
-            let FlowState::Relay { relay, buffered } = &mut entry.state else {
-                // A host flow keyed like a routed pair: treat as
-                // mis-routed and drop.
-                self.metrics.record_drop(DropReason::UnknownAssociation);
+        // Consecutive S2 packets of the same association are verified as
+        // one batch (one shard write lock, digests computed in lane
+        // sweeps); everything else takes the single-packet path.
+        let mut i = 0;
+        while i < slices.len() {
+            let Some(view) = &views[i] else {
+                i += 1;
                 continue;
             };
-            let (decision, outcome) = relay.observe_view(view, slice.len(), now);
-            let new_buffered = relay.total_buffered_bytes();
-            let delta = new_buffered as i64 - *buffered as i64;
-            *buffered = new_buffered;
-            drop(shard);
-            if delta != 0 {
-                self.buffered.fetch_add(delta, Ordering::Relaxed);
-            }
-            if outcome.learned.is_some() {
-                self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
-            }
-            if outcome.verified_s2.is_some() {
-                if let BodyView::S2 { payload, .. } = &view.body {
-                    self.metrics.s2_verified.fetch_add(1, Ordering::Relaxed);
-                    // The extraction copy is the only allocation on the
-                    // verified-forward path.
-                    out.extracted.push((view.assoc_id, payload.to_vec()));
+            let run_end = if matches!(view.body, BodyView::S2 { .. }) {
+                let assoc = view.assoc_id;
+                let mut j = i + 1;
+                while j < slices.len()
+                    && views[j].as_ref().is_some_and(|v| {
+                        v.assoc_id == assoc && matches!(v.body, BodyView::S2 { .. })
+                    })
+                {
+                    j += 1;
                 }
+                j
+            } else {
+                i + 1
+            };
+            if run_end - i >= 2 {
+                self.relay_s2_run(
+                    left,
+                    &slices[i..run_end],
+                    &views[i..run_end],
+                    now,
+                    out,
+                    &mut pass,
+                    &mut npass,
+                );
+            } else {
+                self.relay_single(left, slices[i], view, now, out, &mut pass, &mut npass);
             }
-            match decision {
-                RelayDecision::Forward => {
-                    pass[npass] = slice;
-                    npass += 1;
-                }
-                RelayDecision::Drop(reason) => self.metrics.record_drop(reason),
-            }
+            i = run_end;
         }
         if npass > 0 {
             let mut frame = self.pool.checkout();
@@ -762,6 +761,193 @@ impl EngineCore {
             // fit the u16 prefix.
             bundle::emit_slices_into(&pass[..npass], frame.buf_mut()).expect("valid re-bundle");
             self.push_datagram(out, dst, frame);
+        }
+    }
+
+    /// Single-packet relay path: one shard write lock, one
+    /// [`Relay::observe_view`] call.
+    #[allow(clippy::too_many_arguments)]
+    fn relay_single<'a>(
+        &self,
+        left: SocketAddr,
+        slice: &'a [u8],
+        view: &PacketView<'a>,
+        now: Timestamp,
+        out: &mut EngineOutput,
+        pass: &mut [&'a [u8]; alpha_wire::limits::MAX_BUNDLE],
+        npass: &mut usize,
+    ) {
+        let key = FlowKey {
+            peer: left,
+            assoc_id: view.assoc_id,
+        };
+        let idx = self.shard_index(&key);
+        if !self.admit(idx, &key, view.packet_type(), slice.len(), now) {
+            return;
+        }
+        let mut shard = self.shards.shard(idx).write();
+        let entry = shard
+            .flows
+            .entry(key)
+            .or_insert_with(|| self.new_relay_flow(slice.len(), now));
+        let FlowState::Relay { relay, buffered } = &mut entry.state else {
+            // A host flow keyed like a routed pair: treat as
+            // mis-routed and drop.
+            self.metrics.record_drop(DropReason::UnknownAssociation);
+            return;
+        };
+        let (decision, outcome) = relay.observe_view(view, slice.len(), now);
+        let new_buffered = relay.total_buffered_bytes();
+        let delta = new_buffered as i64 - *buffered as i64;
+        *buffered = new_buffered;
+        drop(shard);
+        if delta != 0 {
+            self.buffered.fetch_add(delta, Ordering::Relaxed);
+        }
+        if outcome.learned.is_some() {
+            self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
+        }
+        if outcome.verified_s2.is_some() {
+            if let BodyView::S2 { payload, .. } = &view.body {
+                self.metrics.s2_verified.fetch_add(1, Ordering::Relaxed);
+                // The extraction copy is the only allocation on the
+                // verified-forward path.
+                out.extracted.push((view.assoc_id, payload.to_vec()));
+            }
+        }
+        match decision {
+            RelayDecision::Forward => {
+                pass[*npass] = slice;
+                *npass += 1;
+            }
+            RelayDecision::Drop(reason) => self.metrics.record_drop(reason),
+        }
+    }
+
+    /// A run of two or more consecutive S2 packets of one association:
+    /// admitted packets are verified in a single [`Relay::observe_s2_batch`]
+    /// call under one shard write lock, so the MAC / Merkle digests run
+    /// through the batched backend and the buffered-byte accounting is
+    /// reconciled once per run instead of once per packet. Decisions come
+    /// back in input order, so forwarded slices keep their bundle order.
+    #[allow(clippy::too_many_arguments)]
+    fn relay_s2_run<'a>(
+        &self,
+        left: SocketAddr,
+        slices: &[&'a [u8]],
+        views: &[Option<PacketView<'a>>],
+        now: Timestamp,
+        out: &mut EngineOutput,
+        pass: &mut [&'a [u8]; alpha_wire::limits::MAX_BUNDLE],
+        npass: &mut usize,
+    ) {
+        let assoc_id = views[0]
+            .as_ref()
+            .expect("run built from parsed views")
+            .assoc_id;
+        let key = FlowKey {
+            peer: left,
+            assoc_id,
+        };
+        let idx = self.shard_index(&key);
+        // Admission parity with the single-packet path. S2 is not a flood
+        // vector today, so this is a cheap constant check per packet, but
+        // the mapping below stays correct if that ever changes.
+        let mut admitted: Vec<bool> = Vec::with_capacity(slices.len());
+        let mut paths: Vec<DigestPath> = Vec::with_capacity(slices.len());
+        for (slice, view) in slices.iter().zip(views) {
+            let view = view.as_ref().expect("run built from parsed views");
+            admitted.push(self.admit(idx, &key, view.packet_type(), slice.len(), now));
+            let BodyView::S2 { path, .. } = &view.body else {
+                unreachable!("run contains only S2 views");
+            };
+            paths.push(path.to_path());
+        }
+        let mut items: Vec<S2BatchItem<'_>> = Vec::with_capacity(slices.len());
+        for (k, view) in views.iter().enumerate() {
+            if !admitted[k] {
+                continue;
+            }
+            let view = view.as_ref().expect("run built from parsed views");
+            let BodyView::S2 {
+                key: mac_key,
+                seq,
+                payload,
+                ..
+            } = &view.body
+            else {
+                unreachable!("run contains only S2 views");
+            };
+            items.push(S2BatchItem {
+                alg: view.alg,
+                chain_index: view.chain_index,
+                key: *mac_key,
+                seq: *seq,
+                path: paths[k].as_slice(),
+                payload,
+            });
+        }
+        if items.is_empty() {
+            return;
+        }
+        let first_len = slices
+            .iter()
+            .zip(&admitted)
+            .find(|&(_, &a)| a)
+            .map_or(0, |(s, _)| s.len());
+        let mut shard = self.shards.shard(idx).write();
+        let entry = shard
+            .flows
+            .entry(key)
+            .or_insert_with(|| self.new_relay_flow(first_len, now));
+        let FlowState::Relay { relay, buffered } = &mut entry.state else {
+            for _ in &items {
+                self.metrics.record_drop(DropReason::UnknownAssociation);
+            }
+            return;
+        };
+        let decisions = relay.observe_s2_batch(assoc_id, &items, now);
+        let new_buffered = relay.total_buffered_bytes();
+        let delta = new_buffered as i64 - *buffered as i64;
+        *buffered = new_buffered;
+        drop(shard);
+        if delta != 0 {
+            self.buffered.fetch_add(delta, Ordering::Relaxed);
+        }
+        let mut decisions = decisions.into_iter();
+        for (k, slice) in slices.iter().enumerate() {
+            if !admitted[k] {
+                continue;
+            }
+            let (decision, outcome) = decisions.next().expect("one decision per admitted packet");
+            if outcome.verified_s2.is_some() {
+                if let Some(BodyView::S2 { payload, .. }) = views[k].as_ref().map(|v| &v.body) {
+                    self.metrics.s2_verified.fetch_add(1, Ordering::Relaxed);
+                    out.extracted.push((assoc_id, payload.to_vec()));
+                }
+            }
+            match decision {
+                RelayDecision::Forward => {
+                    pass[*npass] = slice;
+                    *npass += 1;
+                }
+                RelayDecision::Drop(reason) => self.metrics.record_drop(reason),
+            }
+        }
+    }
+
+    /// A fresh relay-role flow entry, charged for the packet that created
+    /// it (established flows were charged in [`EngineCore::admit`]).
+    fn new_relay_flow(&self, wire_len: usize, now: Timestamp) -> FlowEntry {
+        self.metrics.flows_active.fetch_add(1, Ordering::Relaxed);
+        let limiter = SharedS1Limiter::new(self.cfg.s1_bytes_per_sec);
+        limiter.allow(wire_len as u64, now);
+        FlowEntry {
+            limiter,
+            state: FlowState::Relay {
+                relay: Box::new(Relay::new(self.cfg.relay)),
+                buffered: 0,
+            },
         }
     }
 
@@ -1152,6 +1338,10 @@ impl EngineCore {
             (
                 "buffered_bytes".to_owned(),
                 serde::Value::I64(self.buffered.load(Ordering::Relaxed)),
+            ),
+            (
+                "digest_backend".to_owned(),
+                serde::Value::Str(alpha_crypto::backend::active().name().to_owned()),
             ),
             (
                 "adapt_flows".to_owned(),

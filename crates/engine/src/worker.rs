@@ -34,6 +34,9 @@ pub const STATS_MAGIC: &[u8] = b"\x00ALPHA-ENGINE-STATS";
 
 const MAX_DATAGRAM: usize = 65_536;
 const RECV_TIMEOUT: Duration = Duration::from_millis(5);
+/// Most datagrams drained into one worker burst before timers and
+/// transmissions get a chance to run; bounds per-burst frame pinning.
+const MAX_BURST: usize = 32;
 
 /// A running multi-flow engine: shared UDP socket, receiver thread,
 /// and a worker pool owning disjoint shard sets.
@@ -180,17 +183,25 @@ fn spawn_worker(
             }
             dispatch(&socket, &out, sink.as_deref());
             match rx.recv_timeout(RECV_TIMEOUT) {
-                Ok((from, bytes)) => {
-                    let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
-                    let out = core.handle_datagram(from, &bytes, now, &mut rng);
-                    dispatch(&socket, &out, sink.as_deref());
-                    // Drain whatever queued behind it before timers run
-                    // again.
-                    while let Ok((from, bytes)) = rx.try_recv() {
-                        let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
-                        let out = core.handle_datagram(from, &bytes, now, &mut rng);
-                        dispatch(&socket, &out, sink.as_deref());
+                Ok(first) => {
+                    // Drain whatever queued behind it into one burst and
+                    // hand the whole batch to the engine in a single
+                    // call, so its relay path can batch-verify and
+                    // responses go out together before timers run again.
+                    let mut burst: Vec<(SocketAddr, Frame)> = vec![first];
+                    while burst.len() < MAX_BURST {
+                        match rx.try_recv() {
+                            Ok(item) => burst.push(item),
+                            Err(_) => break,
+                        }
                     }
+                    let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
+                    let batch: Vec<(SocketAddr, &[u8])> = burst
+                        .iter()
+                        .map(|(from, frame)| (*from, &frame[..]))
+                        .collect();
+                    let out = core.handle_datagrams(&batch, now, &mut rng);
+                    dispatch(&socket, &out, sink.as_deref());
                 }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => return,

@@ -41,8 +41,9 @@ pub mod limits {
     /// Maximum pre-signatures in one ALPHA-C S1 packet.
     pub const MAX_PRESIGS: usize = 4096;
     /// Maximum Merkle authentication path length (2^64 leaves is absurd;
-    /// 64 keeps the arithmetic honest).
-    pub const MAX_PATH: usize = 64;
+    /// 64 keeps the arithmetic honest). Aliases the capacity of the shared
+    /// [`alpha_crypto::merkle::DigestPath`] stack path.
+    pub const MAX_PATH: usize = alpha_crypto::merkle::MAX_PATH;
     /// Maximum payload bytes in one S2 packet.
     pub const MAX_PAYLOAD: usize = 65_535;
     /// Maximum verdict disclosures batched in one A2 packet.

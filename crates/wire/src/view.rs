@@ -72,39 +72,17 @@ impl<'a> DigestSlice<'a> {
     #[must_use]
     pub fn to_path(&self) -> DigestPath {
         debug_assert!(self.count <= limits::MAX_PATH);
-        let mut p = DigestPath {
-            len: self.count.min(limits::MAX_PATH),
-            buf: [Digest::zero(self.alg); limits::MAX_PATH],
-        };
-        for (slot, d) in p.buf.iter_mut().zip(self.iter()) {
-            *slot = d;
+        let mut p = DigestPath::empty(self.alg);
+        for d in self.iter().take(limits::MAX_PATH) {
+            p.push(d);
         }
         p
     }
 }
 
-/// A fixed-capacity, stack-allocated Merkle authentication path — the
-/// no-allocation replacement for `Vec<Digest>` on the S2 hot path.
-#[derive(Debug, Clone, Copy)]
-pub struct DigestPath {
-    len: usize,
-    buf: [Digest; limits::MAX_PATH],
-}
-
-impl DigestPath {
-    /// The digests as a slice.
-    #[must_use]
-    pub fn as_slice(&self) -> &[Digest] {
-        &self.buf[..self.len]
-    }
-}
-
-impl std::ops::Deref for DigestPath {
-    type Target = [Digest];
-    fn deref(&self) -> &[Digest] {
-        self.as_slice()
-    }
-}
+/// Fixed-capacity Merkle authentication path, shared with the sender-side
+/// tree emitter ([`alpha_crypto::merkle::MerkleTree::auth_path_into`]).
+pub use alpha_crypto::merkle::DigestPath;
 
 /// A borrowed run of Merkle-forest tree descriptors (`u32` leaves +
 /// root digest each).
