@@ -25,6 +25,13 @@ cargo test -q -p alpha-crypto --test backend_props
 echo "==> digest throughput bench smoke (release, --quick)"
 cargo run --release -p alpha-bench --bin digest_throughput -- --quick
 
+echo "==> udp backend equivalence (forced fallback, then auto-detected)"
+ALPHA_UDP_BACKEND=fallback cargo test -q -p alpha-transport
+cargo test -q -p alpha-transport
+
+echo "==> udp io bench smoke (release, --quick)"
+cargo run --release -p alpha-bench --bin udp_io -- --quick
+
 echo "==> decoder robustness properties (release)"
 cargo test --release --test properties -q -- \
     truncation_at_every_offset_agrees \

@@ -390,6 +390,10 @@ fn main() {
             "digest_backend".to_owned(),
             Value::Str(alpha_crypto::backend::active().name().to_owned()),
         ),
+        (
+            "udp_backend".to_owned(),
+            Value::Str(alpha_transport::io::active().name().to_owned()),
+        ),
         ("payload_bytes".to_owned(), Value::U64(PAYLOAD as u64)),
         ("duration_s".to_owned(), Value::U64(DURATION_US / 1_000_000)),
         ("tick_us".to_owned(), Value::U64(TICK_US)),

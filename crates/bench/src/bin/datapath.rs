@@ -323,6 +323,11 @@ fn main() {
         "  \"digest_backend\": \"{}\",",
         alpha_crypto::backend::active().name()
     );
+    let _ = writeln!(
+        json,
+        "  \"udp_backend\": \"{}\",",
+        alpha_transport::io::active().name()
+    );
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"flows\": {flows},");
     let _ = writeln!(json, "  \"exchanges_per_flow\": {exchanges},");

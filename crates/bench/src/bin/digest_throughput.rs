@@ -258,6 +258,11 @@ fn main() {
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"host_cores\": {},", host_cores());
     let _ = writeln!(json, "  \"digest_backend\": \"{}\",", detected.name());
+    let _ = writeln!(
+        json,
+        "  \"udp_backend\": \"{}\",",
+        alpha_transport::io::active().name()
+    );
     let _ = writeln!(json, "  \"single_message_ns\": [");
     for (i, (kind, alg, len, ns)) in single.iter().enumerate() {
         let _ = writeln!(

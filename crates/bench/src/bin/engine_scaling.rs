@@ -269,6 +269,11 @@ fn main() {
         "  \"digest_backend\": \"{}\",",
         alpha_crypto::backend::active().name()
     );
+    let _ = writeln!(
+        json,
+        "  \"udp_backend\": \"{}\",",
+        alpha_transport::io::active().name()
+    );
     let _ = writeln!(json, "  \"exchanges_per_flow\": {EXCHANGES},");
     let _ = writeln!(json, "  \"shards\": {SHARDS},");
     let _ = writeln!(json, "  \"speedup_8_workers_vs_1\": {ratio:.4},");

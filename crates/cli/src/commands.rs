@@ -311,7 +311,7 @@ pub fn engine_serve(
         core.add_route(l, r);
         println!("relaying {l} <-> {r}");
     }
-    let engine = alpha_engine::Engine::bind(bind, core, workers)?;
+    let engine = alpha_transport::Engine::bind(bind, core, workers)?;
     println!(
         "engine on {} ({workers} worker(s), {shards} shard(s)); query with 'alpha engine stats'",
         engine.local_addr()?
@@ -335,7 +335,7 @@ pub fn engine_stats(addr: &str, timeout_ms: u64, raw_json: bool) -> Result<(), C
         .to_socket_addrs()?
         .next()
         .ok_or_else(|| format!("cannot resolve '{addr}'"))?;
-    let json = alpha_engine::query_stats(addr, Duration::from_millis(timeout_ms))?;
+    let json = alpha_transport::query_stats(addr, Duration::from_millis(timeout_ms))?;
     if raw_json {
         println!("{json}");
         return Ok(());
@@ -357,13 +357,19 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
         .get("digest_backend")
         .and_then(serde_json::Value::as_str)
         .unwrap_or("unknown");
+    let udp_backend = snap
+        .get("udp_backend")
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or("none");
     let _ = writeln!(
         out,
-        "engine: {} flow(s) across {} shard(s), {} buffered byte(s), digest backend {}",
+        "engine: {} flow(s) across {} shard(s), {} buffered byte(s), digest backend {}, \
+         udp backend {}",
         u(snap.get("flows")),
         u(snap.get("shards")),
         u(snap.get("buffered_bytes")),
         backend,
+        udp_backend,
     );
     if let Some(serde_json::Value::Object(metrics)) = snap.get("metrics") {
         let nonzero: Vec<String> = metrics
@@ -375,6 +381,28 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
             let _ = writeln!(out, "metrics: all counters zero");
         } else {
             let _ = writeln!(out, "metrics: {}", nonzero.join(" "));
+        }
+        if let Some(io) = metrics.get("io") {
+            let iu = |k: &str| u(io.get(k));
+            if iu("recv_calls") + iu("send_calls") > 0 {
+                let workers = io
+                    .get("per_worker")
+                    .and_then(serde_json::Value::as_array)
+                    .map_or(0, |rows| rows.len());
+                let _ = writeln!(
+                    out,
+                    "io: {} datagram(s) in / {} recv syscall(s) ({:.2} per call), \
+                     {} out / {} send syscall(s), eagain={} partial_sends={} worker(s)={}",
+                    iu("datagrams_in"),
+                    iu("recv_calls"),
+                    f(io.get("datagrams_per_recv_call")),
+                    iu("datagrams_out"),
+                    iu("send_calls"),
+                    iu("eagain"),
+                    iu("partial_sends"),
+                    workers,
+                );
+            }
         }
     }
     match snap.get("adapt_flows") {
@@ -427,7 +455,23 @@ mod tests {
             "shards": 8u64,
             "buffered_bytes": 0u64,
             "digest_backend": "lanes4",
-            "metrics": {"verified": 10u64, "dropped": 0u64, "adapt_switches": 3u64},
+            "udp_backend": "mmsg",
+            "metrics": {
+                "verified": 10u64,
+                "dropped": 0u64,
+                "adapt_switches": 3u64,
+                "io": {
+                    "udp_backend": "mmsg",
+                    "recv_calls": 4u64,
+                    "send_calls": 2u64,
+                    "datagrams_in": 32u64,
+                    "datagrams_out": 16u64,
+                    "eagain": 1u64,
+                    "partial_sends": 0u64,
+                    "datagrams_per_recv_call": 8.0,
+                    "per_worker": [{}, {}]
+                }
+            },
             "adapt_flows": [{
                 "peer": "10.0.0.1:700",
                 "assoc_id": 21u64,
@@ -449,6 +493,12 @@ mod tests {
         let text = render_engine_stats(&snap);
         assert!(text.contains("2 flow(s) across 8 shard(s)"), "{text}");
         assert!(text.contains("digest backend lanes4"), "{text}");
+        assert!(text.contains("udp backend mmsg"), "{text}");
+        assert!(
+            text.contains("io: 32 datagram(s) in / 4 recv syscall(s) (8.00 per call)"),
+            "{text}"
+        );
+        assert!(text.contains("worker(s)=2"), "{text}");
         assert!(text.contains("verified=10"), "{text}");
         assert!(text.contains("adapt_switches=3"), "{text}");
         assert!(

@@ -194,6 +194,11 @@ struct RelayAssociation {
     data_cap_rev: Option<S1Limiter>,
     /// Pending handshake init, until the reply arrives.
     pending_init: Option<(Digest, u64, Digest, u64)>,
+    /// The init anchors this association was learned from, kept so a
+    /// retransmitted HS1 (the initiator resending because the reply was
+    /// slow) is recognized and cannot knock a learned association back
+    /// into the handshake-incomplete state.
+    learned_init: Option<(Digest, u64, Digest, u64)>,
 }
 
 /// A forwarding node that authenticates ALPHA traffic in transit.
@@ -289,6 +294,7 @@ impl Relay {
                 data_cap_fwd: None,
                 data_cap_rev: None,
                 pending_init: None,
+                learned_init: Some((init_sig.0, init_sig.1, init_ack.0, init_ack.1)),
             },
         );
     }
@@ -349,15 +355,25 @@ impl Relay {
         // check); it only records anchors.
         match hs.role {
             HandshakeRole::Init => {
-                let entry = self.assocs.entry(assoc_id).or_insert_with(|| {
-                    RelayAssociation::placeholder(alg, self.cfg.s1_bytes_per_sec, self.cfg.max_skip)
-                });
-                entry.pending_init = Some((
+                let init = (
                     hs.sig_anchor,
                     hs.sig_anchor_index,
                     hs.ack_anchor,
                     hs.ack_anchor_index,
-                ));
+                );
+                let entry = self.assocs.entry(assoc_id).or_insert_with(|| {
+                    RelayAssociation::placeholder(alg, self.cfg.s1_bytes_per_sec, self.cfg.max_skip)
+                });
+                // A retransmitted HS1 (reply still in flight when the
+                // initiator's timer fired) carries the anchors already
+                // learned: forward it untouched. Re-arming `pending_init`
+                // here would flip a learned association back to
+                // handshake-incomplete and silently unverify everything
+                // that follows. Different anchors are a genuine new
+                // handshake and restart learning as before.
+                if entry.learned_init != Some(init) {
+                    entry.pending_init = Some(init);
+                }
                 (RelayDecision::Forward, None)
             }
             HandshakeRole::Reply => {
@@ -390,6 +406,7 @@ impl Relay {
                     exchange: None,
                     prev_exchange: None,
                 };
+                a.learned_init = Some((isig, isig_i, iack, iack_i));
                 (RelayDecision::Forward, Some(assoc_id))
             }
         }
@@ -1373,6 +1390,7 @@ impl RelayAssociation {
             data_cap_fwd: None,
             data_cap_rev: None,
             pending_init: None,
+            learned_init: None,
         }
     }
 }

@@ -375,6 +375,42 @@ fn relay_learns_forwards_and_extracts() {
     bob.handle(&s2, T0, &mut r).unwrap();
 }
 
+/// A retransmitted HS1 arriving *after* the relay has learned the
+/// association (the initiator resent because the reply was slow) must
+/// not knock the association back into the handshake-incomplete state:
+/// the exchange that follows still verifies at the relay.
+#[test]
+fn relay_survives_retransmitted_handshake_init() {
+    let c = cfg(Algorithm::Sha1);
+    let mut r = rng(21);
+    let mut relay = Relay::new(RelayConfig::default());
+    let (hs, init_pkt) = bootstrap::initiate(c, 9, None, &mut r);
+    relay.observe(&init_pkt, T0);
+    let (mut bob, reply_pkt, _) =
+        bootstrap::respond(c, &init_pkt, None, AuthRequirement::None, &mut r).unwrap();
+    let (_, events) = relay.observe(&reply_pkt, T0);
+    assert!(events.contains(&RelayEvent::AssociationLearned(9)));
+    let (mut alice, _) = hs.complete(&reply_pkt, AuthRequirement::None).unwrap();
+
+    // The duplicate init crosses the already-forwarded reply on the wire.
+    assert_eq!(relay.observe(&init_pkt, T0).0, RelayDecision::Forward);
+
+    let s1 = alice.sign(b"after the dup", T0).unwrap();
+    assert_eq!(relay.observe(&s1, T0).0, RelayDecision::Forward);
+    let a1 = bob.handle(&s1, T0, &mut r).unwrap().packet().unwrap();
+    assert_eq!(relay.observe(&a1, T0).0, RelayDecision::Forward);
+    let s2 = alice.handle(&a1, T0, &mut r).unwrap().packets.remove(0);
+    let (dec, events) = relay.observe(&s2, T0);
+    assert_eq!(dec, RelayDecision::Forward);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, RelayEvent::VerifiedPayload { .. })),
+        "relay must still verify the exchange after a duplicate HS1"
+    );
+    bob.handle(&s2, T0, &mut r).unwrap();
+}
+
 /// The batched S2 verification path must be decision-for-decision
 /// identical to packet-by-packet observation: same forwards, same drops,
 /// same verified-payload outcomes, including a tampered packet mid-run

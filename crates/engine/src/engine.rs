@@ -6,9 +6,9 @@
 //! `(source address, datagram bytes, Timestamp)` in and get datagrams
 //! to transmit plus verified deliveries back in an [`EngineOutput`].
 //! The same core is driven by the threaded UDP front end
-//! ([`crate::worker::Engine`]), the refactored `alpha-transport`
-//! endpoints, the scaling bench, and the deterministic tests in this
-//! module.
+//! (`alpha_transport::Engine`, which owns the sockets and the batched
+//! I/O backends), the `alpha-transport` endpoints, the scaling bench,
+//! and the deterministic tests in this module.
 //!
 //! ## Structure
 //!
@@ -28,7 +28,7 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use alpha_adapt::{AdaptConfig, FlowAdapt};
 use alpha_core::bootstrap::{self, AuthRequirement, Handshaker};
@@ -247,6 +247,13 @@ pub struct EngineCore {
     buffered: AtomicI64,
     /// Reusable TX/RX frame buffers shared by every worker.
     pool: FramePool,
+    /// Per-shard cached earliest timer deadline, in micros since the
+    /// epoch (`u64::MAX` = no timers armed). Every wheel mutation
+    /// happens under that shard's write lock and refreshes this cache
+    /// before the lock drops, so workers can size their socket read
+    /// timeouts and skip idle `poll_shard` calls without touching the
+    /// lock at all — the deadline scan was a per-datagram cost.
+    deadlines: Vec<AtomicU64>,
     metrics: EngineMetrics,
 }
 
@@ -278,14 +285,27 @@ impl EngineCore {
             flows: HashMap::new(),
             wheel: TimerWheel::with_default_tick(Timestamp::ZERO),
         });
+        let deadlines = (0..cfg.shards).map(|_| AtomicU64::new(u64::MAX)).collect();
         EngineCore {
             cfg,
             shards,
             routes: RwLock::new(HashMap::new()),
             buffered: AtomicI64::new(0),
             pool: FramePool::new(2048, 4096),
+            deadlines,
             metrics: EngineMetrics::new(),
         }
+    }
+
+    /// Refresh a shard's cached earliest deadline from its wheel.
+    /// Callers must hold the shard's write lock (proven by the `&mut
+    /// Shard`): the lock serialises all wheel mutations, so these
+    /// stores are totally ordered and the cache never goes stale —
+    /// at worst a concurrent reader sees the previous value and
+    /// revisits one socket-timeout later.
+    fn cache_deadline(&self, idx: usize, shard: &mut Shard) {
+        let v = shard.wheel.next_deadline().map_or(u64::MAX, |t| t.micros());
+        self.deadlines[idx].store(v, Ordering::Release);
     }
 
     /// The engine's frame pool. RX loops should fill checkouts from
@@ -419,6 +439,7 @@ impl EngineCore {
         );
         if let Some(t) = poll_at {
             shard.wheel.schedule(t.max(now), key);
+            self.cache_deadline(idx, &mut shard);
         }
         self.metrics.flows_active.fetch_add(1, Ordering::Relaxed);
         key
@@ -458,6 +479,7 @@ impl EngineCore {
                 },
             );
             shard.wheel.schedule(next_resend, key);
+            self.cache_deadline(idx, &mut shard);
         }
         self.metrics.flows_active.fetch_add(1, Ordering::Relaxed);
         self.push_bytes(&mut out, peer, &wire);
@@ -573,6 +595,7 @@ impl EngineCore {
         }
         if let Some(t) = assoc.poll_at() {
             shard.wheel.schedule(t, key);
+            self.cache_deadline(idx, shard);
         }
         drop(guard);
         self.push_packets(&mut out, key.peer, &[pkt]);
@@ -1068,6 +1091,7 @@ impl EngineCore {
                     .fetch_add(resp.deliveries.len() as u64, Ordering::Relaxed);
                 if let Some(t) = assoc.poll_at() {
                     shard.wheel.schedule(t, key);
+                    self.cache_deadline(idx, shard);
                 }
                 drop(guard);
                 out.delivered.extend(
@@ -1180,13 +1204,26 @@ impl EngineCore {
     // Timers
     // ------------------------------------------------------------------
 
-    /// Earliest timer deadline across all shards, if any.
+    /// Earliest timer deadline across all shards, if any. Lock-free:
+    /// reads the per-shard deadline caches maintained under the shard
+    /// write locks.
     #[must_use]
     pub fn next_deadline(&self) -> Option<Timestamp> {
-        self.shards
+        self.deadlines
             .iter()
-            .filter_map(|s| s.read().wheel.next_deadline())
+            .map(|d| d.load(Ordering::Acquire))
             .min()
+            .filter(|&v| v != u64::MAX)
+            .map(Timestamp::from_micros)
+    }
+
+    /// Earliest timer deadline of one shard (workers size their socket
+    /// read timeouts from the shards they own, not the whole engine).
+    /// Lock-free, same cache as [`EngineCore::next_deadline`].
+    #[must_use]
+    pub fn shard_next_deadline(&self, idx: usize) -> Option<Timestamp> {
+        let v = self.deadlines[idx].load(Ordering::Acquire);
+        (v != u64::MAX).then_some(Timestamp::from_micros(v))
     }
 
     /// Advance every shard's timers to `now`.
@@ -1207,11 +1244,19 @@ impl EngineCore {
         rng: &mut dyn RngCore,
         out: &mut EngineOutput,
     ) {
+        // Lock-free fast path: nothing can be due before the cached
+        // earliest deadline, and workers call this once per loop
+        // iteration — skipping the write lock here is what keeps the
+        // timer scan off the per-datagram cost.
+        if self.deadlines[idx].load(Ordering::Acquire) > now.micros() {
+            return;
+        }
         let mut fired = Vec::new();
         let mut guard = self.shards.shard(idx).write();
         let shard = &mut *guard;
         shard.wheel.advance(now, &mut fired);
         if fired.is_empty() {
+            self.cache_deadline(idx, shard);
             return;
         }
         self.metrics
@@ -1286,6 +1331,7 @@ impl EngineCore {
             shard.flows.remove(&key);
             self.metrics.flows_active.fetch_sub(1, Ordering::Relaxed);
         }
+        self.cache_deadline(idx, shard);
         drop(guard);
         for (dst, packets) in staged {
             self.push_packets(out, dst, &packets);
@@ -1342,6 +1388,10 @@ impl EngineCore {
             (
                 "digest_backend".to_owned(),
                 serde::Value::Str(alpha_crypto::backend::active().name().to_owned()),
+            ),
+            (
+                "udp_backend".to_owned(),
+                serde::Value::Str(self.metrics.io.backend_name().to_owned()),
             ),
             (
                 "adapt_flows".to_owned(),

@@ -4,9 +4,11 @@
 //! The protocol crates give one association (or one relay) at a time;
 //! this crate scales them out. [`EngineCore`] is a sans-io flow
 //! multiplexer — sharded flow table, per-shard timer wheels, per-flow
-//! admission control, a global buffer valve, and a metrics registry —
-//! and [`Engine`] is its thread-per-core UDP front end. See the
-//! "Engine architecture" section of `DESIGN.md` for the full picture.
+//! admission control, a global buffer valve, and a metrics registry.
+//! The threaded UDP front end (`alpha_transport::Engine`) lives in
+//! `alpha-transport` with the batched socket I/O backends it is built
+//! on; this crate stays sans-io. See the "Engine architecture" section
+//! of `DESIGN.md` for the full picture.
 #![warn(missing_docs)]
 
 pub mod backoff;
@@ -14,12 +16,10 @@ pub mod engine;
 pub mod metrics;
 pub mod shard;
 pub mod timer;
-pub mod worker;
 
 pub use alpha_adapt::{AdaptConfig, FlowAdapt};
 pub use backoff::Backoff;
 pub use engine::{EngineConfig, EngineCore, EngineError, EngineOutput};
-pub use metrics::{EngineMetrics, Histogram};
+pub use metrics::{EngineMetrics, Histogram, IoMetrics, IoTotals, IoWorker};
 pub use shard::{addr_hash, jump_hash, FlowKey, Sharded};
 pub use timer::TimerWheel;
-pub use worker::{query_stats, Engine, STATS_MAGIC};

@@ -7,8 +7,10 @@
 //! operations, not a linearizable one.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use alpha_core::DropReason;
+use parking_lot::Mutex;
 use serde::Value;
 
 /// Labels for [`DropReason`] buckets, in index order.
@@ -134,6 +136,152 @@ impl Default for Histogram {
     }
 }
 
+/// Socket-I/O counters for one worker (or one transport endpoint).
+///
+/// The I/O layer lives in `alpha-transport`, but the counters live here
+/// so they ride the same snapshot path as every other engine metric:
+/// each worker registers one `IoWorker` via
+/// [`IoMetrics::register_worker`] and bumps it from its recv/send loop.
+#[derive(Default)]
+pub struct IoWorker {
+    /// Receive syscalls issued (`recvmmsg` or `recv_from`), including
+    /// ones that returned no data.
+    pub recv_calls: AtomicU64,
+    /// Send syscalls issued (`sendmmsg` or `send_to`).
+    pub send_calls: AtomicU64,
+    /// Datagrams received.
+    pub datagrams_in: AtomicU64,
+    /// Datagrams sent.
+    pub datagrams_out: AtomicU64,
+    /// Receive syscalls that returned empty (timeout / EAGAIN).
+    pub eagain: AtomicU64,
+    /// `sendmmsg` calls that accepted fewer datagrams than offered and
+    /// forced a resubmission of the tail.
+    pub partial_sends: AtomicU64,
+}
+
+/// Summed [`IoWorker`] counters across every registered worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoTotals {
+    /// Receive syscalls issued.
+    pub recv_calls: u64,
+    /// Send syscalls issued.
+    pub send_calls: u64,
+    /// Datagrams received.
+    pub datagrams_in: u64,
+    /// Datagrams sent.
+    pub datagrams_out: u64,
+    /// Empty receive syscalls (timeout / EAGAIN).
+    pub eagain: u64,
+    /// Partial `sendmmsg` resubmissions.
+    pub partial_sends: u64,
+}
+
+impl IoTotals {
+    /// Datagrams received per receive syscall (the batching win); 0.0
+    /// when no receive syscalls were made.
+    #[must_use]
+    pub fn datagrams_per_recv(&self) -> f64 {
+        if self.recv_calls == 0 {
+            0.0
+        } else {
+            self.datagrams_in as f64 / self.recv_calls as f64
+        }
+    }
+}
+
+/// Registry of per-worker socket-I/O counters plus the UDP backend the
+/// transport selected (`mmsg` or `fallback`; `none` before any I/O
+/// layer attaches, e.g. in sans-io tests).
+#[derive(Default)]
+pub struct IoMetrics {
+    backend: Mutex<Option<&'static str>>,
+    workers: Mutex<Vec<Arc<IoWorker>>>,
+}
+
+impl IoMetrics {
+    /// Record which UDP backend serves this engine.
+    pub fn set_backend(&self, name: &'static str) {
+        *self.backend.lock() = Some(name);
+    }
+
+    /// The recorded UDP backend name, `"none"` when no I/O layer has
+    /// attached.
+    #[must_use]
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.lock().unwrap_or("none")
+    }
+
+    /// Register (and return) a fresh per-worker counter block.
+    #[must_use]
+    pub fn register_worker(&self) -> Arc<IoWorker> {
+        let w = Arc::new(IoWorker::default());
+        self.workers.lock().push(Arc::clone(&w));
+        w
+    }
+
+    /// Adopt a counter block that predates this registry (e.g. one that
+    /// counted a host handshake before the engine core existed).
+    pub fn adopt_worker(&self, worker: Arc<IoWorker>) {
+        self.workers.lock().push(worker);
+    }
+
+    /// Sum every registered worker's counters.
+    #[must_use]
+    pub fn totals(&self) -> IoTotals {
+        let mut t = IoTotals::default();
+        for w in self.workers.lock().iter() {
+            t.recv_calls += w.recv_calls.load(Ordering::Relaxed);
+            t.send_calls += w.send_calls.load(Ordering::Relaxed);
+            t.datagrams_in += w.datagrams_in.load(Ordering::Relaxed);
+            t.datagrams_out += w.datagrams_out.load(Ordering::Relaxed);
+            t.eagain += w.eagain.load(Ordering::Relaxed);
+            t.partial_sends += w.partial_sends.load(Ordering::Relaxed);
+        }
+        t
+    }
+
+    /// Snapshot as a JSON object: backend, totals, the
+    /// datagrams-per-syscall ratio, and one row per worker.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        let t = self.totals();
+        let per_worker: Vec<Value> = self
+            .workers
+            .lock()
+            .iter()
+            .map(|w| {
+                let ld = |a: &AtomicU64| Value::U64(a.load(Ordering::Relaxed));
+                Value::object([
+                    ("recv_calls".to_owned(), ld(&w.recv_calls)),
+                    ("send_calls".to_owned(), ld(&w.send_calls)),
+                    ("datagrams_in".to_owned(), ld(&w.datagrams_in)),
+                    ("datagrams_out".to_owned(), ld(&w.datagrams_out)),
+                    ("eagain".to_owned(), ld(&w.eagain)),
+                    ("partial_sends".to_owned(), ld(&w.partial_sends)),
+                ])
+            })
+            .collect();
+        Value::object([
+            (
+                "udp_backend".to_owned(),
+                Value::Str(self.backend_name().to_owned()),
+            ),
+            ("recv_calls".to_owned(), Value::U64(t.recv_calls)),
+            ("send_calls".to_owned(), Value::U64(t.send_calls)),
+            ("datagrams_in".to_owned(), Value::U64(t.datagrams_in)),
+            ("datagrams_out".to_owned(), Value::U64(t.datagrams_out)),
+            ("eagain".to_owned(), Value::U64(t.eagain)),
+            ("partial_sends".to_owned(), Value::U64(t.partial_sends)),
+            (
+                "datagrams_per_recv_call".to_owned(),
+                Value::F64(t.datagrams_per_recv()),
+            ),
+            ("per_worker".to_owned(), Value::Array(per_worker)),
+        ])
+    }
+}
+
 /// The engine's metrics registry. One instance per engine, shared by
 /// every worker through an `Arc`.
 #[derive(Default)]
@@ -171,6 +319,8 @@ pub struct EngineMetrics {
     pub handshake_us: Histogram,
     /// S1→A1 round-trip latency observed by host flows.
     pub rtt_us: Histogram,
+    /// Per-worker socket-I/O counters (filled by the transport layer).
+    pub io: IoMetrics,
 }
 
 impl EngineMetrics {
@@ -233,6 +383,7 @@ impl EngineMetrics {
             ("drops".to_owned(), drops),
             ("handshake_us".to_owned(), self.handshake_us.snapshot()),
             ("rtt_us".to_owned(), self.rtt_us.snapshot()),
+            ("io".to_owned(), self.io.snapshot()),
         ])
     }
 
@@ -276,6 +427,36 @@ mod tests {
         let snap = m.snapshot();
         let drops = snap.get("drops").unwrap();
         assert_eq!(drops.get("bad-mac").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn io_metrics_sum_workers_and_report_ratio() {
+        let m = EngineMetrics::new();
+        assert_eq!(m.io.backend_name(), "none");
+        m.io.set_backend("mmsg");
+        let a = m.io.register_worker();
+        let b = m.io.register_worker();
+        a.recv_calls.fetch_add(2, Ordering::Relaxed);
+        a.datagrams_in.fetch_add(20, Ordering::Relaxed);
+        b.recv_calls.fetch_add(2, Ordering::Relaxed);
+        b.datagrams_in.fetch_add(12, Ordering::Relaxed);
+        b.partial_sends.fetch_add(1, Ordering::Relaxed);
+        let t = m.io.totals();
+        assert_eq!(t.recv_calls, 4);
+        assert_eq!(t.datagrams_in, 32);
+        assert_eq!(t.partial_sends, 1);
+        assert!((t.datagrams_per_recv() - 8.0).abs() < 1e-9);
+        let snap = m.snapshot();
+        let io = snap.get("io").unwrap();
+        assert_eq!(io.get("udp_backend").unwrap().as_str(), Some("mmsg"));
+        assert_eq!(io.get("datagrams_in").unwrap().as_u64(), Some(32));
+        assert_eq!(
+            io.get("per_worker").and_then(|v| match v {
+                Value::Array(a) => Some(a.len()),
+                _ => None,
+            }),
+            Some(2)
+        );
     }
 
     #[test]

@@ -14,30 +14,50 @@
 //! - [`UdpRelay`] — an on-path middlebox that forwards datagrams between
 //!   two hosts while running [`alpha_core::Relay`] verification, dropping
 //!   forged or unsolicited traffic before it wastes downstream bandwidth.
+//! - [`Engine`] — the threaded multi-flow front end (`alpha engine
+//!   serve`): worker threads over an [`alpha_engine::EngineCore`], with
+//!   per-worker `SO_REUSEPORT` sockets on the batched backend.
 //!
-//! Both endpoints are thin shells around [`alpha_engine::EngineCore`]:
-//! the transport owns the socket and the clock, the engine owns flow
-//! state, timers, admission and metrics. A multi-flow deployment uses
-//! [`alpha_engine::Engine`] (or `alpha engine serve`) directly; these
-//! types keep the simple one-association API on the same machinery.
+//! All of them move datagrams through the runtime-selected backends in
+//! [`io`]: `recvmmsg`/`sendmmsg` batching on Linux ([`mmsg`]), a
+//! portable `recv_from` loop elsewhere, overridable per process with
+//! `ALPHA_UDP_BACKEND=mmsg|fallback|auto`. Receives land in pooled
+//! frames ([`alpha_wire::FramePool`]) and whole bursts go to the engine
+//! in one call, so the batched syscall layer lines up with the engine's
+//! batch verification; the transport owns sockets and the clock, the
+//! engine owns flow state, timers, admission and metrics.
 
-use std::io;
+pub mod io;
+/// Hand-declared Linux FFI for `recvmmsg`/`sendmmsg` and
+/// `SO_REUSEPORT` socket groups (empty on other platforms).
+pub mod mmsg;
+mod server;
+
+pub use io::{RxDatagram, UdpBackend, UdpIo};
+pub use server::{query_stats, DeliverySink, Engine, RECV_TIMEOUT, STATS_MAGIC};
+
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use alpha_core::bootstrap::{self, AuthRequirement};
 use alpha_core::{Association, Config, Mode, RelayConfig, Timestamp};
-use alpha_engine::{Backoff, EngineConfig, EngineCore, EngineError, EngineOutput, FlowKey};
+use alpha_engine::{
+    Backoff, EngineConfig, EngineCore, EngineError, EngineOutput, FlowKey, IoWorker,
+};
 use alpha_pk::{PublicKey, Signer};
-use alpha_wire::Packet;
+use alpha_wire::FramePool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+use crate::io::{MAX_BATCH, MAX_DATAGRAM};
 
 /// Transport errors.
 #[derive(Debug)]
 pub enum TransportError {
     /// Socket-level failure.
-    Io(io::Error),
+    Io(std::io::Error),
     /// The protocol rejected a packet or operation.
     Protocol(alpha_core::ProtocolError),
     /// The operation did not complete before its deadline. `attempts`
@@ -50,8 +70,8 @@ pub enum TransportError {
     },
 }
 
-impl From<io::Error> for TransportError {
-    fn from(e: io::Error) -> TransportError {
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> TransportError {
         TransportError::Io(e)
     }
 }
@@ -66,7 +86,7 @@ impl From<EngineError> for TransportError {
     fn from(e: EngineError) -> TransportError {
         match e {
             EngineError::Protocol(p) => TransportError::Protocol(p),
-            other => TransportError::Io(io::Error::other(other.to_string())),
+            other => TransportError::Io(std::io::Error::other(other.to_string())),
         }
     }
 }
@@ -90,11 +110,18 @@ impl std::error::Error for TransportError {}
 const MIN_READ_TIMEOUT: Duration = Duration::from_millis(1);
 /// Ceiling for the dynamic read timeout, used when no timer is armed.
 const MAX_READ_TIMEOUT: Duration = Duration::from_millis(50);
-const MAX_DATAGRAM: usize = 65_536;
+
+fn rx_pool() -> FramePool {
+    // Full-datagram frames so a receive can never truncate; two bursts
+    // deep so a burst can be in flight while the next one lands.
+    FramePool::new(MAX_DATAGRAM, 2 * MAX_BATCH)
+}
 
 /// An ALPHA end host over UDP: one association, served by an engine.
 pub struct UdpHost {
-    socket: UdpSocket,
+    io: UdpIo,
+    pool: FramePool,
+    rx: Vec<RxDatagram>,
     core: EngineCore,
     key: FlowKey,
     start: Instant,
@@ -148,10 +175,24 @@ impl UdpHost {
         auth: HandshakeAuth<'_>,
     ) -> Result<UdpHost, TransportError> {
         let socket = UdpSocket::bind(bind)?;
+        Self::connect_socket(cfg, assoc_id, socket, peer, timeout, auth)
+    }
+
+    /// [`UdpHost::connect_with`] over a socket the caller already bound
+    /// (e.g. one reserved early so the address could be routed before
+    /// any traffic flows).
+    pub fn connect_socket<B: ToSocketAddrs>(
+        cfg: Config,
+        assoc_id: u64,
+        socket: UdpSocket,
+        peer: B,
+        timeout: Duration,
+        auth: HandshakeAuth<'_>,
+    ) -> Result<UdpHost, TransportError> {
         let peer = peer
             .to_socket_addrs()?
             .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no peer addr"))?;
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no peer addr"))?;
         let mut rng = StdRng::from_entropy();
         let (hs, init_pkt) = bootstrap::initiate(cfg, assoc_id, auth.identity, &mut rng);
         let require = if auth.require_peer {
@@ -164,7 +205,12 @@ impl UdpHost {
         let mut backoff = Backoff::handshake();
         socket.send_to(&init_bytes, peer)?;
         let mut next_resend = Instant::now() + backoff.next_delay(&mut rng);
-        let mut buf = vec![0u8; MAX_DATAGRAM];
+        // The engine core (and its I/O metrics registry) only exists
+        // after the handshake; count into a detached block for now and
+        // fold it in via `from_parts`.
+        let pool = rx_pool();
+        let mut io = UdpIo::new(socket, Arc::new(IoWorker::default()));
+        let mut rx: Vec<RxDatagram> = Vec::with_capacity(MAX_BATCH);
         loop {
             let now = Instant::now();
             if now > deadline {
@@ -173,24 +219,27 @@ impl UdpHost {
                 });
             }
             if now >= next_resend {
-                socket.send_to(&init_bytes, peer)?;
+                io.socket().send_to(&init_bytes, peer)?;
                 next_resend = now + backoff.next_delay(&mut rng);
             }
             let wait = next_resend
                 .saturating_duration_since(now)
                 .clamp(MIN_READ_TIMEOUT, MAX_READ_TIMEOUT);
-            socket.set_read_timeout(Some(wait))?;
-            let Ok((n, _from)) = socket.recv_from(&mut buf) else {
+            io.socket().set_read_timeout(Some(wait))?;
+            rx.clear();
+            if io.recv_batch(&pool, &mut rx, MAX_BATCH)? == 0 {
                 continue;
-            };
-            let Ok(pkt) = Packet::parse(&buf[..n]) else {
-                continue;
-            };
-            match hs.complete(&pkt, require) {
-                Ok((assoc, peer_key)) => {
-                    return Ok(UdpHost::from_parts(socket, peer, assoc, rng, peer_key));
+            }
+            for d in &rx {
+                let Ok(pkt) = alpha_wire::Packet::parse(&d.frame) else {
+                    continue;
+                };
+                match hs.complete(&pkt, require) {
+                    Ok((assoc, peer_key)) => {
+                        return Ok(UdpHost::from_parts(io, pool, peer, assoc, rng, peer_key));
+                    }
+                    Err(e) => return Err(TransportError::Protocol(e)),
                 }
-                Err(e) => return Err(TransportError::Protocol(e)),
             }
         }
     }
@@ -213,6 +262,16 @@ impl UdpHost {
         auth: HandshakeAuth<'_>,
     ) -> Result<UdpHost, TransportError> {
         let socket = UdpSocket::bind(bind)?;
+        Self::accept_socket(cfg, socket, timeout, auth)
+    }
+
+    /// [`UdpHost::accept_with`] over a socket the caller already bound.
+    pub fn accept_socket(
+        cfg: Config,
+        socket: UdpSocket,
+        timeout: Duration,
+        auth: HandshakeAuth<'_>,
+    ) -> Result<UdpHost, TransportError> {
         socket.set_read_timeout(Some(MAX_READ_TIMEOUT))?;
         let require = if auth.require_peer {
             AuthRequirement::AnyKey
@@ -220,31 +279,37 @@ impl UdpHost {
             AuthRequirement::None
         };
         let deadline = Instant::now() + timeout;
-        let mut buf = vec![0u8; MAX_DATAGRAM];
         let mut rng = StdRng::from_entropy();
+        let pool = rx_pool();
+        let mut io = UdpIo::new(socket, Arc::new(IoWorker::default()));
+        let mut rx: Vec<RxDatagram> = Vec::with_capacity(MAX_BATCH);
         loop {
             if Instant::now() > deadline {
                 // The acceptor never transmits before an HS1 arrives.
                 return Err(TransportError::Timeout { attempts: 0 });
             }
-            let Ok((n, from)) = socket.recv_from(&mut buf) else {
+            rx.clear();
+            if io.recv_batch(&pool, &mut rx, MAX_BATCH)? == 0 {
                 continue;
-            };
-            let Ok(pkt) = Packet::parse(&buf[..n]) else {
-                continue;
-            };
-            match bootstrap::respond(cfg, &pkt, auth.identity, require, &mut rng) {
-                Ok((assoc, reply, peer_key)) => {
-                    socket.send_to(&reply.emit(), from)?;
-                    return Ok(UdpHost::from_parts(socket, from, assoc, rng, peer_key));
+            }
+            for d in &rx {
+                let Ok(pkt) = alpha_wire::Packet::parse(&d.frame) else {
+                    continue;
+                };
+                match bootstrap::respond(cfg, &pkt, auth.identity, require, &mut rng) {
+                    Ok((assoc, reply, peer_key)) => {
+                        io.socket().send_to(&reply.emit(), d.from)?;
+                        return Ok(UdpHost::from_parts(io, pool, d.from, assoc, rng, peer_key));
+                    }
+                    Err(_) => continue, // stray or unauthorized handshake
                 }
-                Err(_) => continue, // stray or unauthorized handshake
             }
         }
     }
 
     fn from_parts(
-        socket: UdpSocket,
+        io: UdpIo,
+        pool: FramePool,
         peer: SocketAddr,
         assoc: Association,
         rng: StdRng,
@@ -252,9 +317,15 @@ impl UdpHost {
     ) -> UdpHost {
         let start = Instant::now();
         let core = single_flow_engine(*assoc.config());
+        // Adopt the handshake-phase counters so the host's metrics cover
+        // the socket's whole life.
+        core.metrics().io.set_backend(io.backend().name());
+        core.metrics().io.adopt_worker(Arc::clone(io.counters()));
         let key = core.add_host(peer, assoc, Timestamp::ZERO);
         UdpHost {
-            socket,
+            io,
+            pool,
+            rx: Vec::with_capacity(MAX_BATCH),
             core,
             key,
             start,
@@ -270,8 +341,8 @@ impl UdpHost {
     }
 
     /// Local address (useful with port 0 binds).
-    pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.socket.local_addr()
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.io.socket().local_addr()
     }
 
     /// Protocol-time now.
@@ -295,7 +366,7 @@ impl UdpHost {
     }
 
     /// Block on the socket until the engine's next timer deadline (or
-    /// the caps), then drain one datagram through the engine.
+    /// the caps), then drain one burst of datagrams through the engine.
     fn pump_once(&mut self, inbound: &mut Vec<Vec<u8>>) -> Result<(), TransportError> {
         let wait = match self.core.next_deadline() {
             Some(t) => {
@@ -303,12 +374,14 @@ impl UdpHost {
             }
             None => MAX_READ_TIMEOUT,
         };
-        self.socket.set_read_timeout(Some(wait))?;
-        let mut buf = [0u8; MAX_DATAGRAM];
-        if let Ok((n, from)) = self.socket.recv_from(&mut buf) {
-            let out = self
-                .core
-                .handle_datagram(from, &buf[..n], self.now(), &mut self.rng);
+        self.io.socket().set_read_timeout(Some(wait))?;
+        self.rx.clear();
+        if self.io.recv_batch(&self.pool, &mut self.rx, MAX_BATCH)? > 0 {
+            let now = self.now();
+            let batch: Vec<(SocketAddr, &[u8])> =
+                self.rx.iter().map(|d| (d.from, &d.frame[..])).collect();
+            let out = self.core.handle_datagrams(&batch, now, &mut self.rng);
+            drop(batch);
             self.flush(out, inbound)?;
         }
         let out = self.core.poll(self.now(), &mut self.rng);
@@ -317,9 +390,7 @@ impl UdpHost {
     }
 
     fn flush(&self, out: EngineOutput, inbound: &mut Vec<Vec<u8>>) -> Result<(), TransportError> {
-        for (dst, bytes) in &out.datagrams {
-            self.socket.send_to(bytes, *dst)?;
-        }
+        self.io.send_batch(&out.datagrams)?;
         inbound.extend(out.delivered.into_iter().map(|(_, _, p)| p));
         Ok(())
     }
@@ -344,17 +415,9 @@ impl UdpHost {
             if Instant::now() > deadline {
                 return Err(TransportError::Timeout { attempts });
             }
-            let sent_before = self
-                .core
-                .metrics()
-                .packets_out
-                .load(std::sync::atomic::Ordering::Relaxed);
+            let sent_before = self.core.metrics().packets_out.load(Relaxed);
             self.pump_once(&mut inbound)?;
-            let sent_after = self
-                .core
-                .metrics()
-                .packets_out
-                .load(std::sync::atomic::Ordering::Relaxed);
+            let sent_after = self.core.metrics().packets_out.load(Relaxed);
             attempts += (sent_after - sent_before) as u32;
         }
         Ok(inbound)
@@ -375,7 +438,9 @@ impl UdpHost {
 /// An on-path UDP middlebox: forwards datagrams between two sides while
 /// verifying them with a relay-role engine flow per association.
 pub struct UdpRelay {
-    socket: UdpSocket,
+    io: UdpIo,
+    pool: FramePool,
+    rx: Vec<RxDatagram>,
     core: EngineCore,
     start: Instant,
     /// Verified payloads extracted in transit.
@@ -389,6 +454,7 @@ pub struct UdpRelay {
 
 impl UdpRelay {
     /// Bind `bind`; traffic from `left` forwards to `right` and back.
+    /// More routes can be added through [`UdpRelay::engine`].
     pub fn new<A: ToSocketAddrs>(
         bind: A,
         left: SocketAddr,
@@ -404,8 +470,12 @@ impl UdpRelay {
         ecfg.accept_handshakes = false;
         let core = EngineCore::new(ecfg);
         core.add_route(left, right);
+        let io = UdpIo::new(socket, core.metrics().io.register_worker());
+        core.metrics().io.set_backend(io.backend().name());
         Ok(UdpRelay {
-            socket,
+            io,
+            pool: rx_pool(),
+            rx: Vec::with_capacity(MAX_BATCH),
             core,
             start: Instant::now(),
             extracted: Vec::new(),
@@ -415,35 +485,36 @@ impl UdpRelay {
     }
 
     /// Local address.
-    pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.socket.local_addr()
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.io.socket().local_addr()
     }
 
-    /// The relay's engine core (metrics, flow counts).
+    /// The relay's engine core (metrics, flow counts, extra routes).
     #[must_use]
     pub fn engine(&self) -> &EngineCore {
         &self.core
     }
 
-    /// Forward and verify for `duration`.
+    /// Forward and verify for `duration`, draining whole bursts so the
+    /// relay's batched signature verification gets full batches.
     pub fn run_for(&mut self, duration: Duration) -> Result<(), TransportError> {
         let deadline = Instant::now() + duration;
-        let mut buf = vec![0u8; MAX_DATAGRAM];
         let mut rng = StdRng::from_entropy();
         while Instant::now() < deadline {
-            let Ok((n, from)) = self.socket.recv_from(&mut buf) else {
+            self.rx.clear();
+            if self.io.recv_batch(&self.pool, &mut self.rx, MAX_BATCH)? == 0 {
                 continue;
-            };
-            let now = Timestamp::from_micros(self.start.elapsed().as_micros() as u64);
-            let out = self.core.handle_datagram(from, &buf[..n], now, &mut rng);
-            for (dst, bytes) in &out.datagrams {
-                self.socket.send_to(bytes, *dst)?;
             }
+            let now = Timestamp::from_micros(self.start.elapsed().as_micros() as u64);
+            let batch: Vec<(SocketAddr, &[u8])> =
+                self.rx.iter().map(|d| (d.from, &d.frame[..])).collect();
+            let out = self.core.handle_datagrams(&batch, now, &mut rng);
+            drop(batch);
+            self.io.send_batch(&out.datagrams)?;
             self.forwarded += out.datagrams.len() as u64;
             self.extracted
                 .extend(out.extracted.into_iter().map(|(_, p)| p));
             let m = self.core.metrics();
-            use std::sync::atomic::Ordering::Relaxed;
             self.dropped = m.total_drops()
                 + m.admission_drops.load(Relaxed)
                 + m.backpressure_drops.load(Relaxed)
@@ -481,6 +552,10 @@ mod tests {
         client
             .send_batch(&[b"over real udp"], Mode::Base, Duration::from_secs(5))
             .expect("send");
+        // The host's metrics now carry I/O accounting for its socket.
+        let totals = client.engine().metrics().io.totals();
+        assert!(totals.datagrams_in > 0, "host counted received datagrams");
+        assert!(totals.datagrams_out > 0, "host counted sent datagrams");
         let delivered = server.join().expect("server thread");
         assert_eq!(delivered, vec![b"over real udp".to_vec()]);
     }

@@ -1,0 +1,442 @@
+//! Threaded UDP front end for [`EngineCore`].
+//!
+//! Each worker thread owns its *own* socket and drains it with the
+//! batched I/O layer ([`crate::io`]) — there is no receiver thread and
+//! no user-space demux hop:
+//!
+//! - On the `mmsg` backend with more than one worker, the sockets form
+//!   a `SO_REUSEPORT` group bound to one address: the kernel's 4-tuple
+//!   hash pins each remote source to one member socket, so every flow's
+//!   datagrams arrive on one worker, in order, spread across workers by
+//!   kernel RSS. If the group bind fails (platform policy, exotic
+//!   kernels) the engine falls back to one shared socket cloned per
+//!   worker — same semantics, serialized syscalls.
+//! - On the `fallback` backend every worker clones one shared socket
+//!   and does classic one-datagram `recv_from` — the portable baseline
+//!   the `udp_io` bench measures the batched path against.
+//!
+//! Shard ownership is unchanged: worker `w` of `W` drives the timers of
+//! shards `s ≡ w (mod W)`. Kernel RSS does not agree with the engine's
+//! shard hash, so a worker may process datagrams for shards it does not
+//! own — the sharded flow table is lock-protected precisely so that any
+//! worker may touch any shard; ownership only partitions *timer* work.
+//! Read timeouts are deadline-aware: each worker sizes its blocking
+//! window from its own shards' next timer deadline (with a shared
+//! socket the coarsest window wins, bounding timer lateness at
+//! [`RECV_TIMEOUT`], exactly the old fixed behaviour).
+//!
+//! A stats datagram (prefix [`STATS_MAGIC`]) is answered inline by
+//! whichever worker receives it, so `engine stats` works against a
+//! live engine without a side channel.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use alpha_core::Timestamp;
+use alpha_engine::{EngineCore, EngineOutput};
+use alpha_wire::FramePool;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::io::{RxDatagram, UdpBackend, UdpIo, MAX_DATAGRAM};
+
+/// First bytes of a stats-query datagram. Starts with 0x00, which no
+/// ALPHA packet type uses, so protocol traffic can never alias it.
+pub const STATS_MAGIC: &[u8] = b"\x00ALPHA-ENGINE-STATS";
+
+/// Ceiling on a worker's blocking receive window (and on timer
+/// lateness when the deadline computation cannot help).
+pub const RECV_TIMEOUT: Duration = Duration::from_millis(5);
+const MIN_READ_TIMEOUT: Duration = Duration::from_millis(1);
+/// Most datagrams drained into one worker burst before timers and
+/// transmissions get a chance to run; bounds per-burst frame pinning.
+const MAX_BURST: usize = 32;
+/// Kernel receive-buffer request for every worker socket: deep enough
+/// to absorb a traffic burst while workers are inside the engine.
+/// Best-effort — without `CAP_NET_ADMIN` the kernel clamps the request
+/// to `net.core.rmem_max`.
+#[cfg(target_os = "linux")]
+const RECV_BUFFER_BYTES: usize = 4 << 20;
+
+/// A running multi-flow engine: per-worker sockets (or one shared
+/// socket) and a worker pool owning disjoint shard sets.
+pub struct Engine {
+    core: Arc<EngineCore>,
+    io: UdpIo,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    start: Instant,
+    reuseport: bool,
+}
+
+/// What each verified delivery/extraction sink receives.
+pub type DeliverySink = Box<dyn Fn(&EngineOutput) + Send + Sync>;
+
+impl Engine {
+    /// Bind `addr` and start `workers` worker threads over `core`.
+    pub fn bind<A: ToSocketAddrs>(addr: A, core: EngineCore, workers: usize) -> io::Result<Engine> {
+        Engine::bind_with_sink(addr, core, workers, None)
+    }
+
+    /// [`Engine::bind`] with an optional sink invoked (on worker
+    /// threads) for every output carrying deliveries or extractions.
+    pub fn bind_with_sink<A: ToSocketAddrs>(
+        addr: A,
+        core: EngineCore,
+        workers: usize,
+        sink: Option<DeliverySink>,
+    ) -> io::Result<Engine> {
+        let workers = workers.max(1);
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no bind addr"))?;
+        let backend = crate::io::active();
+        let (sockets, reuseport) = bind_worker_sockets(addr, workers, backend)?;
+        // Deep receive queues decouple sender cadence from worker
+        // cadence on every backend; applies to the shared fallback
+        // socket and each reuseport member alike.
+        #[cfg(target_os = "linux")]
+        for s in &sockets {
+            let _ = crate::mmsg::set_recv_buffer(s, RECV_BUFFER_BYTES);
+        }
+        let core = Arc::new(core);
+        core.metrics().io.set_backend(backend.name());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let start = Instant::now();
+        let sink = sink.map(Arc::new);
+        // RX frames are full-datagram sized (a recv must never truncate)
+        // and separate from the engine's TX pool, whose frames are MTU
+        // sized.
+        let rx_pool = FramePool::new(MAX_DATAGRAM, workers * MAX_BURST * 2);
+
+        let handle = sockets[0].try_clone()?;
+        let mut threads = Vec::with_capacity(workers);
+        for (w, sock) in sockets.into_iter().enumerate() {
+            sock.set_read_timeout(Some(RECV_TIMEOUT))?;
+            let io = UdpIo::with_backend(sock, backend, core.metrics().io.register_worker());
+            threads.push(spawn_worker(
+                w,
+                workers,
+                io,
+                rx_pool.clone(),
+                Arc::clone(&core),
+                Arc::clone(&shutdown),
+                start,
+                sink.clone(),
+            ));
+        }
+        let io = UdpIo::with_backend(handle, backend, core.metrics().io.register_worker());
+        Ok(Engine {
+            core,
+            io,
+            shutdown,
+            threads,
+            start,
+            reuseport,
+        })
+    }
+
+    /// The engine core (routes, flow creation, metrics).
+    #[must_use]
+    pub fn core(&self) -> &Arc<EngineCore> {
+        &self.core
+    }
+
+    /// Bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.io.socket().local_addr()
+    }
+
+    /// Whether the workers got their own `SO_REUSEPORT` sockets (false:
+    /// one shared socket, either by backend choice or graceful
+    /// fallback).
+    #[must_use]
+    pub fn per_worker_sockets(&self) -> bool {
+        self.reuseport
+    }
+
+    /// Engine-relative protocol time (µs since bind).
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        Timestamp::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Send pre-staged datagrams (e.g. from
+    /// [`EngineCore::sign_batch`]), gathered into batched syscalls.
+    pub fn transmit(&self, out: &EngineOutput) -> io::Result<()> {
+        self.io.send_batch(&out.datagrams)?;
+        Ok(())
+    }
+
+    /// Current stats snapshot as JSON.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        self.core.stats_json()
+    }
+
+    /// Signal shutdown and join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One socket per worker (a `SO_REUSEPORT` group) when the batched
+/// backend can use them; otherwise one socket cloned per worker.
+fn bind_worker_sockets(
+    addr: SocketAddr,
+    workers: usize,
+    backend: UdpBackend,
+) -> io::Result<(Vec<UdpSocket>, bool)> {
+    #[cfg(target_os = "linux")]
+    if backend == UdpBackend::Mmsg && workers > 1 {
+        // Graceful fallback: any failure here (policy, odd kernels)
+        // just means a shared socket below.
+        if let Ok(group) = crate::mmsg::bind_reuseport_group(addr, workers) {
+            return Ok((group, true));
+        }
+    }
+    let _ = backend;
+    let first = UdpSocket::bind(addr)?;
+    let mut sockets = Vec::with_capacity(workers);
+    for _ in 1..workers {
+        sockets.push(first.try_clone()?);
+    }
+    sockets.insert(0, first);
+    Ok((sockets, false))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_worker(
+    index: usize,
+    workers: usize,
+    mut io: UdpIo,
+    rx_pool: FramePool,
+    core: Arc<EngineCore>,
+    shutdown: Arc<AtomicBool>,
+    start: Instant,
+    sink: Option<Arc<DeliverySink>>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut rng = StdRng::from_entropy();
+        let owned: Vec<usize> = (0..core.shard_count())
+            .filter(|s| s % workers == index)
+            .collect();
+        let mut rx: Vec<RxDatagram> = Vec::with_capacity(MAX_BURST);
+        let mut read_timeout = RECV_TIMEOUT;
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
+            // Drive this worker's shards' timers first, then block on
+            // the socket until the next deadline-ish tick.
+            let mut out = EngineOutput::default();
+            for &s in &owned {
+                core.poll_shard(s, now, &mut rng, &mut out);
+            }
+            dispatch(&io, &out, sink.as_deref());
+            let wait = owned
+                .iter()
+                .filter_map(|&s| core.shard_next_deadline(s))
+                .min()
+                .map_or(RECV_TIMEOUT, |d| Duration::from_micros(d.since(now)))
+                .clamp(MIN_READ_TIMEOUT, RECV_TIMEOUT);
+            // Quantize to whole milliseconds so an unchanged deadline
+            // horizon costs no setsockopt on the hot path.
+            let wait = Duration::from_millis((wait.as_micros() as u64).div_ceil(1000).max(1));
+            if wait != read_timeout {
+                let _ = io.socket().set_read_timeout(Some(wait));
+                read_timeout = wait;
+            }
+            rx.clear();
+            match io.recv_batch(&rx_pool, &mut rx, MAX_BURST) {
+                Ok(n) if n > 0 => {}
+                _ => continue, // timeout (re-check shutdown) or transient error
+            }
+            let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
+            let mut batch: Vec<(SocketAddr, &[u8])> = Vec::with_capacity(rx.len());
+            for d in &rx {
+                if d.frame.starts_with(STATS_MAGIC) {
+                    let _ = io.socket().send_to(core.stats_json().as_bytes(), d.from);
+                } else {
+                    batch.push((d.from, &d.frame[..]));
+                }
+            }
+            if batch.is_empty() {
+                continue;
+            }
+            // The whole burst goes to the engine in one call, so its
+            // relay path can batch-verify and the responses leave in
+            // one gathered send below.
+            let out = core.handle_datagrams(&batch, now, &mut rng);
+            drop(batch);
+            dispatch(&io, &out, sink.as_deref());
+        }
+    })
+}
+
+fn dispatch(io: &UdpIo, out: &EngineOutput, sink: Option<&DeliverySink>) {
+    let _ = io.send_batch(&out.datagrams);
+    if let Some(sink) = sink {
+        if !out.delivered.is_empty() || !out.extracted.is_empty() || !out.completed.is_empty() {
+            sink(out);
+        }
+    }
+}
+
+/// Query a running engine's stats over UDP (the `engine stats` CLI).
+pub fn query_stats(addr: SocketAddr, timeout: Duration) -> io::Result<String> {
+    let socket = UdpSocket::bind(match addr {
+        SocketAddr::V4(_) => "0.0.0.0:0",
+        SocketAddr::V6(_) => "[::]:0",
+    })?;
+    socket.set_read_timeout(Some(timeout))?;
+    socket.send_to(STATS_MAGIC, addr)?;
+    let mut buf = vec![0u8; MAX_DATAGRAM];
+    let (n, _) = socket.recv_from(&mut buf)?;
+    Ok(String::from_utf8_lossy(&buf[..n]).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_core::{Config, Mode};
+    use alpha_crypto::Algorithm;
+    use alpha_engine::EngineConfig;
+
+    fn engine_cfg() -> EngineConfig {
+        EngineConfig::new(Config::new(Algorithm::Sha1).with_chain_len(64))
+    }
+
+    /// A single-flow client driven by its own `EngineCore` over a raw
+    /// socket: handshake, send one message, wait for the exchange to
+    /// finish.
+    fn run_client(server_addr: SocketAddr, assoc_id: u64, payload: &[u8]) {
+        let core = EngineCore::new(engine_cfg());
+        let socket = UdpSocket::bind("127.0.0.1:0").expect("client bind");
+        socket
+            .set_read_timeout(Some(Duration::from_millis(5)))
+            .unwrap();
+        let start = Instant::now();
+        let mut rng = StdRng::seed_from_u64(assoc_id);
+        let now = |s: Instant| Timestamp::from_micros(s.elapsed().as_micros() as u64);
+
+        let (key, out) = core.connect(server_addr, assoc_id, now(start), &mut rng);
+        for (dst, bytes) in &out.datagrams {
+            socket.send_to(bytes, *dst).unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut buf = vec![0u8; MAX_DATAGRAM];
+        let mut connected = false;
+        let mut sent = false;
+        while Instant::now() < deadline {
+            let mut out = core.poll(now(start), &mut rng);
+            if let Ok((n, from)) = socket.recv_from(&mut buf) {
+                out.absorb(core.handle_datagram(from, &buf[..n], now(start), &mut rng));
+            }
+            for (dst, bytes) in &out.datagrams {
+                socket.send_to(bytes, *dst).unwrap();
+            }
+            connected |= out.completed.contains(&key);
+            if connected && !sent {
+                let out = core
+                    .sign_batch(key, &[payload], Mode::Base, now(start))
+                    .expect("sign");
+                for (dst, bytes) in &out.datagrams {
+                    socket.send_to(bytes, *dst).unwrap();
+                }
+                sent = true;
+            }
+            if sent && core.flow_is_idle(key) {
+                return;
+            }
+        }
+        panic!("client {assoc_id} did not finish its exchange in time");
+    }
+
+    #[test]
+    fn serve_multiple_clients_and_answer_stats() {
+        let server = Engine::bind("127.0.0.1:0", EngineCore::new(engine_cfg()), 2).expect("bind");
+        let server_addr = server.local_addr().unwrap();
+
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            handles.push(std::thread::spawn(move || {
+                run_client(server_addr, 100 + i, format!("client {i}").as_bytes());
+            }));
+        }
+        for h in handles {
+            h.join().expect("client");
+        }
+        // A client is done once its own signer goes idle, which can be a
+        // moment before the server worker has processed the final S2 —
+        // poll the live stats endpoint until the counters converge.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let v = loop {
+            let stats = query_stats(server_addr, Duration::from_secs(5)).expect("stats");
+            let v: serde::Value = serde_json::from_str(&stats).expect("stats json");
+            let verified = v
+                .get("metrics")
+                .and_then(|m| m.get("s2_verified"))
+                .and_then(serde::Value::as_u64);
+            if verified == Some(4) || Instant::now() >= deadline {
+                break v;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        let m = v.get("metrics").unwrap();
+        assert_eq!(m.get("handshakes").unwrap().as_u64(), Some(4));
+        assert_eq!(m.get("s2_verified").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("flows").unwrap().as_u64(), Some(4));
+        // The front end stamped its backend and every worker's I/O
+        // counters into the same snapshot.
+        let backend = v.get("udp_backend").and_then(serde::Value::as_str);
+        assert_eq!(backend, Some(crate::io::active().name()));
+        let io = m.get("io").expect("io metrics");
+        assert!(
+            io.get("datagrams_in")
+                .and_then(serde::Value::as_u64)
+                .unwrap_or(0)
+                > 0,
+            "workers counted received datagrams"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn reuseport_group_binds_and_serves() {
+        // Force per-worker sockets regardless of the session backend.
+        let group = crate::mmsg::bind_reuseport_group("127.0.0.1:0".parse().unwrap(), 4)
+            .expect("reuseport group");
+        let addr = group[0].local_addr().unwrap();
+        for s in &group {
+            assert_eq!(s.local_addr().unwrap(), addr, "one address, many sockets");
+        }
+        drop(group);
+        // And the engine front end picks them up when the backend is mmsg.
+        if crate::io::active() == UdpBackend::Mmsg {
+            let engine =
+                Engine::bind("127.0.0.1:0", EngineCore::new(engine_cfg()), 4).expect("bind");
+            assert!(engine.per_worker_sockets());
+            engine.shutdown();
+        }
+    }
+}

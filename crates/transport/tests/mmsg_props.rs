@@ -1,0 +1,134 @@
+//! FFI-layout property tests for the hand-declared `recvmmsg`/`sendmmsg`
+//! ABI in `alpha_transport::mmsg` (Linux only).
+//!
+//! The hand-written `#[repr(C)]` headers are only right if real
+//! datagrams survive them: batches of every awkward size (0 bytes, 1
+//! byte, odd lengths, ~MTU) go through a loopback socket pair and come
+//! back with the same lengths, payload bytes and source addresses;
+//! undersized receive frames must surface the kernel's truncation flag;
+//! oversized send batches must be chunked and resubmitted completely.
+
+#![cfg(target_os = "linux")]
+
+use std::net::UdpSocket;
+use std::sync::Arc;
+use std::time::Duration;
+
+use alpha_engine::IoWorker;
+use alpha_transport::io::MAX_BATCH;
+use alpha_transport::{mmsg, RxDatagram, UdpBackend, UdpIo};
+use alpha_wire::{Frame, FramePool};
+
+fn pair() -> (UdpSocket, UdpSocket) {
+    let a = UdpSocket::bind("127.0.0.1:0").unwrap();
+    let b = UdpSocket::bind("127.0.0.1:0").unwrap();
+    a.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    b.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    (a, b)
+}
+
+/// Payload for message `i` of a round: length-patterned bytes so a
+/// mixed-up iovec or msg_len shows as a mismatch, not a coincidence.
+fn payload(i: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|j| (i * 131 + j * 7) as u8).collect()
+}
+
+fn frame_of(pool: &FramePool, bytes: &[u8]) -> Frame {
+    let mut f = pool.checkout();
+    f.buf_mut().extend_from_slice(bytes);
+    f
+}
+
+/// Receive exactly `n` datagrams, however many syscalls that takes.
+fn recv_all(sock: &UdpSocket, pool: &FramePool, n: usize) -> Vec<RxDatagram> {
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    while out.len() < n {
+        let want = n - out.len();
+        let got = mmsg::recv_batch(sock, pool, &mut scratch, &mut out, want).expect("recv_batch");
+        assert!(got > 0, "timed out with {}/{} datagrams", out.len(), n);
+    }
+    out
+}
+
+#[test]
+fn batches_of_awkward_sizes_survive_the_packing() {
+    let (tx, rx) = pair();
+    let rx_addr = rx.local_addr().unwrap();
+    let tx_addr = tx.local_addr().unwrap();
+    let pool = FramePool::new(65_536, 4 * MAX_BATCH);
+
+    // 0, 1, odd, and ~MTU sizes, batch sizes 1..=VLEN.
+    let sizes = [0usize, 1, 3, 17, 255, 999, 1473];
+    for batch in [1usize, 2, 3, 7, MAX_BATCH / 2, MAX_BATCH] {
+        let msgs: Vec<(std::net::SocketAddr, Frame)> = (0..batch)
+            .map(|i| {
+                (
+                    rx_addr,
+                    frame_of(&pool, &payload(i, sizes[i % sizes.len()])),
+                )
+            })
+            .collect();
+        let mut sent = 0;
+        while sent < msgs.len() {
+            let n = mmsg::send_batch(&tx, &msgs[sent..]).expect("send_batch");
+            assert!(n > 0, "kernel accepted nothing");
+            sent += n;
+        }
+        let got = recv_all(&rx, &pool, batch);
+        assert_eq!(got.len(), batch);
+        // Loopback preserves order from one sender socket.
+        for (i, d) in got.iter().enumerate() {
+            let want = payload(i, sizes[i % sizes.len()]);
+            assert_eq!(d.frame.len(), want.len(), "length of message {i}");
+            assert_eq!(&d.frame[..], &want[..], "payload of message {i}");
+            assert_eq!(d.from, tx_addr, "source address of message {i}");
+            assert!(!d.truncated, "message {i} fit its frame");
+        }
+    }
+}
+
+#[test]
+fn truncation_is_flagged_and_length_clamped() {
+    let (tx, rx) = pair();
+    let rx_addr = rx.local_addr().unwrap();
+    // Frames with room for 128 bytes; datagrams of 300 must be cut and
+    // flagged.
+    let small_pool = FramePool::new(128, 8);
+    let big_pool = FramePool::new(65_536, 8);
+    let want = payload(1, 300);
+    mmsg::send_batch(&tx, &[(rx_addr, frame_of(&big_pool, &want))]).expect("send");
+    let got = recv_all(&rx, &small_pool, 1);
+    assert!(got[0].truncated, "kernel truncation must be surfaced");
+    assert_eq!(got[0].frame.len(), 128, "clamped to frame capacity");
+    assert_eq!(&got[0].frame[..], &want[..128], "prefix preserved");
+}
+
+#[test]
+fn oversized_batches_chunk_and_resubmit_through_udp_io() {
+    let (tx, rx) = pair();
+    let rx_addr = rx.local_addr().unwrap();
+    let pool = FramePool::new(2048, 4 * MAX_BATCH);
+    let counters = Arc::new(IoWorker::default());
+    let io_tx = UdpIo::with_backend(tx, UdpBackend::Mmsg, Arc::clone(&counters));
+
+    // More than one VLEN's worth in one call: UdpIo must chunk it into
+    // several syscalls and deliver every message.
+    let total = 2 * MAX_BATCH + 5;
+    let msgs: Vec<(std::net::SocketAddr, Frame)> = (0..total)
+        .map(|i| (rx_addr, frame_of(&pool, &payload(i, 100 + i))))
+        .collect();
+    let sent = io_tx.send_batch(&msgs).expect("send_batch");
+    assert_eq!(sent, total);
+
+    let got = recv_all(&rx, &pool, total);
+    for (i, d) in got.iter().enumerate() {
+        assert_eq!(&d.frame[..], &payload(i, 100 + i)[..], "message {i}");
+    }
+    use std::sync::atomic::Ordering::Relaxed;
+    assert_eq!(counters.datagrams_out.load(Relaxed), total as u64);
+    assert!(
+        counters.send_calls.load(Relaxed) >= 3,
+        "chunking needs at least ceil(total/VLEN) syscalls"
+    );
+}

@@ -699,22 +699,32 @@ fn echo_app_measures_round_trips() {
 /// (lost flows) and nothing more (cross-flow bleed).
 #[test]
 fn engine_relays_32_concurrent_associations_without_bleed() {
-    use alpha::engine::{Engine, EngineConfig, EngineCore};
+    use alpha::engine::{EngineConfig, EngineCore};
+    use alpha::transport::Engine;
     use alpha::transport::UdpHost;
     use std::net::UdpSocket;
     use std::time::Duration;
 
+    use alpha::transport::HandshakeAuth;
+
     const FLOWS: usize = 32;
     let cfg = Config::new(Algorithm::Sha1).with_chain_len(64);
 
-    // Reserve distinct loopback addresses for every endpoint up front so
-    // the relay can be routed before anyone transmits.
-    let probe = |_: usize| {
-        let s = UdpSocket::bind("127.0.0.1:0").unwrap();
-        s.local_addr().unwrap()
-    };
-    let client_addrs: Vec<_> = (0..FLOWS).map(probe).collect();
-    let server_addrs: Vec<_> = (0..FLOWS).map(probe).collect();
+    // Reserve distinct loopback sockets for every endpoint up front so
+    // the relay can be routed before anyone transmits. The sockets stay
+    // bound and are handed to the hosts — releasing and re-binding the
+    // addresses would race other ephemeral-port allocations.
+    let reserve = |_: usize| UdpSocket::bind("127.0.0.1:0").unwrap();
+    let client_socks: Vec<_> = (0..FLOWS).map(reserve).collect();
+    let server_socks: Vec<_> = (0..FLOWS).map(reserve).collect();
+    let client_addrs: Vec<_> = client_socks
+        .iter()
+        .map(|s| s.local_addr().unwrap())
+        .collect();
+    let server_addrs: Vec<_> = server_socks
+        .iter()
+        .map(|s| s.local_addr().unwrap())
+        .collect();
 
     // One relay engine; all 32 address pairs are its routes.
     let relay_core = EngineCore::new(EngineConfig::new(cfg).with_shards(8));
@@ -724,12 +734,18 @@ fn engine_relays_32_concurrent_associations_without_bleed() {
     let relay = Engine::bind("127.0.0.1:0", relay_core, 4).expect("relay bind");
     let relay_addr = relay.local_addr().unwrap();
 
-    let servers: Vec<_> = (0..FLOWS)
-        .map(|i| {
-            let addr = server_addrs[i];
+    let servers: Vec<_> = server_socks
+        .into_iter()
+        .enumerate()
+        .map(|(i, sock)| {
             std::thread::spawn(move || {
-                let mut host = UdpHost::accept(cfg, addr, Duration::from_secs(30))
-                    .unwrap_or_else(|e| panic!("server {i} accept: {e}"));
+                let mut host = UdpHost::accept_socket(
+                    cfg,
+                    sock,
+                    Duration::from_secs(30),
+                    HandshakeAuth::default(),
+                )
+                .unwrap_or_else(|e| panic!("server {i} accept: {e}"));
                 host.serve(Duration::from_millis(4000))
                     .unwrap_or_else(|e| panic!("server {i} serve: {e}"))
             })
@@ -737,16 +753,18 @@ fn engine_relays_32_concurrent_associations_without_bleed() {
         .collect();
     std::thread::sleep(Duration::from_millis(100));
 
-    let clients: Vec<_> = (0..FLOWS)
-        .map(|i| {
-            let addr = client_addrs[i];
+    let clients: Vec<_> = client_socks
+        .into_iter()
+        .enumerate()
+        .map(|(i, sock)| {
             std::thread::spawn(move || {
-                let mut host = UdpHost::connect(
+                let mut host = UdpHost::connect_socket(
                     cfg,
                     1000 + i as u64,
-                    addr,
+                    sock,
                     relay_addr,
                     Duration::from_secs(30),
+                    HandshakeAuth::default(),
                 )
                 .unwrap_or_else(|e| panic!("client {i} connect: {e}"));
                 let payload = format!("flow {i} payload");
