@@ -32,6 +32,16 @@ cargo test -q -p alpha-transport
 echo "==> udp io bench smoke (release, --quick)"
 cargo run --release -p alpha-bench --bin udp_io -- --quick
 
+echo "==> mesh: chained sim scenarios + per-hop verification tests"
+cargo test -q -p alpha-sim mesh_chain
+cargo test -q --test mesh
+
+echo "==> mesh: live 2-relay loopback smoke (release)"
+cargo run --release --example mesh_smoke
+
+echo "==> mesh chain bench smoke (release, --quick)"
+cargo run --release -p alpha-bench --bin mesh_chain -- --quick
+
 echo "==> decoder robustness properties (release)"
 cargo test --release --test properties -q -- \
     truncation_at_every_offset_agrees \

@@ -30,7 +30,7 @@ use alpha_bench::table;
 use alpha_core::bootstrap::{self, AuthRequirement};
 use alpha_core::{Config, Timestamp};
 use alpha_crypto::Algorithm;
-use alpha_engine::{EngineConfig, EngineCore};
+use alpha_engine::{EngineConfig, EngineCore, ShardAssignment};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -128,13 +128,24 @@ fn run_config(traffic: &[FlowTraffic], workers: usize, cfg: Config) -> RunResult
             EngineCore::new(ecfg)
         })
         .collect();
-    // Partition flows exactly as the threaded front end demuxes
-    // datagrams: shard of the source address, modulo worker count.
-    let mut partitions: Vec<Vec<&FlowTraffic>> = vec![Vec::new(); workers];
+    // Partition flows the way the threaded front end demuxes datagrams:
+    // by shard of the source address. Shards are placed on workers with
+    // the least-loaded (LPT greedy) assignment over per-shard flow
+    // counts — the load-oblivious `shard % workers` mapping regressed at
+    // 8 workers/1024 flows (0.49M S2/s vs 0.61M at 4 workers) because a
+    // few hot shards landed on the same worker while others idled.
+    let mut shard_of_flow = Vec::with_capacity(traffic.len());
+    let mut loads = vec![0u64; SHARDS];
     for t in traffic {
         cores[0].add_route(t.client, t.server); // resolve shard via route
-        let w = cores[0].shard_of_source(t.client) % workers;
-        partitions[w].push(t);
+        let shard = cores[0].shard_of_source(t.client);
+        loads[shard] += 1;
+        shard_of_flow.push(shard);
+    }
+    let assignment = ShardAssignment::least_loaded(&loads, workers);
+    let mut partitions: Vec<Vec<&FlowTraffic>> = vec![Vec::new(); workers];
+    for (t, &shard) in traffic.iter().zip(&shard_of_flow) {
+        partitions[assignment.worker_of(shard)].push(t);
     }
     for (w, part) in partitions.iter().enumerate() {
         for t in part {
@@ -276,6 +287,11 @@ fn main() {
     );
     let _ = writeln!(json, "  \"exchanges_per_flow\": {EXCHANGES},");
     let _ = writeln!(json, "  \"shards\": {SHARDS},");
+    let _ = writeln!(
+        json,
+        "  \"assignment_policy\": \"{}\",",
+        ShardAssignment::least_loaded(&[0], 1).policy_name()
+    );
     let _ = writeln!(json, "  \"speedup_8_workers_vs_1\": {ratio:.4},");
     let _ = writeln!(json, "  \"runs\": [");
     for (i, r) in results.iter().enumerate() {
@@ -306,5 +322,23 @@ fn main() {
     assert!(
         ratio >= 4.0,
         "aggregate S2-verify throughput must scale >=4x from 1 to 8 workers, got {ratio:.2}x"
+    );
+
+    // The shard-imbalance regression the least-loaded assignment fixes:
+    // under modulo placement, 1024 flows ran *slower* at 8 workers than
+    // at 4 (0.49M vs 0.61M S2/s) because hot shards stacked on one
+    // worker. More workers must never cost throughput.
+    let tput_at = |flows: usize, w: usize| {
+        results
+            .iter()
+            .find(|r| r.flows == flows && r.workers == w)
+            .map(|r| r.aggregate_per_sec)
+            .unwrap_or(0.0)
+    };
+    assert!(
+        tput_at(1024, 8) >= tput_at(1024, 4),
+        "1024 flows: 8 workers ({:.0} S2/s) regressed below 4 workers ({:.0} S2/s)",
+        tput_at(1024, 8),
+        tput_at(1024, 4)
     );
 }

@@ -103,6 +103,43 @@ pub enum Command {
         /// Print the raw JSON snapshot instead of the summary.
         json: bool,
     },
+    /// `alpha mesh serve BIND [--workers N] [--alg A] [--mac hmac|prefix]
+    ///  [--reliable] [--upstream A,B,…] [--next-hop A,B,…] [--source A,B,…]
+    ///  [--probe-ms N] [--peer-budget BYTES] [--seconds N] [--open]`
+    MeshServe {
+        /// Bind address of the relay's shared socket.
+        bind: String,
+        /// Protocol options for accepted associations.
+        opts: ProtoOpts,
+        /// Worker threads.
+        workers: usize,
+        /// Run duration in seconds (0 = forever).
+        seconds: u64,
+        /// Registered upstream peers (senders this relay accepts from).
+        upstreams: Vec<String>,
+        /// Downstream next hops; the first is primary, the rest standby.
+        next_hops: Vec<String>,
+        /// Source addresses routed toward the primary next hop.
+        sources: Vec<String>,
+        /// Liveness probe interval in milliseconds.
+        probe_ms: u64,
+        /// Per-peer S1 admission budget in bytes/sec (0 = unlimited).
+        peer_budget: u64,
+        /// Accept traffic from unregistered upstreams (disables the
+        /// static-relay-set bypass defense; monitor-only).
+        open: bool,
+    },
+    /// `alpha mesh peers ADDR [--timeout-ms N] [--json]` — query a
+    /// running mesh relay and print its peer table (health, RTT,
+    /// per-peer traffic) plus the hop counters.
+    MeshPeers {
+        /// Address of the relay's shared socket.
+        addr: String,
+        /// Reply timeout in milliseconds.
+        timeout_ms: u64,
+        /// Print the raw JSON snapshot instead of the table.
+        json: bool,
+    },
     /// `alpha help` or `--help` anywhere.
     Help,
 }
@@ -279,6 +316,17 @@ fn get_num<T: std::str::FromStr>(
     }
 }
 
+/// Split a comma-separated flag value into its (non-empty) entries.
+fn addr_list(flags: &HashMap<String, String>, name: &str) -> Vec<String> {
+    flags.get(name).map_or_else(Vec::new, |v| {
+        v.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect()
+    })
+}
+
 /// Parse a full argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
     if args.is_empty()
@@ -403,6 +451,48 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 other => err(format!("unknown engine verb '{other}' (serve|stats)")),
             }
         }
+        "mesh" => {
+            let Some((verb, rest)) = rest.split_first() else {
+                return err("mesh needs a verb: serve|peers");
+            };
+            match verb.as_str() {
+                "serve" => {
+                    let (pos, flags) = split(rest, &["reliable", "require-peer-auth", "open"])?;
+                    let [bind] = pos.as_slice() else {
+                        return err("mesh serve needs exactly one bind address");
+                    };
+                    let next_hops = addr_list(&flags, "next-hop");
+                    let upstreams = addr_list(&flags, "upstream");
+                    if next_hops.is_empty() && upstreams.is_empty() {
+                        return err("mesh serve needs at least one --upstream or --next-hop peer");
+                    }
+                    Ok(Command::MeshServe {
+                        bind: bind.clone(),
+                        opts: proto_opts(&flags)?,
+                        workers: get_num(&flags, "workers", 2)?,
+                        seconds: get_num(&flags, "seconds", 0)?,
+                        upstreams,
+                        next_hops,
+                        sources: addr_list(&flags, "source"),
+                        probe_ms: get_num(&flags, "probe-ms", 200)?,
+                        peer_budget: get_num(&flags, "peer-budget", 1 << 20)?,
+                        open: flags.contains_key("open"),
+                    })
+                }
+                "peers" => {
+                    let (pos, flags) = split(rest, &["json"])?;
+                    let [addr] = pos.as_slice() else {
+                        return err("mesh peers needs exactly one relay address");
+                    };
+                    Ok(Command::MeshPeers {
+                        addr: addr.clone(),
+                        timeout_ms: get_num(&flags, "timeout-ms", 2000)?,
+                        json: flags.contains_key("json"),
+                    })
+                }
+                other => err(format!("unknown mesh verb '{other}' (serve|peers)")),
+            }
+        }
         "trace" => {
             let (pos, _flags) = split(rest, &[])?;
             let [file] = pos.as_slice() else {
@@ -458,6 +548,11 @@ USAGE:
                [--mac hmac|prefix] [--reliable] [--s1-budget BYTES]
                [--max-buffered BYTES] [--route LEFT=RIGHT] [--adapt]
   alpha engine stats ADDR [--timeout-ms N] [--json]
+  alpha mesh serve BIND --next-hop A[,B...] [--upstream A[,B...]]
+               [--source A[,B...]] [--workers N] [--probe-ms N]
+               [--peer-budget BYTES] [--seconds N] [--alg A]
+               [--mac hmac|prefix] [--reliable] [--open]
+  alpha mesh peers ADDR [--timeout-ms N] [--json]
   alpha trace FILE|-   (summarize a JSON-lines trace from 'alpha sim --trace')
   alpha sim [--relays N] [--messages N] [--batch N] [--mode base|c|m|cm]
             [--loss P] [--alg A] [--reliable] [--mac hmac|prefix]
@@ -471,6 +566,14 @@ EXAMPLES:
   alpha sim --relays 3 --device cc2430 --alg mmo --mac prefix --loss 0.02
   alpha engine serve 0.0.0.0:7000 --workers 8 --shards 16
   alpha engine stats 192.0.2.9:7000
+  alpha mesh serve 0.0.0.0:7100 --upstream 192.0.2.1:7000 \\
+        --next-hop 192.0.2.9:7200,192.0.2.10:7200 --source 192.0.2.1:7000
+  alpha mesh peers 192.0.2.9:7100
+
+A mesh relay verifies every hop: it only accepts S2 traffic from its
+registered --upstream peers (the paper's static-relay-set defense),
+probes its peers for liveness, and fails live flows over from the
+primary --next-hop to a standby when the primary stops answering.
 "
 }
 
@@ -662,6 +765,62 @@ mod tests {
         assert!(parse_args(&v(&["engine"])).is_err());
         assert!(parse_args(&v(&["engine", "restart"])).is_err());
         assert!(parse_args(&v(&["engine", "serve", "a:1", "--route", "nope"])).is_err());
+    }
+
+    #[test]
+    fn mesh_subcommands_parse() {
+        let cmd = parse_args(&v(&[
+            "mesh",
+            "serve",
+            "0.0.0.0:7100",
+            "--upstream",
+            "10.0.0.1:7000",
+            "--next-hop",
+            "10.0.0.9:7200, 10.0.0.10:7200",
+            "--source",
+            "10.0.0.1:7000",
+            "--probe-ms",
+            "50",
+            "--open",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::MeshServe {
+                bind,
+                upstreams,
+                next_hops,
+                sources,
+                probe_ms,
+                open,
+                workers,
+                ..
+            } => {
+                assert_eq!(bind, "0.0.0.0:7100");
+                assert_eq!(upstreams, vec!["10.0.0.1:7000".to_string()]);
+                assert_eq!(
+                    next_hops,
+                    vec!["10.0.0.9:7200".to_string(), "10.0.0.10:7200".to_string()]
+                );
+                assert_eq!(sources, vec!["10.0.0.1:7000".to_string()]);
+                assert_eq!(probe_ms, 50);
+                assert_eq!(workers, 2);
+                assert!(open);
+            }
+            _ => panic!(),
+        }
+        let cmd = parse_args(&v(&["mesh", "peers", "127.0.0.1:7100", "--json"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::MeshPeers {
+                addr: "127.0.0.1:7100".into(),
+                timeout_ms: 2000,
+                json: true
+            }
+        );
+        assert!(parse_args(&v(&["mesh"])).is_err());
+        assert!(parse_args(&v(&["mesh", "probe"])).is_err());
+        // A relay with no peers at all is a configuration error.
+        assert!(parse_args(&v(&["mesh", "serve", "0.0.0.0:7100"])).is_err());
     }
 
     #[test]

@@ -328,6 +328,79 @@ pub fn engine_serve(
     Ok(())
 }
 
+fn parse_addrs(list: &[String]) -> Result<Vec<std::net::SocketAddr>, CliError> {
+    list.iter()
+        .map(|a| a.parse().map_err(|e| format!("{a}: {e}").into()))
+        .collect()
+}
+
+/// `alpha mesh serve`.
+#[allow(clippy::too_many_arguments)]
+pub fn mesh_serve(
+    bind: &str,
+    opts: &ProtoOpts,
+    workers: usize,
+    seconds: u64,
+    upstreams: &[String],
+    next_hops: &[String],
+    sources: &[String],
+    probe_ms: u64,
+    peer_budget: u64,
+    open: bool,
+) -> Result<(), CliError> {
+    let listen: std::net::SocketAddr = bind.parse()?;
+    let ecfg = alpha_engine::EngineConfig::new(config_from(opts));
+    let mut cfg = alpha_mesh::MeshNodeConfig::new(listen, ecfg);
+    cfg.workers = workers.max(1);
+    cfg.upstreams = parse_addrs(upstreams)?;
+    cfg.next_hops = parse_addrs(next_hops)?;
+    cfg.route_sources = parse_addrs(sources)?;
+    cfg.enforce = !open;
+    cfg.mesh.probe_interval_us = probe_ms.max(1) * 1000;
+    cfg.mesh.peer_bytes_per_sec = (peer_budget > 0).then_some(peer_budget);
+    let node = alpha_mesh::MeshNode::spawn(cfg)?;
+    println!(
+        "mesh relay on {} ({} upstream(s), {} next hop(s), enforce={}); \
+         query with 'alpha mesh peers'",
+        node.local_addr()?,
+        upstreams.len(),
+        next_hops.len(),
+        !open,
+    );
+    let started = std::time::Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_millis(500));
+        if seconds > 0 && started.elapsed() >= Duration::from_secs(seconds) {
+            break;
+        }
+    }
+    println!("{}", node.peers_json());
+    node.shutdown();
+    Ok(())
+}
+
+/// `alpha mesh peers`.
+pub fn mesh_peers(addr: &str, timeout_ms: u64, raw_json: bool) -> Result<(), CliError> {
+    use std::net::ToSocketAddrs;
+    let addr = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| format!("cannot resolve '{addr}'"))?;
+    let json = alpha_transport::query_stats(addr, Duration::from_millis(timeout_ms))?;
+    let snap: serde_json::Value =
+        serde_json::from_str(&json).map_err(|e| format!("relay sent malformed stats: {e}"))?;
+    let mesh = snap
+        .get("metrics")
+        .and_then(|m| m.get("mesh"))
+        .ok_or("relay reports no mesh state (is it a plain engine?)")?;
+    if raw_json {
+        println!("{}", serde_json::to_string(mesh)?);
+        return Ok(());
+    }
+    print!("{}", render_mesh_peers(mesh));
+    Ok(())
+}
+
 /// `alpha engine stats`.
 pub fn engine_stats(addr: &str, timeout_ms: u64, raw_json: bool) -> Result<(), CliError> {
     use std::net::ToSocketAddrs;
@@ -405,6 +478,15 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
             }
         }
     }
+    if let Some(mesh) = snap.get("metrics").and_then(|m| m.get("mesh")) {
+        let peers = mesh
+            .get("per_peer")
+            .and_then(serde_json::Value::as_array)
+            .map_or(0, <[serde_json::Value]>::len);
+        if peers > 0 || u(mesh.get("forwarded")) + u(mesh.get("upstream_rejects")) > 0 {
+            out.push_str(&render_mesh_peers(mesh));
+        }
+    }
     match snap.get("adapt_flows") {
         Some(serde_json::Value::Array(rows)) if !rows.is_empty() => {
             let _ = writeln!(out, "adaptive flows ({}):", rows.len());
@@ -439,6 +521,55 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
                 out,
                 "adaptive flows: none (engine runs without --adapt state)"
             );
+        }
+    }
+    out
+}
+
+/// Human-readable rendering of the `metrics.mesh` section of a stats
+/// snapshot: aggregate hop counters plus one line per registered peer.
+fn render_mesh_peers(mesh: &serde_json::Value) -> String {
+    use std::fmt::Write as _;
+    let u = |v: Option<&serde_json::Value>| v.and_then(serde_json::Value::as_u64).unwrap_or(0);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "mesh: forwarded={} upstream_rejects={} failovers={} replicas_absorbed={}",
+        u(mesh.get("forwarded")),
+        u(mesh.get("upstream_rejects")),
+        u(mesh.get("failovers")),
+        u(mesh.get("replicas_absorbed")),
+    );
+    match mesh.get("per_peer") {
+        Some(serde_json::Value::Array(rows)) if !rows.is_empty() => {
+            let _ = writeln!(out, "mesh peers ({}):", rows.len());
+            for row in rows {
+                let s = |k: &str| {
+                    row.get(k)
+                        .and_then(serde_json::Value::as_str)
+                        .unwrap_or("?")
+                };
+                let srtt = u(row.get("srtt_us"));
+                let srtt = if srtt == 0 {
+                    "-".to_owned()
+                } else {
+                    format!("{:.1}ms", srtt as f64 / 1e3)
+                };
+                let _ = writeln!(
+                    out,
+                    "  {} health={} srtt={} in={} out={} probes={} pongs={}",
+                    s("peer"),
+                    s("health"),
+                    srtt,
+                    u(row.get("datagrams_in")),
+                    u(row.get("datagrams_out")),
+                    u(row.get("probes_sent")),
+                    u(row.get("pongs_received")),
+                );
+            }
+        }
+        _ => {
+            let _ = writeln!(out, "mesh peers: none registered");
         }
     }
     out
@@ -522,5 +653,65 @@ mod tests {
         let text = render_engine_stats(&empty);
         assert!(text.contains("adaptive flows: none"), "{text}");
         assert!(text.contains("metrics: all counters zero"), "{text}");
+        assert!(
+            !text.contains("mesh:"),
+            "non-mesh engines stay quiet about the mesh: {text}"
+        );
+    }
+
+    #[test]
+    fn mesh_peers_render_lists_health_and_hop_counters() {
+        let mesh = serde_json::json!({
+            "forwarded": 120u64,
+            "upstream_rejects": 4u64,
+            "failovers": 1u64,
+            "replicas_absorbed": 2u64,
+            "per_peer": [
+                {
+                    "peer": "10.0.0.9:7200",
+                    "datagrams_in": 0u64,
+                    "datagrams_out": 120u64,
+                    "probes_sent": 50u64,
+                    "pongs_received": 49u64,
+                    "health": "up",
+                    "srtt_us": 1800u64
+                },
+                {
+                    "peer": "10.0.0.10:7200",
+                    "datagrams_in": 0u64,
+                    "datagrams_out": 0u64,
+                    "probes_sent": 12u64,
+                    "pongs_received": 0u64,
+                    "health": "down",
+                    "srtt_us": 0u64
+                }
+            ]
+        });
+        let text = render_mesh_peers(&mesh);
+        assert!(
+            text.contains("forwarded=120 upstream_rejects=4 failovers=1 replicas_absorbed=2"),
+            "{text}"
+        );
+        assert!(text.contains("mesh peers (2):"), "{text}");
+        assert!(
+            text.contains("10.0.0.9:7200 health=up srtt=1.8ms in=0 out=120 probes=50 pongs=49"),
+            "{text}"
+        );
+        assert!(
+            text.contains("10.0.0.10:7200 health=down srtt=- "),
+            "unsampled srtt renders as '-': {text}"
+        );
+
+        // The same renderer rides the engine-stats summary when the
+        // snapshot carries a mesh section with registered peers.
+        let snap = serde_json::json!({
+            "flows": 1u64,
+            "shards": 1u64,
+            "buffered_bytes": 0u64,
+            "metrics": { "mesh": mesh },
+            "adapt_flows": []
+        });
+        let text = render_engine_stats(&snap);
+        assert!(text.contains("mesh peers (2):"), "{text}");
     }
 }

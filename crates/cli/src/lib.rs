@@ -11,6 +11,9 @@
 //! - `alpha send` — send messages over UDP (Base / ALPHA-C / ALPHA-M).
 //! - `alpha relay` — run a verifying middlebox between two hosts.
 //! - `alpha sim` — run a simulated multi-hop scenario and print metrics.
+//! - `alpha mesh serve` — run a mesh relay: hop-by-hop verification with
+//!   a registered peer set, liveness probes, and next-hop failover.
+//! - `alpha mesh peers` — query a relay's peer table and hop counters.
 
 pub mod args;
 pub mod commands;

@@ -65,6 +65,34 @@ fn main() {
             timeout_ms,
             json,
         } => commands::engine_stats(addr, *timeout_ms, *json),
+        Command::MeshServe {
+            bind,
+            opts,
+            workers,
+            seconds,
+            upstreams,
+            next_hops,
+            sources,
+            probe_ms,
+            peer_budget,
+            open,
+        } => commands::mesh_serve(
+            bind,
+            opts,
+            *workers,
+            *seconds,
+            upstreams,
+            next_hops,
+            sources,
+            *probe_ms,
+            *peer_budget,
+            *open,
+        ),
+        Command::MeshPeers {
+            addr,
+            timeout_ms,
+            json,
+        } => commands::mesh_peers(addr, *timeout_ms, *json),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

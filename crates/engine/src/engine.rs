@@ -28,7 +28,8 @@
 
 use std::collections::HashMap;
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use alpha_adapt::{AdaptConfig, FlowAdapt};
 use alpha_core::bootstrap::{self, AuthRequirement, Handshaker};
@@ -43,7 +44,8 @@ use parking_lot::RwLock;
 use rand::RngCore;
 
 use crate::backoff::Backoff;
-use crate::metrics::EngineMetrics;
+use crate::mesh;
+use crate::metrics::{EngineMetrics, PeerCounters};
 use crate::shard::{addr_hash, jump_hash, FlowKey, Sharded};
 use crate::timer::TimerWheel;
 
@@ -228,6 +230,23 @@ struct FlowEntry {
     state: FlowState,
 }
 
+/// Mesh-role state: the registered peer set (with per-peer counters)
+/// and the standby next-hops that receive handshake replicas. Installed
+/// by [`EngineCore::mesh_enable`]; absent for non-mesh engines, whose
+/// hot path skips all of it behind one relaxed flag load.
+struct MeshControl {
+    /// Registered peers — upstreams we accept traffic from and next
+    /// hops we forward toward. With `enforce`, a datagram whose source
+    /// is not in this set is rejected before parsing (the paper's
+    /// static-relay-set bypass defense).
+    peers: HashMap<SocketAddr, Arc<PeerCounters>>,
+    enforce: bool,
+    /// Standby next-hops: every forwarded handshake is also replicated
+    /// to these, learn-only, so a failover target already knows the
+    /// association when live flows re-route to it.
+    standbys: Vec<SocketAddr>,
+}
+
 /// One shard: its slice of the flow table plus the timer wheel driving
 /// those flows. A worker write-locks a shard only while touching it.
 struct Shard {
@@ -254,6 +273,11 @@ pub struct EngineCore {
     /// timeouts and skip idle `poll_shard` calls without touching the
     /// lock at all — the deadline scan was a per-datagram cost.
     deadlines: Vec<AtomicU64>,
+    /// Mesh peer set + standby list, when this core runs as a mesh
+    /// relay. `mesh_active` mirrors `mesh.is_some()` so the hot path
+    /// pays one relaxed load, not a lock, when the mesh is off.
+    mesh: RwLock<Option<MeshControl>>,
+    mesh_active: AtomicBool,
     metrics: EngineMetrics,
 }
 
@@ -293,6 +317,8 @@ impl EngineCore {
             buffered: AtomicI64::new(0),
             pool: FramePool::new(2048, 4096),
             deadlines,
+            mesh: RwLock::new(None),
+            mesh_active: AtomicBool::new(false),
             metrics: EngineMetrics::new(),
         }
     }
@@ -333,6 +359,185 @@ impl EngineCore {
         let mut routes = self.routes.write();
         routes.insert(a, b);
         routes.insert(b, a);
+    }
+
+    // ------------------------------------------------------------------
+    // Mesh role
+    // ------------------------------------------------------------------
+
+    /// Turn on mesh-relay behaviour: per-peer accounting, handshake
+    /// replication to standbys, and — with `enforce` — rejection of any
+    /// datagram whose source address is not a registered peer (the
+    /// static-relay-set bypass defense: a relay only accepts traffic
+    /// from its configured upstream/downstream set).
+    pub fn mesh_enable(&self, enforce: bool) {
+        let mut guard = self.mesh.write();
+        match guard.as_mut() {
+            Some(ctrl) => ctrl.enforce = enforce,
+            None => {
+                *guard = Some(MeshControl {
+                    peers: HashMap::new(),
+                    enforce,
+                    standbys: Vec::new(),
+                });
+            }
+        }
+        self.mesh_active.store(true, Ordering::Release);
+    }
+
+    /// Register `peer` in the mesh peer set (enabling the mesh if it
+    /// was off), returning its counter row. Registering an address
+    /// twice returns the same row.
+    pub fn mesh_register_peer(&self, peer: SocketAddr) -> Arc<PeerCounters> {
+        let row = self.metrics.mesh.register_peer(peer);
+        let mut guard = self.mesh.write();
+        let ctrl = guard.get_or_insert_with(|| MeshControl {
+            peers: HashMap::new(),
+            enforce: false,
+            standbys: Vec::new(),
+        });
+        ctrl.peers.insert(peer, Arc::clone(&row));
+        drop(guard);
+        self.mesh_active.store(true, Ordering::Release);
+        row
+    }
+
+    /// Remove `peer` from the mesh peer set (and the standby list),
+    /// returning whether it was registered. Its counter row remains in
+    /// the metrics snapshot — departure does not erase history.
+    pub fn mesh_remove_peer(&self, peer: SocketAddr) -> bool {
+        let mut guard = self.mesh.write();
+        let Some(ctrl) = guard.as_mut() else {
+            return false;
+        };
+        ctrl.standbys.retain(|&s| s != peer);
+        ctrl.peers.remove(&peer).is_some()
+    }
+
+    /// Add a standby next-hop: forwarded handshakes are replicated to
+    /// it ([`mesh::REPLICA_MAGIC`]-wrapped) so it learns associations
+    /// ahead of any failover. Also registers it as a peer.
+    pub fn mesh_add_standby(&self, peer: SocketAddr) {
+        let _ = self.mesh_register_peer(peer);
+        let mut guard = self.mesh.write();
+        let ctrl = guard.as_mut().expect("mesh enabled by register");
+        if !ctrl.standbys.contains(&peer) {
+            ctrl.standbys.push(peer);
+        }
+    }
+
+    /// Absorb a replicated datagram learn-only: state updates (relay
+    /// association learning, pre-signature buffering) happen exactly as
+    /// for live traffic, but nothing is forwarded or delivered — the
+    /// original relay already did that. `from` must be the replicating
+    /// upstream so relay flows key identically to post-failover
+    /// traffic.
+    pub fn absorb_replica(
+        &self,
+        from: SocketAddr,
+        inner: &[u8],
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+    ) {
+        let out = self.handle_datagram(from, inner, now, rng);
+        drop(out);
+        self.metrics
+            .mesh
+            .replicas_absorbed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Re-route live flows from peer `old` to peer `new`: every route
+    /// toward `old` now points at `new`, and the flows carried by those
+    /// routes — relay pairs keyed through `old`, plus host/connecting
+    /// flows peered with `old` — are re-keyed and re-scheduled so
+    /// in-flight associations survive the switch (pre-signature buffers
+    /// and chain state move with them). Returns the number of flows
+    /// moved. Timers left in the old shard's wheel fire on missing keys
+    /// and are skipped harmlessly.
+    pub fn reroute(&self, old: SocketAddr, new: SocketAddr) -> usize {
+        if old == new {
+            return 0;
+        }
+        // Every applied switch is a failover, whether or not flows were
+        // live at that moment (an idle path moving to a standby still
+        // changes where the next handshake goes).
+        self.metrics.mesh.failovers.fetch_add(1, Ordering::Relaxed);
+        // Phase 1: rewrite the route table, collecting the relay-pair
+        // key renames implied by each rewritten route.
+        let mut relay_renames: HashMap<SocketAddr, SocketAddr> = HashMap::new();
+        {
+            let mut routes = self.routes.write();
+            let srcs: Vec<SocketAddr> = routes
+                .iter()
+                .filter(|&(src, dst)| *dst == old && *src != old)
+                .map(|(src, _)| *src)
+                .collect();
+            routes.remove(&old);
+            for src in srcs {
+                routes.insert(src, new);
+                routes.insert(new, src);
+                let old_left = canonical(src, old);
+                let new_left = canonical(src, new);
+                if old_left != new_left {
+                    relay_renames.insert(old_left, new_left);
+                }
+            }
+        }
+        // Phase 2: extract affected flows under each shard lock.
+        let mut moved: Vec<(FlowKey, FlowEntry)> = Vec::new();
+        for idx in 0..self.shards.len() {
+            let mut shard = self.shards.shard(idx).write();
+            let candidates: Vec<FlowKey> = shard
+                .flows
+                .iter()
+                .filter(|(k, e)| match e.state {
+                    FlowState::Relay { .. } => relay_renames.contains_key(&k.peer),
+                    _ => k.peer == old,
+                })
+                .map(|(k, _)| *k)
+                .collect();
+            for key in candidates {
+                let Some(entry) = shard.flows.remove(&key) else {
+                    continue;
+                };
+                let new_peer = match &entry.state {
+                    FlowState::Relay { .. } => relay_renames[&key.peer],
+                    _ => new,
+                };
+                moved.push((
+                    FlowKey {
+                        peer: new_peer,
+                        assoc_id: key.assoc_id,
+                    },
+                    entry,
+                ));
+            }
+        }
+        // Phase 3: reinsert at the destination shards and re-arm timers.
+        let n = moved.len();
+        for (key, entry) in moved {
+            let idx = self.shard_index(&key);
+            let mut shard = self.shards.shard(idx).write();
+            let due = match &entry.state {
+                FlowState::Connecting { next_resend, .. } => Some(*next_resend),
+                FlowState::Host { assoc, .. } => assoc.poll_at(),
+                FlowState::Relay { .. } => None,
+            };
+            if let Some(prev) = shard.flows.insert(key, entry) {
+                // Displaced a flow already keyed at the destination
+                // (e.g. stray traffic stood one up): keep gauges honest.
+                if let FlowState::Relay { buffered, .. } = prev.state {
+                    self.buffered.fetch_sub(buffered as i64, Ordering::Relaxed);
+                }
+                self.metrics.flows_active.fetch_sub(1, Ordering::Relaxed);
+            }
+            if let Some(t) = due {
+                shard.wheel.schedule(t, key);
+                self.cache_deadline(idx, &mut shard);
+            }
+        }
+        n
     }
 
     /// Shard index owning traffic *from* this address (resolving relay
@@ -639,6 +844,27 @@ impl EngineCore {
         self.metrics
             .bytes_in
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        // Bypass defense: when this core is a mesh relay, traffic from
+        // a source outside the registered peer set is rejected before
+        // any parsing or flow-table work.
+        if self.mesh_active.load(Ordering::Relaxed) {
+            let guard = self.mesh.read();
+            if let Some(ctrl) = guard.as_ref() {
+                match ctrl.peers.get(&from) {
+                    Some(pc) => {
+                        pc.datagrams_in.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None if ctrl.enforce => {
+                        self.metrics
+                            .mesh
+                            .upstream_rejects
+                            .fetch_add(1, Ordering::Relaxed);
+                        return out;
+                    }
+                    None => {}
+                }
+            }
+        }
         let mut slices: [&[u8]; alpha_wire::limits::MAX_BUNDLE] =
             [&[]; alpha_wire::limits::MAX_BUNDLE];
         let Ok(n) = bundle::split(bytes, &mut slices) else {
@@ -784,6 +1010,40 @@ impl EngineCore {
             // fit the u16 prefix.
             bundle::emit_slices_into(&pass[..npass], frame.buf_mut()).expect("valid re-bundle");
             self.push_datagram(out, dst, frame);
+            if self.mesh_active.load(Ordering::Relaxed) {
+                self.metrics.mesh.forwarded.fetch_add(1, Ordering::Relaxed);
+                if let Some(pc) = self.mesh.read().as_ref().and_then(|c| c.peers.get(&dst)) {
+                    pc.datagrams_out.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Handshake replication: standby next-hops must learn every
+        // association this relay carries, so they can verify the flow
+        // the moment a failover re-routes it at them.
+        if self.mesh_active.load(Ordering::Relaxed) {
+            let is_hs = |v: &Option<PacketView<'_>>| {
+                v.as_ref()
+                    .is_some_and(|v| matches!(v.body, BodyView::Handshake(_)))
+            };
+            if views.iter().any(is_hs) {
+                let standbys: Vec<SocketAddr> = self
+                    .mesh
+                    .read()
+                    .as_ref()
+                    .map(|c| c.standbys.clone())
+                    .unwrap_or_default();
+                for (slice, view) in slices.iter().zip(views) {
+                    if !is_hs(view) {
+                        continue;
+                    }
+                    for &standby in &standbys {
+                        let mut frame = self.pool.checkout();
+                        frame.buf_mut().extend_from_slice(mesh::REPLICA_MAGIC);
+                        frame.buf_mut().extend_from_slice(slice);
+                        self.push_datagram(out, standby, frame);
+                    }
+                }
+            }
         }
     }
 
@@ -1570,6 +1830,217 @@ mod tests {
         }
         assert_eq!(relay.metrics().s2_verified.load(Ordering::Relaxed), 1);
         assert_eq!(server.metrics().s2_verified.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn mesh_filter_rejects_unregistered_sources() {
+        let relay = EngineCore::new(cfg());
+        let ca = addr(1150);
+        let sa = addr(2150);
+        let intruder = addr(6666);
+        relay.add_route(ca, sa);
+        relay.mesh_register_peer(ca);
+        relay.mesh_register_peer(sa);
+        relay.mesh_enable(true);
+        let mut rng = StdRng::seed_from_u64(21);
+        let now = Timestamp::from_millis(1);
+
+        // A legitimate HS1 from the registered upstream passes.
+        let client = EngineCore::new(cfg());
+        let (_key, out) = client.connect(sa, 9, now, &mut rng);
+        let hs1 = out.datagrams[0].1.clone();
+        let o = relay.handle_datagram(ca, &hs1, now, &mut rng);
+        assert_eq!(o.datagrams.len(), 1, "registered upstream forwarded");
+
+        // The same bytes from an unregistered source are rejected
+        // before any flow-table work.
+        let flows_before = relay.flow_count();
+        let o = relay.handle_datagram(intruder, &hs1, now, &mut rng);
+        assert!(o.datagrams.is_empty(), "bypass attempt not forwarded");
+        assert_eq!(relay.flow_count(), flows_before, "no flow stood up");
+        assert_eq!(
+            relay
+                .metrics()
+                .mesh
+                .upstream_rejects
+                .load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn mesh_replicates_handshakes_and_standby_absorbs_learn_only() {
+        let client = EngineCore::new(cfg());
+        let server = EngineCore::new(cfg());
+        let relay = EngineCore::new(cfg());
+        let standby = EngineCore::new(cfg());
+        let ca = addr(1160);
+        let sa = addr(2160);
+        let sb = addr(3160);
+        relay.add_route(ca, sa);
+        relay.mesh_add_standby(sb);
+        standby.add_route(ca, sa);
+        let mut rng = StdRng::seed_from_u64(22);
+        let now = Timestamp::from_millis(1);
+
+        // HS1 through the relay: forwarded to the server AND replicated
+        // (wrapped) to the standby.
+        let (key, out) = client.connect(sa, 11, now, &mut rng);
+        let o = relay.handle_datagram(ca, &out.datagrams[0].1, now, &mut rng);
+        let fwd: Vec<_> = o.datagrams.iter().filter(|(d, _)| *d == sa).collect();
+        let rep: Vec<_> = o.datagrams.iter().filter(|(d, _)| *d == sb).collect();
+        assert_eq!((fwd.len(), rep.len()), (1, 1));
+        let inner_hs1 = mesh::parse_replica(&rep[0].1)
+            .expect("replica wrapped")
+            .to_vec();
+        standby.absorb_replica(ca, &inner_hs1, now, &mut rng);
+
+        // HS2 back through the relay: same replication, then both the
+        // client and the standby see it.
+        let o2 = server.handle_datagram(ca, &fwd[0].1, now, &mut rng);
+        let o3 = relay.handle_datagram(sa, &o2.datagrams[0].1, now, &mut rng);
+        let fwd2: Vec<_> = o3.datagrams.iter().filter(|(d, _)| *d == ca).collect();
+        let rep2: Vec<_> = o3.datagrams.iter().filter(|(d, _)| *d == sb).collect();
+        assert_eq!((fwd2.len(), rep2.len()), (1, 1));
+        let inner_hs2 = mesh::parse_replica(&rep2[0].1)
+            .expect("replica wrapped")
+            .to_vec();
+        standby.absorb_replica(ca, &inner_hs2, now, &mut rng);
+        client.handle_datagram(sa, &fwd2[0].1, now, &mut rng);
+        assert_eq!(
+            standby
+                .metrics()
+                .mesh
+                .replicas_absorbed
+                .load(Ordering::Relaxed),
+            2
+        );
+        assert_eq!(standby.flow_count(), 1, "standby learned the pair");
+
+        // The standby can now verify live traffic it never handshook:
+        // an S2 bundle fed straight at it passes verification.
+        let out = client
+            .sign_batch(key, &[b"failover data".as_slice()], Mode::Base, now)
+            .unwrap();
+        let o = standby.handle_datagram(ca, &out.datagrams[0].1, now, &mut rng);
+        assert_eq!(o.datagrams.len(), 1, "S1 forwarded by the standby");
+        assert_eq!(
+            standby.metrics().handshakes.load(Ordering::Relaxed),
+            1,
+            "association learned from replicas alone"
+        );
+    }
+
+    #[test]
+    fn reroute_moves_relay_pair_with_buffered_state() {
+        // Addresses chosen so the canonical pair key IS the old next
+        // hop: reroute must re-key the relay flow, preserving buffered
+        // pre-signatures.
+        let client = EngineCore::new(cfg());
+        let server = EngineCore::new(cfg());
+        let relay = EngineCore::new(cfg());
+        let ca = addr(2170); // client ranks ABOVE both next hops
+        let sa = addr(1170); // primary next hop = canonical left
+        let sa2 = addr(1171); // standby next hop
+        relay.add_route(ca, sa);
+        let mut rng = StdRng::seed_from_u64(23);
+        let now = Timestamp::from_millis(1);
+
+        // Handshake + one buffered S1 through the relay.
+        let (key, _out) = relay_pair_handshake(&client, &server, &relay, ca, sa, now, &mut rng);
+        let s1 = client
+            .sign_batch(key, &[b"inflight".as_slice()], Mode::Base, now)
+            .unwrap()
+            .datagrams
+            .remove(0)
+            .1;
+        relay.handle_datagram(ca, &s1, now, &mut rng);
+        let buffered = relay.buffered_bytes();
+        assert!(buffered > 0, "pre-signature buffered before failover");
+
+        // Failover: the pair's flow moves to the new canonical key with
+        // its buffered state intact, and forwarding retargets sa2.
+        let moved = relay.reroute(sa, sa2);
+        assert_eq!(moved, 1, "one relay flow moved");
+        assert_eq!(relay.buffered_bytes(), buffered, "buffer state moved");
+        assert_eq!(relay.metrics().mesh.failovers.load(Ordering::Relaxed), 1);
+        let o = relay.handle_datagram(ca, &s1, now, &mut rng);
+        assert!(
+            o.datagrams.iter().all(|(d, _)| *d == sa2),
+            "traffic re-routed to the standby"
+        );
+        // Reverse direction follows the back-pointer.
+        let o2 = server.handle_datagram(ca, &s1, now, &mut rng);
+        for (_, frame) in o2.datagrams {
+            let o = relay.handle_datagram(sa2, &frame, now, &mut rng);
+            assert!(o.datagrams.iter().all(|(d, _)| *d == ca));
+        }
+    }
+
+    #[test]
+    fn reroute_moves_host_flows_to_new_peer() {
+        // Verifier-side failover: established host flows keyed to the
+        // old upstream re-key to the new one and keep delivering.
+        let client = EngineCore::new(cfg());
+        let server = EngineCore::new(cfg());
+        let ca = addr(1180);
+        let ca2 = addr(1181);
+        let sa = addr(2180);
+        let mut rng = StdRng::seed_from_u64(24);
+        let now = Timestamp::from_millis(1);
+        let (key, out) = client.connect(sa, 31, now, &mut rng);
+        pump(&client, ca, &server, sa, out.datagrams, now, &mut rng);
+        assert_eq!(server.flow_count(), 1);
+
+        let moved = server.reroute(ca, ca2);
+        assert_eq!(moved, 1, "host flow moved to the new peer key");
+        // Traffic now arrives from ca2 (the standby path) and is
+        // handled by the moved association; replies target ca2.
+        let out = client
+            .sign_batch(key, &[b"after failover".as_slice()], Mode::Base, now)
+            .unwrap();
+        let mut pending = out.datagrams;
+        let mut delivered = 0;
+        for _ in 0..16 {
+            if pending.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for (dst, frame) in pending.drain(..) {
+                if dst == sa {
+                    let o = server.handle_datagram(ca2, &frame, now, &mut rng);
+                    delivered += o.delivered.len();
+                    assert!(o.datagrams.iter().all(|(d, _)| *d == ca2));
+                    next.extend(o.datagrams);
+                } else {
+                    assert_eq!(dst, ca2, "server replies to the new peer");
+                    let o = client.handle_datagram(sa, &frame, now, &mut rng);
+                    next.extend(o.datagrams);
+                }
+            }
+            pending = next;
+        }
+        assert_eq!(delivered, 1, "flow completed after the move");
+    }
+
+    /// Complete a handshake for `client`→`server` through `relay`
+    /// (routed `ca`↔`sa`), returning the client's flow key.
+    fn relay_pair_handshake(
+        client: &EngineCore,
+        server: &EngineCore,
+        relay: &EngineCore,
+        ca: SocketAddr,
+        sa: SocketAddr,
+        now: Timestamp,
+        rng: &mut StdRng,
+    ) -> (FlowKey, EngineOutput) {
+        let (key, out) = client.connect(sa, 13, now, rng);
+        let o = relay.handle_datagram(ca, &out.datagrams[0].1, now, rng);
+        let o2 = server.handle_datagram(ca, &o.datagrams[0].1, now, rng);
+        let o3 = relay.handle_datagram(sa, &o2.datagrams[0].1, now, rng);
+        let out = client.handle_datagram(sa, &o3.datagrams[0].1, now, rng);
+        assert_eq!(out.completed, vec![key], "handshake completed via relay");
+        (key, out)
     }
 
     #[test]

@@ -13,6 +13,7 @@
 
 pub mod backoff;
 pub mod engine;
+pub mod mesh;
 pub mod metrics;
 pub mod shard;
 pub mod timer;
@@ -20,6 +21,8 @@ pub mod timer;
 pub use alpha_adapt::{AdaptConfig, FlowAdapt};
 pub use backoff::Backoff;
 pub use engine::{EngineConfig, EngineCore, EngineError, EngineOutput};
-pub use metrics::{EngineMetrics, Histogram, IoMetrics, IoTotals, IoWorker};
-pub use shard::{addr_hash, jump_hash, FlowKey, Sharded};
+pub use metrics::{
+    EngineMetrics, Histogram, IoMetrics, IoTotals, IoWorker, MeshMetrics, PeerCounters,
+};
+pub use shard::{addr_hash, jump_hash, AssignmentPolicy, FlowKey, ShardAssignment, Sharded};
 pub use timer::TimerWheel;

@@ -1,0 +1,116 @@
+//! Mesh control-plane wire formats.
+//!
+//! The relay mesh (see the `alpha-mesh` crate) speaks three tiny
+//! datagram formats alongside ALPHA traffic, all prefixed with a magic
+//! whose first byte is `0x00` — no ALPHA packet begins with a zero
+//! byte, so the formats can share the engine's UDP port without
+//! ambiguity (the same trick the stats endpoint uses):
+//!
+//! - **PING** — a liveness probe carrying an 8-byte big-endian nonce.
+//!   Answered inline by the transport worker loop, below the engine,
+//!   so a probe measures socket-to-socket reachability and queueing,
+//!   not flow-table state.
+//! - **PONG** — the echo of a probe, same nonce.
+//! - **REPLICA** — a handshake datagram wrapped for a standby peer.
+//!   A forwarding relay replicates every handshake it relays toward
+//!   its standby next-hops so they learn the association *before* a
+//!   failover re-routes live traffic at them. The receiver absorbs the
+//!   inner datagram learn-only ([`crate::EngineCore::absorb_replica`]):
+//!   state is updated, nothing is forwarded, so the verifier never
+//!   sees duplicate handshakes.
+
+/// Prefix of a liveness probe: magic + 8-byte big-endian nonce.
+pub const PING_MAGIC: &[u8] = b"\x00ALPHA-MESH-PING";
+/// Prefix of a probe echo: magic + the probe's nonce.
+pub const PONG_MAGIC: &[u8] = b"\x00ALPHA-MESH-PONG";
+/// Prefix of a replicated handshake: magic + the original datagram.
+pub const REPLICA_MAGIC: &[u8] = b"\x00ALPHA-MESH-HSRE";
+
+/// Encode a liveness probe for `nonce`.
+#[must_use]
+pub fn encode_ping(nonce: u64) -> Vec<u8> {
+    let mut d = Vec::with_capacity(PING_MAGIC.len() + 8);
+    d.extend_from_slice(PING_MAGIC);
+    d.extend_from_slice(&nonce.to_be_bytes());
+    d
+}
+
+/// Encode the echo of a probe carrying `nonce`.
+#[must_use]
+pub fn encode_pong(nonce: u64) -> Vec<u8> {
+    let mut d = Vec::with_capacity(PONG_MAGIC.len() + 8);
+    d.extend_from_slice(PONG_MAGIC);
+    d.extend_from_slice(&nonce.to_be_bytes());
+    d
+}
+
+fn parse_nonce(bytes: &[u8], magic: &[u8]) -> Option<u64> {
+    let rest = bytes.strip_prefix(magic)?;
+    Some(u64::from_be_bytes(rest.get(..8)?.try_into().ok()?))
+}
+
+/// Parse a probe, returning its nonce.
+#[must_use]
+pub fn parse_ping(bytes: &[u8]) -> Option<u64> {
+    parse_nonce(bytes, PING_MAGIC)
+}
+
+/// Parse a probe echo, returning the echoed nonce.
+#[must_use]
+pub fn parse_pong(bytes: &[u8]) -> Option<u64> {
+    parse_nonce(bytes, PONG_MAGIC)
+}
+
+/// Wrap a datagram for learn-only replication to a standby peer.
+#[must_use]
+pub fn encode_replica(inner: &[u8]) -> Vec<u8> {
+    let mut d = Vec::with_capacity(REPLICA_MAGIC.len() + inner.len());
+    d.extend_from_slice(REPLICA_MAGIC);
+    d.extend_from_slice(inner);
+    d
+}
+
+/// Unwrap a replicated datagram, returning the inner bytes.
+#[must_use]
+pub fn parse_replica(bytes: &[u8]) -> Option<&[u8]> {
+    bytes.strip_prefix(REPLICA_MAGIC)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let nonce = 0xDEAD_BEEF_0102_0304;
+        assert_eq!(parse_ping(&encode_ping(nonce)), Some(nonce));
+        assert_eq!(parse_pong(&encode_pong(nonce)), Some(nonce));
+        // Cross-parsing fails: a ping is not a pong.
+        assert_eq!(parse_pong(&encode_ping(nonce)), None);
+        assert_eq!(parse_ping(&encode_pong(nonce)), None);
+        // Truncated nonces are rejected.
+        assert_eq!(
+            parse_ping(&encode_ping(nonce)[..PING_MAGIC.len() + 3]),
+            None
+        );
+    }
+
+    #[test]
+    fn replica_round_trip() {
+        let inner = b"arbitrary handshake bytes";
+        assert_eq!(parse_replica(&encode_replica(inner)), Some(&inner[..]));
+        assert_eq!(parse_replica(b"not a replica"), None);
+    }
+
+    #[test]
+    fn magics_cannot_alias_alpha_traffic() {
+        // ALPHA packets never start with 0x00; every mesh magic does.
+        for magic in [PING_MAGIC, PONG_MAGIC, REPLICA_MAGIC] {
+            assert_eq!(magic[0], 0);
+        }
+        // The three magics are mutually distinct.
+        assert_ne!(PING_MAGIC, PONG_MAGIC);
+        assert_ne!(PING_MAGIC, REPLICA_MAGIC);
+        assert_ne!(PONG_MAGIC, REPLICA_MAGIC);
+    }
+}

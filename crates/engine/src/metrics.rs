@@ -282,6 +282,120 @@ impl IoMetrics {
     }
 }
 
+/// Peer-health codes stored in [`PeerCounters::health`]: no probe
+/// verdict yet.
+pub const HEALTH_UNKNOWN: u64 = 0;
+/// Peer answered its most recent probe within the RTO.
+pub const HEALTH_UP: u64 = 1;
+/// Peer missed at least one probe; not yet declared down.
+pub const HEALTH_SUSPECT: u64 = 2;
+/// Peer missed enough consecutive probes to be declared down.
+pub const HEALTH_DOWN: u64 = 3;
+
+/// Stable label for a [`PeerCounters::health`] code.
+#[must_use]
+pub fn health_label(code: u64) -> &'static str {
+    match code {
+        HEALTH_UP => "up",
+        HEALTH_SUSPECT => "suspect",
+        HEALTH_DOWN => "down",
+        _ => "unknown",
+    }
+}
+
+/// Per-peer counters for one registered mesh peer.
+///
+/// The datapath (engine core) bumps the datagram counters; the mesh
+/// supervisor (in `alpha-mesh`) owns the probe counters and mirrors the
+/// registry's health verdict and smoothed RTT here so `engine stats`
+/// can report them without a second wire protocol.
+#[derive(Default)]
+pub struct PeerCounters {
+    /// Datagrams accepted from this peer.
+    pub datagrams_in: AtomicU64,
+    /// Verified datagrams forwarded to this peer.
+    pub datagrams_out: AtomicU64,
+    /// Liveness probes sent to this peer.
+    pub probes_sent: AtomicU64,
+    /// Probe echoes received from this peer.
+    pub pongs_received: AtomicU64,
+    /// Latest health verdict (`HEALTH_*` code).
+    pub health: AtomicU64,
+    /// Smoothed probe round-trip time (µs), 0 before the first sample.
+    pub srtt_us: AtomicU64,
+}
+
+/// Registry of mesh forwarding counters: aggregate hop counters plus
+/// one [`PeerCounters`] row per registered peer. Mirrors the
+/// [`IoMetrics`] shape so mesh state rides the ordinary stats snapshot.
+#[derive(Default)]
+pub struct MeshMetrics {
+    /// Verified datagrams re-emitted toward a downstream peer (hop
+    /// traversals through this node).
+    pub forwarded: AtomicU64,
+    /// Datagrams rejected because the source is not a registered
+    /// upstream peer (the static-relay-set bypass defense).
+    pub upstream_rejects: AtomicU64,
+    /// Path failovers applied (live flows re-routed to another peer).
+    pub failovers: AtomicU64,
+    /// Replicated handshakes absorbed learn-only from an upstream.
+    pub replicas_absorbed: AtomicU64,
+    peers: Mutex<Vec<(std::net::SocketAddr, Arc<PeerCounters>)>>,
+}
+
+impl MeshMetrics {
+    /// Register (and return) the counter row for `peer`. Re-registering
+    /// an address returns the existing row.
+    pub fn register_peer(&self, peer: std::net::SocketAddr) -> Arc<PeerCounters> {
+        let mut peers = self.peers.lock();
+        if let Some((_, row)) = peers.iter().find(|(a, _)| *a == peer) {
+            return Arc::clone(row);
+        }
+        let row = Arc::new(PeerCounters::default());
+        peers.push((peer, Arc::clone(&row)));
+        row
+    }
+
+    /// Registered peer count.
+    #[must_use]
+    pub fn peer_count(&self) -> usize {
+        self.peers.lock().len()
+    }
+
+    /// Snapshot as a JSON object with aggregate counters and a
+    /// `per_peer` array.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        let ld = |a: &AtomicU64| Value::U64(a.load(Ordering::Relaxed));
+        let per_peer: Vec<Value> = self
+            .peers
+            .lock()
+            .iter()
+            .map(|(addr, c)| {
+                Value::object([
+                    ("peer".to_owned(), Value::Str(addr.to_string())),
+                    ("datagrams_in".to_owned(), ld(&c.datagrams_in)),
+                    ("datagrams_out".to_owned(), ld(&c.datagrams_out)),
+                    ("probes_sent".to_owned(), ld(&c.probes_sent)),
+                    ("pongs_received".to_owned(), ld(&c.pongs_received)),
+                    (
+                        "health".to_owned(),
+                        Value::Str(health_label(c.health.load(Ordering::Relaxed)).to_owned()),
+                    ),
+                    ("srtt_us".to_owned(), ld(&c.srtt_us)),
+                ])
+            })
+            .collect();
+        Value::object([
+            ("forwarded".to_owned(), ld(&self.forwarded)),
+            ("upstream_rejects".to_owned(), ld(&self.upstream_rejects)),
+            ("failovers".to_owned(), ld(&self.failovers)),
+            ("replicas_absorbed".to_owned(), ld(&self.replicas_absorbed)),
+            ("per_peer".to_owned(), Value::Array(per_peer)),
+        ])
+    }
+}
+
 /// The engine's metrics registry. One instance per engine, shared by
 /// every worker through an `Arc`.
 #[derive(Default)]
@@ -321,6 +435,9 @@ pub struct EngineMetrics {
     pub rtt_us: Histogram,
     /// Per-worker socket-I/O counters (filled by the transport layer).
     pub io: IoMetrics,
+    /// Mesh forwarding counters (filled when the core runs as a mesh
+    /// relay; all-zero otherwise).
+    pub mesh: MeshMetrics,
 }
 
 impl EngineMetrics {
@@ -384,6 +501,7 @@ impl EngineMetrics {
             ("handshake_us".to_owned(), self.handshake_us.snapshot()),
             ("rtt_us".to_owned(), self.rtt_us.snapshot()),
             ("io".to_owned(), self.io.snapshot()),
+            ("mesh".to_owned(), self.mesh.snapshot()),
         ])
     }
 
@@ -456,6 +574,31 @@ mod tests {
                 _ => None,
             }),
             Some(2)
+        );
+    }
+
+    #[test]
+    fn mesh_metrics_register_dedupes_and_snapshot_rows() {
+        let m = EngineMetrics::new();
+        let addr: std::net::SocketAddr = "127.0.0.1:9001".parse().unwrap();
+        let row = m.mesh.register_peer(addr);
+        let again = m.mesh.register_peer(addr);
+        assert_eq!(m.mesh.peer_count(), 1, "re-registration dedupes");
+        again.datagrams_in.fetch_add(3, Ordering::Relaxed);
+        row.health.store(HEALTH_SUSPECT, Ordering::Relaxed);
+        m.mesh.forwarded.fetch_add(7, Ordering::Relaxed);
+        let snap = m.snapshot();
+        let mesh = snap.get("mesh").unwrap();
+        assert_eq!(mesh.get("forwarded").unwrap().as_u64(), Some(7));
+        let Some(Value::Array(rows)) = mesh.get("per_peer") else {
+            panic!("per_peer array");
+        };
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("datagrams_in").unwrap().as_u64(), Some(3));
+        assert_eq!(rows[0].get("health").unwrap().as_str(), Some("suspect"));
+        assert_eq!(
+            rows[0].get("peer").unwrap().as_str(),
+            Some("127.0.0.1:9001")
         );
     }
 

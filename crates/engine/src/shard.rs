@@ -99,6 +99,85 @@ pub fn jump_hash(mut key: u64, buckets: u32) -> u32 {
     b as u32
 }
 
+/// How shards are distributed across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignmentPolicy {
+    /// Shard `s` belongs to worker `s % workers`. Load-oblivious: with
+    /// few hot shards and many workers, whole workers can end up idle
+    /// while one carries several hot shards.
+    Modulo,
+    /// Longest-processing-time greedy: shards are sorted by measured
+    /// load and each is placed on the currently lightest worker.
+    /// Requires a load estimate per shard (e.g. flow counts).
+    LeastLoaded,
+}
+
+/// A computed shard→worker assignment (see [`AssignmentPolicy`]).
+#[derive(Debug, Clone)]
+pub struct ShardAssignment {
+    policy: AssignmentPolicy,
+    workers: Vec<usize>,
+}
+
+impl ShardAssignment {
+    /// The load-oblivious modulo assignment of `shards` over `workers`.
+    #[must_use]
+    pub fn modulo(shards: usize, workers: usize) -> ShardAssignment {
+        let workers = workers.max(1);
+        ShardAssignment {
+            policy: AssignmentPolicy::Modulo,
+            workers: (0..shards).map(|s| s % workers).collect(),
+        }
+    }
+
+    /// LPT greedy assignment: place each shard, heaviest first, on the
+    /// worker with the least load assigned so far. `loads[s]` is any
+    /// monotone per-shard load estimate (flow count, packet count).
+    /// Guarantees a makespan within 4/3 of optimal, which in practice
+    /// erases the idle-worker pathology of [`ShardAssignment::modulo`]
+    /// when hot shards are few.
+    #[must_use]
+    pub fn least_loaded(loads: &[u64], workers: usize) -> ShardAssignment {
+        let workers_n = workers.max(1);
+        let mut order: Vec<usize> = (0..loads.len()).collect();
+        // Sort by descending load; ties broken by shard index so the
+        // assignment is deterministic.
+        order.sort_by_key(|&s| (std::cmp::Reverse(loads[s]), s));
+        let mut assigned = vec![0usize; loads.len()];
+        let mut worker_load = vec![0u64; workers_n];
+        let mut worker_shards = vec![0usize; workers_n];
+        for s in order {
+            // Least-loaded worker; ties broken by fewest shards, then
+            // index, so empty shards still spread evenly.
+            let w = (0..workers_n)
+                .min_by_key(|&w| (worker_load[w], worker_shards[w], w))
+                .expect("at least one worker");
+            assigned[s] = w;
+            worker_load[w] += loads[s];
+            worker_shards[w] += 1;
+        }
+        ShardAssignment {
+            policy: AssignmentPolicy::LeastLoaded,
+            workers: assigned,
+        }
+    }
+
+    /// The worker owning `shard`.
+    #[must_use]
+    pub fn worker_of(&self, shard: usize) -> usize {
+        self.workers[shard]
+    }
+
+    /// Stable label of the policy that produced this assignment.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        match self.policy {
+            AssignmentPolicy::Modulo => "modulo",
+            AssignmentPolicy::LeastLoaded => "least-loaded",
+        }
+    }
+}
+
 /// A fixed set of shards, each behind its own `RwLock`.
 pub struct Sharded<T> {
     shards: Vec<RwLock<T>>,
@@ -192,6 +271,47 @@ mod tests {
             }
         }
         assert!((500..1600).contains(&moved), "moved {moved}/9000 keys");
+    }
+
+    #[test]
+    fn least_loaded_balances_hot_shards_modulo_cannot() {
+        // 8 workers, 64 shards, but only 4 shards carry load — and all
+        // four land on the same modulo class (s % 8 == 0).
+        let workers = 8;
+        let mut loads = vec![0u64; 64];
+        for s in [0, 8, 16, 24] {
+            loads[s] = 100;
+        }
+        let modulo = ShardAssignment::modulo(loads.len(), workers);
+        let mut mod_load = vec![0u64; workers];
+        for (s, &l) in loads.iter().enumerate() {
+            mod_load[modulo.worker_of(s)] += l;
+        }
+        assert_eq!(mod_load[0], 400, "modulo piles every hot shard on w0");
+
+        let lpt = ShardAssignment::least_loaded(&loads, workers);
+        let mut lpt_load = vec![0u64; workers];
+        for (s, &l) in loads.iter().enumerate() {
+            lpt_load[lpt.worker_of(s)] += l;
+        }
+        assert_eq!(
+            *lpt_load.iter().max().unwrap(),
+            100,
+            "LPT spreads one hot shard per worker: {lpt_load:?}"
+        );
+        assert_eq!(modulo.policy_name(), "modulo");
+        assert_eq!(lpt.policy_name(), "least-loaded");
+    }
+
+    #[test]
+    fn least_loaded_is_deterministic_and_total() {
+        let loads: Vec<u64> = (0..33).map(|i| (i * 7) % 13).collect();
+        let a = ShardAssignment::least_loaded(&loads, 4);
+        let b = ShardAssignment::least_loaded(&loads, 4);
+        for s in 0..loads.len() {
+            assert_eq!(a.worker_of(s), b.worker_of(s));
+            assert!(a.worker_of(s) < 4);
+        }
     }
 
     #[test]

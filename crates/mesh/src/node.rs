@@ -1,0 +1,458 @@
+//! The deployable mesh relay node: engine + registry + failover.
+//!
+//! [`MeshNode`] glues the three layers together:
+//!
+//! - an `alpha_transport::Engine` (worker threads over UDP) whose
+//!   `EngineCore` is put in mesh mode — upstream-set enforcement, static
+//!   next-hop routes, handshake replication toward standbys,
+//! - a [`Registry`] probing next hops (and upstream relays, when there
+//!   is more than one — a plain sending host does not answer probes)
+//!   from a dedicated control socket on a supervisor thread,
+//! - two [`PathSelector`]s — forward (next hops) and reverse (upstream
+//!   relays) — whose switch decisions are applied with
+//!   `EngineCore::reroute`, migrating live flow state to the new peer.
+//!
+//! The supervisor also mirrors each peer's health and smoothed RTT into
+//! the engine's per-peer counters, so `engine stats` / `mesh peers`
+//! report liveness without a second wire protocol.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use alpha_core::Timestamp;
+use alpha_engine::{EngineConfig, EngineCore};
+use alpha_transport::Engine;
+use parking_lot::Mutex;
+
+use crate::path::PathSelector;
+use crate::registry::{MeshConfig, MeshEvent, PeerRole, Registry};
+
+/// How a [`MeshNode`] is wired into the chain.
+pub struct MeshNodeConfig {
+    /// UDP address the engine workers bind (`port 0` for ephemeral).
+    pub listen: SocketAddr,
+    /// Engine worker threads.
+    pub workers: usize,
+    /// Protocol/engine tunables (set `accept_handshakes` on the chain's
+    /// verifier node; relays leave it off).
+    pub engine: EngineConfig,
+    /// Probe cadence and health thresholds.
+    pub mesh: MeshConfig,
+    /// Peers this node accepts traffic from (the bypass-defense set).
+    pub upstreams: Vec<SocketAddr>,
+    /// Downstream peers in priority order: traffic forwards to the
+    /// first; the rest are standbys that receive handshake replicas.
+    pub next_hops: Vec<SocketAddr>,
+    /// Source addresses routed toward `next_hops[0]` (the static route
+    /// table — a mesh relay never learns routes from traffic).
+    pub route_sources: Vec<SocketAddr>,
+    /// Reject datagrams from unregistered sources (the paper's static
+    /// relay set defense; §3.5).
+    pub enforce: bool,
+}
+
+impl MeshNodeConfig {
+    /// A node listening on `listen` with no peers yet.
+    #[must_use]
+    pub fn new(listen: SocketAddr, engine: EngineConfig) -> MeshNodeConfig {
+        MeshNodeConfig {
+            listen,
+            workers: 1,
+            engine,
+            mesh: MeshConfig::default(),
+            upstreams: Vec::new(),
+            next_hops: Vec::new(),
+            route_sources: Vec::new(),
+            enforce: true,
+        }
+    }
+}
+
+/// Registry + both selectors behind one lock: every control-plane
+/// decision (probe timeout, pong, join/leave) sees a consistent view.
+struct Control {
+    registry: Registry,
+    forward: PathSelector,
+    reverse: PathSelector,
+}
+
+impl Control {
+    /// Feed one registry event through both selectors, returning the
+    /// reroutes to apply.
+    fn apply(&mut self, event: &MeshEvent) -> Vec<(SocketAddr, SocketAddr)> {
+        let mut moves = Vec::new();
+        if let Some(m) = self.forward.on_event(&self.registry, event) {
+            moves.push(m);
+        }
+        if let Some(m) = self.reverse.on_event(&self.registry, event) {
+            moves.push(m);
+        }
+        moves
+    }
+}
+
+/// A running mesh relay (or chain verifier): engine workers, control
+/// socket, supervisor thread. Dropping the node shuts everything down.
+pub struct MeshNode {
+    engine: Engine,
+    control: Arc<Mutex<Control>>,
+    shutdown: Arc<AtomicBool>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl MeshNode {
+    /// Bind the engine, wire the mesh role, and start the supervisor.
+    pub fn spawn(cfg: MeshNodeConfig) -> io::Result<MeshNode> {
+        let core = EngineCore::new(cfg.engine);
+        core.mesh_enable(cfg.enforce);
+        let mut registry = Registry::new(cfg.mesh);
+
+        // Next hops: first is the active forward peer, the rest are
+        // standbys (they receive handshake replicas so a failover finds
+        // the association already bootstrapped).
+        for (i, &hop) in cfg.next_hops.iter().enumerate() {
+            let counters = core.mesh_register_peer(hop);
+            let role = if i == 0 {
+                PeerRole::NextHop
+            } else {
+                core.mesh_add_standby(hop);
+                PeerRole::Standby
+            };
+            registry.join(hop, role, true);
+            registry.peer_mut(hop).expect("just joined").counters = Some(counters);
+        }
+        // Upstreams: always part of the accept set; probed only when
+        // failover between them is possible (a plain host answers no
+        // probes and must not be declared down).
+        let probe_upstreams = cfg.upstreams.len() >= 2;
+        for &up in &cfg.upstreams {
+            let counters = core.mesh_register_peer(up);
+            registry.join(up, PeerRole::Upstream, probe_upstreams);
+            registry.peer_mut(up).expect("just joined").counters = Some(counters);
+        }
+        // Static routes: the mesh relay never learns them from traffic.
+        if let Some(&primary) = cfg.next_hops.first() {
+            for &src in &cfg.route_sources {
+                core.add_route(src, primary);
+            }
+        }
+
+        let engine = Engine::bind(cfg.listen, core, cfg.workers)?;
+        let control = Arc::new(Mutex::new(Control {
+            registry,
+            forward: PathSelector::new(cfg.next_hops.clone()),
+            reverse: PathSelector::new(if probe_upstreams {
+                cfg.upstreams.clone()
+            } else {
+                Vec::new()
+            }),
+        }));
+
+        // Control socket on the same interface as the engine, ephemeral
+        // port: probes leave (and pongs return) without mixing into the
+        // datapath workers' receive queues.
+        let local = engine.local_addr()?;
+        let ctrl_sock = UdpSocket::bind(SocketAddr::new(local.ip(), 0))?;
+        ctrl_sock.set_read_timeout(Some(Duration::from_millis(5)))?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let supervisor = {
+            let control = Arc::clone(&control);
+            let core = Arc::clone(engine.core());
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                supervise(&ctrl_sock, &control, &core, &shutdown);
+            })
+        };
+
+        Ok(MeshNode {
+            engine,
+            control,
+            shutdown,
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// The engine core (metrics, routes, mesh role).
+    #[must_use]
+    pub fn core(&self) -> &Arc<EngineCore> {
+        self.engine.core()
+    }
+
+    /// The engine's bound datapath address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.engine.local_addr()
+    }
+
+    /// Engine-relative protocol time.
+    #[must_use]
+    pub fn now(&self) -> Timestamp {
+        self.engine.now()
+    }
+
+    /// Stats snapshot (includes the `mesh` section) as JSON.
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        self.engine.stats_json()
+    }
+
+    /// The registry's peer table as a JSON array string.
+    #[must_use]
+    pub fn peers_json(&self) -> String {
+        let snap = self.control.lock().registry.snapshot();
+        serde_json::to_string(&snap).unwrap_or_else(|_| "[]".to_owned())
+    }
+
+    /// Total reroutes applied by this node.
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        self.core().metrics().mesh.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Register a peer as an accepted upstream at runtime (solves the
+    /// bind-order cycle when chain members get ephemeral ports). Once a
+    /// second upstream joins, all upstreams are probed and the reverse
+    /// path gains failover.
+    pub fn join_upstream(&self, addr: SocketAddr) {
+        let counters = self.core().mesh_register_peer(addr);
+        let mut ctl = self.control.lock();
+        ctl.registry.join(addr, PeerRole::Upstream, false);
+        ctl.registry.peer_mut(addr).expect("just joined").counters = Some(counters);
+        let ups: Vec<SocketAddr> = ctl
+            .registry
+            .peers_with_role(PeerRole::Upstream)
+            .map(|p| p.addr)
+            .collect();
+        if ups.len() >= 2 {
+            for &u in &ups {
+                if let Some(p) = ctl.registry.peer_mut(u) {
+                    p.probe = true;
+                }
+                ctl.reverse.add_candidate(u);
+            }
+        }
+    }
+
+    /// Deregister a peer everywhere (registry, engine accept set,
+    /// selectors); a selector losing its active peer reroutes live
+    /// flows to the best remaining candidate.
+    pub fn leave(&self, addr: SocketAddr) -> bool {
+        let moves = {
+            let mut ctl = self.control.lock();
+            let was = ctl.registry.leave(addr);
+            if !was {
+                return false;
+            }
+            let mut moves = Vec::new();
+            let Control {
+                registry,
+                forward,
+                reverse,
+            } = &mut *ctl;
+            if let Some(m) = forward.remove_candidate(addr, registry) {
+                moves.push(m);
+            }
+            if let Some(m) = reverse.remove_candidate(addr, registry) {
+                moves.push(m);
+            }
+            moves
+        };
+        self.core().mesh_remove_peer(addr);
+        for (old, new) in moves {
+            self.core().reroute(old, new);
+        }
+        true
+    }
+
+    /// Stop the supervisor and the engine workers, joining all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(t) = self.supervisor.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MeshNode {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// The supervisor loop: probe, collect pongs, apply failovers.
+fn supervise(
+    sock: &UdpSocket,
+    control: &Arc<Mutex<Control>>,
+    core: &Arc<EngineCore>,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let start = Instant::now();
+    let now = |start: Instant| Timestamp::from_micros(start.elapsed().as_micros() as u64);
+    let mut buf = [0u8; 64];
+    while !shutdown.load(Ordering::Relaxed) {
+        // Advance probe state; transmit fresh probes from the control
+        // socket (answered inline by the peer's datapath workers).
+        let (probes, mut moves) = {
+            let mut ctl = control.lock();
+            let out = ctl.registry.poll(now(start));
+            let mut moves = Vec::new();
+            for e in &out.events {
+                moves.extend(ctl.apply(e));
+            }
+            (out.probes, moves)
+        };
+        for (peer, probe) in &probes {
+            let _ = sock.send_to(probe, *peer);
+        }
+        // Drain echoes until the 5 ms read timeout paces the loop.
+        while let Ok((n, from)) = sock.recv_from(&mut buf) {
+            let mut ctl = control.lock();
+            let events = ctl.registry.on_pong(from, &buf[..n], now(start));
+            for e in &events {
+                moves.extend(ctl.apply(e));
+            }
+        }
+        for (old, new) in moves {
+            core.reroute(old, new);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_core::Config;
+    use alpha_crypto::Algorithm;
+
+    fn engine_cfg() -> EngineConfig {
+        EngineConfig::new(Config::new(Algorithm::Sha1).with_chain_len(64))
+    }
+
+    fn fast_mesh() -> MeshConfig {
+        MeshConfig {
+            probe_interval_us: 20_000,
+            initial_rto_us: 40_000,
+            ..MeshConfig::default()
+        }
+    }
+
+    #[test]
+    fn probes_next_hop_and_reports_health_in_counters() {
+        // A plain engine stands in for the next hop; its workers answer
+        // probes inline.
+        let hop = Engine::bind("127.0.0.1:0", EngineCore::new(engine_cfg()), 1).expect("hop");
+        let hop_addr = hop.local_addr().unwrap();
+
+        let mut cfg = MeshNodeConfig::new("127.0.0.1:0".parse().unwrap(), engine_cfg());
+        cfg.mesh = fast_mesh();
+        cfg.next_hops = vec![hop_addr];
+        let node = MeshNode::spawn(cfg).expect("node");
+
+        // Health must reach Up and the engine's per-peer counter row
+        // must mirror it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let peers = node.peers_json();
+            if peers.contains("\"health\":\"up\"") {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "next hop never became Up: {peers}"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats: serde::Value = serde_json::from_str(&node.stats_json()).expect("stats");
+        let mesh = stats
+            .get("metrics")
+            .and_then(|m| m.get("mesh"))
+            .expect("mesh section");
+        let rows = mesh
+            .get("per_peer")
+            .and_then(serde::Value::as_array)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(
+            rows[0].get("health").and_then(serde::Value::as_str),
+            Some("up")
+        );
+        assert!(
+            rows[0]
+                .get("pongs_received")
+                .and_then(serde::Value::as_u64)
+                .unwrap_or(0)
+                > 0
+        );
+        node.shutdown();
+        hop.shutdown();
+    }
+
+    #[test]
+    fn dead_next_hop_fails_over_to_standby() {
+        let standby = Engine::bind("127.0.0.1:0", EngineCore::new(engine_cfg()), 1).expect("sb");
+        let standby_addr = standby.local_addr().unwrap();
+        // The primary next hop is a bound-but-silent socket: probes
+        // vanish, so the registry walks it Suspect → Down.
+        let dead = UdpSocket::bind("127.0.0.1:0").expect("dead");
+        let dead_addr = dead.local_addr().unwrap();
+
+        let mut cfg = MeshNodeConfig::new("127.0.0.1:0".parse().unwrap(), engine_cfg());
+        cfg.mesh = fast_mesh();
+        cfg.next_hops = vec![dead_addr, standby_addr];
+        let node = MeshNode::spawn(cfg).expect("node");
+
+        // Failover within a bounded number of probe intervals: with
+        // down_after=3 and initial_rto=40ms the switch lands well
+        // inside this deadline.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while node.failovers() == 0 {
+            assert!(
+                Instant::now() < deadline,
+                "no failover: {}",
+                node.peers_json()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(node.control.lock().forward.active(), Some(standby_addr));
+        assert!(node.peers_json().contains("\"health\":\"down\""));
+        node.shutdown();
+        standby.shutdown();
+    }
+
+    #[test]
+    fn join_upstream_arms_reverse_failover_and_leave_unregisters() {
+        let mut cfg = MeshNodeConfig::new("127.0.0.1:0".parse().unwrap(), engine_cfg());
+        cfg.mesh = fast_mesh();
+        let node = MeshNode::spawn(cfg).expect("node");
+        let a: SocketAddr = "127.0.0.1:41001".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:41002".parse().unwrap();
+        node.join_upstream(a);
+        {
+            let ctl = node.control.lock();
+            assert!(
+                !ctl.registry.peer(a).unwrap().probe,
+                "single upstream unprobed"
+            );
+            assert!(ctl.reverse.active().is_none());
+        }
+        node.join_upstream(b);
+        {
+            let ctl = node.control.lock();
+            assert!(ctl.registry.peer(a).unwrap().probe);
+            assert!(ctl.registry.peer(b).unwrap().probe);
+            assert_eq!(ctl.reverse.active(), Some(a));
+        }
+        assert!(node.leave(b));
+        assert!(!node.leave(b));
+        assert!(node.control.lock().registry.peer(b).is_none());
+        node.shutdown();
+    }
+}

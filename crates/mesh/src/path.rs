@@ -1,0 +1,220 @@
+//! Sticky priority failover over a candidate peer list.
+//!
+//! A [`PathSelector`] owns an ordered candidate list (the configured
+//! priority: primary first, standbys after) and tracks which candidate
+//! currently carries traffic. Selection is *sticky*: the active peer
+//! keeps the path until the registry declares it [`PeerHealth::Down`] —
+//! transient `Suspect` blips never reroute, and a recovered
+//! higher-priority peer does not preempt a working path (no failback
+//! flapping). Each switch is returned as an `(old, new)` pair for the
+//! caller to apply with `EngineCore::reroute`, which migrates live flow
+//! state along with the route table.
+
+use std::net::SocketAddr;
+
+use crate::registry::{MeshEvent, PeerHealth, Registry};
+
+/// Sticky priority failover state over one candidate list.
+#[derive(Debug, Clone)]
+pub struct PathSelector {
+    candidates: Vec<SocketAddr>,
+    active: Option<SocketAddr>,
+    /// The active peer is known-Down but nothing healthy was available;
+    /// the next candidate to come up takes over immediately.
+    active_down: bool,
+}
+
+impl PathSelector {
+    /// A selector over `candidates` in priority order; the first entry
+    /// starts active. An empty list is a permanently idle selector.
+    #[must_use]
+    pub fn new(candidates: Vec<SocketAddr>) -> PathSelector {
+        let active = candidates.first().copied();
+        PathSelector {
+            candidates,
+            active,
+            active_down: false,
+        }
+    }
+
+    /// The peer currently carrying traffic.
+    #[must_use]
+    pub fn active(&self) -> Option<SocketAddr> {
+        self.active
+    }
+
+    /// The candidate list, highest priority first.
+    #[must_use]
+    pub fn candidates(&self) -> &[SocketAddr] {
+        &self.candidates
+    }
+
+    /// Append a candidate at lowest priority (ignored if present).
+    pub fn add_candidate(&mut self, addr: SocketAddr) {
+        if !self.candidates.contains(&addr) {
+            self.candidates.push(addr);
+            if self.active.is_none() {
+                self.active = Some(addr);
+                self.active_down = false;
+            }
+        }
+    }
+
+    /// Drop a candidate. If it was active, traffic moves to the best
+    /// remaining candidate and the switch is returned.
+    pub fn remove_candidate(
+        &mut self,
+        addr: SocketAddr,
+        registry: &Registry,
+    ) -> Option<(SocketAddr, SocketAddr)> {
+        self.candidates.retain(|c| *c != addr);
+        if self.active == Some(addr) {
+            self.active = None;
+            let next = self.pick(registry, addr)?;
+            self.active = Some(next);
+            self.active_down = false;
+            return Some((addr, next));
+        }
+        None
+    }
+
+    /// First candidate (priority order) the registry does not consider
+    /// Down, excluding `not`.
+    fn pick(&self, registry: &Registry, not: SocketAddr) -> Option<SocketAddr> {
+        self.candidates
+            .iter()
+            .copied()
+            .filter(|c| *c != not)
+            .find(|c| {
+                registry
+                    .peer(*c)
+                    .is_none_or(|p| p.health != PeerHealth::Down)
+            })
+    }
+
+    /// React to a registry health event. Returns `Some((old, new))`
+    /// when the path must move — feed it to `EngineCore::reroute`.
+    pub fn on_event(
+        &mut self,
+        registry: &Registry,
+        event: &MeshEvent,
+    ) -> Option<(SocketAddr, SocketAddr)> {
+        match *event {
+            MeshEvent::PeerDown(addr) if self.active == Some(addr) => {
+                match self.pick(registry, addr) {
+                    Some(next) => {
+                        self.active = Some(next);
+                        self.active_down = false;
+                        Some((addr, next))
+                    }
+                    None => {
+                        // Every candidate is down: stay put (sticky) and
+                        // grab the first one that recovers.
+                        self.active_down = true;
+                        None
+                    }
+                }
+            }
+            MeshEvent::PeerUp(addr) if self.active_down && self.candidates.contains(&addr) => {
+                let old = self.active?;
+                if old == addr {
+                    self.active_down = false;
+                    return None;
+                }
+                self.active = Some(addr);
+                self.active_down = false;
+                Some((old, addr))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{MeshConfig, PeerRole};
+
+    fn addr(port: u16) -> SocketAddr {
+        format!("127.0.0.1:{port}").parse().unwrap()
+    }
+
+    fn registry_with(peers: &[(u16, PeerHealth)]) -> Registry {
+        let mut r = Registry::new(MeshConfig::default());
+        for &(port, health) in peers {
+            r.join(addr(port), PeerRole::NextHop, true);
+            r.peer_mut(addr(port)).unwrap().health = health;
+        }
+        r
+    }
+
+    #[test]
+    fn primary_stays_active_until_down() {
+        let r = registry_with(&[(1, PeerHealth::Up), (2, PeerHealth::Up)]);
+        let mut s = PathSelector::new(vec![addr(1), addr(2)]);
+        assert_eq!(s.active(), Some(addr(1)));
+        // Suspect is not enough to move.
+        assert!(s.on_event(&r, &MeshEvent::PeerSuspect(addr(1))).is_none());
+        assert_eq!(s.active(), Some(addr(1)));
+        // A standby going down is irrelevant.
+        assert!(s.on_event(&r, &MeshEvent::PeerDown(addr(2))).is_none());
+        assert_eq!(s.active(), Some(addr(1)));
+    }
+
+    #[test]
+    fn down_active_fails_over_to_first_healthy_candidate() {
+        let r = registry_with(&[
+            (1, PeerHealth::Down),
+            (2, PeerHealth::Down),
+            (3, PeerHealth::Up),
+        ]);
+        let mut s = PathSelector::new(vec![addr(1), addr(2), addr(3)]);
+        assert_eq!(
+            s.on_event(&r, &MeshEvent::PeerDown(addr(1))),
+            Some((addr(1), addr(3))),
+            "skips the down standby, lands on the healthy one"
+        );
+        assert_eq!(s.active(), Some(addr(3)));
+    }
+
+    #[test]
+    fn no_failback_when_primary_recovers() {
+        let r = registry_with(&[(1, PeerHealth::Up), (2, PeerHealth::Up)]);
+        let mut s = PathSelector::new(vec![addr(1), addr(2)]);
+        let rdown = registry_with(&[(1, PeerHealth::Down), (2, PeerHealth::Up)]);
+        assert_eq!(
+            s.on_event(&rdown, &MeshEvent::PeerDown(addr(1))),
+            Some((addr(1), addr(2)))
+        );
+        // Primary comes back: sticky, no preemptive switch.
+        assert!(s.on_event(&r, &MeshEvent::PeerUp(addr(1))).is_none());
+        assert_eq!(s.active(), Some(addr(2)));
+    }
+
+    #[test]
+    fn total_outage_recovers_on_first_peer_up() {
+        let r = registry_with(&[(1, PeerHealth::Down), (2, PeerHealth::Down)]);
+        let mut s = PathSelector::new(vec![addr(1), addr(2)]);
+        assert!(
+            s.on_event(&r, &MeshEvent::PeerDown(addr(1))).is_none(),
+            "nowhere to go: stays put"
+        );
+        assert_eq!(s.active(), Some(addr(1)), "sticky through the outage");
+        let r2 = registry_with(&[(1, PeerHealth::Down), (2, PeerHealth::Up)]);
+        assert_eq!(
+            s.on_event(&r2, &MeshEvent::PeerUp(addr(2))),
+            Some((addr(1), addr(2))),
+            "first recovery takes the path"
+        );
+    }
+
+    #[test]
+    fn candidate_removal_moves_traffic() {
+        let r = registry_with(&[(1, PeerHealth::Up), (2, PeerHealth::Up)]);
+        let mut s = PathSelector::new(vec![addr(1), addr(2)]);
+        assert_eq!(s.remove_candidate(addr(2), &r), None);
+        s.add_candidate(addr(2));
+        assert_eq!(s.remove_candidate(addr(1), &r), Some((addr(1), addr(2))));
+        assert_eq!(s.candidates(), &[addr(2)]);
+    }
+}

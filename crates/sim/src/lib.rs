@@ -30,8 +30,11 @@ pub mod trace;
 pub use device::{AffineCost, DeviceModel};
 pub use link::{GeChannel, GilbertElliott, LinkConfig};
 pub use node::{
-    sim_node_addr, App, Attacker, Endpoint, EngineRelayNode, Node, RelayNode, SenderApp,
+    sim_addr_node, sim_node_addr, App, Attacker, Endpoint, EngineRelayNode, MeshRelayNode, Node,
+    RelayNode, SenderApp,
 };
 pub use sim::{Frame, NodeId, NodeMetrics, Simulator};
-pub use topology::{protected_path, star_through_engine, star_through_relay};
+pub use topology::{
+    chained_mesh_path, protected_path, star_through_engine, star_through_relay, MeshChain,
+};
 pub use trace::{PacketKind, Trace, TraceEntry, TraceEvent};

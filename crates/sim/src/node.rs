@@ -78,6 +78,9 @@ pub struct SenderApp {
     pub interval_us: u64,
     pub(crate) sent: usize,
     pub(crate) next_send: Timestamp,
+    /// Messages in the exchange currently in flight; re-offered if the
+    /// signer abandons it (so path failures delay, not lose, traffic).
+    pub(crate) inflight: usize,
 }
 
 impl SenderApp {
@@ -92,6 +95,7 @@ impl SenderApp {
             interval_us: 0,
             sent: 0,
             next_send: Timestamp::ZERO,
+            inflight: 0,
         }
     }
 
@@ -139,6 +143,22 @@ impl App {
         App::Adaptive {
             app: SenderApp::new(Mode::Cumulative, cfg.max_n, len, total),
             adapt: Box::new(alpha_adapt::FlowAdapt::new(cfg)),
+        }
+    }
+
+    /// Put an abandoned exchange's messages back on offer: the signer
+    /// gave up (path failure, exhausted retries), so the app re-sends
+    /// them in a fresh exchange rather than losing them.
+    fn reoffer_abandoned(&mut self, events: &[alpha_core::SignerEvent]) {
+        if !events
+            .iter()
+            .any(|e| matches!(e, alpha_core::SignerEvent::ExchangeAbandoned))
+        {
+            return;
+        }
+        if let App::Sender(app) | App::Adaptive { app, .. } = self {
+            app.sent = app.sent.saturating_sub(app.inflight);
+            app.inflight = 0;
         }
     }
 }
@@ -280,6 +300,7 @@ impl Endpoint {
                         ctx.metrics.drop_reason("exchange-abandoned");
                     }
                 }
+                self.app.reoffer_abandoned(&resp.signer_events);
                 // Echo app: reply to queued deliveries when idle.
                 if let App::Echo { pending, echoed } = &mut self.app {
                     if !pending.is_empty() && assoc.signer().is_idle() {
@@ -309,6 +330,7 @@ impl Endpoint {
                         match assoc.sign_batch(&refs, mode, ctx.now) {
                             Ok(s1) => {
                                 app.sent += n;
+                                app.inflight = n;
                                 app.next_send = ctx.now.plus_micros(app.interval_us);
                                 out.send(ctx.id, self.peer, &s1);
                             }
@@ -332,6 +354,7 @@ impl Endpoint {
                         match assoc.sign_batch(&refs, mode, ctx.now) {
                             Ok(s1) => {
                                 app.sent += n;
+                                app.inflight = n;
                                 app.next_send = ctx.now.plus_micros(app.interval_us);
                                 adapt.begin_exchange(mode, n, payload_bytes, ctx.now);
                                 adapt.observe_packets(std::slice::from_ref(&s1));
@@ -432,6 +455,7 @@ impl Endpoint {
                                 ctx.metrics.drop_reason("exchange-abandoned");
                             }
                         }
+                        self.app.reoffer_abandoned(&resp.signer_events);
                         for (_seq, payload) in &resp.deliveries {
                             ctx.metrics.delivered_msgs += 1;
                             ctx.metrics.delivered_bytes += payload.len() as u64;
@@ -546,6 +570,19 @@ pub fn sim_node_addr(id: NodeId) -> std::net::SocketAddr {
     std::net::SocketAddr::from(([10, 255, (id >> 8) as u8, id as u8], 7000))
 }
 
+/// Inverse of [`sim_node_addr`]: recover the node id from a synthetic
+/// address (`None` for addresses outside the simulator's range).
+#[must_use]
+pub fn sim_addr_node(addr: std::net::SocketAddr) -> Option<NodeId> {
+    match addr {
+        std::net::SocketAddr::V4(v4) if v4.port() == 7000 => {
+            let o = v4.ip().octets();
+            (o[0] == 10 && o[1] == 255).then_some(((o[2] as NodeId) << 8) | o[3] as NodeId)
+        }
+        _ => None,
+    }
+}
+
 impl EngineRelayNode {
     /// Engine relay with the given relay policy.
     #[must_use]
@@ -581,6 +618,199 @@ impl EngineRelayNode {
             out.frames.push(Frame {
                 src: frame.src,
                 dst: frame.dst,
+                bytes: bytes.into_vec(),
+            });
+        }
+    }
+}
+
+/// A mesh relay: the multi-flow engine in mesh mode plus the alpha-mesh
+/// control plane, under simulated time. Unlike [`EngineRelayNode`] it
+/// never learns routes from traffic (static relay set = the paper's
+/// bypass defense, §3.5), re-addresses frames hop-by-hop, answers
+/// liveness probes, probes its own peers, and fails live flows over to
+/// a standby when the registry declares a peer down.
+pub struct MeshRelayNode {
+    /// Device pricing this relay's verification work.
+    pub device: DeviceModel,
+    /// The multi-flow engine core (mesh role enabled).
+    pub core: alpha_engine::EngineCore,
+    /// The peer table driving liveness and admission.
+    pub registry: alpha_mesh::Registry,
+    forward: alpha_mesh::PathSelector,
+    reverse: alpha_mesh::PathSelector,
+    /// Set false to simulate a crashed relay: it swallows every frame
+    /// and stops probing (its peers' registries notice).
+    pub alive: bool,
+}
+
+impl MeshRelayNode {
+    /// A mesh relay wired into a static topology: it accepts traffic
+    /// from `upstreams` only, forwards toward `next_hops[0]` (the rest
+    /// are standbys that receive handshake replicas), and statically
+    /// routes each of `route_sources` toward the primary next hop.
+    #[must_use]
+    pub fn new(
+        device: DeviceModel,
+        relay_cfg: RelayConfig,
+        mesh_cfg: alpha_mesh::MeshConfig,
+        upstreams: &[NodeId],
+        next_hops: &[NodeId],
+        route_sources: &[NodeId],
+    ) -> MeshRelayNode {
+        let mut ecfg = alpha_engine::EngineConfig::new(Config::new(alpha_crypto::Algorithm::Sha1));
+        ecfg.relay = relay_cfg;
+        ecfg.accept_handshakes = false;
+        let core = alpha_engine::EngineCore::new(ecfg);
+        core.mesh_enable(true);
+        let mut registry = alpha_mesh::Registry::new(mesh_cfg);
+        // Probe peers only where failover between them is possible: a
+        // lone next hop may be the chain's verifier (a plain endpoint
+        // that answers no probes), just as a lone upstream may be the
+        // sending host.
+        let probe_next_hops = next_hops.len() >= 2;
+        for (i, &hop) in next_hops.iter().enumerate() {
+            let addr = sim_node_addr(hop);
+            let counters = core.mesh_register_peer(addr);
+            let role = if i == 0 {
+                alpha_mesh::PeerRole::NextHop
+            } else {
+                core.mesh_add_standby(addr);
+                alpha_mesh::PeerRole::Standby
+            };
+            registry.join(addr, role, probe_next_hops);
+            registry.peer_mut(addr).expect("just joined").counters = Some(counters);
+        }
+        // A lone upstream is this node's traffic source (possibly a
+        // plain host); only probe upstreams when there are enough of
+        // them for reverse-path failover to mean anything.
+        let probe_upstreams = upstreams.len() >= 2;
+        for &up in upstreams {
+            let addr = sim_node_addr(up);
+            let counters = core.mesh_register_peer(addr);
+            registry.join(addr, alpha_mesh::PeerRole::Upstream, probe_upstreams);
+            registry.peer_mut(addr).expect("just joined").counters = Some(counters);
+        }
+        if let Some(&primary) = next_hops.first() {
+            for &src in route_sources {
+                core.add_route(sim_node_addr(src), sim_node_addr(primary));
+            }
+        }
+        let forward =
+            alpha_mesh::PathSelector::new(next_hops.iter().map(|&h| sim_node_addr(h)).collect());
+        let reverse = alpha_mesh::PathSelector::new(if probe_upstreams {
+            upstreams.iter().map(|&u| sim_node_addr(u)).collect()
+        } else {
+            Vec::new()
+        });
+        MeshRelayNode {
+            device,
+            core,
+            registry,
+            forward,
+            reverse,
+            alive: true,
+        }
+    }
+
+    /// Crash this relay: frames are swallowed, probes go unanswered.
+    pub fn kill(&mut self) {
+        self.alive = false;
+    }
+
+    /// Reroutes this relay has applied (forward + reverse).
+    #[must_use]
+    pub fn failovers(&self) -> u64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.core.metrics().mesh.failovers.load(Relaxed)
+    }
+
+    fn apply_events(&mut self, events: &[alpha_mesh::MeshEvent]) {
+        for e in events {
+            if let Some((old, new)) = self.forward.on_event(&self.registry, e) {
+                self.core.reroute(old, new);
+            }
+            if let Some((old, new)) = self.reverse.on_event(&self.registry, e) {
+                self.core.reroute(old, new);
+            }
+        }
+    }
+
+    fn on_tick(&mut self, ctx: &mut NodeCtx<'_>, out: &mut NodeOutput) {
+        if !self.alive {
+            return;
+        }
+        let poll = self.registry.poll(ctx.now);
+        for (peer, bytes) in poll.probes {
+            if let Some(dst) = sim_addr_node(peer) {
+                out.frames.push(Frame {
+                    src: ctx.id,
+                    dst,
+                    bytes,
+                });
+            }
+        }
+        self.apply_events(&poll.events);
+    }
+
+    fn on_frame(
+        &mut self,
+        ctx: &mut NodeCtx<'_>,
+        hop_from: NodeId,
+        frame: Frame,
+        out: &mut NodeOutput,
+    ) {
+        if !self.alive {
+            ctx.metrics.drop_reason("dead-relay");
+            return;
+        }
+        use alpha_engine::mesh;
+        // Control plane first, mirroring the transport workers: probes
+        // and replicas sit below the upstream-set filter.
+        if let Some(nonce) = mesh::parse_ping(&frame.bytes) {
+            out.frames.push(Frame {
+                src: ctx.id,
+                dst: hop_from,
+                bytes: mesh::encode_pong(nonce),
+            });
+            return;
+        }
+        if mesh::parse_pong(&frame.bytes).is_some() {
+            let events = self
+                .registry
+                .on_pong(sim_node_addr(hop_from), &frame.bytes, ctx.now);
+            self.apply_events(&events);
+            return;
+        }
+        // Hop-by-hop semantics: the engine sees the *previous hop* as
+        // the source, not the originating endpoint.
+        let from = sim_node_addr(hop_from);
+        if let Some(inner) = mesh::parse_replica(&frame.bytes) {
+            self.core.absorb_replica(from, inner, ctx.now, ctx.rng);
+            return;
+        }
+        let m = self.core.metrics();
+        use std::sync::atomic::Ordering::Relaxed;
+        let drops_before = m.total_drops() + m.parse_errors.load(Relaxed);
+        let engine_out = self
+            .core
+            .handle_datagram(from, &frame.bytes, ctx.now, ctx.rng);
+        let drops_after = m.total_drops() + m.parse_errors.load(Relaxed);
+        for _ in drops_before..drops_after {
+            ctx.metrics.drop_reason("engine-drop");
+        }
+        ctx.metrics.extracted_payloads += engine_out.extracted.len() as u64;
+        for (dst_addr, bytes) in engine_out.datagrams {
+            // Re-address each emitted datagram to the hop the engine's
+            // static routes picked (the next relay, standby, or host).
+            let Some(dst) = sim_addr_node(dst_addr) else {
+                ctx.metrics.drop_reason("no-such-peer");
+                continue;
+            };
+            ctx.metrics.forwarded += 1;
+            out.frames.push(Frame {
+                src: ctx.id,
+                dst,
                 bytes: bytes.into_vec(),
             });
         }
@@ -727,6 +957,9 @@ pub enum Node {
     Relay(RelayNode),
     /// An ALPHA-aware forwarder backed by the multi-flow engine.
     EngineRelay(EngineRelayNode),
+    /// An engine forwarder in mesh mode: static relay set, hop-by-hop
+    /// re-addressing, liveness probing, path failover.
+    MeshRelay(MeshRelayNode),
     /// A plain forwarder with no ALPHA awareness (incremental deployment).
     DumbRelay {
         /// Device model (prices nothing; dumb relays do no crypto).
@@ -749,6 +982,7 @@ impl Node {
             Node::Endpoint(e) => &e.device,
             Node::Relay(r) => &r.device,
             Node::EngineRelay(r) => &r.device,
+            Node::MeshRelay(r) => &r.device,
             Node::DumbRelay { device } => device,
             Node::Attacker { device, .. } => device,
         }
@@ -781,9 +1015,28 @@ impl Node {
         }
     }
 
+    /// Mesh-relay view, if this node is one.
+    #[must_use]
+    pub fn as_mesh_relay(&self) -> Option<&MeshRelayNode> {
+        match self {
+            Node::MeshRelay(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Mutable mesh-relay view (e.g. to [`MeshRelayNode::kill`] it
+    /// mid-run).
+    pub fn as_mesh_relay_mut(&mut self) -> Option<&mut MeshRelayNode> {
+        match self {
+            Node::MeshRelay(r) => Some(r),
+            _ => None,
+        }
+    }
+
     pub(crate) fn on_tick(&mut self, ctx: &mut NodeCtx<'_>, out: &mut NodeOutput) {
         match self {
             Node::Endpoint(e) => e.on_tick(ctx, out),
+            Node::MeshRelay(r) => r.on_tick(ctx, out),
             Node::Relay(_) | Node::EngineRelay(_) | Node::DumbRelay { .. } => {}
             Node::Attacker { attacker, .. } => attacker.on_tick(ctx, out),
         }
@@ -792,7 +1045,7 @@ impl Node {
     pub(crate) fn on_frame(
         &mut self,
         ctx: &mut NodeCtx<'_>,
-        _hop_from: NodeId,
+        hop_from: NodeId,
         frame: Frame,
         out: &mut NodeOutput,
     ) {
@@ -800,6 +1053,7 @@ impl Node {
             Node::Endpoint(e) => e.on_frame(ctx, frame, out),
             Node::Relay(r) => r.on_frame(ctx, frame, out),
             Node::EngineRelay(r) => r.on_frame(ctx, frame, out),
+            Node::MeshRelay(r) => r.on_frame(ctx, hop_from, frame, out),
             Node::DumbRelay { .. } => {
                 ctx.metrics.forwarded += 1;
                 out.frames.push(frame);

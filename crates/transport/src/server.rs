@@ -27,7 +27,11 @@
 //!
 //! A stats datagram (prefix [`STATS_MAGIC`]) is answered inline by
 //! whichever worker receives it, so `engine stats` works against a
-//! live engine without a side channel.
+//! live engine without a side channel. Mesh control datagrams ride the
+//! same lane: liveness probes (`alpha_engine::mesh::PING_MAGIC`) are
+//! echoed inline — so a probe round-trip measures real worker service
+//! latency — and handshake replicas (`REPLICA_MAGIC`) are absorbed
+//! into the engine without emitting anything.
 
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
@@ -37,6 +41,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use alpha_core::Timestamp;
+use alpha_engine::mesh;
 use alpha_engine::{EngineCore, EngineOutput};
 use alpha_wire::FramePool;
 use rand::rngs::StdRng;
@@ -275,6 +280,15 @@ fn spawn_worker(
             for d in &rx {
                 if d.frame.starts_with(STATS_MAGIC) {
                     let _ = io.socket().send_to(core.stats_json().as_bytes(), d.from);
+                } else if let Some(nonce) = mesh::parse_ping(&d.frame) {
+                    // Mesh liveness probe: echoed inline like stats, so
+                    // a peer's health check measures this worker's real
+                    // service latency, not a side channel's.
+                    let _ = io.socket().send_to(&mesh::encode_pong(nonce), d.from);
+                } else if let Some(inner) = mesh::parse_replica(&d.frame) {
+                    // Handshake replica from an upstream relay toward a
+                    // standby: learn the association, emit nothing.
+                    core.absorb_replica(d.from, inner, now, &mut rng);
                 } else {
                     batch.push((d.from, &d.frame[..]));
                 }
@@ -416,6 +430,42 @@ mod tests {
                 .unwrap_or(0)
                 > 0,
             "workers counted received datagrams"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn answers_mesh_probes_and_absorbs_replicas() {
+        let server = Engine::bind("127.0.0.1:0", EngineCore::new(engine_cfg()), 1).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let sock = UdpSocket::bind("127.0.0.1:0").expect("probe socket");
+        sock.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // Probe round-trip: the worker echoes the nonce inline.
+        sock.send_to(&mesh::encode_ping(0xDEAD_BEEF), addr).unwrap();
+        let mut buf = [0u8; 64];
+        let (n, from) = sock.recv_from(&mut buf).expect("pong");
+        assert_eq!(from, addr);
+        assert_eq!(mesh::parse_pong(&buf[..n]), Some(0xDEAD_BEEF));
+        // A replica datagram is absorbed silently (learn-only).
+        sock.send_to(&mesh::encode_replica(b"not a handshake"), addr)
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server
+            .core()
+            .metrics()
+            .mesh
+            .replicas_absorbed
+            .load(Ordering::Relaxed)
+            == 0
+        {
+            assert!(Instant::now() < deadline, "replica never absorbed");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        sock.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        assert!(
+            sock.recv_from(&mut buf).is_err(),
+            "replicas must not generate a response"
         );
         server.shutdown();
     }

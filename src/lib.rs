@@ -26,6 +26,8 @@
 //!   mode / bundle-size controller.
 //! - [`baselines`] — TESLA, µTESLA, pairwise hop-HMAC and per-packet
 //!   public-key signing, the comparison points from the paper's §2.
+//! - [`mesh`] — the multi-hop relay mesh: peer registry with liveness
+//!   probes, chained per-hop verification, and path failover.
 //!
 //! ## Quickstart
 //!
@@ -57,6 +59,7 @@ pub use alpha_bignum as bignum;
 pub use alpha_core as core;
 pub use alpha_crypto as crypto;
 pub use alpha_engine as engine;
+pub use alpha_mesh as mesh;
 pub use alpha_pk as pk;
 pub use alpha_sim as sim;
 pub use alpha_transport as transport;
