@@ -42,6 +42,12 @@ cargo run --release --example mesh_smoke
 echo "==> mesh chain bench smoke (release, --quick)"
 cargo run --release -p alpha-bench --bin mesh_chain -- --quick
 
+echo "==> hibernation: freeze/thaw decision-identity properties"
+cargo test -q -p alpha-core --test freeze_thaw
+
+echo "==> flow density bench smoke (release, --quick; gates >=10x assoc/GB and wake p99 < 1 ms)"
+cargo run --release -p alpha-bench --bin flow_density -- --quick
+
 echo "==> decoder robustness properties (release)"
 cargo test --release --test properties -q -- \
     truncation_at_every_offset_agrees \

@@ -271,6 +271,45 @@ impl ChannelEstimator {
         self.total_payload_bytes
     }
 
+    /// Freeze the smoothed signals and lifetime counters for hibernation.
+    /// [`ChannelEstimator::restore`] rebuilds an estimator whose every
+    /// observable (and every future update) matches this one exactly.
+    #[must_use]
+    pub fn freeze(&self) -> FrozenEstimator {
+        FrozenEstimator {
+            loss: self.loss,
+            have_loss: self.have_loss,
+            srtt_us: self.srtt_us,
+            rttvar_us: self.rttvar_us,
+            have_rtt: self.have_rtt,
+            efficiency: self.efficiency,
+            have_efficiency: self.have_efficiency,
+            total_exchanges: self.total_exchanges,
+            total_abandoned: self.total_abandoned,
+            total_auth_bytes: self.total_auth_bytes,
+            total_payload_bytes: self.total_payload_bytes,
+        }
+    }
+
+    /// Rebuild an estimator from a hibernation snapshot.
+    #[must_use]
+    pub fn restore(cfg: AdaptConfig, frozen: &FrozenEstimator) -> ChannelEstimator {
+        ChannelEstimator {
+            cfg,
+            loss: frozen.loss,
+            have_loss: frozen.have_loss,
+            srtt_us: frozen.srtt_us,
+            rttvar_us: frozen.rttvar_us,
+            have_rtt: frozen.have_rtt,
+            efficiency: frozen.efficiency,
+            have_efficiency: frozen.have_efficiency,
+            total_exchanges: frozen.total_exchanges,
+            total_abandoned: frozen.total_abandoned,
+            total_auth_bytes: frozen.total_auth_bytes,
+            total_payload_bytes: frozen.total_payload_bytes,
+        }
+    }
+
     /// JSON snapshot of every smoothed signal and lifetime counter.
     #[must_use]
     pub fn snapshot(&self) -> Value {
@@ -302,6 +341,34 @@ impl ChannelEstimator {
             ),
         ])
     }
+}
+
+/// The hibernated form of a [`ChannelEstimator`]: every smoothed signal
+/// and lifetime counter, without the (engine-wide) configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrozenEstimator {
+    /// EWMA effective-loss signal.
+    pub loss: f64,
+    /// Whether `loss` has ever been seeded.
+    pub have_loss: bool,
+    /// Smoothed round-trip time (µs).
+    pub srtt_us: f64,
+    /// Smoothed round-trip variance (µs).
+    pub rttvar_us: f64,
+    /// Whether an RTT sample has been folded in.
+    pub have_rtt: bool,
+    /// EWMA goodput-per-auth-byte signal.
+    pub efficiency: f64,
+    /// Whether `efficiency` has ever been seeded.
+    pub have_efficiency: bool,
+    /// Exchanges observed.
+    pub total_exchanges: u64,
+    /// Exchanges abandoned.
+    pub total_abandoned: u64,
+    /// Lifetime authentication overhead bytes.
+    pub total_auth_bytes: u64,
+    /// Lifetime payload bytes.
+    pub total_payload_bytes: u64,
 }
 
 #[cfg(test)]

@@ -26,7 +26,7 @@
 mod estimator;
 mod policy;
 
-pub use estimator::{ChannelEstimator, ExchangeSample, ModeKind};
+pub use estimator::{ChannelEstimator, ExchangeSample, FrozenEstimator, ModeKind};
 pub use policy::{Decision, HysteresisPolicy, ModePolicy};
 
 use alpha_core::{Mode, SignerEvent, Timestamp};
@@ -333,6 +333,31 @@ impl FlowAdapt {
         self.est.rto_us()
     }
 
+    /// Freeze the adaptation state for hibernation: the estimator
+    /// snapshot, the current decision, and the lifetime switch count.
+    /// Call only between exchanges (the engine freezes idle flows, so an
+    /// in-flight accumulator never exists here); the bounded switch log
+    /// and the policy's dwell streaks restart on restore — both only
+    /// delay the next rung change, they never alter verifier decisions.
+    #[must_use]
+    pub fn freeze(&self) -> FrozenAdapt {
+        FrozenAdapt {
+            est: self.est.freeze(),
+            decision: self.decision,
+            switches_total: self.switches_total,
+        }
+    }
+
+    /// Rebuild adaptation state from a hibernation snapshot.
+    #[must_use]
+    pub fn restore(cfg: AdaptConfig, frozen: &FrozenAdapt) -> FlowAdapt {
+        let mut fa = FlowAdapt::new(cfg);
+        fa.est = ChannelEstimator::restore(cfg, &frozen.est);
+        fa.decision = frozen.decision;
+        fa.switches_total = frozen.switches_total;
+        fa
+    }
+
     /// JSON snapshot: current decision plus every estimator signal.
     #[must_use]
     pub fn snapshot(&self) -> Value {
@@ -345,6 +370,102 @@ impl FlowAdapt {
             ("switches".to_owned(), Value::U64(self.switches_total)),
             ("estimator".to_owned(), self.est.snapshot()),
         ])
+    }
+}
+
+/// The hibernated form of a [`FlowAdapt`]: what survives a freeze/thaw
+/// cycle (see [`FlowAdapt::freeze`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrozenAdapt {
+    /// Estimator snapshot.
+    pub est: FrozenEstimator,
+    /// Controller decision at freeze time.
+    pub decision: Decision,
+    /// Lifetime decision changes.
+    pub switches_total: u64,
+}
+
+/// Serialized size of a [`FrozenAdapt`] record.
+const FROZEN_ADAPT_LEN: usize = 4 * 8 + 3 + 4 * 8 + 1 + 8 + 8;
+
+impl FrozenAdapt {
+    /// Serialize into the compact byte record held by the hibernation
+    /// store.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(FROZEN_ADAPT_LEN);
+        for f in [
+            self.est.loss,
+            self.est.srtt_us,
+            self.est.rttvar_us,
+            self.est.efficiency,
+        ] {
+            out.extend_from_slice(&f.to_bits().to_be_bytes());
+        }
+        out.push(u8::from(self.est.have_loss));
+        out.push(u8::from(self.est.have_rtt));
+        out.push(u8::from(self.est.have_efficiency));
+        for v in [
+            self.est.total_exchanges,
+            self.est.total_abandoned,
+            self.est.total_auth_bytes,
+            self.est.total_payload_bytes,
+        ] {
+            out.extend_from_slice(&v.to_be_bytes());
+        }
+        out.push(match self.decision.kind {
+            ModeKind::Base => 0,
+            ModeKind::Cumulative => 1,
+            ModeKind::Merkle => 2,
+            ModeKind::CumulativeMerkle => 3,
+        });
+        out.extend_from_slice(&(self.decision.n as u64).to_be_bytes());
+        out.extend_from_slice(&self.switches_total.to_be_bytes());
+        out
+    }
+
+    /// Parse a record produced by [`FrozenAdapt::to_bytes`]; `None` on any
+    /// malformed input.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<FrozenAdapt> {
+        if bytes.len() != FROZEN_ADAPT_LEN {
+            return None;
+        }
+        let f64_at = |i: usize| {
+            let raw: [u8; 8] = bytes[i..i + 8].try_into().expect("8 bytes");
+            f64::from_bits(u64::from_be_bytes(raw))
+        };
+        let u64_at = |i: usize| {
+            let raw: [u8; 8] = bytes[i..i + 8].try_into().expect("8 bytes");
+            u64::from_be_bytes(raw)
+        };
+        let kind = match bytes[67] {
+            0 => ModeKind::Base,
+            1 => ModeKind::Cumulative,
+            2 => ModeKind::Merkle,
+            3 => ModeKind::CumulativeMerkle,
+            _ => return None,
+        };
+        Some(FrozenAdapt {
+            est: FrozenEstimator {
+                loss: f64_at(0),
+                srtt_us: f64_at(8),
+                rttvar_us: f64_at(16),
+                efficiency: f64_at(24),
+                have_loss: bytes[32] != 0,
+                have_rtt: bytes[33] != 0,
+                have_efficiency: bytes[34] != 0,
+                total_exchanges: u64_at(35),
+                total_abandoned: u64_at(43),
+                total_auth_bytes: u64_at(51),
+                total_payload_bytes: u64_at(59),
+            },
+            decision: Decision {
+                kind,
+                n: u64_at(68) as usize,
+            },
+            switches_total: u64_at(76),
+        })
     }
 }
 

@@ -394,6 +394,10 @@ fn main() {
             "udp_backend".to_owned(),
             Value::Str(alpha_transport::io::active().name().to_owned()),
         ),
+        (
+            "chain_storage".to_owned(),
+            Value::Str(alpha_bench::chain_storage_label(1 << 15).to_owned()),
+        ),
         ("payload_bytes".to_owned(), Value::U64(PAYLOAD as u64)),
         ("duration_s".to_owned(), Value::U64(DURATION_US / 1_000_000)),
         ("tick_us".to_owned(), Value::U64(TICK_US)),

@@ -328,6 +328,11 @@ fn main() {
         "  \"udp_backend\": \"{}\",",
         alpha_transport::io::active().name()
     );
+    let _ = writeln!(
+        json,
+        "  \"chain_storage\": \"{}\",",
+        alpha_bench::chain_storage_label(cfg.chain_len)
+    );
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"flows\": {flows},");
     let _ = writeln!(json, "  \"exchanges_per_flow\": {exchanges},");

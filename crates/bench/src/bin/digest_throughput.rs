@@ -263,6 +263,11 @@ fn main() {
         "  \"udp_backend\": \"{}\",",
         alpha_transport::io::active().name()
     );
+    let _ = writeln!(
+        json,
+        "  \"chain_storage\": \"{}\",",
+        alpha_bench::chain_storage_label(cfg.chain_len)
+    );
     let _ = writeln!(json, "  \"single_message_ns\": [");
     for (i, (kind, alg, len, ns)) in single.iter().enumerate() {
         let _ = writeln!(

@@ -211,6 +211,11 @@ fn main() {
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"mesh_chain\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(
+        json,
+        "  \"chain_storage\": \"{}\",",
+        alpha_bench::chain_storage_label(1024)
+    );
     let _ = writeln!(json, "  \"mode\": \"cumulative\",");
     let _ = writeln!(json, "  \"batch\": {BATCH},");
     let _ = writeln!(json, "  \"payload_bytes\": {PAYLOAD},");

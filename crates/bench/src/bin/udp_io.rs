@@ -547,6 +547,11 @@ fn main() {
         alpha_crypto::backend::active().name()
     );
     let _ = writeln!(json, "  \"udp_backend\": \"{}\",", io::active().name());
+    let _ = writeln!(
+        json,
+        "  \"chain_storage\": \"{}\",",
+        alpha_bench::chain_storage_label(cfg.chain_len)
+    );
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"flows\": {flows},");
     let _ = writeln!(json, "  \"exchanges_per_flow\": {exchanges},");

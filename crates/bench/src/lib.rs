@@ -70,3 +70,15 @@ pub fn ms(ns: f64) -> String {
 pub fn us(ns: f64) -> String {
     format!("{:.0}", ns / 1e3)
 }
+
+/// Resolved chain-storage label for a bench run, honouring the
+/// `ALPHA_CHAIN_STORAGE` override exactly like the engine does. Every
+/// `BENCH_*.json` records this next to `digest_backend`/`udp_backend`
+/// so a result can be traced back to the storage strategy that
+/// produced it.
+#[must_use]
+pub fn chain_storage_label(chain_len: u64) -> &'static str {
+    let cfg =
+        alpha_core::Config::new(alpha_crypto::Algorithm::Sha1).with_chain_len(chain_len.max(2));
+    alpha_engine::chainstore::name(alpha_engine::chainstore::resolve(cfg).chain_storage)
+}

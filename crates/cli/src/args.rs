@@ -70,7 +70,8 @@ pub enum Command {
     },
     /// `alpha engine serve BIND [--workers N] [--shards N] [--seconds N]
     ///  [--alg A] [--mac hmac|prefix] [--reliable] [--s1-budget BYTES]
-    ///  [--max-buffered BYTES] [--route LEFT=RIGHT] [--adapt]`
+    ///  [--max-buffered BYTES] [--route LEFT=RIGHT] [--adapt]
+    ///  [--hibernate-after MS] [--frozen-budget BYTES]`
     EngineServe {
         /// Bind address of the shared socket.
         bind: String,
@@ -91,6 +92,12 @@ pub enum Command {
         route: Option<(String, String)>,
         /// Enable per-flow channel estimation and mode adaptation.
         adapt: bool,
+        /// Freeze host flows idle for this many milliseconds into the
+        /// hibernation store (0 = never hibernate).
+        hibernate_after_ms: u64,
+        /// Byte budget for frozen records; LRU-evicted beyond it
+        /// (0 = unbounded).
+        frozen_budget: u64,
     },
     /// `alpha engine stats ADDR [--timeout-ms N] [--json]` — query a
     /// running engine and print a human summary (or the raw JSON
@@ -435,6 +442,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                         max_buffered: get_num(&flags, "max-buffered", 64 << 20)?,
                         route,
                         adapt: flags.contains_key("adapt"),
+                        hibernate_after_ms: get_num(&flags, "hibernate-after", 0)?,
+                        frozen_budget: get_num(&flags, "frozen-budget", 256 << 20)?,
                     })
                 }
                 "stats" => {
@@ -547,6 +556,7 @@ USAGE:
   alpha engine serve BIND [--workers N] [--shards N] [--seconds N] [--alg A]
                [--mac hmac|prefix] [--reliable] [--s1-budget BYTES]
                [--max-buffered BYTES] [--route LEFT=RIGHT] [--adapt]
+               [--hibernate-after MS] [--frozen-budget BYTES]
   alpha engine stats ADDR [--timeout-ms N] [--json]
   alpha mesh serve BIND --next-hop A[,B...] [--upstream A[,B...]]
                [--source A[,B...]] [--workers N] [--probe-ms N]
@@ -716,6 +726,10 @@ mod tests {
             "16",
             "--route",
             "10.0.0.1:5000=10.0.0.2:6000",
+            "--hibernate-after",
+            "30000",
+            "--frozen-budget",
+            "1048576",
         ]))
         .unwrap();
         match cmd {
@@ -724,6 +738,8 @@ mod tests {
                 shards,
                 route,
                 seconds,
+                hibernate_after_ms,
+                frozen_budget,
                 ..
             } => {
                 assert_eq!(workers, 8);
@@ -733,6 +749,21 @@ mod tests {
                     route,
                     Some(("10.0.0.1:5000".into(), "10.0.0.2:6000".into()))
                 );
+                assert_eq!(hibernate_after_ms, 30_000);
+                assert_eq!(frozen_budget, 1 << 20);
+            }
+            _ => panic!(),
+        }
+        // Hibernation defaults: off, with a 256 MiB budget once enabled.
+        let cmd = parse_args(&v(&["engine", "serve", "0.0.0.0:7000"])).unwrap();
+        match cmd {
+            Command::EngineServe {
+                hibernate_after_ms,
+                frozen_budget,
+                ..
+            } => {
+                assert_eq!(hibernate_after_ms, 0);
+                assert_eq!(frozen_budget, 256 << 20);
             }
             _ => panic!(),
         }

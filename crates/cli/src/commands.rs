@@ -297,6 +297,8 @@ pub fn engine_serve(
     max_buffered: u64,
     route: &Option<(String, String)>,
     adapt: bool,
+    hibernate_after_ms: u64,
+    frozen_budget: u64,
 ) -> Result<(), CliError> {
     let mut ecfg = alpha_engine::EngineConfig::new(config_from(opts)).with_shards(shards);
     if adapt {
@@ -304,12 +306,17 @@ pub fn engine_serve(
     }
     ecfg.s1_bytes_per_sec = (s1_budget > 0).then_some(s1_budget);
     ecfg.max_buffered_bytes = (max_buffered > 0).then_some(max_buffered);
+    ecfg.hibernate_after = (hibernate_after_ms > 0).then_some(hibernate_after_ms * 1_000);
+    ecfg.frozen_budget = (frozen_budget > 0).then_some(frozen_budget);
     let core = alpha_engine::EngineCore::new(ecfg);
     if let Some((l, r)) = route {
         let l: std::net::SocketAddr = l.parse()?;
         let r: std::net::SocketAddr = r.parse()?;
         core.add_route(l, r);
         println!("relaying {l} <-> {r}");
+    }
+    if hibernate_after_ms > 0 {
+        println!("hibernating flows idle for {hibernate_after_ms} ms (budget {frozen_budget} B)");
     }
     let engine = alpha_transport::Engine::bind(bind, core, workers)?;
     println!(
@@ -434,15 +441,20 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
         .get("udp_backend")
         .and_then(serde_json::Value::as_str)
         .unwrap_or("none");
+    let chain_storage = snap
+        .get("chain_storage")
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or("unknown");
     let _ = writeln!(
         out,
         "engine: {} flow(s) across {} shard(s), {} buffered byte(s), digest backend {}, \
-         udp backend {}",
+         udp backend {}, chain storage {}",
         u(snap.get("flows")),
         u(snap.get("shards")),
         u(snap.get("buffered_bytes")),
         backend,
         udp_backend,
+        chain_storage,
     );
     if let Some(serde_json::Value::Object(metrics)) = snap.get("metrics") {
         let nonzero: Vec<String> = metrics
@@ -474,6 +486,26 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
                     iu("eagain"),
                     iu("partial_sends"),
                     workers,
+                );
+            }
+        }
+        if let Some(store) = metrics.get("store") {
+            let su = |k: &str| u(store.get(k));
+            if su("frozen") + su("thawed") + su("evicted") + su("flows_hibernated") > 0 {
+                let _ = writeln!(
+                    out,
+                    "store: {} hibernated flow(s) in {} frozen byte(s); frozen={} thawed={} \
+                     evicted={} thaw_rejected={} renewals={}/{} deferred, thaw p50={}µs p99={}µs",
+                    su("flows_hibernated"),
+                    su("bytes_frozen"),
+                    su("frozen"),
+                    su("thawed"),
+                    su("evicted"),
+                    su("thaw_rejected"),
+                    su("renewals_started"),
+                    su("renewals_deferred"),
+                    u(store.get("thaw_latency_us").and_then(|h| h.get("p50_us"))),
+                    u(store.get("thaw_latency_us").and_then(|h| h.get("p99_us"))),
                 );
             }
         }

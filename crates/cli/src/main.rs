@@ -49,6 +49,8 @@ fn main() {
             max_buffered,
             route,
             adapt,
+            hibernate_after_ms,
+            frozen_budget,
         } => commands::engine_serve(
             bind,
             opts,
@@ -59,6 +61,8 @@ fn main() {
             *max_buffered,
             route,
             *adapt,
+            *hibernate_after_ms,
+            *frozen_budget,
         ),
         Command::EngineStats {
             addr,

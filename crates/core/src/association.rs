@@ -5,7 +5,7 @@
 //! `{h^As_n, h^Aa_n, h^Bs_n, h^Ba_n}` of §3.1 are exactly the four chains
 //! these two pairs of machines hold between two hosts.
 
-use alpha_crypto::chain::HashChain;
+use alpha_crypto::chain::{FrozenChain, HashChain};
 use alpha_crypto::Digest;
 use alpha_wire::{Body, Packet};
 use rand::RngCore;
@@ -295,5 +295,39 @@ impl Association {
     /// Sign a control signal toward the peer (and every on-path relay).
     pub fn send_signal(&mut self, sig: &Signal, now: Timestamp) -> Result<Packet, ProtocolError> {
         self.signer.sign(&[&sig.encode()], Mode::Base, now)
+    }
+
+    /// Freeze this association into a compact hibernation record
+    /// ([`crate::freeze`]). Fails with
+    /// [`ProtocolError::ExchangeInProgress`] while a signer exchange is
+    /// outstanding; the verifier side freezes even mid-bundle.
+    pub fn freeze(&self) -> Result<crate::freeze::FrozenAssociation, ProtocolError> {
+        Ok(crate::freeze::FrozenAssociation {
+            assoc_id: self.assoc_id,
+            alg: self.cfg.algorithm,
+            signer: self.signer.freeze()?,
+            verifier: self.verifier.freeze(),
+        })
+    }
+
+    /// Rebuild an association from its frozen record. `cfg` supplies the
+    /// shared tunables (they are engine-wide, not per-flow, so they do not
+    /// hibernate); the signer's adaptively tuned RTO is restored from the
+    /// record. The thawed association is decision-identical to one that
+    /// never slept.
+    #[must_use]
+    pub fn thaw(cfg: Config, frozen: &crate::freeze::FrozenAssociation) -> Association {
+        debug_assert_eq!(cfg.algorithm, frozen.alg);
+        // Both own chains rebuild in one two-lane pass — chain
+        // re-derivation dominates the wake latency of a hibernated
+        // flow, and the lanes roughly halve it.
+        let (sig_chain, ack_chain) =
+            FrozenChain::thaw_pair(&frozen.signer.chain, &frozen.verifier.ack_chain);
+        Association {
+            assoc_id: frozen.assoc_id,
+            cfg,
+            signer: SignerChannel::thaw(frozen.assoc_id, cfg, &frozen.signer, sig_chain),
+            verifier: VerifierChannel::thaw(frozen.assoc_id, cfg, &frozen.verifier, ack_chain),
+        }
     }
 }

@@ -1,0 +1,489 @@
+//! Freezing an idle association into a compact record and thawing it back.
+//!
+//! A hibernated flow keeps only what cannot be re-derived: chain cursors
+//! and the seed hash (the [`alpha_crypto::chain::FrozenChain`] form — no
+//! element vectors, no pebbles), the peer-chain verifier positions, and —
+//! when the flow slept mid-bundle — the verifier's buffered exchange(s)
+//! including pre-signatures and undisclosed acknowledgment secrets. Thawing
+//! rebuilds the full channel state machines; every subsequent packet takes
+//! exactly the decisions a never-frozen association would have taken.
+//!
+//! The signer side must be idle (no exchange outstanding) to freeze: an
+//! in-flight S1/S2 burst holds message payloads and Merkle trees whose
+//! retransmission timers are about to fire anyway, so the engine simply
+//! does not hibernate such a flow. The verifier side freezes mid-bundle —
+//! a silent sender must not pin its receiver's full state in memory.
+//!
+//! Records serialize to a private, versioned byte layout via
+//! [`FrozenAssociation::encode`]; [`FrozenAssociation::decode`] is total
+//! (returns `None` on any malformed input) so a corrupt record can never
+//! panic the engine.
+
+use alpha_crypto::chain::{ChainKind, FrozenChain, StorageKind};
+use alpha_crypto::preack::{PreAckPair, SECRET_LEN};
+use alpha_crypto::{Algorithm, Digest};
+use alpha_wire::{Packet, TreeDescriptor};
+
+use crate::Timestamp;
+
+/// Frozen form of a [`crate::SignerChannel`] (idle channels only).
+pub struct FrozenSigner {
+    pub(crate) chain: FrozenChain,
+    pub(crate) peer_ack_index: u64,
+    pub(crate) peer_ack_last: Digest,
+    /// The adaptively tuned RTO survives hibernation: the path estimate is
+    /// better than the configured constant even after a long sleep.
+    pub(crate) rto_micros: u64,
+}
+
+/// Frozen form of a buffered pre-signature.
+pub(crate) enum FrozenPresig {
+    Macs(Vec<Digest>),
+    Root {
+        root: Digest,
+        leaves: u32,
+    },
+    Forest {
+        trees: Vec<TreeDescriptor>,
+        leaves_per_tree: u32,
+    },
+}
+
+/// Frozen acknowledgment state: the verifier's undisclosed verdict
+/// commitments. AMTs freeze as their leaf secrets alone — the tree is
+/// rebuilt deterministically on thaw.
+pub(crate) enum FrozenAck {
+    None,
+    Flat {
+        pair: PreAckPair,
+        secrets: [u8; 2 * SECRET_LEN],
+        verdict_sent: bool,
+    },
+    Amt(Vec<[u8; SECRET_LEN]>),
+}
+
+/// Frozen form of one buffered verifier exchange (a flow asleep
+/// mid-bundle).
+pub(crate) struct FrozenExchange {
+    pub(crate) s1_index: u64,
+    pub(crate) announce: Digest,
+    pub(crate) presig: FrozenPresig,
+    pub(crate) a1: Packet,
+    pub(crate) ack_key_index: u64,
+    pub(crate) ack_key: Digest,
+    pub(crate) ack: FrozenAck,
+    pub(crate) received: Vec<bool>,
+    pub(crate) created_at: Timestamp,
+    pub(crate) first_s2_at: Option<Timestamp>,
+    pub(crate) last_nack_at: Timestamp,
+}
+
+/// Frozen form of a [`crate::VerifierChannel`].
+pub struct FrozenVerifier {
+    pub(crate) ack_chain: FrozenChain,
+    pub(crate) peer_sig_index: u64,
+    pub(crate) peer_sig_last: Digest,
+    pub(crate) accepting: bool,
+    pub(crate) current: Option<FrozenExchange>,
+    pub(crate) previous: Option<FrozenExchange>,
+}
+
+/// A whole association, frozen. Build with [`crate::Association::freeze`],
+/// revive with [`crate::Association::thaw`].
+pub struct FrozenAssociation {
+    pub(crate) assoc_id: u64,
+    pub(crate) alg: Algorithm,
+    pub(crate) signer: FrozenSigner,
+    pub(crate) verifier: FrozenVerifier,
+}
+
+/// Byte-layout version tag; bump on any layout change.
+const VERSION: u8 = 1;
+
+impl FrozenAssociation {
+    /// Association identifier of the frozen flow.
+    #[must_use]
+    pub fn assoc_id(&self) -> u64 {
+        self.assoc_id
+    }
+
+    /// Hash algorithm the flow runs on.
+    #[must_use]
+    pub fn algorithm(&self) -> Algorithm {
+        self.alg
+    }
+
+    /// Serialize to the compact record held by the hibernation store.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::default();
+        w.u8(VERSION);
+        w.u8(alg_code(self.alg));
+        w.u64(self.assoc_id);
+        encode_chain(&mut w, &self.signer.chain);
+        w.u64(self.signer.peer_ack_index);
+        w.digest(&self.signer.peer_ack_last);
+        w.u64(self.signer.rto_micros);
+        encode_chain(&mut w, &self.verifier.ack_chain);
+        w.u64(self.verifier.peer_sig_index);
+        w.digest(&self.verifier.peer_sig_last);
+        w.u8(u8::from(self.verifier.accepting));
+        encode_opt_exchange(&mut w, self.verifier.current.as_ref());
+        encode_opt_exchange(&mut w, self.verifier.previous.as_ref());
+        w.buf
+    }
+
+    /// Parse a record produced by [`FrozenAssociation::encode`]. Returns
+    /// `None` on any structural problem — truncation, bad tags, trailing
+    /// bytes — rather than panicking.
+    #[must_use]
+    pub fn decode(bytes: &[u8]) -> Option<FrozenAssociation> {
+        let mut r = Reader::new(bytes);
+        if r.u8()? != VERSION {
+            return None;
+        }
+        let alg = alg_from_code(r.u8()?)?;
+        let assoc_id = r.u64()?;
+        let chain = decode_chain(&mut r, alg, ChainKind::RoleBoundSignature)?;
+        let peer_ack_index = r.u64()?;
+        let peer_ack_last = r.digest(alg)?;
+        let rto_micros = r.u64()?;
+        let signer = FrozenSigner {
+            chain,
+            peer_ack_index,
+            peer_ack_last,
+            rto_micros,
+        };
+        let ack_chain = decode_chain(&mut r, alg, ChainKind::RoleBoundAck)?;
+        let peer_sig_index = r.u64()?;
+        let peer_sig_last = r.digest(alg)?;
+        let accepting = r.u8()? != 0;
+        let current = decode_opt_exchange(&mut r, alg)?;
+        let previous = decode_opt_exchange(&mut r, alg)?;
+        if !r.done() {
+            return None;
+        }
+        Some(FrozenAssociation {
+            assoc_id,
+            alg,
+            signer,
+            verifier: FrozenVerifier {
+                ack_chain,
+                peer_sig_index,
+                peer_sig_last,
+                accepting,
+                current,
+                previous,
+            },
+        })
+    }
+}
+
+fn alg_code(alg: Algorithm) -> u8 {
+    match alg {
+        Algorithm::Sha1 => 0,
+        Algorithm::Sha256 => 1,
+        Algorithm::MmoAes => 2,
+    }
+}
+
+fn alg_from_code(code: u8) -> Option<Algorithm> {
+    match code {
+        0 => Some(Algorithm::Sha1),
+        1 => Some(Algorithm::Sha256),
+        2 => Some(Algorithm::MmoAes),
+        _ => None,
+    }
+}
+
+fn storage_code(kind: StorageKind) -> u8 {
+    match kind {
+        StorageKind::Full => 0,
+        StorageKind::Compact => 1,
+        StorageKind::Dyadic => 2,
+    }
+}
+
+fn storage_from_code(code: u8) -> Option<StorageKind> {
+    match code {
+        0 => Some(StorageKind::Full),
+        1 => Some(StorageKind::Compact),
+        2 => Some(StorageKind::Dyadic),
+        _ => None,
+    }
+}
+
+fn encode_chain(w: &mut Writer, c: &FrozenChain) {
+    w.u8(storage_code(c.storage));
+    w.u64(c.len);
+    w.u64(c.next);
+    w.digest(&c.seed_hash);
+}
+
+fn decode_chain(r: &mut Reader<'_>, alg: Algorithm, kind: ChainKind) -> Option<FrozenChain> {
+    let storage = storage_from_code(r.u8()?)?;
+    let len = r.u64()?;
+    let next = r.u64()?;
+    // A hostile record must not drive the O(len) thaw loop arbitrarily
+    // far: cap at the longest chain the engine ever builds.
+    if len < 2 || len % 2 != 0 || len > 1 << 24 || next >= len {
+        return None;
+    }
+    let seed_hash = r.digest(alg)?;
+    Some(FrozenChain {
+        alg,
+        kind,
+        storage,
+        len,
+        next,
+        seed_hash,
+    })
+}
+
+fn encode_opt_exchange(w: &mut Writer, ex: Option<&FrozenExchange>) {
+    let Some(ex) = ex else {
+        w.u8(0);
+        return;
+    };
+    w.u8(1);
+    w.u64(ex.s1_index);
+    w.digest(&ex.announce);
+    match &ex.presig {
+        FrozenPresig::Macs(macs) => {
+            w.u8(0);
+            w.u32(macs.len() as u32);
+            for m in macs {
+                w.digest(m);
+            }
+        }
+        FrozenPresig::Root { root, leaves } => {
+            w.u8(1);
+            w.digest(root);
+            w.u32(*leaves);
+        }
+        FrozenPresig::Forest {
+            trees,
+            leaves_per_tree,
+        } => {
+            w.u8(2);
+            w.u32(trees.len() as u32);
+            for t in trees {
+                w.digest(&t.root);
+                w.u32(t.leaves);
+            }
+            w.u32(*leaves_per_tree);
+        }
+    }
+    let mut a1 = Vec::new();
+    ex.a1.encode_into(&mut a1);
+    w.u32(a1.len() as u32);
+    w.bytes(&a1);
+    w.u64(ex.ack_key_index);
+    w.digest(&ex.ack_key);
+    match &ex.ack {
+        FrozenAck::None => w.u8(0),
+        FrozenAck::Flat {
+            pair,
+            secrets,
+            verdict_sent,
+        } => {
+            w.u8(1);
+            w.digest(&pair.pre_ack);
+            w.digest(&pair.pre_nack);
+            w.bytes(secrets);
+            w.u8(u8::from(*verdict_sent));
+        }
+        FrozenAck::Amt(secrets) => {
+            w.u8(2);
+            w.u32(secrets.len() as u32);
+            for s in secrets {
+                w.bytes(s);
+            }
+        }
+    }
+    w.u32(ex.received.len() as u32);
+    let mut bits = vec![0u8; ex.received.len().div_ceil(8)];
+    for (i, &got) in ex.received.iter().enumerate() {
+        if got {
+            bits[i / 8] |= 1 << (i % 8);
+        }
+    }
+    w.bytes(&bits);
+    w.u64(ex.created_at.micros());
+    match ex.first_s2_at {
+        None => w.u8(0),
+        Some(t) => {
+            w.u8(1);
+            w.u64(t.micros());
+        }
+    }
+    w.u64(ex.last_nack_at.micros());
+}
+
+fn decode_opt_exchange(r: &mut Reader<'_>, alg: Algorithm) -> Option<Option<FrozenExchange>> {
+    match r.u8()? {
+        0 => return Some(None),
+        1 => {}
+        _ => return None,
+    }
+    let s1_index = r.u64()?;
+    let announce = r.digest(alg)?;
+    let presig = match r.u8()? {
+        0 => {
+            let n = r.u32()? as usize;
+            if n > alpha_wire::limits::MAX_LEAVES as usize {
+                return None;
+            }
+            let mut macs = Vec::with_capacity(n);
+            for _ in 0..n {
+                macs.push(r.digest(alg)?);
+            }
+            FrozenPresig::Macs(macs)
+        }
+        1 => {
+            let root = r.digest(alg)?;
+            let leaves = r.u32()?;
+            FrozenPresig::Root { root, leaves }
+        }
+        2 => {
+            let n = r.u32()? as usize;
+            if n > alpha_wire::limits::MAX_PRESIGS {
+                return None;
+            }
+            let mut trees = Vec::with_capacity(n);
+            for _ in 0..n {
+                let root = r.digest(alg)?;
+                let leaves = r.u32()?;
+                trees.push(TreeDescriptor { root, leaves });
+            }
+            let leaves_per_tree = r.u32()?;
+            if leaves_per_tree == 0 {
+                return None;
+            }
+            FrozenPresig::Forest {
+                trees,
+                leaves_per_tree,
+            }
+        }
+        _ => return None,
+    };
+    let a1_len = r.u32()? as usize;
+    let a1 = Packet::parse(r.take(a1_len)?).ok()?;
+    let ack_key_index = r.u64()?;
+    let ack_key = r.digest(alg)?;
+    let ack = match r.u8()? {
+        0 => FrozenAck::None,
+        1 => {
+            let pre_ack = r.digest(alg)?;
+            let pre_nack = r.digest(alg)?;
+            let mut secrets = [0u8; 2 * SECRET_LEN];
+            secrets.copy_from_slice(r.take(2 * SECRET_LEN)?);
+            let verdict_sent = r.u8()? != 0;
+            FrozenAck::Flat {
+                pair: PreAckPair { pre_ack, pre_nack },
+                secrets,
+                verdict_sent,
+            }
+        }
+        2 => {
+            let n = r.u32()? as usize;
+            if n == 0 || !n.is_multiple_of(2) || n > 2 * alpha_wire::limits::MAX_LEAVES as usize {
+                return None;
+            }
+            let mut secrets = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut s = [0u8; SECRET_LEN];
+                s.copy_from_slice(r.take(SECRET_LEN)?);
+                secrets.push(s);
+            }
+            FrozenAck::Amt(secrets)
+        }
+        _ => return None,
+    };
+    let covered = r.u32()? as usize;
+    if covered == 0 || covered > alpha_wire::limits::MAX_LEAVES as usize {
+        return None;
+    }
+    let bits = r.take(covered.div_ceil(8))?;
+    let received = (0..covered)
+        .map(|i| bits[i / 8] & (1 << (i % 8)) != 0)
+        .collect();
+    let created_at = Timestamp::from_micros(r.u64()?);
+    let first_s2_at = match r.u8()? {
+        0 => None,
+        1 => Some(Timestamp::from_micros(r.u64()?)),
+        _ => return None,
+    };
+    let last_nack_at = Timestamp::from_micros(r.u64()?);
+    Some(Some(FrozenExchange {
+        s1_index,
+        announce,
+        presig,
+        a1,
+        ack_key_index,
+        ack_key,
+        ack,
+        received,
+        created_at,
+        first_s2_at,
+        last_nack_at,
+    }))
+}
+
+#[derive(Default)]
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+    fn digest(&mut self, d: &Digest) {
+        self.buf.extend_from_slice(d.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.buf.len() < n {
+            return None;
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Some(head)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+    fn digest(&mut self, alg: Algorithm) -> Option<Digest> {
+        self.take(alg.digest_len()).map(Digest::from_slice)
+    }
+    fn done(&self) -> bool {
+        self.buf.is_empty()
+    }
+}

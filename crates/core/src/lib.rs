@@ -36,6 +36,7 @@
 mod association;
 pub mod bootstrap;
 mod error;
+pub mod freeze;
 mod limiter;
 mod relay;
 pub mod renewal;
@@ -45,6 +46,7 @@ mod verifier;
 
 pub use association::{Association, Response};
 pub use error::ProtocolError;
+pub use freeze::FrozenAssociation;
 pub use limiter::{S1Limiter, SharedS1Limiter};
 pub use relay::{
     DropReason, Relay, RelayConfig, RelayDecision, RelayEvent, RelayViewOutcome, S2BatchItem,

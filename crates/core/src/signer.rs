@@ -510,6 +510,43 @@ impl SignerChannel {
         .with_max_skip(self.cfg.max_skip);
     }
 
+    /// Freeze this channel for hibernation. Only an idle channel freezes:
+    /// an outstanding exchange holds payloads and timers that are about to
+    /// act, so the caller must wait for (or abandon) it first.
+    pub(crate) fn freeze(&self) -> Result<crate::freeze::FrozenSigner, ProtocolError> {
+        if self.pending.is_some() {
+            return Err(ProtocolError::ExchangeInProgress);
+        }
+        let (peer_ack_index, peer_ack_last) = self.peer_ack.last();
+        Ok(crate::freeze::FrozenSigner {
+            chain: self.chain.freeze(),
+            peer_ack_index,
+            peer_ack_last,
+            rto_micros: self.cfg.rto_micros,
+        })
+    }
+
+    /// Rebuild a channel from its frozen record. `chain` is the
+    /// already-rehydrated signature chain — the association thaws both
+    /// of its chains in one lane-parallel pass before standing the
+    /// channels up.
+    pub(crate) fn thaw(
+        assoc_id: u64,
+        cfg: Config,
+        frozen: &crate::freeze::FrozenSigner,
+        chain: HashChain,
+    ) -> SignerChannel {
+        let mut ch = SignerChannel::new(
+            assoc_id,
+            cfg,
+            chain,
+            frozen.peer_ack_last,
+            frozen.peer_ack_index,
+        );
+        ch.cfg.rto_micros = frozen.rto_micros;
+        ch
+    }
+
     /// Drive retransmission timers. Returns packets to (re)send and any
     /// abandonment event.
     pub fn poll(&mut self, now: Timestamp) -> SignerOutput {

@@ -63,6 +63,100 @@ enum AckState {
     Amt(AckMerkleTree),
 }
 
+impl BufferedExchange {
+    fn freeze(&self) -> crate::freeze::FrozenExchange {
+        use crate::freeze::{FrozenAck, FrozenExchange, FrozenPresig};
+        let presig = match &self.presig {
+            BufferedPresig::Macs(macs) => FrozenPresig::Macs(macs.clone()),
+            BufferedPresig::Root { root, leaves } => FrozenPresig::Root {
+                root: *root,
+                leaves: *leaves,
+            },
+            BufferedPresig::Forest {
+                trees,
+                leaves_per_tree,
+            } => FrozenPresig::Forest {
+                trees: trees.clone(),
+                leaves_per_tree: *leaves_per_tree as u32,
+            },
+        };
+        let ack = match &self.ack {
+            AckState::None => FrozenAck::None,
+            AckState::Flat {
+                pair,
+                secrets,
+                verdict_sent,
+            } => FrozenAck::Flat {
+                pair: *pair,
+                secrets: secrets.to_bytes(),
+                verdict_sent: *verdict_sent,
+            },
+            // The tree rebuilds deterministically from its leaf secrets, so
+            // only the secrets hibernate.
+            AckState::Amt(amt) => FrozenAck::Amt(amt.secrets().to_vec()),
+        };
+        FrozenExchange {
+            s1_index: self.s1_index,
+            announce: self.announce,
+            presig,
+            a1: self.a1.clone(),
+            ack_key_index: self.ack_key_index,
+            ack_key: self.ack_key,
+            ack,
+            received: self.received.clone(),
+            created_at: self.created_at,
+            first_s2_at: self.first_s2_at,
+            last_nack_at: self.last_nack_at,
+        }
+    }
+
+    fn thaw(alg: alpha_crypto::Algorithm, fx: &crate::freeze::FrozenExchange) -> BufferedExchange {
+        use crate::freeze::{FrozenAck, FrozenPresig};
+        let presig = match &fx.presig {
+            FrozenPresig::Macs(macs) => BufferedPresig::Macs(macs.clone()),
+            FrozenPresig::Root { root, leaves } => BufferedPresig::Root {
+                root: *root,
+                leaves: *leaves,
+            },
+            FrozenPresig::Forest {
+                trees,
+                leaves_per_tree,
+            } => BufferedPresig::Forest {
+                trees: trees.clone(),
+                leaves_per_tree: *leaves_per_tree as usize,
+            },
+        };
+        let ack = match &fx.ack {
+            FrozenAck::None => AckState::None,
+            FrozenAck::Flat {
+                pair,
+                secrets,
+                verdict_sent,
+            } => AckState::Flat {
+                pair: *pair,
+                secrets: PreAckSecrets::from_bytes(secrets),
+                verdict_sent: *verdict_sent,
+            },
+            FrozenAck::Amt(secrets) => {
+                AckState::Amt(AckMerkleTree::from_secrets(alg, secrets.clone()))
+            }
+        };
+        BufferedExchange {
+            s1_index: fx.s1_index,
+            announce: fx.announce,
+            presig,
+            a1: fx.a1.clone(),
+            ack_key_index: fx.ack_key_index,
+            ack_key: fx.ack_key,
+            ack,
+            received: fx.received.clone(),
+            created_at: fx.created_at,
+            first_s2_at: fx.first_s2_at,
+            last_nack_at: fx.last_nack_at,
+        }
+    }
+}
+
 struct BufferedExchange {
     /// Chain index of the S1's announce element; the MAC key must disclose
     /// at `s1_index − 1`.
@@ -476,6 +570,51 @@ impl VerifierChannel {
         .with_max_skip(self.cfg.max_skip);
         self.current = None;
         self.previous = None;
+    }
+
+    /// Freeze this channel for hibernation. Unlike the signer side this
+    /// always succeeds: buffered exchanges (a flow asleep mid-bundle)
+    /// serialize in full, so a late S2 after thaw verifies exactly as it
+    /// would have against the live channel.
+    pub(crate) fn freeze(&self) -> crate::freeze::FrozenVerifier {
+        let (peer_sig_index, peer_sig_last) = self.peer_sig.last();
+        crate::freeze::FrozenVerifier {
+            ack_chain: self.ack_chain.freeze(),
+            peer_sig_index,
+            peer_sig_last,
+            accepting: self.accepting,
+            current: self.current.as_ref().map(BufferedExchange::freeze),
+            previous: self.previous.as_ref().map(BufferedExchange::freeze),
+        }
+    }
+
+    /// Rebuild a channel from its frozen record. `ack_chain` is the
+    /// already-rehydrated acknowledgment chain — the association thaws
+    /// both of its chains in one lane-parallel pass before standing the
+    /// channels up.
+    pub(crate) fn thaw(
+        assoc_id: u64,
+        cfg: Config,
+        frozen: &crate::freeze::FrozenVerifier,
+        ack_chain: HashChain,
+    ) -> VerifierChannel {
+        let mut ch = VerifierChannel::new(
+            assoc_id,
+            cfg,
+            ack_chain,
+            frozen.peer_sig_last,
+            frozen.peer_sig_index,
+        );
+        ch.accepting = frozen.accepting;
+        ch.current = frozen
+            .current
+            .as_ref()
+            .map(|fx| BufferedExchange::thaw(cfg.algorithm, fx));
+        ch.previous = frozen
+            .previous
+            .as_ref()
+            .map(|fx| BufferedExchange::thaw(cfg.algorithm, fx));
+        ch
     }
 
     /// Expire a stale exchange, and — in reliable AMT mode — proactively

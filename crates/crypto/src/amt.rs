@@ -87,6 +87,22 @@ impl AckMerkleTree {
             rng.fill_bytes(&mut s);
             secrets.push(s);
         }
+        Self::from_secrets(alg, secrets)
+    }
+
+    /// Rebuild an AMT from its `2n` leaf secrets (hibernation thaw). The
+    /// tree is a deterministic function of the secrets, so this produces
+    /// roots, paths, and disclosures identical to the original.
+    ///
+    /// # Panics
+    /// Panics if `secrets` is empty or odd-length.
+    #[must_use]
+    pub fn from_secrets(alg: Algorithm, secrets: Vec<[u8; SECRET_LEN]>) -> AckMerkleTree {
+        assert!(
+            !secrets.is_empty() && secrets.len().is_multiple_of(2),
+            "AMT needs 2n secrets"
+        );
+        let n = secrets.len() / 2;
         // Leaf hashing is embarrassingly parallel: batch `H(x | secret)`
         // across lanes (byte-identical to the scalar `leaf_digest` loop).
         let xs: Vec<[u8; 4]> = (0..2 * n).map(|i| ((i % n) as u32).to_be_bytes()).collect();
@@ -104,6 +120,13 @@ impl AckMerkleTree {
             secrets,
             tree,
         }
+    }
+
+    /// The `2n` leaf secrets, ack half first (for hibernation freeze;
+    /// feed back through [`AckMerkleTree::from_secrets`]).
+    #[must_use]
+    pub fn secrets(&self) -> &[[u8; SECRET_LEN]] {
+        &self.secrets
     }
 
     /// Number of packets this AMT can acknowledge.
@@ -334,6 +357,22 @@ mod tests {
         for j in 0..5 {
             let d = amt.disclose(j, j % 2 == 0);
             assert_eq!(verify_disclosure(alg, &key, 5, &d, &root), Some(j % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn from_secrets_reproduces_roots_and_disclosures() {
+        for alg in Algorithm::ALL {
+            let key = alg.hash(b"ack element");
+            let amt = AckMerkleTree::generate(alg, 5, &mut rng());
+            let rebuilt = AckMerkleTree::from_secrets(alg, amt.secrets().to_vec());
+            assert_eq!(rebuilt.capacity(), amt.capacity());
+            assert_eq!(rebuilt.keyed_root(&key), amt.keyed_root(&key));
+            for j in 0..5 {
+                for ack in [true, false] {
+                    assert_eq!(rebuilt.disclose(j, ack), amt.disclose(j, ack));
+                }
+            }
         }
     }
 

@@ -144,8 +144,8 @@ enum Storage {
     /// it. With `interval = ⌈√n⌉` this is the classic O(√n) space /
     /// O(√n) amortized time point on the hash-chain traversal curve.
     Compact {
-        /// Retained so a chain can later be re-derived or re-serialized.
-        #[allow(dead_code)]
+        /// Retained so the chain can be frozen to a [`FrozenChain`] and
+        /// later re-derived from `h_0`.
         seed_hash: Digest,
         interval: u64,
         /// `checkpoints[k] = h_{k·interval}` (checkpoint 0 is the seed hash).
@@ -219,8 +219,14 @@ impl HashChain {
     pub fn from_seed(alg: Algorithm, kind: ChainKind, len: u64, seed: &[u8]) -> HashChain {
         let len = if len.is_multiple_of(2) { len } else { len + 1 };
         assert!(len >= 2, "chain must hold at least one exchange pair");
+        Self::full_from_h0(alg, kind, len, alg.hash(seed))
+    }
+
+    /// Full storage rebuilt from the seed hash `h_0` (even `len >= 2`).
+    fn full_from_h0(alg: Algorithm, kind: ChainKind, len: u64, h0: Digest) -> HashChain {
+        debug_assert!(len >= 2 && len.is_multiple_of(2));
         let mut elements = Vec::with_capacity(len as usize + 1);
-        elements.push(alg.hash(seed)); // h_0: never disclosed
+        elements.push(h0); // h_0: never disclosed
         for i in 1..=len {
             let prev = elements[(i - 1) as usize];
             elements.push(derive(alg, kind, i, &prev));
@@ -312,8 +318,13 @@ impl HashChain {
     pub fn from_seed_compact(alg: Algorithm, kind: ChainKind, len: u64, seed: &[u8]) -> HashChain {
         let len = if len.is_multiple_of(2) { len } else { len + 1 };
         assert!(len >= 2, "chain must hold at least one exchange pair");
+        Self::compact_from_h0(alg, kind, len, alg.hash(seed))
+    }
+
+    /// Compact storage rebuilt from the seed hash `h_0` (even `len >= 2`).
+    fn compact_from_h0(alg: Algorithm, kind: ChainKind, len: u64, seed_hash: Digest) -> HashChain {
+        debug_assert!(len >= 2 && len.is_multiple_of(2));
         let interval = (len as f64).sqrt().ceil() as u64;
-        let seed_hash = alg.hash(seed);
         let mut checkpoints = vec![seed_hash];
         let mut cur = seed_hash;
         for i in 1..=len {
@@ -354,11 +365,26 @@ impl HashChain {
     pub fn from_seed_dyadic(alg: Algorithm, kind: ChainKind, len: u64, seed: &[u8]) -> HashChain {
         let len = if len.is_multiple_of(2) { len } else { len + 1 };
         assert!(len >= 2, "chain must hold at least one exchange pair");
-        let levels = 64 - (len - 1).leading_zeros() as u64 + 1; // ⌈log2 len⌉ + 1
         let seed_hash = alg.hash(seed);
-        // Initialize every pebble for cursor = len: pebble j at base_j(len-1)
-        // (the traversal starts by disclosing len-1, after the anchor).
-        let cursor = len - 1;
+        // The traversal starts by disclosing len-1 (the anchor is published
+        // at bootstrap), so the pebbles are positioned for cursor = len-1.
+        Self::dyadic_from_h0(alg, kind, len, len - 1, seed_hash)
+    }
+
+    /// Dyadic storage rebuilt from the seed hash `h_0`, with every pebble
+    /// positioned for a traversal cursor at `cursor` (even `len >= 2`,
+    /// `cursor < len`).
+    fn dyadic_from_h0(
+        alg: Algorithm,
+        kind: ChainKind,
+        len: u64,
+        cursor: u64,
+        seed_hash: Digest,
+    ) -> HashChain {
+        debug_assert!(len >= 2 && len.is_multiple_of(2));
+        debug_assert!(cursor < len);
+        let levels = 64 - (len - 1).leading_zeros() as u64 + 1; // ⌈log2 len⌉ + 1
+                                                                // Pebble j sits at base_j(cursor) = (cursor >> j) << j.
         let mut positions: Vec<u64> = (0..levels).map(|j| (cursor >> j) << j).collect();
         // Highest pebble anchors the recursion at the seed.
         *positions.last_mut().expect("levels >= 1") = 0;
@@ -381,7 +407,7 @@ impl HashChain {
                 positions,
                 len,
             },
-            next: len - 1,
+            next: cursor,
         }
     }
 
@@ -616,6 +642,163 @@ impl HashChain {
             }
         }
     }
+
+    /// Which storage layout this chain uses (preserved across
+    /// freeze/thaw so a thawed chain keeps its owner's memory profile).
+    #[must_use]
+    pub fn storage_kind(&self) -> StorageKind {
+        match &self.storage {
+            Storage::Full(_) => StorageKind::Full,
+            Storage::Compact { .. } => StorageKind::Compact,
+            Storage::Dyadic { .. } => StorageKind::Dyadic,
+        }
+    }
+
+    /// Freeze this chain to its minimal hibernation record: the seed hash
+    /// `h_0` plus the disclosure cursor. Everything else a chain holds is
+    /// a deterministic function of `h_0`, so [`FrozenChain::thaw`] rebuilds
+    /// a chain whose disclosures are byte-identical to this one's.
+    #[must_use]
+    pub fn freeze(&self) -> FrozenChain {
+        let seed_hash = match &self.storage {
+            Storage::Full(e) => e[0],
+            Storage::Compact { seed_hash, .. } => *seed_hash,
+            // The highest pebble is pinned at position 0 (the seed hash).
+            Storage::Dyadic { pebbles, .. } => *pebbles.last().expect("levels >= 1"),
+        };
+        FrozenChain {
+            alg: self.alg,
+            kind: self.kind,
+            storage: self.storage_kind(),
+            len: self.total_len(),
+            next: self.next,
+            seed_hash,
+        }
+    }
+}
+
+/// Storage layout tag carried by a [`FrozenChain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Every element in memory ([`HashChain::from_seed`]).
+    Full,
+    /// O(√n) checkpoints ([`HashChain::from_seed_compact`]).
+    Compact,
+    /// O(log n) dyadic pebbles ([`HashChain::from_seed_dyadic`]).
+    Dyadic,
+}
+
+/// A hibernated hash chain: one digest (`h_0`) plus the derivation
+/// parameters and the disclosure cursor — a few dozen bytes regardless of
+/// chain length, against up to `(len + 1) · s_h` live. Thawing re-derives
+/// the live storage in `len` forward hashes; the rebuilt chain discloses
+/// the exact same bytes the frozen one would have.
+#[derive(Clone, Copy)]
+pub struct FrozenChain {
+    /// Hash algorithm.
+    pub alg: Algorithm,
+    /// Derivation kind (role tags).
+    pub kind: ChainKind,
+    /// Storage layout to rehydrate into.
+    pub storage: StorageKind,
+    /// Total elements above the seed.
+    pub len: u64,
+    /// Disclosure cursor at freeze time ([`HashChain::remaining`]).
+    pub next: u64,
+    /// The seed hash `h_0` — never disclosed on the wire.
+    pub seed_hash: Digest,
+}
+
+impl FrozenChain {
+    /// Rebuild the live chain. Costs `len` forward hashes (the same work
+    /// as generating the chain), re-deriving full elements, compact
+    /// checkpoints, or dyadic pebbles positioned at the frozen cursor.
+    #[must_use]
+    pub fn thaw(&self) -> HashChain {
+        let mut chain = match self.storage {
+            StorageKind::Full => {
+                HashChain::full_from_h0(self.alg, self.kind, self.len, self.seed_hash)
+            }
+            StorageKind::Compact => {
+                HashChain::compact_from_h0(self.alg, self.kind, self.len, self.seed_hash)
+            }
+            StorageKind::Dyadic => HashChain::dyadic_from_h0(
+                self.alg,
+                self.kind,
+                self.len,
+                // Pebbles positioned exactly at the frozen cursor; an
+                // exhausted chain parks them at the seed.
+                self.next.min(self.len - 1),
+                self.seed_hash,
+            ),
+        };
+        chain.next = self.next;
+        chain
+    }
+
+    /// Bytes this record occupies (the hibernation footprint).
+    #[must_use]
+    pub fn stored_bytes(&self) -> usize {
+        self.alg.digest_len() + 2 * std::mem::size_of::<u64>() + 3
+    }
+
+    /// Thaw two chains in one two-lane rebuild — the wake path of a
+    /// hibernated association rehydrates its signature and
+    /// acknowledgment chains together, and lane-parallel hashing (see
+    /// [`crate::backend`]) hides the per-step latency a sequential
+    /// rebuild pays twice. Byte-identical to two [`FrozenChain::thaw`]
+    /// calls; layouts that don't pair up (different algorithm or
+    /// length, non-full storage) fall back to exactly that.
+    #[must_use]
+    pub fn thaw_pair(a: &FrozenChain, b: &FrozenChain) -> (HashChain, HashChain) {
+        if a.alg != b.alg
+            || a.len != b.len
+            || a.storage != StorageKind::Full
+            || b.storage != StorageKind::Full
+        {
+            return (a.thaw(), b.thaw());
+        }
+        let (alg, len) = (a.alg, a.len);
+        let kinds = [a.kind, b.kind];
+        let mut cur = vec![a.seed_hash, b.seed_hash];
+        let mut elements: Vec<Vec<Digest>> = cur
+            .iter()
+            .map(|h0| {
+                let mut v = Vec::with_capacity(len as usize + 1);
+                v.push(*h0); // h_0: never disclosed
+                v
+            })
+            .collect();
+        let mut next = vec![Digest::zero(alg); 2];
+        for i in 1..=len {
+            let jobs: Vec<crate::backend::PartsRef<'_>> = kinds
+                .iter()
+                .zip(cur.iter())
+                .map(|(kind, prev)| match kind.tag(i) {
+                    Some(tag) => crate::backend::PartsRef::new(&[tag, prev.as_bytes()]),
+                    None => crate::backend::PartsRef::one(prev.as_bytes()),
+                })
+                .collect();
+            crate::backend::hash_parts_lanes(alg, &jobs, &mut next);
+            elements[0].push(next[0]);
+            elements[1].push(next[1]);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        let mut chains = kinds
+            .iter()
+            .zip(elements)
+            .map(|(&kind, elements)| HashChain {
+                alg,
+                kind,
+                storage: Storage::Full(elements),
+                next: 0,
+            });
+        let mut ca = chains.next().expect("two lanes");
+        let mut cb = chains.next().expect("two lanes");
+        ca.next = a.next;
+        cb.next = b.next;
+        (ca, cb)
+    }
 }
 
 /// Derive `h_index` from `h_{index-1}` — one forward step of the chain.
@@ -675,6 +858,14 @@ impl ChainVerifier {
     #[must_use]
     pub fn last(&self) -> (u64, Digest) {
         (self.last_index, self.last)
+    }
+
+    /// Configured forward-hashing bound (for freezing a verifier: the
+    /// tuple `(last, max_skip)` rebuilds an identical tracker via
+    /// [`ChainVerifier::new`] + [`ChainVerifier::with_max_skip`]).
+    #[must_use]
+    pub fn max_skip(&self) -> u64 {
+        self.max_skip
     }
 
     /// Memory this verifier holds: one digest plus the index — the `h` per
@@ -754,6 +945,30 @@ mod tests {
         let b = HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, 10, b"seed");
         assert_eq!(a.anchor(), b.anchor());
         assert_eq!(a.element(3), b.element(3));
+    }
+
+    #[test]
+    fn thaw_pair_matches_independent_thaws() {
+        // Paired lanes: same algorithm and length, full storage,
+        // distinct kinds and cursors.
+        let a = HashChain::from_seed(Algorithm::Sha256, ChainKind::RoleBoundSignature, 64, b"a");
+        let mut b = HashChain::from_seed(Algorithm::Sha256, ChainKind::RoleBoundAck, 64, b"b");
+        b.disclose().unwrap();
+        let (ta, tb) = FrozenChain::thaw_pair(&a.freeze(), &b.freeze());
+        for i in 0..=64 {
+            assert_eq!(ta.element(i), a.element(i), "sig lane element {i}");
+            assert_eq!(tb.element(i), b.element(i), "ack lane element {i}");
+        }
+        assert_eq!(ta.remaining(), a.remaining());
+        assert_eq!(tb.remaining(), b.remaining(), "cursor survives the pair");
+
+        // Mismatched layouts fall back to two sequential thaws.
+        let c =
+            HashChain::from_seed_dyadic(Algorithm::Sha256, ChainKind::RoleBoundSignature, 64, b"c");
+        let (tc, td) = FrozenChain::thaw_pair(&c.freeze(), &b.freeze());
+        assert_eq!(tc.anchor(), c.anchor());
+        assert_eq!(tc.storage_kind(), StorageKind::Dyadic);
+        assert_eq!(td.element(5), b.element(5));
     }
 
     #[test]
@@ -1131,6 +1346,21 @@ mod dyadic_tests {
     }
 
     #[test]
+    fn freeze_thaw_dyadic_mid_traversal_is_identical() {
+        let mut live =
+            HashChain::from_seed_dyadic(Algorithm::Sha1, ChainKind::RoleBoundSignature, 64, b"z");
+        for _ in 0..7 {
+            live.disclose_pair().unwrap();
+        }
+        let mut thawed = live.freeze().thaw();
+        assert_eq!(thawed.remaining(), live.remaining());
+        while let Ok((a, k)) = live.disclose_pair() {
+            assert_eq!(thawed.disclose_pair().unwrap(), (a, k));
+        }
+        assert!(thawed.disclose_pair().is_err());
+    }
+
+    #[test]
     fn dyadic_traversal_cost_is_n_log_n_total() {
         let len = 1024u64;
         let mut dy = HashChain::from_seed_dyadic(Algorithm::Sha1, ChainKind::Plain, len, b"c");
@@ -1142,5 +1372,85 @@ mod dyadic_tests {
         assert!(c.invocations <= bound, "{} > {bound}", c.invocations);
         // …and materially cheaper than naive recompute-from-seed (O(n²)/2).
         assert!(c.invocations < len * len / 8);
+    }
+}
+
+#[cfg(test)]
+mod freeze_tests {
+    use super::*;
+
+    fn chains(len: u64, seed: &[u8]) -> [HashChain; 3] {
+        [
+            HashChain::from_seed(Algorithm::Sha1, ChainKind::RoleBoundSignature, len, seed),
+            HashChain::from_seed_compact(Algorithm::Sha1, ChainKind::RoleBoundSignature, len, seed),
+            HashChain::from_seed_dyadic(Algorithm::Sha1, ChainKind::RoleBoundSignature, len, seed),
+        ]
+    }
+
+    #[test]
+    fn freeze_thaw_preserves_disclosures_across_storages() {
+        for mut live in chains(32, b"ft") {
+            // Freeze at several cursors, including fresh and near-exhausted.
+            for _ in 0..3 {
+                live.disclose_pair().unwrap();
+            }
+            let frozen = live.freeze();
+            assert_eq!(frozen.storage, live.storage_kind());
+            let mut thawed = frozen.thaw();
+            assert_eq!(thawed.remaining(), live.remaining());
+            assert_eq!(thawed.anchor(), live.anchor());
+            while let Ok(pair) = live.disclose_pair() {
+                assert_eq!(thawed.disclose_pair().unwrap(), pair);
+            }
+            assert_eq!(thawed.disclose_pair().unwrap_err(), ChainError::Exhausted);
+        }
+    }
+
+    #[test]
+    fn frozen_record_is_small_and_storage_preserved() {
+        for live in chains(1024, b"small") {
+            let frozen = live.freeze();
+            assert!(frozen.stored_bytes() <= 64);
+            assert!(frozen.stored_bytes() < live.stored_bytes());
+            assert_eq!(frozen.thaw().storage_kind(), live.storage_kind());
+        }
+    }
+
+    #[test]
+    fn freeze_thaw_of_exhausted_chain_stays_exhausted() {
+        for mut live in chains(4, b"done") {
+            while live.disclose().is_ok() {}
+            let mut thawed = live.freeze().thaw();
+            assert_eq!(thawed.remaining(), 0);
+            assert_eq!(thawed.disclose().unwrap_err(), ChainError::Exhausted);
+        }
+    }
+
+    #[test]
+    fn thawed_chain_interoperates_with_mid_stream_verifier() {
+        for alg in Algorithm::ALL {
+            let mut live =
+                HashChain::from_seed_dyadic(alg, ChainKind::RoleBoundAck, 64, b"interop");
+            let mut verifier = ChainVerifier::new(
+                alg,
+                ChainKind::RoleBoundAck,
+                live.anchor(),
+                live.anchor_index(),
+            );
+            for _ in 0..5 {
+                let ((ai, ae), (ki, ke)) = live.disclose_pair().unwrap();
+                verifier.accept_role(ai, &ae, Role::Announce).unwrap();
+                verifier.accept_role(ki, &ke, Role::Disclose).unwrap();
+            }
+            // Hibernate both sides; the verifier freezes to (last, max_skip).
+            let mut thawed = live.freeze().thaw();
+            let (last_index, last) = verifier.last();
+            let mut v2 = ChainVerifier::new(alg, ChainKind::RoleBoundAck, last, last_index)
+                .with_max_skip(verifier.max_skip());
+            while let Ok(((ai, ae), (ki, ke))) = thawed.disclose_pair() {
+                v2.accept_role(ai, &ae, Role::Announce).unwrap();
+                v2.accept_role(ki, &ke, Role::Disclose).unwrap();
+            }
+        }
     }
 }

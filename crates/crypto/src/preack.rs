@@ -61,6 +61,25 @@ impl PreAckSecrets {
     pub fn stored_bytes(&self) -> usize {
         2 * SECRET_LEN
     }
+
+    /// Serialize for hibernation: `s_ack | s_nack`.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 2 * SECRET_LEN] {
+        let mut out = [0u8; 2 * SECRET_LEN];
+        out[..SECRET_LEN].copy_from_slice(&self.s_ack);
+        out[SECRET_LEN..].copy_from_slice(&self.s_nack);
+        out
+    }
+
+    /// Rebuild from a serialized record ([`PreAckSecrets::to_bytes`]).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; 2 * SECRET_LEN]) -> PreAckSecrets {
+        let mut s_ack = [0u8; SECRET_LEN];
+        let mut s_nack = [0u8; SECRET_LEN];
+        s_ack.copy_from_slice(&bytes[..SECRET_LEN]);
+        s_nack.copy_from_slice(&bytes[SECRET_LEN..]);
+        PreAckSecrets { s_ack, s_nack }
+    }
 }
 
 /// What an A2 packet discloses.

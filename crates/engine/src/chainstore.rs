@@ -1,0 +1,131 @@
+//! Chain-storage selection for engine-served flows.
+//!
+//! A host with a short chain should keep every element resident
+//! ([`ChainStorage::Full`]): recompute costs more than the few KiB it
+//! saves. Long chains invert that trade — a 65k-element SHA-256 chain
+//! is 2 MiB per flow — so the engine defaults them to
+//! [`ChainStorage::Dyadic`] pebbling (O(log n) space) above a length
+//! threshold, mirroring how the digest and UDP backends self-select.
+//!
+//! The `ALPHA_CHAIN_STORAGE` environment variable overrides the choice
+//! for operators and benchmarks (`full` | `sqrt` | `dyadic`), exactly
+//! like `ALPHA_DIGEST_BACKEND` / `ALPHA_UDP_BACKEND`. It is read once
+//! per process.
+
+use std::sync::OnceLock;
+
+use alpha_core::{ChainStorage, Config};
+
+/// Chains at or above this length default to dyadic pebbling when the
+/// caller left storage at [`ChainStorage::Full`].
+pub const DYADIC_THRESHOLD: u64 = 4096;
+
+/// Stable label for a [`ChainStorage`] variant, used by `engine stats`
+/// and every `BENCH_*.json` emitter.
+#[must_use]
+pub fn name(storage: ChainStorage) -> &'static str {
+    match storage {
+        ChainStorage::Full => "full",
+        ChainStorage::Sqrt => "sqrt",
+        ChainStorage::Dyadic => "dyadic",
+    }
+}
+
+fn parse(value: &str) -> Option<ChainStorage> {
+    match value.trim().to_ascii_lowercase().as_str() {
+        "full" => Some(ChainStorage::Full),
+        "sqrt" => Some(ChainStorage::Sqrt),
+        "dyadic" => Some(ChainStorage::Dyadic),
+        _ => None,
+    }
+}
+
+fn env_override() -> Option<ChainStorage> {
+    static OVERRIDE: OnceLock<Option<ChainStorage>> = OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        std::env::var("ALPHA_CHAIN_STORAGE")
+            .ok()
+            .as_deref()
+            .and_then(parse)
+    })
+}
+
+/// Pure selection rule: an explicit override wins; otherwise chains of
+/// [`DYADIC_THRESHOLD`] elements or more that would use the default
+/// [`ChainStorage::Full`] are switched to [`ChainStorage::Dyadic`].
+/// A non-default storage choice by the caller is always respected.
+#[must_use]
+pub fn resolve_with(mut protocol: Config, env: Option<ChainStorage>) -> Config {
+    if let Some(storage) = env {
+        protocol.chain_storage = storage;
+        return protocol;
+    }
+    if protocol.chain_storage == ChainStorage::Full && protocol.chain_len >= DYADIC_THRESHOLD {
+        protocol.chain_storage = ChainStorage::Dyadic;
+    }
+    protocol
+}
+
+/// [`resolve_with`] driven by the process's `ALPHA_CHAIN_STORAGE`
+/// setting. Applied by `EngineConfig::new`.
+#[must_use]
+pub fn resolve(protocol: Config) -> Config {
+    resolve_with(protocol, env_override())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use alpha_crypto::Algorithm;
+
+    #[test]
+    fn short_chains_keep_full_storage() {
+        let c = resolve_with(Config::new(Algorithm::Sha1).with_chain_len(64), None);
+        assert_eq!(c.chain_storage, ChainStorage::Full);
+    }
+
+    #[test]
+    fn long_chains_default_to_dyadic() {
+        let c = resolve_with(
+            Config::new(Algorithm::Sha1).with_chain_len(DYADIC_THRESHOLD),
+            None,
+        );
+        assert_eq!(c.chain_storage, ChainStorage::Dyadic);
+        let c = resolve_with(Config::new(Algorithm::Sha1).with_chain_len(1 << 16), None);
+        assert_eq!(c.chain_storage, ChainStorage::Dyadic);
+    }
+
+    #[test]
+    fn explicit_caller_choice_is_respected() {
+        let c = resolve_with(
+            Config::new(Algorithm::Sha1)
+                .with_chain_len(1 << 16)
+                .with_chain_storage(ChainStorage::Sqrt),
+            None,
+        );
+        assert_eq!(c.chain_storage, ChainStorage::Sqrt);
+    }
+
+    #[test]
+    fn env_override_beats_both_default_and_threshold() {
+        let c = resolve_with(
+            Config::new(Algorithm::Sha1).with_chain_len(1 << 16),
+            Some(ChainStorage::Full),
+        );
+        assert_eq!(c.chain_storage, ChainStorage::Full);
+        let c = resolve_with(
+            Config::new(Algorithm::Sha1).with_chain_len(64),
+            Some(ChainStorage::Dyadic),
+        );
+        assert_eq!(c.chain_storage, ChainStorage::Dyadic);
+    }
+
+    #[test]
+    fn parse_accepts_known_names_only() {
+        assert_eq!(parse("full"), Some(ChainStorage::Full));
+        assert_eq!(parse(" SQRT "), Some(ChainStorage::Sqrt));
+        assert_eq!(parse("dyadic"), Some(ChainStorage::Dyadic));
+        assert_eq!(parse("pebble"), None);
+        assert_eq!(name(ChainStorage::Dyadic), "dyadic");
+    }
+}

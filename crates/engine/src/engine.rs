@@ -31,19 +31,22 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use alpha_adapt::{AdaptConfig, FlowAdapt};
+use alpha_adapt::{AdaptConfig, FlowAdapt, FrozenAdapt};
 use alpha_core::bootstrap::{self, AuthRequirement, Handshaker};
+use alpha_core::renewal::RenewalOffer;
 use alpha_core::{
-    Association, Config, DropReason, Mode, ProtocolError, Relay, RelayConfig, RelayDecision,
-    S2BatchItem, SharedS1Limiter, Timestamp,
+    Association, Config, DropReason, FrozenAssociation, Mode, ProtocolError, Relay, RelayConfig,
+    RelayDecision, S2BatchItem, SharedS1Limiter, SignerEvent, Timestamp,
 };
+use alpha_store::{FrozenStore, PacerConfig, RenewalPacer};
 use alpha_wire::{
     bundle, BodyView, DigestPath, Frame, FramePool, HandshakeRole, Packet, PacketType, PacketView,
 };
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::RngCore;
 
 use crate::backoff::Backoff;
+use crate::chainstore;
 use crate::mesh;
 use crate::metrics::{EngineMetrics, PeerCounters};
 use crate::shard::{addr_hash, jump_hash, FlowKey, Sharded};
@@ -79,15 +82,32 @@ pub struct EngineConfig {
     /// carries a channel estimator + mode controller, and
     /// [`EngineCore::sign_adaptive`] picks mode and bundle size online.
     pub adapt: Option<AdaptConfig>,
+    /// Freeze a host flow that has seen no datagram for this many
+    /// microseconds into the flow lifecycle store (`alpha-store`); the
+    /// next verified datagram thaws it. `None` disables hibernation.
+    pub hibernate_after: Option<u64>,
+    /// Byte budget for frozen flow records. Past it, the coldest
+    /// records are evicted (those flows are dropped for good). `None`
+    /// disables eviction.
+    pub frozen_budget: Option<u64>,
+    /// Renewal-storm pacing: deterministic per-flow deadline jitter
+    /// plus the global renewal token bucket.
+    pub pacer: PacerConfig,
+    /// Schedule a paced chain renewal when a host flow's signer chain
+    /// has at most this many exchanges left.
+    pub renew_below: u64,
 }
 
 impl EngineConfig {
     /// Defaults around a protocol config: 8 shards, 1 MiB/s per-flow S1
-    /// budget, 64 MiB global buffer valve, handshakes accepted.
+    /// budget, 64 MiB global buffer valve, handshakes accepted,
+    /// hibernation off. Long chains left on the default `Full` storage
+    /// are switched to dyadic pebbling here (see [`chainstore`];
+    /// `ALPHA_CHAIN_STORAGE` overrides).
     #[must_use]
     pub fn new(protocol: Config) -> EngineConfig {
         EngineConfig {
-            protocol,
+            protocol: chainstore::resolve(protocol),
             relay: RelayConfig::default(),
             shards: 8,
             s1_bytes_per_sec: Some(1 << 20),
@@ -95,6 +115,10 @@ impl EngineConfig {
             accept_handshakes: true,
             handshake_retries: 10,
             adapt: None,
+            hibernate_after: None,
+            frozen_budget: Some(256 << 20),
+            pacer: PacerConfig::default(),
+            renew_below: 8,
         }
     }
 
@@ -130,6 +154,34 @@ impl EngineConfig {
     #[must_use]
     pub fn with_adapt(mut self, adapt: AdaptConfig) -> EngineConfig {
         self.adapt = Some(adapt);
+        self
+    }
+
+    /// Set the hibernation idle threshold (µs); `None` disables.
+    #[must_use]
+    pub fn with_hibernate_after(mut self, idle_us: Option<u64>) -> EngineConfig {
+        self.hibernate_after = idle_us;
+        self
+    }
+
+    /// Set the frozen-record byte budget; `None` disables eviction.
+    #[must_use]
+    pub fn with_frozen_budget(mut self, max_bytes: Option<u64>) -> EngineConfig {
+        self.frozen_budget = max_bytes;
+        self
+    }
+
+    /// Set the renewal pacing tunables.
+    #[must_use]
+    pub fn with_pacer(mut self, pacer: PacerConfig) -> EngineConfig {
+        self.pacer = pacer;
+        self
+    }
+
+    /// Set the remaining-exchange threshold for paced renewals.
+    #[must_use]
+    pub fn with_renew_below(mut self, exchanges: u64) -> EngineConfig {
+        self.renew_below = exchanges;
         self
     }
 }
@@ -197,6 +249,17 @@ impl EngineOutput {
     }
 }
 
+/// Per-flow chain-renewal pacing state (lives inside
+/// [`FlowState::Host`]).
+enum RenewalSlot {
+    /// No renewal scheduled or in flight.
+    Idle,
+    /// A jittered renewal deadline is armed on the timer wheel.
+    Scheduled(Timestamp),
+    /// The renewal S1 is in flight; commit on `ExchangeComplete`.
+    Offered(Box<RenewalOffer>),
+}
+
 /// Per-flow state. Boxed so the table's entries stay small.
 enum FlowState {
     /// Initiator waiting for HS2. `wire` is the HS1 for resends.
@@ -215,7 +278,24 @@ enum FlowState {
         /// Channel estimator + mode controller, present when
         /// [`EngineConfig::adapt`] is set.
         adapt: Option<Box<FlowAdapt>>,
+        /// Last datagram or local sign on this flow — the hibernation
+        /// idle clock.
+        last_seen: Timestamp,
+        /// Deadline of the armed idle-check wheel entry
+        /// ([`Timestamp::ZERO`] when hibernation is off). Datagrams
+        /// only refresh `last_seen`; the idle check re-arms itself
+        /// lazily when it fires, so each flow keeps at most one idle
+        /// entry on the wheel regardless of traffic.
+        idle_deadline: Timestamp,
+        /// Paced chain-renewal state.
+        renewal: RenewalSlot,
     },
+    /// Hibernated host flow: the association is frozen in the engine's
+    /// [`FrozenStore`]; this one-word tombstone (plus the entry's
+    /// admission limiter) is all that stays resident. The next
+    /// datagram that *verifies* against the thawed association wakes
+    /// it; anything else re-freezes the record untouched.
+    Hibernated,
     /// On-path verifier between the canonical pair of endpoints.
     Relay {
         relay: Box<Relay>,
@@ -223,6 +303,41 @@ enum FlowState {
         /// gauge delta.
         buffered: usize,
     },
+}
+
+/// Frozen-record codec for the store: the `alpha-core` hibernation
+/// record plus the optional adaptation snapshot, length-prefixed so
+/// both decode totally.
+fn encode_frozen_record(frozen: &FrozenAssociation, adapt: Option<&FrozenAdapt>) -> Vec<u8> {
+    let body = frozen.encode();
+    let mut out = Vec::with_capacity(4 + body.len() + 1 + 84);
+    out.extend_from_slice(
+        &u32::try_from(body.len())
+            .expect("record fits u32")
+            .to_be_bytes(),
+    );
+    out.extend_from_slice(&body);
+    match adapt {
+        Some(a) => {
+            out.push(1);
+            out.extend_from_slice(&a.to_bytes());
+        }
+        None => out.push(0),
+    }
+    out
+}
+
+fn decode_frozen_record(bytes: &[u8]) -> Option<(FrozenAssociation, Option<FrozenAdapt>)> {
+    let len = u32::from_be_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+    let body = bytes.get(4..4 + len)?;
+    let frozen = FrozenAssociation::decode(body)?;
+    let rest = &bytes[4 + len..];
+    let adapt = match rest.first()? {
+        0 if rest.len() == 1 => None,
+        1 => Some(FrozenAdapt::from_bytes(&rest[1..])?),
+        _ => return None,
+    };
+    Some((frozen, adapt))
 }
 
 struct FlowEntry {
@@ -278,6 +393,11 @@ pub struct EngineCore {
     /// pays one relaxed load, not a lock, when the mesh is off.
     mesh: RwLock<Option<MeshControl>>,
     mesh_active: AtomicBool,
+    /// Frozen records of hibernated flows. Lock order: a shard lock may
+    /// be held when taking this mutex, never the reverse.
+    store: Mutex<FrozenStore<FlowKey>>,
+    /// Global renewal token bucket + per-flow jitter source.
+    pacer: Mutex<RenewalPacer>,
     metrics: EngineMetrics,
 }
 
@@ -319,6 +439,8 @@ impl EngineCore {
             deadlines,
             mesh: RwLock::new(None),
             mesh_active: AtomicBool::new(false),
+            store: Mutex::new(FrozenStore::new(cfg.frozen_budget)),
+            pacer: Mutex::new(RenewalPacer::new(cfg.pacer)),
             metrics: EngineMetrics::new(),
         }
     }
@@ -485,7 +607,7 @@ impl EngineCore {
             }
         }
         // Phase 2: extract affected flows under each shard lock.
-        let mut moved: Vec<(FlowKey, FlowEntry)> = Vec::new();
+        let mut moved: Vec<(FlowKey, FlowKey, FlowEntry)> = Vec::new();
         for idx in 0..self.shards.len() {
             let mut shard = self.shards.shard(idx).write();
             let candidates: Vec<FlowKey> = shard
@@ -510,19 +632,30 @@ impl EngineCore {
                         peer: new_peer,
                         assoc_id: key.assoc_id,
                     },
+                    key,
                     entry,
                 ));
             }
         }
         // Phase 3: reinsert at the destination shards and re-arm timers.
+        // Hibernated flows bring their frozen record along to the new
+        // key (so the next datagram from the new peer still thaws).
         let n = moved.len();
-        for (key, entry) in moved {
+        for (key, old_key, entry) in moved {
+            if matches!(entry.state, FlowState::Hibernated) {
+                let mut store = self.store.lock();
+                if let Some(record) = store.remove(&old_key) {
+                    // Re-keying never grows the store, so this insert
+                    // cannot evict.
+                    let _ = store.insert(key, record);
+                }
+            }
             let idx = self.shard_index(&key);
             let mut shard = self.shards.shard(idx).write();
             let due = match &entry.state {
                 FlowState::Connecting { next_resend, .. } => Some(*next_resend),
                 FlowState::Host { assoc, .. } => assoc.poll_at(),
-                FlowState::Relay { .. } => None,
+                FlowState::Hibernated | FlowState::Relay { .. } => None,
             };
             if let Some(prev) = shard.flows.insert(key, entry) {
                 // Displaced a flow already keyed at the destination
@@ -621,6 +754,14 @@ impl EngineCore {
         self.cfg.adapt.map(|c| Box::new(FlowAdapt::new(c)))
     }
 
+    /// Idle-check deadline for a flow last touched at `now`
+    /// ([`Timestamp::ZERO`] when hibernation is off).
+    fn idle_deadline_from(&self, now: Timestamp) -> Timestamp {
+        self.cfg
+            .hibernate_after
+            .map_or(Timestamp::ZERO, |us| now.plus_micros(us))
+    }
+
     /// Install an already-established host association (e.g. from an
     /// out-of-band or authenticated handshake) as a flow toward `peer`.
     pub fn add_host(&self, peer: SocketAddr, assoc: Association, now: Timestamp) -> FlowKey {
@@ -631,6 +772,7 @@ impl EngineCore {
         let idx = self.shard_index(&key);
         let mut shard = self.shards.shard(idx).write();
         let poll_at = assoc.poll_at();
+        let idle_deadline = self.idle_deadline_from(now);
         shard.flows.insert(
             key,
             FlowEntry {
@@ -639,13 +781,19 @@ impl EngineCore {
                     assoc: Box::new(assoc),
                     inflight_since: None,
                     adapt: self.new_adapt(),
+                    last_seen: now,
+                    idle_deadline,
+                    renewal: RenewalSlot::Idle,
                 },
             },
         );
         if let Some(t) = poll_at {
             shard.wheel.schedule(t.max(now), key);
-            self.cache_deadline(idx, &mut shard);
         }
+        if self.cfg.hibernate_after.is_some() {
+            shard.wheel.schedule(idle_deadline, key);
+        }
+        self.cache_deadline(idx, &mut shard);
         self.metrics.flows_active.fetch_add(1, Ordering::Relaxed);
         key
     }
@@ -691,13 +839,30 @@ impl EngineCore {
         (key, out)
     }
 
-    /// Drop a flow, returning whether it existed.
+    /// Drop a flow, returning whether it existed. A hibernated flow's
+    /// frozen record is discarded with it.
     pub fn remove_flow(&self, key: FlowKey) -> bool {
         let idx = self.shard_index(&key);
         let removed = self.shards.shard(idx).write().flows.remove(&key);
         if let Some(entry) = &removed {
-            if let FlowState::Relay { buffered, .. } = entry.state {
-                self.buffered.fetch_sub(buffered as i64, Ordering::Relaxed);
+            match entry.state {
+                FlowState::Relay { buffered, .. } => {
+                    self.buffered.fetch_sub(buffered as i64, Ordering::Relaxed);
+                }
+                FlowState::Hibernated => {
+                    let mut store = self.store.lock();
+                    let _ = store.remove(&key);
+                    self.metrics
+                        .store
+                        .bytes_frozen
+                        .store(store.bytes(), Ordering::Relaxed);
+                    drop(store);
+                    self.metrics
+                        .store
+                        .flows_hibernated
+                        .fetch_sub(1, Ordering::Relaxed);
+                }
+                _ => {}
             }
             self.metrics.flows_active.fetch_sub(1, Ordering::Relaxed);
         }
@@ -782,6 +947,8 @@ impl EngineCore {
             assoc,
             inflight_since,
             adapt,
+            last_seen,
+            ..
         } = &mut entry.state
         else {
             return Err(EngineError::NotAHostFlow(key));
@@ -793,6 +960,7 @@ impl EngineCore {
         };
         let pkt = assoc.sign_batch(&messages[..take], mode, now)?;
         *inflight_since = Some(now);
+        *last_seen = now;
         if let Some(a) = adapt.as_mut() {
             let payload: u64 = messages[..take].iter().map(|m| m.len() as u64).sum();
             a.begin_exchange(mode, take, payload, now);
@@ -1258,6 +1426,7 @@ impl EngineCore {
             Missing,
             Connecting,
             Host,
+            Hibernated,
             Relay,
         }
         let kind = match self.shards.shard(idx).read().flows.get(&key) {
@@ -1265,6 +1434,7 @@ impl EngineCore {
             Some(e) => match e.state {
                 FlowState::Connecting { .. } => Kind::Connecting,
                 FlowState::Host { .. } => Kind::Host,
+                FlowState::Hibernated => Kind::Hibernated,
                 FlowState::Relay { .. } => Kind::Relay,
             },
         };
@@ -1272,6 +1442,7 @@ impl EngineCore {
             Kind::Missing => self.accept_handshake(key, view, slice.len(), now, rng, out),
             Kind::Connecting => self.complete_handshake(idx, key, view, now, out),
             Kind::Host => self.host_handle(idx, key, view, now, rng, out),
+            Kind::Hibernated => self.host_thaw(idx, key, view, now, rng, out),
             Kind::Relay => self.metrics.record_drop(DropReason::UnknownAssociation),
         }
     }
@@ -1297,6 +1468,9 @@ impl EngineCore {
                     assoc,
                     inflight_since,
                     adapt,
+                    last_seen,
+                    renewal,
+                    ..
                 },
             ..
         }) = shard.flows.get_mut(&key)
@@ -1331,6 +1505,7 @@ impl EngineCore {
         };
         match result {
             Ok(resp) => {
+                *last_seen = now;
                 if inflight_since.is_some() && assoc.signer().is_idle() {
                     // Allowlist: guarded by `is_some()` on the line above.
                     let started = inflight_since.take().expect("checked above");
@@ -1346,13 +1521,45 @@ impl EngineCore {
                         assoc.set_rto_micros(rto);
                     }
                 }
+                // Renewal lifecycle: the signer admits one exchange at a
+                // time, so while an offer is outstanding the next
+                // completion/abandonment verdict is the renewal's.
+                if matches!(renewal, RenewalSlot::Offered(_)) {
+                    if resp
+                        .signer_events
+                        .iter()
+                        .any(|e| matches!(e, SignerEvent::ExchangeComplete))
+                    {
+                        if let RenewalSlot::Offered(offer) =
+                            std::mem::replace(renewal, RenewalSlot::Idle)
+                        {
+                            let _ = assoc.commit_renewal(*offer);
+                        }
+                    } else if resp
+                        .signer_events
+                        .iter()
+                        .any(|e| matches!(e, SignerEvent::ExchangeAbandoned))
+                    {
+                        *renewal = RenewalSlot::Idle;
+                    }
+                }
+                // Arm a jittered renewal deadline when the chain runs
+                // low (deterministic per-flow spread, see alpha-store).
+                if matches!(renewal, RenewalSlot::Idle)
+                    && assoc.signer().is_idle()
+                    && assoc.signer().remaining_exchanges() <= self.cfg.renew_below
+                {
+                    let due = now.plus_micros(self.pacer.lock().jitter_us(key.stable_hash()));
+                    *renewal = RenewalSlot::Scheduled(due);
+                    shard.wheel.schedule(due, key);
+                }
                 self.metrics
                     .s2_verified
                     .fetch_add(resp.deliveries.len() as u64, Ordering::Relaxed);
                 if let Some(t) = assoc.poll_at() {
                     shard.wheel.schedule(t, key);
-                    self.cache_deadline(idx, shard);
                 }
+                self.cache_deadline(idx, shard);
                 drop(guard);
                 out.delivered.extend(
                     resp.deliveries
@@ -1365,6 +1572,262 @@ impl EngineCore {
                 drop(guard);
                 self.metrics.record_drop(protocol_drop_reason(e));
             }
+        }
+    }
+
+    /// Wake a hibernated flow: pull its frozen record, thaw the
+    /// association, and feed it this datagram *before* re-admitting the
+    /// flow to the table. Only a packet that verifies against the
+    /// thawed chains wakes the flow — a forged datagram aimed at a
+    /// frozen flow gets the record re-frozen untouched, so hibernation
+    /// adds no spoofing surface. The thawed flow resumes mid-stream
+    /// with no handshake and decisions identical to a never-slept one.
+    fn host_thaw(
+        &self,
+        idx: usize,
+        key: FlowKey,
+        view: &PacketView<'_>,
+        now: Timestamp,
+        rng: &mut dyn RngCore,
+        out: &mut EngineOutput,
+    ) {
+        // Wall-clock latency of the wake itself (metrics only; protocol
+        // decisions still run on the caller-supplied Timestamp).
+        let wake_timer = std::time::Instant::now();
+        let mut guard = self.shards.shard(idx).write();
+        let shard = &mut *guard;
+        match shard.flows.get(&key).map(|e| &e.state) {
+            Some(FlowState::Hibernated) => {}
+            Some(FlowState::Host { .. }) => {
+                // A racing datagram already woke it.
+                drop(guard);
+                self.host_handle(idx, key, view, now, rng, out);
+                return;
+            }
+            _ => {
+                drop(guard);
+                self.metrics.record_drop(DropReason::UnknownAssociation);
+                return;
+            }
+        }
+        let mut store = self.store.lock();
+        let record = store.remove(&key);
+        self.metrics
+            .store
+            .bytes_frozen
+            .store(store.bytes(), Ordering::Relaxed);
+        drop(store);
+        let Some(record) = record else {
+            // Tombstone without a record: the budget evicted this flow
+            // (it is gone for good); reap the tombstone.
+            shard.flows.remove(&key);
+            self.metrics.flows_active.fetch_sub(1, Ordering::Relaxed);
+            self.metrics
+                .store
+                .flows_hibernated
+                .fetch_sub(1, Ordering::Relaxed);
+            self.metrics.record_drop(DropReason::UnknownAssociation);
+            return;
+        };
+        let Some((frozen, frozen_adapt)) = decode_frozen_record(&record) else {
+            // Unreachable for records this engine wrote; fail closed
+            // rather than panicking mid-datapath.
+            shard.flows.remove(&key);
+            self.metrics.flows_active.fetch_sub(1, Ordering::Relaxed);
+            self.metrics
+                .store
+                .flows_hibernated
+                .fetch_sub(1, Ordering::Relaxed);
+            self.metrics.record_drop(DropReason::Malformed);
+            return;
+        };
+        let mut assoc = Box::new(Association::thaw(self.cfg.protocol, &frozen));
+        let result = match &view.body {
+            BodyView::S2 {
+                key: mac_key,
+                seq,
+                path,
+                payload,
+            } => {
+                let path = path.to_path();
+                assoc.handle_s2_fields(
+                    view.assoc_id,
+                    view.chain_index,
+                    mac_key,
+                    *seq,
+                    &path,
+                    payload,
+                    now,
+                )
+            }
+            _ => assoc.handle(&view.to_packet(), now, rng),
+        };
+        match result {
+            Ok(resp) => {
+                let mut adapt = match (self.cfg.adapt, &frozen_adapt) {
+                    (Some(cfg), Some(fa)) => Some(Box::new(FlowAdapt::restore(cfg, fa))),
+                    (Some(cfg), None) => Some(Box::new(FlowAdapt::new(cfg))),
+                    (None, _) => None,
+                };
+                if let Some(a) = adapt.as_mut() {
+                    a.observe(&resp.packets, &resp.signer_events);
+                    if let Some(rto) = a.rto_us() {
+                        assoc.set_rto_micros(rto);
+                    }
+                }
+                self.metrics
+                    .s2_verified
+                    .fetch_add(resp.deliveries.len() as u64, Ordering::Relaxed);
+                // Re-admit the woken flow and re-arm its timers: poll
+                // deadline, idle clock, and — if the thaw landed near
+                // chain exhaustion — a jittered renewal deadline.
+                let poll_at = assoc.poll_at();
+                let renewal = if assoc.signer().is_idle()
+                    && assoc.signer().remaining_exchanges() <= self.cfg.renew_below
+                {
+                    let due = now.plus_micros(self.pacer.lock().jitter_us(key.stable_hash()));
+                    shard.wheel.schedule(due, key);
+                    RenewalSlot::Scheduled(due)
+                } else {
+                    RenewalSlot::Idle
+                };
+                let idle_deadline = self.idle_deadline_from(now);
+                if let Some(entry) = shard.flows.get_mut(&key) {
+                    entry.state = FlowState::Host {
+                        assoc,
+                        inflight_since: None,
+                        adapt,
+                        last_seen: now,
+                        idle_deadline,
+                        renewal,
+                    };
+                }
+                if let Some(t) = poll_at {
+                    shard.wheel.schedule(t, key);
+                }
+                if self.cfg.hibernate_after.is_some() {
+                    shard.wheel.schedule(idle_deadline, key);
+                }
+                self.cache_deadline(idx, shard);
+                self.metrics.store.thawed.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .store
+                    .flows_hibernated
+                    .fetch_sub(1, Ordering::Relaxed);
+                self.metrics
+                    .store
+                    .thaw_latency_us
+                    .record(wake_timer.elapsed().as_micros() as u64);
+                drop(guard);
+                out.delivered.extend(
+                    resp.deliveries
+                        .into_iter()
+                        .map(|(seq, p)| (key.assoc_id, seq, p)),
+                );
+                self.push_packets(out, key.peer, &resp.packets);
+            }
+            Err(e) => {
+                // Forged or stale: re-freeze the record exactly as it
+                // was. Same-size reinsertion cannot exceed the budget,
+                // but route any eviction through the normal reaper.
+                let mut store = self.store.lock();
+                let evicted = store.insert(key, record);
+                self.metrics
+                    .store
+                    .bytes_frozen
+                    .store(store.bytes(), Ordering::Relaxed);
+                drop(store);
+                self.metrics
+                    .store
+                    .thaw_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                self.metrics.record_drop(protocol_drop_reason(e));
+                drop(guard);
+                self.reap_evicted(evicted);
+            }
+        }
+    }
+
+    /// Freeze one idle host flow into the store, leaving a
+    /// [`FlowState::Hibernated`] tombstone in the table. Caller holds
+    /// the shard's write lock. Returns records evicted by the byte
+    /// budget, which the caller must pass to
+    /// [`EngineCore::reap_evicted`] *after* releasing the shard lock
+    /// (victims can live in any shard).
+    fn freeze_flow(
+        &self,
+        shard: &mut Shard,
+        key: FlowKey,
+        now: Timestamp,
+    ) -> Vec<(FlowKey, Vec<u8>)> {
+        let idle_us = self.cfg.hibernate_after.unwrap_or(0);
+        let Some(entry) = shard.flows.get_mut(&key) else {
+            return Vec::new();
+        };
+        let FlowState::Host {
+            assoc,
+            adapt,
+            idle_deadline,
+            renewal,
+            ..
+        } = &mut entry.state
+        else {
+            return Vec::new();
+        };
+        // A flow mid-renewal holds fresh chains outside the record;
+        // let it finish — re-arm so the idle timer comes back around.
+        if matches!(renewal, RenewalSlot::Offered(_)) {
+            let t = now.plus_micros(idle_us.max(1));
+            *idle_deadline = t;
+            shard.wheel.schedule(t, key);
+            return Vec::new();
+        }
+        let frozen = match assoc.freeze() {
+            Ok(frozen) => frozen,
+            Err(_) => {
+                // Signer exchange outstanding; retry a period later.
+                let t = now.plus_micros(idle_us.max(1));
+                *idle_deadline = t;
+                shard.wheel.schedule(t, key);
+                return Vec::new();
+            }
+        };
+        let record =
+            encode_frozen_record(&frozen, adapt.as_deref().map(FlowAdapt::freeze).as_ref());
+        entry.state = FlowState::Hibernated;
+        let mut store = self.store.lock();
+        let evicted = store.insert(key, record);
+        self.metrics
+            .store
+            .bytes_frozen
+            .store(store.bytes(), Ordering::Relaxed);
+        drop(store);
+        self.metrics.store.frozen.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .store
+            .flows_hibernated
+            .fetch_add(1, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Remove the table tombstones of records the byte budget evicted.
+    /// Must be called with no shard lock held.
+    fn reap_evicted(&self, evicted: Vec<(FlowKey, Vec<u8>)>) {
+        for (key, _record) in evicted {
+            let idx = self.shard_index(&key);
+            let mut shard = self.shards.shard(idx).write();
+            if matches!(
+                shard.flows.get(&key).map(|e| &e.state),
+                Some(FlowState::Hibernated)
+            ) {
+                shard.flows.remove(&key);
+                self.metrics.flows_active.fetch_sub(1, Ordering::Relaxed);
+                self.metrics
+                    .store
+                    .flows_hibernated
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+            self.metrics.store.evicted.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -1391,7 +1854,9 @@ impl EngineCore {
                 let idx = self.shard_index(&key);
                 let limiter = SharedS1Limiter::new(self.cfg.s1_bytes_per_sec);
                 limiter.allow(wire_len as u64, now); // charge the HS1
-                self.shards.shard(idx).write().flows.insert(
+                let mut shard = self.shards.shard(idx).write();
+                let idle_deadline = self.idle_deadline_from(now);
+                shard.flows.insert(
                     key,
                     FlowEntry {
                         limiter,
@@ -1399,9 +1864,17 @@ impl EngineCore {
                             assoc: Box::new(assoc),
                             inflight_since: None,
                             adapt: self.new_adapt(),
+                            last_seen: now,
+                            idle_deadline,
+                            renewal: RenewalSlot::Idle,
                         },
                     },
                 );
+                if self.cfg.hibernate_after.is_some() {
+                    shard.wheel.schedule(idle_deadline, key);
+                    self.cache_deadline(idx, &mut shard);
+                }
+                drop(shard);
                 self.metrics.flows_active.fetch_add(1, Ordering::Relaxed);
                 self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
                 out.completed.push(key);
@@ -1441,11 +1914,19 @@ impl EngineCore {
         };
         match hs.complete(&view.to_packet(), AuthRequirement::None) {
             Ok((assoc, _peer_key)) => {
+                let idle_deadline = self.idle_deadline_from(now);
                 entry.state = FlowState::Host {
                     assoc: Box::new(assoc),
                     inflight_since: None,
                     adapt: self.new_adapt(),
+                    last_seen: now,
+                    idle_deadline,
+                    renewal: RenewalSlot::Idle,
                 };
+                if self.cfg.hibernate_after.is_some() {
+                    shard.wheel.schedule(idle_deadline, key);
+                    self.cache_deadline(idx, &mut shard);
+                }
                 self.metrics.handshakes.fetch_add(1, Ordering::Relaxed);
                 self.metrics.handshake_us.record(now.since(started));
                 out.completed.push(key);
@@ -1524,6 +2005,7 @@ impl EngineCore {
             .fetch_add(fired.len() as u64, Ordering::Relaxed);
         let mut staged: Vec<(SocketAddr, Vec<Packet>)> = Vec::new();
         let mut dead: Vec<FlowKey> = Vec::new();
+        let mut to_freeze: Vec<FlowKey> = Vec::new();
         for key in fired {
             let Some(entry) = shard.flows.get_mut(&key) else {
                 continue;
@@ -1551,7 +2033,68 @@ impl EngineCore {
                     assoc,
                     inflight_since,
                     adapt,
+                    last_seen,
+                    idle_deadline,
+                    renewal,
                 } => {
+                    // A wheel fire is just a wake-up; the flow decides
+                    // which of its deadlines (renewal, idle check,
+                    // protocol poll) is actually due.
+                    if let RenewalSlot::Scheduled(due) = *renewal {
+                        if due <= now && assoc.signer().is_idle() {
+                            if self.pacer.lock().admit(now.micros()) {
+                                match assoc.begin_renewal(now, rng) {
+                                    Ok((offer, s1)) => {
+                                        *renewal = RenewalSlot::Offered(Box::new(offer));
+                                        *inflight_since = Some(now);
+                                        self.metrics
+                                            .store
+                                            .renewals_started
+                                            .fetch_add(1, Ordering::Relaxed);
+                                        staged.push((key.peer, vec![s1]));
+                                    }
+                                    Err(_) => *renewal = RenewalSlot::Idle,
+                                }
+                            } else {
+                                // Pacer said not now: back off with the
+                                // flow's own jitter so the herd spreads
+                                // instead of re-stampeding.
+                                let retry = now.plus_micros(
+                                    100_000 + self.pacer.lock().jitter_us(key.stable_hash()),
+                                );
+                                *renewal = RenewalSlot::Scheduled(retry);
+                                shard.wheel.schedule(retry, key);
+                                self.metrics
+                                    .store
+                                    .renewals_deferred
+                                    .fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else if due <= now {
+                            // Signer busy mid-exchange; revisit soon.
+                            let retry = now.plus_micros(100_000);
+                            *renewal = RenewalSlot::Scheduled(retry);
+                            shard.wheel.schedule(retry, key);
+                        }
+                    }
+                    if self.cfg.hibernate_after.is_some() && *idle_deadline <= now {
+                        // The armed idle entry has fired; freeze if the
+                        // flow really has been quiet, otherwise re-arm
+                        // at the honest next idle deadline.
+                        let idle_us = self.cfg.hibernate_after.unwrap_or(0);
+                        let idle_due = last_seen.plus_micros(idle_us);
+                        if idle_due <= now
+                            && assoc.signer().is_idle()
+                            && !matches!(renewal, RenewalSlot::Offered(_))
+                        {
+                            to_freeze.push(key);
+                            continue;
+                        }
+                        // Mid-exchange flows retry after a full quiet
+                        // period; active flows re-arm at last_seen + h.
+                        let t = idle_due.max(now.plus_micros(idle_us.max(1)));
+                        *idle_deadline = t;
+                        shard.wheel.schedule(t, key);
+                    }
                     let Some(due) = assoc.poll_at() else {
                         continue;
                     };
@@ -1572,6 +2115,16 @@ impl EngineCore {
                             .adapt_switches
                             .fetch_add(a.switches_total() - before, Ordering::Relaxed);
                     }
+                    // A renewal S1 abandoned by the retry budget frees
+                    // the slot for a future (re-jittered) attempt.
+                    if matches!(renewal, RenewalSlot::Offered(_))
+                        && resp
+                            .signer_events
+                            .iter()
+                            .any(|e| matches!(e, SignerEvent::ExchangeAbandoned))
+                    {
+                        *renewal = RenewalSlot::Idle;
+                    }
                     out.delivered.extend(
                         resp.deliveries
                             .into_iter()
@@ -1584,6 +2137,7 @@ impl EngineCore {
                         shard.wheel.schedule(t, key);
                     }
                 }
+                FlowState::Hibernated => {}
                 FlowState::Relay { .. } => {}
             }
         }
@@ -1591,8 +2145,13 @@ impl EngineCore {
             shard.flows.remove(&key);
             self.metrics.flows_active.fetch_sub(1, Ordering::Relaxed);
         }
+        let mut evicted = Vec::new();
+        for key in to_freeze {
+            evicted.extend(self.freeze_flow(shard, key, now));
+        }
         self.cache_deadline(idx, shard);
         drop(guard);
+        self.reap_evicted(evicted);
         for (dst, packets) in staged {
             self.push_packets(out, dst, &packets);
         }
@@ -1652,6 +2211,10 @@ impl EngineCore {
             (
                 "udp_backend".to_owned(),
                 serde::Value::Str(self.metrics.io.backend_name().to_owned()),
+            ),
+            (
+                "chain_storage".to_owned(),
+                serde::Value::Str(chainstore::name(self.cfg.protocol.chain_storage).to_owned()),
             ),
             (
                 "adapt_flows".to_owned(),
@@ -2252,5 +2815,230 @@ mod tests {
             panic!("adapt_flows should be an array")
         };
         assert!(rows.is_empty());
+    }
+
+    /// Store metric loads, in one tuple: (frozen, thawed, evicted,
+    /// thaw_rejected).
+    fn store_counts(e: &EngineCore) -> (u64, u64, u64, u64) {
+        let s = &e.metrics().store;
+        (
+            s.frozen.load(Ordering::Relaxed),
+            s.thawed.load(Ordering::Relaxed),
+            s.evicted.load(Ordering::Relaxed),
+            s.thaw_rejected.load(Ordering::Relaxed),
+        )
+    }
+
+    #[test]
+    fn idle_flow_hibernates_and_wakes_on_next_datagram() {
+        let client = EngineCore::new(cfg());
+        let server = EngineCore::new(cfg().with_hibernate_after(Some(50_000)));
+        let ca = addr(1700);
+        let sa = addr(2700);
+        let mut rng = StdRng::seed_from_u64(31);
+        let t0 = Timestamp::from_millis(1);
+
+        let (key, out) = client.connect(sa, 42, t0, &mut rng);
+        pump(&client, ca, &server, sa, out.datagrams, t0, &mut rng);
+        let out = client
+            .sign_batch(key, &[b"before sleep".as_slice()], Mode::Base, t0)
+            .unwrap();
+        let (_, from_server) = pump(&client, ca, &server, sa, out.datagrams, t0, &mut rng);
+        assert_eq!(from_server.delivered.len(), 1);
+
+        // 60 ms of silence: the idle check fires and freezes the flow.
+        let t1 = t0.plus_micros(60_000);
+        let _ = server.poll(t1, &mut rng);
+        assert_eq!(store_counts(&server), (1, 0, 0, 0), "flow froze");
+        assert_eq!(server.flow_count(), 1, "tombstone stays in the table");
+        let m = server.metrics();
+        assert_eq!(m.store.flows_hibernated.load(Ordering::Relaxed), 1);
+        assert!(m.store.bytes_frozen.load(Ordering::Relaxed) > 0);
+
+        // The next datagram wakes it mid-stream: no handshake, same
+        // verifier decisions, payload delivered.
+        let t2 = t1.plus_micros(1_000);
+        let out = client
+            .sign_batch(key, &[b"after wake".as_slice()], Mode::Base, t2)
+            .unwrap();
+        let (_, from_server) = pump(&client, ca, &server, sa, out.datagrams, t2, &mut rng);
+        assert_eq!(from_server.delivered.len(), 1);
+        assert_eq!(from_server.delivered[0].2, b"after wake");
+        assert_eq!(store_counts(&server), (1, 1, 0, 0), "woke exactly once");
+        let m = server.metrics();
+        assert_eq!(m.store.flows_hibernated.load(Ordering::Relaxed), 0);
+        assert_eq!(m.store.bytes_frozen.load(Ordering::Relaxed), 0);
+        assert_eq!(m.store.thaw_latency_us.count(), 1);
+        assert_eq!(
+            m.handshakes.load(Ordering::Relaxed),
+            1,
+            "wake needed no re-handshake"
+        );
+
+        // The woken flow keeps working like it never slept.
+        let out = client
+            .sign_batch(key, &[b"steady state".as_slice()], Mode::Base, t2)
+            .unwrap();
+        let (_, from_server) = pump(&client, ca, &server, sa, out.datagrams, t2, &mut rng);
+        assert_eq!(from_server.delivered[0].2, b"steady state");
+    }
+
+    #[test]
+    fn forged_datagram_cannot_force_a_thaw() {
+        let client = EngineCore::new(cfg());
+        let server = EngineCore::new(cfg().with_hibernate_after(Some(50_000)));
+        let ca = addr(1710);
+        let sa = addr(2710);
+        let mut rng = StdRng::seed_from_u64(32);
+        let t0 = Timestamp::from_millis(1);
+        let (key, out) = client.connect(sa, 42, t0, &mut rng);
+        pump(&client, ca, &server, sa, out.datagrams, t0, &mut rng);
+        let t1 = t0.plus_micros(60_000);
+        let _ = server.poll(t1, &mut rng);
+        assert_eq!(store_counts(&server), (1, 0, 0, 0), "flow frozen");
+
+        // An attacker who observed the flow key forges an S1 from a
+        // different association claiming the same id and source.
+        let mallory = EngineCore::new(cfg());
+        let decoy = EngineCore::new(cfg());
+        let ma = addr(1711);
+        let da = addr(2711);
+        let (mkey, out) = mallory.connect(da, 42, t0, &mut rng);
+        pump(&mallory, ma, &decoy, da, out.datagrams, t0, &mut rng);
+        let forged = mallory
+            .sign_batch(mkey, &[b"let me in".as_slice()], Mode::Base, t1)
+            .unwrap()
+            .datagrams;
+        let t2 = t1.plus_micros(1_000);
+        let o = server.handle_datagram(ca, &forged[0].1, t2, &mut rng);
+        assert!(o.delivered.is_empty() && o.datagrams.is_empty());
+        let (frozen, thawed, evicted, rejected) = store_counts(&server);
+        assert_eq!(
+            (frozen, thawed, evicted, rejected),
+            (1, 0, 0, 1),
+            "forgery bounced off the frozen record"
+        );
+        assert_eq!(server.flow_count(), 1, "tombstone intact");
+        assert_eq!(
+            server
+                .metrics()
+                .store
+                .flows_hibernated
+                .load(Ordering::Relaxed),
+            1
+        );
+
+        // The record survived untouched: the real peer still wakes it.
+        let out = client
+            .sign_batch(key, &[b"genuine".as_slice()], Mode::Base, t2)
+            .unwrap();
+        let (_, from_server) = pump(&client, ca, &server, sa, out.datagrams, t2, &mut rng);
+        assert_eq!(from_server.delivered[0].2, b"genuine");
+        assert_eq!(store_counts(&server), (1, 1, 0, 1));
+    }
+
+    #[test]
+    fn frozen_budget_evicts_coldest_and_reaps_tombstones() {
+        let client = EngineCore::new(cfg());
+        // A one-byte budget cannot hold two records: each freeze evicts
+        // the previous (soft budget keeps the newest resident).
+        let server = EngineCore::new(
+            cfg()
+                .with_hibernate_after(Some(50_000))
+                .with_frozen_budget(Some(1)),
+        );
+        let ca = addr(1720);
+        let sa = addr(2720);
+        let mut rng = StdRng::seed_from_u64(33);
+        let t0 = Timestamp::from_millis(1);
+        for id in 1..=3 {
+            let (_, out) = client.connect(sa, id, t0, &mut rng);
+            pump(&client, ca, &server, sa, out.datagrams, t0, &mut rng);
+        }
+        assert_eq!(server.flow_count(), 3);
+
+        let t1 = t0.plus_micros(60_000);
+        let _ = server.poll(t1, &mut rng);
+        let (frozen, _, evicted, _) = store_counts(&server);
+        assert_eq!(frozen, 3, "all three idle flows froze");
+        assert_eq!(evicted, 2, "budget kept only the newest record");
+        assert_eq!(server.flow_count(), 1, "evicted tombstones were reaped");
+        assert_eq!(
+            server
+                .metrics()
+                .store
+                .flows_hibernated
+                .load(Ordering::Relaxed),
+            1
+        );
+    }
+
+    #[test]
+    fn chain_renewal_is_armed_jitter_free_and_commits() {
+        let pacer = PacerConfig {
+            max_jitter_us: 0,
+            rate_per_sec: 256,
+            burst: 64,
+        };
+        // renew_below above the whole chain: every completed exchange
+        // arms a renewal, so one exchange is enough to trigger it.
+        let client = EngineCore::new(cfg().with_renew_below(64).with_pacer(pacer));
+        let server = EngineCore::new(cfg());
+        let ca = addr(1730);
+        let sa = addr(2730);
+        let mut rng = StdRng::seed_from_u64(34);
+        let t0 = Timestamp::from_millis(1);
+        let (key, out) = client.connect(sa, 7, t0, &mut rng);
+        pump(&client, ca, &server, sa, out.datagrams, t0, &mut rng);
+        let out = client
+            .sign_batch(key, &[b"spend the chain".as_slice()], Mode::Base, t0)
+            .unwrap();
+        pump(&client, ca, &server, sa, out.datagrams, t0, &mut rng);
+        let before = client
+            .with_association(key, |a| a.signer().remaining_exchanges())
+            .unwrap();
+
+        // The jitter-free renewal deadline is already due; the poll
+        // starts it and the exchange commits the fresh chains.
+        let t1 = t0.plus_micros(2_000);
+        let out = client.poll(t1, &mut rng);
+        assert!(!out.datagrams.is_empty(), "renewal S1 went out");
+        pump(&client, ca, &server, sa, out.datagrams, t1, &mut rng);
+        let m = client.metrics();
+        assert_eq!(m.store.renewals_started.load(Ordering::Relaxed), 1);
+        let after = client
+            .with_association(key, |a| a.signer().remaining_exchanges())
+            .unwrap();
+        assert!(
+            after > before,
+            "renewal replenished the chain ({before} -> {after})"
+        );
+    }
+
+    #[test]
+    fn renewal_pacer_defers_when_bucket_is_empty() {
+        let pacer = PacerConfig {
+            max_jitter_us: 0,
+            rate_per_sec: 0,
+            burst: 0,
+        };
+        let client = EngineCore::new(cfg().with_renew_below(64).with_pacer(pacer));
+        let server = EngineCore::new(cfg());
+        let ca = addr(1740);
+        let sa = addr(2740);
+        let mut rng = StdRng::seed_from_u64(35);
+        let t0 = Timestamp::from_millis(1);
+        let (key, out) = client.connect(sa, 8, t0, &mut rng);
+        pump(&client, ca, &server, sa, out.datagrams, t0, &mut rng);
+        let out = client
+            .sign_batch(key, &[b"idle now".as_slice()], Mode::Base, t0)
+            .unwrap();
+        pump(&client, ca, &server, sa, out.datagrams, t0, &mut rng);
+
+        let out = client.poll(t0.plus_micros(2_000), &mut rng);
+        assert!(out.datagrams.is_empty(), "no renewal admitted");
+        let m = client.metrics();
+        assert_eq!(m.store.renewals_started.load(Ordering::Relaxed), 0);
+        assert!(m.store.renewals_deferred.load(Ordering::Relaxed) >= 1);
     }
 }

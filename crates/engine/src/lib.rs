@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod backoff;
+pub mod chainstore;
 pub mod engine;
 pub mod mesh;
 pub mod metrics;
@@ -23,6 +24,7 @@ pub use backoff::Backoff;
 pub use engine::{EngineConfig, EngineCore, EngineError, EngineOutput};
 pub use metrics::{
     EngineMetrics, Histogram, IoMetrics, IoTotals, IoWorker, MeshMetrics, PeerCounters,
+    StoreMetrics,
 };
 pub use shard::{addr_hash, jump_hash, AssignmentPolicy, FlowKey, ShardAssignment, Sharded};
 pub use timer::TimerWheel;

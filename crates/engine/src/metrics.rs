@@ -396,6 +396,56 @@ impl MeshMetrics {
     }
 }
 
+/// Flow lifecycle store counters: hibernation freezes, wakes and
+/// evictions, plus the frozen-byte gauge and the wake latency
+/// histogram. Mirrors the [`IoMetrics`] / [`MeshMetrics`] shape so the
+/// store section rides the ordinary stats snapshot.
+#[derive(Default)]
+pub struct StoreMetrics {
+    /// Idle host flows frozen into the store.
+    pub frozen: AtomicU64,
+    /// Hibernated flows rehydrated by an arriving datagram.
+    pub thawed: AtomicU64,
+    /// Frozen records evicted by the store's byte budget (those flows
+    /// are gone for good; the next datagram is a fresh handshake).
+    pub evicted: AtomicU64,
+    /// Datagrams that failed verification against a thawed association
+    /// and therefore did NOT wake the flow (the record was re-frozen).
+    pub thaw_rejected: AtomicU64,
+    /// Paced chain renewals started.
+    pub renewals_started: AtomicU64,
+    /// Renewal deadlines deferred by the global token bucket.
+    pub renewals_deferred: AtomicU64,
+    /// Gauge: bytes currently charged against the frozen-record budget.
+    pub bytes_frozen: AtomicU64,
+    /// Gauge: flows currently hibernated.
+    pub flows_hibernated: AtomicU64,
+    /// Wake-from-hibernate latency (decode + thaw + first dispatch).
+    pub thaw_latency_us: Histogram,
+}
+
+impl StoreMetrics {
+    /// Snapshot as a JSON object.
+    #[must_use]
+    pub fn snapshot(&self) -> Value {
+        let ld = |a: &AtomicU64| Value::U64(a.load(Ordering::Relaxed));
+        Value::object([
+            ("frozen".to_owned(), ld(&self.frozen)),
+            ("thawed".to_owned(), ld(&self.thawed)),
+            ("evicted".to_owned(), ld(&self.evicted)),
+            ("thaw_rejected".to_owned(), ld(&self.thaw_rejected)),
+            ("renewals_started".to_owned(), ld(&self.renewals_started)),
+            ("renewals_deferred".to_owned(), ld(&self.renewals_deferred)),
+            ("bytes_frozen".to_owned(), ld(&self.bytes_frozen)),
+            ("flows_hibernated".to_owned(), ld(&self.flows_hibernated)),
+            (
+                "thaw_latency_us".to_owned(),
+                self.thaw_latency_us.snapshot(),
+            ),
+        ])
+    }
+}
+
 /// The engine's metrics registry. One instance per engine, shared by
 /// every worker through an `Arc`.
 #[derive(Default)]
@@ -438,6 +488,9 @@ pub struct EngineMetrics {
     /// Mesh forwarding counters (filled when the core runs as a mesh
     /// relay; all-zero otherwise).
     pub mesh: MeshMetrics,
+    /// Flow lifecycle store counters (hibernation; all-zero when
+    /// hibernation is disabled).
+    pub store: StoreMetrics,
 }
 
 impl EngineMetrics {
@@ -502,6 +555,7 @@ impl EngineMetrics {
             ("rtt_us".to_owned(), self.rtt_us.snapshot()),
             ("io".to_owned(), self.io.snapshot()),
             ("mesh".to_owned(), self.mesh.snapshot()),
+            ("store".to_owned(), self.store.snapshot()),
         ])
     }
 

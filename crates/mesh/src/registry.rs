@@ -45,6 +45,12 @@ pub struct MeshConfig {
     pub initial_rto_us: u64,
     /// Per-peer token-bucket budget in bytes/second (`None` = unlimited).
     pub peer_bytes_per_sec: Option<u64>,
+    /// Upper bound on the deterministic per-peer jitter added to each
+    /// idle probe interval (µs). Peers that joined together would
+    /// otherwise probe in lockstep forever, turning every interval tick
+    /// into a synchronized probe burst; the jitter is derived from the
+    /// peer address, so schedules stay reproducible. `0` disables it.
+    pub probe_jitter_us: u64,
 }
 
 impl Default for MeshConfig {
@@ -56,8 +62,17 @@ impl Default for MeshConfig {
             rto: AdaptConfig::default(),
             initial_rto_us: 200_000,
             peer_bytes_per_sec: None,
+            probe_jitter_us: 10_000,
         }
     }
+}
+
+/// Deterministic probe-phase jitter for `addr`: a stable hash of the
+/// address mapped into `[0, cfg.probe_jitter_us]`. Same address, same
+/// config → same jitter, every process, every run.
+#[must_use]
+pub fn probe_jitter_us(addr: SocketAddr, cfg: &MeshConfig) -> u64 {
+    alpha_store::mix64(alpha_engine::addr_hash(&addr)) % (cfg.probe_jitter_us + 1)
 }
 
 /// Where a peer sits relative to this node.
@@ -147,6 +162,9 @@ pub struct Peer {
     outstanding: Option<(u64, Timestamp)>,
     missed: u32,
     next_probe: Timestamp,
+    /// Deterministic per-peer phase offset added to every idle probe
+    /// interval (see [`probe_jitter_us`]).
+    jitter_us: u64,
     /// Engine counter row mirrored by the supervisor (None in sans-io
     /// uses like the simulator's standalone registries).
     pub counters: Option<std::sync::Arc<PeerCounters>>,
@@ -247,6 +265,7 @@ impl Registry {
             outstanding: None,
             missed: 0,
             next_probe: Timestamp::ZERO,
+            jitter_us: probe_jitter_us(addr, &self.cfg),
             counters: None,
         });
     }
@@ -316,7 +335,7 @@ impl Registry {
                 self.nonce_seq = self.nonce_seq.wrapping_add(1);
                 let nonce = self.nonce_seq;
                 p.outstanding = Some((nonce, now));
-                p.next_probe = now.plus_micros(cfg.probe_interval_us);
+                p.next_probe = now.plus_micros(cfg.probe_interval_us + p.jitter_us);
                 if let Some(c) = &p.counters {
                     c.probes_sent
                         .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -431,9 +450,31 @@ mod tests {
         let p = r.peer(addr(7)).unwrap();
         assert_eq!(p.health, PeerHealth::Up);
         assert_eq!(p.srtt_us(), Some(3_000));
-        // No re-probe before the interval elapses.
+        // No re-probe before the interval elapses; the next one lands
+        // within the interval plus the peer's deterministic jitter.
         assert!(r.poll(t0.plus_micros(50_000)).probes.is_empty());
-        assert_eq!(r.poll(t0.plus_micros(101_000)).probes.len(), 1);
+        let jitter = probe_jitter_us(addr(7), r.config());
+        assert!(r.poll(t0.plus_micros(99_999 + jitter)).probes.is_empty());
+        assert_eq!(r.poll(t0.plus_micros(101_000 + jitter)).probes.len(), 1);
+    }
+
+    #[test]
+    fn probe_jitter_is_deterministic_bounded_and_spreads_peers() {
+        let cfg = MeshConfig::default();
+        let j7 = probe_jitter_us(addr(7), &cfg);
+        assert_eq!(j7, probe_jitter_us(addr(7), &cfg), "stable per address");
+        assert!(j7 <= cfg.probe_jitter_us);
+        // A same-instant cohort fans out: distinct addresses land on
+        // distinct phases (deterministic, so assert the actual spread).
+        let phases: std::collections::HashSet<u64> =
+            (1..=16).map(|p| probe_jitter_us(addr(p), &cfg)).collect();
+        assert!(phases.len() > 8, "cohort did not spread: {phases:?}");
+        // Disabled jitter pins every peer to phase zero.
+        let flat = MeshConfig {
+            probe_jitter_us: 0,
+            ..MeshConfig::default()
+        };
+        assert_eq!(probe_jitter_us(addr(7), &flat), 0);
     }
 
     #[test]
