@@ -25,16 +25,29 @@ cargo test -q -p alpha-crypto --test backend_props
 echo "==> digest throughput bench smoke (release, --quick)"
 cargo run --release -p alpha-bench --bin digest_throughput -- --quick
 
-echo "==> udp backend equivalence (forced fallback, then auto-detected)"
-ALPHA_UDP_BACKEND=fallback cargo test -q -p alpha-transport
-cargo test -q -p alpha-transport
+# Every test that binds real loopback sockets runs in this one block,
+# serialized (--test-threads=1) so concurrent suites never race on the
+# host's ephemeral-port space or fight each other for the single CI
+# core mid-measurement. Each test binds port 0 (kernel-assigned unique
+# ports); serialization is about timing stability, not port collisions.
+echo "==> live loopback, serialized: udp backend equivalence (forced fallback, then auto)"
+ALPHA_UDP_BACKEND=fallback cargo test -q -p alpha-transport -- --test-threads=1
+cargo test -q -p alpha-transport -- --test-threads=1
+
+echo "==> live loopback, serialized: mesh relay e2e"
+cargo test -q --test mesh -- --test-threads=1
 
 echo "==> udp io bench smoke (release, --quick)"
 cargo run --release -p alpha-bench --bin udp_io -- --quick
 
+echo "==> loadgen smoke (live engine saturation over loopback, --quick)"
+cargo run --release -p alpha-cli --bin alpha -- loadgen --quick
+
+echo "==> engine scaling bench smoke (release, --quick; live >=1.5x speedup gate at min(host_cores,4) workers when host_cores >= 2)"
+cargo run --release -p alpha-bench --bin engine_scaling -- --quick
+
 echo "==> mesh: chained sim scenarios + per-hop verification tests"
 cargo test -q -p alpha-sim mesh_chain
-cargo test -q --test mesh
 
 echo "==> mesh: live 2-relay loopback smoke (release)"
 cargo run --release --example mesh_smoke
@@ -45,7 +58,7 @@ cargo run --release -p alpha-bench --bin mesh_chain -- --quick
 echo "==> hibernation: freeze/thaw decision-identity properties"
 cargo test -q -p alpha-core --test freeze_thaw
 
-echo "==> flow density bench smoke (release, --quick; gates >=10x assoc/GB and wake p99 < 1 ms)"
+echo "==> flow density bench smoke (release, --quick; gates >=10x assoc/GB and wake p99 < 2 ms)"
 cargo run --release -p alpha-bench --bin flow_density -- --quick
 
 echo "==> decoder robustness properties (release)"

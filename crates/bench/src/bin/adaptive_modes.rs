@@ -386,6 +386,12 @@ fn main() {
 
     let doc = Value::object([
         ("bench".to_owned(), Value::Str("adaptive_modes".to_owned())),
+        ("runtime_mode".to_owned(), Value::Str("model".to_owned())),
+        (
+            "host_cores".to_owned(),
+            Value::U64(alpha_bench::host_cores() as u64),
+        ),
+        ("workers".to_owned(), Value::U64(1)),
         (
             "digest_backend".to_owned(),
             Value::Str(alpha_crypto::backend::active().name().to_owned()),

@@ -318,6 +318,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"datapath\",");
+    let _ = writeln!(json, "  {},", alpha_bench::runtime_fields("model", 1));
     let _ = writeln!(
         json,
         "  \"digest_backend\": \"{}\",",

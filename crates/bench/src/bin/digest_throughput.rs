@@ -158,12 +158,6 @@ fn e2e_s2_per_sec(
     extracted as f64 / secs
 }
 
-fn host_cores() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let detected = backend::detect();
@@ -256,7 +250,7 @@ fn main() {
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"digest_throughput\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(json, "  \"host_cores\": {},", host_cores());
+    let _ = writeln!(json, "  {},", alpha_bench::runtime_fields("model", 1));
     let _ = writeln!(json, "  \"digest_backend\": \"{}\",", detected.name());
     let _ = writeln!(
         json,

@@ -19,7 +19,14 @@
 //! every flow's payloads, and only them, verify on that flow.
 //!
 //! Output: a table on stdout and `BENCH_engine_scaling.json` in the
-//! working directory.
+//! working directory. The JSON carries two sections: the makespan-model
+//! sweep above (`runtime_mode: "model"`) and a `live` section measured
+//! by the saturation load generator — real sender threads driving a
+//! real multi-worker engine over loopback sockets (`runtime_mode:
+//! "live"`), with `host_cores` recorded so nobody reads a parallel
+//! speedup off a single-core host. `--quick` shrinks the sweep for CI
+//! and skips the model-scaling assertions; the live >=1.5x speedup gate
+//! at min(host_cores, 4) workers runs whenever the host has >=2 cores.
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -210,20 +217,46 @@ fn run_config(traffic: &[FlowTraffic], workers: usize, cfg: Config) -> RunResult
     }
 }
 
-fn host_cores() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+/// One live (thread-parallel, real loopback sockets) measurement per
+/// worker count, via the saturation load generator.
+struct LiveRun {
+    report: alpha_transport::loadgen::LoadgenReport,
+}
+
+/// Drive the live engine through `alpha_transport::loadgen` at each
+/// worker count: N real sender threads saturating a real multi-worker
+/// engine, verified-S2 throughput measured after all handshakes.
+fn run_live(worker_counts: &[usize], quick: bool) -> Vec<LiveRun> {
+    use alpha_transport::loadgen::{run, LoadgenConfig};
+    let mut live = Vec::new();
+    for &workers in worker_counts {
+        let cfg = LoadgenConfig {
+            workers,
+            senders: 2,
+            flows_per_sender: 8,
+            duration: std::time::Duration::from_millis(if quick { 300 } else { 1000 }),
+            shards: SHARDS,
+            ..LoadgenConfig::default()
+        };
+        match run(&cfg) {
+            Ok(report) => live.push(LiveRun { report }),
+            Err(e) => panic!("live loadgen run at {workers} workers failed: {e}"),
+        }
+    }
+    live
 }
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
     let cfg = Config::new(Algorithm::Sha1).with_chain_len(64);
+    let flow_counts: &[usize] = if quick { &[1, 16, 256] } else { &FLOW_COUNTS };
+    let worker_counts: &[usize] = if quick { &[1, 2, 4] } else { &WORKER_COUNTS };
     let mut results: Vec<RunResult> = Vec::new();
     let mut rows = Vec::new();
 
-    for &flows in &FLOW_COUNTS {
+    for &flows in flow_counts {
         let traffic: Vec<FlowTraffic> = (0..flows).map(|i| generate_flow(i, cfg)).collect();
-        for &workers in &WORKER_COUNTS {
+        for &workers in worker_counts {
             if workers > flows {
                 continue;
             }
@@ -245,9 +278,10 @@ fn main() {
         &rows,
     );
 
-    // The acceptance ratio: aggregate throughput at 8 workers vs 1, at
-    // the largest flow count.
-    let max_flows = *FLOW_COUNTS.last().unwrap();
+    // The acceptance ratio: aggregate throughput at the largest worker
+    // count vs 1, at the largest flow count.
+    let max_flows = *flow_counts.last().unwrap();
+    let max_workers = *worker_counts.last().unwrap();
     let tput = |w: usize| {
         results
             .iter()
@@ -255,16 +289,51 @@ fn main() {
             .map(|r| r.aggregate_per_sec)
             .unwrap_or(0.0)
     };
-    let ratio = tput(8) / tput(1);
+    let ratio = tput(max_workers) / tput(1);
     println!(
-        "\n{max_flows} flows: {:.0} S2/s at 1 worker -> {:.0} S2/s at 8 workers ({ratio:.2}x)",
+        "\n{max_flows} flows: {:.0} S2/s at 1 worker -> {:.0} S2/s at {max_workers} workers \
+         ({ratio:.2}x)",
         tput(1),
-        tput(8)
+        tput(max_workers)
     );
     println!(
         "host cores: {} (multi-worker numbers are share-nothing projections)",
-        host_cores()
+        alpha_bench::host_cores()
     );
+
+    // Live runs: a real multi-worker engine saturated over loopback by
+    // real sender threads — true thread-parallel throughput, not a
+    // projection. Capped at min(host_cores, 4) beyond 1 worker on the
+    // speedup gate; the runs themselves always happen so the live path
+    // stays exercised.
+    let live_workers: Vec<usize> = worker_counts.iter().copied().filter(|&w| w <= 4).collect();
+    let live = run_live(&live_workers, quick);
+    let hc = alpha_bench::host_cores();
+    let gate_workers = hc.min(4);
+    let live_tput = |w: usize| {
+        live.iter()
+            .find(|l| l.report.workers == w)
+            .map(|l| l.report.s2_per_sec)
+            .unwrap_or(0.0)
+    };
+    for l in &live {
+        println!(
+            "live: {} workers -> {:.0} verified S2/s ({} exchanges, handoff in/out/overflow \
+             {}/{}/{}, contended locks {})",
+            l.report.workers,
+            l.report.s2_per_sec,
+            l.report.s2_verified,
+            l.report.io.handoff_in,
+            l.report.io.handoff_out,
+            l.report.io.handoff_overflow,
+            l.report.lock_contended,
+        );
+    }
+    let live_speedup = if live_tput(1) > 0.0 {
+        live_tput(gate_workers) / live_tput(1)
+    } else {
+        0.0
+    };
 
     // Hand-rolled JSON: stable layout, no serializer dependency needed.
     let mut json = String::new();
@@ -274,7 +343,12 @@ fn main() {
         json,
         "  \"model\": \"share-nothing makespan (sequential per-worker timing)\","
     );
-    let _ = writeln!(json, "  \"host_cores\": {},", host_cores());
+    let _ = writeln!(
+        json,
+        "  {},",
+        alpha_bench::runtime_fields("model", max_workers)
+    );
+    let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,
         "  \"digest_backend\": \"{}\",",
@@ -297,7 +371,26 @@ fn main() {
         "  \"assignment_policy\": \"{}\",",
         ShardAssignment::least_loaded(&[0], 1).policy_name()
     );
-    let _ = writeln!(json, "  \"speedup_8_workers_vs_1\": {ratio:.4},");
+    let _ = writeln!(
+        json,
+        "  \"speedup_{max_workers}_workers_vs_1\": {ratio:.4},"
+    );
+    let _ = writeln!(json, "  \"live\": {{");
+    let _ = writeln!(
+        json,
+        "    \"speedup_{gate_workers}_workers_vs_1\": {live_speedup:.4},"
+    );
+    let _ = writeln!(json, "    \"runs\": [");
+    for (i, l) in live.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {}{}",
+            l.report.json(),
+            if i + 1 == live.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"runs\": [");
     for (i, r) in results.iter().enumerate() {
         let per_worker: Vec<String> = r
@@ -324,10 +417,30 @@ fn main() {
     std::fs::write("BENCH_engine_scaling.json", &json).expect("write BENCH_engine_scaling.json");
     println!("wrote BENCH_engine_scaling.json");
 
-    assert!(
-        ratio >= 4.0,
-        "aggregate S2-verify throughput must scale >=4x from 1 to 8 workers, got {ratio:.2}x"
-    );
+    if !quick {
+        assert!(
+            ratio >= 4.0,
+            "aggregate S2-verify throughput must scale >=4x from 1 to 8 workers, got {ratio:.2}x"
+        );
+    }
+
+    // The live gate: at min(host_cores, 4) workers the real engine must
+    // beat a single worker by >=1.5x. Only meaningful when the host can
+    // actually run two workers in parallel — on fewer cores the live
+    // numbers measure timeslicing, so the gate is skipped (and says so).
+    if hc >= 2 {
+        assert!(
+            live_speedup >= 1.5,
+            "live engine at {gate_workers} workers must reach >=1.5x the single-worker \
+             verified-S2 rate, got {live_speedup:.2}x"
+        );
+        println!("live speedup at {gate_workers} workers: {live_speedup:.2}x (gate >=1.5x: pass)");
+    } else {
+        println!(
+            "live speedup gate skipped: host has {hc} core(s), cannot demonstrate \
+             parallel speedup (measured {live_speedup:.2}x at {gate_workers} workers)"
+        );
+    }
 
     // The shard-imbalance regression the least-loaded assignment fixes:
     // under modulo placement, 1024 flows ran *slower* at 8 workers than
@@ -340,10 +453,12 @@ fn main() {
             .map(|r| r.aggregate_per_sec)
             .unwrap_or(0.0)
     };
-    assert!(
-        tput_at(1024, 8) >= tput_at(1024, 4),
-        "1024 flows: 8 workers ({:.0} S2/s) regressed below 4 workers ({:.0} S2/s)",
-        tput_at(1024, 8),
-        tput_at(1024, 4)
-    );
+    if !quick {
+        assert!(
+            tput_at(1024, 8) >= tput_at(1024, 4),
+            "1024 flows: 8 workers ({:.0} S2/s) regressed below 4 workers ({:.0} S2/s)",
+            tput_at(1024, 8),
+            tput_at(1024, 4)
+        );
+    }
 }

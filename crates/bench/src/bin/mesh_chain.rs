@@ -210,6 +210,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"mesh_chain\",");
+    let _ = writeln!(json, "  {},", alpha_bench::runtime_fields("model", 1));
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(
         json,

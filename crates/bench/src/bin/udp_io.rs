@@ -431,12 +431,6 @@ fn run_share_nothing(
     }
 }
 
-fn host_cores() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (flows, exchanges) = if quick { (8, 16) } else { (64, 192) };
@@ -452,6 +446,17 @@ fn main() {
         backends.push(UdpBackend::Mmsg);
     }
 
+    // Live (wall-clock concurrent) reuseport runs are bounded by what
+    // the host can meaningfully parallelize; beyond that they measure
+    // timeslicing. Always include 2 workers so the live path itself is
+    // exercised end-to-end even on one core.
+    let live_cap = alpha_bench::host_cores().max(2);
+    println!(
+        "live reuseport runs up to {live_cap} workers (host has {} core(s)); \
+         larger counts are makespan-only",
+        alpha_bench::host_cores()
+    );
+
     let mut results: Vec<RunResult> = Vec::new();
     let mut rows = Vec::new();
     for &backend in &backends {
@@ -460,24 +465,34 @@ fn main() {
             // serialized syscalls are the baseline under test), so it is
             // always measured wall-clock. Multi-worker mmsg deploys
             // per-worker reuseport sockets — share-nothing, scored by
-            // sequential per-worker timing on this single-core host.
-            let r = if backend == UdpBackend::Mmsg && workers > 1 {
-                run_share_nothing(&traffic, backend, workers, cfg)
+            // sequential per-worker timing on single-core hosts, *and*
+            // additionally run live (all worker threads concurrent over
+            // their own reuseport sockets) up to `live_cap` workers so
+            // the JSON records both the makespan projection and a true
+            // thread-parallel measurement.
+            let mut runs = Vec::new();
+            if backend == UdpBackend::Mmsg && workers > 1 {
+                runs.push(run_share_nothing(&traffic, backend, workers, cfg));
+                if workers <= live_cap {
+                    runs.push(run_wall_clock(&traffic, backend, workers, cfg));
+                }
             } else {
-                run_wall_clock(&traffic, backend, workers, cfg)
-            };
-            rows.push(vec![
-                backend.name().to_string(),
-                workers.to_string(),
-                if r.per_worker_sockets { "yes" } else { "no" }.to_string(),
-                r.model.to_string(),
-                r.relayed.to_string(),
-                r.drops.to_string(),
-                format!("{:.1}", r.elapsed_secs * 1e3),
-                format!("{:.0}", r.relayed_per_sec),
-                format!("{:.1}", r.datagrams_per_recv),
-            ]);
-            results.push(r);
+                runs.push(run_wall_clock(&traffic, backend, workers, cfg));
+            }
+            for r in runs {
+                rows.push(vec![
+                    backend.name().to_string(),
+                    workers.to_string(),
+                    if r.per_worker_sockets { "yes" } else { "no" }.to_string(),
+                    r.model.to_string(),
+                    r.relayed.to_string(),
+                    r.drops.to_string(),
+                    format!("{:.1}", r.elapsed_secs * 1e3),
+                    format!("{:.0}", r.relayed_per_sec),
+                    format!("{:.1}", r.datagrams_per_recv),
+                ]);
+                results.push(r);
+            }
         }
     }
 
@@ -528,7 +543,7 @@ fn main() {
     println!(
         "host cores: {} (reuseport configs scored by sequential per-worker timing, \
          like engine_scaling)",
-        host_cores()
+        alpha_bench::host_cores()
     );
 
     let mut json = String::new();
@@ -540,7 +555,11 @@ fn main() {
          shared-socket fallback wall-clock, reuseport share-nothing makespan \
          (sequential per-worker timing)\","
     );
-    let _ = writeln!(json, "  \"host_cores\": {},", host_cores());
+    let _ = writeln!(
+        json,
+        "  {},",
+        alpha_bench::runtime_fields("model", max_workers)
+    );
     let _ = writeln!(
         json,
         "  \"digest_backend\": \"{}\",",
@@ -578,7 +597,7 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"backend\": \"{}\", \"workers\": {}, \"per_worker_sockets\": {}, \
-             \"model\": \"{}\", \
+             \"model\": \"{}\", \"runtime_mode\": \"{}\", \
              \"relayed\": {}, \"drops\": {}, \"elapsed_secs\": {:.6}, \
              \"relayed_per_sec\": {:.1}, \
              \"recv_calls\": {}, \"send_calls\": {}, \"datagrams_per_recv\": {:.3}, \
@@ -587,6 +606,11 @@ fn main() {
             r.workers,
             r.per_worker_sockets,
             r.model,
+            if r.model == "wall-clock" {
+                "live"
+            } else {
+                "model"
+            },
             r.relayed,
             r.drops,
             r.elapsed_secs,

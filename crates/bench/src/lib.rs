@@ -71,6 +71,35 @@ pub fn us(ns: f64) -> String {
     format!("{:.0}", ns / 1e3)
 }
 
+/// Number of cores this host can actually run in parallel.
+#[must_use]
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// The standard provenance fragment every `BENCH_*.json` carries:
+/// `"runtime_mode": …, "host_cores": …, "workers": …` (no surrounding
+/// braces, no trailing comma).
+///
+/// `runtime_mode` is `"model"` when the numbers come from sequential
+/// single-thread timing (device scaling, makespan projection) and
+/// `"live"` when real threads ran concurrently over real sockets;
+/// `host_cores` lets a reader judge whether a live number could have
+/// exhibited parallelism at all, and `workers` is the worker/thread
+/// count the artifact was produced with (1 for single-threaded
+/// benches).
+#[must_use]
+pub fn runtime_fields(runtime_mode: &str, workers: usize) -> String {
+    assert!(
+        runtime_mode == "model" || runtime_mode == "live",
+        "runtime_mode is 'model' or 'live', got '{runtime_mode}'"
+    );
+    format!(
+        "\"runtime_mode\": \"{runtime_mode}\", \"host_cores\": {}, \"workers\": {workers}",
+        host_cores()
+    )
+}
+
 /// Resolved chain-storage label for a bench run, honouring the
 /// `ALPHA_CHAIN_STORAGE` override exactly like the engine does. Every
 /// `BENCH_*.json` records this next to `digest_backend`/`udp_backend`

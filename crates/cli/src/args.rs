@@ -147,6 +147,28 @@ pub enum Command {
         /// Print the raw JSON snapshot instead of the table.
         json: bool,
     },
+    /// `alpha loadgen [--workers N] [--senders N] [--flows N]
+    ///  [--payload BYTES] [--seconds N] [--shards N] [--quick] [--json]`
+    /// — saturate a live loopback engine and print verified-S2
+    /// throughput.
+    Loadgen {
+        /// Server worker threads.
+        workers: usize,
+        /// Sender threads (each with its own socket and client engine).
+        senders: usize,
+        /// Concurrent flows per sender.
+        flows: usize,
+        /// Payload bytes per exchange.
+        payload: usize,
+        /// Measurement window in seconds (fractions allowed).
+        seconds: f64,
+        /// Server flow-table shards.
+        shards: usize,
+        /// Use the small sub-second CI preset as the baseline.
+        quick: bool,
+        /// Print the report as one JSON object instead of a summary.
+        json: bool,
+    },
     /// `alpha help` or `--help` anywhere.
     Help,
 }
@@ -502,6 +524,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
                 other => err(format!("unknown mesh verb '{other}' (serve|peers)")),
             }
         }
+        "loadgen" => {
+            let (pos, flags) = split(rest, &["quick", "json"])?;
+            if !pos.is_empty() {
+                return err(format!(
+                    "loadgen takes no positional arguments, got '{}'",
+                    pos[0]
+                ));
+            }
+            let quick = flags.contains_key("quick");
+            let (d_workers, d_senders, d_flows, d_seconds) = if quick {
+                (2, 2, 8, 0.5)
+            } else {
+                (4, 4, 16, 2.0)
+            };
+            Ok(Command::Loadgen {
+                workers: get_num(&flags, "workers", d_workers)?,
+                senders: get_num(&flags, "senders", d_senders)?,
+                flows: get_num(&flags, "flows", d_flows)?,
+                payload: get_num(&flags, "payload", 256)?,
+                seconds: get_num(&flags, "seconds", d_seconds)?,
+                shards: get_num(&flags, "shards", 64)?,
+                quick,
+                json: flags.contains_key("json"),
+            })
+        }
         "trace" => {
             let (pos, _flags) = split(rest, &[])?;
             let [file] = pos.as_slice() else {
@@ -563,6 +610,8 @@ USAGE:
                [--peer-budget BYTES] [--seconds N] [--alg A]
                [--mac hmac|prefix] [--reliable] [--open]
   alpha mesh peers ADDR [--timeout-ms N] [--json]
+  alpha loadgen [--workers N] [--senders N] [--flows N] [--payload BYTES]
+               [--seconds N] [--shards N] [--quick] [--json]
   alpha trace FILE|-   (summarize a JSON-lines trace from 'alpha sim --trace')
   alpha sim [--relays N] [--messages N] [--batch N] [--mode base|c|m|cm]
             [--loss P] [--alg A] [--reliable] [--mac hmac|prefix]
@@ -579,6 +628,12 @@ EXAMPLES:
   alpha mesh serve 0.0.0.0:7100 --upstream 192.0.2.1:7000 \\
         --next-hop 192.0.2.9:7200,192.0.2.10:7200 --source 192.0.2.1:7000
   alpha mesh peers 192.0.2.9:7100
+  alpha loadgen --workers 4 --senders 4 --seconds 5 --json
+
+'alpha loadgen' saturates a live multi-worker engine over loopback:
+N sender threads each drive concurrent flows through full S1/A1/S2
+exchanges, and the verified-S2 rate is measured only after every flow
+has finished its handshake.
 
 A mesh relay verifies every hop: it only accepts S2 traffic from its
 registered --upstream peers (the paper's static-relay-set defense),
@@ -852,6 +907,54 @@ mod tests {
         assert!(parse_args(&v(&["mesh", "probe"])).is_err());
         // A relay with no peers at all is a configuration error.
         assert!(parse_args(&v(&["mesh", "serve", "0.0.0.0:7100"])).is_err());
+    }
+
+    #[test]
+    fn loadgen_parses_with_quick_defaults() {
+        let cmd = parse_args(&v(&["loadgen", "--quick"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Loadgen {
+                workers: 2,
+                senders: 2,
+                flows: 8,
+                payload: 256,
+                seconds: 0.5,
+                shards: 64,
+                quick: true,
+                json: false,
+            }
+        );
+        let cmd = parse_args(&v(&[
+            "loadgen",
+            "--workers",
+            "8",
+            "--senders",
+            "3",
+            "--seconds",
+            "1.5",
+            "--json",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Loadgen {
+                workers,
+                senders,
+                seconds,
+                json,
+                quick,
+                ..
+            } => {
+                assert_eq!(workers, 8);
+                assert_eq!(senders, 3);
+                assert!((seconds - 1.5).abs() < 1e-9);
+                assert!(json);
+                assert!(!quick);
+            }
+            _ => panic!(),
+        }
+        assert!(parse_args(&v(&["loadgen", "extra"])).is_err());
+        assert!(parse_args(&v(&["loadgen", "--workers", "many"])).is_err());
     }
 
     #[test]

@@ -408,6 +408,80 @@ pub fn mesh_peers(addr: &str, timeout_ms: u64, raw_json: bool) -> Result<(), Cli
     Ok(())
 }
 
+/// `alpha loadgen` — saturate a live loopback engine and report
+/// verified-S2 throughput.
+#[allow(clippy::too_many_arguments)]
+pub fn loadgen(
+    workers: usize,
+    senders: usize,
+    flows: usize,
+    payload: usize,
+    seconds: f64,
+    shards: usize,
+    quick: bool,
+    raw_json: bool,
+) -> Result<(), CliError> {
+    use alpha_transport::loadgen::{host_cores, run, LoadgenConfig};
+    let base = if quick {
+        LoadgenConfig::quick()
+    } else {
+        LoadgenConfig::default()
+    };
+    let cfg = LoadgenConfig {
+        workers: workers.max(1),
+        senders: senders.max(1),
+        flows_per_sender: flows.max(1),
+        payload,
+        duration: Duration::from_secs_f64(seconds.max(0.05)),
+        shards: shards.max(1),
+        ..base
+    };
+    if !raw_json {
+        eprintln!(
+            "loadgen: {} workers, {} senders x {} flows, {} B payload, {:.1}s window \
+             (host has {} core(s))…",
+            cfg.workers,
+            cfg.senders,
+            cfg.flows_per_sender,
+            cfg.payload,
+            cfg.duration.as_secs_f64(),
+            host_cores(),
+        );
+    }
+    let report = run(&cfg)?;
+    if raw_json {
+        println!("{}", report.json());
+        return Ok(());
+    }
+    println!(
+        "live verified-S2 throughput: {:.0}/s ({} exchanges in {:.2}s, {} flows, {} workers)",
+        report.s2_per_sec,
+        report.s2_verified,
+        report.elapsed.as_secs_f64(),
+        report.flows,
+        report.workers,
+    );
+    println!(
+        "handoff: in={} out={} overflow={}  lock_contended={}  reuseport={}  backend={}",
+        report.io.handoff_in,
+        report.io.handoff_out,
+        report.io.handoff_overflow,
+        report.lock_contended,
+        report.reuseport,
+        report.udp_backend,
+    );
+    if report.host_cores < 2 {
+        println!("note: host has 1 core; this number is concurrency, not parallel speedup");
+    }
+    if report.sign_errors > 0 {
+        return Err(format!("{} client-side signing errors", report.sign_errors).into());
+    }
+    if report.s2_verified == 0 {
+        return Err("live engine verified no S2 exchanges".into());
+    }
+    Ok(())
+}
+
 /// `alpha engine stats`.
 pub fn engine_stats(addr: &str, timeout_ms: u64, raw_json: bool) -> Result<(), CliError> {
     use std::net::ToSocketAddrs;

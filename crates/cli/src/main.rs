@@ -97,6 +97,18 @@ fn main() {
             timeout_ms,
             json,
         } => commands::mesh_peers(addr, *timeout_ms, *json),
+        Command::Loadgen {
+            workers,
+            senders,
+            flows,
+            payload,
+            seconds,
+            shards,
+            quick,
+            json,
+        } => commands::loadgen(
+            *workers, *senders, *flows, *payload, *seconds, *shards, *quick, *json,
+        ),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

@@ -7,6 +7,16 @@
 //! [`ChainStorage::Dyadic`] pebbling (O(log n) space) above a length
 //! threshold, mirroring how the digest and UDP backends self-select.
 //!
+//! Between those extremes sits the warm-flow regime the engine actually
+//! lives in: long-lived flows at the default chain length (1024). Full
+//! storage there costs ~40 KiB per flow (two chains × 1025 SHA-1
+//! digests) — at the measured ~14k hot flows/GB that is over half the
+//! hot-flow footprint — while √n checkpointing stores ~33 digests per
+//! chain (~1.3 KiB/flow) and amortizes to at most ⌈√n⌉ = 32 extra
+//! hashes per disclosure. So chains in `[SQRT_THRESHOLD,
+//! DYADIC_THRESHOLD)` default to [`ChainStorage::Sqrt`]: the default
+//! engine config now pebbles instead of keeping every element resident.
+//!
 //! The `ALPHA_CHAIN_STORAGE` environment variable overrides the choice
 //! for operators and benchmarks (`full` | `sqrt` | `dyadic`), exactly
 //! like `ALPHA_DIGEST_BACKEND` / `ALPHA_UDP_BACKEND`. It is read once
@@ -19,6 +29,15 @@ use alpha_core::{ChainStorage, Config};
 /// Chains at or above this length default to dyadic pebbling when the
 /// caller left storage at [`ChainStorage::Full`].
 pub const DYADIC_THRESHOLD: u64 = 4096;
+
+/// Chains at or above this length (and below [`DYADIC_THRESHOLD`])
+/// default to √n checkpointing when the caller left storage at
+/// [`ChainStorage::Full`]. Set at the engine's default chain length on
+/// purpose: warm long-lived flows are exactly the population whose
+/// resident chain bytes dominate memory (~40 KiB/flow Full vs
+/// ~1.3 KiB/flow Sqrt at 1024 elements) while the recompute cost stays
+/// bounded at ⌈√n⌉ hashes per disclosure.
+pub const SQRT_THRESHOLD: u64 = 1024;
 
 /// Stable label for a [`ChainStorage`] variant, used by `engine stats`
 /// and every `BENCH_*.json` emitter.
@@ -50,18 +69,23 @@ fn env_override() -> Option<ChainStorage> {
     })
 }
 
-/// Pure selection rule: an explicit override wins; otherwise chains of
-/// [`DYADIC_THRESHOLD`] elements or more that would use the default
-/// [`ChainStorage::Full`] are switched to [`ChainStorage::Dyadic`].
-/// A non-default storage choice by the caller is always respected.
+/// Pure selection rule: an explicit override wins; otherwise a default
+/// [`ChainStorage::Full`] is upgraded by length — `[SQRT_THRESHOLD,
+/// DYADIC_THRESHOLD)` picks [`ChainStorage::Sqrt`], `DYADIC_THRESHOLD`
+/// and above picks [`ChainStorage::Dyadic`]. A non-default storage
+/// choice by the caller is always respected.
 #[must_use]
 pub fn resolve_with(mut protocol: Config, env: Option<ChainStorage>) -> Config {
     if let Some(storage) = env {
         protocol.chain_storage = storage;
         return protocol;
     }
-    if protocol.chain_storage == ChainStorage::Full && protocol.chain_len >= DYADIC_THRESHOLD {
-        protocol.chain_storage = ChainStorage::Dyadic;
+    if protocol.chain_storage == ChainStorage::Full {
+        if protocol.chain_len >= DYADIC_THRESHOLD {
+            protocol.chain_storage = ChainStorage::Dyadic;
+        } else if protocol.chain_len >= SQRT_THRESHOLD {
+            protocol.chain_storage = ChainStorage::Sqrt;
+        }
     }
     protocol
 }
@@ -82,6 +106,29 @@ mod tests {
     fn short_chains_keep_full_storage() {
         let c = resolve_with(Config::new(Algorithm::Sha1).with_chain_len(64), None);
         assert_eq!(c.chain_storage, ChainStorage::Full);
+        let c = resolve_with(
+            Config::new(Algorithm::Sha1).with_chain_len(SQRT_THRESHOLD - 2),
+            None,
+        );
+        assert_eq!(c.chain_storage, ChainStorage::Full);
+    }
+
+    #[test]
+    fn default_length_warm_flows_pick_sqrt() {
+        // The regression this pins: the engine's *default* protocol
+        // config (chain_len = 1024) must not keep every chain element
+        // resident for long-lived flows.
+        let default_cfg = Config::new(Algorithm::Sha1);
+        assert_eq!(default_cfg.chain_len, SQRT_THRESHOLD, "default moved?");
+        let c = resolve_with(default_cfg, None);
+        assert_eq!(c.chain_storage, ChainStorage::Sqrt);
+        // Boundary pins for the whole ladder.
+        let at = |len: u64| {
+            resolve_with(Config::new(Algorithm::Sha1).with_chain_len(len), None).chain_storage
+        };
+        assert_eq!(at(SQRT_THRESHOLD), ChainStorage::Sqrt);
+        assert_eq!(at(DYADIC_THRESHOLD - 2), ChainStorage::Sqrt);
+        assert_eq!(at(DYADIC_THRESHOLD), ChainStorage::Dyadic);
     }
 
     #[test]
@@ -93,6 +140,38 @@ mod tests {
         assert_eq!(c.chain_storage, ChainStorage::Dyadic);
         let c = resolve_with(Config::new(Algorithm::Sha1).with_chain_len(1 << 16), None);
         assert_eq!(c.chain_storage, ChainStorage::Dyadic);
+    }
+
+    #[test]
+    fn sqrt_decision_identity_at_default_length() {
+        // Storage is a space/time trade only: a Sqrt chain must
+        // disclose byte-identical elements to a Full chain from the
+        // same seed, and a verifier anchored on one must accept the
+        // other's disclosures. If this breaks, the auto-select above
+        // silently changes what goes on the wire.
+        use alpha_crypto::chain::{ChainKind, ChainVerifier, HashChain, Role};
+        let len = SQRT_THRESHOLD;
+        let kind = ChainKind::RoleBoundSignature;
+        let mut full = HashChain::from_seed(Algorithm::Sha1, kind, len, b"warm");
+        let mut sqrt = HashChain::from_seed_compact(Algorithm::Sha1, kind, len, b"warm");
+        assert_eq!(full.anchor(), sqrt.anchor());
+        let mut verifier =
+            ChainVerifier::new(Algorithm::Sha1, kind, sqrt.anchor(), sqrt.anchor_index());
+        let mut pairs = 0u64;
+        while let Ok(f) = full.disclose_pair() {
+            let s = sqrt.disclose_pair().expect("sqrt pair in lockstep");
+            assert_eq!(f, s);
+            let ((ai, a), (ki, k)) = s;
+            verifier
+                .accept_role(ai, &a, Role::Announce)
+                .expect("announce");
+            verifier
+                .accept_role(ki, &k, Role::Disclose)
+                .expect("disclose");
+            pairs += 1;
+        }
+        assert!(sqrt.disclose_pair().is_err(), "chain exhausted in lockstep");
+        assert!(pairs >= len / 2 - 1, "walked the whole chain: {pairs}");
     }
 
     #[test]

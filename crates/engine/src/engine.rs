@@ -49,7 +49,7 @@ use crate::backoff::Backoff;
 use crate::chainstore;
 use crate::mesh;
 use crate::metrics::{EngineMetrics, PeerCounters};
-use crate::shard::{addr_hash, jump_hash, FlowKey, Sharded};
+use crate::shard::{addr_hash, jump_hash, FlowKey, ShardOwners, Sharded};
 use crate::timer::TimerWheel;
 
 /// Engine-level tunables. Protocol behaviour stays in the wrapped
@@ -96,6 +96,11 @@ pub struct EngineConfig {
     /// Schedule a paced chain renewal when a host flow's signer chain
     /// has at most this many exchanges left.
     pub renew_below: u64,
+    /// Capacity (datagrams) of each cross-worker handoff ring in the
+    /// live runtime. When a ring is full the receiving worker processes
+    /// the datagram itself under the shard lock (counted in
+    /// `handoff_overflow`) rather than stall or drop.
+    pub handoff_ring: usize,
 }
 
 impl EngineConfig {
@@ -119,6 +124,7 @@ impl EngineConfig {
             frozen_budget: Some(256 << 20),
             pacer: PacerConfig::default(),
             renew_below: 8,
+            handoff_ring: 1024,
         }
     }
 
@@ -182,6 +188,13 @@ impl EngineConfig {
     #[must_use]
     pub fn with_renew_below(mut self, exchanges: u64) -> EngineConfig {
         self.renew_below = exchanges;
+        self
+    }
+
+    /// Set the per-pair handoff ring capacity (datagrams).
+    #[must_use]
+    pub fn with_handoff_ring(mut self, capacity: usize) -> EngineConfig {
+        self.handoff_ring = capacity.max(2);
         self
     }
 }
@@ -398,6 +411,16 @@ pub struct EngineCore {
     store: Mutex<FrozenStore<FlowKey>>,
     /// Global renewal token bucket + per-flow jitter source.
     pacer: Mutex<RenewalPacer>,
+    /// First-receiver-wins shard ownership: the worker whose
+    /// SO_REUSEPORT socket the kernel steers a flow's datagrams to
+    /// claims the flow's shard with one CAS and owns it end-to-end
+    /// (datagram handling + timer polling). RSS-mismatched datagrams
+    /// are handed to the owner through bounded rings by the transport
+    /// layer, so on the steady state each shard has a single toucher.
+    owners: ShardOwners,
+    /// True once any relay route exists. Host-only engines (the common
+    /// deployment) skip the `routes` read lock on every datagram.
+    has_routes: AtomicBool,
     metrics: EngineMetrics,
 }
 
@@ -441,6 +464,8 @@ impl EngineCore {
             mesh_active: AtomicBool::new(false),
             store: Mutex::new(FrozenStore::new(cfg.frozen_budget)),
             pacer: Mutex::new(RenewalPacer::new(cfg.pacer)),
+            owners: ShardOwners::new(cfg.shards),
+            has_routes: AtomicBool::new(false),
             metrics: EngineMetrics::new(),
         }
     }
@@ -481,6 +506,7 @@ impl EngineCore {
         let mut routes = self.routes.write();
         routes.insert(a, b);
         routes.insert(b, a);
+        self.has_routes.store(true, Ordering::Release);
     }
 
     // ------------------------------------------------------------------
@@ -609,7 +635,7 @@ impl EngineCore {
         // Phase 2: extract affected flows under each shard lock.
         let mut moved: Vec<(FlowKey, FlowKey, FlowEntry)> = Vec::new();
         for idx in 0..self.shards.len() {
-            let mut shard = self.shards.shard(idx).write();
+            let mut shard = self.shards.write(idx);
             let candidates: Vec<FlowKey> = shard
                 .flows
                 .iter()
@@ -651,7 +677,7 @@ impl EngineCore {
                 }
             }
             let idx = self.shard_index(&key);
-            let mut shard = self.shards.shard(idx).write();
+            let mut shard = self.shards.write(idx);
             let due = match &entry.state {
                 FlowState::Connecting { next_resend, .. } => Some(*next_resend),
                 FlowState::Host { assoc, .. } => assoc.poll_at(),
@@ -678,11 +704,44 @@ impl EngineCore {
     /// this to demux datagrams to workers without parsing them.
     #[must_use]
     pub fn shard_of_source(&self, from: SocketAddr) -> usize {
-        let addr = match self.routes.read().get(&from) {
-            Some(&dst) => canonical(from, dst),
-            None => from,
+        // Host-only engines never have routes: one relaxed-ish load
+        // instead of a read lock on every received datagram.
+        let addr = if self.has_routes.load(Ordering::Acquire) {
+            match self.routes.read().get(&from) {
+                Some(&dst) => canonical(from, dst),
+                None => from,
+            }
+        } else {
+            from
         };
         jump_hash(addr_hash(&addr), self.shards.len() as u32) as usize
+    }
+
+    /// Claim `shard` for `worker` (first receiver wins); returns the
+    /// resulting owner. Workers call this on the first datagram they
+    /// receive for a shard — kernel RSS thereby becomes the
+    /// partitioner.
+    pub fn claim_shard(&self, shard: usize, worker: u32) -> u32 {
+        self.owners.claim(shard, worker)
+    }
+
+    /// Current owner of `shard`, or `None` when unclaimed.
+    #[must_use]
+    pub fn shard_owner(&self, shard: usize) -> Option<u32> {
+        self.owners.owner(shard)
+    }
+
+    /// Release `shard` if `worker` owns it (worker drain, reroute).
+    pub fn release_shard(&self, shard: usize, worker: u32) -> bool {
+        self.owners.release(shard, worker)
+    }
+
+    /// Contended shard-lock acquisitions since start (see
+    /// [`Sharded::contended`]): the live runtime's "zero shared locks
+    /// on the owned steady-state path" claim, as a counter.
+    #[must_use]
+    pub fn lock_contended(&self) -> u64 {
+        self.shards.contended()
     }
 
     /// Number of shards.
@@ -770,7 +829,7 @@ impl EngineCore {
             assoc_id: assoc.assoc_id(),
         };
         let idx = self.shard_index(&key);
-        let mut shard = self.shards.shard(idx).write();
+        let mut shard = self.shards.write(idx);
         let poll_at = assoc.poll_at();
         let idle_deadline = self.idle_deadline_from(now);
         shard.flows.insert(
@@ -817,7 +876,7 @@ impl EngineCore {
         let next_resend = now.plus_micros(backoff.next_delay(rng).as_micros() as u64);
         let idx = self.shard_index(&key);
         {
-            let mut shard = self.shards.shard(idx).write();
+            let mut shard = self.shards.write(idx);
             shard.flows.insert(
                 key,
                 FlowEntry {
@@ -843,7 +902,7 @@ impl EngineCore {
     /// frozen record is discarded with it.
     pub fn remove_flow(&self, key: FlowKey) -> bool {
         let idx = self.shard_index(&key);
-        let removed = self.shards.shard(idx).write().flows.remove(&key);
+        let removed = self.shards.write(idx).flows.remove(&key);
         if let Some(entry) = &removed {
             match entry.state {
                 FlowState::Relay { buffered, .. } => {
@@ -882,7 +941,7 @@ impl EngineCore {
         f: impl FnOnce(&mut Association) -> R,
     ) -> Option<R> {
         let idx = self.shard_index(&key);
-        let mut shard = self.shards.shard(idx).write();
+        let mut shard = self.shards.write(idx);
         match shard.flows.get_mut(&key) {
             Some(FlowEntry {
                 state: FlowState::Host { assoc, .. },
@@ -938,7 +997,7 @@ impl EngineCore {
     ) -> Result<(usize, EngineOutput), EngineError> {
         let mut out = EngineOutput::default();
         let idx = self.shard_index(&key);
-        let mut guard = self.shards.shard(idx).write();
+        let mut guard = self.shards.write(idx);
         let shard = &mut *guard;
         let Some(entry) = shard.flows.get_mut(&key) else {
             return Err(EngineError::UnknownFlow(key));
@@ -979,7 +1038,7 @@ impl EngineCore {
     /// flows, non-host flows, or engines without adaptation.
     pub fn with_adapt<R>(&self, key: FlowKey, f: impl FnOnce(&FlowAdapt) -> R) -> Option<R> {
         let idx = self.shard_index(&key);
-        let shard = self.shards.shard(idx).read();
+        let shard = self.shards.read(idx);
         match shard.flows.get(&key) {
             Some(FlowEntry {
                 state: FlowState::Host { adapt: Some(a), .. },
@@ -1108,7 +1167,7 @@ impl EngineCore {
                 }
             }
         }
-        let shard = self.shards.shard(shard_idx).read();
+        let shard = self.shards.read(shard_idx);
         if let Some(entry) = shard.flows.get(key) {
             if !entry.limiter.allow(wire_len as u64, now) {
                 self.metrics.admission_drops.fetch_add(1, Ordering::Relaxed);
@@ -1236,7 +1295,7 @@ impl EngineCore {
         if !self.admit(idx, &key, view.packet_type(), slice.len(), now) {
             return;
         }
-        let mut shard = self.shards.shard(idx).write();
+        let mut shard = self.shards.write(idx);
         let entry = shard
             .flows
             .entry(key)
@@ -1346,7 +1405,7 @@ impl EngineCore {
             .zip(&admitted)
             .find(|&(_, &a)| a)
             .map_or(0, |(s, _)| s.len());
-        let mut shard = self.shards.shard(idx).write();
+        let mut shard = self.shards.write(idx);
         let entry = shard
             .flows
             .entry(key)
@@ -1429,7 +1488,7 @@ impl EngineCore {
             Hibernated,
             Relay,
         }
-        let kind = match self.shards.shard(idx).read().flows.get(&key) {
+        let kind = match self.shards.read(idx).flows.get(&key) {
             None => Kind::Missing,
             Some(e) => match e.state {
                 FlowState::Connecting { .. } => Kind::Connecting,
@@ -1460,7 +1519,7 @@ impl EngineCore {
         rng: &mut dyn RngCore,
         out: &mut EngineOutput,
     ) {
-        let mut guard = self.shards.shard(idx).write();
+        let mut guard = self.shards.write(idx);
         let shard = &mut *guard;
         let Some(FlowEntry {
             state:
@@ -1594,7 +1653,7 @@ impl EngineCore {
         // Wall-clock latency of the wake itself (metrics only; protocol
         // decisions still run on the caller-supplied Timestamp).
         let wake_timer = std::time::Instant::now();
-        let mut guard = self.shards.shard(idx).write();
+        let mut guard = self.shards.write(idx);
         let shard = &mut *guard;
         match shard.flows.get(&key).map(|e| &e.state) {
             Some(FlowState::Hibernated) => {}
@@ -1815,7 +1874,7 @@ impl EngineCore {
     fn reap_evicted(&self, evicted: Vec<(FlowKey, Vec<u8>)>) {
         for (key, _record) in evicted {
             let idx = self.shard_index(&key);
-            let mut shard = self.shards.shard(idx).write();
+            let mut shard = self.shards.write(idx);
             if matches!(
                 shard.flows.get(&key).map(|e| &e.state),
                 Some(FlowState::Hibernated)
@@ -1854,7 +1913,7 @@ impl EngineCore {
                 let idx = self.shard_index(&key);
                 let limiter = SharedS1Limiter::new(self.cfg.s1_bytes_per_sec);
                 limiter.allow(wire_len as u64, now); // charge the HS1
-                let mut shard = self.shards.shard(idx).write();
+                let mut shard = self.shards.write(idx);
                 let idle_deadline = self.idle_deadline_from(now);
                 shard.flows.insert(
                     key,
@@ -1901,7 +1960,7 @@ impl EngineCore {
             self.metrics.record_drop(DropReason::Unsolicited);
             return;
         }
-        let mut shard = self.shards.shard(idx).write();
+        let mut shard = self.shards.write(idx);
         let Some(entry) = shard.flows.get_mut(&key) else {
             return; // reaped by the retry budget in the meantime
         };
@@ -1993,7 +2052,7 @@ impl EngineCore {
             return;
         }
         let mut fired = Vec::new();
-        let mut guard = self.shards.shard(idx).write();
+        let mut guard = self.shards.write(idx);
         let shard = &mut *guard;
         shard.wheel.advance(now, &mut fired);
         if fired.is_empty() {
@@ -2220,7 +2279,37 @@ impl EngineCore {
                 "adapt_flows".to_owned(),
                 serde::Value::Array(self.adapt_snapshots(64)),
             ),
+            ("runtime".to_owned(), self.runtime_snapshot()),
             ("metrics".to_owned(), self.metrics.snapshot()),
+        ])
+    }
+
+    /// Live-runtime ownership + lock-discipline snapshot: which worker
+    /// owns each shard (null = unclaimed) and how many counted lock
+    /// acquisitions ever found a shard held by another thread. A
+    /// healthy share-nothing runtime keeps `lock_contended` at (or
+    /// within noise of) zero.
+    fn runtime_snapshot(&self) -> serde::Value {
+        let owners = self.owners.snapshot();
+        let claimed = owners.iter().filter(|o| o.is_some()).count() as u64;
+        serde::Value::object([
+            (
+                "lock_contended".to_owned(),
+                serde::Value::U64(self.shards.contended()),
+            ),
+            ("shards_claimed".to_owned(), serde::Value::U64(claimed)),
+            (
+                "shard_owners".to_owned(),
+                serde::Value::Array(
+                    owners
+                        .into_iter()
+                        .map(|o| match o {
+                            Some(w) => serde::Value::U64(u64::from(w)),
+                            None => serde::Value::Null,
+                        })
+                        .collect(),
+                ),
+            ),
         ])
     }
 
@@ -2325,6 +2414,81 @@ mod tests {
         assert_eq!(from_server.delivered[0].2, b"engine hello");
         assert!(client.flow_is_idle(key), "exchange finished");
         assert_eq!(client.metrics().rtt_us.count(), 1, "RTT sampled");
+    }
+
+    #[test]
+    fn owned_steady_state_s2_path_zero_contended_locks() {
+        // The share-nothing claim, pinned: when the receiving worker
+        // owns the flow's shard (single-toucher via handoff rings), the
+        // steady-state S2 verify path acquires zero *shared* (blocking,
+        // contended) locks — and in debug builds the per-thread lock
+        // counter bounds the uncontended CAS acquisitions to the
+        // documented budget of at most two per datagram (kind peek +
+        // state update).
+        let client = EngineCore::new(cfg());
+        let server = EngineCore::new(cfg());
+        let ca = addr(1310);
+        let sa = addr(2310);
+        let mut rng = StdRng::seed_from_u64(99);
+        let now = Timestamp::from_millis(1);
+        let (key, out) = client.connect(sa, 77, now, &mut rng);
+        let _ = pump(&client, ca, &server, sa, out.datagrams, now, &mut rng);
+
+        // The live runtime's first-receiver claim.
+        let shard = server.shard_of_source(ca);
+        assert_eq!(server.claim_shard(shard, 0), 0);
+        assert_eq!(server.shard_owner(shard), Some(0));
+
+        // Stage one steady-state exchange by hand: S1 -> A1 -> S2.
+        let batch_of = |from: SocketAddr, out: &EngineOutput| -> Vec<(SocketAddr, Vec<u8>)> {
+            out.datagrams
+                .iter()
+                .map(|(_, b)| (from, b.to_vec()))
+                .collect()
+        };
+        let s1 = client
+            .sign_batch(key, &[b"steady-state".as_slice()], Mode::Base, now)
+            .expect("sign");
+        let s1b = batch_of(ca, &s1);
+        let s1r: Vec<(SocketAddr, &[u8])> = s1b.iter().map(|(a, b)| (*a, &b[..])).collect();
+        let a1 = server.handle_datagrams(&s1r, now, &mut rng);
+        let a1b = batch_of(sa, &a1);
+        let a1r: Vec<(SocketAddr, &[u8])> = a1b.iter().map(|(a, b)| (*a, &b[..])).collect();
+        let s2 = client.handle_datagrams(&a1r, now, &mut rng);
+        assert!(!s2.datagrams.is_empty(), "client staged its S2");
+
+        // Measure the S2 verify path alone, as the owning worker.
+        crate::shard::reset_thread_lock_count();
+        let contended_before = server.lock_contended();
+        let s2b = batch_of(ca, &s2);
+        let s2r: Vec<(SocketAddr, &[u8])> = s2b.iter().map(|(a, b)| (*a, &b[..])).collect();
+        let out = server.handle_datagrams(&s2r, now, &mut rng);
+        assert_eq!(out.delivered.len(), 1, "payload delivered");
+        assert_eq!(
+            server.lock_contended() - contended_before,
+            0,
+            "owned S2 path is contention-free"
+        );
+        #[cfg(debug_assertions)]
+        {
+            let taken = crate::shard::locks_taken_on_thread();
+            assert!(
+                taken >= 1 && taken <= 2 * s2r.len() as u64,
+                "single-toucher lock budget: {taken} acquisitions for {} datagrams",
+                s2r.len()
+            );
+        }
+        // The runtime snapshot carries the same discipline counters.
+        let snap = server.snapshot();
+        let runtime = snap.get("runtime").expect("runtime section");
+        assert_eq!(
+            runtime.get("lock_contended").and_then(serde::Value::as_u64),
+            Some(server.lock_contended())
+        );
+        assert_eq!(
+            runtime.get("shards_claimed").and_then(serde::Value::as_u64),
+            Some(1)
+        );
     }
 
     #[test]

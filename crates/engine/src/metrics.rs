@@ -158,6 +158,17 @@ pub struct IoWorker {
     /// `sendmmsg` calls that accepted fewer datagrams than offered and
     /// forced a resubmission of the tail.
     pub partial_sends: AtomicU64,
+    /// Datagrams this worker drained from its handoff rings (they
+    /// arrived on another worker's socket but this worker owns the
+    /// shard).
+    pub handoff_in: AtomicU64,
+    /// Datagrams this worker received but pushed to the owning worker's
+    /// handoff ring instead of processing (RSS/shard mismatch).
+    pub handoff_out: AtomicU64,
+    /// Handoff pushes rejected by a full ring; the datagram is dropped
+    /// and the sender retries end-to-end (backpressure is a counted
+    /// drop, never a cross-worker stall).
+    pub handoff_overflow: AtomicU64,
 }
 
 /// Summed [`IoWorker`] counters across every registered worker.
@@ -175,6 +186,12 @@ pub struct IoTotals {
     pub eagain: u64,
     /// Partial `sendmmsg` resubmissions.
     pub partial_sends: u64,
+    /// Datagrams drained from handoff rings.
+    pub handoff_in: u64,
+    /// Datagrams pushed to other workers' handoff rings.
+    pub handoff_out: u64,
+    /// Handoff pushes dropped on full rings.
+    pub handoff_overflow: u64,
 }
 
 impl IoTotals {
@@ -237,6 +254,9 @@ impl IoMetrics {
             t.datagrams_out += w.datagrams_out.load(Ordering::Relaxed);
             t.eagain += w.eagain.load(Ordering::Relaxed);
             t.partial_sends += w.partial_sends.load(Ordering::Relaxed);
+            t.handoff_in += w.handoff_in.load(Ordering::Relaxed);
+            t.handoff_out += w.handoff_out.load(Ordering::Relaxed);
+            t.handoff_overflow += w.handoff_overflow.load(Ordering::Relaxed);
         }
         t
     }
@@ -259,6 +279,9 @@ impl IoMetrics {
                     ("datagrams_out".to_owned(), ld(&w.datagrams_out)),
                     ("eagain".to_owned(), ld(&w.eagain)),
                     ("partial_sends".to_owned(), ld(&w.partial_sends)),
+                    ("handoff_in".to_owned(), ld(&w.handoff_in)),
+                    ("handoff_out".to_owned(), ld(&w.handoff_out)),
+                    ("handoff_overflow".to_owned(), ld(&w.handoff_overflow)),
                 ])
             })
             .collect();
@@ -273,6 +296,12 @@ impl IoMetrics {
             ("datagrams_out".to_owned(), Value::U64(t.datagrams_out)),
             ("eagain".to_owned(), Value::U64(t.eagain)),
             ("partial_sends".to_owned(), Value::U64(t.partial_sends)),
+            ("handoff_in".to_owned(), Value::U64(t.handoff_in)),
+            ("handoff_out".to_owned(), Value::U64(t.handoff_out)),
+            (
+                "handoff_overflow".to_owned(),
+                Value::U64(t.handoff_overflow),
+            ),
             (
                 "datagrams_per_recv_call".to_owned(),
                 Value::F64(t.datagrams_per_recv()),

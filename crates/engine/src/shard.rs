@@ -11,8 +11,46 @@
 //! the cold paths (stats walks, flow insertion from the supervisor).
 
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Debug-mode count of shard-lock acquisitions made by this thread
+    /// through the counted [`Sharded::read`]/[`Sharded::write`] guards.
+    /// Tests use it to pin the lock budget of the owned steady-state
+    /// path (e.g. "one batched write per S2 run, nothing else").
+    static LOCKS_TAKEN: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Debug builds: shard-lock acquisitions made by the calling thread via
+/// the counted guards since the last [`reset_thread_lock_count`].
+/// Release builds: always 0 (the counter is compiled out of the hot
+/// path).
+#[must_use]
+pub fn locks_taken_on_thread() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        LOCKS_TAKEN.with(std::cell::Cell::get)
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
+
+/// Reset the debug per-thread lock counter (no-op in release builds).
+pub fn reset_thread_lock_count() {
+    #[cfg(debug_assertions)]
+    LOCKS_TAKEN.with(|c| c.set(0));
+}
+
+#[inline]
+fn count_thread_lock() {
+    #[cfg(debug_assertions)]
+    LOCKS_TAKEN.with(|c| c.set(c.get() + 1));
+}
 
 /// Identity of one flow through the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -178,9 +216,90 @@ impl ShardAssignment {
     }
 }
 
-/// A fixed set of shards, each behind its own `RwLock`.
+/// Sentinel worker id meaning "no worker has claimed this shard yet".
+pub const UNOWNED: u32 = u32::MAX;
+
+/// First-receiver-wins shard ownership table.
+///
+/// In the share-nothing runtime the kernel is the partitioner: RSS
+/// hashes a flow's 4-tuple to one SO_REUSEPORT socket, and whichever
+/// worker first receives a datagram for a shard claims it with one CAS.
+/// From then on every datagram the kernel steers elsewhere is handed to
+/// the owner through a [`crate::ring::HandoffRing`] instead of a
+/// cross-worker shard lock. Ownership is released (for reroute or
+/// worker drain) with a guarded CAS back to [`UNOWNED`].
+pub struct ShardOwners {
+    owners: Vec<AtomicU32>,
+}
+
+impl ShardOwners {
+    /// A table of `n` unowned shards.
+    #[must_use]
+    pub fn new(n: usize) -> ShardOwners {
+        ShardOwners {
+            owners: (0..n.max(1)).map(|_| AtomicU32::new(UNOWNED)).collect(),
+        }
+    }
+
+    /// Number of shards tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Always false (there is at least one shard).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Claim `shard` for `worker` if unowned; returns the resulting
+    /// owner either way (first receiver wins, later claims read it).
+    pub fn claim(&self, shard: usize, worker: u32) -> u32 {
+        match self.owners[shard].compare_exchange(
+            UNOWNED,
+            worker,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => worker,
+            Err(current) => current,
+        }
+    }
+
+    /// Current owner of `shard`, or `None` when unclaimed.
+    #[must_use]
+    pub fn owner(&self, shard: usize) -> Option<u32> {
+        let w = self.owners[shard].load(Ordering::Acquire);
+        (w != UNOWNED).then_some(w)
+    }
+
+    /// Release `shard` if (and only if) `worker` owns it, so the next
+    /// receiving worker re-claims it — used when flows reroute away.
+    pub fn release(&self, shard: usize, worker: u32) -> bool {
+        self.owners[shard]
+            .compare_exchange(worker, UNOWNED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Owner of every shard (stats walks).
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Option<u32>> {
+        (0..self.owners.len()).map(|s| self.owner(s)).collect()
+    }
+}
+
+/// A fixed set of shards, each behind its own `RwLock`, with lock
+/// discipline accounting: every hot-path acquisition goes through the
+/// counted [`Sharded::read`]/[`Sharded::write`] guards, which try the
+/// lock first and count a *contended* acquisition (another thread held
+/// the shard) before falling back to a blocking acquire. On the owned
+/// steady-state path the handoff rings make each shard single-toucher,
+/// so the contended count stays at zero — the claim `engine stats`
+/// exposes as `lock_contended`.
 pub struct Sharded<T> {
     shards: Vec<RwLock<T>>,
+    contended: AtomicU64,
 }
 
 impl<T> Sharded<T> {
@@ -189,6 +308,7 @@ impl<T> Sharded<T> {
         let n = n.max(1);
         Sharded {
             shards: (0..n).map(|i| RwLock::new(init(i))).collect(),
+            contended: AtomicU64::new(0),
         }
     }
 
@@ -210,7 +330,42 @@ impl<T> Sharded<T> {
         jump_hash(key.stable_hash(), self.shards.len() as u32) as usize
     }
 
-    /// The lock for shard `idx`.
+    /// Counted shared acquisition of shard `idx`: tries the lock first
+    /// and records a contended acquisition if another thread holds it.
+    pub fn read(&self, idx: usize) -> RwLockReadGuard<'_, T> {
+        count_thread_lock();
+        if let Some(g) = self.shards[idx].try_read() {
+            return g;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.shards[idx].read()
+    }
+
+    /// Counted exclusive acquisition of shard `idx` (see [`Sharded::read`]).
+    pub fn write(&self, idx: usize) -> RwLockWriteGuard<'_, T> {
+        count_thread_lock();
+        if let Some(g) = self.shards[idx].try_write() {
+            return g;
+        }
+        self.contended.fetch_add(1, Ordering::Relaxed);
+        self.shards[idx].write()
+    }
+
+    /// Counted exclusive acquisition of the shard owning `key`.
+    pub fn write_for(&self, key: &FlowKey) -> RwLockWriteGuard<'_, T> {
+        self.write(self.shard_of(key))
+    }
+
+    /// Total contended acquisitions since construction: times a counted
+    /// guard found the shard held by another thread and had to block.
+    /// Zero on the owned steady-state path by construction.
+    #[must_use]
+    pub fn contended(&self) -> u64 {
+        self.contended.load(Ordering::Relaxed)
+    }
+
+    /// The lock for shard `idx` (cold paths: stats walks, shutdown;
+    /// acquisitions here are not lock-discipline counted).
     #[must_use]
     pub fn shard(&self, idx: usize) -> &RwLock<T> {
         &self.shards[idx]
@@ -322,5 +477,138 @@ mod tests {
         table.shard_for(&k).write().push(k.assoc_id);
         assert_eq!(table.shard(idx).read().as_slice(), &[42]);
         assert_eq!(table.len(), 4);
+    }
+
+    #[test]
+    fn assignment_with_more_workers_than_flows() {
+        // 16 workers, 4 shards, only 2 shards carry any flows: every
+        // shard must still get a valid worker, and the two loaded
+        // shards must not share one.
+        let mut loads = vec![0u64; 4];
+        loads[1] = 7;
+        loads[3] = 9;
+        let lpt = ShardAssignment::least_loaded(&loads, 16);
+        for s in 0..4 {
+            assert!(lpt.worker_of(s) < 16);
+        }
+        assert_ne!(lpt.worker_of(1), lpt.worker_of(3));
+
+        let modulo = ShardAssignment::modulo(4, 16);
+        for s in 0..4 {
+            assert_eq!(modulo.worker_of(s), s);
+        }
+    }
+
+    #[test]
+    fn assignment_all_zero_weight_shards_spread_evenly() {
+        // Zero-weight shards must still spread by count (ties broken by
+        // fewest-shards-first), not pile onto worker 0.
+        let loads = vec![0u64; 12];
+        let lpt = ShardAssignment::least_loaded(&loads, 4);
+        let mut per_worker = vec![0usize; 4];
+        for s in 0..12 {
+            per_worker[lpt.worker_of(s)] += 1;
+        }
+        assert_eq!(
+            per_worker,
+            vec![3, 3, 3, 3],
+            "zero-weight spread: {per_worker:?}"
+        );
+    }
+
+    #[test]
+    fn assignment_recomputes_after_reroute_load_shift() {
+        // Reroute moves all flows from shard 0 to shard 5; a fresh
+        // assignment over the new loads must follow the load, and the
+        // now-empty shard must not pin the heavy worker.
+        let mut loads = vec![0u64; 8];
+        loads[0] = 100;
+        let before = ShardAssignment::least_loaded(&loads, 2);
+        loads[5] = loads[0];
+        loads[0] = 0;
+        let after = ShardAssignment::least_loaded(&loads, 2);
+        // The heavy shard (wherever it lives) is always alone-heaviest
+        // on its worker.
+        let heavy_worker = after.worker_of(5);
+        let heavy_load: u64 = (0..8)
+            .filter(|&s| after.worker_of(s) == heavy_worker)
+            .map(|s| loads[s])
+            .sum();
+        assert_eq!(heavy_load, 100);
+        assert!(before.worker_of(0) < 2 && after.worker_of(5) < 2);
+    }
+
+    #[test]
+    fn owners_first_claim_wins_and_release_is_guarded() {
+        let owners = ShardOwners::new(4);
+        assert_eq!(owners.owner(2), None);
+        assert_eq!(owners.claim(2, 1), 1);
+        // Second claimant loses and learns the owner.
+        assert_eq!(owners.claim(2, 3), 1);
+        assert_eq!(owners.owner(2), Some(1));
+        // Only the owner may release.
+        assert!(!owners.release(2, 3));
+        assert!(owners.release(2, 1));
+        assert_eq!(owners.owner(2), None);
+        // Re-claim after release: models re-assignment after reroute,
+        // where the next receiving worker takes the shard over.
+        assert_eq!(owners.claim(2, 3), 3);
+        assert_eq!(owners.snapshot(), vec![None, None, Some(3), None]);
+        assert_eq!(owners.len(), 4);
+    }
+
+    #[test]
+    fn owners_concurrent_claims_converge_on_one_winner() {
+        let owners = std::sync::Arc::new(ShardOwners::new(1));
+        let winners: Vec<u32> = std::thread::scope(|s| {
+            (0..8u32)
+                .map(|w| {
+                    let owners = owners.clone();
+                    s.spawn(move || owners.claim(0, w))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let owner = owners.owner(0).unwrap();
+        assert!(winners.iter().all(|&w| w == owner), "{winners:?}");
+    }
+
+    #[test]
+    fn counted_guards_track_contention_and_thread_locks() {
+        let table: Sharded<u64> = Sharded::new(2, |_| 0);
+        reset_thread_lock_count();
+        {
+            let mut g = table.write(0);
+            *g += 1;
+        }
+        {
+            let g = table.read(0);
+            assert_eq!(*g, 1);
+        }
+        // Single-toucher: no other thread held the shard, so nothing
+        // was contended.
+        assert_eq!(table.contended(), 0);
+        #[cfg(debug_assertions)]
+        assert_eq!(locks_taken_on_thread(), 2);
+
+        // Force contention: hold the write lock on another thread,
+        // then take a counted read.
+        let table = std::sync::Arc::new(table);
+        let held = table.clone();
+        std::thread::scope(|s| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            s.spawn(move || {
+                let g = held.shard(0).write();
+                tx.send(()).unwrap();
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                drop(g);
+            });
+            rx.recv().unwrap();
+            let g = table.read(0);
+            assert_eq!(*g, 1);
+        });
+        assert_eq!(table.contended(), 1, "blocking acquire was counted");
     }
 }

@@ -28,12 +28,14 @@
 //! engine owns flow state, timers, admission and metrics.
 
 pub mod io;
+pub mod loadgen;
 /// Hand-declared Linux FFI for `recvmmsg`/`sendmmsg` and
 /// `SO_REUSEPORT` socket groups (empty on other platforms).
 pub mod mmsg;
 mod server;
 
 pub use io::{RxDatagram, UdpBackend, UdpIo};
+pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use server::{query_stats, DeliverySink, Engine, RECV_TIMEOUT, STATS_MAGIC};
 
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};

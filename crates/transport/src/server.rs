@@ -15,15 +15,33 @@
 //!   and does classic one-datagram `recv_from` — the portable baseline
 //!   the `udp_io` bench measures the batched path against.
 //!
-//! Shard ownership is unchanged: worker `w` of `W` drives the timers of
-//! shards `s ≡ w (mod W)`. Kernel RSS does not agree with the engine's
-//! shard hash, so a worker may process datagrams for shards it does not
-//! own — the sharded flow table is lock-protected precisely so that any
-//! worker may touch any shard; ownership only partitions *timer* work.
+//! Shard ownership is share-nothing and claimed at runtime: the first
+//! worker to receive a datagram for a shard claims it with one CAS
+//! ([`EngineCore::claim_shard`]) — kernel RSS thereby becomes the
+//! partitioner, and on the steady state the worker that owns a flow's
+//! socket also owns its shard, end-to-end (datagrams *and* timers),
+//! with no contended lock anywhere on the path. Residual RSS-mismatched
+//! datagrams (another flow hashing into an already-claimed shard, mesh
+//! reroutes) are pushed onto a bounded lock-free ring
+//! ([`alpha_engine::HandoffRing`], one per ordered worker pair) and
+//! drained by the owner at the top of its loop; when a ring is full the
+//! receiver processes the datagram itself under the shard lock (counted
+//! in `handoff_overflow`, and in `lock_contended` if the owner is in
+//! the shard at that moment) — no datagram is ever dropped to a slow
+//! owner and nobody blocks on a full ring. Ownership and handoff only
+//! engage with per-worker sockets: on the shared-socket fallback the
+//! kernel gives workers no flow affinity, so claiming would funnel
+//! nearly all traffic through the rings — those workers instead process
+//! whatever they receive under the shard locks, the pre-ownership
+//! behaviour.
+//! Unclaimed shards fall back to modulo ownership for timer polling so
+//! connecting/renewing flows never starve before their first datagram.
 //! Read timeouts are deadline-aware: each worker sizes its blocking
 //! window from its own shards' next timer deadline (with a shared
 //! socket the coarsest window wins, bounding timer lateness at
-//! [`RECV_TIMEOUT`], exactly the old fixed behaviour).
+//! [`RECV_TIMEOUT`], exactly the old fixed behaviour). Handoff latency
+//! is bounded the same way: an owner blocked in `recv` wakes within
+//! [`RECV_TIMEOUT`] and drains its rings first.
 //!
 //! A stats datagram (prefix [`STATS_MAGIC`]) is answered inline by
 //! whichever worker receives it, so `engine stats` works against a
@@ -42,7 +60,7 @@ use std::time::{Duration, Instant};
 
 use alpha_core::Timestamp;
 use alpha_engine::mesh;
-use alpha_engine::{EngineCore, EngineOutput};
+use alpha_engine::{EngineCore, EngineOutput, HandoffRing, IoWorker};
 use alpha_wire::FramePool;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -120,20 +138,37 @@ impl Engine {
         let rx_pool = FramePool::new(MAX_DATAGRAM, workers * MAX_BURST * 2);
 
         let handle = sockets[0].try_clone()?;
+        // One bounded lock-free ring per ordered worker pair:
+        // `rings[dst][src]` carries datagrams worker `src` received for
+        // shards worker `dst` owns. SPSC by construction.
+        let ring_cap = core.config().handoff_ring;
+        let rings: Arc<Vec<Vec<HandoffRing<RxDatagram>>>> = Arc::new(
+            (0..workers)
+                .map(|_| {
+                    (0..workers)
+                        .map(|_| HandoffRing::with_capacity(ring_cap))
+                        .collect()
+                })
+                .collect(),
+        );
         let mut threads = Vec::with_capacity(workers);
         for (w, sock) in sockets.into_iter().enumerate() {
             sock.set_read_timeout(Some(RECV_TIMEOUT))?;
-            let io = UdpIo::with_backend(sock, backend, core.metrics().io.register_worker());
-            threads.push(spawn_worker(
-                w,
+            let counters = core.metrics().io.register_worker();
+            let io = UdpIo::with_backend(sock, backend, Arc::clone(&counters));
+            threads.push(spawn_worker(WorkerCtx {
+                index: w,
                 workers,
                 io,
-                rx_pool.clone(),
-                Arc::clone(&core),
-                Arc::clone(&shutdown),
+                counters,
+                rx_pool: rx_pool.clone(),
+                core: Arc::clone(&core),
+                rings: Arc::clone(&rings),
+                per_worker_sockets: reuseport,
+                shutdown: Arc::clone(&shutdown),
                 start,
-                sink.clone(),
-            ));
+                sink: sink.clone(),
+            }));
         }
         let io = UdpIo::with_backend(handle, backend, core.metrics().io.register_worker());
         Ok(Engine {
@@ -227,39 +262,103 @@ fn bind_worker_sockets(
     Ok((sockets, false))
 }
 
-#[allow(clippy::too_many_arguments)]
-fn spawn_worker(
+/// Everything one worker thread owns, bundled so the spawn stays
+/// readable.
+struct WorkerCtx {
     index: usize,
     workers: usize,
-    mut io: UdpIo,
+    io: UdpIo,
+    counters: Arc<IoWorker>,
     rx_pool: FramePool,
     core: Arc<EngineCore>,
+    /// `rings[dst][src]`: this worker pushes to `rings[owner][index]`
+    /// and drains `rings[index][*]`.
+    rings: Arc<Vec<Vec<HandoffRing<RxDatagram>>>>,
+    /// Whether each worker owns its own `SO_REUSEPORT` socket. Shard
+    /// ownership and handoff only make sense when the kernel pins a
+    /// flow to one worker's socket; on a shared socket every worker
+    /// receives for every shard, so claiming/handing-off would funnel
+    /// almost all traffic through the rings for nothing — those
+    /// workers process what they receive under the shard locks.
+    per_worker_sockets: bool,
     shutdown: Arc<AtomicBool>,
     start: Instant,
     sink: Option<Arc<DeliverySink>>,
-) -> JoinHandle<()> {
+}
+
+fn spawn_worker(ctx: WorkerCtx) -> JoinHandle<()> {
     std::thread::spawn(move || {
+        let WorkerCtx {
+            index,
+            workers,
+            mut io,
+            counters,
+            rx_pool,
+            core,
+            rings,
+            per_worker_sockets,
+            shutdown,
+            start,
+            sink,
+        } = ctx;
         let mut rng = StdRng::from_entropy();
-        let owned: Vec<usize> = (0..core.shard_count())
-            .filter(|s| s % workers == index)
-            .collect();
+        let me = index as u32;
+        let shards = core.shard_count();
+        // This worker polls the timers of shards it has claimed, plus —
+        // so flows never starve before their first datagram arrives —
+        // unclaimed shards that fall to it by modulo.
+        let polls = |core: &EngineCore, s: usize| match core.shard_owner(s) {
+            Some(w) => w == me,
+            None => s % workers == index,
+        };
         let mut rx: Vec<RxDatagram> = Vec::with_capacity(MAX_BURST);
+        let mut handed: Vec<RxDatagram> = Vec::with_capacity(MAX_BURST);
         let mut read_timeout = RECV_TIMEOUT;
         loop {
             if shutdown.load(Ordering::Relaxed) {
                 return;
             }
             let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
-            // Drive this worker's shards' timers first, then block on
-            // the socket until the next deadline-ish tick.
+            // Drain the handoff rings first: datagrams other workers
+            // received for shards this worker owns. Bounded at one
+            // burst so timers and the socket still get their turn.
+            handed.clear();
+            'drain: for src in &rings[index] {
+                while let Some(d) = src.pop() {
+                    handed.push(d);
+                    if handed.len() >= MAX_BURST {
+                        break 'drain;
+                    }
+                }
+            }
+            let drained_full = handed.len() >= MAX_BURST;
+            if !handed.is_empty() {
+                counters
+                    .handoff_in
+                    .fetch_add(handed.len() as u64, Ordering::Relaxed);
+                let batch: Vec<(SocketAddr, &[u8])> =
+                    handed.iter().map(|d| (d.from, &d.frame[..])).collect();
+                let out = core.handle_datagrams(&batch, now, &mut rng);
+                drop(batch);
+                dispatch(&io, &out, sink.as_deref());
+            }
+            // Drive this worker's shards' timers, then block on the
+            // socket until the next deadline-ish tick.
             let mut out = EngineOutput::default();
-            for &s in &owned {
-                core.poll_shard(s, now, &mut rng, &mut out);
+            for s in 0..shards {
+                if polls(&core, s) {
+                    core.poll_shard(s, now, &mut rng, &mut out);
+                }
             }
             dispatch(&io, &out, sink.as_deref());
-            let wait = owned
-                .iter()
-                .filter_map(|&s| core.shard_next_deadline(s))
+            if drained_full {
+                // The rings still carry backlog; skip the blocking
+                // receive and keep draining at full speed.
+                continue;
+            }
+            let wait = (0..shards)
+                .filter(|&s| polls(&core, s))
+                .filter_map(|s| core.shard_next_deadline(s))
                 .min()
                 .map_or(RECV_TIMEOUT, |d| Duration::from_micros(d.since(now)))
                 .clamp(MIN_READ_TIMEOUT, RECV_TIMEOUT);
@@ -276,29 +375,63 @@ fn spawn_worker(
                 _ => continue, // timeout (re-check shutdown) or transient error
             }
             let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
-            let mut batch: Vec<(SocketAddr, &[u8])> = Vec::with_capacity(rx.len());
-            for d in &rx {
+            let mut local: Vec<RxDatagram> = Vec::with_capacity(rx.len());
+            for d in rx.drain(..) {
                 if d.frame.starts_with(STATS_MAGIC) {
                     let _ = io.socket().send_to(core.stats_json().as_bytes(), d.from);
-                } else if let Some(nonce) = mesh::parse_ping(&d.frame) {
+                    continue;
+                }
+                if let Some(nonce) = mesh::parse_ping(&d.frame) {
                     // Mesh liveness probe: echoed inline like stats, so
                     // a peer's health check measures this worker's real
                     // service latency, not a side channel's.
                     let _ = io.socket().send_to(&mesh::encode_pong(nonce), d.from);
-                } else if let Some(inner) = mesh::parse_replica(&d.frame) {
+                    continue;
+                }
+                if let Some(inner) = mesh::parse_replica(&d.frame) {
                     // Handshake replica from an upstream relay toward a
                     // standby: learn the association, emit nothing.
                     core.absorb_replica(d.from, inner, now, &mut rng);
+                    continue;
+                }
+                if workers == 1 || !per_worker_sockets {
+                    // Sole worker, or a shared socket (no kernel flow
+                    // affinity to preserve): process in place under the
+                    // shard locks; shards stay unclaimed and timers
+                    // stay on modulo polling.
+                    local.push(d);
+                    continue;
+                }
+                // First receiver wins: claim the shard, or learn who
+                // owns it and hand the datagram over lock-free.
+                let shard = core.shard_of_source(d.from);
+                let owner = core.claim_shard(shard, me);
+                if owner == me {
+                    local.push(d);
                 } else {
-                    batch.push((d.from, &d.frame[..]));
+                    match rings[owner as usize][index].push(d) {
+                        Ok(()) => {
+                            counters.handoff_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(d) => {
+                            // Ring full: process it here under the shard
+                            // lock (contended path) rather than drop it —
+                            // the owner is behind, but the datagram must
+                            // not be lost.
+                            counters.handoff_overflow.fetch_add(1, Ordering::Relaxed);
+                            local.push(d);
+                        }
+                    }
                 }
             }
-            if batch.is_empty() {
+            if local.is_empty() {
                 continue;
             }
             // The whole burst goes to the engine in one call, so its
             // relay path can batch-verify and the responses leave in
             // one gathered send below.
+            let batch: Vec<(SocketAddr, &[u8])> =
+                local.iter().map(|d| (d.from, &d.frame[..])).collect();
             let out = core.handle_datagrams(&batch, now, &mut rng);
             drop(batch);
             dispatch(&io, &out, sink.as_deref());
