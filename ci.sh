@@ -34,13 +34,19 @@ echo "==> live loopback, serialized: udp backend equivalence (forced fallback, t
 ALPHA_UDP_BACKEND=fallback cargo test -q -p alpha-transport -- --test-threads=1
 cargo test -q -p alpha-transport -- --test-threads=1
 
+echo "==> live loopback, serialized: wait backend equivalence (forced fallback, then forced epoll)"
+ALPHA_WAIT_BACKEND=fallback cargo test -q -p alpha-transport --test wait_backend_props -- --test-threads=1
+ALPHA_WAIT_BACKEND=epoll cargo test -q -p alpha-transport --test wait_backend_props -- --test-threads=1
+
 echo "==> live loopback, serialized: mesh relay e2e"
 cargo test -q --test mesh -- --test-threads=1
 
 echo "==> udp io bench smoke (release, --quick)"
 cargo run --release -p alpha-bench --bin udp_io -- --quick
 
-echo "==> loadgen smoke (live engine saturation over loopback, --quick)"
+echo "==> loadgen smoke (live engine saturation over loopback, --quick; both wait backends)"
+ALPHA_WAIT_BACKEND=fallback cargo run --release -p alpha-cli --bin alpha -- loadgen --quick
+ALPHA_WAIT_BACKEND=epoll cargo run --release -p alpha-cli --bin alpha -- loadgen --quick
 cargo run --release -p alpha-cli --bin alpha -- loadgen --quick
 
 echo "==> engine scaling bench smoke (release, --quick; live >=1.5x speedup gate at min(host_cores,4) workers when host_cores >= 2)"
@@ -66,5 +72,14 @@ cargo test --release --test properties -q -- \
     truncation_at_every_offset_agrees \
     single_flipped_byte_never_diverges \
     view_never_disagrees_with_owned
+
+echo "==> provenance gate: every refreshed BENCH_*.json names its wait backend"
+for f in BENCH_datapath.json BENCH_digest.json BENCH_udp_io.json \
+         BENCH_engine_scaling.json BENCH_mesh_chain.json BENCH_flow_density.json; do
+    grep -q '"wait_backend"' "$f" || {
+        echo "ci: $f lacks wait_backend" >&2
+        exit 1
+    }
+done
 
 echo "==> ci OK"

@@ -78,16 +78,18 @@ pub fn host_cores() -> usize {
 }
 
 /// The standard provenance fragment every `BENCH_*.json` carries:
-/// `"runtime_mode": …, "host_cores": …, "workers": …` (no surrounding
-/// braces, no trailing comma).
+/// `"runtime_mode": …, "host_cores": …, "workers": …, "wait_backend": …`
+/// (no surrounding braces, no trailing comma).
 ///
 /// `runtime_mode` is `"model"` when the numbers come from sequential
 /// single-thread timing (device scaling, makespan projection) and
 /// `"live"` when real threads ran concurrently over real sockets;
 /// `host_cores` lets a reader judge whether a live number could have
-/// exhibited parallelism at all, and `workers` is the worker/thread
-/// count the artifact was produced with (1 for single-threaded
-/// benches).
+/// exhibited parallelism at all, `workers` is the worker/thread count
+/// the artifact was produced with (1 for single-threaded benches), and
+/// `wait_backend` records how engine workers slept
+/// (`ALPHA_WAIT_BACKEND`) — it rides along even in model-mode
+/// artifacts so every file names the full runtime configuration.
 #[must_use]
 pub fn runtime_fields(runtime_mode: &str, workers: usize) -> String {
     assert!(
@@ -95,8 +97,10 @@ pub fn runtime_fields(runtime_mode: &str, workers: usize) -> String {
         "runtime_mode is 'model' or 'live', got '{runtime_mode}'"
     );
     format!(
-        "\"runtime_mode\": \"{runtime_mode}\", \"host_cores\": {}, \"workers\": {workers}",
-        host_cores()
+        "\"runtime_mode\": \"{runtime_mode}\", \"host_cores\": {}, \"workers\": {workers}, \
+         \"wait_backend\": \"{}\"",
+        host_cores(),
+        alpha_transport::wait::active().name()
     )
 }
 

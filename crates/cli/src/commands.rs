@@ -470,6 +470,14 @@ pub fn loadgen(
         report.reuseport,
         report.udp_backend,
     );
+    println!(
+        "wait: backend={}  idle_wakeups/s={:.1}  handoff_wait p50={}µs p99={}µs ({} sample(s))",
+        report.wait_backend,
+        report.idle_wakeups_per_sec,
+        report.handoff_p50_us,
+        report.handoff_p99_us,
+        report.handoff_samples,
+    );
     if report.host_cores < 2 {
         println!("note: host has 1 core; this number is concurrency, not parallel speedup");
     }
@@ -515,6 +523,10 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
         .get("udp_backend")
         .and_then(serde_json::Value::as_str)
         .unwrap_or("none");
+    let wait_backend = snap
+        .get("wait_backend")
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or("none");
     let chain_storage = snap
         .get("chain_storage")
         .and_then(serde_json::Value::as_str)
@@ -522,12 +534,13 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
     let _ = writeln!(
         out,
         "engine: {} flow(s) across {} shard(s), {} buffered byte(s), digest backend {}, \
-         udp backend {}, chain storage {}",
+         udp backend {}, wait backend {}, chain storage {}",
         u(snap.get("flows")),
         u(snap.get("shards")),
         u(snap.get("buffered_bytes")),
         backend,
         udp_backend,
+        wait_backend,
         chain_storage,
     );
     if let Some(serde_json::Value::Object(metrics)) = snap.get("metrics") {
@@ -551,7 +564,8 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
                 let _ = writeln!(
                     out,
                     "io: {} datagram(s) in / {} recv syscall(s) ({:.2} per call), \
-                     {} out / {} send syscall(s), eagain={} partial_sends={} worker(s)={}",
+                     {} out / {} send syscall(s), eagain={} partial_sends={} worker(s)={} \
+                     wakeups={} read_timeout_errors={}",
                     iu("datagrams_in"),
                     iu("recv_calls"),
                     f(io.get("datagrams_per_recv_call")),
@@ -560,6 +574,8 @@ fn render_engine_stats(snap: &serde_json::Value) -> String {
                     iu("eagain"),
                     iu("partial_sends"),
                     workers,
+                    iu("wakeups"),
+                    iu("read_timeout_errors"),
                 );
             }
         }
@@ -693,18 +709,22 @@ mod tests {
             "buffered_bytes": 0u64,
             "digest_backend": "lanes4",
             "udp_backend": "mmsg",
+            "wait_backend": "epoll",
             "metrics": {
                 "verified": 10u64,
                 "dropped": 0u64,
                 "adapt_switches": 3u64,
                 "io": {
                     "udp_backend": "mmsg",
+                    "wait_backend": "epoll",
                     "recv_calls": 4u64,
                     "send_calls": 2u64,
                     "datagrams_in": 32u64,
                     "datagrams_out": 16u64,
                     "eagain": 1u64,
                     "partial_sends": 0u64,
+                    "wakeups": 9u64,
+                    "read_timeout_errors": 0u64,
                     "datagrams_per_recv_call": 8.0,
                     "per_worker": [{}, {}]
                 }
@@ -731,11 +751,13 @@ mod tests {
         assert!(text.contains("2 flow(s) across 8 shard(s)"), "{text}");
         assert!(text.contains("digest backend lanes4"), "{text}");
         assert!(text.contains("udp backend mmsg"), "{text}");
+        assert!(text.contains("wait backend epoll"), "{text}");
         assert!(
             text.contains("io: 32 datagram(s) in / 4 recv syscall(s) (8.00 per call)"),
             "{text}"
         );
         assert!(text.contains("worker(s)=2"), "{text}");
+        assert!(text.contains("wakeups=9"), "{text}");
         assert!(text.contains("verified=10"), "{text}");
         assert!(text.contains("adapt_switches=3"), "{text}");
         assert!(

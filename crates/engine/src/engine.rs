@@ -29,7 +29,7 @@
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use alpha_adapt::{AdaptConfig, FlowAdapt, FrozenAdapt};
 use alpha_core::bootstrap::{self, AuthRequirement, Handshaker};
@@ -382,6 +382,29 @@ struct Shard {
     wheel: TimerWheel<FlowKey>,
 }
 
+/// Per-worker earliest-deadline hints for readiness-driven worker
+/// loops. Installed once by the transport front end
+/// ([`EngineCore::install_worker_hints`]); absent in sans-io use.
+///
+/// `mins[w]` is a *conservative* lower bound on the earliest deadline
+/// among the shards worker `w` polls: [`EngineCore::cache_deadline`]
+/// pushes every new shard deadline into the polling worker's slot with
+/// a `fetch_min` (so the hint can never be later than a real
+/// deadline), and only the owning worker raises its own slot — by
+/// rescanning its shards on a timer wake
+/// ([`EngineCore::refresh_worker_deadline`]). A stale-low hint costs
+/// one spurious wake; a too-high hint would delay a timer, and the
+/// fetch_min/CAS split makes that unreachable.
+struct WorkerHints {
+    workers: u32,
+    mins: Vec<AtomicU64>,
+    /// Called (with the worker index) whenever a `fetch_min` actually
+    /// lowered that worker's hint, so a readiness loop can re-arm its
+    /// timerfd early. `None` under the fallback wait backend, which
+    /// re-reads the hint every loop iteration anyway.
+    waker: Option<Box<dyn Fn(u32) + Send + Sync>>,
+}
+
 /// The sans-io engine: sharded flow table + timers + metrics.
 pub struct EngineCore {
     cfg: EngineConfig,
@@ -421,6 +444,9 @@ pub struct EngineCore {
     /// True once any relay route exists. Host-only engines (the common
     /// deployment) skip the `routes` read lock on every datagram.
     has_routes: AtomicBool,
+    /// Per-worker min-deadline hints (see [`WorkerHints`]); empty until
+    /// a threaded front end installs them.
+    hints: OnceLock<WorkerHints>,
     metrics: EngineMetrics,
 }
 
@@ -466,6 +492,7 @@ impl EngineCore {
             pacer: Mutex::new(RenewalPacer::new(cfg.pacer)),
             owners: ShardOwners::new(cfg.shards),
             has_routes: AtomicBool::new(false),
+            hints: OnceLock::new(),
             metrics: EngineMetrics::new(),
         }
     }
@@ -479,6 +506,95 @@ impl EngineCore {
     fn cache_deadline(&self, idx: usize, shard: &mut Shard) {
         let v = shard.wheel.next_deadline().map_or(u64::MAX, |t| t.micros());
         self.deadlines[idx].store(v, Ordering::Release);
+        self.note_deadline(idx, v);
+    }
+
+    /// Fold shard `idx`'s deadline `v` into the polling worker's hint,
+    /// waking that worker if the hint actually moved earlier. No-op
+    /// until [`EngineCore::install_worker_hints`] runs.
+    fn note_deadline(&self, idx: usize, v: u64) {
+        let Some(h) = self.hints.get() else { return };
+        let w = match self.owners.owner(idx) {
+            Some(o) => o,
+            None => idx as u32 % h.workers,
+        };
+        let old = h.mins[w as usize].fetch_min(v, Ordering::AcqRel);
+        if v < old {
+            if let Some(waker) = &h.waker {
+                waker(w);
+            }
+        }
+    }
+
+    /// Install per-worker min-deadline tracking for `workers` polling
+    /// threads, with an optional waker called when a worker's earliest
+    /// deadline moves forward (see [`WorkerHints`]). First caller wins;
+    /// later calls are ignored (one threaded front end per core).
+    pub fn install_worker_hints(
+        &self,
+        workers: u32,
+        waker: Option<Box<dyn Fn(u32) + Send + Sync>>,
+    ) {
+        let workers = workers.max(1);
+        let hints = WorkerHints {
+            workers,
+            mins: (0..workers).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            waker,
+        };
+        if self.hints.set(hints).is_err() {
+            return;
+        }
+        // Timers armed before installation (e.g. flows added during
+        // setup) were never noted; absorb every shard's current cache.
+        for idx in 0..self.deadlines.len() {
+            self.note_deadline(idx, self.deadlines[idx].load(Ordering::Acquire));
+        }
+    }
+
+    /// Whether `worker` (of `workers` total) polls `shard`'s timers:
+    /// the claimed owner does, and unclaimed shards fall back to the
+    /// modulo worker so every wheel always has exactly one poller.
+    #[must_use]
+    pub fn polls_shard(&self, shard: usize, worker: u32, workers: u32) -> bool {
+        match self.owners.owner(shard) {
+            Some(o) => o == worker,
+            None => shard as u32 % workers.max(1) == worker,
+        }
+    }
+
+    /// The conservative earliest deadline among the shards `worker`
+    /// polls, from the installed hints — O(1), not O(shards). `None`
+    /// when hints are absent or no timer is armed.
+    #[must_use]
+    pub fn worker_next_deadline(&self, worker: u32) -> Option<Timestamp> {
+        let h = self.hints.get()?;
+        let v = h.mins[worker as usize].load(Ordering::Acquire);
+        (v != u64::MAX).then_some(Timestamp::from_micros(v))
+    }
+
+    /// Recompute `worker`'s hint by scanning its shards' deadline
+    /// caches — the only operation allowed to *raise* a hint, so only
+    /// the worker itself calls it, after its timers fired. Returns the
+    /// resulting deadline. The scan races concurrent `note_deadline`
+    /// lowers; the CAS from the pre-scan value keeps whichever is
+    /// earlier, so the hint stays conservative.
+    pub fn refresh_worker_deadline(&self, worker: u32) -> Option<Timestamp> {
+        let h = self.hints.get()?;
+        let slot = &h.mins[worker as usize];
+        let observed = slot.load(Ordering::Acquire);
+        let mut min = u64::MAX;
+        for idx in 0..self.deadlines.len() {
+            if self.polls_shard(idx, worker, h.workers) {
+                min = min.min(self.deadlines[idx].load(Ordering::Acquire));
+            }
+        }
+        let v = match slot.compare_exchange(observed, min, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => min,
+            // A concurrent lower won the slot; it is ≤ every deadline
+            // noted since `observed`, so it stands.
+            Err(cur) => cur,
+        };
+        (v != u64::MAX).then_some(Timestamp::from_micros(v))
     }
 
     /// The engine's frame pool. RX loops should fill checkouts from
@@ -722,7 +838,11 @@ impl EngineCore {
     /// receive for a shard — kernel RSS thereby becomes the
     /// partitioner.
     pub fn claim_shard(&self, shard: usize, worker: u32) -> u32 {
-        self.owners.claim(shard, worker)
+        let owner = self.owners.claim(shard, worker);
+        // Ownership may have moved the shard's timers to a different
+        // poller; fold its deadline into the (new) owner's hint.
+        self.note_deadline(shard, self.deadlines[shard].load(Ordering::Acquire));
+        owner
     }
 
     /// Current owner of `shard`, or `None` when unclaimed.
@@ -733,7 +853,12 @@ impl EngineCore {
 
     /// Release `shard` if `worker` owns it (worker drain, reroute).
     pub fn release_shard(&self, shard: usize, worker: u32) -> bool {
-        self.owners.release(shard, worker)
+        let released = self.owners.release(shard, worker);
+        if released {
+            // The shard's timers fall back to the modulo worker.
+            self.note_deadline(shard, self.deadlines[shard].load(Ordering::Acquire));
+        }
+        released
     }
 
     /// Contended shard-lock acquisitions since start (see
@@ -2270,6 +2395,10 @@ impl EngineCore {
             (
                 "udp_backend".to_owned(),
                 serde::Value::Str(self.metrics.io.backend_name().to_owned()),
+            ),
+            (
+                "wait_backend".to_owned(),
+                serde::Value::Str(self.metrics.io.wait_backend_name().to_owned()),
             ),
             (
                 "chain_storage".to_owned(),

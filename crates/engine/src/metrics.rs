@@ -169,6 +169,15 @@ pub struct IoWorker {
     /// and the sender retries end-to-end (backpressure is a counted
     /// drop, never a cross-worker stall).
     pub handoff_overflow: AtomicU64,
+    /// Times this worker's wait returned (one blocking receive on the
+    /// fallback wait backend, one `epoll_wait` return on the readiness
+    /// backend). An idle engine's wakeup *rate* is the wasted-CPU
+    /// measure the readiness backend exists to shrink.
+    pub wakeups: AtomicU64,
+    /// Failures arming the worker's wait (`set_read_timeout` on the
+    /// fallback backend, `timerfd_settime` on the readiness backend).
+    /// Nonzero means timers are running on the backstop timeout only.
+    pub read_timeout_errors: AtomicU64,
 }
 
 /// Summed [`IoWorker`] counters across every registered worker.
@@ -192,6 +201,10 @@ pub struct IoTotals {
     pub handoff_out: u64,
     /// Handoff pushes dropped on full rings.
     pub handoff_overflow: u64,
+    /// Worker wait returns (blocking receives or `epoll_wait` returns).
+    pub wakeups: u64,
+    /// Failures arming a worker wait (read timeout / timerfd).
+    pub read_timeout_errors: u64,
 }
 
 impl IoTotals {
@@ -213,7 +226,12 @@ impl IoTotals {
 #[derive(Default)]
 pub struct IoMetrics {
     backend: Mutex<Option<&'static str>>,
+    wait_backend: Mutex<Option<&'static str>>,
     workers: Mutex<Vec<Arc<IoWorker>>>,
+    /// Time a cross-worker handed-off datagram waited in its ring
+    /// before the owning worker drained it (push-to-drain, µs). The
+    /// eventfd doorbells exist to collapse this histogram's tail.
+    pub handoff_wait_us: Histogram,
 }
 
 impl IoMetrics {
@@ -227,6 +245,18 @@ impl IoMetrics {
     #[must_use]
     pub fn backend_name(&self) -> &'static str {
         self.backend.lock().unwrap_or("none")
+    }
+
+    /// Record which wait backend the engine's workers block in.
+    pub fn set_wait_backend(&self, name: &'static str) {
+        *self.wait_backend.lock() = Some(name);
+    }
+
+    /// The recorded wait backend name, `"none"` when no worker loop has
+    /// attached (sans-io tests, single-threaded endpoints).
+    #[must_use]
+    pub fn wait_backend_name(&self) -> &'static str {
+        self.wait_backend.lock().unwrap_or("none")
     }
 
     /// Register (and return) a fresh per-worker counter block.
@@ -257,6 +287,8 @@ impl IoMetrics {
             t.handoff_in += w.handoff_in.load(Ordering::Relaxed);
             t.handoff_out += w.handoff_out.load(Ordering::Relaxed);
             t.handoff_overflow += w.handoff_overflow.load(Ordering::Relaxed);
+            t.wakeups += w.wakeups.load(Ordering::Relaxed);
+            t.read_timeout_errors += w.read_timeout_errors.load(Ordering::Relaxed);
         }
         t
     }
@@ -282,6 +314,8 @@ impl IoMetrics {
                     ("handoff_in".to_owned(), ld(&w.handoff_in)),
                     ("handoff_out".to_owned(), ld(&w.handoff_out)),
                     ("handoff_overflow".to_owned(), ld(&w.handoff_overflow)),
+                    ("wakeups".to_owned(), ld(&w.wakeups)),
+                    ("read_timeout_errors".to_owned(), ld(&w.read_timeout_errors)),
                 ])
             })
             .collect();
@@ -289,6 +323,10 @@ impl IoMetrics {
             (
                 "udp_backend".to_owned(),
                 Value::Str(self.backend_name().to_owned()),
+            ),
+            (
+                "wait_backend".to_owned(),
+                Value::Str(self.wait_backend_name().to_owned()),
             ),
             ("recv_calls".to_owned(), Value::U64(t.recv_calls)),
             ("send_calls".to_owned(), Value::U64(t.send_calls)),
@@ -302,9 +340,18 @@ impl IoMetrics {
                 "handoff_overflow".to_owned(),
                 Value::U64(t.handoff_overflow),
             ),
+            ("wakeups".to_owned(), Value::U64(t.wakeups)),
+            (
+                "read_timeout_errors".to_owned(),
+                Value::U64(t.read_timeout_errors),
+            ),
             (
                 "datagrams_per_recv_call".to_owned(),
                 Value::F64(t.datagrams_per_recv()),
+            ),
+            (
+                "handoff_wait_us".to_owned(),
+                self.handoff_wait_us.snapshot(),
             ),
             ("per_worker".to_owned(), Value::Array(per_worker)),
         ])

@@ -199,6 +199,10 @@ pub struct RxDatagram {
     pub frame: Frame,
     /// The datagram was longer than the frame and lost its tail.
     pub truncated: bool,
+    /// When the receive syscall returned it (one stamp per batch on the
+    /// batched backend). Cross-worker handoff latency is measured from
+    /// here to ring drain.
+    pub received: std::time::Instant,
 }
 
 /// A socket plus the backend that moves datagrams through it and the
@@ -310,6 +314,7 @@ impl UdpIo {
                             // recv_from cannot distinguish a datagram of
                             // exactly scratch size from a truncated one.
                             truncated: n == self.scratch.len(),
+                            received: std::time::Instant::now(),
                         });
                         Ok(1)
                     }

@@ -27,16 +27,21 @@
 //! batch verification; the transport owns sockets and the clock, the
 //! engine owns flow state, timers, admission and metrics.
 
+/// Hand-declared Linux FFI for `epoll`, `eventfd` and `timerfd` —
+/// the readiness wait backend (empty on other platforms).
+pub mod epoll;
 pub mod io;
 pub mod loadgen;
 /// Hand-declared Linux FFI for `recvmmsg`/`sendmmsg` and
 /// `SO_REUSEPORT` socket groups (empty on other platforms).
 pub mod mmsg;
 mod server;
+pub mod wait;
 
 pub use io::{RxDatagram, UdpBackend, UdpIo};
-pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use loadgen::{probe_handoff, HandoffProbe, LoadgenConfig, LoadgenReport};
 pub use server::{query_stats, DeliverySink, Engine, RECV_TIMEOUT, STATS_MAGIC};
+pub use wait::WaitBackend;
 
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::sync::atomic::Ordering::Relaxed;

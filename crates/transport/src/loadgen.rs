@@ -116,6 +116,21 @@ pub struct LoadgenReport {
     pub reuseport: bool,
     /// Active UDP backend name.
     pub udp_backend: &'static str,
+    /// Wait backend the server's workers actually ran (from the
+    /// engine's metrics, so a doorbell-setup fallback is reported
+    /// truthfully).
+    pub wait_backend: &'static str,
+    /// Worker wakeups per second measured with the engine bound but no
+    /// client traffic — the wasted-CPU number the readiness backend
+    /// collapses (fallback: ~`1s / RECV_TIMEOUT` per worker).
+    pub idle_wakeups_per_sec: f64,
+    /// Cross-worker handed-off datagrams measured during the run.
+    pub handoff_samples: u64,
+    /// Median ring-wait of a handed-off datagram (µs, bucket upper
+    /// bound; 0 when no handoffs occurred).
+    pub handoff_p50_us: u64,
+    /// 99th-percentile ring-wait (µs, bucket upper bound).
+    pub handoff_p99_us: u64,
     /// Client-side signing errors (chain exhaustion etc.; should be 0).
     pub sign_errors: u64,
 }
@@ -131,6 +146,9 @@ impl LoadgenReport {
                 "\"s2_verified\":{},\"s2_per_sec\":{:.1},",
                 "\"handoff_in\":{},\"handoff_out\":{},\"handoff_overflow\":{},",
                 "\"lock_contended\":{},\"reuseport\":{},\"udp_backend\":\"{}\",",
+                "\"wait_backend\":\"{}\",\"idle_wakeups_per_sec\":{:.1},",
+                "\"handoff_samples\":{},\"handoff_wait_p50_us\":{},",
+                "\"handoff_wait_p99_us\":{},",
                 "\"sign_errors\":{}}}"
             ),
             self.host_cores,
@@ -146,6 +164,11 @@ impl LoadgenReport {
             self.lock_contended,
             self.reuseport,
             self.udp_backend,
+            self.wait_backend,
+            self.idle_wakeups_per_sec,
+            self.handoff_samples,
+            self.handoff_p50_us,
+            self.handoff_p99_us,
             self.sign_errors,
         )
     }
@@ -172,6 +195,24 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         .with_handoff_ring(cfg.handoff_ring);
     let server = Engine::bind("127.0.0.1:0", EngineCore::new(engine_cfg), cfg.workers)?;
     let server_addr = server.local_addr()?;
+
+    // Idle section: the engine is up, no client traffic yet, no timers
+    // armed. The wakeup rate with nothing to do is pure overhead — the
+    // number the readiness backend collapses from `workers / 5ms` to a
+    // few backstop ticks per second.
+    let idle_window = cfg
+        .duration
+        .clamp(Duration::from_millis(100), Duration::from_millis(400));
+    let idle_before = server.core().metrics().io.totals().wakeups;
+    std::thread::sleep(idle_window);
+    let idle_wakeups = server
+        .core()
+        .metrics()
+        .io
+        .totals()
+        .wakeups
+        .saturating_sub(idle_before);
+    let idle_wakeups_per_sec = idle_wakeups as f64 / idle_window.as_secs_f64();
 
     let stop = Arc::new(AtomicBool::new(false));
     let connected = Arc::new(AtomicUsize::new(0));
@@ -222,6 +263,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
 
     let s2_verified = s2_after.saturating_sub(s2_before);
     let io_totals = metrics.io.totals();
+    let handoffs = &metrics.io.handoff_wait_us;
     let report = LoadgenReport {
         workers: cfg.workers,
         senders: cfg.senders,
@@ -234,6 +276,11 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         lock_contended: server.core().lock_contended(),
         reuseport: server.per_worker_sockets(),
         udp_backend: crate::io::active().name(),
+        wait_backend: metrics.io.wait_backend_name(),
+        idle_wakeups_per_sec,
+        handoff_samples: handoffs.count(),
+        handoff_p50_us: handoffs.quantile_us(0.50),
+        handoff_p99_us: handoffs.quantile_us(0.99),
         sign_errors: sign_errors.load(Ordering::Relaxed),
     };
     server.shutdown();
@@ -321,6 +368,139 @@ fn sender_thread(
     exchanges
 }
 
+/// What [`probe_handoff`] measured: the wake-to-verify path of
+/// cross-worker datagrams on a lightly-loaded engine.
+#[derive(Debug, Clone)]
+pub struct HandoffProbe {
+    /// Handed-off datagrams observed. Zero when the single-socket UDP
+    /// backend is active — without SO_REUSEPORT every datagram lands on
+    /// the shared socket and there is no cross-worker path to measure.
+    pub samples: u64,
+    /// Median push-to-drain ring wait (µs, bucket upper bound).
+    pub p50_us: u64,
+    /// 99th-percentile ring wait (µs, bucket upper bound).
+    pub p99_us: u64,
+    /// Mean ring wait in µs.
+    pub mean_us: f64,
+    /// Whether workers had their own SO_REUSEPORT sockets.
+    pub reuseport: bool,
+    /// Wait backend the server's workers actually ran.
+    pub wait_backend: &'static str,
+}
+
+/// Measure cross-worker handoff latency on a lightly-loaded 2-worker
+/// engine.
+///
+/// With `preclaim`, worker 0 claims every shard before any client
+/// connects, so any datagram the kernel steers to worker 1's socket
+/// *must* cross a handoff ring — the regression-test configuration.
+/// The client side is paced (one exchange per idle flow per ~2 ms
+/// round), so the ring wait measures the receiving worker's wakeup
+/// path, not queueing under saturation: under the epoll backend the
+/// doorbell wakes the owner in microseconds; under the fallback the
+/// datagram sits until the owner's next timeout expiry.
+pub fn probe_handoff(duration: Duration, preclaim: bool) -> io::Result<HandoffProbe> {
+    const SHARDS: usize = 4;
+    const CLIENTS: usize = 16;
+    const CHAIN_LEN: u64 = 4096;
+
+    let engine_cfg = EngineConfig::new(proto(CHAIN_LEN)).with_shards(SHARDS);
+    let server = Engine::bind("127.0.0.1:0", EngineCore::new(engine_cfg), 2)?;
+    let server_addr = server.local_addr()?;
+    if preclaim {
+        for s in 0..server.core().shard_count() {
+            server.core().claim_shard(s, 0);
+        }
+    }
+
+    struct Client {
+        core: EngineCore,
+        socket: UdpSocket,
+        key: alpha_engine::FlowKey,
+        up: bool,
+    }
+
+    let start = Instant::now();
+    let now = |s: Instant| Timestamp::from_micros(s.elapsed().as_micros() as u64);
+    let mut rng = StdRng::seed_from_u64(0xA1FA_D00B);
+    let payload = [0x5A_u8; 64];
+    let send_out = |socket: &UdpSocket, datagrams: &[(SocketAddr, alpha_wire::Frame)]| {
+        for (dst, bytes) in datagrams {
+            let _ = socket.send_to(bytes, *dst);
+        }
+    };
+
+    // One core + socket per flow: distinct source ports make the kernel
+    // RSS hash spread the flows across both workers' sockets.
+    let mut clients = Vec::with_capacity(CLIENTS);
+    for c in 0..CLIENTS {
+        let core = EngineCore::new(EngineConfig::new(proto(CHAIN_LEN)));
+        let socket = UdpSocket::bind("127.0.0.1:0")?;
+        socket.set_nonblocking(true)?;
+        let (key, out) = core.connect(server_addr, c as u64 + 1, now(start), &mut rng);
+        send_out(&socket, &out.datagrams);
+        clients.push(Client {
+            core,
+            socket,
+            key,
+            up: false,
+        });
+    }
+
+    // Drive all clients from this thread; the server side is what we
+    // are measuring.
+    let mut buf = vec![0u8; MAX_DATAGRAM];
+    let handshake_deadline = Instant::now() + Duration::from_secs(10);
+    let mut window_open: Option<Instant> = None;
+    loop {
+        let t = now(start);
+        let mut all_up = true;
+        for cl in &mut clients {
+            let out = cl.core.poll(t, &mut rng);
+            send_out(&cl.socket, &out.datagrams);
+            cl.up |= !out.completed.is_empty();
+            while let Ok((n, from)) = cl.socket.recv_from(&mut buf) {
+                let out = cl.core.handle_datagram(from, &buf[..n], t, &mut rng);
+                send_out(&cl.socket, &out.datagrams);
+                cl.up |= !out.completed.is_empty();
+            }
+            all_up &= cl.up;
+            if window_open.is_some() && cl.up && cl.core.flow_is_idle(cl.key) {
+                if let Ok(out) = cl.core.sign_batch(cl.key, &[&payload[..]], Mode::Base, t) {
+                    send_out(&cl.socket, &out.datagrams);
+                }
+            }
+        }
+        match window_open {
+            None if all_up => window_open = Some(Instant::now()),
+            None if Instant::now() >= handshake_deadline => {
+                server.shutdown();
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "handoff probe: flows did not connect within 10s",
+                ));
+            }
+            Some(opened) if opened.elapsed() >= duration => break,
+            _ => {}
+        }
+        // Pacing: the probe measures wakeup latency, not throughput.
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let metrics = server.core().metrics();
+    let waits = &metrics.io.handoff_wait_us;
+    let probe = HandoffProbe {
+        samples: waits.count(),
+        p50_us: waits.quantile_us(0.50),
+        p99_us: waits.quantile_us(0.99),
+        mean_us: waits.mean_us(),
+        reuseport: server.per_worker_sockets(),
+        wait_backend: metrics.io.wait_backend_name(),
+    };
+    server.shutdown();
+    Ok(probe)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,14 +517,24 @@ mod tests {
         assert!(report.s2_per_sec > 0.0);
         assert_eq!(report.flows, cfg.total_flows());
         assert_eq!(report.sign_errors, 0);
+        // The readiness fields carry the backend the workers ran.
+        assert_eq!(report.wait_backend, crate::wait::active().name());
+        assert!(report.idle_wakeups_per_sec >= 0.0);
         // The JSON render carries the honesty fields.
         let json = report.json();
         assert!(json.contains("\"runtime_mode\":\"live\""));
         assert!(json.contains("\"host_cores\":"));
+        assert!(json.contains("\"wait_backend\":"));
+        assert!(json.contains("\"idle_wakeups_per_sec\":"));
+        assert!(json.contains("\"handoff_wait_p99_us\":"));
         let v: serde::Value = serde_json::from_str(&json).expect("valid json");
         assert_eq!(
             v.get("workers").and_then(serde::Value::as_u64),
             Some(cfg.workers as u64)
+        );
+        assert_eq!(
+            v.get("wait_backend").and_then(serde::Value::as_str),
+            Some(report.wait_backend)
         );
     }
 }

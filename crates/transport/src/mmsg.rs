@@ -1,6 +1,7 @@
 //! Raw Linux batched-UDP FFI: `recvmmsg` / `sendmmsg`, `SO_REUSEPORT`
-//! socket construction, and receive-buffer sizing. **The only module in
-//! the crate containing `unsafe`.**
+//! socket construction, and receive-buffer sizing. One of the two FFI
+//! modules in the crate containing `unsafe` (the other is
+//! [`crate::epoll`], the readiness/timer syscalls).
 //!
 //! No crates.io access means no `libc`: the ABI is declared by hand —
 //! `iovec`, `msghdr`, `mmsghdr` and the `sockaddr` encodings as
@@ -379,6 +380,9 @@ pub fn recv_batch(
         return Err(io::Error::last_os_error());
     }
     let got = (rc as usize).min(want);
+    // One stamp for the whole batch: every datagram in it became
+    // visible to user space when this recvmmsg returned.
+    let received = std::time::Instant::now();
     for (i, mut frame) in scratch.drain(..got).enumerate() {
         let cap = frame.buf_mut().capacity();
         let n = (hdrs[i].msg_len as usize).min(cap);
@@ -393,6 +397,7 @@ pub fn recv_batch(
             from,
             frame,
             truncated,
+            received,
         });
     }
     Ok(got)

@@ -36,12 +36,25 @@
 //! behaviour.
 //! Unclaimed shards fall back to modulo ownership for timer polling so
 //! connecting/renewing flows never starve before their first datagram.
-//! Read timeouts are deadline-aware: each worker sizes its blocking
-//! window from its own shards' next timer deadline (with a shared
-//! socket the coarsest window wins, bounding timer lateness at
-//! [`RECV_TIMEOUT`], exactly the old fixed behaviour). Handoff latency
-//! is bounded the same way: an owner blocked in `recv` wakes within
-//! [`RECV_TIMEOUT`] and drains its rings first.
+//!
+//! *How a worker waits* is a runtime-selected backend
+//! ([`crate::wait`], `ALPHA_WAIT_BACKEND`):
+//!
+//! - **`epoll`** (Linux default): the worker blocks in one `epoll_wait`
+//!   over its socket, one `eventfd` doorbell per inbound handoff ring,
+//!   and a `timerfd` armed from the engine's per-worker min-deadline
+//!   hint ([`EngineCore::worker_next_deadline`], O(1) per iteration).
+//!   Senders ring the doorbell *after* the ring push, so a handed-off
+//!   datagram is processed microseconds later instead of "whenever the
+//!   owner's read timeout expires"; timers fire at microsecond
+//!   precision; and an idle engine parks in the kernel (a long backstop
+//!   timeout bounds the wakeup rate at a few per second).
+//! - **`fallback`** (portable): the worker blocks in the receive
+//!   syscall behind an `SO_RCVTIMEO` read timeout sized from the same
+//!   deadline hint, re-scanned each iteration
+//!   ([`EngineCore::refresh_worker_deadline`]) and quantized to whole
+//!   milliseconds so an unchanged horizon costs no `setsockopt`. Timer
+//!   lateness and handoff latency are bounded by [`RECV_TIMEOUT`].
 //!
 //! A stats datagram (prefix [`STATS_MAGIC`]) is answered inline by
 //! whichever worker receives it, so `engine stats` works against a
@@ -66,24 +79,68 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::io::{RxDatagram, UdpBackend, UdpIo, MAX_DATAGRAM};
+use crate::wait::WaitBackend;
 
 /// First bytes of a stats-query datagram. Starts with 0x00, which no
 /// ALPHA packet type uses, so protocol traffic can never alias it.
 pub const STATS_MAGIC: &[u8] = b"\x00ALPHA-ENGINE-STATS";
 
-/// Ceiling on a worker's blocking receive window (and on timer
-/// lateness when the deadline computation cannot help).
+/// Ceiling on a worker's blocking receive window under the fallback
+/// wait backend (and on timer lateness when the deadline computation
+/// cannot help).
 pub const RECV_TIMEOUT: Duration = Duration::from_millis(5);
 const MIN_READ_TIMEOUT: Duration = Duration::from_millis(1);
 /// Most datagrams drained into one worker burst before timers and
 /// transmissions get a chance to run; bounds per-burst frame pinning.
 const MAX_BURST: usize = 32;
+/// `epoll_wait` backstop timeout: with no traffic, no doorbells and no
+/// armed timer, a worker still wakes this often to re-check shutdown.
+/// This is the idle-engine wakeup rate under the epoll backend (~4/s
+/// per worker, vs. 200/s at [`RECV_TIMEOUT`] under the fallback).
+#[cfg(target_os = "linux")]
+const EPOLL_BACKSTOP_MS: i32 = 250;
 /// Kernel receive-buffer request for every worker socket: deep enough
 /// to absorb a traffic burst while workers are inside the engine.
 /// Best-effort — without `CAP_NET_ADMIN` the kernel clamps the request
 /// to `net.core.rmem_max`.
 #[cfg(target_os = "linux")]
 const RECV_BUFFER_BYTES: usize = 4 << 20;
+
+/// One eventfd doorbell per ordered worker pair, mirroring the handoff
+/// rings: `cells[dst][src]` is rung by worker `src` after pushing onto
+/// `rings[dst][src]`. The diagonal `cells[w][w]` (no ring exists for a
+/// worker-to-itself handoff) is worker `w`'s *control* bell: the
+/// engine's deadline waker and [`Engine::shutdown`] ring it to knock
+/// the worker out of `epoll_wait`. Built only under the epoll wait
+/// backend.
+#[cfg(target_os = "linux")]
+struct Doorbells {
+    cells: Vec<Vec<crate::epoll::EventFd>>,
+}
+
+#[cfg(target_os = "linux")]
+impl Doorbells {
+    fn new(workers: usize) -> io::Result<Doorbells> {
+        let mut cells = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let mut row = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                row.push(crate::epoll::EventFd::new()?);
+            }
+            cells.push(row);
+        }
+        Ok(Doorbells { cells })
+    }
+}
+
+#[cfg(target_os = "linux")]
+thread_local! {
+    /// Which engine worker this thread is, if any. The deadline waker
+    /// skips ringing a worker's own bell: the worker re-reads its hint
+    /// at the top of every loop iteration, so a self-wake would only
+    /// add a spurious `epoll_wait` round trip.
+    static CURRENT_WORKER: std::cell::Cell<Option<u32>> = const { std::cell::Cell::new(None) };
+}
 
 /// A running multi-flow engine: per-worker sockets (or one shared
 /// socket) and a worker pool owning disjoint shard sets.
@@ -94,6 +151,8 @@ pub struct Engine {
     threads: Vec<JoinHandle<()>>,
     start: Instant,
     reuseport: bool,
+    #[cfg(target_os = "linux")]
+    doorbells: Option<Arc<Doorbells>>,
 }
 
 /// What each verified delivery/extraction sink receives.
@@ -129,6 +188,50 @@ impl Engine {
         }
         let core = Arc::new(core);
         core.metrics().io.set_backend(backend.name());
+
+        // Resolve the wait backend. Doorbell creation is all-or-nothing
+        // at bind time: if any eventfd fails the whole engine degrades
+        // to the fallback loop, so `wait_backend` in stats always names
+        // the loop the workers actually run.
+        let wait = crate::wait::active();
+        #[cfg(target_os = "linux")]
+        let (wait, doorbells) = match wait {
+            WaitBackend::Epoll => match Doorbells::new(workers) {
+                Ok(bells) => (WaitBackend::Epoll, Some(Arc::new(bells))),
+                Err(e) => {
+                    eprintln!(
+                        "alpha-transport: eventfd doorbells unavailable ({e}); \
+                         using the fallback wait backend"
+                    );
+                    (WaitBackend::Fallback, None)
+                }
+            },
+            WaitBackend::Fallback => (WaitBackend::Fallback, None),
+        };
+        #[cfg(not(target_os = "linux"))]
+        let wait = {
+            debug_assert_eq!(wait, WaitBackend::Fallback);
+            WaitBackend::Fallback
+        };
+        core.metrics().io.set_wait_backend(wait.name());
+
+        // Per-worker min-deadline hints; under epoll the engine also
+        // gets a waker that rings a worker's control bell whenever its
+        // earliest deadline moves forward, so a sleeping worker re-arms
+        // its timerfd instead of discovering the new timer late.
+        #[cfg(target_os = "linux")]
+        let waker: Option<Box<dyn Fn(u32) + Send + Sync>> = doorbells.as_ref().map(|bells| {
+            let bells = Arc::clone(bells);
+            Box::new(move |w: u32| {
+                if CURRENT_WORKER.with(std::cell::Cell::get) != Some(w) {
+                    bells.cells[w as usize][w as usize].ring();
+                }
+            }) as Box<dyn Fn(u32) + Send + Sync>
+        });
+        #[cfg(not(target_os = "linux"))]
+        let waker: Option<Box<dyn Fn(u32) + Send + Sync>> = None;
+        core.install_worker_hints(workers as u32, waker);
+
         let shutdown = Arc::new(AtomicBool::new(false));
         let start = Instant::now();
         let sink = sink.map(Arc::new);
@@ -156,19 +259,28 @@ impl Engine {
             sock.set_read_timeout(Some(RECV_TIMEOUT))?;
             let counters = core.metrics().io.register_worker();
             let io = UdpIo::with_backend(sock, backend, Arc::clone(&counters));
-            threads.push(spawn_worker(WorkerCtx {
+            let worker = Worker {
                 index: w,
+                me: w as u32,
                 workers,
+                shards: core.shard_count(),
                 io,
                 counters,
                 rx_pool: rx_pool.clone(),
                 core: Arc::clone(&core),
                 rings: Arc::clone(&rings),
+                #[cfg(target_os = "linux")]
+                doorbells: doorbells.clone(),
                 per_worker_sockets: reuseport,
                 shutdown: Arc::clone(&shutdown),
                 start,
                 sink: sink.clone(),
-            }));
+                rng: StdRng::from_entropy(),
+                rx: Vec::with_capacity(MAX_BURST),
+                handed: Vec::with_capacity(MAX_BURST),
+                local: Vec::with_capacity(MAX_BURST),
+            };
+            threads.push(std::thread::spawn(move || worker.run()));
         }
         let io = UdpIo::with_backend(handle, backend, core.metrics().io.register_worker());
         Ok(Engine {
@@ -178,6 +290,8 @@ impl Engine {
             threads,
             start,
             reuseport,
+            #[cfg(target_os = "linux")]
+            doorbells,
         })
     }
 
@@ -219,9 +333,22 @@ impl Engine {
         self.core.stats_json()
     }
 
+    /// Knock every worker out of `epoll_wait` so a shutdown is seen
+    /// now, not at the next backstop tick. No-op under the fallback
+    /// wait (its read timeouts already bound the reaction time).
+    fn wake_all_workers(&self) {
+        #[cfg(target_os = "linux")]
+        if let Some(bells) = &self.doorbells {
+            for w in 0..bells.cells.len() {
+                bells.cells[w][w].ring();
+            }
+        }
+    }
+
     /// Signal shutdown and join every thread.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        self.wake_all_workers();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -231,6 +358,7 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        self.wake_all_workers();
         for t in self.threads.drain(..) {
             let _ = t.join();
         }
@@ -262,11 +390,13 @@ fn bind_worker_sockets(
     Ok((sockets, false))
 }
 
-/// Everything one worker thread owns, bundled so the spawn stays
-/// readable.
-struct WorkerCtx {
+/// Everything one worker thread owns, including its reusable scratch
+/// buffers — nothing on the steady-state path allocates per iteration.
+struct Worker {
     index: usize,
+    me: u32,
     workers: usize,
+    shards: usize,
     io: UdpIo,
     counters: Arc<IoWorker>,
     rx_pool: FramePool,
@@ -274,6 +404,9 @@ struct WorkerCtx {
     /// `rings[dst][src]`: this worker pushes to `rings[owner][index]`
     /// and drains `rings[index][*]`.
     rings: Arc<Vec<Vec<HandoffRing<RxDatagram>>>>,
+    /// Present iff the engine runs the epoll wait backend.
+    #[cfg(target_os = "linux")]
+    doorbells: Option<Arc<Doorbells>>,
     /// Whether each worker owns its own `SO_REUSEPORT` socket. Shard
     /// ownership and handoff only make sense when the kernel pins a
     /// flow to one worker's socket; on a shared socket every worker
@@ -284,159 +417,392 @@ struct WorkerCtx {
     shutdown: Arc<AtomicBool>,
     start: Instant,
     sink: Option<Arc<DeliverySink>>,
+    rng: StdRng,
+    /// Receive burst scratch, reused across iterations.
+    rx: Vec<RxDatagram>,
+    /// Handoff-drain scratch, reused across iterations.
+    handed: Vec<RxDatagram>,
+    /// Locally-processed subset of a receive burst, reused across
+    /// iterations.
+    local: Vec<RxDatagram>,
 }
 
-fn spawn_worker(ctx: WorkerCtx) -> JoinHandle<()> {
-    std::thread::spawn(move || {
-        let WorkerCtx {
-            index,
-            workers,
-            mut io,
-            counters,
-            rx_pool,
-            core,
-            rings,
-            per_worker_sockets,
-            shutdown,
-            start,
-            sink,
-        } = ctx;
-        let mut rng = StdRng::from_entropy();
-        let me = index as u32;
-        let shards = core.shard_count();
-        // This worker polls the timers of shards it has claimed, plus —
-        // so flows never starve before their first datagram arrives —
-        // unclaimed shards that fall to it by modulo.
-        let polls = |core: &EngineCore, s: usize| match core.shard_owner(s) {
-            Some(w) => w == me,
-            None => s % workers == index,
-        };
-        let mut rx: Vec<RxDatagram> = Vec::with_capacity(MAX_BURST);
-        let mut handed: Vec<RxDatagram> = Vec::with_capacity(MAX_BURST);
-        let mut read_timeout = RECV_TIMEOUT;
-        loop {
-            if shutdown.load(Ordering::Relaxed) {
-                return;
+/// Feed one burst to the engine and dispatch its output, building the
+/// borrow batch in a stack array: the `(addr, &bytes)` views borrow
+/// `burst`, so a heap batch could not be hoisted across iterations —
+/// a fixed-size array sized to the burst cap avoids the per-burst
+/// allocation instead.
+fn feed(
+    core: &EngineCore,
+    io: &UdpIo,
+    sink: Option<&DeliverySink>,
+    rng: &mut StdRng,
+    burst: &[RxDatagram],
+    now: Timestamp,
+) {
+    const EMPTY: &[u8] = &[];
+    let nowhere: SocketAddr = SocketAddr::from(([0, 0, 0, 0], 0));
+    for chunk in burst.chunks(MAX_BURST) {
+        let mut batch: [(SocketAddr, &[u8]); MAX_BURST] = [(nowhere, EMPTY); MAX_BURST];
+        for (slot, d) in batch.iter_mut().zip(chunk) {
+            *slot = (d.from, &d.frame[..]);
+        }
+        let out = core.handle_datagrams(&batch[..chunk.len()], now, rng);
+        dispatch(io, &out, sink);
+    }
+}
+
+impl Worker {
+    fn run(mut self) {
+        #[cfg(target_os = "linux")]
+        if let Some(bells) = self.doorbells.clone() {
+            CURRENT_WORKER.with(|c| c.set(Some(self.me)));
+            match self.run_epoll(&bells) {
+                Ok(()) => return,
+                Err(e) => {
+                    // Per-worker epoll/timerfd setup failed; this
+                    // worker alone degrades to the blocking loop. Its
+                    // doorbells go unrung-drained but an eventfd
+                    // counter saturating is harmless.
+                    eprintln!(
+                        "alpha-transport: worker {} readiness setup failed ({e}); \
+                         using blocking waits",
+                        self.index
+                    );
+                }
             }
-            let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
-            // Drain the handoff rings first: datagrams other workers
-            // received for shards this worker owns. Bounded at one
-            // burst so timers and the socket still get their turn.
-            handed.clear();
-            'drain: for src in &rings[index] {
-                while let Some(d) = src.pop() {
-                    handed.push(d);
-                    if handed.len() >= MAX_BURST {
-                        break 'drain;
+        }
+        self.run_blocking();
+    }
+
+    fn now(&self) -> Timestamp {
+        Timestamp::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    /// Drain the handoff rings — datagrams other workers received for
+    /// shards this worker owns — bounded at one burst so timers and
+    /// the socket still get their turn. Returns whether the burst cap
+    /// was hit (rings may still carry backlog).
+    fn drain_handoffs(&mut self, now: Timestamp) -> bool {
+        self.handed.clear();
+        let waits = &self.core.metrics().io.handoff_wait_us;
+        'drain: for src in &self.rings[self.index] {
+            while let Some(d) = src.pop() {
+                waits.record(d.received.elapsed().as_micros() as u64);
+                self.handed.push(d);
+                if self.handed.len() >= MAX_BURST {
+                    break 'drain;
+                }
+            }
+        }
+        let full = self.handed.len() >= MAX_BURST;
+        if !self.handed.is_empty() {
+            self.counters
+                .handoff_in
+                .fetch_add(self.handed.len() as u64, Ordering::Relaxed);
+            feed(
+                &self.core,
+                &self.io,
+                self.sink.as_deref(),
+                &mut self.rng,
+                &self.handed,
+                now,
+            );
+        }
+        full
+    }
+
+    /// Advance the timers of every shard this worker polls.
+    fn poll_timers(&mut self, now: Timestamp) {
+        let mut out = EngineOutput::default();
+        for s in 0..self.shards {
+            if self.core.polls_shard(s, self.me, self.workers as u32) {
+                self.core.poll_shard(s, now, &mut self.rng, &mut out);
+            }
+        }
+        dispatch(&self.io, &out, self.sink.as_deref());
+    }
+
+    /// Sort a received burst: answer control datagrams inline, hand
+    /// RSS-mismatched datagrams to their owning worker, process the
+    /// rest here.
+    fn ingest(&mut self, now: Timestamp) {
+        let mut rx = std::mem::take(&mut self.rx);
+        self.local.clear();
+        for d in rx.drain(..) {
+            if d.frame.starts_with(STATS_MAGIC) {
+                let _ = self
+                    .io
+                    .socket()
+                    .send_to(self.core.stats_json().as_bytes(), d.from);
+                continue;
+            }
+            if let Some(nonce) = mesh::parse_ping(&d.frame) {
+                // Mesh liveness probe: echoed inline like stats, so
+                // a peer's health check measures this worker's real
+                // service latency, not a side channel's.
+                let _ = self.io.socket().send_to(&mesh::encode_pong(nonce), d.from);
+                continue;
+            }
+            if let Some(inner) = mesh::parse_replica(&d.frame) {
+                // Handshake replica from an upstream relay toward a
+                // standby: learn the association, emit nothing.
+                self.core.absorb_replica(d.from, inner, now, &mut self.rng);
+                continue;
+            }
+            if self.workers == 1 || !self.per_worker_sockets {
+                // Sole worker, or a shared socket (no kernel flow
+                // affinity to preserve): process in place under the
+                // shard locks; shards stay unclaimed and timers
+                // stay on modulo polling.
+                self.local.push(d);
+                continue;
+            }
+            // First receiver wins: claim the shard, or learn who
+            // owns it and hand the datagram over lock-free.
+            let shard = self.core.shard_of_source(d.from);
+            let owner = self.core.claim_shard(shard, self.me);
+            if owner == self.me {
+                self.local.push(d);
+            } else {
+                match self.rings[owner as usize][self.index].push(d) {
+                    Ok(()) => {
+                        self.counters.handoff_out.fetch_add(1, Ordering::Relaxed);
+                        // Ring-after-push: the datagram is already
+                        // visible in the ring when the owner's
+                        // epoll_wait reports this bell.
+                        #[cfg(target_os = "linux")]
+                        if let Some(bells) = &self.doorbells {
+                            bells.cells[owner as usize][self.index].ring();
+                        }
+                    }
+                    Err(d) => {
+                        // Ring full: process it here under the shard
+                        // lock (contended path) rather than drop it —
+                        // the owner is behind, but the datagram must
+                        // not be lost.
+                        self.counters
+                            .handoff_overflow
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.local.push(d);
                     }
                 }
             }
-            let drained_full = handed.len() >= MAX_BURST;
-            if !handed.is_empty() {
-                counters
-                    .handoff_in
-                    .fetch_add(handed.len() as u64, Ordering::Relaxed);
-                let batch: Vec<(SocketAddr, &[u8])> =
-                    handed.iter().map(|d| (d.from, &d.frame[..])).collect();
-                let out = core.handle_datagrams(&batch, now, &mut rng);
-                drop(batch);
-                dispatch(&io, &out, sink.as_deref());
+        }
+        self.rx = rx;
+        if !self.local.is_empty() {
+            // The whole burst goes to the engine in one call, so its
+            // relay path can batch-verify and the responses leave in
+            // one gathered send.
+            feed(
+                &self.core,
+                &self.io,
+                self.sink.as_deref(),
+                &mut self.rng,
+                &self.local,
+                now,
+            );
+        }
+    }
+
+    /// The portable wait: block in the receive syscall behind a
+    /// deadline-sized read timeout.
+    fn run_blocking(&mut self) {
+        // (Re-)establish the baseline timeout — this loop may be
+        // entered after a failed readiness setup left the socket with
+        // a microsecond timeout.
+        let mut read_timeout = RECV_TIMEOUT;
+        if self
+            .io
+            .socket()
+            .set_read_timeout(Some(read_timeout))
+            .is_err()
+        {
+            self.counters
+                .read_timeout_errors
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return;
             }
-            // Drive this worker's shards' timers, then block on the
-            // socket until the next deadline-ish tick.
-            let mut out = EngineOutput::default();
-            for s in 0..shards {
-                if polls(&core, s) {
-                    core.poll_shard(s, now, &mut rng, &mut out);
-                }
-            }
-            dispatch(&io, &out, sink.as_deref());
+            let now = self.now();
+            let drained_full = self.drain_handoffs(now);
+            self.poll_timers(now);
             if drained_full {
                 // The rings still carry backlog; skip the blocking
                 // receive and keep draining at full speed.
                 continue;
             }
-            let wait = (0..shards)
-                .filter(|&s| polls(&core, s))
-                .filter_map(|s| core.shard_next_deadline(s))
-                .min()
+            // Rescan this worker's shards for the earliest deadline
+            // (the one operation allowed to raise the hint) and size
+            // the blocking window from it.
+            let wait = self
+                .core
+                .refresh_worker_deadline(self.me)
                 .map_or(RECV_TIMEOUT, |d| Duration::from_micros(d.since(now)))
                 .clamp(MIN_READ_TIMEOUT, RECV_TIMEOUT);
             // Quantize to whole milliseconds so an unchanged deadline
             // horizon costs no setsockopt on the hot path.
             let wait = Duration::from_millis((wait.as_micros() as u64).div_ceil(1000).max(1));
             if wait != read_timeout {
-                let _ = io.socket().set_read_timeout(Some(wait));
-                read_timeout = wait;
+                // A failed setsockopt means the previous window is
+                // still in effect — timers run late but nothing
+                // breaks; make it visible instead of ignoring it.
+                if self.io.socket().set_read_timeout(Some(wait)).is_err() {
+                    self.counters
+                        .read_timeout_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                } else {
+                    read_timeout = wait;
+                }
             }
-            rx.clear();
-            match io.recv_batch(&rx_pool, &mut rx, MAX_BURST) {
+            self.rx.clear();
+            let got = self.io.recv_batch(&self.rx_pool, &mut self.rx, MAX_BURST);
+            // One wakeup per blocking-receive return, fruitful or not:
+            // the idle rate of this counter is what the epoll backend
+            // collapses.
+            self.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            match got {
                 Ok(n) if n > 0 => {}
                 _ => continue, // timeout (re-check shutdown) or transient error
             }
-            let now = Timestamp::from_micros(start.elapsed().as_micros() as u64);
-            let mut local: Vec<RxDatagram> = Vec::with_capacity(rx.len());
-            for d in rx.drain(..) {
-                if d.frame.starts_with(STATS_MAGIC) {
-                    let _ = io.socket().send_to(core.stats_json().as_bytes(), d.from);
-                    continue;
-                }
-                if let Some(nonce) = mesh::parse_ping(&d.frame) {
-                    // Mesh liveness probe: echoed inline like stats, so
-                    // a peer's health check measures this worker's real
-                    // service latency, not a side channel's.
-                    let _ = io.socket().send_to(&mesh::encode_pong(nonce), d.from);
-                    continue;
-                }
-                if let Some(inner) = mesh::parse_replica(&d.frame) {
-                    // Handshake replica from an upstream relay toward a
-                    // standby: learn the association, emit nothing.
-                    core.absorb_replica(d.from, inner, now, &mut rng);
-                    continue;
-                }
-                if workers == 1 || !per_worker_sockets {
-                    // Sole worker, or a shared socket (no kernel flow
-                    // affinity to preserve): process in place under the
-                    // shard locks; shards stay unclaimed and timers
-                    // stay on modulo polling.
-                    local.push(d);
-                    continue;
-                }
-                // First receiver wins: claim the shard, or learn who
-                // owns it and hand the datagram over lock-free.
-                let shard = core.shard_of_source(d.from);
-                let owner = core.claim_shard(shard, me);
-                if owner == me {
-                    local.push(d);
+            let now = self.now();
+            self.ingest(now);
+        }
+    }
+
+    /// The readiness wait: park in `epoll_wait` over the socket, the
+    /// handoff doorbells and a min-deadline `timerfd`. An `Err` means
+    /// setup failed (the loop itself only returns on shutdown); the
+    /// caller falls back to [`Worker::run_blocking`].
+    #[cfg(target_os = "linux")]
+    fn run_epoll(&mut self, bells: &Arc<Doorbells>) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+
+        use crate::epoll::{Epoll, TimerFd, MAX_EVENTS};
+
+        // Doorbell tokens are the source worker index; these two sit
+        // above any plausible worker count.
+        const TOKEN_SOCKET: u64 = u64::MAX;
+        const TOKEN_TIMER: u64 = u64::MAX - 1;
+
+        let ep = Epoll::new()?;
+        // On a shared socket every worker's set watches the same fd;
+        // EPOLLEXCLUSIVE wakes one worker per datagram instead of the
+        // whole herd.
+        ep.add(
+            self.io.socket().as_raw_fd(),
+            TOKEN_SOCKET,
+            !self.per_worker_sockets,
+        )?;
+        let timer = TimerFd::new()?;
+        ep.add(timer.as_raw_fd(), TOKEN_TIMER, false)?;
+        for (src, bell) in bells.cells[self.index].iter().enumerate() {
+            ep.add(bell.as_raw_fd(), src as u64, false)?;
+        }
+        // Readiness decides when to receive, so the socket keeps a
+        // token timeout only as a guard: if a spurious wake (or a
+        // shared-socket race) finds the queue empty, the receive
+        // blocks one jiffy instead of [`RECV_TIMEOUT`]. Sends stay
+        // blocking — under saturation the kernel applies backpressure
+        // instead of dropping.
+        self.io
+            .socket()
+            .set_read_timeout(Some(Duration::from_micros(1)))?;
+
+        let mut tokens: Vec<u64> = Vec::with_capacity(MAX_EVENTS);
+        // Deadline (µs) the timerfd is currently armed for; u64::MAX =
+        // disarmed. Re-arming only on change keeps timerfd_settime off
+        // the steady-state path.
+        let mut armed = u64::MAX;
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            let hint = self
+                .core
+                .worker_next_deadline(self.me)
+                .map_or(u64::MAX, |t| t.micros());
+            if hint != armed {
+                let res = if hint == u64::MAX {
+                    timer.disarm()
                 } else {
-                    match rings[owner as usize][index].push(d) {
-                        Ok(()) => {
-                            counters.handoff_out.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(d) => {
-                            // Ring full: process it here under the shard
-                            // lock (contended path) rather than drop it —
-                            // the owner is behind, but the datagram must
-                            // not be lost.
-                            counters.handoff_overflow.fetch_add(1, Ordering::Relaxed);
-                            local.push(d);
-                        }
+                    let now_us = self.now().micros();
+                    timer.arm_in(Duration::from_micros(hint.saturating_sub(now_us)))
+                };
+                if res.is_err() {
+                    // The previously-armed expiry (or the backstop)
+                    // still bounds lateness; count it, don't hide it.
+                    self.counters
+                        .read_timeout_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                armed = hint;
+            }
+            tokens.clear();
+            match ep.wait(EPOLL_BACKSTOP_MS, &mut tokens) {
+                Ok(_) => {}
+                Err(_) => {
+                    // Unexpected post-setup failure: pace the loop so
+                    // a persistent error cannot spin a core.
+                    self.counters
+                        .read_timeout_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(MIN_READ_TIMEOUT);
+                    continue;
+                }
+            }
+            self.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            if self.shutdown.load(Ordering::Relaxed) {
+                return Ok(());
+            }
+            let mut socket_ready = false;
+            let mut timer_fired = false;
+            for &t in &tokens {
+                match t {
+                    TOKEN_SOCKET => socket_ready = true,
+                    TOKEN_TIMER => timer_fired = true,
+                    src => {
+                        // Quiet the bell; the rings are drained below
+                        // regardless (ring-after-push makes bell-then-
+                        // ring-drain ordering safe, see crate::epoll).
+                        bells.cells[self.index][src as usize].drain();
                     }
                 }
             }
-            if local.is_empty() {
-                continue;
+            if timer_fired {
+                timer.drain();
+                // Force a re-arm from the post-poll hint even if the
+                // deadline value happens to recur.
+                armed = u64::MAX;
             }
-            // The whole burst goes to the engine in one call, so its
-            // relay path can batch-verify and the responses leave in
-            // one gathered send below.
-            let batch: Vec<(SocketAddr, &[u8])> =
-                local.iter().map(|d| (d.from, &d.frame[..])).collect();
-            let out = core.handle_datagrams(&batch, now, &mut rng);
-            drop(batch);
-            dispatch(&io, &out, sink.as_deref());
+            let mut now = self.now();
+            // Drain rings until below the burst cap: doorbells are
+            // edge-like (drained above), so backlog must not wait for
+            // the next ring.
+            while self.drain_handoffs(now) {
+                now = self.now();
+            }
+            self.poll_timers(now);
+            if timer_fired {
+                // Timers fired and were consumed; rescan to raise the
+                // hint past them (fetch_min alone can never raise it).
+                self.core.refresh_worker_deadline(self.me);
+            }
+            if socket_ready {
+                self.rx.clear();
+                // One receive per wake: level-triggered epoll
+                // re-reports whatever the burst cap left queued.
+                if let Ok(n) = self.io.recv_batch(&self.rx_pool, &mut self.rx, MAX_BURST) {
+                    if n > 0 {
+                        let now = self.now();
+                        self.ingest(now);
+                    }
+                }
+            }
         }
-    })
+    }
 }
 
 fn dispatch(io: &UdpIo, out: &EngineOutput, sink: Option<&DeliverySink>) {
@@ -552,10 +918,12 @@ mod tests {
         assert_eq!(m.get("handshakes").unwrap().as_u64(), Some(4));
         assert_eq!(m.get("s2_verified").unwrap().as_u64(), Some(4));
         assert_eq!(v.get("flows").unwrap().as_u64(), Some(4));
-        // The front end stamped its backend and every worker's I/O
+        // The front end stamped its backends and every worker's I/O
         // counters into the same snapshot.
         let backend = v.get("udp_backend").and_then(serde::Value::as_str);
         assert_eq!(backend, Some(crate::io::active().name()));
+        let wait = v.get("wait_backend").and_then(serde::Value::as_str);
+        assert_eq!(wait, Some(crate::wait::active().name()));
         let io = m.get("io").expect("io metrics");
         assert!(
             io.get("datagrams_in")
@@ -563,6 +931,13 @@ mod tests {
                 .unwrap_or(0)
                 > 0,
             "workers counted received datagrams"
+        );
+        assert!(
+            io.get("wakeups")
+                .and_then(serde::Value::as_u64)
+                .unwrap_or(0)
+                > 0,
+            "workers counted their wait returns"
         );
         server.shutdown();
     }

@@ -1,0 +1,195 @@
+//! Runtime-selected worker wait backends: how an engine worker blocks
+//! until there is work.
+//!
+//! Mirrors [`crate::io`] (and `alpha_crypto::backend`): a process-wide
+//! backend resolved once — `ALPHA_WAIT_BACKEND` if set (`epoll`,
+//! `fallback`, `auto`), otherwise auto-detection — behind [`active`],
+//! with [`force`] for benches and tests that compare backends in one
+//! process. Both backends process identical datagrams and fire
+//! identical timers; selection only changes *how the worker sleeps*:
+//!
+//! - [`WaitBackend::Epoll`] — Linux readiness loop ([`crate::epoll`]):
+//!   one `epoll` set per worker watching its socket, one `eventfd`
+//!   doorbell per inbound handoff ring (cross-worker datagrams are
+//!   seen in microseconds, not at the next read-timeout), and a
+//!   `timerfd` armed from the engine's per-worker cached min-deadline
+//!   (microsecond timer precision, no per-iteration deadline scan).
+//! - [`WaitBackend::Fallback`] — the portable blocking loop: whole-
+//!   millisecond `SO_RCVTIMEO` read timeouts sized from the same
+//!   cached deadline, handoff rings drained whenever the socket wakes
+//!   the worker. Always available; the behavioural reference the
+//!   readiness loop must match (`tests/wait_backend_props.rs`).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Identifies one of the compiled-in worker wait backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitBackend {
+    /// Linux `epoll` + `eventfd` doorbells + `timerfd` (see
+    /// [`crate::epoll`]).
+    Epoll,
+    /// Portable blocking receive with deadline-sized read timeouts.
+    Fallback,
+}
+
+impl WaitBackend {
+    /// Stable lowercase name, as accepted by `ALPHA_WAIT_BACKEND` and
+    /// reported in `engine stats` / BENCH_*.json outputs.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            WaitBackend::Epoll => "epoll",
+            WaitBackend::Fallback => "fallback",
+        }
+    }
+
+    /// Parse a backend name (the inverse of [`WaitBackend::name`]).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<WaitBackend> {
+        match name {
+            "epoll" => Some(WaitBackend::Epoll),
+            "fallback" => Some(WaitBackend::Fallback),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current platform.
+    #[must_use]
+    pub fn is_supported(self) -> bool {
+        match self {
+            WaitBackend::Fallback => true,
+            WaitBackend::Epoll => cfg!(target_os = "linux"),
+        }
+    }
+}
+
+impl std::fmt::Display for WaitBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Backends usable on this platform, in increasing preference order.
+#[must_use]
+pub fn available() -> Vec<WaitBackend> {
+    let mut v = vec![WaitBackend::Fallback];
+    if WaitBackend::Epoll.is_supported() {
+        v.push(WaitBackend::Epoll);
+    }
+    v
+}
+
+/// What auto-detection picks on this platform (ignoring the override).
+#[must_use]
+pub fn detect() -> WaitBackend {
+    if WaitBackend::Epoll.is_supported() {
+        WaitBackend::Epoll
+    } else {
+        WaitBackend::Fallback
+    }
+}
+
+// 0 = not yet resolved; otherwise backend code below.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn code(kind: WaitBackend) -> u8 {
+    match kind {
+        WaitBackend::Epoll => 1,
+        WaitBackend::Fallback => 2,
+    }
+}
+
+/// The wait backend in effect for this process.
+///
+/// Resolved once on first use: `ALPHA_WAIT_BACKEND` if set and valid,
+/// otherwise [`detect`]. Subsequent calls are one relaxed atomic load.
+#[must_use]
+pub fn active() -> WaitBackend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        1 => WaitBackend::Epoll,
+        2 => WaitBackend::Fallback,
+        _ => {
+            let kind = resolve();
+            ACTIVE.store(code(kind), Ordering::Relaxed);
+            kind
+        }
+    }
+}
+
+fn resolve() -> WaitBackend {
+    match std::env::var("ALPHA_WAIT_BACKEND") {
+        Ok(raw) => {
+            let name = raw.trim().to_ascii_lowercase();
+            if name.is_empty() || name == "auto" {
+                return detect();
+            }
+            match WaitBackend::parse(&name) {
+                Some(kind) if kind.is_supported() => kind,
+                Some(kind) => {
+                    eprintln!(
+                        "alpha-transport: ALPHA_WAIT_BACKEND={} not supported on this \
+                         platform; falling back to {}",
+                        kind.name(),
+                        detect().name()
+                    );
+                    detect()
+                }
+                None => {
+                    eprintln!(
+                        "alpha-transport: unknown ALPHA_WAIT_BACKEND={raw:?} \
+                         (expected epoll|fallback|auto); falling back to {}",
+                        detect().name()
+                    );
+                    detect()
+                }
+            }
+        }
+        Err(_) => detect(),
+    }
+}
+
+/// Error returned by [`force`] for a backend this platform lacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnsupportedWaitBackend(
+    /// The backend that was requested.
+    pub WaitBackend,
+);
+
+impl std::fmt::Display for UnsupportedWaitBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wait backend {} not supported on this platform", self.0)
+    }
+}
+
+impl std::error::Error for UnsupportedWaitBackend {}
+
+/// Force the process-wide backend. Intended for benches and tests that
+/// compare backends in one process. Engines already running keep the
+/// loop they started with; only subsequent binds see the change.
+pub fn force(kind: WaitBackend) -> Result<(), UnsupportedWaitBackend> {
+    if !kind.is_supported() {
+        return Err(UnsupportedWaitBackend(kind));
+    }
+    ACTIVE.store(code(kind), Ordering::Relaxed);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for kind in [WaitBackend::Epoll, WaitBackend::Fallback] {
+            assert_eq!(WaitBackend::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(WaitBackend::parse("sleep-sort"), None);
+    }
+
+    #[test]
+    fn available_always_has_fallback() {
+        let avail = available();
+        assert!(avail.contains(&WaitBackend::Fallback));
+        assert!(avail.contains(&detect()));
+    }
+}

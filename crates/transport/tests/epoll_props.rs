@@ -1,0 +1,164 @@
+//! FFI-layout and semantics property tests for the hand-declared
+//! `epoll`/`eventfd`/`timerfd` ABI in `alpha_transport::epoll` (Linux
+//! only), mirroring `tests/mmsg_props.rs` for the other FFI module.
+//!
+//! The hand-written `#[repr(C)]` declarations are only right if the
+//! kernel agrees with them: the `epoll_event` size is pinned to the
+//! known packed/aligned layouts, doorbells must count their rings and
+//! zero on drain, timers must never fire before their armed delay (and
+//! must still fire on a zero delay, which the raw ABI would treat as
+//! *disarm*), and a real loopback socket must become readable exactly
+//! when a datagram lands.
+
+#![cfg(target_os = "linux")]
+
+use std::net::UdpSocket;
+use std::os::fd::AsRawFd;
+use std::time::{Duration, Instant};
+
+use alpha_transport::epoll::{Epoll, EpollEvent, EventFd, TimerFd, MAX_EVENTS};
+
+/// One `epoll_wait` round with a scratch token vec.
+fn wait_once(ep: &Epoll, timeout_ms: i32) -> Vec<u64> {
+    let mut tokens = Vec::with_capacity(MAX_EVENTS);
+    ep.wait(timeout_ms, &mut tokens).expect("epoll_wait");
+    tokens
+}
+
+#[test]
+fn epoll_event_layout_is_pinned() {
+    // Packed 12 bytes on x86_64 (the historical 32/64-bit compat
+    // layout), naturally aligned 16 bytes elsewhere. If this fails the
+    // kernel would read garbage tokens.
+    if cfg!(target_arch = "x86_64") {
+        assert_eq!(std::mem::size_of::<EpollEvent>(), 12);
+        assert_eq!(std::mem::align_of::<EpollEvent>(), 1);
+    } else {
+        assert_eq!(std::mem::size_of::<EpollEvent>(), 16);
+        assert_eq!(std::mem::align_of::<EpollEvent>(), 8);
+    }
+}
+
+#[test]
+fn eventfd_rings_accumulate_and_drain_to_zero() {
+    let bell = EventFd::new().expect("eventfd");
+    assert_eq!(bell.drain(), 0, "fresh bell is silent");
+    bell.ring();
+    bell.ring();
+    bell.ring();
+    assert_eq!(bell.drain(), 3, "three rings accumulated");
+    assert_eq!(bell.drain(), 0, "drained bell is silent again");
+}
+
+#[test]
+fn eventfd_readiness_follows_the_counter() {
+    let ep = Epoll::new().expect("epoll");
+    let bell = EventFd::new().expect("eventfd");
+    ep.add(bell.as_raw_fd(), 7, false).expect("add bell");
+
+    assert!(
+        wait_once(&ep, 0).is_empty(),
+        "silent bell must not be readable"
+    );
+    bell.ring();
+    assert_eq!(wait_once(&ep, 1000), vec![7], "rung bell reported by token");
+    // Level-triggered: still readable until drained.
+    assert_eq!(wait_once(&ep, 0), vec![7]);
+    bell.drain();
+    assert!(wait_once(&ep, 0).is_empty(), "drained bell is quiet");
+}
+
+#[test]
+fn timer_never_fires_before_its_delay() {
+    let ep = Epoll::new().expect("epoll");
+    let timer = TimerFd::new().expect("timerfd");
+    ep.add(timer.as_raw_fd(), 9, false).expect("add timer");
+
+    let delay = Duration::from_millis(20);
+    let armed = Instant::now();
+    timer.arm_in(delay).expect("arm");
+    let tokens = wait_once(&ep, 1000);
+    let waited = armed.elapsed();
+    assert_eq!(tokens, vec![9], "timer fired");
+    assert!(
+        waited >= delay,
+        "CLOCK_MONOTONIC timer fired early: {waited:?} < {delay:?}"
+    );
+    assert_eq!(timer.drain(), 1, "one expiry acknowledged");
+    assert!(wait_once(&ep, 0).is_empty(), "acknowledged timer is quiet");
+}
+
+#[test]
+fn zero_delay_arm_still_fires() {
+    // The raw ABI treats an all-zero itimerspec as *disarm*; arm_in
+    // must clamp so an already-due deadline still produces a wake.
+    let ep = Epoll::new().expect("epoll");
+    let timer = TimerFd::new().expect("timerfd");
+    ep.add(timer.as_raw_fd(), 11, false).expect("add timer");
+    timer.arm_in(Duration::ZERO).expect("arm zero");
+    assert_eq!(wait_once(&ep, 1000), vec![11], "zero-delay arm fired");
+    assert_eq!(timer.drain(), 1);
+}
+
+#[test]
+fn disarm_cancels_a_pending_expiry() {
+    let ep = Epoll::new().expect("epoll");
+    let timer = TimerFd::new().expect("timerfd");
+    ep.add(timer.as_raw_fd(), 13, false).expect("add timer");
+    timer.arm_in(Duration::from_millis(10)).expect("arm");
+    timer.disarm().expect("disarm");
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(
+        wait_once(&ep, 0).is_empty(),
+        "disarmed timer must never fire"
+    );
+    assert_eq!(timer.drain(), 0);
+}
+
+#[test]
+fn socket_readiness_over_a_real_loopback_pair() {
+    let rx = UdpSocket::bind("127.0.0.1:0").expect("bind rx");
+    let tx = UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+    let ep = Epoll::new().expect("epoll");
+    ep.add(rx.as_raw_fd(), u64::MAX, false).expect("add socket");
+
+    assert!(
+        wait_once(&ep, 0).is_empty(),
+        "idle socket must not be readable"
+    );
+    tx.send_to(b"knock", rx.local_addr().unwrap())
+        .expect("send");
+    assert_eq!(
+        wait_once(&ep, 1000),
+        vec![u64::MAX],
+        "datagram makes the socket readable"
+    );
+    // Level-triggered: readable until the datagram is consumed.
+    let mut buf = [0u8; 16];
+    let (n, _) = rx.recv_from(&mut buf).expect("recv");
+    assert_eq!(&buf[..n], b"knock");
+    assert!(wait_once(&ep, 0).is_empty(), "drained socket is quiet");
+}
+
+#[test]
+fn one_set_multiplexes_socket_bell_and_timer() {
+    // The worker-loop wiring in miniature: one epoll set, three fd
+    // kinds, each reported under its own token.
+    let rx = UdpSocket::bind("127.0.0.1:0").expect("bind rx");
+    let tx = UdpSocket::bind("127.0.0.1:0").expect("bind tx");
+    let ep = Epoll::new().expect("epoll");
+    let bell = EventFd::new().expect("eventfd");
+    let timer = TimerFd::new().expect("timerfd");
+    ep.add(rx.as_raw_fd(), 1, false).expect("add socket");
+    ep.add(bell.as_raw_fd(), 2, false).expect("add bell");
+    ep.add(timer.as_raw_fd(), 3, false).expect("add timer");
+
+    tx.send_to(b"x", rx.local_addr().unwrap()).expect("send");
+    bell.ring();
+    timer.arm_in(Duration::from_millis(1)).expect("arm");
+    std::thread::sleep(Duration::from_millis(5));
+
+    let mut tokens = wait_once(&ep, 1000);
+    tokens.sort_unstable();
+    assert_eq!(tokens, vec![1, 2, 3], "all three sources reported");
+}

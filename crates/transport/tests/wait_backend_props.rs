@@ -1,0 +1,167 @@
+//! Wait-backend equivalence test: the epoll readiness loop and the
+//! portable blocking-timeout loop must be interchangeable — same
+//! multi-flow relay scenario, byte-identical delivered payloads, and
+//! identical protocol decisions (handshakes learned, S2 exchanges
+//! verified, zero failures, zero drops). Only *how the workers sleep*
+//! may differ. Companion to `tests/udp_backend_props.rs`, which pins
+//! the same property for the UDP syscall backends.
+
+use std::net::UdpSocket;
+use std::sync::atomic::Ordering::Relaxed;
+use std::time::Duration;
+
+use alpha_core::{Config, Mode};
+use alpha_crypto::Algorithm;
+use alpha_engine::{EngineConfig, EngineCore};
+use alpha_transport::{wait, Engine, HandshakeAuth, UdpHost, WaitBackend};
+
+const FLOWS: usize = 4;
+const PAYLOADS: usize = 6;
+
+/// Everything one run of the scenario produces that must not depend on
+/// how the relay's workers wait: what each server received, and what
+/// the relay decided.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    /// Per-flow payloads, in delivery order.
+    delivered: Vec<Vec<Vec<u8>>>,
+    handshakes: u64,
+    s2_verified: u64,
+    verify_failures: u64,
+    parse_errors: u64,
+    total_drops: u64,
+    flow_count: usize,
+}
+
+fn run_scenario(backend: WaitBackend) -> Outcome {
+    wait::force(backend).expect("wait backend supported");
+    let cfg = Config::new(Algorithm::Sha1).with_chain_len(64);
+
+    // Reserve every endpoint socket up front and keep them bound, so the
+    // relay can be routed before traffic flows and no address can be
+    // reallocated out from under a thread.
+    let reserve = |_: usize| UdpSocket::bind("127.0.0.1:0").unwrap();
+    let client_socks: Vec<_> = (0..FLOWS).map(reserve).collect();
+    let server_socks: Vec<_> = (0..FLOWS).map(reserve).collect();
+
+    let relay_core = EngineCore::new(EngineConfig::new(cfg).with_shards(4));
+    for i in 0..FLOWS {
+        relay_core.add_route(
+            client_socks[i].local_addr().unwrap(),
+            server_socks[i].local_addr().unwrap(),
+        );
+    }
+    let relay = Engine::bind("127.0.0.1:0", relay_core, 2).expect("relay bind");
+    let relay_addr = relay.local_addr().unwrap();
+    assert_eq!(
+        relay.core().metrics().io.wait_backend_name(),
+        backend.name(),
+        "forced wait backend must be the one the engine reports"
+    );
+
+    let servers: Vec<_> = server_socks
+        .into_iter()
+        .enumerate()
+        .map(|(i, sock)| {
+            std::thread::spawn(move || {
+                let mut host = UdpHost::accept_socket(
+                    cfg,
+                    sock,
+                    Duration::from_secs(30),
+                    HandshakeAuth::default(),
+                )
+                .unwrap_or_else(|e| panic!("server {i} accept: {e}"));
+                host.serve(Duration::from_millis(2500))
+                    .unwrap_or_else(|e| panic!("server {i} serve: {e}"))
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let clients: Vec<_> = client_socks
+        .into_iter()
+        .enumerate()
+        .map(|(i, sock)| {
+            std::thread::spawn(move || {
+                let mut host = UdpHost::connect_socket(
+                    cfg,
+                    500 + i as u64,
+                    sock,
+                    relay_addr,
+                    Duration::from_secs(30),
+                    HandshakeAuth::default(),
+                )
+                .unwrap_or_else(|e| panic!("client {i} connect: {e}"));
+                // One exchange per payload: timers, resends and the
+                // relay's exchange rotation all get exercised under
+                // each wait backend.
+                for j in 0..PAYLOADS {
+                    let payload = format!("flow {i} payload {j}");
+                    host.send_batch(&[payload.as_bytes()], Mode::Base, Duration::from_secs(20))
+                        .unwrap_or_else(|e| panic!("client {i} send {j}: {e}"));
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("client thread");
+    }
+    let delivered: Vec<Vec<Vec<u8>>> = servers
+        .into_iter()
+        .map(|s| s.join().expect("server thread"))
+        .collect();
+
+    let core = relay.core().clone();
+    relay.shutdown();
+    let m = core.metrics();
+    Outcome {
+        delivered,
+        handshakes: m.handshakes.load(Relaxed),
+        s2_verified: m.s2_verified.load(Relaxed),
+        verify_failures: m.verify_failures.load(Relaxed),
+        parse_errors: m.parse_errors.load(Relaxed),
+        total_drops: m.total_drops(),
+        flow_count: core.flow_count(),
+    }
+}
+
+fn check_outcome(o: &Outcome, label: &str) {
+    for (i, flow) in o.delivered.iter().enumerate() {
+        let want: Vec<Vec<u8>> = (0..PAYLOADS)
+            .map(|j| format!("flow {i} payload {j}").into_bytes())
+            .collect();
+        assert_eq!(flow, &want, "{label}: server {i} payloads");
+    }
+    assert_eq!(o.handshakes, FLOWS as u64, "{label}: handshakes learned");
+    assert_eq!(o.flow_count, FLOWS, "{label}: relay flows resident");
+    assert!(
+        o.s2_verified >= FLOWS as u64,
+        "{label}: at least one verified exchange per flow (got {})",
+        o.s2_verified
+    );
+    assert_eq!(o.verify_failures, 0, "{label}: verify failures");
+    assert_eq!(o.parse_errors, 0, "{label}: parse errors");
+    assert_eq!(o.total_drops, 0, "{label}: relay drops");
+}
+
+/// Both wait backends run the identical scenario in one process;
+/// everything protocol-visible must match exactly. (Single #[test] on
+/// purpose: `wait::force` is process-wide, so the two legs must be
+/// sequenced.)
+#[test]
+fn wait_backends_are_delivery_and_decision_identical() {
+    let fallback = run_scenario(WaitBackend::Fallback);
+    check_outcome(&fallback, "fallback");
+
+    if !WaitBackend::Epoll.is_supported() {
+        eprintln!("skipping epoll leg: not supported on this platform");
+        return;
+    }
+    let epoll = run_scenario(WaitBackend::Epoll);
+    check_outcome(&epoll, "epoll");
+
+    assert_eq!(
+        epoll, fallback,
+        "epoll and fallback must deliver identical bytes and make identical relay decisions"
+    );
+}
