@@ -49,6 +49,23 @@ ALPHA_WAIT_BACKEND=fallback cargo run --release -p alpha-cli --bin alpha -- load
 ALPHA_WAIT_BACKEND=epoll cargo run --release -p alpha-cli --bin alpha -- loadgen --quick
 cargo run --release -p alpha-cli --bin alpha -- loadgen --quick
 
+# Still serialized with the loopback suites above: each forced backend
+# saturates the single CI core, and the uring leg additionally owns
+# per-worker rings whose registered buffers would skew a concurrent
+# measurement. The uring leg is conditional: pre-multishot kernels
+# (< 6.0) fail ring setup, and the engine's runtime fallback ladder
+# (uring -> mmsg -> portable) is exactly what production would do, so
+# CI skips rather than fails there.
+echo "==> loadgen smoke: socket backend matrix (forced fallback / mmsg / uring)"
+ALPHA_UDP_BACKEND=fallback cargo run --release -p alpha-cli --bin alpha -- loadgen --quick
+ALPHA_UDP_BACKEND=mmsg cargo run --release -p alpha-cli --bin alpha -- loadgen --quick
+if cargo run --release -p alpha-bench --bin udp_io -- --probe-uring; then
+    ALPHA_UDP_BACKEND=uring cargo run --release -p alpha-cli --bin alpha -- loadgen --quick
+else
+    echo "ci: skipping forced-uring loadgen smoke: io_uring multishot RECVMSG" \
+         "unavailable on this kernel ($(uname -r)); engine falls back to mmsg"
+fi
+
 echo "==> engine scaling bench smoke (release, --quick; live >=1.5x speedup gate at min(host_cores,4) workers when host_cores >= 2)"
 cargo run --release -p alpha-bench --bin engine_scaling -- --quick
 
@@ -73,11 +90,15 @@ cargo test --release --test properties -q -- \
     single_flipped_byte_never_diverges \
     view_never_disagrees_with_owned
 
-echo "==> provenance gate: every refreshed BENCH_*.json names its wait backend"
+echo "==> provenance gate: every refreshed BENCH_*.json names its wait backend and kernel"
 for f in BENCH_datapath.json BENCH_digest.json BENCH_udp_io.json \
          BENCH_engine_scaling.json BENCH_mesh_chain.json BENCH_flow_density.json; do
     grep -q '"wait_backend"' "$f" || {
         echo "ci: $f lacks wait_backend" >&2
+        exit 1
+    }
+    grep -q '"kernel_release"' "$f" || {
+        echo "ci: $f lacks kernel_release (io_uring numbers are kernel-version-sensitive)" >&2
         exit 1
     }
 done

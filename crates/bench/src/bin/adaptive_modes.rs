@@ -401,6 +401,10 @@ fn main() {
             Value::Str(alpha_transport::io::active().name().to_owned()),
         ),
         (
+            "kernel_release".to_owned(),
+            Value::Str(alpha_bench::kernel_release()),
+        ),
+        (
             "chain_storage".to_owned(),
             Value::Str(alpha_bench::chain_storage_label(1 << 15).to_owned()),
         ),

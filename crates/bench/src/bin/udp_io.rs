@@ -1,6 +1,9 @@
 //! UDP I/O bench — aggregate relayed datagrams/s of the relay engine
-//! over real loopback sockets, batched `mmsg` backend vs the portable
-//! `recv_from` fallback, at 1/2/4/8 workers.
+//! over real loopback sockets: completion-mode `uring` backend vs
+//! batched `mmsg` backend vs the portable `recv_from` fallback, at
+//! 1/2/4/8 workers. Each run also reports `syscalls_per_datagram`
+//! (recv + send + wait kernel entries over datagrams moved) — the one
+//! axis all three backends are comparable on.
 //!
 //! Methodology (loaded-queue, flow-controlled): per flow, a full
 //! association is bootstrapped out-of-band and its client-direction
@@ -126,6 +129,7 @@ struct Measured {
     elapsed_secs: f64,
     recv_calls: u64,
     send_calls: u64,
+    wait_calls: u64,
     s2_verified: u64,
     injected: u64,
     per_worker_sockets: bool,
@@ -143,9 +147,30 @@ struct RunResult {
     relayed_per_sec: f64,
     recv_calls: u64,
     send_calls: u64,
+    wait_calls: u64,
     datagrams_per_recv: f64,
+    syscalls_per_datagram: f64,
     s2_verified: u64,
     per_worker_secs: Vec<f64>,
+}
+
+/// `recv + send + wait` kernel entries over datagrams moved (in +
+/// out) — the honesty stat that makes a multishot backend (0 recv
+/// syscalls) comparable to a batched or per-datagram one.
+fn syscalls_per_datagram(recv: u64, send: u64, wait: u64, datagrams: u64) -> f64 {
+    if datagrams == 0 {
+        return 0.0;
+    }
+    (recv + send + wait) as f64 / datagrams as f64
+}
+
+/// Datagrams per receive syscall; 0 on a completion-mode run (no recv
+/// syscalls exist to divide by).
+fn datagrams_per_recv(injected: u64, recv: u64) -> f64 {
+    if recv == 0 {
+        return 0.0;
+    }
+    injected as f64 / recv as f64
 }
 
 fn run_measured(
@@ -285,6 +310,7 @@ fn run_measured(
         elapsed_secs: elapsed,
         recv_calls: totals.recv_calls - base.recv_calls,
         send_calls: totals.send_calls - base.send_calls,
+        wait_calls: totals.wait_calls - base.wait_calls,
         s2_verified,
         injected,
         per_worker_sockets,
@@ -362,7 +388,14 @@ fn run_wall_clock(
         relayed_per_sec: m.relayed as f64 / m.elapsed_secs,
         recv_calls: m.recv_calls,
         send_calls: m.send_calls,
-        datagrams_per_recv: m.injected as f64 / m.recv_calls as f64,
+        wait_calls: m.wait_calls,
+        datagrams_per_recv: datagrams_per_recv(m.injected, m.recv_calls),
+        syscalls_per_datagram: syscalls_per_datagram(
+            m.recv_calls,
+            m.send_calls,
+            m.wait_calls,
+            m.injected + m.relayed,
+        ),
         s2_verified: m.s2_verified,
         per_worker_secs: vec![m.elapsed_secs],
     }
@@ -383,6 +416,7 @@ fn run_share_nothing(
     let mut total_drops = 0u64;
     let mut total_recv = 0u64;
     let mut total_send = 0u64;
+    let mut total_wait = 0u64;
     let mut total_s2 = 0u64;
     let mut total_injected = 0u64;
     let mut per_worker_secs = Vec::with_capacity(workers);
@@ -409,6 +443,7 @@ fn run_share_nothing(
         total_drops += m.drops;
         total_recv += m.recv_calls;
         total_send += m.send_calls;
+        total_wait += m.wait_calls;
         total_s2 += m.s2_verified;
         total_injected += m.injected;
         per_worker_secs.push(m.elapsed_secs);
@@ -425,13 +460,35 @@ fn run_share_nothing(
         relayed_per_sec: total_relayed as f64 / makespan,
         recv_calls: total_recv,
         send_calls: total_send,
-        datagrams_per_recv: total_injected as f64 / total_recv as f64,
+        wait_calls: total_wait,
+        datagrams_per_recv: datagrams_per_recv(total_injected, total_recv),
+        syscalls_per_datagram: syscalls_per_datagram(
+            total_recv,
+            total_send,
+            total_wait,
+            total_injected + total_relayed,
+        ),
         s2_verified: total_s2,
         per_worker_secs,
     }
 }
 
 fn main() {
+    // CI probe: report (via exit status) whether the uring backend can
+    // come up on this kernel, so callers can gate forced-uring runs
+    // without reimplementing the feature probe in shell.
+    if std::env::args().any(|a| a == "--probe-uring") {
+        let supported = UdpBackend::Uring.is_supported();
+        println!(
+            "uring backend {} on this host",
+            if supported {
+                "supported"
+            } else {
+                "unsupported"
+            }
+        );
+        std::process::exit(if supported { 0 } else { 1 });
+    }
     let quick = std::env::args().any(|a| a == "--quick");
     let (flows, exchanges) = if quick { (8, 16) } else { (64, 192) };
     let cfg = Config::new(Algorithm::Sha1).with_chain_len(2 * exchanges as u64 + 16);
@@ -444,6 +501,11 @@ fn main() {
     let mut backends = vec![UdpBackend::Fallback];
     if UdpBackend::Mmsg.is_supported() {
         backends.push(UdpBackend::Mmsg);
+    }
+    if UdpBackend::Uring.is_supported() {
+        backends.push(UdpBackend::Uring);
+    } else {
+        println!("uring backend unsupported on this kernel; skipping its rungs");
     }
 
     // Live (wall-clock concurrent) reuseport runs are bounded by what
@@ -471,7 +533,7 @@ fn main() {
             // the JSON records both the makespan projection and a true
             // thread-parallel measurement.
             let mut runs = Vec::new();
-            if backend == UdpBackend::Mmsg && workers > 1 {
+            if matches!(backend, UdpBackend::Mmsg | UdpBackend::Uring) && workers > 1 {
                 runs.push(run_share_nothing(&traffic, backend, workers, cfg));
                 if workers <= live_cap {
                     runs.push(run_wall_clock(&traffic, backend, workers, cfg));
@@ -490,6 +552,7 @@ fn main() {
                     format!("{:.1}", r.elapsed_secs * 1e3),
                     format!("{:.0}", r.relayed_per_sec),
                     format!("{:.1}", r.datagrams_per_recv),
+                    format!("{:.4}", r.syscalls_per_datagram),
                 ]);
                 results.push(r);
             }
@@ -497,7 +560,7 @@ fn main() {
     }
 
     table::print(
-        "UDP I/O — loopback relay forwarding, batched mmsg vs recv_from fallback",
+        "UDP I/O — loopback relay forwarding: uring vs mmsg vs recv_from fallback",
         &[
             "backend",
             "workers",
@@ -508,6 +571,7 @@ fn main() {
             "ms",
             "dgrams/s",
             "dgrams/recv",
+            "sys/dgram",
         ],
         &rows,
     );
@@ -520,9 +584,22 @@ fn main() {
             .map(|r| r.relayed_per_sec)
             .unwrap_or(0.0)
     };
+    let sys_per_dgram = |b: UdpBackend| {
+        results
+            .iter()
+            .find(|r| r.backend == b && r.workers == max_workers)
+            .map(|r| r.syscalls_per_datagram)
+            .unwrap_or(0.0)
+    };
     let mmsg_supported = UdpBackend::Mmsg.is_supported();
+    let uring_supported = UdpBackend::Uring.is_supported();
     let ratio = if mmsg_supported {
         tput(UdpBackend::Mmsg) / tput(UdpBackend::Fallback)
+    } else {
+        0.0
+    };
+    let uring_ratio = if uring_supported && mmsg_supported {
+        tput(UdpBackend::Uring) / tput(UdpBackend::Mmsg)
     } else {
         0.0
     };
@@ -538,6 +615,16 @@ fn main() {
              {batch_depth:.1} datagrams per recvmmsg",
             tput(UdpBackend::Fallback),
             tput(UdpBackend::Mmsg)
+        );
+    }
+    if uring_supported && mmsg_supported {
+        println!(
+            "{max_workers} workers: {:.0} dgrams/s mmsg -> {:.0} dgrams/s uring: \
+             {uring_ratio:.2}x at {:.4} vs {:.4} syscalls/datagram",
+            tput(UdpBackend::Mmsg),
+            tput(UdpBackend::Uring),
+            sys_per_dgram(UdpBackend::Uring),
+            sys_per_dgram(UdpBackend::Mmsg),
         );
     }
     println!(
@@ -586,6 +673,18 @@ fn main() {
         json,
         "  \"datagrams_per_recvmmsg_at_{max_workers}_workers\": {batch_depth:.4},"
     );
+    let _ = writeln!(
+        json,
+        "  \"uring_vs_mmsg_at_{max_workers}_workers\": {uring_ratio:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"syscalls_per_datagram_at_{max_workers}_workers\": {{\"fallback\": {:.4}, \
+         \"mmsg\": {:.4}, \"uring\": {:.4}}},",
+        sys_per_dgram(UdpBackend::Fallback),
+        sys_per_dgram(UdpBackend::Mmsg),
+        sys_per_dgram(UdpBackend::Uring),
+    );
     let _ = writeln!(json, "  \"runs\": [");
     for (i, r) in results.iter().enumerate() {
         let secs = r
@@ -600,7 +699,8 @@ fn main() {
              \"model\": \"{}\", \"runtime_mode\": \"{}\", \
              \"relayed\": {}, \"drops\": {}, \"elapsed_secs\": {:.6}, \
              \"relayed_per_sec\": {:.1}, \
-             \"recv_calls\": {}, \"send_calls\": {}, \"datagrams_per_recv\": {:.3}, \
+             \"recv_calls\": {}, \"send_calls\": {}, \"wait_calls\": {}, \
+             \"datagrams_per_recv\": {:.3}, \"syscalls_per_datagram\": {:.4}, \
              \"s2_verified\": {}, \"per_worker_secs\": [{secs}]}}{}",
             r.backend.name(),
             r.workers,
@@ -617,7 +717,9 @@ fn main() {
             r.relayed_per_sec,
             r.recv_calls,
             r.send_calls,
+            r.wait_calls,
             r.datagrams_per_recv,
+            r.syscalls_per_datagram,
             r.s2_verified,
             if i + 1 == results.len() { "" } else { "," }
         );
@@ -636,6 +738,31 @@ fn main() {
         assert!(
             batch_depth > 4.0,
             "recvmmsg must average >4 datagrams per syscall under load, got {batch_depth:.1}"
+        );
+    }
+    if !quick && uring_supported && mmsg_supported {
+        // The structural claim — completion-mode I/O crosses the
+        // kernel far less often — is robust run-to-run, so gate it
+        // hard (measured ~0.42x of mmsg's syscalls per datagram).
+        assert!(
+            sys_per_dgram(UdpBackend::Uring) < 0.6 * sys_per_dgram(UdpBackend::Mmsg),
+            "uring must spend measurably fewer syscalls per datagram than mmsg \
+             ({:.4} vs {:.4})",
+            sys_per_dgram(UdpBackend::Uring),
+            sys_per_dgram(UdpBackend::Mmsg),
+        );
+        // Throughput parity is host-sensitive: on this shared VM the
+        // ratio swings 0.3x-1.9x across invocations (the max-of-8
+        // slices makespan amplifies scheduler noise, uring's
+        // task-work wakes are hit hardest by a contended core, and
+        // with mitigations off a kernel crossing is nearly free, so
+        // the syscall savings convert to little here). Floor the
+        // ratio as a collapse guard only; EXPERIMENTS.md discloses
+        // the measured band and why.
+        assert!(
+            uring_ratio >= 0.25,
+            "uring relay rate collapsed vs mmsg at {max_workers} workers \
+             (got {uring_ratio:.2}x, expected parity within host noise)"
         );
     }
 }

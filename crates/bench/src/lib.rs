@@ -88,8 +88,11 @@ pub fn host_cores() -> usize {
 /// exhibited parallelism at all, `workers` is the worker/thread count
 /// the artifact was produced with (1 for single-threaded benches), and
 /// `wait_backend` records how engine workers slept
-/// (`ALPHA_WAIT_BACKEND`) — it rides along even in model-mode
-/// artifacts so every file names the full runtime configuration.
+/// (`ALPHA_WAIT_BACKEND`) and `kernel_release` names the kernel the
+/// numbers were taken on (io_uring availability and multishot
+/// semantics are kernel-dependent) — both ride along even in
+/// model-mode artifacts so every file names the full runtime
+/// configuration.
 #[must_use]
 pub fn runtime_fields(runtime_mode: &str, workers: usize) -> String {
     assert!(
@@ -98,10 +101,22 @@ pub fn runtime_fields(runtime_mode: &str, workers: usize) -> String {
     );
     format!(
         "\"runtime_mode\": \"{runtime_mode}\", \"host_cores\": {}, \"workers\": {workers}, \
-         \"wait_backend\": \"{}\"",
+         \"wait_backend\": \"{}\", \"kernel_release\": \"{}\"",
         host_cores(),
-        alpha_transport::wait::active().name()
+        alpha_transport::wait::active().name(),
+        kernel_release()
     )
+}
+
+/// The running kernel's release string (`uname -r`), read from procfs
+/// so no uname FFI is needed; `"unknown"` off Linux or when procfs is
+/// unreadable.
+#[must_use]
+pub fn kernel_release() -> String {
+    match std::fs::read_to_string("/proc/sys/kernel/osrelease") {
+        Ok(s) if !s.trim().is_empty() => s.trim().to_string(),
+        _ => "unknown".to_string(),
+    }
 }
 
 /// Resolved chain-storage label for a bench run, honouring the

@@ -478,6 +478,14 @@ pub fn loadgen(
         report.handoff_p99_us,
         report.handoff_samples,
     );
+    println!(
+        "syscalls: {:.4}/datagram (recv={} send={} wait={})  send_retries={}",
+        report.io.syscalls_per_datagram(),
+        report.io.recv_calls,
+        report.io.send_calls,
+        report.io.wait_calls,
+        report.io.send_retries,
+    );
     if report.host_cores < 2 {
         println!("note: host has 1 core; this number is concurrency, not parallel speedup");
     }

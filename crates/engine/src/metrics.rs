@@ -158,6 +158,15 @@ pub struct IoWorker {
     /// `sendmmsg` calls that accepted fewer datagrams than offered and
     /// forced a resubmission of the tail.
     pub partial_sends: AtomicU64,
+    /// Send-side transient-failure resubmissions (EAGAIN / ENOBUFS /
+    /// EINTR): a datagram handed back by the kernel and retried. These
+    /// were silent spins before this counter existed.
+    pub send_retries: AtomicU64,
+    /// Wait syscalls issued around the datagram path: `epoll_wait`
+    /// returns on the readiness backend, `io_uring_enter` waits on the
+    /// uring backend. Zero on the blocking fallback, where the receive
+    /// syscall *is* the wait (already in `recv_calls`).
+    pub wait_calls: AtomicU64,
     /// Datagrams this worker drained from its handoff rings (they
     /// arrived on another worker's socket but this worker owns the
     /// shard).
@@ -195,6 +204,10 @@ pub struct IoTotals {
     pub eagain: u64,
     /// Partial `sendmmsg` resubmissions.
     pub partial_sends: u64,
+    /// Send-side transient-failure resubmissions.
+    pub send_retries: u64,
+    /// Wait syscalls around the datagram path.
+    pub wait_calls: u64,
     /// Datagrams drained from handoff rings.
     pub handoff_in: u64,
     /// Datagrams pushed to other workers' handoff rings.
@@ -216,6 +229,21 @@ impl IoTotals {
             0.0
         } else {
             self.datagrams_in as f64 / self.recv_calls as f64
+        }
+    }
+
+    /// Kernel crossings per datagram moved: every receive, send and
+    /// wait syscall over every datagram in or out — the one axis on
+    /// which the three UDP backends are directly comparable (portable
+    /// loop ~1, mmsg ~1/batch, uring ~1/wake). 0.0 before any
+    /// datagrams move.
+    #[must_use]
+    pub fn syscalls_per_datagram(&self) -> f64 {
+        let datagrams = self.datagrams_in + self.datagrams_out;
+        if datagrams == 0 {
+            0.0
+        } else {
+            (self.recv_calls + self.send_calls + self.wait_calls) as f64 / datagrams as f64
         }
     }
 }
@@ -284,6 +312,8 @@ impl IoMetrics {
             t.datagrams_out += w.datagrams_out.load(Ordering::Relaxed);
             t.eagain += w.eagain.load(Ordering::Relaxed);
             t.partial_sends += w.partial_sends.load(Ordering::Relaxed);
+            t.send_retries += w.send_retries.load(Ordering::Relaxed);
+            t.wait_calls += w.wait_calls.load(Ordering::Relaxed);
             t.handoff_in += w.handoff_in.load(Ordering::Relaxed);
             t.handoff_out += w.handoff_out.load(Ordering::Relaxed);
             t.handoff_overflow += w.handoff_overflow.load(Ordering::Relaxed);
@@ -311,6 +341,8 @@ impl IoMetrics {
                     ("datagrams_out".to_owned(), ld(&w.datagrams_out)),
                     ("eagain".to_owned(), ld(&w.eagain)),
                     ("partial_sends".to_owned(), ld(&w.partial_sends)),
+                    ("send_retries".to_owned(), ld(&w.send_retries)),
+                    ("wait_calls".to_owned(), ld(&w.wait_calls)),
                     ("handoff_in".to_owned(), ld(&w.handoff_in)),
                     ("handoff_out".to_owned(), ld(&w.handoff_out)),
                     ("handoff_overflow".to_owned(), ld(&w.handoff_overflow)),
@@ -334,6 +366,8 @@ impl IoMetrics {
             ("datagrams_out".to_owned(), Value::U64(t.datagrams_out)),
             ("eagain".to_owned(), Value::U64(t.eagain)),
             ("partial_sends".to_owned(), Value::U64(t.partial_sends)),
+            ("send_retries".to_owned(), Value::U64(t.send_retries)),
+            ("wait_calls".to_owned(), Value::U64(t.wait_calls)),
             ("handoff_in".to_owned(), Value::U64(t.handoff_in)),
             ("handoff_out".to_owned(), Value::U64(t.handoff_out)),
             (
@@ -348,6 +382,10 @@ impl IoMetrics {
             (
                 "datagrams_per_recv_call".to_owned(),
                 Value::F64(t.datagrams_per_recv()),
+            ),
+            (
+                "syscalls_per_datagram".to_owned(),
+                Value::F64(t.syscalls_per_datagram()),
             ),
             (
                 "handoff_wait_us".to_owned(),

@@ -19,9 +19,10 @@
 //!   per-worker `SO_REUSEPORT` sockets on the batched backend.
 //!
 //! All of them move datagrams through the runtime-selected backends in
-//! [`io`]: `recvmmsg`/`sendmmsg` batching on Linux ([`mmsg`]), a
+//! [`io`]: io_uring completion mode for the engine's worker loops
+//! ([`uring`]), `recvmmsg`/`sendmmsg` batching on Linux ([`mmsg`]), a
 //! portable `recv_from` loop elsewhere, overridable per process with
-//! `ALPHA_UDP_BACKEND=mmsg|fallback|auto`. Receives land in pooled
+//! `ALPHA_UDP_BACKEND=uring|mmsg|fallback|auto`. Receives land in pooled
 //! frames ([`alpha_wire::FramePool`]) and whole bursts go to the engine
 //! in one call, so the batched syscall layer lines up with the engine's
 //! batch verification; the transport owns sockets and the clock, the
@@ -36,6 +37,9 @@ pub mod loadgen;
 /// `SO_REUSEPORT` socket groups (empty on other platforms).
 pub mod mmsg;
 mod server;
+/// Hand-declared Linux io_uring FFI — the completion-mode I/O backend
+/// for engine workers (empty on other platforms).
+pub mod uring;
 pub mod wait;
 
 pub use io::{RxDatagram, UdpBackend, UdpIo};

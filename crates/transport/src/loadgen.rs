@@ -147,6 +147,7 @@ impl LoadgenReport {
                 "\"handoff_in\":{},\"handoff_out\":{},\"handoff_overflow\":{},",
                 "\"lock_contended\":{},\"reuseport\":{},\"udp_backend\":\"{}\",",
                 "\"wait_backend\":\"{}\",\"idle_wakeups_per_sec\":{:.1},",
+                "\"send_retries\":{},\"syscalls_per_datagram\":{:.4},",
                 "\"handoff_samples\":{},\"handoff_wait_p50_us\":{},",
                 "\"handoff_wait_p99_us\":{},",
                 "\"sign_errors\":{}}}"
@@ -166,6 +167,8 @@ impl LoadgenReport {
             self.udp_backend,
             self.wait_backend,
             self.idle_wakeups_per_sec,
+            self.io.send_retries,
+            self.io.syscalls_per_datagram(),
             self.handoff_samples,
             self.handoff_p50_us,
             self.handoff_p99_us,
@@ -526,6 +529,8 @@ mod tests {
         assert!(json.contains("\"host_cores\":"));
         assert!(json.contains("\"wait_backend\":"));
         assert!(json.contains("\"idle_wakeups_per_sec\":"));
+        assert!(json.contains("\"send_retries\":"));
+        assert!(json.contains("\"syscalls_per_datagram\":"));
         assert!(json.contains("\"handoff_wait_p99_us\":"));
         let v: serde::Value = serde_json::from_str(&json).expect("valid json");
         assert_eq!(

@@ -4,8 +4,8 @@
 //! batched I/O layer ([`crate::io`]) — there is no receiver thread and
 //! no user-space demux hop:
 //!
-//! - On the `mmsg` backend with more than one worker, the sockets form
-//!   a `SO_REUSEPORT` group bound to one address: the kernel's 4-tuple
+//! - On the `mmsg` and `uring` backends with more than one worker, the
+//!   sockets form a `SO_REUSEPORT` group bound to one address: the kernel's 4-tuple
 //!   hash pins each remote source to one member socket, so every flow's
 //!   datagrams arrive on one worker, in order, spread across workers by
 //!   kernel RSS. If the group bind fails (platform policy, exotic
@@ -38,7 +38,15 @@
 //! connecting/renewing flows never starve before their first datagram.
 //!
 //! *How a worker waits* is a runtime-selected backend
-//! ([`crate::wait`], `ALPHA_WAIT_BACKEND`):
+//! ([`crate::wait`], `ALPHA_WAIT_BACKEND`) — unless the `uring` UDP
+//! backend is active, which subsumes it: the worker's doorbells and
+//! timerfd are registered as multishot polls in its per-worker
+//! io_uring and the worker blocks in a single `io_uring_enter` that
+//! also submits TX batches and reaps RX completions
+//! ([`crate::uring`]). `wait_backend` in stats still names the
+//! resolved epoll/fallback loop, which is the ladder a worker degrades
+//! to if ring setup fails; `wait_calls` + `syscalls_per_datagram` in
+//! stats show what actually ran.
 //!
 //! - **`epoll`** (Linux default): the worker blocks in one `epoll_wait`
 //!   over its socket, one `eventfd` doorbell per inbound handoff ring,
@@ -66,7 +74,7 @@
 
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -111,8 +119,9 @@ const RECV_BUFFER_BYTES: usize = 4 << 20;
 /// `rings[dst][src]`. The diagonal `cells[w][w]` (no ring exists for a
 /// worker-to-itself handoff) is worker `w`'s *control* bell: the
 /// engine's deadline waker and [`Engine::shutdown`] ring it to knock
-/// the worker out of `epoll_wait`. Built only under the epoll wait
-/// backend.
+/// the worker out of `epoll_wait`. Built under the epoll wait backend
+/// and for the uring runtime, which registers the same fds as ring
+/// polls.
 #[cfg(target_os = "linux")]
 struct Doorbells {
     cells: Vec<Vec<crate::epoll::EventFd>>,
@@ -195,18 +204,27 @@ impl Engine {
         // the loop the workers actually run.
         let wait = crate::wait::active();
         #[cfg(target_os = "linux")]
-        let (wait, doorbells) = match wait {
-            WaitBackend::Epoll => match Doorbells::new(workers) {
-                Ok(bells) => (WaitBackend::Epoll, Some(Arc::new(bells))),
-                Err(e) => {
-                    eprintln!(
-                        "alpha-transport: eventfd doorbells unavailable ({e}); \
-                         using the fallback wait backend"
-                    );
-                    (WaitBackend::Fallback, None)
+        let (wait, doorbells) = {
+            // Doorbells serve the epoll wait backend *and* the uring
+            // runtime (which folds the same eventfds into its ring as
+            // multishot polls); creation stays all-or-nothing so
+            // `wait_backend` in stats always names a loop the workers
+            // can actually run.
+            let want = wait == WaitBackend::Epoll || backend == UdpBackend::Uring;
+            if want {
+                match Doorbells::new(workers) {
+                    Ok(bells) => (wait, Some(Arc::new(bells))),
+                    Err(e) => {
+                        eprintln!(
+                            "alpha-transport: eventfd doorbells unavailable ({e}); \
+                             using the fallback wait backend"
+                        );
+                        (WaitBackend::Fallback, None)
+                    }
                 }
-            },
-            WaitBackend::Fallback => (WaitBackend::Fallback, None),
+            } else {
+                (WaitBackend::Fallback, None)
+            }
         };
         #[cfg(not(target_os = "linux"))]
         let wait = {
@@ -214,6 +232,8 @@ impl Engine {
             WaitBackend::Fallback
         };
         core.metrics().io.set_wait_backend(wait.name());
+        #[cfg(target_os = "linux")]
+        let wait_epoll = wait == WaitBackend::Epoll && doorbells.is_some();
 
         // Per-worker min-deadline hints; under epoll the engine also
         // gets a waker that rings a worker's control bell whenever its
@@ -233,6 +253,7 @@ impl Engine {
         core.install_worker_hints(workers as u32, waker);
 
         let shutdown = Arc::new(AtomicBool::new(false));
+        let ready = Arc::new(AtomicUsize::new(0));
         let start = Instant::now();
         let sink = sink.map(Arc::new);
         // RX frames are full-datagram sized (a recv must never truncate)
@@ -271,8 +292,14 @@ impl Engine {
                 rings: Arc::clone(&rings),
                 #[cfg(target_os = "linux")]
                 doorbells: doorbells.clone(),
+                #[cfg(target_os = "linux")]
+                wait_epoll,
+                #[cfg(target_os = "linux")]
+                uring: None,
                 per_worker_sockets: reuseport,
                 shutdown: Arc::clone(&shutdown),
+                ready: Arc::clone(&ready),
+                announced: false,
                 start,
                 sink: sink.clone(),
                 rng: StdRng::from_entropy(),
@@ -281,6 +308,18 @@ impl Engine {
                 local: Vec::with_capacity(MAX_BURST),
             };
             threads.push(std::thread::spawn(move || worker.run()));
+        }
+        // Wait (bounded) for every worker's wait runtime to come up, so
+        // traffic sent the instant `bind` returns meets installed
+        // rings/epoll sets rather than racing their setup. Setup is
+        // milliseconds even on a loaded single-core host; a worker that
+        // somehow never reports (thread spawn starvation) only costs
+        // the bound — the engine still works, workers just finish
+        // setting up under traffic.
+        let patience = Instant::now();
+        while ready.load(Ordering::Acquire) < workers && patience.elapsed() < Duration::from_secs(2)
+        {
+            std::thread::sleep(Duration::from_micros(50));
         }
         let io = UdpIo::with_backend(handle, backend, core.metrics().io.register_worker());
         Ok(Engine {
@@ -373,7 +412,7 @@ fn bind_worker_sockets(
     backend: UdpBackend,
 ) -> io::Result<(Vec<UdpSocket>, bool)> {
     #[cfg(target_os = "linux")]
-    if backend == UdpBackend::Mmsg && workers > 1 {
+    if matches!(backend, UdpBackend::Mmsg | UdpBackend::Uring) && workers > 1 {
         // Graceful fallback: any failure here (policy, odd kernels)
         // just means a shared socket below.
         if let Ok(group) = crate::mmsg::bind_reuseport_group(addr, workers) {
@@ -404,9 +443,20 @@ struct Worker {
     /// `rings[dst][src]`: this worker pushes to `rings[owner][index]`
     /// and drains `rings[index][*]`.
     rings: Arc<Vec<Vec<HandoffRing<RxDatagram>>>>,
-    /// Present iff the engine runs the epoll wait backend.
+    /// Present iff the engine runs the epoll wait backend or the
+    /// uring UDP backend (both need the eventfd mesh).
     #[cfg(target_os = "linux")]
     doorbells: Option<Arc<Doorbells>>,
+    /// Whether the resolved wait backend is epoll (the uring runtime
+    /// builds doorbells even under the fallback wait, so doorbell
+    /// presence alone no longer implies the epoll loop).
+    #[cfg(target_os = "linux")]
+    wait_epoll: bool,
+    /// The completion-mode runtime, installed by
+    /// [`Worker::run_uring`]; when present, dispatch routes TX through
+    /// the ring instead of `send_batch`.
+    #[cfg(target_os = "linux")]
+    uring: Option<crate::uring::UringIo>,
     /// Whether each worker owns its own `SO_REUSEPORT` socket. Shard
     /// ownership and handoff only make sense when the kernel pins a
     /// flow to one worker's socket; on a shared socket every worker
@@ -415,6 +465,13 @@ struct Worker {
     /// workers process what they receive under the shard locks.
     per_worker_sockets: bool,
     shutdown: Arc<AtomicBool>,
+    /// Count of workers whose wait runtime is installed;
+    /// [`Engine::bind`] blocks (bounded) until it reaches `workers` so
+    /// callers never race ring/epoll setup with live traffic.
+    ready: Arc<AtomicUsize>,
+    /// Whether this worker already bumped `ready` (a degrade from
+    /// uring to the readiness ladder must not count twice).
+    announced: bool,
     start: Instant,
     sink: Option<Arc<DeliverySink>>,
     rng: StdRng,
@@ -427,6 +484,31 @@ struct Worker {
     local: Vec<RxDatagram>,
 }
 
+/// Where a worker's dispatch transmits: the syscall I/O layer, or the
+/// uring runtime (which takes ownership of TX frames until their
+/// completions settle).
+enum Tx<'a> {
+    Io(&'a UdpIo),
+    #[cfg(target_os = "linux")]
+    Ring(&'a mut crate::uring::UringIo, &'a FramePool),
+}
+
+/// Build a [`Tx`] from disjoint `Worker` field borrows. A method
+/// returning it would borrow all of `self` mutably and conflict with
+/// the sibling borrows (`core`, `rng`, scratch) the call sites need.
+macro_rules! worker_tx {
+    ($w:expr) => {{
+        #[cfg(target_os = "linux")]
+        let tx = match $w.uring.as_mut() {
+            Some(ring) => Tx::Ring(ring, &$w.rx_pool),
+            None => Tx::Io(&$w.io),
+        };
+        #[cfg(not(target_os = "linux"))]
+        let tx = Tx::Io(&$w.io);
+        tx
+    }};
+}
+
 /// Feed one burst to the engine and dispatch its output, building the
 /// borrow batch in a stack array: the `(addr, &bytes)` views borrow
 /// `burst`, so a heap batch could not be hoisted across iterations —
@@ -434,7 +516,7 @@ struct Worker {
 /// allocation instead.
 fn feed(
     core: &EngineCore,
-    io: &UdpIo,
+    tx: &mut Tx<'_>,
     sink: Option<&DeliverySink>,
     rng: &mut StdRng,
     burst: &[RxDatagram],
@@ -447,28 +529,50 @@ fn feed(
         for (slot, d) in batch.iter_mut().zip(chunk) {
             *slot = (d.from, &d.frame[..]);
         }
-        let out = core.handle_datagrams(&batch[..chunk.len()], now, rng);
-        dispatch(io, &out, sink);
+        let mut out = core.handle_datagrams(&batch[..chunk.len()], now, rng);
+        dispatch(tx, &mut out, sink);
     }
 }
 
 impl Worker {
     fn run(mut self) {
         #[cfg(target_os = "linux")]
-        if let Some(bells) = self.doorbells.clone() {
-            CURRENT_WORKER.with(|c| c.set(Some(self.me)));
-            match self.run_epoll(&bells) {
-                Ok(()) => return,
-                Err(e) => {
-                    // Per-worker epoll/timerfd setup failed; this
-                    // worker alone degrades to the blocking loop. Its
-                    // doorbells go unrung-drained but an eventfd
-                    // counter saturating is harmless.
-                    eprintln!(
-                        "alpha-transport: worker {} readiness setup failed ({e}); \
-                         using blocking waits",
-                        self.index
-                    );
+        {
+            if self.io.backend() == UdpBackend::Uring {
+                if let Some(bells) = self.doorbells.clone() {
+                    CURRENT_WORKER.with(|c| c.set(Some(self.me)));
+                    match self.run_uring(&bells) {
+                        Ok(()) => return,
+                        Err(e) => {
+                            // Ring setup failed on this worker alone
+                            // (fd pressure, memlock limits): degrade
+                            // one rung down the ladder.
+                            eprintln!(
+                                "alpha-transport: worker {} io_uring setup failed ({e}); \
+                                 degrading to the readiness ladder",
+                                self.index
+                            );
+                        }
+                    }
+                }
+            }
+            if self.wait_epoll {
+                if let Some(bells) = self.doorbells.clone() {
+                    CURRENT_WORKER.with(|c| c.set(Some(self.me)));
+                    match self.run_epoll(&bells) {
+                        Ok(()) => return,
+                        Err(e) => {
+                            // Per-worker epoll/timerfd setup failed; this
+                            // worker alone degrades to the blocking loop. Its
+                            // doorbells go unrung-drained but an eventfd
+                            // counter saturating is harmless.
+                            eprintln!(
+                                "alpha-transport: worker {} readiness setup failed ({e}); \
+                                 using blocking waits",
+                                self.index
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -500,9 +604,10 @@ impl Worker {
             self.counters
                 .handoff_in
                 .fetch_add(self.handed.len() as u64, Ordering::Relaxed);
+            let mut tx = worker_tx!(self);
             feed(
                 &self.core,
-                &self.io,
+                &mut tx,
                 self.sink.as_deref(),
                 &mut self.rng,
                 &self.handed,
@@ -520,7 +625,8 @@ impl Worker {
                 self.core.poll_shard(s, now, &mut self.rng, &mut out);
             }
         }
-        dispatch(&self.io, &out, self.sink.as_deref());
+        let mut tx = worker_tx!(self);
+        dispatch(&mut tx, &mut out, self.sink.as_deref());
     }
 
     /// Sort a received burst: answer control datagrams inline, hand
@@ -594,9 +700,10 @@ impl Worker {
             // The whole burst goes to the engine in one call, so its
             // relay path can batch-verify and the responses leave in
             // one gathered send.
+            let mut tx = worker_tx!(self);
             feed(
                 &self.core,
-                &self.io,
+                &mut tx,
                 self.sink.as_deref(),
                 &mut self.rng,
                 &self.local,
@@ -605,9 +712,20 @@ impl Worker {
         }
     }
 
+    /// Report this worker's wait runtime as installed (once — a
+    /// degrade from uring down the ladder re-enters a loop but must
+    /// not count twice). [`Engine::bind`] blocks on the tally.
+    fn mark_ready(&mut self) {
+        if !self.announced {
+            self.announced = true;
+            self.ready.fetch_add(1, Ordering::Release);
+        }
+    }
+
     /// The portable wait: block in the receive syscall behind a
     /// deadline-sized read timeout.
     fn run_blocking(&mut self) {
+        self.mark_ready();
         // (Re-)establish the baseline timeout — this loop may be
         // entered after a failed readiness setup left the socket with
         // a microsecond timeout.
@@ -710,6 +828,7 @@ impl Worker {
         self.io
             .socket()
             .set_read_timeout(Some(Duration::from_micros(1)))?;
+        self.mark_ready();
 
         let mut tokens: Vec<u64> = Vec::with_capacity(MAX_EVENTS);
         // Deadline (µs) the timerfd is currently armed for; u64::MAX =
@@ -754,6 +873,7 @@ impl Worker {
                 }
             }
             self.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.counters.wait_calls.fetch_add(1, Ordering::Relaxed);
             if self.shutdown.load(Ordering::Relaxed) {
                 return Ok(());
             }
@@ -803,10 +923,150 @@ impl Worker {
             }
         }
     }
+
+    /// The completion-mode loop: install a per-worker io_uring that
+    /// carries the socket (multishot `RECVMSG` into provided
+    /// [`FramePool`] buffers, batched `SENDMSG`), the doorbell
+    /// eventfds, and a timerfd as multishot polls, then block on one
+    /// `io_uring_enter` per wake. Setup errors return `Err` so
+    /// [`Worker::run`] degrades to the readiness ladder; post-setup
+    /// errors pace the loop exactly like [`Worker::run_epoll`].
+    #[cfg(target_os = "linux")]
+    fn run_uring(&mut self, bells: &Arc<Doorbells>) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+
+        use crate::epoll::TimerFd;
+
+        let timer = TimerFd::new()?;
+        let mut poll_fds: Vec<std::os::fd::RawFd> = bells.cells[self.index]
+            .iter()
+            .map(|b| b.as_raw_fd())
+            .collect();
+        let timer_idx = poll_fds.len();
+        poll_fds.push(timer.as_raw_fd());
+        self.uring = Some(crate::uring::UringIo::new(
+            self.io.socket().as_raw_fd(),
+            &poll_fds,
+            &self.rx_pool,
+            Arc::clone(&self.counters),
+        )?);
+        self.mark_ready();
+
+        let backstop = Duration::from_millis(EPOLL_BACKSTOP_MS as u64);
+        let mut fired: Vec<usize> = Vec::new();
+        // Deadline (µs) the timerfd is currently armed for; u64::MAX =
+        // disarmed (same protocol as the epoll loop).
+        let mut armed = u64::MAX;
+        loop {
+            if self.shutdown.load(Ordering::Relaxed) {
+                // Drop the runtime on this thread so its cancel +
+                // quiesce drain runs before the socket closes.
+                self.uring = None;
+                return Ok(());
+            }
+            let hint = self
+                .core
+                .worker_next_deadline(self.me)
+                .map_or(u64::MAX, |t| t.micros());
+            if hint != armed {
+                let res = if hint == u64::MAX {
+                    timer.disarm()
+                } else {
+                    let now_us = self.now().micros();
+                    timer.arm_in(Duration::from_micros(hint.saturating_sub(now_us)))
+                };
+                if res.is_err() {
+                    // The previously-armed expiry (or the backstop)
+                    // still bounds lateness; count it, don't hide it.
+                    self.counters
+                        .read_timeout_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                armed = hint;
+            }
+            fired.clear();
+            let mut rx = std::mem::take(&mut self.rx);
+            rx.clear();
+            let res = self.uring.as_mut().expect("installed above").wait(
+                backstop,
+                &self.rx_pool,
+                &mut rx,
+                &mut fired,
+            );
+            self.rx = rx;
+            if res.is_err() {
+                // Unexpected post-setup failure: pace the loop so a
+                // persistent error cannot spin a core.
+                self.counters
+                    .read_timeout_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(MIN_READ_TIMEOUT);
+                continue;
+            }
+            self.counters.wakeups.fetch_add(1, Ordering::Relaxed);
+            if self.shutdown.load(Ordering::Relaxed) {
+                self.uring = None;
+                return Ok(());
+            }
+            let mut timer_fired = false;
+            for &idx in &fired {
+                if idx == timer_idx {
+                    timer_fired = true;
+                } else if let Some(bell) = bells.cells[self.index].get(idx) {
+                    // Quiet the bell; the rings are drained below
+                    // regardless (multishot POLL_ADD is level-like
+                    // here: an undrained eventfd re-fires).
+                    bell.drain();
+                }
+            }
+            if timer_fired {
+                timer.drain();
+                // Force a re-arm from the post-poll hint even if the
+                // deadline value happens to recur.
+                armed = u64::MAX;
+            }
+            let mut now = self.now();
+            // Drain rings until below the burst cap: doorbells are
+            // edge-like (drained above), so backlog must not wait for
+            // the next ring.
+            while self.drain_handoffs(now) {
+                now = self.now();
+            }
+            self.poll_timers(now);
+            if timer_fired {
+                // Timers fired and were consumed; rescan to raise the
+                // hint past them (fetch_min alone can never raise it).
+                self.core.refresh_worker_deadline(self.me);
+            }
+            if !self.rx.is_empty() {
+                let now = self.now();
+                self.ingest(now);
+            }
+        }
+    }
 }
 
-fn dispatch(io: &UdpIo, out: &EngineOutput, sink: Option<&DeliverySink>) {
-    let _ = io.send_batch(&out.datagrams);
+/// Route an engine output burst to the wire: one gathered
+/// `send_batch` on the syscall backends; staged `SENDMSG` SQEs
+/// flushed with one `io_uring_enter` on the uring runtime. The flush
+/// happens *here*, per burst, so replies leave before the worker goes
+/// back to its wait — and because that enter also posts accrued
+/// completions (GETEVENTS task-work), the next wait usually reaps
+/// them straight off the CQ ring without a syscall: one kernel
+/// crossing per steady-state relay cycle.
+fn dispatch(tx: &mut Tx<'_>, out: &mut EngineOutput, sink: Option<&DeliverySink>) {
+    match tx {
+        Tx::Io(io) => {
+            let _ = io.send_batch(&out.datagrams);
+        }
+        #[cfg(target_os = "linux")]
+        Tx::Ring(ring, pool) => {
+            for (to, frame) in out.datagrams.drain(..) {
+                ring.send(to, frame, pool);
+            }
+            ring.flush();
+        }
+    }
     if let Some(sink) = sink {
         if !out.delivered.is_empty() || !out.extracted.is_empty() || !out.completed.is_empty() {
             sink(out);

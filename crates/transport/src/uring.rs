@@ -1,0 +1,1498 @@
+//! Raw Linux `io_uring` FFI: completion-mode datagram I/O. The third
+//! and last `unsafe` FFI module in the crate, in the same hand-declared
+//! style as [`crate::mmsg`] and [`crate::epoll`] — no crates.io access
+//! means no `libc` and no `liburing`, so the ABI is written out here:
+//! `io_uring_setup` / `io_uring_enter` / `io_uring_register` as raw
+//! syscalls through glibc's variadic `syscall(2)` wrapper (the only
+//! entry points — glibc exports no io_uring functions), the shared
+//! rings as `#[repr(C)]` types over `mmap`'d kernel memory, and the
+//! submission/completion protocol as explicit atomic loads and stores
+//! on the ring head/tail words. Layouts and semantics are locked down
+//! by `tests/uring_props.rs`: struct sizes, NOP submit/complete round
+//! trips, provided-buffer recycling and the end-to-end feature probe.
+//!
+//! What runs on top of the raw [`Ring`]: [`UringIo`], one per engine
+//! worker, which replaces the readiness loop's whole
+//! `epoll_wait` + `recvmmsg` + `sendmmsg` syscall train with a single
+//! `io_uring_enter` per wake —
+//!
+//! - **RX** is one *multishot* `RECVMSG` submission that stays armed
+//!   across completions: the kernel picks a buffer from a registered
+//!   provided-buffer ring ([`BufRing`]) for each datagram and posts a
+//!   CQE, no per-datagram syscall. The buffers are checked-out
+//!   [`FramePool`] frames; each completion hands its frame to the
+//!   engine and provides a replacement under the same buffer id. When
+//!   the kernel clears `IORING_CQE_F_MORE` (buffer exhaustion, CQ
+//!   overflow), the multishot is re-armed on the next wait.
+//! - **TX** gathers each engine output burst into `SENDMSG`
+//!   submissions over a fixed pool of address-stable slots (msghdr,
+//!   iovec and sockaddr live in the slot; the frame is owned by the
+//!   slot until its CQE) and flushes them with one `io_uring_enter`.
+//! - **Waiting** folds the wait backend into the same ring: the
+//!   worker's handoff-ring eventfd doorbells and its deadline timerfd
+//!   are registered as *multishot* `POLL_ADD` entries, so one
+//!   `io_uring_enter(GETEVENTS)` with an `EXT_ARG` timeout is the only
+//!   blocking point.
+//!
+//! Safety argument, once for the whole module: every `unsafe` block
+//! here is one of exactly four shapes.
+//!
+//! 1. A raw syscall through glibc `syscall(2)` whose pointer arguments
+//!    (if any) are derived from live Rust allocations that outlive the
+//!    call, with lengths taken from the same allocation.
+//! 2. A dereference of a pointer into one of this ring's `mmap`
+//!    regions, at an offset the kernel published in `io_uring_params`,
+//!    within the mapped length, on a mapping that lives until `Drop`.
+//!    Head/tail words are accessed through `AtomicU32`/`AtomicU16`
+//!    (acquire on kernel-written words, release on ours), the ordering
+//!    contract io_uring documents.
+//! 3. A write into the spare capacity of a `Vec<u8>` the kernel was
+//!    handed as a provided buffer, followed by `set_len` to a value
+//!    bounded by that capacity — only after the CQE proved the kernel
+//!    is done with the buffer.
+//! 4. `std::mem::forget` of buffers the kernel may still write (the
+//!    abandon path): if a cancel-and-quiesce drain times out at
+//!    shutdown, the memory is leaked rather than freed under a
+//!    potentially in-flight kernel write.
+//!
+//! The lifetime rule that makes 3 and 4 necessary: from submission
+//! until the matching CQE is reaped, the kernel owns every buffer a
+//! submission references (provided frames, TX slots, the persistent
+//! recvmsg header). [`UringIo::drop`] therefore cancels everything and
+//! drains to quiescence before any of those allocations are freed.
+
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::net::SocketAddr;
+use std::os::fd::RawFd;
+use std::os::raw::{c_int, c_long, c_void};
+use std::sync::atomic::{AtomicU16, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use alpha_engine::IoWorker;
+use alpha_wire::{Frame, FramePool};
+
+use crate::io::RxDatagram;
+use crate::mmsg::{decode_addr, encode_addr, IoVec, MsgHdr, SockaddrStorage, MSG_TRUNC};
+
+// ---------------------------------------------------------------------------
+// ABI constants (x86_64 / aarch64 Linux values; the three syscall
+// numbers are identical on both).
+// ---------------------------------------------------------------------------
+
+const SYS_IO_URING_SETUP: c_long = 425;
+const SYS_IO_URING_ENTER: c_long = 426;
+const SYS_IO_URING_REGISTER: c_long = 427;
+
+const PROT_READ: c_int = 0x1;
+const PROT_WRITE: c_int = 0x2;
+const MAP_SHARED: c_int = 0x01;
+const MAP_PRIVATE: c_int = 0x02;
+const MAP_ANONYMOUS: c_int = 0x20;
+const MAP_POPULATE: c_int = 0x8000;
+
+/// `mmap` offsets selecting which ring a mapping addresses.
+const IORING_OFF_SQ_RING: i64 = 0;
+const IORING_OFF_CQ_RING: i64 = 0x0800_0000;
+const IORING_OFF_SQES: i64 = 0x1000_0000;
+
+/// Setup flag: honor `io_uring_params.cq_entries` (we size the CQ for
+/// multishot receive bursts, well past the 2x-SQ default).
+const IORING_SETUP_CQSIZE: u32 = 1 << 3;
+/// Setup flag: clamp oversized ring requests instead of failing.
+const IORING_SETUP_CLAMP: u32 = 1 << 4;
+/// Setup flag: kick completion task-work without an inter-processor
+/// signal (kernel >= 5.19) — the work runs at the task's next kernel
+/// transition instead of interrupting userspace with `TWA_SIGNAL`.
+/// This was the decisive task-work mode here: bare `TWA_SIGNAL` kicks
+/// cost ~1 ms of wake latency per sleep/wake cycle when a saturating
+/// sender shares the core (0.64x the mmsg relay rate), and the
+/// heavier `SINGLE_ISSUER|DEFER_TASKRUN` pair (kernel >= 6.1) was
+/// also measurably worse — its waiter resumes at the *first*
+/// completion, shrinking each cycle's reaped batch (~15% more enters
+/// per datagram and a lower relay rate than this flag alone).
+const IORING_SETUP_COOP_TASKRUN: u32 = 1 << 8;
+
+/// SQ and CQ share one mapping (kernel >= 5.4 advertises this).
+const IORING_FEAT_SINGLE_MMAP: u32 = 1 << 0;
+/// `io_uring_enter` accepts `io_uring_getevents_arg` (timeout without
+/// a timeout SQE; kernel >= 5.11).
+const IORING_FEAT_EXT_ARG: u32 = 1 << 8;
+
+const IORING_ENTER_GETEVENTS: u32 = 1 << 0;
+const IORING_ENTER_EXT_ARG: u32 = 1 << 3;
+
+const IORING_OP_NOP: u8 = 0;
+const IORING_OP_POLL_ADD: u8 = 6;
+const IORING_OP_SENDMSG: u8 = 9;
+const IORING_OP_RECVMSG: u8 = 10;
+const IORING_OP_ASYNC_CANCEL: u8 = 14;
+
+/// SQE flag: let the kernel pick the RX buffer from the group named by
+/// `buf_group` (the provided-buffer ring).
+const IOSQE_BUFFER_SELECT: u8 = 1 << 5;
+/// `ioprio` flag on RECVMSG: stay armed and post one CQE per datagram.
+const IORING_RECV_MULTISHOT: u16 = 1 << 1;
+/// `len` flag on POLL_ADD: stay armed and post one CQE per readiness
+/// edge.
+const IORING_POLL_ADD_MULTI: u32 = 1 << 0;
+/// `op_flags` (cancel flags) on ASYNC_CANCEL: cancel every pending
+/// request on the ring, not a specific `user_data`.
+const IORING_ASYNC_CANCEL_ANY: u32 = 1 << 2;
+const POLLIN: u32 = 0x001;
+
+/// CQE flag: the upper 16 bits of `flags` carry the provided-buffer id
+/// the kernel consumed.
+const IORING_CQE_F_BUFFER: u32 = 1 << 0;
+/// CQE flag: this multishot submission remains armed.
+const IORING_CQE_F_MORE: u32 = 1 << 1;
+const IORING_CQE_BUFFER_SHIFT: u32 = 16;
+
+const IORING_REGISTER_PBUF_RING: u32 = 22;
+const IORING_UNREGISTER_PBUF_RING: u32 = 23;
+
+const EINTR: i32 = 4;
+const EAGAIN: i32 = 11;
+const ENOBUFS: i32 = 105;
+const ETIME: i32 = 62;
+
+// ---------------------------------------------------------------------------
+// ABI types.
+// ---------------------------------------------------------------------------
+
+/// `struct io_sqring_offsets`: where in the SQ ring mapping each shared
+/// word lives.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct SqringOffsets {
+    /// Byte offset of the kernel-consumed head index.
+    pub head: u32,
+    /// Byte offset of the application-produced tail index.
+    pub tail: u32,
+    /// Byte offset of the ring mask word.
+    pub ring_mask: u32,
+    /// Byte offset of the ring size word.
+    pub ring_entries: u32,
+    /// Byte offset of the SQ flags word.
+    pub flags: u32,
+    /// Byte offset of the dropped-submissions counter.
+    pub dropped: u32,
+    /// Byte offset of the SQE index array.
+    pub array: u32,
+    /// Reserved.
+    pub resv1: u32,
+    /// Reserved (`user_addr` in newer kernels).
+    pub user_addr: u64,
+}
+
+/// `struct io_cqring_offsets`.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct CqringOffsets {
+    /// Byte offset of the application-consumed head index.
+    pub head: u32,
+    /// Byte offset of the kernel-produced tail index.
+    pub tail: u32,
+    /// Byte offset of the ring mask word.
+    pub ring_mask: u32,
+    /// Byte offset of the ring size word.
+    pub ring_entries: u32,
+    /// Byte offset of the overflow counter.
+    pub overflow: u32,
+    /// Byte offset of the CQE array.
+    pub cqes: u32,
+    /// Byte offset of the CQ flags word.
+    pub flags: u32,
+    /// Reserved.
+    pub resv1: u32,
+    /// Reserved (`user_addr` in newer kernels).
+    pub user_addr: u64,
+}
+
+/// `struct io_uring_params` (120 bytes): setup request in, ring
+/// geometry + feature bits + mmap offsets out.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+pub struct IoUringParams {
+    /// SQ size: hint in, actual out.
+    pub sq_entries: u32,
+    /// CQ size: request with `IORING_SETUP_CQSIZE` in, actual out.
+    pub cq_entries: u32,
+    /// `IORING_SETUP_*` request bits.
+    pub flags: u32,
+    /// SQPOLL thread CPU (unused here).
+    pub sq_thread_cpu: u32,
+    /// SQPOLL idle time (unused here).
+    pub sq_thread_idle: u32,
+    /// `IORING_FEAT_*` bits reported by the kernel.
+    pub features: u32,
+    /// Shared-workqueue fd (unused here).
+    pub wq_fd: u32,
+    /// Reserved.
+    pub resv: [u32; 3],
+    /// SQ ring mmap offsets.
+    pub sq_off: SqringOffsets,
+    /// CQ ring mmap offsets.
+    pub cq_off: CqringOffsets,
+}
+
+/// `struct io_uring_sqe` (64 bytes). Field names follow the kernel's
+/// unions flattened to the one member this module uses: `off` is
+/// `addr2`, `op_flags` is `msg_flags`/`poll32_events`/`cancel_flags`,
+/// `buf_index` doubles as `buf_group` for `IOSQE_BUFFER_SELECT`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct Sqe {
+    /// `IORING_OP_*`.
+    pub opcode: u8,
+    /// `IOSQE_*` bits (`BUFFER_SELECT` here).
+    pub flags: u8,
+    /// Priority / per-op bits (`IORING_RECV_MULTISHOT` here).
+    pub ioprio: u16,
+    /// Target fd (or -1).
+    pub fd: i32,
+    /// Offset union; unused by this module's ops.
+    pub off: u64,
+    /// Pointer operand (the `msghdr` for RECVMSG/SENDMSG).
+    pub addr: u64,
+    /// Length operand (or `IORING_POLL_ADD_MULTI`).
+    pub len: u32,
+    /// Per-op flags union (`msg_flags`, `poll32_events`, ...).
+    pub op_flags: u32,
+    /// Cookie echoed back in the CQE.
+    pub user_data: u64,
+    /// Buffer index / buffer group for provided buffers.
+    pub buf_index: u16,
+    /// Personality id (unused here).
+    pub personality: u16,
+    /// Splice fd union (unused here).
+    pub splice_fd_in: i32,
+    /// Third address operand (unused here).
+    pub addr3: u64,
+    /// Trailing pad keeping the struct at 64 bytes.
+    pub pad2: u64,
+}
+
+impl Sqe {
+    const fn zeroed() -> Sqe {
+        Sqe {
+            opcode: 0,
+            flags: 0,
+            ioprio: 0,
+            fd: -1,
+            off: 0,
+            addr: 0,
+            len: 0,
+            op_flags: 0,
+            user_data: 0,
+            buf_index: 0,
+            personality: 0,
+            splice_fd_in: 0,
+            addr3: 0,
+            pad2: 0,
+        }
+    }
+}
+
+/// `struct io_uring_cqe` (16 bytes): completion cookie, result (a
+/// byte count or a negated errno) and flags.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct Cqe {
+    /// Cookie from the originating SQE.
+    pub user_data: u64,
+    /// Byte count on success, negated errno on failure.
+    pub res: i32,
+    /// `IORING_CQE_F_*` bits (buffer id in the high half).
+    pub flags: u32,
+}
+
+/// One provided-buffer ring entry, `struct io_uring_buf` (16 bytes).
+/// The shared tail word aliases bytes 14..16 of entry 0 (`resv`), so
+/// entry writes must never touch `resv`.
+#[repr(C)]
+#[derive(Clone, Copy)]
+pub struct BufRingEntry {
+    /// Userspace address of the provided buffer.
+    pub addr: u64,
+    /// Usable length in bytes.
+    pub len: u32,
+    /// Buffer id echoed in CQE flags on consumption.
+    pub bid: u16,
+    /// Reserved; aliases the shared tail in entry 0.
+    pub resv: u16,
+}
+
+/// `struct io_uring_buf_reg` (40 bytes): PBUF_RING registration.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct BufReg {
+    ring_addr: u64,
+    ring_entries: u32,
+    bgid: u16,
+    flags: u16,
+    resv: [u64; 3],
+}
+
+/// `struct io_uring_getevents_arg` (24 bytes): the `EXT_ARG` payload
+/// carrying the wait timeout.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct GetEventsArg {
+    sigmask: u64,
+    sigmask_sz: u32,
+    pad: u32,
+    ts: u64,
+}
+
+/// `struct __kernel_timespec`.
+#[repr(C)]
+#[derive(Clone, Copy, Default)]
+struct KernelTimespec {
+    tv_sec: i64,
+    tv_nsec: i64,
+}
+
+/// `struct io_uring_recvmsg_out` (16 bytes): the header the kernel
+/// writes at the front of every multishot-RECVMSG provided buffer,
+/// followed by the (space-reserved) name, control and payload regions.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct RecvMsgOut {
+    namelen: u32,
+    controllen: u32,
+    payloadlen: u32,
+    flags: u32,
+}
+
+extern "C" {
+    /// The variadic syscall trampoline: glibc ships no io_uring
+    /// wrappers, so all three entry points go through here. Errors
+    /// follow the glibc convention (-1 return, errno set).
+    fn syscall(num: c_long, ...) -> c_long;
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+// ---------------------------------------------------------------------------
+// Mapped-region plumbing.
+// ---------------------------------------------------------------------------
+
+/// An `mmap` region unmapped on drop (unless leaked by the abandon
+/// path).
+struct MmapRegion {
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// The region is plain memory; sharing discipline lives in Ring/BufRing
+// (each is owned by exactly one worker thread).
+unsafe impl Send for MmapRegion {}
+
+impl MmapRegion {
+    /// Map `len` bytes of ring fd `fd` at ring offset `offset`, or
+    /// anonymous memory when `fd` is -1.
+    fn map(fd: c_int, offset: i64, len: usize) -> io::Result<MmapRegion> {
+        let (flags, fd) = if fd < 0 {
+            (MAP_PRIVATE | MAP_ANONYMOUS, -1)
+        } else {
+            (MAP_SHARED | MAP_POPULATE, fd)
+        };
+        // Safety: shape 1 — no pointers in, the kernel returns a fresh
+        // mapping or MAP_FAILED.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                flags,
+                fd,
+                offset,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(MmapRegion { ptr, len })
+    }
+
+    /// Forget the mapping (abandon path): the kernel may still write
+    /// through it, so leaking beats unmapping.
+    fn leak(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl Drop for MmapRegion {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            // Safety: shape 1 — unmapping a region this struct owns.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The ring pair.
+// ---------------------------------------------------------------------------
+
+/// An io_uring instance: the fd, both mapped rings and the SQE array,
+/// with local submission bookkeeping. Single-threaded by design (one
+/// per worker); no `Sync`.
+pub struct Ring {
+    fd: c_int,
+    features: u32,
+    sq_entries: u32,
+    sq_mask: u32,
+    /// SQ ring mapping (covers the CQ too under
+    /// `IORING_FEAT_SINGLE_MMAP`).
+    /// Held for its Drop (munmap); never read after setup.
+    #[allow(dead_code)]
+    sq_ring: MmapRegion,
+    /// Separate CQ ring mapping on pre-single-mmap kernels. Held for
+    /// its Drop (munmap); never read after setup.
+    #[allow(dead_code)]
+    cq_ring: Option<MmapRegion>,
+    /// Held for its Drop (munmap); accessed through `sqes_ptr`.
+    #[allow(dead_code)]
+    sqes: MmapRegion,
+    sq_khead: *const AtomicU32,
+    sq_ktail: *const AtomicU32,
+    sq_array: *mut u32,
+    sqes_ptr: *mut Sqe,
+    cq_khead: *const AtomicU32,
+    cq_ktail: *const AtomicU32,
+    cq_mask: u32,
+    cqes_ptr: *const Cqe,
+    /// Our unpublished SQ tail.
+    sq_local_tail: u32,
+    /// SQEs staged since the last `enter`.
+    to_submit: u32,
+}
+
+// One worker owns the ring; moving it between threads is fine.
+unsafe impl Send for Ring {}
+
+impl Ring {
+    /// Create a ring with `sq_entries` submission slots and (at least)
+    /// `cq_entries` completion slots. Fails on kernels without
+    /// io_uring or without `IORING_FEAT_EXT_ARG` (needed for the timed
+    /// wait; anything modern enough for multishot RECVMSG has it).
+    pub fn new(sq_entries: u32, cq_entries: u32) -> io::Result<Ring> {
+        let base = IORING_SETUP_CQSIZE | IORING_SETUP_CLAMP;
+        // Prefer signal-free task-work kicks (see the flag docs for
+        // the measured latency cliff with TWA_SIGNAL). Pre-5.19
+        // kernels reject the flag with EINVAL, so retry bare.
+        let coop = base | IORING_SETUP_COOP_TASKRUN;
+        let mut fd = -1;
+        let mut p = IoUringParams::default();
+        for flags in [coop, base] {
+            p = IoUringParams {
+                flags,
+                cq_entries,
+                ..IoUringParams::default()
+            };
+            // Safety: shape 1 — `p` is a live local the kernel fills.
+            fd = unsafe {
+                syscall(
+                    SYS_IO_URING_SETUP,
+                    sq_entries as usize,
+                    std::ptr::addr_of_mut!(p) as usize,
+                )
+            };
+            if fd >= 0 {
+                break;
+            }
+        }
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fd = fd as c_int;
+        let ring = Ring::from_fd(fd, &p);
+        match ring {
+            Ok(r) if r.features & IORING_FEAT_EXT_ARG != 0 => Ok(r),
+            Ok(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "io_uring lacks IORING_FEAT_EXT_ARG",
+            )),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Map the rings of a freshly set-up fd. Consumes (closes) `fd` on
+    /// error.
+    fn from_fd(fd: c_int, p: &IoUringParams) -> io::Result<Ring> {
+        let close_on_err = |e: io::Error| {
+            // Safety: shape 1 — fd was just created and is exclusively
+            // ours.
+            unsafe {
+                close(fd);
+            }
+            e
+        };
+        let sq_len = p.sq_off.array as usize + p.sq_entries as usize * 4;
+        let cq_len = p.cq_off.cqes as usize + p.cq_entries as usize * std::mem::size_of::<Cqe>();
+        let single = p.features & IORING_FEAT_SINGLE_MMAP != 0;
+        let sq_map_len = if single { sq_len.max(cq_len) } else { sq_len };
+        let sq_ring = MmapRegion::map(fd, IORING_OFF_SQ_RING, sq_map_len).map_err(close_on_err)?;
+        let cq_ring = if single {
+            None
+        } else {
+            Some(MmapRegion::map(fd, IORING_OFF_CQ_RING, cq_len).map_err(close_on_err)?)
+        };
+        let sqes = MmapRegion::map(
+            fd,
+            IORING_OFF_SQES,
+            p.sq_entries as usize * std::mem::size_of::<Sqe>(),
+        )
+        .map_err(close_on_err)?;
+        let sq_base = sq_ring.ptr as *mut u8;
+        let cq_base = cq_ring.as_ref().map_or(sq_base, |r| r.ptr as *mut u8);
+        // Safety (all pointer math below): shape 2 — offsets published
+        // by the kernel in `p`, within the mapped lengths computed from
+        // the same `p`.
+        let ring = unsafe {
+            Ring {
+                fd,
+                features: p.features,
+                sq_entries: p.sq_entries,
+                sq_mask: *(sq_base.add(p.sq_off.ring_mask as usize) as *const u32),
+                sq_khead: sq_base.add(p.sq_off.head as usize) as *const AtomicU32,
+                sq_ktail: sq_base.add(p.sq_off.tail as usize) as *const AtomicU32,
+                sq_array: sq_base.add(p.sq_off.array as usize) as *mut u32,
+                sqes_ptr: sqes.ptr as *mut Sqe,
+                cq_khead: cq_base.add(p.cq_off.head as usize) as *const AtomicU32,
+                cq_ktail: cq_base.add(p.cq_off.tail as usize) as *const AtomicU32,
+                cq_mask: *(cq_base.add(p.cq_off.ring_mask as usize) as *const u32),
+                cqes_ptr: cq_base.add(p.cq_off.cqes as usize) as *const Cqe,
+                sq_ring,
+                cq_ring,
+                sqes,
+                sq_local_tail: 0,
+                to_submit: 0,
+            }
+        };
+        Ok(ring)
+    }
+
+    /// Feature bits the kernel advertised at setup.
+    #[must_use]
+    pub fn features(&self) -> u32 {
+        self.features
+    }
+
+    /// Stage the next SQE, zeroed, or `None` when the SQ is full (the
+    /// caller must `enter` to hand staged entries to the kernel).
+    pub fn sqe(&mut self) -> Option<&mut Sqe> {
+        // Safety: shape 2 — kernel-written head word.
+        let head = unsafe { &*self.sq_khead }.load(Ordering::Acquire);
+        if self.sq_local_tail.wrapping_sub(head) >= self.sq_entries {
+            return None;
+        }
+        let idx = self.sq_local_tail & self.sq_mask;
+        self.sq_local_tail = self.sq_local_tail.wrapping_add(1);
+        self.to_submit += 1;
+        // Safety: shape 2 — idx is masked into both mapped arrays.
+        unsafe {
+            *self.sq_array.add(idx as usize) = idx;
+            let s = &mut *self.sqes_ptr.add(idx as usize);
+            *s = Sqe::zeroed();
+            Some(s)
+        }
+    }
+
+    /// Stage a NOP (used by the property tests to exercise the
+    /// submit/complete round trip without touching any fd).
+    pub fn push_nop(&mut self, user_data: u64) -> bool {
+        match self.sqe() {
+            Some(s) => {
+                s.opcode = IORING_OP_NOP;
+                s.user_data = user_data;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Publish staged SQEs and call `io_uring_enter`, waiting for
+    /// `min_complete` completions (0 = submit only). `timeout` bounds
+    /// the wait via `EXT_ARG`; expiry is success with nothing reaped.
+    /// `EINTR` retries, so a return is either `Ok` (submissions
+    /// consumed) or a real error (submissions still staged).
+    pub fn enter(&mut self, min_complete: u32, timeout: Option<Duration>) -> io::Result<()> {
+        // Safety: shape 2 — publishing our tail with release so the
+        // kernel's acquire sees the filled SQEs.
+        unsafe { &*self.sq_ktail }.store(self.sq_local_tail, Ordering::Release);
+        let mut flags = 0u32;
+        // GETEVENTS even when `min_complete` is 0 (which never
+        // blocks): it guarantees pending completion task-work is
+        // flushed before the enter returns, so a submit-only enter
+        // also posts everything that completed since the last
+        // crossing — the next wait can then reap straight off the CQ
+        // ring, often without a syscall of its own.
+        flags |= IORING_ENTER_GETEVENTS;
+        let mut ts = KernelTimespec::default();
+        let mut arg = GetEventsArg::default();
+        let (arg_ptr, arg_sz) = match timeout {
+            Some(t) if min_complete > 0 => {
+                ts.tv_sec = t.as_secs() as i64;
+                ts.tv_nsec = i64::from(t.subsec_nanos());
+                arg.ts = std::ptr::addr_of!(ts) as u64;
+                flags |= IORING_ENTER_EXT_ARG;
+                (
+                    std::ptr::addr_of!(arg) as usize,
+                    std::mem::size_of::<GetEventsArg>(),
+                )
+            }
+            _ => (0usize, 0usize),
+        };
+        loop {
+            // Safety: shape 1 — `arg`/`ts` are live locals for the
+            // duration of the call.
+            let ret = unsafe {
+                syscall(
+                    SYS_IO_URING_ENTER,
+                    self.fd as usize,
+                    self.to_submit as usize,
+                    min_complete as usize,
+                    flags as usize,
+                    arg_ptr,
+                    arg_sz,
+                )
+            };
+            if ret >= 0 {
+                self.to_submit = 0;
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            match err.raw_os_error() {
+                Some(EINTR) => continue,
+                // Wait timed out; submissions were consumed first.
+                Some(ETIME) => {
+                    self.to_submit = 0;
+                    return Ok(());
+                }
+                _ => return Err(err),
+            }
+        }
+    }
+
+    /// Copy out every pending CQE and advance the CQ head.
+    pub fn reap(&mut self, out: &mut Vec<Cqe>) -> usize {
+        // Safety: shape 2 — acquire on the kernel-written tail makes
+        // the CQE contents visible; our head is stored with release.
+        let tail = unsafe { &*self.cq_ktail }.load(Ordering::Acquire);
+        let mut head = unsafe { &*self.cq_khead }.load(Ordering::Relaxed);
+        let n = tail.wrapping_sub(head) as usize;
+        while head != tail {
+            let idx = (head & self.cq_mask) as usize;
+            // Safety: shape 2 — masked index into the mapped CQE array.
+            out.push(unsafe { *self.cqes_ptr.add(idx) });
+            head = head.wrapping_add(1);
+        }
+        unsafe { &*self.cq_khead }.store(head, Ordering::Release);
+        n
+    }
+
+    /// `io_uring_register` on this ring.
+    fn register(&self, opcode: u32, arg: *const c_void, nr_args: u32) -> io::Result<()> {
+        // Safety: shape 1 — `arg` points at a live caller allocation.
+        let ret = unsafe {
+            syscall(
+                SYS_IO_URING_REGISTER,
+                self.fd as usize,
+                opcode as usize,
+                arg as usize,
+                nr_args as usize,
+            )
+        };
+        if ret < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Ring {
+    fn drop(&mut self) {
+        // Safety: shape 1 — the fd is exclusively ours.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Provided-buffer ring.
+// ---------------------------------------------------------------------------
+
+/// A registered provided-buffer ring (`IORING_REGISTER_PBUF_RING`):
+/// the kernel pops RX buffers from it, we push replacements. Entries
+/// are written in place and published by a release store of the tail
+/// word (which aliases `resv` of entry 0, hence shape-2 care to never
+/// write that field).
+pub struct BufRing {
+    mem: MmapRegion,
+    mask: u16,
+    bgid: u16,
+    tail: u16,
+    ring_fd: c_int,
+    registered: bool,
+}
+
+unsafe impl Send for BufRing {}
+
+impl BufRing {
+    /// Allocate and register a ring of `entries` (a power of two)
+    /// buffer slots under buffer-group id `bgid`.
+    pub fn new(ring: &Ring, bgid: u16, entries: u16) -> io::Result<BufRing> {
+        assert!(entries.is_power_of_two());
+        let mem = MmapRegion::map(
+            -1,
+            0,
+            entries as usize * std::mem::size_of::<BufRingEntry>(),
+        )?;
+        let reg = BufReg {
+            ring_addr: mem.ptr as u64,
+            ring_entries: u32::from(entries),
+            bgid,
+            ..BufReg::default()
+        };
+        ring.register(
+            IORING_REGISTER_PBUF_RING,
+            std::ptr::addr_of!(reg) as *const c_void,
+            1,
+        )?;
+        Ok(BufRing {
+            mem,
+            mask: entries - 1,
+            bgid,
+            tail: 0,
+            ring_fd: ring.fd,
+            registered: true,
+        })
+    }
+
+    /// The buffer-group id RECVMSG SQEs select with.
+    #[must_use]
+    pub fn bgid(&self) -> u16 {
+        self.bgid
+    }
+
+    /// Hand buffer `bid` (at `addr`, `len` bytes) to the kernel and
+    /// publish it.
+    pub fn provide(&mut self, bid: u16, addr: u64, len: u32) {
+        let idx = (self.tail & self.mask) as usize;
+        // Safety: shape 2 — masked index into the anonymous mapping we
+        // own; `resv` (bytes 14..16, aliasing the shared tail in entry
+        // 0) is never written.
+        unsafe {
+            let e = (self.mem.ptr as *mut u8).add(idx * std::mem::size_of::<BufRingEntry>());
+            (e as *mut u64).write(addr);
+            (e.add(8) as *mut u32).write(len);
+            (e.add(12) as *mut u16).write(bid);
+        }
+        self.tail = self.tail.wrapping_add(1);
+        // Safety: shape 2 — the shared tail word at offset 14.
+        unsafe { &*((self.mem.ptr as *const u8).add(14) as *const AtomicU16) }
+            .store(self.tail, Ordering::Release);
+    }
+
+    /// Unregister without freeing the mapping (abandon path).
+    fn leak(&mut self) {
+        self.mem.leak();
+    }
+}
+
+impl Drop for BufRing {
+    fn drop(&mut self) {
+        if self.registered {
+            let reg = BufReg {
+                bgid: self.bgid,
+                ..BufReg::default()
+            };
+            // Errors ignored: the ring fd may already be gone, which
+            // unregisters implicitly.
+            // Safety: shape 1 — `reg` is a live local.
+            unsafe {
+                syscall(
+                    SYS_IO_URING_REGISTER,
+                    self.ring_fd as usize,
+                    IORING_UNREGISTER_PBUF_RING as usize,
+                    std::ptr::addr_of!(reg) as usize,
+                    1usize,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The per-worker completion-mode runtime.
+// ---------------------------------------------------------------------------
+
+/// SQ depth: a full TX burst + re-arms + polls with headroom.
+const SQ_ENTRIES: u32 = 256;
+/// CQ depth: multishot RECVMSG posts one CQE per datagram, so the CQ
+/// must absorb a whole RX-buffer burst plus its TX completions without
+/// overflowing (overflow terminates the multishot; it re-arms, but
+/// cheaper not to).
+const CQ_ENTRIES: u32 = 1024;
+/// Provided RX buffers in flight (power of two). Four mmsg-backend
+/// `recvmmsg` batches deep: a saturating sender keeps landing
+/// datagrams while a reaped batch is verified, and the buffer window
+/// bounds how much of that accrual one enter can deliver. Measured
+/// here, 256 is *worse* — verify phases grow and replies sit staged
+/// longer, stalling window-limited senders.
+const RX_BUFFERS: u16 = 128;
+/// TX slots in flight; replies are at most 1:1 with a full RX reap, so
+/// match `RX_BUFFERS` to flush any reap's fan-out in one enter.
+const TX_SLOTS: u16 = 128;
+/// Space the kernel reserves at the front of every provided buffer:
+/// `io_uring_recvmsg_out` (16) + name space (`msg_namelen`, 128) +
+/// control space (0). The payload starts here.
+const RX_PAYLOAD_OFF: usize = 16 + RX_NAME_SPACE;
+const RX_NAME_SPACE: usize = 128;
+/// Abandon the shutdown quiesce after this many waits (leaking the
+/// kernel-visible buffers rather than freeing them mid-write).
+const QUIESCE_ROUNDS: usize = 40;
+const QUIESCE_WAIT: Duration = Duration::from_millis(25);
+
+/// `user_data` tag in the top 16 bits; the low bits carry a slot or
+/// poll index.
+const UD_TAG_SHIFT: u32 = 48;
+const UD_RECV: u64 = 1 << UD_TAG_SHIFT;
+const UD_TX: u64 = 2 << UD_TAG_SHIFT;
+const UD_POLL: u64 = 3 << UD_TAG_SHIFT;
+const UD_CANCEL: u64 = 4 << UD_TAG_SHIFT;
+
+/// One in-flight SENDMSG: everything the SQE points at lives here,
+/// address-stable inside the boxed slice, until the CQE frees it.
+struct TxSlot {
+    storage: SockaddrStorage,
+    iov: IoVec,
+    hdr: MsgHdr,
+    frame: Option<Frame>,
+    retries: u32,
+}
+
+impl TxSlot {
+    fn idle() -> TxSlot {
+        TxSlot {
+            storage: SockaddrStorage::zeroed(),
+            iov: IoVec {
+                iov_base: std::ptr::null_mut(),
+                iov_len: 0,
+            },
+            hdr: MsgHdr {
+                msg_name: std::ptr::null_mut(),
+                msg_namelen: 0,
+                msg_iov: std::ptr::null_mut(),
+                msg_iovlen: 0,
+                msg_control: std::ptr::null_mut(),
+                msg_controllen: 0,
+                msg_flags: 0,
+            },
+            frame: None,
+            retries: 0,
+        }
+    }
+}
+
+/// Poll registrations folded into the ring (handoff doorbells + the
+/// deadline timerfd), index-addressed via `UD_POLL`.
+struct PollReg {
+    fd: RawFd,
+    armed: bool,
+}
+
+/// The completion-mode I/O engine for one worker: a [`Ring`], its
+/// provided-buffer ring backed by checked-out [`FramePool`] frames, a
+/// persistent multishot RECVMSG, TX slots, and the worker's wait fds
+/// as multishot polls. See the module docs for the design; see
+/// `crate::server::Worker::run_uring` for the loop on top.
+pub struct UringIo {
+    // Declared before `ring` so the pbuf ring unregisters first.
+    bufs: BufRing,
+    ring: Ring,
+    sock: RawFd,
+    /// Provided frames, indexed by buffer id.
+    rx_slots: Vec<Option<Frame>>,
+    /// The persistent RECVMSG header; boxed so its address survives
+    /// moves of `UringIo` while the kernel holds it.
+    rx_hdr: Box<MsgHdr>,
+    recv_armed: bool,
+    tx: Box<[TxSlot]>,
+    tx_free: Vec<u16>,
+    tx_inflight: usize,
+    polls: Vec<PollReg>,
+    counters: Arc<IoWorker>,
+    /// RX reaped while waiting for a TX slot mid-dispatch; drained by
+    /// the next `wait`.
+    pending_rx: Vec<RxDatagram>,
+    cq_scratch: Vec<Cqe>,
+    /// Set once `drop` begins: completions stop re-arming and retrying.
+    shutting_down: bool,
+}
+
+// Safety: the raw pointers inside (`rx_hdr.msg_name`, the per-slot
+// `IoVec`/`MsgHdr` bases) all point into heap allocations owned by
+// this struct, and the runtime is owned by exactly one worker thread
+// at a time — moving it to that thread is sound.
+unsafe impl Send for UringIo {}
+
+impl UringIo {
+    /// Build the full runtime over `sock`: ring, provided buffers from
+    /// `pool`, armed multishot RECVMSG, and one multishot POLL_ADD per
+    /// `poll_fds` entry (completions report the index into that
+    /// slice). Submits the initial arms before returning so setup
+    /// errors surface here, not in the loop.
+    pub fn new(
+        sock: RawFd,
+        poll_fds: &[RawFd],
+        pool: &FramePool,
+        counters: Arc<IoWorker>,
+    ) -> io::Result<UringIo> {
+        let ring = Ring::new(SQ_ENTRIES, CQ_ENTRIES)?;
+        let bufs = BufRing::new(&ring, 0, RX_BUFFERS)?;
+        let rx_hdr = Box::new(MsgHdr {
+            msg_name: std::ptr::null_mut(),
+            msg_namelen: RX_NAME_SPACE as u32,
+            msg_iov: std::ptr::null_mut(),
+            msg_iovlen: 0,
+            msg_control: std::ptr::null_mut(),
+            msg_controllen: 0,
+            msg_flags: 0,
+        });
+        let mut io = UringIo {
+            bufs,
+            ring,
+            sock,
+            rx_slots: Vec::with_capacity(RX_BUFFERS as usize),
+            rx_hdr,
+            recv_armed: false,
+            tx: (0..TX_SLOTS).map(|_| TxSlot::idle()).collect(),
+            tx_free: (0..TX_SLOTS).rev().collect(),
+            tx_inflight: 0,
+            polls: poll_fds
+                .iter()
+                .map(|&fd| PollReg { fd, armed: false })
+                .collect(),
+            counters,
+            pending_rx: Vec::new(),
+            cq_scratch: Vec::with_capacity(CQ_ENTRIES as usize),
+            shutting_down: false,
+        };
+        for bid in 0..RX_BUFFERS {
+            let mut f = pool.checkout();
+            Self::provide_frame(&mut io.bufs, bid, &mut f);
+            io.rx_slots.push(Some(f));
+        }
+        io.arm_recv()
+            .ok_or_else(|| io::Error::other("SQ full at setup"))?;
+        for i in 0..io.polls.len() {
+            io.arm_poll(i)
+                .ok_or_else(|| io::Error::other("SQ full at setup"))?;
+        }
+        io.ring.enter(0, None)?;
+        // The kernel rejects bad arms asynchronously (a CQE with a
+        // negative res, no F_MORE); reap once so an unsupported opcode
+        // (pre-multishot kernel) fails setup instead of looping.
+        // Datagrams can land on `sock` between its bind and this point,
+        // so the reap may also carry real completions — dispatch them
+        // (received frames park in `pending_rx` for the first wait,
+        // consumed buffer ids get re-provided) rather than discarding,
+        // and treat only non-transient errors as rejections: -ENOBUFS
+        // here just means arrivals already exhausted the provided
+        // buffers, which the wait loop's re-arm recovers from.
+        std::thread::yield_now();
+        let mut probe = Vec::new();
+        io.ring.reap(&mut probe);
+        for c in &probe {
+            let transient = c.res >= 0 || matches!(-c.res, ENOBUFS | EAGAIN | EINTR);
+            if !transient && c.flags & IORING_CQE_F_MORE == 0 {
+                return Err(io::Error::from_raw_os_error(-c.res));
+            }
+        }
+        let stamp = Instant::now();
+        let mut rx = Vec::new();
+        let mut fired = Vec::new();
+        for &cqe in &probe {
+            io.dispatch_cqe(cqe, pool, &mut rx, &mut fired, stamp);
+        }
+        io.pending_rx = rx;
+        // Fired poll indices are dropped: those fds stay readable until
+        // drained (level-like), so the first wait re-reports them.
+        Ok(io)
+    }
+
+    /// Size a frame for provided-buffer use (payload room for a full
+    /// datagram behind the kernel's header+name prefix) and push it to
+    /// the kernel under `bid`.
+    fn provide_frame(bufs: &mut BufRing, bid: u16, f: &mut Frame) {
+        let buf = f.buf_mut();
+        buf.clear();
+        buf.reserve(crate::io::MAX_DATAGRAM + RX_PAYLOAD_OFF);
+        let addr = buf.as_mut_ptr() as u64;
+        let len = buf.capacity() as u32;
+        bufs.provide(bid, addr, len);
+    }
+
+    /// Stage the multishot RECVMSG. `None` when the SQ is full.
+    fn arm_recv(&mut self) -> Option<()> {
+        let hdr_addr = std::ptr::addr_of!(*self.rx_hdr) as u64;
+        let (sock, bgid) = (self.sock, self.bufs.bgid());
+        let s = self.ring.sqe()?;
+        s.opcode = IORING_OP_RECVMSG;
+        s.fd = sock;
+        s.addr = hdr_addr;
+        s.len = 1;
+        s.ioprio = IORING_RECV_MULTISHOT;
+        s.flags = IOSQE_BUFFER_SELECT;
+        s.buf_index = bgid;
+        s.user_data = UD_RECV;
+        self.recv_armed = true;
+        Some(())
+    }
+
+    /// Stage a multishot POLL_ADD for poll registration `idx`.
+    fn arm_poll(&mut self, idx: usize) -> Option<()> {
+        let fd = self.polls[idx].fd;
+        let s = self.ring.sqe()?;
+        s.opcode = IORING_OP_POLL_ADD;
+        s.fd = fd;
+        s.len = IORING_POLL_ADD_MULTI;
+        s.op_flags = POLLIN;
+        s.user_data = UD_POLL | idx as u64;
+        self.polls[idx].armed = true;
+        Some(())
+    }
+
+    /// Stage a SENDMSG for filled slot `idx`.
+    fn stage_tx(&mut self, idx: u16) -> Option<()> {
+        let slot = &mut self.tx[idx as usize];
+        slot.hdr.msg_name = std::ptr::addr_of_mut!(slot.storage).cast();
+        slot.hdr.msg_iov = std::ptr::addr_of_mut!(slot.iov);
+        slot.hdr.msg_iovlen = 1;
+        let hdr_addr = std::ptr::addr_of!(slot.hdr) as u64;
+        let sock = self.sock;
+        let s = self.ring.sqe()?;
+        s.opcode = IORING_OP_SENDMSG;
+        s.fd = sock;
+        s.addr = hdr_addr;
+        s.len = 1;
+        s.user_data = UD_TX | u64::from(idx);
+        Some(())
+    }
+
+    /// Queue one datagram. The frame is owned by a TX slot until its
+    /// CQE; the SQE is staged now and flushed by the next
+    /// [`UringIo::flush`] / [`UringIo::wait`]. When every slot is in
+    /// flight this submits-and-reaps inline until one frees (RX
+    /// completions reaped meanwhile are parked for the next `wait`).
+    pub fn send(&mut self, to: SocketAddr, frame: Frame, pool: &FramePool) {
+        let idx = loop {
+            if let Some(i) = self.tx_free.pop() {
+                break i;
+            }
+            // All slots in flight: flush staged work and wait for one
+            // completion. Bounded; on persistent failure the datagram
+            // is dropped and counted, like a failed sendmmsg slot.
+            if self.ring.enter(1, Some(QUIESCE_WAIT)).is_err() || self.drain(pool) == 0 {
+                self.counters.partial_sends.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        {
+            let slot = &mut self.tx[idx as usize];
+            let namelen = encode_addr(&to, &mut slot.storage);
+            slot.hdr.msg_namelen = namelen;
+            slot.iov = IoVec {
+                iov_base: frame.as_ptr() as *mut c_void,
+                iov_len: frame.len(),
+            };
+            slot.frame = Some(frame);
+            slot.retries = 0;
+        }
+        if self.stage_tx(idx).is_none() {
+            // SQ full: hand staged entries to the kernel, then retry
+            // once; a second failure drops the datagram.
+            let _ = self.ring.enter(0, None);
+            self.counters.send_calls.fetch_add(1, Ordering::Relaxed);
+            if self.stage_tx(idx).is_none() {
+                self.tx[idx as usize].frame = None;
+                self.tx_free.push(idx);
+                self.counters.partial_sends.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        self.tx_inflight += 1;
+    }
+
+    /// Flush staged SQEs (TX batch + any re-arms) with one
+    /// `io_uring_enter` *now*, without blocking. The dispatch path
+    /// calls this once per ingest burst so replies leave the moment
+    /// they are built — delaying them behind the next wait stalls
+    /// window-limited senders. Counted as a send syscall: it is the
+    /// kernel crossing that transmits the gathered batch. Because the
+    /// enter runs GETEVENTS task-work (see [`Ring::enter`]), it also
+    /// posts the TX completions and any datagrams already queued, so
+    /// the next [`wait`]'s enter returns the moment it sees them.
+    ///
+    /// [`wait`]: UringIo::wait
+    pub fn flush(&mut self) {
+        if self.ring.to_submit == 0 {
+            return;
+        }
+        if self.ring.enter(0, None).is_ok() {
+            self.counters.send_calls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Park in `io_uring_enter` until I/O, a doorbell/timer poll, or
+    /// `timeout`; then reap everything. Received datagrams go to `rx`,
+    /// indices of fired poll registrations to `fired` (dedup'd by the
+    /// caller's drain). One wait syscall, counted in `wait_calls` —
+    /// its task-work flush delivers *every* datagram that accrued
+    /// while the previous batch was being verified, so a saturated
+    /// steady-state cycle costs two kernel crossings total (this wait
+    /// plus the dispatch burst's [`flush`]) for a whole batch in each
+    /// direction.
+    ///
+    /// [`flush`]: UringIo::flush
+    pub fn wait(
+        &mut self,
+        timeout: Duration,
+        pool: &FramePool,
+        rx: &mut Vec<RxDatagram>,
+        fired: &mut Vec<usize>,
+    ) -> io::Result<()> {
+        // Re-arm anything a completion retired (buffer exhaustion,
+        // poll teardown) now that buffers have been replenished.
+        if !self.recv_armed {
+            self.arm_recv();
+        }
+        for i in 0..self.polls.len() {
+            if !self.polls[i].armed {
+                self.arm_poll(i);
+            }
+        }
+        // Datagrams parked by a mid-dispatch drain must not wait for
+        // the next readiness edge. Note: no CQ-peek fast path here —
+        // skipping the enter when CQEs are already posted *measures
+        // slower*, because a posted TX completion or two can sit on
+        // the CQ while the bulk of the accrued arrivals is still in
+        // the task-work queue that only an enter flushes; peeking
+        // reaps the crumbs and forfeits the batch.
+        let timeout = if self.pending_rx.is_empty() {
+            timeout
+        } else {
+            Duration::ZERO
+        };
+        rx.append(&mut self.pending_rx);
+        self.ring.enter(1, Some(timeout))?;
+        self.counters.wait_calls.fetch_add(1, Ordering::Relaxed);
+        self.reap_into(pool, rx, fired);
+        Ok(())
+    }
+
+    /// Reap into the parked queue (TX-stall path).
+    fn drain(&mut self, pool: &FramePool) -> usize {
+        let mut rx = std::mem::take(&mut self.pending_rx);
+        let mut fired = Vec::new();
+        let n = self.reap_into(pool, &mut rx, &mut fired);
+        self.pending_rx = rx;
+        // Poll edges observed here re-fire via level-triggered
+        // readiness at the next wait (the fds stay readable until
+        // drained by the worker), so dropping `fired` loses nothing.
+        n
+    }
+
+    /// Process every pending CQE. Returns how many were reaped.
+    fn reap_into(
+        &mut self,
+        pool: &FramePool,
+        rx: &mut Vec<RxDatagram>,
+        fired: &mut Vec<usize>,
+    ) -> usize {
+        let mut scratch = std::mem::take(&mut self.cq_scratch);
+        scratch.clear();
+        let n = self.ring.reap(&mut scratch);
+        if n > 0 {
+            let stamp = Instant::now();
+            for &cqe in scratch.iter() {
+                self.dispatch_cqe(cqe, pool, rx, fired, stamp);
+            }
+        }
+        self.cq_scratch = scratch;
+        n
+    }
+
+    /// Route one CQE to its handler by `user_data` tag.
+    fn dispatch_cqe(
+        &mut self,
+        cqe: Cqe,
+        pool: &FramePool,
+        rx: &mut Vec<RxDatagram>,
+        fired: &mut Vec<usize>,
+        stamp: Instant,
+    ) {
+        match cqe.user_data >> UD_TAG_SHIFT {
+            1 => self.on_recv(cqe, pool, rx, stamp),
+            2 => self.on_tx(cqe),
+            3 => {
+                let idx = (cqe.user_data & 0xffff_ffff) as usize;
+                if cqe.flags & IORING_CQE_F_MORE == 0 {
+                    if let Some(p) = self.polls.get_mut(idx) {
+                        p.armed = false;
+                    }
+                }
+                if cqe.res > 0 {
+                    fired.push(idx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// One multishot-RECVMSG completion: take the consumed frame,
+    /// parse the kernel's in-buffer header (source address, payload
+    /// bounds, truncation), compact the payload to offset 0 and
+    /// provide a replacement buffer under the same id.
+    fn on_recv(&mut self, cqe: Cqe, pool: &FramePool, rx: &mut Vec<RxDatagram>, stamp: Instant) {
+        if cqe.flags & IORING_CQE_F_MORE == 0 {
+            self.recv_armed = false;
+        }
+        if cqe.flags & IORING_CQE_F_BUFFER == 0 {
+            // No buffer consumed: -ENOBUFS (ring empty) or another
+            // transient; the re-arm path recovers.
+            if cqe.res < 0 && cqe.res != -ENOBUFS {
+                self.counters.eagain.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        let bid = (cqe.flags >> IORING_CQE_BUFFER_SHIFT) as u16;
+        let Some(frame) = self.rx_slots.get_mut(bid as usize).and_then(Option::take) else {
+            return;
+        };
+        let mut frame = Some(frame);
+        if cqe.res >= RX_PAYLOAD_OFF as i32 {
+            let total = cqe.res as usize;
+            let buf = frame.as_mut().expect("frame taken once").buf_mut();
+            let cap = buf.capacity();
+            // Safety: shape 3 — the CQE proves the kernel wrote
+            // `total <= cap` bytes and is done with the buffer.
+            unsafe { buf.set_len(total.min(cap)) };
+            let out: RecvMsgOut =
+                // Safety: shape 3 — len >= RX_PAYLOAD_OFF >= 16 bytes.
+                unsafe { std::ptr::read_unaligned(buf.as_ptr().cast::<RecvMsgOut>()) };
+            let mut store = SockaddrStorage::zeroed();
+            let namelen = (out.namelen as usize).min(RX_NAME_SPACE);
+            store.bytes[..namelen].copy_from_slice(&buf[16..16 + namelen]);
+            if let Some(from) = decode_addr(&store, out.namelen) {
+                let avail = buf.len() - RX_PAYLOAD_OFF;
+                let take = (out.payloadlen as usize).min(avail);
+                let truncated =
+                    out.flags as i32 & MSG_TRUNC != 0 || out.payloadlen as usize > avail;
+                buf.copy_within(RX_PAYLOAD_OFF..RX_PAYLOAD_OFF + take, 0);
+                buf.truncate(take);
+                if !self.shutting_down {
+                    self.counters.datagrams_in.fetch_add(1, Ordering::Relaxed);
+                    rx.push(RxDatagram {
+                        from,
+                        frame: frame.take().expect("frame taken once"),
+                        truncated,
+                        received: stamp,
+                    });
+                }
+            }
+        }
+        // Replacement buffer under the same id: a parsed frame went to
+        // the engine, so check a fresh one out; otherwise recycle the
+        // same frame.
+        let mut repl = match frame {
+            Some(f) => f,
+            None => pool.checkout(),
+        };
+        if !self.shutting_down {
+            Self::provide_frame(&mut self.bufs, bid, &mut repl);
+        }
+        self.rx_slots[bid as usize] = Some(repl);
+    }
+
+    /// One SENDMSG completion: retry transient failures in place
+    /// (counted), otherwise settle the slot.
+    fn on_tx(&mut self, cqe: Cqe) {
+        let idx = (cqe.user_data & 0xffff_ffff) as u16;
+        if idx >= TX_SLOTS {
+            return;
+        }
+        let transient = cqe.res == -EAGAIN || cqe.res == -ENOBUFS || cqe.res == -EINTR;
+        if transient && !self.shutting_down && self.tx[idx as usize].retries < 16 {
+            self.tx[idx as usize].retries += 1;
+            self.counters.send_retries.fetch_add(1, Ordering::Relaxed);
+            if self.stage_tx(idx).is_some() {
+                return; // still in flight
+            }
+        }
+        self.tx_inflight = self.tx_inflight.saturating_sub(1);
+        if cqe.res >= 0 {
+            self.counters.datagrams_out.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.counters.partial_sends.fetch_add(1, Ordering::Relaxed);
+        }
+        self.tx[idx as usize].frame = None;
+        self.tx_free.push(idx);
+    }
+
+    /// Outstanding kernel references into our memory.
+    fn outstanding(&self) -> usize {
+        usize::from(self.recv_armed)
+            + self.polls.iter().filter(|p| p.armed).count()
+            + self.tx_inflight
+    }
+}
+
+impl Drop for UringIo {
+    /// Cancel everything and drain to quiescence so the kernel can't
+    /// write into frames/slots we are about to free. If the drain
+    /// times out (it shouldn't), leak the kernel-visible allocations
+    /// (shape 4) instead of freeing them.
+    fn drop(&mut self) {
+        self.shutting_down = true;
+        if self.outstanding() > 0 {
+            if let Some(s) = self.ring.sqe() {
+                s.opcode = IORING_OP_ASYNC_CANCEL;
+                s.fd = -1;
+                s.op_flags = IORING_ASYNC_CANCEL_ANY;
+                s.user_data = UD_CANCEL;
+            }
+            let pool = FramePool::new(1, 0);
+            let mut rx = Vec::new();
+            let mut fired = Vec::new();
+            for _ in 0..QUIESCE_ROUNDS {
+                if self.outstanding() == 0 {
+                    break;
+                }
+                if self.ring.enter(1, Some(QUIESCE_WAIT)).is_err() {
+                    break;
+                }
+                rx.clear();
+                fired.clear();
+                self.reap_into(&pool, &mut rx, &mut fired);
+                // A terminal recv CQE (no F_MORE) and terminal poll
+                // CQEs clear their armed flags in reap_into; TX
+                // settles through on_tx.
+            }
+        }
+        if self.outstanding() > 0 {
+            // Abandon: the kernel still references this memory.
+            for f in self.rx_slots.drain(..).flatten() {
+                std::mem::forget(f);
+            }
+            let tx = std::mem::take(&mut self.tx);
+            std::mem::forget(tx);
+            let hdr = std::mem::replace(
+                &mut self.rx_hdr,
+                Box::new(MsgHdr {
+                    msg_name: std::ptr::null_mut(),
+                    msg_namelen: 0,
+                    msg_iov: std::ptr::null_mut(),
+                    msg_iovlen: 0,
+                    msg_control: std::ptr::null_mut(),
+                    msg_controllen: 0,
+                    msg_flags: 0,
+                }),
+            );
+            std::mem::forget(hdr);
+            self.bufs.leak();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Startup probe.
+// ---------------------------------------------------------------------------
+
+/// Whether this kernel supports the full completion-mode runtime.
+/// Probed once per process by round-tripping a real datagram through a
+/// throwaway [`UringIo`] (ring setup, PBUF_RING registration,
+/// multishot RECVMSG with buffer select, SENDMSG, EXT_ARG wait) over
+/// loopback — a feature-bit check alone would miss opcode support.
+pub fn supported() -> bool {
+    use std::sync::OnceLock;
+    static PROBE: OnceLock<bool> = OnceLock::new();
+    *PROBE.get_or_init(|| match probe() {
+        Ok(()) => true,
+        Err(e) => {
+            // One line, once: which rung of the probe this kernel
+            // failed (mirrors the backend-fallback eprintlns).
+            eprintln!("alpha-transport: io_uring probe failed: {e}");
+            false
+        }
+    })
+}
+
+/// Run the full startup probe and return its verdict. Exposed for the
+/// ABI property suite; production code goes through [`supported`].
+pub fn probe() -> io::Result<()> {
+    use std::os::fd::AsRawFd;
+
+    let here = std::net::UdpSocket::bind("127.0.0.1:0")?;
+    let peer = std::net::UdpSocket::bind("127.0.0.1:0")?;
+    peer.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let here_addr = here.local_addr()?;
+    let peer_addr = peer.local_addr()?;
+    let pool = FramePool::new(2048, 8);
+    let counters = Arc::new(IoWorker::default());
+    let mut io = UringIo::new(here.as_raw_fd(), &[], &pool, counters)?;
+
+    // RX leg: a datagram sent from outside must complete through the
+    // multishot + provided-buffer path with the right source address.
+    peer.send_to(b"alpha-uring-probe", here_addr)?;
+    let mut rx = Vec::new();
+    let mut fired = Vec::new();
+    for _ in 0..10 {
+        io.wait(Duration::from_millis(100), &pool, &mut rx, &mut fired)?;
+        if !rx.is_empty() {
+            break;
+        }
+    }
+    let got = rx
+        .first()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::TimedOut, "no multishot completion"))?;
+    if &got.frame[..] != b"alpha-uring-probe" || got.from != peer_addr {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "multishot recvmsg returned wrong payload",
+        ));
+    }
+
+    // TX leg: a SENDMSG staged and flushed through the ring must
+    // arrive at the peer.
+    let mut f = pool.checkout();
+    f.buf_mut().extend_from_slice(b"alpha-uring-pong");
+    io.send(peer_addr, f, &pool);
+    io.flush();
+    let mut buf = [0u8; 64];
+    let (n, _) = peer.recv_from(&mut buf)?;
+    if &buf[..n] != b"alpha-uring-pong" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "uring sendmsg payload mismatch",
+        ));
+    }
+    Ok(())
+}

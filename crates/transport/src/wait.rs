@@ -19,6 +19,14 @@
 //!   cached deadline, handoff rings drained whenever the socket wakes
 //!   the worker. Always available; the behavioural reference the
 //!   readiness loop must match (`tests/wait_backend_props.rs`).
+//!
+//! A worker running the completion-mode socket backend
+//! (`ALPHA_UDP_BACKEND=uring`, [`crate::uring`]) subsumes this choice:
+//! its doorbells and deadline timer are multishot `POLL_ADD` entries
+//! in the worker's own ring, so the one `io_uring_enter` *is* the
+//! wait. Stats still report the resolved `wait_backend` alongside
+//! `udp_backend = "uring"`, naming the loop the engine would degrade
+//! to if ring setup failed on a worker.
 
 use std::sync::atomic::{AtomicU8, Ordering};
 

@@ -1,8 +1,9 @@
-//! Backend-equivalence test: the batched `mmsg` backend and the portable
-//! `fallback` backend must be interchangeable — same multi-flow relay
-//! scenario, byte-identical delivered payloads, and identical protocol
-//! decisions (handshakes learned, S2 exchanges verified, zero failures,
-//! zero drops). Only the syscall count may differ.
+//! Backend-equivalence test: the completion-mode `uring` backend, the
+//! batched `mmsg` backend, and the portable `fallback` backend must be
+//! interchangeable — same multi-flow relay scenario, byte-identical
+//! delivered payloads, and identical protocol decisions (handshakes
+//! learned, S2 exchanges verified, zero failures, zero drops). Only
+//! the syscall count may differ.
 
 use std::net::UdpSocket;
 use std::sync::atomic::Ordering::Relaxed;
@@ -140,9 +141,9 @@ fn check_outcome(o: &Outcome, label: &str) {
     assert_eq!(o.total_drops, 0, "{label}: relay drops");
 }
 
-/// Both backends run the identical scenario in one process; everything
+/// All backends run the identical scenario in one process; everything
 /// protocol-visible must match exactly. (Single #[test] on purpose:
-/// `io::force` is process-wide, so the two legs must be sequenced.)
+/// `io::force` is process-wide, so the legs must be sequenced.)
 #[test]
 fn backends_are_delivery_and_decision_identical() {
     let fallback = run_scenario(UdpBackend::Fallback);
@@ -158,5 +159,17 @@ fn backends_are_delivery_and_decision_identical() {
     assert_eq!(
         mmsg, fallback,
         "mmsg and fallback must deliver identical bytes and make identical relay decisions"
+    );
+
+    if !UdpBackend::Uring.is_supported() {
+        eprintln!("skipping uring leg: not supported on this kernel");
+        return;
+    }
+    let uring = run_scenario(UdpBackend::Uring);
+    check_outcome(&uring, "uring");
+
+    assert_eq!(
+        uring, fallback,
+        "uring and fallback must deliver identical bytes and make identical relay decisions"
     );
 }
